@@ -1,0 +1,339 @@
+//! Selection predicates over heterogeneous tuples.
+//!
+//! Because tuples of a flexible relation may lack attributes, every atomic
+//! comparison implicitly acts as a type guard: a comparison on an attribute
+//! the tuple is not defined on evaluates to `false` (it cannot be evaluated,
+//! hence the tuple does not qualify).  Explicit type guards
+//! ([`Predicate::IsPresent`]) test pure existence.
+
+use std::fmt;
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::typecheck::SelectionContext;
+use flexrel_core::value::Value;
+
+/// Comparison operators for atomic predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(&self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+/// A selection predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// `attr op constant`; false if the tuple lacks the attribute.
+    Cmp {
+        attr: Attr,
+        op: CmpOp,
+        value: Value,
+    },
+    /// Type guard: all listed attributes are present.
+    IsPresent(AttrSet),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr = value`.
+    pub fn eq(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { attr: attr.into(), op: CmpOp::Eq, value: value.into() }
+    }
+
+    /// `attr > value`.
+    pub fn gt(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { attr: attr.into(), op: CmpOp::Gt, value: value.into() }
+    }
+
+    /// `attr < value`.
+    pub fn lt(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { attr: attr.into(), op: CmpOp::Lt, value: value.into() }
+    }
+
+    /// `attr >= value`.
+    pub fn ge(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { attr: attr.into(), op: CmpOp::Ge, value: value.into() }
+    }
+
+    /// `attr <= value`.
+    pub fn le(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { attr: attr.into(), op: CmpOp::Le, value: value.into() }
+    }
+
+    /// `attr <> value`.
+    pub fn ne(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { attr: attr.into(), op: CmpOp::Ne, value: value.into() }
+    }
+
+    /// Type guard for a set of attributes.
+    pub fn present(attrs: impl Into<AttrSet>) -> Self {
+        Predicate::IsPresent(attrs.into())
+    }
+
+    /// Conjunction (builder style).
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction (builder style).
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation (builder style).
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate against a tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Cmp { attr, op, value } => {
+                t.get(attr).map(|v| op.eval(v, value)).unwrap_or(false)
+            }
+            Predicate::IsPresent(attrs) => t.defined_on(attrs),
+            Predicate::And(a, b) => a.eval(t) && b.eval(t),
+            Predicate::Or(a, b) => a.eval(t) || b.eval(t),
+            Predicate::Not(a) => !a.eval(t),
+        }
+    }
+
+    /// The attributes referenced anywhere in the predicate.
+    pub fn referenced_attrs(&self) -> AttrSet {
+        match self {
+            Predicate::True | Predicate::False => AttrSet::empty(),
+            Predicate::Cmp { attr, .. } => attr.to_set(),
+            Predicate::IsPresent(attrs) => attrs.clone(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.referenced_attrs().union(&b.referenced_attrs())
+            }
+            Predicate::Not(a) => a.referenced_attrs(),
+        }
+    }
+
+    /// The attributes that must be *present* in any tuple satisfying the
+    /// predicate (a conservative, purely syntactic analysis: attributes
+    /// referenced positively in every conjunct of the top-level conjunction).
+    pub fn required_attrs(&self) -> AttrSet {
+        match self {
+            Predicate::Cmp { attr, .. } => attr.to_set(),
+            Predicate::IsPresent(attrs) => attrs.clone(),
+            Predicate::And(a, b) => a.required_attrs().union(&b.required_attrs()),
+            // For a disjunction only attributes required on both branches are
+            // guaranteed present.
+            Predicate::Or(a, b) => a.required_attrs().intersection(&b.required_attrs()),
+            _ => AttrSet::empty(),
+        }
+    }
+
+    /// The equality constraints implied by the predicate (attributes pinned
+    /// to constants in every satisfying tuple): top-level conjunctions of
+    /// `attr = value` atoms.
+    pub fn implied_equalities(&self) -> Tuple {
+        match self {
+            Predicate::Cmp { attr, op: CmpOp::Eq, value } => {
+                Tuple::new().with(attr.clone(), value.clone())
+            }
+            Predicate::And(a, b) => a.implied_equalities().merged_with(&b.implied_equalities()),
+            _ => Tuple::empty(),
+        }
+    }
+
+    /// Converts the predicate's static knowledge into a
+    /// [`SelectionContext`] for guard analysis (Example 4).
+    pub fn selection_context(&self) -> SelectionContext {
+        let mut ctx = SelectionContext::none().with_referenced(self.required_attrs());
+        for (a, v) in self.implied_equalities().iter() {
+            ctx = ctx.with_equality(a.clone(), v.clone());
+        }
+        ctx
+    }
+
+    /// Structurally simplifies the predicate: removes `True`/`False`
+    /// identities and double negations.  Used by the optimizer after guard
+    /// elimination.
+    pub fn simplify(self) -> Predicate {
+        match self {
+            Predicate::And(a, b) => match (a.simplify(), b.simplify()) {
+                (Predicate::True, x) | (x, Predicate::True) => x,
+                (Predicate::False, _) | (_, Predicate::False) => Predicate::False,
+                (x, y) => Predicate::And(Box::new(x), Box::new(y)),
+            },
+            Predicate::Or(a, b) => match (a.simplify(), b.simplify()) {
+                (Predicate::False, x) | (x, Predicate::False) => x,
+                (Predicate::True, _) | (_, Predicate::True) => Predicate::True,
+                (x, y) => Predicate::Or(Box::new(x), Box::new(y)),
+            },
+            Predicate::Not(a) => match a.simplify() {
+                Predicate::True => Predicate::False,
+                Predicate::False => Predicate::True,
+                Predicate::Not(inner) => *inner,
+                x => Predicate::Not(Box::new(x)),
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Cmp { attr, op, value } => write!(f, "{} {} {}", attr, op, value),
+            Predicate::IsPresent(attrs) => write!(f, "present({})", attrs),
+            Predicate::And(a, b) => write!(f, "({} AND {})", a, b),
+            Predicate::Or(a, b) => write!(f, "({} OR {})", a, b),
+            Predicate::Not(a) => write!(f, "(NOT {})", a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::{attrs, tuple};
+
+    fn secretary() -> Tuple {
+        tuple! {
+            "salary" => 5500,
+            "jobtype" => Value::tag("secretary"),
+            "typing-speed" => 300
+        }
+    }
+
+    #[test]
+    fn comparisons_on_present_attributes() {
+        let t = secretary();
+        assert!(Predicate::gt("salary", 5000).eval(&t));
+        assert!(!Predicate::gt("salary", 6000).eval(&t));
+        assert!(Predicate::eq("jobtype", Value::tag("secretary")).eval(&t));
+        assert!(Predicate::ne("jobtype", Value::tag("salesman")).eval(&t));
+        assert!(Predicate::le("salary", 5500).eval(&t));
+        assert!(Predicate::ge("salary", 5500).eval(&t));
+        assert!(Predicate::lt("salary", 5501).eval(&t));
+    }
+
+    #[test]
+    fn comparisons_on_absent_attributes_are_false() {
+        let t = secretary();
+        assert!(!Predicate::eq("products", "crm").eval(&t));
+        assert!(!Predicate::gt("sales-commission", 0).eval(&t));
+        // But a negation of such a comparison is true (the tuple does not
+        // match the positive condition).
+        assert!(Predicate::eq("products", "crm").negate().eval(&t));
+    }
+
+    #[test]
+    fn type_guard_predicate() {
+        let t = secretary();
+        assert!(Predicate::present(attrs!["typing-speed"]).eval(&t));
+        assert!(!Predicate::present(attrs!["products"]).eval(&t));
+        assert!(!Predicate::present(attrs!["typing-speed", "products"]).eval(&t));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = secretary();
+        let p = Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
+        assert!(p.eval(&t));
+        let q = Predicate::gt("salary", 9000).or(Predicate::present(attrs!["typing-speed"]));
+        assert!(q.eval(&t));
+        assert!(Predicate::True.eval(&t));
+        assert!(!Predicate::False.eval(&t));
+    }
+
+    #[test]
+    fn referenced_and_required_attrs() {
+        let p = Predicate::gt("salary", 5000)
+            .and(Predicate::eq("jobtype", Value::tag("secretary")))
+            .and(Predicate::present(attrs!["typing-speed"]));
+        assert_eq!(
+            p.referenced_attrs(),
+            attrs!["salary", "jobtype", "typing-speed"]
+        );
+        assert_eq!(
+            p.required_attrs(),
+            attrs!["salary", "jobtype", "typing-speed"]
+        );
+        // Disjunction weakens the requirement to the common attributes.
+        let q = Predicate::gt("salary", 1).or(Predicate::gt("salary", 2).and(Predicate::gt("bonus", 3)));
+        assert_eq!(q.required_attrs(), attrs!["salary"]);
+        assert_eq!(q.referenced_attrs(), attrs!["salary", "bonus"]);
+    }
+
+    #[test]
+    fn implied_equalities_and_context() {
+        let p = Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
+        let eq = p.implied_equalities();
+        assert_eq!(eq.get_name("jobtype"), Some(&Value::tag("secretary")));
+        assert_eq!(eq.get_name("salary"), None);
+        let ctx = p.selection_context();
+        assert_eq!(ctx.known_present(), attrs!["salary", "jobtype"]);
+        // Equalities under a disjunction or negation are not implied.
+        let q = Predicate::eq("a", 1).or(Predicate::eq("a", 2));
+        assert!(q.implied_equalities().is_empty());
+    }
+
+    #[test]
+    fn simplification() {
+        let p = Predicate::True.and(Predicate::gt("x", 1));
+        assert_eq!(p.simplify(), Predicate::gt("x", 1));
+        let p = Predicate::False.and(Predicate::gt("x", 1));
+        assert_eq!(p.simplify(), Predicate::False);
+        let p = Predicate::False.or(Predicate::gt("x", 1));
+        assert_eq!(p.simplify(), Predicate::gt("x", 1));
+        let p = Predicate::gt("x", 1).negate().negate();
+        assert_eq!(p.simplify(), Predicate::gt("x", 1));
+        let p = Predicate::True.negate();
+        assert_eq!(p.simplify(), Predicate::False);
+    }
+
+    #[test]
+    fn display_round_trip_reads_naturally() {
+        let p = Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
+        assert_eq!(p.to_string(), "(salary > 5000 AND jobtype = 'secretary')");
+    }
+}

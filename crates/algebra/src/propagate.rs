@@ -1,0 +1,191 @@
+//! Propagation of dependencies under algebraic transformations
+//! (Theorem 4.3).
+//!
+//! For each operator the theorem states which attribute dependencies are
+//! known to hold in the result:
+//!
+//! 1. `ads(FR1 × FR2) = ads(FR1) ∪ ads(FR2)`
+//! 2. `ads(π_X(FR)) = { V --attr--> W∩X | V --attr--> W ∈ ads(FR), V ⊆ X }`
+//! 3. `ads(σ_F(FR)) = ads(FR)`
+//! 4. `ads(FR1 ∪ FR2) = ∅`
+//! 5. `ads(FR1 − FR2) = ads(FR1)`
+//! 6. `ads(ε_{A:a1}(FR1) ∪ ε_{A:a2}(FR2)) = { AX --attr--> Y | X --attr--> Y
+//!    ∈ ads(FR1) ∪ ads(FR2) }` (tagged union)
+//!
+//! Functional dependencies are propagated with their classical behaviour
+//! (kept under selection, product, difference and extension; restricted to
+//! `V ⊆ X` with right side intersected under projection; lost under union).
+//! Explicit ADs are propagated structurally wherever possible so that
+//! insert-time type checking keeps working on derived relations.
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::dep::{Ad, Dependency, DependencySet, Ead, EadVariant, Fd};
+
+/// Rule (1): dependencies of a cartesian product.
+pub fn product_deps(left: &DependencySet, right: &DependencySet) -> DependencySet {
+    left.union(right)
+}
+
+/// Rule (2): dependencies surviving a projection onto `x`.
+///
+/// A dependency whose left side is not fully retained is invalidated; a
+/// retained dependency keeps only the retained part of its right side.
+/// Explicit ADs additionally project each variant's attribute set.
+pub fn project_deps(deps: &DependencySet, x: &AttrSet) -> DependencySet {
+    let mut out = DependencySet::new();
+    for dep in deps.iter() {
+        if !dep.lhs().is_subset(x) {
+            continue;
+        }
+        match dep {
+            Dependency::Ad(ad) => {
+                out.add(Ad::new(ad.lhs().clone(), ad.rhs().intersection(x)));
+            }
+            Dependency::Ead(ead) => {
+                let variants: Vec<EadVariant> = ead
+                    .variants()
+                    .iter()
+                    .map(|v| EadVariant::new(v.values.clone(), v.attrs.intersection(x)))
+                    .collect();
+                match Ead::new(ead.lhs().clone(), ead.rhs().intersection(x), variants) {
+                    Ok(projected) => out.add(projected),
+                    Err(_) => out.add(Ad::new(ead.lhs().clone(), ead.rhs().intersection(x))),
+                }
+            }
+            Dependency::Fd(fd) => {
+                out.add(Fd::new(fd.lhs().clone(), fd.rhs().intersection(x)));
+            }
+        }
+    }
+    out
+}
+
+/// Rule (3): dependencies of a selection — all of them.
+pub fn select_deps(deps: &DependencySet) -> DependencySet {
+    deps.clone()
+}
+
+/// Rule (4): dependencies of a plain union — none.
+pub fn union_deps() -> DependencySet {
+    DependencySet::new()
+}
+
+/// Rule (5): dependencies of a difference — those of the left operand.
+pub fn difference_deps(left: &DependencySet) -> DependencySet {
+    left.clone()
+}
+
+/// Dependencies after the extension operator `ε_{A:a}`: all existing
+/// dependencies remain valid (the new attribute is present in every tuple
+/// with a constant value, so it can never discriminate shapes or values).
+pub fn extend_deps(deps: &DependencySet) -> DependencySet {
+    deps.clone()
+}
+
+/// Rule (6): dependencies of a tagged union.  Every dependency of either
+/// input survives with the tag attribute added to its left side (the left
+/// augmentation rule A4 / F2 applied inside the extended inputs makes this
+/// sound; the tag then separates the two sources).
+pub fn tagged_union_deps(
+    left: &DependencySet,
+    right: &DependencySet,
+    tag: &Attr,
+) -> DependencySet {
+    let mut out = DependencySet::new();
+    for dep in left.iter().chain(right.iter()) {
+        let lhs = dep.lhs().union(&tag.to_set());
+        match dep {
+            Dependency::Ad(ad) => out.add(Ad::new(lhs, ad.rhs().clone())),
+            Dependency::Ead(ead) => out.add(Ad::new(lhs, ead.rhs().clone())),
+            Dependency::Fd(fd) => out.add(Fd::new(lhs, fd.rhs().clone())),
+        }
+    }
+    out
+}
+
+/// Dependencies of a natural join: the union of both sides.  (The natural
+/// join is a selection over the product followed by the merge of the equal
+/// shared columns; rules (1) and (3) preserve both dependency sets.)
+pub fn join_deps(left: &DependencySet, right: &DependencySet) -> DependencySet {
+    left.union(right)
+}
+
+/// Dependencies of an outer union — none (rule (4) applies; the outer union
+/// is a union over padded inputs).
+pub fn outer_union_deps() -> DependencySet {
+    DependencySet::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+    use flexrel_core::dep::example2_jobtype_ead;
+
+    fn sample() -> DependencySet {
+        DependencySet::from_deps(vec![
+            Dependency::Ad(Ad::new(attrs!["jobtype"], attrs!["products", "typing-speed"])),
+            Dependency::Fd(Fd::new(attrs!["empno"], attrs!["salary", "jobtype"])),
+            Dependency::Ead(example2_jobtype_ead()),
+        ])
+    }
+
+    #[test]
+    fn projection_keeps_only_contained_lhs() {
+        let out = project_deps(&sample(), &attrs!["jobtype", "products"]);
+        // The AD and the EAD survive (lhs jobtype ⊆ X) with trimmed rhs; the
+        // FD on empno is invalidated.
+        assert_eq!(out.fds().count(), 0);
+        let ads: Vec<Ad> = out.ads().collect();
+        assert!(ads
+            .iter()
+            .all(|ad| ad.lhs() == &attrs!["jobtype"] && ad.rhs() == &attrs!["products"]));
+        assert!(out.eads().next().is_some(), "the EAD survives structurally");
+        let ead = out.eads().next().unwrap();
+        assert!(ead
+            .variants()
+            .iter()
+            .all(|v| v.attrs.is_subset(&attrs!["products"])));
+    }
+
+    #[test]
+    fn projection_dropping_lhs_invalidates() {
+        let out = project_deps(&sample(), &attrs!["products", "salary"]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_and_difference_preserve_everything() {
+        let s = sample();
+        assert_eq!(select_deps(&s), s);
+        assert_eq!(difference_deps(&s), s);
+        assert_eq!(extend_deps(&s), s);
+    }
+
+    #[test]
+    fn union_loses_everything() {
+        assert!(union_deps().is_empty());
+        assert!(outer_union_deps().is_empty());
+    }
+
+    #[test]
+    fn product_and_join_union_both_sides() {
+        let left = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["a"], attrs!["b"]))]);
+        let right = DependencySet::from_deps(vec![Dependency::Fd(Fd::new(attrs!["c"], attrs!["d"]))]);
+        assert_eq!(product_deps(&left, &right).len(), 2);
+        assert_eq!(join_deps(&left, &right).len(), 2);
+    }
+
+    #[test]
+    fn tagged_union_augments_left_sides() {
+        let left = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["jobtype"], attrs!["products"]))]);
+        let right = DependencySet::from_deps(vec![Dependency::Fd(Fd::new(attrs!["empno"], attrs!["salary"]))]);
+        let out = tagged_union_deps(&left, &right, &Attr::new("src"));
+        assert_eq!(out.len(), 2);
+        for d in out.iter() {
+            assert!(d.lhs().contains(&Attr::new("src")));
+        }
+        let ads: Vec<Ad> = out.ads().collect();
+        assert_eq!(ads[0].lhs(), &attrs!["src", "jobtype"]);
+    }
+}

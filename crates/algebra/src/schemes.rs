@@ -1,0 +1,226 @@
+//! Transformations of flexible schemes under algebraic operators.
+//!
+//! The paper leaves the formal algebra out of scope; what matters for
+//! dependency propagation and type checking is that every operator's output
+//! scheme **admits every tuple the operator can produce**.  Where the exact
+//! output shape set is representable with attribute-disjoint components the
+//! transformation is exact (projection, product, extension); where it is not
+//! (joins, outer unions) a *covering scheme* is synthesized from the possible
+//! output shapes.
+
+use std::collections::BTreeSet;
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::error::Result;
+use flexrel_core::scheme::{Component, FlexScheme};
+
+/// Projects a flexible scheme onto an attribute set: components lose the
+/// attributes outside `x`; components that vanish entirely relax the
+/// cardinality constraint accordingly.
+///
+/// Every projection `t[X]` of a tuple admitted by `scheme` is admitted by the
+/// projected scheme.
+pub fn project_scheme(scheme: &FlexScheme, x: &AttrSet) -> Option<FlexScheme> {
+    let mut kept: Vec<Component> = Vec::new();
+    let mut dropped = 0usize;
+    for c in scheme.components() {
+        match c {
+            Component::Attr(a) => {
+                if x.contains(a) {
+                    kept.push(Component::Attr(a.clone()));
+                } else {
+                    dropped += 1;
+                }
+            }
+            Component::Scheme(s) => match project_scheme(s, x) {
+                Some(ps) => kept.push(Component::Scheme(ps)),
+                None => dropped += 1,
+            },
+        }
+    }
+    if kept.is_empty() {
+        return None;
+    }
+    let at_most = scheme.at_most().min(kept.len());
+    let at_least = scheme.at_least().saturating_sub(dropped).min(at_most);
+    FlexScheme::new(at_least, at_most, kept).ok()
+}
+
+/// Combines two attribute-disjoint schemes into the scheme of their cartesian
+/// product: both sub-schemes must be fully taken.
+pub fn product_scheme(left: &FlexScheme, right: &FlexScheme) -> Result<FlexScheme> {
+    FlexScheme::new(
+        2,
+        2,
+        vec![
+            Component::Scheme(left.clone()),
+            Component::Scheme(right.clone()),
+        ],
+    )
+}
+
+/// Extends a scheme with an always-present attribute (the extension operator
+/// `ε_{A:a}` adds the column `A` to every tuple).
+pub fn extend_scheme(scheme: &FlexScheme, attr: &flexrel_core::attr::Attr) -> Result<FlexScheme> {
+    let mut components: Vec<Component> = vec![Component::Attr(attr.clone())];
+    components.push(Component::Scheme(scheme.clone()));
+    FlexScheme::new(2, 2, components)
+}
+
+/// Builds a scheme that admits (at least) every attribute combination in
+/// `shapes`: the attributes common to all shapes become mandatory single
+/// components, the remaining attributes optional single components, and the
+/// cardinality bounds span the smallest and largest shape.
+///
+/// The result is a *cover*: it may admit combinations outside `shapes`, but
+/// never rejects one inside.  Used for operators (joins, outer unions) whose
+/// exact shape set is not expressible with attribute-disjoint components.
+pub fn covering_scheme(shapes: &BTreeSet<AttrSet>) -> Result<FlexScheme> {
+    let all: AttrSet = shapes
+        .iter()
+        .fold(AttrSet::empty(), |acc, s| acc.union(s));
+    if shapes.is_empty() || all.is_empty() {
+        // Degenerate: no information; a single optional pseudo-component is
+        // not possible without attributes, so fall back to a one-attribute
+        // optional scheme is impossible — return an error-free minimal scheme
+        // over a placeholder is undesirable.  Instead synthesize a scheme over
+        // the union (empty is invalid), so signal with an Err from
+        // FlexScheme::new.
+        return FlexScheme::new::<Vec<Component>, Component>(0, 0, vec![]);
+    }
+    let min_size = shapes.iter().map(|s| s.len()).min().unwrap_or(0);
+    let max_size = shapes.iter().map(|s| s.len()).max().unwrap_or(all.len());
+    let components: Vec<Component> = all.iter().map(|a| Component::Attr(a.clone())).collect();
+    FlexScheme::new(min_size, max_size.min(components.len()), components)
+}
+
+/// The shapes (`dnf`) two schemes can produce when naturally joined: unions
+/// of a shape from each side that agree on the presence of the shared
+/// attributes.  Falls back to `None` when the DNF product would be too large
+/// to enumerate (callers then derive the scheme from the actual output).
+pub fn join_shapes(left: &FlexScheme, right: &FlexScheme) -> Option<BTreeSet<AttrSet>> {
+    let l = left.dnf();
+    let r = right.dnf();
+    if l.len().saturating_mul(r.len()) > 4096 {
+        return None;
+    }
+    let common = left.attrs().intersection(&right.attrs());
+    let mut out = BTreeSet::new();
+    for a in &l {
+        for b in &r {
+            // Join partners must expose the same subset of the shared
+            // attributes (otherwise no pair of tuples with these shapes can
+            // agree on the shared attributes *and* merge into a single
+            // well-defined shape).
+            if a.intersection(&common) == b.intersection(&common) {
+                out.insert(a.union(b));
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+    use flexrel_core::scheme::example1_scheme;
+
+    #[test]
+    fn project_example1_onto_ab_and_c() {
+        let fs = example1_scheme();
+        let p = project_scheme(&fs, &attrs!["A", "B"]).unwrap();
+        assert!(p.admits(&attrs!["A", "B"]));
+        assert!(!p.admits(&attrs!["A"]));
+        let p = project_scheme(&fs, &attrs!["A", "C"]).unwrap();
+        // The original admits ABCE (projects to AC) and ABDE (projects to A).
+        assert!(p.admits(&attrs!["A", "C"]));
+        assert!(p.admits(&attrs!["A"]));
+    }
+
+    #[test]
+    fn projection_admits_every_projected_shape() {
+        let fs = example1_scheme();
+        for x in [attrs!["A", "B"], attrs!["A", "C", "E"], attrs!["E", "F", "G"], attrs!["C", "D"]] {
+            let p = project_scheme(&fs, &x).unwrap();
+            for shape in fs.dnf() {
+                let projected = shape.intersection(&x);
+                assert!(
+                    p.admits(&projected),
+                    "projection onto {} must admit {}",
+                    x,
+                    projected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_onto_disjoint_attrs_is_none() {
+        let fs = example1_scheme();
+        assert!(project_scheme(&fs, &attrs!["Z"]).is_none());
+    }
+
+    #[test]
+    fn product_scheme_admits_combined_shapes() {
+        let left = example1_scheme();
+        let right = FlexScheme::relational(attrs!["X", "Y"]);
+        let p = product_scheme(&left, &right).unwrap();
+        for a in left.dnf() {
+            assert!(p.admits(&a.union(&attrs!["X", "Y"])));
+        }
+        assert!(!p.admits(&attrs!["X", "Y"]));
+    }
+
+    #[test]
+    fn extend_scheme_adds_mandatory_attr() {
+        let fs = FlexScheme::disjoint_union(["C", "D"]).unwrap();
+        let e = extend_scheme(&fs, &flexrel_core::attr::Attr::new("tag")).unwrap();
+        assert!(e.admits(&attrs!["tag", "C"]));
+        assert!(e.admits(&attrs!["tag", "D"]));
+        assert!(!e.admits(&attrs!["C"]));
+        assert!(!e.admits(&attrs!["tag"]));
+    }
+
+    #[test]
+    fn covering_scheme_admits_all_shapes() {
+        let shapes: BTreeSet<AttrSet> = [
+            attrs!["A", "B", "C"],
+            attrs!["A", "B", "D"],
+            attrs!["A", "B"],
+        ]
+        .into_iter()
+        .collect();
+        let c = covering_scheme(&shapes).unwrap();
+        for s in &shapes {
+            assert!(c.admits(s), "cover must admit {}", s);
+        }
+        // It is allowed (but not required) to admit more.
+        assert!(!c.admits(&attrs!["A", "B", "C", "D", "E"]));
+    }
+
+    #[test]
+    fn covering_scheme_of_empty_set_is_an_error() {
+        let shapes: BTreeSet<AttrSet> = BTreeSet::new();
+        assert!(covering_scheme(&shapes).is_err());
+    }
+
+    #[test]
+    fn join_shapes_requires_agreement_on_common_attrs() {
+        // Left: A plus either B or C.  Right: A plus D.
+        let left = FlexScheme::new(
+            2,
+            2,
+            vec![
+                Component::from("A"),
+                Component::Scheme(FlexScheme::disjoint_union(["B", "C"]).unwrap()),
+            ],
+        )
+        .unwrap();
+        let right = FlexScheme::relational(attrs!["A", "D"]);
+        let shapes = join_shapes(&left, &right).unwrap();
+        assert!(shapes.contains(&attrs!["A", "B", "D"]));
+        assert!(shapes.contains(&attrs!["A", "C", "D"]));
+        assert_eq!(shapes.len(), 2);
+    }
+}

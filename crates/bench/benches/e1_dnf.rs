@@ -1,0 +1,24 @@
+//! E1: DNF unfolding cost and size vs. scheme complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrel_core::scheme::example1_scheme;
+use flexrel_workload::{random_scheme, SchemeGenConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_dnf");
+    g.sample_size(20);
+    g.bench_function("example1_dnf", |b| {
+        let fs = example1_scheme();
+        b.iter(|| fs.dnf().len())
+    });
+    for groups in [2usize, 4, 6] {
+        let fs = random_scheme(&SchemeGenConfig { groups, group_width: 3, nest_prob: 0.2, ..Default::default() });
+        g.bench_with_input(BenchmarkId::new("generated_dnf_len", groups), &fs, |b, fs| {
+            b.iter(|| fs.dnf_len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E2: insert-time type checking — scheme-only vs. full AD checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrel_core::relation::CheckLevel;
+use flexrel_storage::{Database, RelationDef};
+use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_typecheck");
+    g.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let tuples = generate_employees(&EmployeeConfig::clean(n));
+        g.bench_with_input(BenchmarkId::new("scheme_only", n), &tuples, |b, tuples| {
+            b.iter(|| {
+                let mut rel = employee_relation();
+                for t in tuples {
+                    rel.insert_checked(t.clone(), CheckLevel::SchemeOnly).unwrap();
+                }
+                rel.len()
+            })
+        });
+        // Full checking goes through the storage engine, whose hash indexes
+        // on the dependency determinants keep the FD/AD peer lookups cheap.
+        g.bench_with_input(BenchmarkId::new("full_ad_checking", n), &tuples, |b, tuples| {
+            b.iter(|| {
+                let mut db = Database::new();
+                db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+                for t in tuples {
+                    db.insert("employee", t.clone()).unwrap();
+                }
+                db.count("employee").unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E3: classifying candidate supertypes under the record rule vs. the AD rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_core::dep::example2_jobtype_ead;
+use flexrel_core::subtype::SubtypeFamily;
+use flexrel_workload::{employee_domains, employee_scheme};
+
+fn bench(c: &mut Criterion) {
+    let fam = SubtypeFamily::derive(
+        &employee_scheme(),
+        &example2_jobtype_ead(),
+        &employee_domains(),
+        "employee",
+    )
+    .unwrap();
+    c.bench_function("e3_classify_projections", |b| {
+        b.iter(|| fam.classify_all_projections())
+    });
+    c.bench_function("e3_record_rule_holds", |b| b.iter(|| fam.record_rule_holds()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

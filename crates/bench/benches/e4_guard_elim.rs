@@ -1,0 +1,42 @@
+//! E4: the Example 4 query with and without guard elimination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrel_query::prelude::*;
+use flexrel_storage::{Database, RelationDef};
+use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+fn db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+    for t in generate_employees(&EmployeeConfig::clean(n)) {
+        db.insert("employee", t).unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_guard_elim");
+    g.sample_size(20);
+    for n in [10_000usize] {
+        let db = db(n);
+        let q = parse(
+            "SELECT empno, typing-speed FROM employee WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
+        )
+        .unwrap();
+        let naive = plan_query(&q, db.catalog()).unwrap();
+        let (optimized, _) = optimize(naive.clone(), db.catalog());
+        g.bench_with_input(BenchmarkId::new("naive_plan", n), &naive, |b, plan| {
+            b.iter(|| execute(plan, &db).unwrap().len())
+        });
+        g.bench_with_input(BenchmarkId::new("optimized_plan", n), &optimized, |b, plan| {
+            b.iter(|| execute(plan, &db).unwrap().len())
+        });
+        g.bench_function(BenchmarkId::new("optimize_time", n), |b| {
+            b.iter(|| optimize(naive.clone(), db.catalog()).0.node_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

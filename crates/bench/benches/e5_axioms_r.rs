@@ -1,0 +1,30 @@
+//! E5: closure computation and implication under system R.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrel_core::axioms::{attr_closure, AxiomSystem};
+use flexrel_workload::{depgen, random_dependency_set, DepGenConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_axioms_r");
+    for count in [8usize, 32, 64] {
+        let sigma = random_dependency_set(&DepGenConfig {
+            universe: 16,
+            count,
+            fd_fraction: 0.0,
+            ..Default::default()
+        });
+        let universe = depgen::universe(16);
+        let xs: Vec<_> = universe.power_set().into_iter().take(128).collect();
+        g.bench_with_input(BenchmarkId::new("attr_closure_r", count), &sigma, |b, sigma| {
+            b.iter(|| {
+                xs.iter()
+                    .map(|x| attr_closure(x, sigma, AxiomSystem::R).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6: combined FD+AD closures and implication under system E.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrel_core::axioms::{attr_closure, func_closure, AxiomSystem};
+use flexrel_workload::{depgen, random_dependency_set, DepGenConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_axioms_e");
+    for count in [8usize, 32, 64] {
+        let sigma = random_dependency_set(&DepGenConfig {
+            universe: 16,
+            count,
+            fd_fraction: 0.4,
+            ..Default::default()
+        });
+        let universe = depgen::universe(16);
+        let xs: Vec<_> = universe.power_set().into_iter().take(128).collect();
+        g.bench_with_input(BenchmarkId::new("attr_closure_e", count), &sigma, |b, sigma| {
+            b.iter(|| {
+                xs.iter()
+                    .map(|x| attr_closure(x, sigma, AxiomSystem::E).len())
+                    .sum::<usize>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("func_closure", count), &sigma, |b, sigma| {
+            b.iter(|| xs.iter().map(|x| func_closure(x, sigma).len()).sum::<usize>())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E7: AD propagation (Theorem 4.3) and operator cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_algebra::ops;
+use flexrel_algebra::predicate::Predicate;
+use flexrel_core::attr::AttrSet;
+use flexrel_core::relation::CheckLevel;
+use flexrel_core::value::Value;
+use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut rel = employee_relation();
+    for t in generate_employees(&EmployeeConfig::clean(5_000)) {
+        rel.insert_checked(t, CheckLevel::None).unwrap();
+    }
+    let mut g = c.benchmark_group("e7_propagation");
+    g.sample_size(10);
+    g.bench_function("select_with_deps", |b| {
+        b.iter(|| ops::select(&rel, &Predicate::gt("salary", 5000.0)).deps().len())
+    });
+    g.bench_function("project_with_deps", |b| {
+        let x = AttrSet::from_names(["jobtype", "products", "typing-speed", "salary"]);
+        b.iter(|| ops::project(&rel, &x).unwrap().deps().len())
+    });
+    g.bench_function("tagged_union_with_deps", |b| {
+        b.iter(|| {
+            ops::tagged_union(&rel, &rel, "src", Value::tag("a"), Value::tag("b"))
+                .unwrap()
+                .deps()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E8: decomposition / restoration and variant-pruned selections.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_algebra::ops;
+use flexrel_algebra::predicate::Predicate;
+use flexrel_core::attr::AttrSet;
+use flexrel_core::dep::example2_jobtype_ead;
+use flexrel_core::relation::CheckLevel;
+use flexrel_core::value::Value;
+use flexrel_decompose::{horizontal_decompose, vertical_decompose};
+use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut rel = employee_relation();
+    for t in generate_employees(&EmployeeConfig::clean(10_000)) {
+        rel.insert_checked(t, CheckLevel::None).unwrap();
+    }
+    let ead = example2_jobtype_ead();
+    let key = AttrSet::singleton("empno");
+    let h = horizontal_decompose(&rel, &ead).unwrap();
+    let v = vertical_decompose(&rel, &ead, &key).unwrap();
+    let pred = Predicate::eq("jobtype", Value::tag("secretary"));
+
+    let mut g = c.benchmark_group("e8_decomposition");
+    g.sample_size(10);
+    g.bench_function("restore_outer_union", |b| b.iter(|| h.restore().unwrap().len()));
+    g.bench_function("restore_multiway_join", |b| b.iter(|| v.restore().unwrap().len()));
+    g.bench_function("select_full_relation", |b| b.iter(|| ops::select(&rel, &pred).len()));
+    g.bench_function("select_pruned_fragment", |b| {
+        b.iter(|| ops::select(h.fragment(0).unwrap(), &pred).len())
+    });
+    g.bench_function("select_master_join_pruned_detail", |b| {
+        b.iter(|| {
+            let m = ops::select(&v.master, &pred);
+            ops::natural_join(&m, &v.details[0]).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E9: host-language embedding throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_core::dep::example2_jobtype_ead;
+use flexrel_embed::{introduce_artificial_determinant, pascal_record, rust_types};
+use flexrel_workload::{employee_domains, employee_scheme};
+
+fn bench(c: &mut Criterion) {
+    let scheme = employee_scheme();
+    let ead = example2_jobtype_ead();
+    let domains = employee_domains();
+    c.bench_function("e9_pascal_record", |b| {
+        b.iter(|| pascal_record("employee", &scheme, &[ead.clone()], &domains).unwrap().source.len())
+    });
+    c.bench_function("e9_rust_types", |b| {
+        b.iter(|| rust_types("employee", &scheme, &[ead.clone()], &domains).unwrap().len())
+    });
+    c.bench_function("e9_artificial_determinant_certificate", |b| {
+        b.iter(|| introduce_artificial_determinant(&ead, "job-tag").unwrap().certificate.len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! The experiment harness: regenerates every experiment table of
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p flexrel-bench --release --bin harness [scale]
+//! ```
+//!
+//! `scale` is the base tuple count for the data-heavy experiments
+//! (default 10 000).
+
+use flexrel_bench::experiments;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    println!("flexrel experiment harness (scale = {} tuples)\n", scale);
+    for table in experiments::run_all(scale) {
+        println!("{}", table);
+    }
+    println!("done.");
+}

@@ -1,0 +1,11 @@
+//! # flexrel-bench
+//!
+//! Experiment harness for the flexrel reproduction: shared workload
+//! construction and table printing used both by the Criterion benches (in
+//! `benches/`) and by the `harness` binary that regenerates every experiment
+//! row of EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

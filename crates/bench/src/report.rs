@@ -1,0 +1,97 @@
+//! Minimal table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A simple text table: a title, a header row and data rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Experiment identifier and description, printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self.header.len();
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                let len = row.get(c).map(|s| s.len()).unwrap_or(0);
+                if len > w[c] {
+                    w[c] = len;
+                }
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:<width$}", c, width = w[i]));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.header)?;
+        let total: usize = w.iter().sum::<usize>() + 3 * w.len() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("E0: demo", &["name", "value"]);
+        assert!(t.is_empty());
+        t.row(["short", "1"]);
+        t.row(["a much longer name", "123456"]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("== E0: demo =="));
+        assert!(s.contains("| name"));
+        assert!(s.contains("| a much longer name | 123456 |"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Attributes and attribute sets.
+//!
+//! The paper works over a universe of attributes `𝔘`; single attributes are
+//! written `A, B, …` and attribute sets `V, …, Z`.  Attribute sets are treated
+//! as ordinary mathematical sets: `XY` denotes the union of `X` and `Y`, and a
+//! single attribute is silently promoted to the singleton set when a set is
+//! expected.  This module provides both notions: [`Attr`], a cheaply clonable
+//! interned attribute name, and [`AttrSet`], an ordered attribute set with the
+//! usual set algebra.
+
+use std::borrow::Borrow;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute name.
+///
+/// Attributes are interned as `Arc<str>` so cloning is a reference-count bump
+/// and equality is cheap.  Ordering is lexicographic on the name, which gives
+/// attribute sets, schemes and dependency sets a canonical order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Creates an attribute from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Attr(Arc::from(name.as_ref()))
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Promotes this attribute to a singleton [`AttrSet`] (the paper's
+    /// convention of "treat attributes as singleton attribute sets when sets
+    /// of attributes are expected").
+    pub fn to_set(&self) -> AttrSet {
+        AttrSet::singleton(self.clone())
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<&Attr> for Attr {
+    fn from(a: &Attr) -> Self {
+        a.clone()
+    }
+}
+
+impl Borrow<str> for Attr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Attr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// An ordered set of attributes.
+///
+/// `AttrSet` is the workhorse of the dependency theory: left- and right-hand
+/// sides of ADs and FDs, scheme DNF entries, tuple shapes (`attr(t)`) and
+/// closures are all attribute sets.  It is a thin wrapper around a
+/// `BTreeSet<Attr>` providing the set algebra used throughout the paper.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrSet(BTreeSet<Attr>);
+
+impl AttrSet {
+    /// The empty attribute set `∅`.
+    pub fn empty() -> Self {
+        AttrSet(BTreeSet::new())
+    }
+
+    /// A singleton attribute set `{A}`.
+    pub fn singleton(a: impl Into<Attr>) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(a.into());
+        AttrSet(s)
+    }
+
+    /// Builds an attribute set from anything yielding attribute names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        AttrSet(names.into_iter().map(|n| Attr::new(n.as_ref())).collect())
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `a` is a member of the set.
+    pub fn contains(&self, a: &Attr) -> bool {
+        self.0.contains(a)
+    }
+
+    /// Whether an attribute with the given name is a member of the set.
+    pub fn contains_name(&self, name: &str) -> bool {
+        self.0.contains(name)
+    }
+
+    /// Inserts an attribute; returns `true` if it was not present before.
+    pub fn insert(&mut self, a: impl Into<Attr>) -> bool {
+        self.0.insert(a.into())
+    }
+
+    /// Removes an attribute; returns `true` if it was present.
+    pub fn remove(&mut self, a: &Attr) -> bool {
+        self.0.remove(a)
+    }
+
+    /// Set union `X ∪ Y` (the paper's juxtaposition `XY`).
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// Set intersection `X ∩ Y`.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(self.0.intersection(&other.0).cloned().collect())
+    }
+
+    /// Set difference `X − Y`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(self.0.difference(&other.0).cloned().collect())
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset(&self, other: &AttrSet) -> bool {
+        self.0.is_superset(&other.0)
+    }
+
+    /// Whether the two sets have no attribute in common.
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.0.is_disjoint(&other.0)
+    }
+
+    /// Iterates over the attributes in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attr> + '_ {
+        self.0.iter()
+    }
+
+    /// Returns the attributes as a vector (lexicographic order).
+    pub fn to_vec(&self) -> Vec<Attr> {
+        self.0.iter().cloned().collect()
+    }
+
+    /// Extends the set with the attributes of `other` in place.
+    pub fn extend_with(&mut self, other: &AttrSet) {
+        for a in other.iter() {
+            self.0.insert(a.clone());
+        }
+    }
+
+    /// All subsets of this set (the power set).  Only intended for small sets
+    /// (e.g. enumerating candidate dependency sides in tests and the witness
+    /// construction); panics if the set has more than 20 attributes.
+    pub fn power_set(&self) -> Vec<AttrSet> {
+        assert!(
+            self.len() <= 20,
+            "power_set is only supported for sets of at most 20 attributes"
+        );
+        let attrs = self.to_vec();
+        let n = attrs.len();
+        let mut out = Vec::with_capacity(1 << n);
+        for mask in 0u32..(1u32 << n) {
+            let mut s = AttrSet::empty();
+            for (i, a) in attrs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert(a.clone());
+                }
+            }
+            out.push(s);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Attr> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = Attr>>(iter: T) -> Self {
+        AttrSet(iter.into_iter().collect())
+    }
+}
+
+impl<'a> FromIterator<&'a Attr> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = &'a Attr>>(iter: T) -> Self {
+        AttrSet(iter.into_iter().cloned().collect())
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = Attr;
+    type IntoIter = std::collections::btree_set::IntoIter<Attr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = &'a Attr;
+    type IntoIter = std::collections::btree_set::Iter<'a, Attr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl From<Attr> for AttrSet {
+    fn from(a: Attr) -> Self {
+        AttrSet::singleton(a)
+    }
+}
+
+impl From<&str> for AttrSet {
+    fn from(a: &str) -> Self {
+        AttrSet::singleton(Attr::new(a))
+    }
+}
+
+impl From<Vec<&str>> for AttrSet {
+    fn from(names: Vec<&str>) -> Self {
+        AttrSet::from_names(names)
+    }
+}
+
+impl<const N: usize> From<[&str; N]> for AttrSet {
+    fn from(names: [&str; N]) -> Self {
+        AttrSet::from_names(names)
+    }
+}
+
+/// Convenience macro for constructing an [`AttrSet`] from literal names:
+/// `attrs!["salary", "jobtype"]`.
+#[macro_export]
+macro_rules! attrs {
+    () => { $crate::attr::AttrSet::empty() };
+    ($($name:expr),+ $(,)?) => {
+        $crate::attr::AttrSet::from_names([$($name),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_equality_and_ordering() {
+        let a = Attr::new("A");
+        let b = Attr::new("B");
+        let a2 = Attr::new("A");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(a.name(), "A");
+    }
+
+    #[test]
+    fn attr_display() {
+        assert_eq!(format!("{}", Attr::new("salary")), "salary");
+        assert_eq!(format!("{:?}", Attr::new("salary")), "salary");
+    }
+
+    #[test]
+    fn attrset_union_is_juxtaposition() {
+        let x = attrs!["A", "B"];
+        let y = attrs!["B", "C"];
+        assert_eq!(x.union(&y), attrs!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn attrset_intersection_and_difference() {
+        let x = attrs!["A", "B", "C"];
+        let y = attrs!["B", "C", "D"];
+        assert_eq!(x.intersection(&y), attrs!["B", "C"]);
+        assert_eq!(x.difference(&y), attrs!["A"]);
+        assert_eq!(y.difference(&x), attrs!["D"]);
+    }
+
+    #[test]
+    fn attrset_subset_relations() {
+        let x = attrs!["A", "B"];
+        let y = attrs!["A", "B", "C"];
+        assert!(x.is_subset(&y));
+        assert!(y.is_superset(&x));
+        assert!(!y.is_subset(&x));
+        assert!(AttrSet::empty().is_subset(&x));
+        assert!(x.is_subset(&x));
+    }
+
+    #[test]
+    fn attrset_disjointness() {
+        assert!(attrs!["A"].is_disjoint(&attrs!["B"]));
+        assert!(!attrs!["A", "B"].is_disjoint(&attrs!["B", "C"]));
+        assert!(AttrSet::empty().is_disjoint(&attrs!["A"]));
+    }
+
+    #[test]
+    fn attrset_display_is_sorted() {
+        let x = attrs!["C", "A", "B"];
+        assert_eq!(format!("{}", x), "{A, B, C}");
+    }
+
+    #[test]
+    fn attrset_insert_remove() {
+        let mut x = AttrSet::empty();
+        assert!(x.insert("A"));
+        assert!(!x.insert("A"));
+        assert!(x.contains(&Attr::new("A")));
+        assert!(x.remove(&Attr::new("A")));
+        assert!(!x.remove(&Attr::new("A")));
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn attrset_singleton_promotion() {
+        let a = Attr::new("A");
+        assert_eq!(a.to_set(), attrs!["A"]);
+        let s: AttrSet = a.into();
+        assert_eq!(s, attrs!["A"]);
+    }
+
+    #[test]
+    fn power_set_enumerates_all_subsets() {
+        let x = attrs!["A", "B", "C"];
+        let ps = x.power_set();
+        assert_eq!(ps.len(), 8);
+        assert!(ps.contains(&AttrSet::empty()));
+        assert!(ps.contains(&attrs!["A", "B", "C"]));
+        assert!(ps.contains(&attrs!["A", "C"]));
+        // Every element is a subset.
+        assert!(ps.iter().all(|s| s.is_subset(&x)));
+    }
+
+    #[test]
+    fn contains_name_borrow() {
+        let x = attrs!["salary", "jobtype"];
+        assert!(x.contains_name("salary"));
+        assert!(!x.contains_name("products"));
+    }
+
+    #[test]
+    fn from_iterators() {
+        let v = vec![Attr::new("A"), Attr::new("B")];
+        let s: AttrSet = v.iter().collect();
+        assert_eq!(s.len(), 2);
+        let s2: AttrSet = v.into_iter().collect();
+        assert_eq!(s, s2);
+        let names: Vec<String> = s.iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(names, vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn extend_with_unions_in_place() {
+        let mut x = attrs!["A"];
+        x.extend_with(&attrs!["B", "C"]);
+        assert_eq!(x, attrs!["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Closures and implication tests for ℛ and ℰ.
+//!
+//! For functional dependencies the classical closure `X⁺func` is computed by
+//! fixpoint iteration over the FDs of Σ (the ADs of Σ never contribute to an
+//! FD derivation — no rule of ℰ produces an FD from an AD).
+//!
+//! For attribute dependencies the decisive observation (used in the
+//! completeness proof, appendix) is that ADs do **not** chain: transitivity
+//! is not valid for them.  Consequently
+//!
+//! * under ℛ: `X⁺attr = X ∪ ⋃ { Z | (W --attr--> Z) ∈ Σ, W ⊆ X }`,
+//! * under ℰ: `X⁺attr = X⁺func ∪ ⋃ { Z | (W --attr--> Z) ∈ Σ, W ⊆ X⁺func }`
+//!   (a given AD can be reached through FD reasoning via AF2, but what it
+//!   determines existentially can not be chained any further).
+//!
+//! `Σ ⊢ X --attr--> Y` iff `Y ⊆ X⁺attr`, and `Σ ⊢ X --func--> Y` iff
+//! `Y ⊆ X⁺func`.
+
+use crate::attr::AttrSet;
+use crate::axioms::AxiomSystem;
+use crate::dep::{Dependency, DependencySet};
+
+/// The functional closure `X⁺func` of `x` under the FDs of `sigma`.
+pub fn func_closure(x: &AttrSet, sigma: &DependencySet) -> AttrSet {
+    let mut closure = x.clone();
+    let fds: Vec<_> = sigma.fds().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in &fds {
+            if fd.lhs().is_subset(&closure) && !fd.rhs().is_subset(&closure) {
+                closure.extend_with(fd.rhs());
+                changed = true;
+            }
+        }
+    }
+    closure
+}
+
+/// The attribute closure `X⁺attr` of `x` under `sigma`, governed by the given
+/// axiom system.
+pub fn attr_closure(x: &AttrSet, sigma: &DependencySet, system: AxiomSystem) -> AttrSet {
+    let base = match system {
+        AxiomSystem::R => x.clone(),
+        AxiomSystem::E => func_closure(x, sigma),
+    };
+    let mut closure = base.clone();
+    for ad in sigma.ads() {
+        if ad.lhs().is_subset(&base) {
+            closure.extend_with(ad.rhs());
+        }
+    }
+    closure
+}
+
+/// Whether `sigma` implies `dep` under the given axiom system.
+///
+/// Under ℛ only AD conclusions are meaningful; asking whether an FD is
+/// implied under ℛ returns `false` unless it is syntactically trivial, since
+/// ℛ has no FD rules at all.
+pub fn implies(sigma: &DependencySet, dep: &Dependency, system: AxiomSystem) -> bool {
+    match (system, dep) {
+        (_, Dependency::Ad(ad)) => ad.rhs().is_subset(&attr_closure(ad.lhs(), sigma, system)),
+        // An explicit AD is judged through its abbreviation (the explicit
+        // variant structure carries no additional *implication* content).
+        (_, Dependency::Ead(ead)) => {
+            ead.rhs().is_subset(&attr_closure(ead.lhs(), sigma, system))
+        }
+        (AxiomSystem::E, Dependency::Fd(fd)) => {
+            fd.rhs().is_subset(&func_closure(fd.lhs(), sigma))
+        }
+        (AxiomSystem::R, Dependency::Fd(_)) => false,
+    }
+}
+
+/// A bundled closure computation for one determining set `X`: both closures
+/// plus the originating parameters, convenient for callers that need the
+/// split `X⁺func ⊆ X⁺attr` (e.g. the witness construction and the subtype
+/// machinery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdClosure {
+    /// The determining attribute set the closures were computed for.
+    pub x: AttrSet,
+    /// `X⁺func` (equals `x` itself under system ℛ).
+    pub func: AttrSet,
+    /// `X⁺attr`.
+    pub attr: AttrSet,
+    /// The governing axiom system.
+    pub system: AxiomSystem,
+}
+
+impl AdClosure {
+    /// Computes both closures of `x` under `sigma`.
+    pub fn compute(x: &AttrSet, sigma: &DependencySet, system: AxiomSystem) -> Self {
+        let func = match system {
+            AxiomSystem::R => x.clone(),
+            AxiomSystem::E => func_closure(x, sigma),
+        };
+        let attr = attr_closure(x, sigma, system);
+        AdClosure {
+            x: x.clone(),
+            func,
+            attr,
+            system,
+        }
+    }
+
+    /// Whether `X --attr--> y` follows.
+    pub fn determines_existence_of(&self, y: &AttrSet) -> bool {
+        y.is_subset(&self.attr)
+    }
+
+    /// Whether `X --func--> y` follows.
+    pub fn determines_value_of(&self, y: &AttrSet) -> bool {
+        y.is_subset(&self.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+    use crate::dep::{Ad, Fd};
+
+    fn sigma() -> DependencySet {
+        // A --func--> B,   B --attr--> C,   {A,B} --attr--> D,   E --attr--> F
+        DependencySet::from_deps(vec![
+            Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+            Dependency::Ad(Ad::new(attrs!["B"], attrs!["C"])),
+            Dependency::Ad(Ad::new(attrs!["A", "B"], attrs!["D"])),
+            Dependency::Ad(Ad::new(attrs!["E"], attrs!["F"])),
+        ])
+    }
+
+    #[test]
+    fn func_closure_ignores_ads() {
+        let c = func_closure(&attrs!["A"], &sigma());
+        assert_eq!(c, attrs!["A", "B"], "only the FD A→B may fire");
+    }
+
+    #[test]
+    fn attr_closure_under_r_has_no_fd_reasoning() {
+        // Under ℛ the FD A→B is ignored entirely, so from {A} alone no AD
+        // with lhs B or {A,B} can fire.
+        let c = attr_closure(&attrs!["A"], &sigma(), AxiomSystem::R);
+        assert_eq!(c, attrs!["A"]);
+        // From {A,B} both B→C and AB→D fire (left augmentation + projection).
+        let c = attr_closure(&attrs!["A", "B"], &sigma(), AxiomSystem::R);
+        assert_eq!(c, attrs!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn attr_closure_under_e_uses_combined_transitivity() {
+        // A --func--> B and B --attr--> C give A --attr--> C by AF2; the FD
+        // also brings B into X⁺func so AB --attr--> D fires as well.
+        let c = attr_closure(&attrs!["A"], &sigma(), AxiomSystem::E);
+        assert_eq!(c, attrs!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn ads_do_not_chain() {
+        // B --attr--> C and (hypothetically) C --attr--> G must not chain:
+        // existence of C says nothing about C's value.
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Ad(Ad::new(attrs!["B"], attrs!["C"])),
+            Dependency::Ad(Ad::new(attrs!["C"], attrs!["G"])),
+        ]);
+        let c = attr_closure(&attrs!["B"], &sigma, AxiomSystem::E);
+        assert_eq!(c, attrs!["B", "C"], "no AD transitivity");
+    }
+
+    #[test]
+    fn implies_ad_and_fd() {
+        let s = sigma();
+        assert!(implies(
+            &s,
+            &Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+            AxiomSystem::E
+        ));
+        assert!(!implies(
+            &s,
+            &Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+            AxiomSystem::R
+        ));
+        assert!(implies(
+            &s,
+            &Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+            AxiomSystem::E
+        ));
+        // FDs are never implied under ℛ.
+        assert!(!implies(
+            &s,
+            &Dependency::Fd(Fd::new(attrs!["A"], attrs!["A"])),
+            AxiomSystem::R
+        ));
+        // The subsumption rule AF1: an FD implies the corresponding AD.
+        assert!(implies(
+            &s,
+            &Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+            AxiomSystem::E
+        ));
+    }
+
+    #[test]
+    fn reflexivity_is_built_in() {
+        let empty = DependencySet::new();
+        assert!(implies(
+            &empty,
+            &Dependency::Ad(Ad::new(attrs!["A", "B"], attrs!["A"])),
+            AxiomSystem::R
+        ));
+        assert!(implies(
+            &empty,
+            &Dependency::Fd(Fd::new(attrs!["A", "B"], attrs!["B"])),
+            AxiomSystem::E
+        ));
+    }
+
+    #[test]
+    fn left_augmentation_is_built_in() {
+        let s = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(
+            attrs!["jobtype"],
+            attrs!["typing-speed"],
+        ))]);
+        // Example 4: augmenting the left side with salary keeps the AD
+        // derivable.
+        assert!(implies(
+            &s,
+            &Dependency::Ad(Ad::new(attrs!["jobtype", "salary"], attrs!["typing-speed"])),
+            AxiomSystem::R
+        ));
+    }
+
+    #[test]
+    fn closure_bundle() {
+        let c = AdClosure::compute(&attrs!["A"], &sigma(), AxiomSystem::E);
+        assert_eq!(c.func, attrs!["A", "B"]);
+        assert_eq!(c.attr, attrs!["A", "B", "C", "D"]);
+        assert!(c.determines_existence_of(&attrs!["C", "D"]));
+        assert!(!c.determines_value_of(&attrs!["C"]));
+        assert!(c.determines_value_of(&attrs!["B"]));
+        assert!(c.func.is_subset(&c.attr), "X⁺func ⊆ X⁺attr (AF1)");
+    }
+
+    #[test]
+    fn fd_closure_chains_transitively() {
+        let s = DependencySet::from_deps(vec![
+            Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+            Dependency::Fd(Fd::new(attrs!["B"], attrs!["C"])),
+            Dependency::Fd(Fd::new(attrs!["C", "A"], attrs!["D"])),
+        ]);
+        assert_eq!(func_closure(&attrs!["A"], &s), attrs!["A", "B", "C", "D"]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal (non-redundant) covers for dependency sets.
+//!
+//! A dependency of a set Σ is *redundant* if it is implied by the remaining
+//! dependencies; a non-redundant cover removes such members one at a time
+//! until none is redundant.  Covers matter operationally: type checking and
+//! AD propagation iterate over the declared dependency set, so dropping
+//! redundant members makes both cheaper without changing the constrained
+//! instances.
+
+use crate::axioms::closure::implies;
+use crate::axioms::AxiomSystem;
+use crate::dep::DependencySet;
+
+/// Whether the dependency at `index` is implied by the *other* members of
+/// `sigma` under `system`.
+pub fn is_redundant(sigma: &DependencySet, index: usize, system: AxiomSystem) -> bool {
+    let deps: Vec<_> = sigma.iter().cloned().collect();
+    if index >= deps.len() {
+        return false;
+    }
+    let target = deps[index].clone();
+    let rest: DependencySet = deps
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != index)
+        .map(|(_, d)| d.clone())
+        .collect();
+    implies(&rest, &target, system)
+}
+
+/// Computes a non-redundant cover of `sigma` under `system`: repeatedly
+/// removes a dependency that is implied by the remaining ones until no such
+/// dependency exists.  The result is equivalent to `sigma` (it implies and is
+/// implied by it) but contains no redundant member.
+pub fn non_redundant_cover(sigma: &DependencySet, system: AxiomSystem) -> DependencySet {
+    let mut current = sigma.clone();
+    loop {
+        let n = current.len();
+        let mut removed = false;
+        for i in 0..n {
+            if is_redundant(&current, i, system) {
+                let mut next = DependencySet::new();
+                for (j, d) in current.iter().enumerate() {
+                    if j != i {
+                        next.add(d.clone());
+                    }
+                }
+                current = next;
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            return current;
+        }
+    }
+}
+
+/// Whether two dependency sets are equivalent under `system`: each implies
+/// every member of the other.
+pub fn equivalent(a: &DependencySet, b: &DependencySet, system: AxiomSystem) -> bool {
+    b.iter().all(|d| implies(a, d, system)) && a.iter().all(|d| implies(b, d, system))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+    use crate::dep::{Ad, Dependency, Fd};
+
+    #[test]
+    fn trivial_and_projected_ads_are_redundant() {
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"])),
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])), // projection of the first
+            Dependency::Ad(Ad::new(attrs!["A", "B"], attrs!["A"])), // trivial
+        ]);
+        assert!(is_redundant(&sigma, 1, AxiomSystem::R));
+        assert!(is_redundant(&sigma, 2, AxiomSystem::R));
+        assert!(!is_redundant(&sigma, 0, AxiomSystem::R));
+        let cover = non_redundant_cover(&sigma, AxiomSystem::R);
+        assert_eq!(cover.len(), 1);
+        assert!(equivalent(&sigma, &cover, AxiomSystem::R));
+    }
+
+    #[test]
+    fn cover_respects_system_differences() {
+        // Under ℰ the AD A→C is implied by the FD A→B plus the AD B→C (AF2);
+        // under ℛ it is not, so it must survive in the ℛ-cover.
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+            Dependency::Ad(Ad::new(attrs!["B"], attrs!["C"])),
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+        ]);
+        let cover_e = non_redundant_cover(&sigma, AxiomSystem::E);
+        assert_eq!(cover_e.len(), 2);
+        assert!(equivalent(&sigma, &cover_e, AxiomSystem::E));
+
+        let cover_r = non_redundant_cover(&sigma, AxiomSystem::R);
+        // ℛ ignores FDs, so nothing implies A --attr--> C there; all three
+        // members survive (the FD is inert but not removable by ℛ reasoning).
+        assert_eq!(cover_r.len(), 3);
+    }
+
+    #[test]
+    fn cover_of_nonredundant_set_is_identity() {
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+            Dependency::Ad(Ad::new(attrs!["C"], attrs!["D"])),
+        ]);
+        let cover = non_redundant_cover(&sigma, AxiomSystem::E);
+        assert_eq!(cover, sigma);
+    }
+
+    #[test]
+    fn is_redundant_out_of_range() {
+        let sigma = DependencySet::new();
+        assert!(!is_redundant(&sigma, 3, AxiomSystem::R));
+    }
+
+    #[test]
+    fn equivalence_is_not_syntactic() {
+        let a = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"]))]);
+        let b = DependencySet::from_deps(vec![
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+        ]);
+        assert!(equivalent(&a, &b, AxiomSystem::R));
+        let c = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"]))]);
+        assert!(!equivalent(&a, &c, AxiomSystem::R));
+    }
+}

@@ -1,0 +1,934 @@
+//! Constructive derivations and a saturation engine for ℛ and ℰ.
+//!
+//! [`derive`] builds an explicit, step-by-step derivation of a dependency
+//! from a set Σ — every step is an exact instance of one rule of the chosen
+//! system, and [`Derivation::verify`] re-checks this mechanically.  The query
+//! optimizer uses these traces to *justify* rewrites such as the redundant
+//! type guard elimination of Example 4.
+//!
+//! [`saturate`] exhaustively applies a chosen subset of rules over a small
+//! attribute universe.  It is deliberately brute force: its purpose is to act
+//! as an independent oracle for the closure-based implication test and to
+//! demonstrate the non-redundancy of each rule (drop a rule, observe that a
+//! previously derivable dependency is no longer derivable).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::attr::AttrSet;
+use crate::axioms::closure::{attr_closure, func_closure};
+use crate::axioms::{AxiomSystem, Rule};
+use crate::dep::{Ad, Dependency, DependencySet, Fd};
+use crate::error::{CoreError, Result};
+
+/// One step of a derivation: a rule applied to earlier steps, yielding a
+/// dependency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivationStep {
+    /// The rule applied.
+    pub rule: Rule,
+    /// Indices (into the derivation's step list) of the premises used.
+    pub premises: Vec<usize>,
+    /// The dependency concluded by this step.
+    pub conclusion: Dependency,
+}
+
+/// A complete derivation of a target dependency from a set Σ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// The axiom system the derivation lives in.
+    pub system: AxiomSystem,
+    /// The steps, in order; the conclusion of the final step is the target.
+    pub steps: Vec<DerivationStep>,
+}
+
+impl Derivation {
+    /// The derived target dependency.
+    pub fn target(&self) -> &Dependency {
+        &self
+            .steps
+            .last()
+            .expect("a derivation has at least one step")
+            .conclusion
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the derivation is empty (it never is, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Mechanically re-checks the derivation: every step must be an exact
+    /// instance of a rule belonging to the derivation's axiom system, with
+    /// premises drawn from strictly earlier steps (or, for `Given`, from Σ).
+    pub fn verify(&self, sigma: &DependencySet) -> Result<()> {
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.rule != Rule::Given && !self.system.rules().contains(&step.rule) {
+                return Err(CoreError::Invalid(format!(
+                    "step {} uses rule {} which is not part of system {}",
+                    i, step.rule, self.system
+                )));
+            }
+            for &p in &step.premises {
+                if p >= i {
+                    return Err(CoreError::Invalid(format!(
+                        "step {} refers to premise {} which is not an earlier step",
+                        i, p
+                    )));
+                }
+            }
+            let premise_deps: Vec<&Dependency> =
+                step.premises.iter().map(|&p| &self.steps[p].conclusion).collect();
+            if !rule_instance_valid(step.rule, &premise_deps, &step.conclusion, sigma) {
+                return Err(CoreError::Invalid(format!(
+                    "step {} is not a valid instance of {}: premises {:?} conclusion {}",
+                    i,
+                    step.rule,
+                    premise_deps.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+                    step.conclusion
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "derivation in system {}:", self.system)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            write!(f, "  ({:>2}) {}", i, step.conclusion)?;
+            write!(f, "    [{}", step.rule)?;
+            if !step.premises.is_empty() {
+                write!(
+                    f,
+                    " from {}",
+                    step.premises
+                        .iter()
+                        .map(|p| format!("({})", p))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks that `conclusion` follows from `premises` by a single application
+/// of `rule` (for `Given`, that it is a member of `sigma`).
+pub fn rule_instance_valid(
+    rule: Rule,
+    premises: &[&Dependency],
+    conclusion: &Dependency,
+    sigma: &DependencySet,
+) -> bool {
+    use Dependency::{Ad as DAd, Fd as DFd};
+    match rule {
+        Rule::Given => {
+            premises.is_empty()
+                && (sigma.contains(conclusion)
+                    // The abbreviation of a given explicit AD also counts as
+                    // "given": the EAD syntactically carries its Def. 4.1 form.
+                    || sigma.iter().any(|d| {
+                        matches!(d, Dependency::Ead(_)) && d.as_ad().map(Dependency::Ad).as_ref() == Some(conclusion)
+                    }))
+        }
+        Rule::ReflexivityAd => match conclusion {
+            DAd(ad) => premises.is_empty() && ad.rhs().is_subset(ad.lhs()),
+            _ => false,
+        },
+        Rule::ReflexivityFd => match conclusion {
+            DFd(fd) => premises.is_empty() && fd.rhs().is_subset(fd.lhs()),
+            _ => false,
+        },
+        Rule::Projectivity => match (premises, conclusion) {
+            ([DAd(p)], DAd(c)) => c.lhs() == p.lhs() && c.rhs().is_subset(p.rhs()),
+            _ => false,
+        },
+        Rule::Additivity => match (premises, conclusion) {
+            ([DAd(p1), DAd(p2)], DAd(c)) => {
+                p1.lhs() == p2.lhs()
+                    && c.lhs() == p1.lhs()
+                    && *c.rhs() == p1.rhs().union(p2.rhs())
+            }
+            _ => false,
+        },
+        Rule::LeftAugmentation => match (premises, conclusion) {
+            ([DAd(p)], DAd(c)) => p.lhs().is_subset(c.lhs()) && c.rhs() == p.rhs(),
+            _ => false,
+        },
+        Rule::Subsumption => match (premises, conclusion) {
+            ([DFd(p)], DAd(c)) => c.lhs() == p.lhs() && c.rhs() == p.rhs(),
+            _ => false,
+        },
+        Rule::CombinedTransitivity => match (premises, conclusion) {
+            ([DFd(p1), DAd(p2)], DAd(c)) => {
+                p1.rhs() == p2.lhs() && c.lhs() == p1.lhs() && c.rhs() == p2.rhs()
+            }
+            _ => false,
+        },
+        Rule::AugmentationFd => match (premises, conclusion) {
+            ([DFd(p)], DFd(c)) => {
+                // conclusion = X∪Z --func--> Y∪Z for some Z.
+                if !p.lhs().is_subset(c.lhs()) || !p.rhs().is_subset(c.rhs()) {
+                    return false;
+                }
+                let needed = c
+                    .lhs()
+                    .difference(p.lhs())
+                    .union(&c.rhs().difference(p.rhs()));
+                needed.is_subset(&c.lhs().intersection(c.rhs()).union(p.lhs()).union(p.rhs()))
+                    && needed.is_subset(&c.lhs().intersection(c.rhs()))
+                    || {
+                        // The common case: Z = lhs' − X works exactly.
+                        let z = c.lhs().difference(p.lhs());
+                        *c.lhs() == p.lhs().union(&z) && *c.rhs() == p.rhs().union(&z)
+                    }
+                    || {
+                        // Or Z = rhs' − Y works exactly.
+                        let z = c.rhs().difference(p.rhs());
+                        *c.lhs() == p.lhs().union(&z) && *c.rhs() == p.rhs().union(&z)
+                    }
+            }
+            _ => false,
+        },
+        Rule::TransitivityFd => match (premises, conclusion) {
+            ([DFd(p1), DFd(p2)], DFd(c)) => {
+                p1.rhs() == p2.lhs() && c.lhs() == p1.lhs() && c.rhs() == p2.rhs()
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Incremental builder for derivations.
+struct Builder {
+    system: AxiomSystem,
+    steps: Vec<DerivationStep>,
+}
+
+impl Builder {
+    fn new(system: AxiomSystem) -> Self {
+        Builder { system, steps: Vec::new() }
+    }
+
+    fn push(&mut self, rule: Rule, premises: Vec<usize>, conclusion: Dependency) -> usize {
+        self.steps.push(DerivationStep { rule, premises, conclusion });
+        self.steps.len() - 1
+    }
+
+    fn finish(self) -> Derivation {
+        Derivation { system: self.system, steps: self.steps }
+    }
+}
+
+/// Derives `X --func--> target_rhs` inside `b`, returning the index of the
+/// concluding step, or `None` if the FD is not implied.
+fn derive_fd_into(
+    b: &mut Builder,
+    sigma: &DependencySet,
+    x: &AttrSet,
+    target_rhs: &AttrSet,
+) -> Option<usize> {
+    let closure = func_closure(x, sigma);
+    if !target_rhs.is_subset(&closure) {
+        return None;
+    }
+    // (r0)  X --func--> X          by F1
+    let mut current = x.clone();
+    let mut current_idx = b.push(
+        Rule::ReflexivityFd,
+        vec![],
+        Dependency::Fd(Fd::new(x.clone(), x.clone())),
+    );
+    // Fixpoint: fire given FDs whose lhs is inside the running closure.
+    let fds: Vec<Fd> = sigma.fds().cloned().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in &fds {
+            if fd.lhs().is_subset(&current) && !fd.rhs().is_subset(&current) {
+                // (g)   W --func--> Z               given
+                let g = b.push(Rule::Given, vec![], Dependency::Fd(fd.clone()));
+                // (a)   C --func--> W               by F1 (W ⊆ C)
+                let a = b.push(
+                    Rule::ReflexivityFd,
+                    vec![],
+                    Dependency::Fd(Fd::new(current.clone(), fd.lhs().clone())),
+                );
+                // (b)   X --func--> W               by F3 on (current_idx, a)
+                let bstep = b.push(
+                    Rule::TransitivityFd,
+                    vec![current_idx, a],
+                    Dependency::Fd(Fd::new(x.clone(), fd.lhs().clone())),
+                );
+                // (c)   X --func--> Z               by F3 on (b, g)
+                let c = b.push(
+                    Rule::TransitivityFd,
+                    vec![bstep, g],
+                    Dependency::Fd(Fd::new(x.clone(), fd.rhs().clone())),
+                );
+                // (d)   C --func--> Z ∪ C           by F2 on (c) with Z := C
+                let new_closure = current.union(fd.rhs());
+                let d = b.push(
+                    Rule::AugmentationFd,
+                    vec![c],
+                    Dependency::Fd(Fd::new(current.clone(), new_closure.clone())),
+                );
+                // (e)   X --func--> Z ∪ C           by F3 on (current_idx, d)
+                let e = b.push(
+                    Rule::TransitivityFd,
+                    vec![current_idx, d],
+                    Dependency::Fd(Fd::new(x.clone(), new_closure.clone())),
+                );
+                current = new_closure;
+                current_idx = e;
+                changed = true;
+            }
+        }
+    }
+    if *target_rhs == current {
+        return Some(current_idx);
+    }
+    // (p1)  C --func--> Y           by F1 (Y ⊆ C)
+    let p1 = b.push(
+        Rule::ReflexivityFd,
+        vec![],
+        Dependency::Fd(Fd::new(current.clone(), target_rhs.clone())),
+    );
+    // (p2)  X --func--> Y           by F3
+    Some(b.push(
+        Rule::TransitivityFd,
+        vec![current_idx, p1],
+        Dependency::Fd(Fd::new(x.clone(), target_rhs.clone())),
+    ))
+}
+
+/// Derives `X --attr--> Y` (or `X --func--> Y`) from `sigma` under the given
+/// axiom system, producing an explicit derivation, or `None` if the
+/// dependency is not implied.
+pub fn derive(
+    sigma: &DependencySet,
+    target: &Dependency,
+    system: AxiomSystem,
+) -> Option<Derivation> {
+    let mut b = Builder::new(system);
+    // Derivations target the abbreviated forms; an explicit AD target is
+    // derived through its abbreviation.
+    if let Dependency::Ead(ead) = target {
+        return derive(sigma, &Dependency::Ad(ead.to_ad()), system);
+    }
+    match (system, target) {
+        (AxiomSystem::R, Dependency::Fd(_)) => None,
+        (_, Dependency::Ead(_)) => unreachable!("handled above"),
+        (AxiomSystem::E, Dependency::Fd(fd)) => {
+            derive_fd_into(&mut b, sigma, fd.lhs(), fd.rhs())?;
+            Some(b.finish())
+        }
+        (_, Dependency::Ad(ad)) => {
+            let x = ad.lhs();
+            let y = ad.rhs();
+            if !y.is_subset(&attr_closure(x, sigma, system)) {
+                return None;
+            }
+            // Collect one step index per "piece" of Y we can account for;
+            // every piece is an AD with lhs X.
+            let mut piece_indices: Vec<usize> = Vec::new();
+
+            // Piece 1: the part of Y determined "for free".
+            let free = match system {
+                AxiomSystem::R => y.intersection(x),
+                AxiomSystem::E => y.intersection(&func_closure(x, sigma)),
+            };
+            if !free.is_empty() || y.is_empty() {
+                match system {
+                    AxiomSystem::R => {
+                        piece_indices.push(b.push(
+                            Rule::ReflexivityAd,
+                            vec![],
+                            Dependency::Ad(Ad::new(x.clone(), free.clone())),
+                        ));
+                    }
+                    AxiomSystem::E => {
+                        let fd_idx = derive_fd_into(&mut b, sigma, x, &free)
+                            .expect("free part is inside the functional closure");
+                        piece_indices.push(b.push(
+                            Rule::Subsumption,
+                            vec![fd_idx],
+                            Dependency::Ad(Ad::new(x.clone(), free.clone())),
+                        ));
+                    }
+                }
+            }
+
+            // Piece per contributing given AD.
+            let reach = match system {
+                AxiomSystem::R => x.clone(),
+                AxiomSystem::E => func_closure(x, sigma),
+            };
+            let mut covered = free.clone();
+            for given in sigma.ads() {
+                if covered.is_superset(y) {
+                    break;
+                }
+                let useful = given.rhs().intersection(y).difference(&covered);
+                if useful.is_empty() || !given.lhs().is_subset(&reach) {
+                    continue;
+                }
+                let g = b.push(Rule::Given, vec![], Dependency::Ad(given.clone()));
+                let lifted = match system {
+                    AxiomSystem::R => {
+                        // (A4) lift the lhs from W to X.
+                        b.push(
+                            Rule::LeftAugmentation,
+                            vec![g],
+                            Dependency::Ad(Ad::new(x.clone(), given.rhs().clone())),
+                        )
+                    }
+                    AxiomSystem::E => {
+                        // Derive X --func--> W, then AF2.
+                        let fd_idx = derive_fd_into(&mut b, sigma, x, given.lhs())
+                            .expect("W lies inside the functional closure of X");
+                        b.push(
+                            Rule::CombinedTransitivity,
+                            vec![fd_idx, g],
+                            Dependency::Ad(Ad::new(x.clone(), given.rhs().clone())),
+                        )
+                    }
+                };
+                // (A1) keep only the useful part.
+                let proj = b.push(
+                    Rule::Projectivity,
+                    vec![lifted],
+                    Dependency::Ad(Ad::new(x.clone(), useful.clone())),
+                );
+                covered.extend_with(&useful);
+                piece_indices.push(proj);
+            }
+
+            // Combine the pieces with (A2), then project to exactly Y with (A1).
+            let mut acc_idx = piece_indices[0];
+            let mut acc_rhs = match &b.steps[acc_idx].conclusion {
+                Dependency::Ad(a) => a.rhs().clone(),
+                _ => unreachable!(),
+            };
+            for &idx in &piece_indices[1..] {
+                let rhs = match &b.steps[idx].conclusion {
+                    Dependency::Ad(a) => a.rhs().clone(),
+                    _ => unreachable!(),
+                };
+                acc_rhs = acc_rhs.union(&rhs);
+                acc_idx = b.push(
+                    Rule::Additivity,
+                    vec![acc_idx, idx],
+                    Dependency::Ad(Ad::new(x.clone(), acc_rhs.clone())),
+                );
+            }
+            if acc_rhs != *y {
+                b.push(
+                    Rule::Projectivity,
+                    vec![acc_idx],
+                    Dependency::Ad(Ad::new(x.clone(), y.clone())),
+                );
+            }
+            Some(b.finish())
+        }
+    }
+}
+
+/// Exhaustively applies the given rules over the attribute `universe`,
+/// starting from `sigma`, until no new dependency (over subsets of the
+/// universe) can be derived.  Returns every derivable dependency.
+///
+/// The dependency space over a universe of `n` attributes has `2·4ⁿ`
+/// members, so this is restricted to `n ≤ 6`; it exists as an oracle for
+/// tests (closure correctness, non-redundancy of rules), not as a production
+/// reasoning path.
+pub fn saturate(
+    sigma: &DependencySet,
+    rules: &[Rule],
+    universe: &AttrSet,
+) -> BTreeSet<Dependency> {
+    assert!(
+        universe.len() <= 6,
+        "saturate() is an exhaustive oracle and only supports universes of at most 6 attributes"
+    );
+    let subsets = universe.power_set();
+    // Explicit ADs participate through their abbreviation.
+    let mut derived: BTreeSet<Dependency> = sigma
+        .iter()
+        .filter(|d| d.lhs().is_subset(universe) && d.rhs().is_subset(universe))
+        .map(|d| match d {
+            Dependency::Ead(e) => Dependency::Ad(e.to_ad()),
+            other => other.clone(),
+        })
+        .collect();
+
+    // Reflexivity rules are generators: seed them once.
+    if rules.contains(&Rule::ReflexivityAd) {
+        for x in &subsets {
+            for y in x.power_set() {
+                derived.insert(Dependency::Ad(Ad::new(x.clone(), y)));
+            }
+        }
+    }
+    if rules.contains(&Rule::ReflexivityFd) {
+        for x in &subsets {
+            for y in x.power_set() {
+                derived.insert(Dependency::Fd(Fd::new(x.clone(), y)));
+            }
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot: Vec<Dependency> = derived.iter().cloned().collect();
+        let mut new_deps: Vec<Dependency> = Vec::new();
+
+        for d in &snapshot {
+            match d {
+                Dependency::Ad(ad) => {
+                    if rules.contains(&Rule::Projectivity) {
+                        for y in ad.rhs().power_set() {
+                            new_deps.push(Dependency::Ad(Ad::new(ad.lhs().clone(), y)));
+                        }
+                    }
+                    if rules.contains(&Rule::LeftAugmentation) {
+                        for z in &subsets {
+                            new_deps.push(Dependency::Ad(Ad::new(
+                                ad.lhs().union(z),
+                                ad.rhs().clone(),
+                            )));
+                        }
+                    }
+                }
+                Dependency::Fd(fd) => {
+                    if rules.contains(&Rule::Subsumption) {
+                        new_deps.push(Dependency::Ad(Ad::new(fd.lhs().clone(), fd.rhs().clone())));
+                    }
+                    if rules.contains(&Rule::AugmentationFd) {
+                        for z in &subsets {
+                            new_deps.push(Dependency::Fd(Fd::new(
+                                fd.lhs().union(z),
+                                fd.rhs().union(z),
+                            )));
+                        }
+                    }
+                }
+                Dependency::Ead(_) => unreachable!("EADs are abbreviated before saturation"),
+            }
+        }
+        // Binary rules.
+        for d1 in &snapshot {
+            for d2 in &snapshot {
+                match (d1, d2) {
+                    (Dependency::Ad(a1), Dependency::Ad(a2)) => {
+                        if rules.contains(&Rule::Additivity) && a1.lhs() == a2.lhs() {
+                            new_deps.push(Dependency::Ad(Ad::new(
+                                a1.lhs().clone(),
+                                a1.rhs().union(a2.rhs()),
+                            )));
+                        }
+                    }
+                    (Dependency::Fd(f1), Dependency::Fd(f2)) => {
+                        if rules.contains(&Rule::TransitivityFd) && f1.rhs() == f2.lhs() {
+                            new_deps.push(Dependency::Fd(Fd::new(
+                                f1.lhs().clone(),
+                                f2.rhs().clone(),
+                            )));
+                        }
+                    }
+                    (Dependency::Fd(f1), Dependency::Ad(a2)) => {
+                        if rules.contains(&Rule::CombinedTransitivity) && f1.rhs() == a2.lhs() {
+                            new_deps.push(Dependency::Ad(Ad::new(
+                                f1.lhs().clone(),
+                                a2.rhs().clone(),
+                            )));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for d in new_deps {
+            if d.lhs().is_subset(universe) && d.rhs().is_subset(universe) && derived.insert(d) {
+                changed = true;
+            }
+        }
+    }
+    derived
+}
+
+/// Whether `target` is derivable from `sigma` over `universe` when `dropped`
+/// is removed from the rules of `system`.  Used to demonstrate the
+/// non-redundancy part of Theorems 4.1 and 4.2.
+pub fn derivable_without_rule(
+    sigma: &DependencySet,
+    target: &Dependency,
+    system: AxiomSystem,
+    dropped: Rule,
+    universe: &AttrSet,
+) -> bool {
+    let rules: Vec<Rule> = system
+        .rules()
+        .iter()
+        .copied()
+        .filter(|r| *r != dropped)
+        .collect();
+    saturate(sigma, &rules, universe).contains(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+    use crate::axioms::closure::implies;
+
+    fn example4_sigma() -> DependencySet {
+        // The abbreviated jobtype AD, as used in Example 4.
+        DependencySet::from_deps(vec![Dependency::Ad(Ad::new(
+            attrs!["jobtype"],
+            attrs![
+                "typing-speed",
+                "foreign-languages",
+                "products",
+                "programming-languages",
+                "sales-commission"
+            ],
+        ))])
+    }
+
+    #[test]
+    fn example4_guard_redundancy_derivation() {
+        // Example 4: project the jobtype AD onto {typing-speed} (A1), then
+        // augment the left side with salary (A4); the presence of
+        // typing-speed follows from the selection formula.
+        let sigma = example4_sigma();
+        let target = Dependency::Ad(Ad::new(attrs!["jobtype", "salary"], attrs!["typing-speed"]));
+        let d = derive(&sigma, &target, AxiomSystem::R).expect("derivable");
+        d.verify(&sigma).expect("derivation must check out");
+        assert_eq!(d.target(), &target);
+        // The derivation must use exactly the two rules the paper names
+        // (plus citing the given AD).
+        let rules_used: BTreeSet<Rule> = d.steps.iter().map(|s| s.rule).collect();
+        assert!(rules_used.contains(&Rule::Projectivity));
+        assert!(rules_used.contains(&Rule::LeftAugmentation));
+    }
+
+    #[test]
+    fn derive_agrees_with_implies_r() {
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"])),
+            Dependency::Ad(Ad::new(attrs!["B"], attrs!["D"])),
+        ]);
+        let cases = vec![
+            (Ad::new(attrs!["A"], attrs!["B"]), true),
+            (Ad::new(attrs!["A", "E"], attrs!["C"]), true),
+            (Ad::new(attrs!["A"], attrs!["D"]), false), // no AD transitivity
+            (Ad::new(attrs!["A"], attrs!["A", "B", "C"]), true),
+            (Ad::new(attrs!["C"], attrs!["B"]), false),
+        ];
+        for (ad, expected) in cases {
+            let dep = Dependency::Ad(ad);
+            assert_eq!(implies(&sigma, &dep, AxiomSystem::R), expected, "{}", dep);
+            let d = derive(&sigma, &dep, AxiomSystem::R);
+            assert_eq!(d.is_some(), expected, "{}", dep);
+            if let Some(d) = d {
+                d.verify(&sigma).unwrap();
+                assert_eq!(d.target(), &dep);
+            }
+        }
+    }
+
+    #[test]
+    fn derive_agrees_with_implies_e() {
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+            Dependency::Fd(Fd::new(attrs!["B"], attrs!["C"])),
+            Dependency::Ad(Ad::new(attrs!["C"], attrs!["D", "E"])),
+        ]);
+        let cases: Vec<(Dependency, bool)> = vec![
+            (Dependency::Fd(Fd::new(attrs!["A"], attrs!["C"])), true),
+            (Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])), true),
+            (Dependency::Ad(Ad::new(attrs!["A"], attrs!["D"])), true),
+            (Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "D", "E"])), true),
+            (Dependency::Fd(Fd::new(attrs!["A"], attrs!["D"])), false),
+            (Dependency::Ad(Ad::new(attrs!["D"], attrs!["E"])), false),
+        ];
+        for (dep, expected) in cases {
+            assert_eq!(implies(&sigma, &dep, AxiomSystem::E), expected, "{}", dep);
+            let d = derive(&sigma, &dep, AxiomSystem::E);
+            assert_eq!(d.is_some(), expected, "{}", dep);
+            if let Some(d) = d {
+                d.verify(&sigma).unwrap();
+                assert_eq!(d.target(), &dep);
+            }
+        }
+    }
+
+    #[test]
+    fn artificial_determinant_workaround_is_valid() {
+        // §4.2: replace X --attr--> Y (multi-attribute X) by an artificial
+        // attribute A with X --func--> A and A --attr--> Y; then
+        // X --attr--> Y remains derivable via AF2.
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Fd(Fd::new(attrs!["sex", "marital-status"], attrs!["variant-tag"])),
+            Dependency::Ad(Ad::new(attrs!["variant-tag"], attrs!["maiden-name"])),
+        ]);
+        let target = Dependency::Ad(Ad::new(attrs!["sex", "marital-status"], attrs!["maiden-name"]));
+        let d = derive(&sigma, &target, AxiomSystem::E).expect("AF2 makes the workaround valid");
+        d.verify(&sigma).unwrap();
+        assert!(d.steps.iter().any(|s| s.rule == Rule::CombinedTransitivity));
+        // Under ℛ alone (no FD reasoning) the workaround is NOT derivable.
+        assert!(derive(&sigma, &target, AxiomSystem::R).is_none());
+    }
+
+    #[test]
+    fn saturation_agrees_with_closure_on_small_universe() {
+        let universe = attrs!["A", "B", "C", "D"];
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+            Dependency::Ad(Ad::new(attrs!["B"], attrs!["C"])),
+        ]);
+        let sat = saturate(&sigma, AxiomSystem::E.rules(), &universe);
+        for x in universe.power_set() {
+            for y in universe.power_set() {
+                let ad = Dependency::Ad(Ad::new(x.clone(), y.clone()));
+                let fd = Dependency::Fd(Fd::new(x.clone(), y.clone()));
+                assert_eq!(
+                    sat.contains(&ad),
+                    implies(&sigma, &ad, AxiomSystem::E),
+                    "disagreement on {}",
+                    ad
+                );
+                assert_eq!(
+                    sat.contains(&fd),
+                    implies(&sigma, &fd, AxiomSystem::E),
+                    "disagreement on {}",
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_agrees_with_closure_under_r() {
+        let universe = attrs!["A", "B", "C"];
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+            Dependency::Ad(Ad::new(attrs!["A", "B"], attrs!["C"])),
+        ]);
+        let sat = saturate(&sigma, AxiomSystem::R.rules(), &universe);
+        for x in universe.power_set() {
+            for y in universe.power_set() {
+                let ad = Dependency::Ad(Ad::new(x.clone(), y.clone()));
+                assert_eq!(
+                    sat.contains(&ad),
+                    implies(&sigma, &ad, AxiomSystem::R),
+                    "disagreement on {}",
+                    ad
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_rule_of_r_is_non_redundant() {
+        let universe = attrs!["A", "B", "C"];
+        // (rule, sigma, target): derivable with all of ℛ, underivable without
+        // the rule.
+        let cases: Vec<(Rule, DependencySet, Dependency)> = vec![
+            (
+                Rule::Projectivity,
+                DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"]))]),
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+            ),
+            (
+                Rule::Additivity,
+                DependencySet::from_deps(vec![
+                    Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+                    Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+                ]),
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"])),
+            ),
+            (
+                Rule::ReflexivityAd,
+                DependencySet::new(),
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["A"])),
+            ),
+            (
+                Rule::LeftAugmentation,
+                DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"]))]),
+                Dependency::Ad(Ad::new(attrs!["A", "C"], attrs!["B"])),
+            ),
+        ];
+        for (rule, sigma, target) in cases {
+            assert!(
+                saturate(&sigma, AxiomSystem::R.rules(), &universe).contains(&target),
+                "{} should be derivable with the full system",
+                target
+            );
+            assert!(
+                !derivable_without_rule(&sigma, &target, AxiomSystem::R, rule, &universe),
+                "dropping {} should lose {}",
+                rule,
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn every_rule_of_e_is_non_redundant() {
+        let universe = attrs!["A", "B", "C"];
+        let cases: Vec<(Rule, DependencySet, Dependency)> = vec![
+            (
+                Rule::Subsumption,
+                DependencySet::from_deps(vec![Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"]))]),
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+            ),
+            (
+                Rule::CombinedTransitivity,
+                DependencySet::from_deps(vec![
+                    Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+                    Dependency::Ad(Ad::new(attrs!["B"], attrs!["C"])),
+                ]),
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+            ),
+            (
+                Rule::Projectivity,
+                DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"]))]),
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+            ),
+            (
+                Rule::Additivity,
+                DependencySet::from_deps(vec![
+                    Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+                    Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+                ]),
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"])),
+            ),
+            (
+                Rule::ReflexivityFd,
+                DependencySet::new(),
+                Dependency::Fd(Fd::new(attrs!["A"], attrs!["A"])),
+            ),
+            (
+                Rule::AugmentationFd,
+                DependencySet::from_deps(vec![Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"]))]),
+                Dependency::Fd(Fd::new(attrs!["A", "C"], attrs!["B", "C"])),
+            ),
+            (
+                Rule::TransitivityFd,
+                DependencySet::from_deps(vec![
+                    Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+                    Dependency::Fd(Fd::new(attrs!["B"], attrs!["C"])),
+                ]),
+                Dependency::Fd(Fd::new(attrs!["A"], attrs!["C"])),
+            ),
+        ];
+        for (rule, sigma, target) in cases {
+            assert!(
+                saturate(&sigma, AxiomSystem::E.rules(), &universe).contains(&target),
+                "{} should be derivable with the full system",
+                target
+            );
+            assert!(
+                !derivable_without_rule(&sigma, &target, AxiomSystem::E, rule, &universe),
+                "dropping {} should lose {}",
+                rule,
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn a3_and_a4_are_redundant_in_e() {
+        // §4.2: "The reflexivity rule (A3) and the left augmentation rule
+        // (A4), still needed in ℛ, can now be inferred from ℰ."
+        let universe = attrs!["A", "B", "C"];
+        // A3 instance: ∅ ⊢ {A,B} --attr--> {A}.
+        let sat = saturate(&DependencySet::new(), AxiomSystem::E.rules(), &universe);
+        assert!(sat.contains(&Dependency::Ad(Ad::new(attrs!["A", "B"], attrs!["A"]))));
+        // A4 instance: from A --attr--> B derive {A,C} --attr--> B.
+        let sigma = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"]))]);
+        let sat = saturate(&sigma, AxiomSystem::E.rules(), &universe);
+        assert!(sat.contains(&Dependency::Ad(Ad::new(attrs!["A", "C"], attrs!["B"]))));
+    }
+
+    #[test]
+    fn verify_rejects_bogus_derivations() {
+        let sigma = DependencySet::new();
+        // A "derivation" claiming transitivity for ADs.
+        let bogus = Derivation {
+            system: AxiomSystem::R,
+            steps: vec![
+                DerivationStep {
+                    rule: Rule::Given,
+                    premises: vec![],
+                    conclusion: Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
+                },
+                DerivationStep {
+                    rule: Rule::Given,
+                    premises: vec![],
+                    conclusion: Dependency::Ad(Ad::new(attrs!["B"], attrs!["C"])),
+                },
+                DerivationStep {
+                    rule: Rule::Additivity,
+                    premises: vec![0, 1],
+                    conclusion: Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),
+                },
+            ],
+        };
+        assert!(bogus.verify(&sigma).is_err());
+
+        // A derivation citing an FD rule inside system ℛ.
+        let wrong_system = Derivation {
+            system: AxiomSystem::R,
+            steps: vec![DerivationStep {
+                rule: Rule::ReflexivityFd,
+                premises: vec![],
+                conclusion: Dependency::Fd(Fd::new(attrs!["A"], attrs!["A"])),
+            }],
+        };
+        assert!(wrong_system.verify(&sigma).is_err());
+
+        // A forward reference.
+        let forward = Derivation {
+            system: AxiomSystem::R,
+            steps: vec![DerivationStep {
+                rule: Rule::Projectivity,
+                premises: vec![0],
+                conclusion: Dependency::Ad(Ad::new(attrs!["A"], attrs!["A"])),
+            }],
+        };
+        assert!(forward.verify(&sigma).is_err());
+    }
+
+    #[test]
+    fn derivation_display_lists_steps() {
+        let sigma = example4_sigma();
+        let target = Dependency::Ad(Ad::new(attrs!["jobtype", "salary"], attrs!["typing-speed"]));
+        let d = derive(&sigma, &target, AxiomSystem::R).unwrap();
+        let text = d.to_string();
+        assert!(text.contains("A1 (projectivity)"));
+        assert!(text.contains("A4 (left augmentation)"));
+        assert!(text.contains("typing-speed"));
+    }
+
+    #[test]
+    fn trivial_target_with_empty_sigma() {
+        let sigma = DependencySet::new();
+        let target = Dependency::Ad(Ad::new(attrs!["A", "B"], attrs!["B"]));
+        let d = derive(&sigma, &target, AxiomSystem::R).unwrap();
+        d.verify(&sigma).unwrap();
+        let d = derive(&sigma, &target, AxiomSystem::E).unwrap();
+        d.verify(&sigma).unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! The axiom systems for attribute and functional dependencies (§4).
+//!
+//! * **ℛ** ([`AxiomSystem::R`]) manages attribute dependencies separately and
+//!   consists of the four rules projectivity (A1), additivity (A2),
+//!   reflexivity (A3) and left augmentation (A4).  Remarkably, transitivity
+//!   is *not* valid for ADs (Theorem 4.1).
+//! * **ℰ** ([`AxiomSystem::E`]) captures functional and attribute
+//!   dependencies together and consists of subsumption (AF1), combined
+//!   transitivity (AF2), projectivity (A1), additivity (A2) and the classical
+//!   FD rules reflexivity (F1), augmentation (F2) and transitivity (F3)
+//!   (Theorem 4.2).  In ℰ the rules A3 and A4 of ℛ become derivable.
+//!
+//! This module provides:
+//!
+//! * fast closure computation and implication tests ([`closure`]),
+//! * an explicit rule-application (saturation) engine with derivation traces,
+//!   used for explainability and the non-redundancy demonstrations
+//!   ([`derive`]),
+//! * the two-tuple witness relation of the completeness proof ([`witness`]),
+//! * minimal covers for dependency sets ([`cover`]).
+
+pub mod closure;
+pub mod cover;
+pub mod derive;
+pub mod witness;
+
+pub use closure::{attr_closure, func_closure, implies, AdClosure};
+pub use cover::{is_redundant, non_redundant_cover};
+pub use derive::{derive, saturate, Derivation, DerivationStep};
+pub use witness::{witness_relation, Witness};
+
+use std::fmt;
+
+/// Which axiom system governs a derivation or closure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AxiomSystem {
+    /// ℛ: attribute dependencies alone (rules A1–A4).  Functional
+    /// dependencies in the input set are ignored.
+    R,
+    /// ℰ: functional and attribute dependencies combined
+    /// (rules AF1, AF2, A1, A2, F1, F2, F3).
+    E,
+}
+
+impl AxiomSystem {
+    /// The rules belonging to this system.
+    pub fn rules(&self) -> &'static [Rule] {
+        match self {
+            AxiomSystem::R => &[
+                Rule::Projectivity,
+                Rule::Additivity,
+                Rule::ReflexivityAd,
+                Rule::LeftAugmentation,
+            ],
+            AxiomSystem::E => &[
+                Rule::Subsumption,
+                Rule::CombinedTransitivity,
+                Rule::Projectivity,
+                Rule::Additivity,
+                Rule::ReflexivityFd,
+                Rule::AugmentationFd,
+                Rule::TransitivityFd,
+            ],
+        }
+    }
+}
+
+impl fmt::Display for AxiomSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomSystem::R => write!(f, "R (ADs separately)"),
+            AxiomSystem::E => write!(f, "E (FDs + ADs combined)"),
+        }
+    }
+}
+
+/// A single inference rule of ℛ or ℰ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// (A1) `X --attr--> YZ ⊢ X --attr--> Y`.
+    Projectivity,
+    /// (A2) `{X --attr--> Y, X --attr--> Z} ⊢ X --attr--> YZ`.
+    Additivity,
+    /// (A3) `∅ ⊢ X --attr--> Y` if `Y ⊆ X`.  (Member of ℛ; in ℰ it is
+    /// derivable from F1 and AF1.)
+    ReflexivityAd,
+    /// (A4) `X --attr--> Y ⊢ XZ --attr--> Y`.  (Member of ℛ; in ℰ it is
+    /// derivable.)
+    LeftAugmentation,
+    /// (AF1) `X --func--> Y ⊢ X --attr--> Y`.
+    Subsumption,
+    /// (AF2) `{X --func--> Y, Y --attr--> Z} ⊢ X --attr--> Z`.
+    CombinedTransitivity,
+    /// (F1) `∅ ⊢ X --func--> Y` if `Y ⊆ X`.
+    ReflexivityFd,
+    /// (F2) `X --func--> Y ⊢ XZ --func--> YZ`.
+    AugmentationFd,
+    /// (F3) `{X --func--> Y, Y --func--> Z} ⊢ X --func--> Z`.
+    TransitivityFd,
+    /// Pseudo-rule marking a dependency taken verbatim from the given set Σ.
+    Given,
+}
+
+impl Rule {
+    /// The paper's label for the rule.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rule::Projectivity => "A1 (projectivity)",
+            Rule::Additivity => "A2 (additivity)",
+            Rule::ReflexivityAd => "A3 (reflexivity)",
+            Rule::LeftAugmentation => "A4 (left augmentation)",
+            Rule::Subsumption => "AF1 (subsumption)",
+            Rule::CombinedTransitivity => "AF2 (combined transitivity)",
+            Rule::ReflexivityFd => "F1 (reflexivity)",
+            Rule::AugmentationFd => "F2 (augmentation)",
+            Rule::TransitivityFd => "F3 (transitivity)",
+            Rule::Given => "given",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_rule_memberships() {
+        assert_eq!(AxiomSystem::R.rules().len(), 4);
+        assert_eq!(AxiomSystem::E.rules().len(), 7);
+        assert!(AxiomSystem::R.rules().contains(&Rule::ReflexivityAd));
+        assert!(!AxiomSystem::E.rules().contains(&Rule::ReflexivityAd));
+        assert!(AxiomSystem::E.rules().contains(&Rule::CombinedTransitivity));
+        assert!(!AxiomSystem::R.rules().contains(&Rule::TransitivityFd));
+    }
+
+    #[test]
+    fn rule_labels_match_paper_names() {
+        assert_eq!(Rule::Projectivity.label(), "A1 (projectivity)");
+        assert_eq!(Rule::CombinedTransitivity.to_string(), "AF2 (combined transitivity)");
+        assert!(AxiomSystem::R.to_string().contains("R"));
+    }
+}

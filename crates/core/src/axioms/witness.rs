@@ -1,0 +1,256 @@
+//! The two-tuple witness relation from the completeness proof (appendix).
+//!
+//! For a dependency set `AF`, an attribute universe `𝔘` and a determining
+//! set `X`, the proof constructs the flexible relation with exactly two
+//! tuples
+//!
+//! ```text
+//!        attributes of X⁺func | attributes of X⁺attr − X⁺func | attributes of 𝔘 − X⁺attr
+//!  t1 :        1 1 … 1        |          1 1 … 1              |        1 1 … 1
+//!  t2 :        1 1 … 1        |          0 0 … 0              |        (absent)
+//! ```
+//!
+//! This relation satisfies every dependency in `AF⁺` but violates every
+//! `X --attr--> Y` with `Y ⊄ X⁺attr` and every `X --func--> Y` with
+//! `Y ⊄ X⁺func` — it is the counterexample that makes the axiom systems
+//! complete.  Exposing it as a value lets tests and benchmarks use it as an
+//! executable completeness oracle.
+
+use crate::attr::AttrSet;
+use crate::axioms::closure::{attr_closure, func_closure};
+use crate::axioms::AxiomSystem;
+use crate::dep::{Dependency, DependencySet};
+use crate::error::{CoreError, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// The witness relation for a determining set `X` under a dependency set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Witness {
+    /// The determining set the witness was built for.
+    pub x: AttrSet,
+    /// `X⁺func` under the governing system (equals `x` under ℛ).
+    pub func_closure: AttrSet,
+    /// `X⁺attr` under the governing system.
+    pub attr_closure: AttrSet,
+    /// The full tuple `t1` (defined on all of `𝔘`, all values 1).
+    pub t1: Tuple,
+    /// The partial tuple `t2` (defined on `X⁺attr`; 1 on `X⁺func`, 0
+    /// elsewhere).
+    pub t2: Tuple,
+    /// The governing axiom system.
+    pub system: AxiomSystem,
+}
+
+impl Witness {
+    /// The two tuples as an instance.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        vec![self.t1.clone(), self.t2.clone()]
+    }
+
+    /// Whether the witness instance satisfies the given dependency.
+    pub fn satisfies(&self, dep: &Dependency) -> bool {
+        dep.satisfied_by(&[self.t1.clone(), self.t2.clone()])
+    }
+
+    /// Checks the two guarantees of the completeness proof against a
+    /// dependency set: every implied dependency over the universe holds on
+    /// the witness, and the given non-implied target is violated.
+    pub fn check_against(&self, sigma: &DependencySet, non_implied: &Dependency) -> Result<()> {
+        if crate::axioms::closure::implies(sigma, non_implied, self.system) {
+            return Err(CoreError::Invalid(format!(
+                "{} is implied; the witness argument does not apply",
+                non_implied
+            )));
+        }
+        if self.satisfies(non_implied) {
+            return Err(CoreError::Invalid(format!(
+                "witness fails to violate the non-implied dependency {}",
+                non_implied
+            )));
+        }
+        for dep in sigma.iter() {
+            if !self.satisfies(dep) {
+                return Err(CoreError::Invalid(format!(
+                    "witness violates the given dependency {}",
+                    dep
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the witness relation for determining set `x` over `universe` under
+/// `sigma`, governed by `system`.
+///
+/// `universe` must contain `x` and every attribute mentioned in `sigma`.
+pub fn witness_relation(
+    sigma: &DependencySet,
+    x: &AttrSet,
+    universe: &AttrSet,
+    system: AxiomSystem,
+) -> Result<Witness> {
+    if !x.is_subset(universe) || !sigma.attrs().is_subset(universe) {
+        return Err(CoreError::Invalid(
+            "the universe must contain X and all attributes of the dependency set".into(),
+        ));
+    }
+    let func = match system {
+        AxiomSystem::R => x.clone(),
+        AxiomSystem::E => func_closure(x, sigma),
+    };
+    let attr = attr_closure(x, sigma, system);
+
+    let t1: Tuple = universe
+        .iter()
+        .map(|a| (a.clone(), Value::Int(1)))
+        .collect();
+    let t2: Tuple = attr
+        .iter()
+        .map(|a| {
+            let v = if func.contains(a) { Value::Int(1) } else { Value::Int(0) };
+            (a.clone(), v)
+        })
+        .collect();
+
+    Ok(Witness {
+        x: x.clone(),
+        func_closure: func,
+        attr_closure: attr,
+        t1,
+        t2,
+        system,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+    use crate::axioms::closure::implies;
+    use crate::dep::{Ad, Fd};
+
+    fn sigma() -> DependencySet {
+        DependencySet::from_deps(vec![
+            Dependency::Fd(Fd::new(attrs!["A"], attrs!["B"])),
+            Dependency::Ad(Ad::new(attrs!["B"], attrs!["C"])),
+            Dependency::Ad(Ad::new(attrs!["D"], attrs!["E"])),
+        ])
+    }
+
+    fn universe() -> AttrSet {
+        attrs!["A", "B", "C", "D", "E", "F"]
+    }
+
+    #[test]
+    fn witness_shape_matches_appendix() {
+        let w = witness_relation(&sigma(), &attrs!["A"], &universe(), AxiomSystem::E).unwrap();
+        assert_eq!(w.func_closure, attrs!["A", "B"]);
+        assert_eq!(w.attr_closure, attrs!["A", "B", "C"]);
+        assert_eq!(w.t1.attrs(), universe());
+        assert_eq!(w.t2.attrs(), attrs!["A", "B", "C"]);
+        assert_eq!(w.t2.get_name("A"), Some(&Value::Int(1)));
+        assert_eq!(w.t2.get_name("B"), Some(&Value::Int(1)));
+        assert_eq!(w.t2.get_name("C"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn witness_satisfies_all_given_dependencies() {
+        // Under ℰ the witness satisfies every given dependency; under ℛ the
+        // theorem speaks about AD-only sets, so only the AD members are
+        // checked there.
+        let s = sigma();
+        for x in universe().power_set() {
+            let w = witness_relation(&s, &x, &universe(), AxiomSystem::E).unwrap();
+            for dep in s.iter() {
+                assert!(
+                    w.satisfies(dep),
+                    "witness for X={} under E must satisfy {}",
+                    x,
+                    dep
+                );
+            }
+            let ads_only = s.only_ads();
+            let w = witness_relation(&ads_only, &x, &universe(), AxiomSystem::R).unwrap();
+            for dep in ads_only.iter() {
+                assert!(
+                    w.satisfies(dep),
+                    "witness for X={} under R must satisfy {}",
+                    x,
+                    dep
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witness_violates_every_non_implied_dependency_over_x() {
+        // Completeness: for any X and any Y ⊄ X⁺attr the witness violates
+        // X --attr--> Y (and analogously for FDs), while satisfying
+        // everything implied.
+        let s = sigma();
+        let u = universe();
+        for x in u.power_set() {
+            let w = witness_relation(&s, &x, &u, AxiomSystem::E).unwrap();
+            for y in u.power_set() {
+                let ad = Dependency::Ad(Ad::new(x.clone(), y.clone()));
+                let fd = Dependency::Fd(Fd::new(x.clone(), y.clone()));
+                if !implies(&s, &ad, AxiomSystem::E) {
+                    assert!(!w.satisfies(&ad), "X={} should violate {}", x, ad);
+                } else {
+                    assert!(w.satisfies(&ad), "X={} should satisfy {}", x, ad);
+                }
+                if !implies(&s, &fd, AxiomSystem::E) {
+                    assert!(!w.satisfies(&fd), "X={} should violate {}", x, fd);
+                } else {
+                    assert!(w.satisfies(&fd), "X={} should satisfy {}", x, fd);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_every_implied_dependency_holds_on_witnesses() {
+        // Soundness spot check: a dependency implied by Σ holds on every
+        // witness relation we can construct (they all satisfy Σ).
+        let s = sigma();
+        let u = universe();
+        let implied = Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"]));
+        assert!(implies(&s, &implied, AxiomSystem::E));
+        for x in u.power_set() {
+            let w = witness_relation(&s, &x, &u, AxiomSystem::E).unwrap();
+            assert!(w.satisfies(&implied));
+        }
+    }
+
+    #[test]
+    fn check_against_accepts_valid_counterexample() {
+        let s = sigma();
+        let target = Dependency::Ad(Ad::new(attrs!["A"], attrs!["E"]));
+        let w = witness_relation(&s, &attrs!["A"], &universe(), AxiomSystem::E).unwrap();
+        w.check_against(&s, &target).unwrap();
+    }
+
+    #[test]
+    fn check_against_rejects_implied_target() {
+        let s = sigma();
+        let target = Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"]));
+        let w = witness_relation(&s, &attrs!["A"], &universe(), AxiomSystem::E).unwrap();
+        assert!(w.check_against(&s, &target).is_err());
+    }
+
+    #[test]
+    fn witness_requires_consistent_universe() {
+        let s = sigma();
+        assert!(witness_relation(&s, &attrs!["Z"], &attrs!["Z"], AxiomSystem::E).is_err());
+        assert!(witness_relation(&s, &attrs!["A"], &attrs!["A"], AxiomSystem::E).is_err());
+    }
+
+    #[test]
+    fn under_r_func_closure_is_x_itself() {
+        let w = witness_relation(&sigma(), &attrs!["A"], &universe(), AxiomSystem::R).unwrap();
+        assert_eq!(w.func_closure, attrs!["A"]);
+        assert_eq!(w.attr_closure, attrs!["A"], "no FD reasoning under ℛ");
+    }
+}

@@ -1,0 +1,235 @@
+//! Abbreviated attribute dependencies (Def. 4.1).
+
+use std::fmt;
+
+use crate::attr::AttrSet;
+use crate::error::{CoreError, Result};
+use crate::tuple::Tuple;
+
+/// An attribute dependency `X --attr--> Y`.
+///
+/// A flexible relation satisfies `X --attr--> Y` iff for all tuples `t1, t2`
+/// of its instance:
+///
+/// ```text
+/// X ⊆ attr(t1) ∧ X ⊆ attr(t2) ∧ t1[X] = t2[X]
+///     ⟹  attr(t1) ∩ Y = attr(t2) ∩ Y
+/// ```
+///
+/// i.e. whenever two tuples agree on `X` they possess the *same subset* of
+/// `Y` as attributes.  Nothing is said about the values of the determined
+/// attributes — which is precisely why transitivity is **not** valid for ADs
+/// (§4.1).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ad {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl Ad {
+    /// Creates the dependency `lhs --attr--> rhs`.
+    pub fn new(lhs: impl Into<AttrSet>, rhs: impl Into<AttrSet>) -> Self {
+        Ad { lhs: lhs.into(), rhs: rhs.into() }
+    }
+
+    /// The determining attribute set `X`.
+    pub fn lhs(&self) -> &AttrSet {
+        &self.lhs
+    }
+
+    /// The determined attribute set `Y`.
+    pub fn rhs(&self) -> &AttrSet {
+        &self.rhs
+    }
+
+    /// Whether the dependency is *trivial* under the reflexivity rule (A3):
+    /// `Y ⊆ X`.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+
+    /// Checks the quantified body of Def. 4.1 for a single pair of tuples.
+    /// The check is symmetric in `t1`/`t2`.
+    pub fn pair_satisfied(&self, t1: &Tuple, t2: &Tuple) -> bool {
+        if !(t1.defined_on(&self.lhs) && t2.defined_on(&self.lhs)) {
+            return true; // the premise fails, the implication holds
+        }
+        if !t1.agrees_on(t2, &self.lhs) {
+            return true;
+        }
+        t1.attrs().intersection(&self.rhs) == t2.attrs().intersection(&self.rhs)
+    }
+
+    /// Whether the dependency holds on an instance (all pairs of tuples).
+    ///
+    /// The straightforward O(n²) pairwise definition is replaced by grouping
+    /// the tuples by their `X`-value and requiring one `Y`-shape per group,
+    /// which is O(n log n).
+    pub fn satisfied_by(&self, tuples: &[Tuple]) -> bool {
+        self.find_violation(tuples).is_none()
+    }
+
+    /// Finds a violating pair of tuple indices, if any.
+    pub fn find_violation(&self, tuples: &[Tuple]) -> Option<(usize, usize)> {
+        use std::collections::HashMap;
+        // Group by t[X] for tuples defined on X; remember the first index and
+        // the Y-shape of that group.
+        let mut groups: HashMap<Tuple, (usize, AttrSet)> = HashMap::new();
+        for (i, t) in tuples.iter().enumerate() {
+            if !t.defined_on(&self.lhs) {
+                continue;
+            }
+            let key = t.project(&self.lhs);
+            let shape = t.attrs().intersection(&self.rhs);
+            match groups.get(&key) {
+                None => {
+                    groups.insert(key, (i, shape));
+                }
+                Some((j, expected)) => {
+                    if *expected != shape {
+                        return Some((*j, i));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks a new tuple against the tuples already in an instance,
+    /// returning a descriptive error if inserting it would violate the
+    /// dependency.
+    pub fn check_insert(&self, existing: &[Tuple], new: &Tuple) -> Result<()> {
+        if !new.defined_on(&self.lhs) {
+            return Ok(());
+        }
+        let new_shape = new.attrs().intersection(&self.rhs);
+        for t in existing {
+            if t.defined_on(&self.lhs) && t.agrees_on(new, &self.lhs) {
+                let shape = t.attrs().intersection(&self.rhs);
+                if shape != new_shape {
+                    return Err(CoreError::AdViolation {
+                        dependency: self.to_string(),
+                        detail: format!(
+                            "existing tuple with {} has Y-shape {} but the new tuple has {}",
+                            t.project(&self.lhs),
+                            shape,
+                            new_shape
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Ad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --attr--> {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::{attrs, tuple};
+
+    fn secretary() -> Tuple {
+        tuple! {
+            "jobtype" => Value::tag("secretary"),
+            "salary" => 4000,
+            "typing-speed" => 300,
+            "foreign-languages" => "french"
+        }
+    }
+
+    fn engineer() -> Tuple {
+        tuple! {
+            "jobtype" => Value::tag("software engineer"),
+            "salary" => 6000,
+            "products" => "db-kernel",
+            "programming-languages" => "modula-2"
+        }
+    }
+
+    fn jobtype_ad() -> Ad {
+        Ad::new(
+            attrs!["jobtype"],
+            attrs![
+                "typing-speed",
+                "foreign-languages",
+                "products",
+                "programming-languages",
+                "sales-commission"
+            ],
+        )
+    }
+
+    #[test]
+    fn satisfied_on_consistent_instance() {
+        let ad = jobtype_ad();
+        let tuples = vec![secretary(), engineer(), secretary()];
+        assert!(ad.satisfied_by(&tuples));
+    }
+
+    #[test]
+    fn violated_when_same_x_but_different_shape() {
+        let ad = jobtype_ad();
+        let bad = tuple! {
+            "jobtype" => Value::tag("secretary"),
+            "salary" => 4100,
+            "products" => "crm" // a secretary with products: different Y-shape
+        };
+        let tuples = vec![secretary(), bad.clone()];
+        assert!(!ad.satisfied_by(&tuples));
+        assert_eq!(ad.find_violation(&tuples), Some((0, 1)));
+        assert!(!ad.pair_satisfied(&secretary(), &bad));
+        assert!(ad.check_insert(&[secretary()], &bad).is_err());
+    }
+
+    #[test]
+    fn tuples_without_x_never_violate() {
+        let ad = jobtype_ad();
+        let no_jobtype = tuple! {"salary" => 1, "typing-speed" => 100};
+        assert!(ad.satisfied_by(&[no_jobtype.clone(), secretary()]));
+        assert!(ad.pair_satisfied(&no_jobtype, &secretary()));
+    }
+
+    #[test]
+    fn different_x_values_never_violate() {
+        let ad = jobtype_ad();
+        assert!(ad.pair_satisfied(&secretary(), &engineer()));
+    }
+
+    #[test]
+    fn trivial_ads() {
+        assert!(Ad::new(attrs!["A", "B"], attrs!["A"]).is_trivial());
+        assert!(Ad::new(attrs!["A"], AttrSet::empty()).is_trivial());
+        assert!(!Ad::new(attrs!["A"], attrs!["B"]).is_trivial());
+    }
+
+    #[test]
+    fn display_format() {
+        let ad = Ad::new(attrs!["jobtype"], attrs!["products"]);
+        assert_eq!(ad.to_string(), "{jobtype} --attr--> {products}");
+    }
+
+    #[test]
+    fn check_insert_accepts_consistent_tuple() {
+        let ad = jobtype_ad();
+        let another_secretary = tuple! {
+            "jobtype" => Value::tag("secretary"),
+            "salary" => 4500,
+            "typing-speed" => 280,
+            "foreign-languages" => "russian"
+        };
+        assert!(ad.check_insert(&[secretary(), engineer()], &another_secretary).is_ok());
+    }
+
+    #[test]
+    fn empty_rhs_is_always_satisfied() {
+        let ad = Ad::new(attrs!["jobtype"], AttrSet::empty());
+        assert!(ad.satisfied_by(&[secretary(), engineer()]));
+    }
+}

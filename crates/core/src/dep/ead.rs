@@ -1,0 +1,454 @@
+//! Explicit attribute dependencies (Def. 2.1).
+
+use std::fmt;
+
+use crate::attr::AttrSet;
+use crate::dep::Ad;
+use crate::error::{CoreError, Result};
+use crate::tuple::Tuple;
+
+/// One variant of an explicit attribute dependency: whenever `t[X] ∈ values`
+/// the tuple must carry exactly `attrs` out of the determined set `Y`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EadVariant {
+    /// The value set `Vi ⊆ Tup(X)`: every member is a tuple defined exactly
+    /// on the determining attributes `X`.
+    pub values: Vec<Tuple>,
+    /// The attribute set `Yi ⊆ Y` this variant prescribes.
+    pub attrs: AttrSet,
+}
+
+impl EadVariant {
+    /// Creates a variant.
+    pub fn new(values: Vec<Tuple>, attrs: impl Into<AttrSet>) -> Self {
+        EadVariant { values, attrs: attrs.into() }
+    }
+
+    /// Whether `x_value` (a tuple over `X`) belongs to this variant's value
+    /// set `Vi`.
+    pub fn matches(&self, x_value: &Tuple) -> bool {
+        self.values.iter().any(|v| v == x_value)
+    }
+}
+
+/// An explicit attribute dependency (EAD, Def. 2.1):
+///
+/// ```text
+/// < X --exp.attr--> Y, { V1 --exp.attr--> Y1, …, Vn --exp.attr--> Yn } >
+/// ```
+///
+/// A flexible relation satisfies the EAD iff for every tuple `t`:
+///
+/// * if there is an `i` with `t[X] ∈ Vi` then `attr(t) ∩ Y = Yi`, and
+/// * if there is no such `i` then `attr(t) ∩ Y = ∅`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ead {
+    lhs: AttrSet,
+    rhs: AttrSet,
+    variants: Vec<EadVariant>,
+}
+
+impl Ead {
+    /// Creates an explicit attribute dependency and validates it:
+    ///
+    /// * every value tuple in every `Vi` must be defined on exactly `X`,
+    /// * every `Yi ⊆ Y`,
+    /// * the value sets are pairwise disjoint (`i ≠ j ⟹ Vi ∩ Vj = ∅`).
+    pub fn new(
+        lhs: impl Into<AttrSet>,
+        rhs: impl Into<AttrSet>,
+        variants: Vec<EadVariant>,
+    ) -> Result<Self> {
+        let lhs = lhs.into();
+        let rhs = rhs.into();
+        if lhs.is_empty() {
+            return Err(CoreError::InvalidDependency(
+                "the determining attribute set X of an EAD must not be empty".into(),
+            ));
+        }
+        for (i, v) in variants.iter().enumerate() {
+            if !v.attrs.is_subset(&rhs) {
+                return Err(CoreError::InvalidDependency(format!(
+                    "variant {} prescribes attributes {} outside the determined set {}",
+                    i, v.attrs, rhs
+                )));
+            }
+            for val in &v.values {
+                if val.attrs() != lhs {
+                    return Err(CoreError::InvalidDependency(format!(
+                        "value {} of variant {} is not a tuple over X = {}",
+                        val, i, lhs
+                    )));
+                }
+            }
+        }
+        for i in 0..variants.len() {
+            for j in (i + 1)..variants.len() {
+                for val in &variants[i].values {
+                    if variants[j].matches(val) {
+                        return Err(CoreError::InvalidDependency(format!(
+                            "value sets of variants {} and {} overlap on {}",
+                            i, j, val
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Ead { lhs, rhs, variants })
+    }
+
+    /// The determining attribute set `X`.
+    pub fn lhs(&self) -> &AttrSet {
+        &self.lhs
+    }
+
+    /// The determined attribute set `Y`.
+    pub fn rhs(&self) -> &AttrSet {
+        &self.rhs
+    }
+
+    /// The explicit variants `Vi --exp.attr--> Yi`.
+    pub fn variants(&self) -> &[EadVariant] {
+        &self.variants
+    }
+
+    /// Abbreviates the explicit dependency to the [`Ad`] form of Def. 4.1:
+    /// given `< X --exp.attr--> Y, … >`, whenever two tuples agree on `X`
+    /// they possess the same subset of `Y`.
+    pub fn to_ad(&self) -> Ad {
+        Ad::new(self.lhs.clone(), self.rhs.clone())
+    }
+
+    /// Looks up the variant matched by `x_value` (a tuple over `X`), if any.
+    pub fn variant_for(&self, x_value: &Tuple) -> Option<(usize, &EadVariant)> {
+        self.variants
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.matches(x_value))
+    }
+
+    /// The subset of `Y` a tuple with determining value `x_value` must carry:
+    /// `Yi` if some variant matches, `∅` otherwise.
+    pub fn required_attrs(&self, x_value: &Tuple) -> AttrSet {
+        self.variant_for(x_value)
+            .map(|(_, v)| v.attrs.clone())
+            .unwrap_or_else(AttrSet::empty)
+    }
+
+    /// Checks a single tuple against the EAD (the per-tuple condition of
+    /// Def. 2.1).  Tuples not defined on all of `X` are only constrained to
+    /// carry no attribute of `Y` if the dependency's premise can still be
+    /// evaluated; following the definition literally, a tuple whose `t[X]`
+    /// is not a full tuple over `X` matches no `Vi` and must therefore carry
+    /// no attribute of `Y`.
+    pub fn check_tuple(&self, t: &Tuple) -> Result<()> {
+        let actual = t.attrs().intersection(&self.rhs);
+        let required = if t.defined_on(&self.lhs) {
+            self.required_attrs(&t.project(&self.lhs))
+        } else {
+            AttrSet::empty()
+        };
+        if actual == required {
+            Ok(())
+        } else {
+            Err(CoreError::AdViolation {
+                dependency: self.to_string(),
+                detail: format!(
+                    "tuple {} carries {} of the determined attributes but {} is required for {}",
+                    t,
+                    actual,
+                    required,
+                    t.project(&self.lhs)
+                ),
+            })
+        }
+    }
+
+    /// Whether the EAD holds on an entire instance.
+    pub fn satisfied_by(&self, tuples: &[Tuple]) -> bool {
+        tuples.iter().all(|t| self.check_tuple(t).is_ok())
+    }
+
+    /// Whether the EAD's variants are pairwise disjoint in their *determined*
+    /// attribute sets (`Yi ∩ Yj = ∅` for `i ≠ j`).  This corresponds to the
+    /// ER notion of **disjoint** subclasses (§3.1).
+    pub fn has_disjoint_variants(&self) -> bool {
+        for i in 0..self.variants.len() {
+            for j in (i + 1)..self.variants.len() {
+                if !self.variants[i].attrs.is_disjoint(&self.variants[j].attrs) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the specialization is **total** with respect to the given
+    /// enumeration of `Tup(X)`: every possible determining value is covered
+    /// by some variant (`∪ Vi = Tup(X)`, §3.1).  Since `Tup(X)` is infinite
+    /// in general, the caller supplies the finite universe of determining
+    /// values to check against (e.g. the cross product of the attributes'
+    /// enumerated domains).
+    pub fn is_total_over<'a, I>(&self, universe: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        universe.into_iter().all(|v| self.variant_for(v).is_some())
+    }
+}
+
+impl fmt::Display for Ead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} --exp.attr--> {}, {{", self.lhs, self.rhs)?;
+        for (i, v) in self.variants.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[")?;
+            for (k, val) in v.values.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", val)?;
+            }
+            write!(f, "] --exp.attr--> {}", v.attrs)?;
+        }
+        write!(f, "}}>")
+    }
+}
+
+/// The paper's Example 2: the jobtype EAD.
+///
+/// ```text
+/// < {jobtype} --exp.attr--> { typing-speed, foreign-languages, products,
+///                             programming-languages, sales-commission },
+///   { <jobtype:'secretary'>          --exp.attr--> {typing-speed, foreign-languages},
+///     <jobtype:'software engineer'>  --exp.attr--> {products, programming-languages},
+///     <jobtype:'salesman'>           --exp.attr--> {products, sales-commission} } >
+/// ```
+pub fn example2_jobtype_ead() -> Ead {
+    use crate::value::Value;
+    let x = AttrSet::singleton("jobtype");
+    let y = AttrSet::from_names([
+        "typing-speed",
+        "foreign-languages",
+        "products",
+        "programming-languages",
+        "sales-commission",
+    ]);
+    let mk = |tag: &str| Tuple::new().with("jobtype", Value::tag(tag));
+    Ead::new(
+        x,
+        y,
+        vec![
+            EadVariant::new(
+                vec![mk("secretary")],
+                AttrSet::from_names(["typing-speed", "foreign-languages"]),
+            ),
+            EadVariant::new(
+                vec![mk("software engineer")],
+                AttrSet::from_names(["products", "programming-languages"]),
+            ),
+            EadVariant::new(
+                vec![mk("salesman")],
+                AttrSet::from_names(["products", "sales-commission"]),
+            ),
+        ],
+    )
+    .expect("the jobtype EAD of Example 2 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::{attrs, tuple};
+
+    #[test]
+    fn example2_round_trip() {
+        let ead = example2_jobtype_ead();
+        assert_eq!(ead.lhs(), &attrs!["jobtype"]);
+        assert_eq!(ead.variants().len(), 3);
+        assert_eq!(
+            ead.to_ad(),
+            Ad::new(
+                attrs!["jobtype"],
+                attrs![
+                    "typing-speed",
+                    "foreign-languages",
+                    "products",
+                    "programming-languages",
+                    "sales-commission"
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn rejects_the_papers_invalid_salesman_tuple() {
+        // §3.1: "there is no scheme which would reject the tuple
+        // <.., jobtype:'salesman', typing-speed: high, foreign-languages: ..>"
+        // — but the EAD does.
+        let ead = example2_jobtype_ead();
+        let bad = tuple! {
+            "jobtype" => Value::tag("salesman"),
+            "typing-speed" => 330,
+            "foreign-languages" => "french, russian"
+        };
+        assert!(ead.check_tuple(&bad).is_err());
+
+        let good = tuple! {
+            "jobtype" => Value::tag("salesman"),
+            "products" => "crm",
+            "sales-commission" => 7
+        };
+        assert!(ead.check_tuple(&good).is_ok());
+    }
+
+    #[test]
+    fn unmatched_determining_value_requires_no_y_attrs() {
+        let ead = example2_jobtype_ead();
+        // 'manager' matches no variant: the tuple must carry no Y attribute.
+        let plain = tuple! {"jobtype" => Value::tag("manager"), "salary" => 9000};
+        assert!(ead.check_tuple(&plain).is_ok());
+        let bad = tuple! {"jobtype" => Value::tag("manager"), "products" => "all"};
+        assert!(ead.check_tuple(&bad).is_err());
+    }
+
+    #[test]
+    fn tuple_without_x_must_not_carry_y() {
+        let ead = example2_jobtype_ead();
+        let no_jobtype_ok = tuple! {"salary" => 100};
+        assert!(ead.check_tuple(&no_jobtype_ok).is_ok());
+        let no_jobtype_bad = tuple! {"salary" => 100, "products" => "crm"};
+        assert!(ead.check_tuple(&no_jobtype_bad).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_value_sets() {
+        let mk = |tag: &str| Tuple::new().with("jobtype", Value::tag(tag));
+        let err = Ead::new(
+            attrs!["jobtype"],
+            attrs!["a", "b"],
+            vec![
+                EadVariant::new(vec![mk("x")], attrs!["a"]),
+                EadVariant::new(vec![mk("x")], attrs!["b"]),
+            ],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_value_not_over_x() {
+        let err = Ead::new(
+            attrs!["jobtype"],
+            attrs!["a"],
+            vec![EadVariant::new(
+                vec![tuple! {"salary" => 1}],
+                attrs!["a"],
+            )],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_variant_attrs_outside_y() {
+        let mk = |tag: &str| Tuple::new().with("jobtype", Value::tag(tag));
+        let err = Ead::new(
+            attrs!["jobtype"],
+            attrs!["a"],
+            vec![EadVariant::new(vec![mk("x")], attrs!["z"])],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_empty_lhs() {
+        assert!(Ead::new(AttrSet::empty(), attrs!["a"], vec![]).is_err());
+    }
+
+    #[test]
+    fn disjoint_and_total_classification() {
+        let ead = example2_jobtype_ead();
+        // products occurs in both the engineer and the salesman variant, so
+        // the specialization is *overlapping*, not disjoint.
+        assert!(!ead.has_disjoint_variants());
+
+        let universe: Vec<Tuple> = ["secretary", "software engineer", "salesman"]
+            .iter()
+            .map(|t| Tuple::new().with("jobtype", Value::tag(*t)))
+            .collect();
+        assert!(ead.is_total_over(universe.iter()));
+
+        let bigger: Vec<Tuple> = ["secretary", "manager"]
+            .iter()
+            .map(|t| Tuple::new().with("jobtype", Value::tag(*t)))
+            .collect();
+        assert!(!ead.is_total_over(bigger.iter()));
+    }
+
+    #[test]
+    fn required_attrs_lookup() {
+        let ead = example2_jobtype_ead();
+        let sec = Tuple::new().with("jobtype", Value::tag("secretary"));
+        assert_eq!(
+            ead.required_attrs(&sec),
+            attrs!["typing-speed", "foreign-languages"]
+        );
+        let other = Tuple::new().with("jobtype", Value::tag("clerk"));
+        assert_eq!(ead.required_attrs(&other), AttrSet::empty());
+        assert_eq!(ead.variant_for(&sec).map(|(i, _)| i), Some(0));
+    }
+
+    #[test]
+    fn instance_level_satisfaction() {
+        let ead = example2_jobtype_ead();
+        let ok = vec![
+            tuple! {"jobtype" => Value::tag("secretary"), "typing-speed" => 300, "foreign-languages" => "fr"},
+            tuple! {"jobtype" => Value::tag("salesman"), "products" => "crm", "sales-commission" => 10},
+        ];
+        assert!(ead.satisfied_by(&ok));
+        let mut bad = ok.clone();
+        bad.push(tuple! {"jobtype" => Value::tag("secretary"), "products" => "crm"});
+        assert!(!ead.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn display_mentions_variants() {
+        let s = example2_jobtype_ead().to_string();
+        assert!(s.contains("exp.attr"));
+        assert!(s.contains("'secretary'"));
+        assert!(s.contains("typing-speed"));
+    }
+
+    #[test]
+    fn multi_attribute_determinant() {
+        // sex and marital-status determine the existence of maiden-name (§1).
+        let mk = |sex: &str, ms: &str| {
+            Tuple::new()
+                .with("sex", Value::tag(sex))
+                .with("marital-status", Value::tag(ms))
+        };
+        let ead = Ead::new(
+            attrs!["sex", "marital-status"],
+            attrs!["maiden-name"],
+            vec![EadVariant::new(
+                vec![mk("female", "married"), mk("female", "widowed")],
+                attrs!["maiden-name"],
+            )],
+        )
+        .unwrap();
+        let married = tuple! {
+            "sex" => Value::tag("female"),
+            "marital-status" => Value::tag("married"),
+            "maiden-name" => "Miller"
+        };
+        assert!(ead.check_tuple(&married).is_ok());
+        let single_with_maiden_name = tuple! {
+            "sex" => Value::tag("female"),
+            "marital-status" => Value::tag("single"),
+            "maiden-name" => "Miller"
+        };
+        assert!(ead.check_tuple(&single_with_maiden_name).is_err());
+    }
+}

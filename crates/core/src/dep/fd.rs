@@ -1,0 +1,209 @@
+//! Functional dependencies adapted to flexible relations (Def. 4.2).
+
+use std::fmt;
+
+use crate::attr::AttrSet;
+use crate::error::{CoreError, Result};
+use crate::tuple::Tuple;
+
+/// A functional dependency `X --func--> Y` adapted to structural variants.
+///
+/// A flexible relation satisfies `X --func--> Y` iff for all tuples `t1, t2`
+/// of its instance:
+///
+/// ```text
+/// X ⊆ attr(t1) ∧ X ⊆ attr(t2) ∧ t1[X] = t2[X]
+///     ⟹  Y ⊆ attr(t1) ∧ Y ⊆ attr(t2) ∧ t1[Y] = t2[Y]
+/// ```
+///
+/// The only adaptation over the classical definition is the type guard
+/// `X ⊆ attr(t)` preceding every value access (Def. 4.2); soundness and
+/// completeness of the classical Armstrong-style rules are unaffected.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl Fd {
+    /// Creates the dependency `lhs --func--> rhs`.
+    pub fn new(lhs: impl Into<AttrSet>, rhs: impl Into<AttrSet>) -> Self {
+        Fd { lhs: lhs.into(), rhs: rhs.into() }
+    }
+
+    /// The determining attribute set `X`.
+    pub fn lhs(&self) -> &AttrSet {
+        &self.lhs
+    }
+
+    /// The determined attribute set `Y`.
+    pub fn rhs(&self) -> &AttrSet {
+        &self.rhs
+    }
+
+    /// Whether the dependency is trivial under reflexivity (F1): `Y ⊆ X`.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+
+    /// Checks the quantified body of Def. 4.2 for a single pair of tuples.
+    pub fn pair_satisfied(&self, t1: &Tuple, t2: &Tuple) -> bool {
+        if !(t1.defined_on(&self.lhs) && t2.defined_on(&self.lhs)) {
+            return true;
+        }
+        if !t1.agrees_on(t2, &self.lhs) {
+            return true;
+        }
+        t1.defined_on(&self.rhs) && t2.defined_on(&self.rhs) && t1.agrees_on(t2, &self.rhs)
+    }
+
+    /// Whether the dependency holds on an instance.  Grouping by `X`-value
+    /// makes the check near-linear instead of quadratic.
+    pub fn satisfied_by(&self, tuples: &[Tuple]) -> bool {
+        self.find_violation(tuples).is_none()
+    }
+
+    /// Finds a violating pair of tuple indices, if any.
+    ///
+    /// Note the subtle consequence of Def. 4.2: a *single* tuple that is
+    /// defined on `X` but not on all of `Y` already violates the dependency
+    /// as soon as a second tuple agrees with it on `X` (including a duplicate
+    /// of itself); but a lone tuple cannot violate it, since the definition
+    /// quantifies over pairs.  We follow the definition literally, comparing
+    /// all pairs within an `X`-group.
+    pub fn find_violation(&self, tuples: &[Tuple]) -> Option<(usize, usize)> {
+        use std::collections::HashMap;
+        let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();
+        for (i, t) in tuples.iter().enumerate() {
+            if t.defined_on(&self.lhs) {
+                groups.entry(t.project(&self.lhs)).or_default().push(i);
+            }
+        }
+        for indices in groups.values() {
+            if indices.len() < 2 {
+                continue;
+            }
+            let first = indices[0];
+            for &i in &indices[1..] {
+                if !self.pair_satisfied(&tuples[first], &tuples[i]) {
+                    return Some((first, i));
+                }
+            }
+            // All later tuples agree with the first on Y (and are defined on
+            // it), hence they pairwise agree as well; checking against the
+            // first representative suffices.
+        }
+        None
+    }
+
+    /// Checks a new tuple against an existing instance.
+    pub fn check_insert(&self, existing: &[Tuple], new: &Tuple) -> Result<()> {
+        if !new.defined_on(&self.lhs) {
+            return Ok(());
+        }
+        for t in existing {
+            if t.defined_on(&self.lhs) && t.agrees_on(new, &self.lhs) && !self.pair_satisfied(t, new)
+            {
+                return Err(CoreError::FdViolation {
+                    dependency: self.to_string(),
+                    detail: format!(
+                        "new tuple {} conflicts with existing tuple {} on {}",
+                        new, t, self.rhs
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --func--> {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::{attrs, tuple};
+
+    fn fd() -> Fd {
+        Fd::new(attrs!["empno"], attrs!["salary"])
+    }
+
+    #[test]
+    fn satisfied_when_values_agree() {
+        let t1 = tuple! {"empno" => 1, "salary" => 100};
+        let t2 = tuple! {"empno" => 1, "salary" => 100, "bonus" => 5};
+        assert!(fd().satisfied_by(&[t1, t2]));
+    }
+
+    #[test]
+    fn violated_when_values_differ() {
+        let t1 = tuple! {"empno" => 1, "salary" => 100};
+        let t2 = tuple! {"empno" => 1, "salary" => 200};
+        let tuples = vec![t1.clone(), t2.clone()];
+        assert!(!fd().satisfied_by(&tuples));
+        assert_eq!(fd().find_violation(&tuples), Some((0, 1)));
+        assert!(fd().check_insert(&[t1], &t2).is_err());
+    }
+
+    #[test]
+    fn violated_when_rhs_missing_in_agreeing_pair() {
+        // Def. 4.2 requires Y ⊆ attr(t) for both tuples of an agreeing pair.
+        let t1 = tuple! {"empno" => 1, "salary" => 100};
+        let t2 = tuple! {"empno" => 1};
+        assert!(!fd().satisfied_by(&[t1, t2]));
+    }
+
+    #[test]
+    fn lone_tuple_without_rhs_is_fine() {
+        let t = tuple! {"empno" => 1};
+        assert!(fd().satisfied_by(&[t]));
+    }
+
+    #[test]
+    fn guard_prevents_vacuous_violations() {
+        // Tuples not defined on X never participate.
+        let t1 = tuple! {"name" => "a", "salary" => 1};
+        let t2 = tuple! {"name" => "a", "salary" => 2};
+        assert!(fd().satisfied_by(&[t1, t2]));
+    }
+
+    #[test]
+    fn multi_attribute_fd() {
+        let fd = Fd::new(attrs!["sex", "marital-status"], attrs!["maiden-name"]);
+        let t1 = tuple! {
+            "sex" => Value::tag("female"),
+            "marital-status" => Value::tag("married"),
+            "maiden-name" => "Miller"
+        };
+        let t2 = tuple! {
+            "sex" => Value::tag("female"),
+            "marital-status" => Value::tag("married"),
+            "maiden-name" => "Smith"
+        };
+        assert!(fd.pair_satisfied(&t1, &t1.clone()));
+        assert!(!fd.pair_satisfied(&t1, &t2));
+    }
+
+    #[test]
+    fn trivial_fd() {
+        assert!(Fd::new(attrs!["A", "B"], attrs!["B"]).is_trivial());
+        assert!(!Fd::new(attrs!["A"], attrs!["B"]).is_trivial());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(fd().to_string(), "{empno} --func--> {salary}");
+    }
+
+    #[test]
+    fn check_insert_accepts_new_group() {
+        let t1 = tuple! {"empno" => 1, "salary" => 100};
+        let t2 = tuple! {"empno" => 2, "salary" => 999};
+        assert!(fd().check_insert(&[t1], &t2).is_ok());
+    }
+}

@@ -1,0 +1,308 @@
+//! Mapping of (enhanced) entity-relationship concepts onto flexible
+//! relations (§3.1).
+//!
+//! A **predicate-defined specialization** of an entity type attaches, to each
+//! subclass `i`, a predicate `pᵢ` over the entity's attributes; replacing the
+//! predicate by its extension `Vᵢ = { v | pᵢ(v) }` turns the specialization
+//! into an explicit attribute dependency — a one-to-one mapping.  The ER
+//! classifications *disjoint vs. overlapping* and *total vs. partial* can be
+//! read off the resulting EAD.
+
+use std::fmt;
+
+use crate::attr::AttrSet;
+use crate::dep::{Ead, EadVariant};
+use crate::error::{CoreError, Result};
+use crate::tuple::Tuple;
+use crate::value::{Domain, Value};
+
+/// One subclass of a predicate-defined specialization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Subclass {
+    /// The subclass name (e.g. "secretary_type").
+    pub name: String,
+    /// The determining values selecting this subclass (the predicate's
+    /// extension `Vᵢ`, given explicitly as tuples over the determining
+    /// attributes).
+    pub selector: Vec<Tuple>,
+    /// The additional attributes the subclass introduces (`Yᵢ`).
+    pub attrs: AttrSet,
+}
+
+impl Subclass {
+    /// Creates a subclass.
+    pub fn new(name: impl Into<String>, selector: Vec<Tuple>, attrs: impl Into<AttrSet>) -> Self {
+        Subclass {
+            name: name.into(),
+            selector,
+            attrs: attrs.into(),
+        }
+    }
+}
+
+/// A predicate-defined specialization of an entity type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Specialization {
+    /// Name of the specialized entity type (e.g. "employee").
+    pub entity: String,
+    /// The determining attributes the defining predicates range over.
+    pub determining: AttrSet,
+    /// The subclasses.
+    pub subclasses: Vec<Subclass>,
+}
+
+/// How the subclasses of a specialization relate structurally (§3.1):
+/// disjoint iff `Yᵢ ∩ Yⱼ = ∅` for `i ≠ j`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Overlap {
+    Disjoint,
+    Overlapping,
+}
+
+/// Whether every possible determining value selects some subclass
+/// (`⋃ Vᵢ = Tup(X)`), judged against a finite enumeration of `Tup(X)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coverage {
+    Total,
+    Partial,
+}
+
+impl Specialization {
+    /// Creates a specialization.
+    pub fn new(
+        entity: impl Into<String>,
+        determining: impl Into<AttrSet>,
+        subclasses: Vec<Subclass>,
+    ) -> Self {
+        Specialization {
+            entity: entity.into(),
+            determining: determining.into(),
+            subclasses,
+        }
+    }
+
+    /// The one-to-one mapping onto an explicit attribute dependency:
+    /// the determining attributes become `X`, the union of all subclass
+    /// attribute sets becomes `Y`, and each subclass contributes the variant
+    /// `Vᵢ --exp.attr--> Yᵢ`.
+    pub fn to_ead(&self) -> Result<Ead> {
+        let y = self
+            .subclasses
+            .iter()
+            .fold(AttrSet::empty(), |acc, s| acc.union(&s.attrs));
+        let variants = self
+            .subclasses
+            .iter()
+            .map(|s| EadVariant::new(s.selector.clone(), s.attrs.clone()))
+            .collect();
+        Ead::new(self.determining.clone(), y, variants)
+    }
+
+    /// Reconstructs a specialization from an EAD (the inverse direction of
+    /// the one-to-one mapping); subclass names are synthesized.
+    pub fn from_ead(entity: impl Into<String>, ead: &Ead) -> Self {
+        let subclasses = ead
+            .variants()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Subclass::new(format!("variant_{}", i), v.values.clone(), v.attrs.clone()))
+            .collect();
+        Specialization {
+            entity: entity.into(),
+            determining: ead.lhs().clone(),
+            subclasses,
+        }
+    }
+
+    /// Disjoint vs. overlapping classification, inferred from the EAD.
+    pub fn overlap(&self) -> Result<Overlap> {
+        Ok(if self.to_ead()?.has_disjoint_variants() {
+            Overlap::Disjoint
+        } else {
+            Overlap::Overlapping
+        })
+    }
+
+    /// Total vs. partial classification against the cross product of the
+    /// determining attributes' (finite) domains.
+    pub fn coverage(&self, domains: &[(&str, &Domain)]) -> Result<Coverage> {
+        let universe = enumerate_tuples(&self.determining, domains)?;
+        let ead = self.to_ead()?;
+        Ok(if ead.is_total_over(universe.iter()) {
+            Coverage::Total
+        } else {
+            Coverage::Partial
+        })
+    }
+}
+
+impl fmt::Display for Specialization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "specialization of {} on {}", self.entity, self.determining)?;
+        for s in &self.subclasses {
+            writeln!(f, "  {} adds {}", s.name, s.attrs)?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates `Tup(X)` for finite domains: the cross product of the listed
+/// attribute domains, each of which must be enumerable.
+pub fn enumerate_tuples(x: &AttrSet, domains: &[(&str, &Domain)]) -> Result<Vec<Tuple>> {
+    let mut per_attr: Vec<(String, Vec<Value>)> = Vec::new();
+    for a in x.iter() {
+        let dom = domains
+            .iter()
+            .find(|(name, _)| *name == a.name())
+            .map(|(_, d)| *d)
+            .ok_or_else(|| CoreError::UnknownAttribute(a.name().to_string()))?;
+        let values = match dom {
+            Domain::Enum(tags) => tags.iter().map(|t| Value::Tag(t.clone())).collect(),
+            Domain::Finite(vals) => vals.iter().cloned().collect(),
+            Domain::Bool => vec![Value::Bool(false), Value::Bool(true)],
+            Domain::IntRange(lo, hi) if hi - lo < 1_000 => {
+                (*lo..=*hi).map(Value::Int).collect()
+            }
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "domain {} of attribute {} is not enumerable",
+                    other, a
+                )))
+            }
+        };
+        per_attr.push((a.name().to_string(), values));
+    }
+    let mut out = vec![Tuple::empty()];
+    for (name, values) in per_attr {
+        let mut next = Vec::with_capacity(out.len() * values.len());
+        for t in &out {
+            for v in &values {
+                let mut t2 = t.clone();
+                t2.insert(name.as_str(), v.clone());
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    Ok(out)
+}
+
+/// The paper's running example as a specialization: employee specialized by
+/// jobtype into secretary, software engineer and salesman.
+pub fn employee_specialization() -> Specialization {
+    let mk = |tag: &str| vec![Tuple::new().with("jobtype", Value::tag(tag))];
+    Specialization::new(
+        "employee",
+        AttrSet::singleton("jobtype"),
+        vec![
+            Subclass::new(
+                "secretary_type",
+                mk("secretary"),
+                AttrSet::from_names(["typing-speed", "foreign-languages"]),
+            ),
+            Subclass::new(
+                "softw_eng_type",
+                mk("software engineer"),
+                AttrSet::from_names(["products", "programming-languages"]),
+            ),
+            Subclass::new(
+                "salesman_type",
+                mk("salesman"),
+                AttrSet::from_names(["products", "sales-commission"]),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+    use crate::dep::example2_jobtype_ead;
+
+    #[test]
+    fn employee_specialization_maps_to_example2_ead() {
+        let spec = employee_specialization();
+        let ead = spec.to_ead().unwrap();
+        assert_eq!(ead, example2_jobtype_ead(), "the mapping is one-to-one");
+    }
+
+    #[test]
+    fn round_trip_through_ead() {
+        let spec = employee_specialization();
+        let ead = spec.to_ead().unwrap();
+        let back = Specialization::from_ead("employee", &ead);
+        assert_eq!(back.determining, spec.determining);
+        assert_eq!(back.subclasses.len(), spec.subclasses.len());
+        for (a, b) in back.subclasses.iter().zip(spec.subclasses.iter()) {
+            assert_eq!(a.selector, b.selector);
+            assert_eq!(a.attrs, b.attrs);
+        }
+        assert_eq!(back.to_ead().unwrap(), ead);
+    }
+
+    #[test]
+    fn employee_specialization_is_overlapping_and_total() {
+        let spec = employee_specialization();
+        assert_eq!(spec.overlap().unwrap(), Overlap::Overlapping);
+        let jobdom = Domain::enumeration(["secretary", "software engineer", "salesman"]);
+        assert_eq!(
+            spec.coverage(&[("jobtype", &jobdom)]).unwrap(),
+            Coverage::Total
+        );
+        let wider = Domain::enumeration(["secretary", "software engineer", "salesman", "manager"]);
+        assert_eq!(
+            spec.coverage(&[("jobtype", &wider)]).unwrap(),
+            Coverage::Partial
+        );
+    }
+
+    #[test]
+    fn disjoint_specialization_detected() {
+        let mk = |tag: &str| vec![Tuple::new().with("kind", Value::tag(tag))];
+        let spec = Specialization::new(
+            "address",
+            attrs!["kind"],
+            vec![
+                Subclass::new("pobox", mk("pobox"), attrs!["PostOfficeBoxNumber"]),
+                Subclass::new("street", mk("street"), attrs!["Street", "HouseNumber"]),
+            ],
+        );
+        assert_eq!(spec.overlap().unwrap(), Overlap::Disjoint);
+    }
+
+    #[test]
+    fn enumerate_tuples_cross_product() {
+        let sexdom = Domain::enumeration(["female", "male"]);
+        let msdom = Domain::enumeration(["single", "married"]);
+        let tuples = enumerate_tuples(
+            &attrs!["sex", "marital-status"],
+            &[("sex", &sexdom), ("marital-status", &msdom)],
+        )
+        .unwrap();
+        assert_eq!(tuples.len(), 4);
+        assert!(tuples.iter().all(|t| t.arity() == 2));
+    }
+
+    #[test]
+    fn enumerate_tuples_rejects_unbounded_domains() {
+        let d = Domain::Int;
+        assert!(enumerate_tuples(&attrs!["x"], &[("x", &d)]).is_err());
+        assert!(enumerate_tuples(&attrs!["y"], &[("x", &d)]).is_err());
+    }
+
+    #[test]
+    fn bool_and_range_domains_enumerate() {
+        let b = Domain::Bool;
+        let r = Domain::IntRange(1, 3);
+        let tuples = enumerate_tuples(&attrs!["flag", "level"], &[("flag", &b), ("level", &r)]).unwrap();
+        assert_eq!(tuples.len(), 6);
+    }
+
+    #[test]
+    fn display_lists_subclasses() {
+        let s = employee_specialization().to_string();
+        assert!(s.contains("secretary_type"));
+        assert!(s.contains("jobtype"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the core model.
+
+use std::fmt;
+
+/// Result alias used throughout `flexrel-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the flexible-relation model, the dependency machinery and
+/// the type checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A scheme definition is malformed (e.g. cardinalities out of range).
+    InvalidScheme(String),
+    /// An explicit AD definition is malformed (e.g. overlapping value sets
+    /// `Vi ∩ Vj ≠ ∅`, or a variant `Yi ⊄ Y`).
+    InvalidDependency(String),
+    /// A tuple's attribute set is not in `dnf(FS)`, i.e. the tuple is outside
+    /// `dom(FS)`.
+    SchemeViolation {
+        /// The offending tuple's attribute set.
+        tuple_attrs: String,
+        /// The scheme it was checked against.
+        scheme: String,
+    },
+    /// A tuple violates an attribute dependency (Def. 2.1 / 4.1).
+    AdViolation {
+        /// Human-readable rendering of the violated dependency.
+        dependency: String,
+        /// Explanation of how the tuple violates it.
+        detail: String,
+    },
+    /// A tuple violates a functional dependency (Def. 4.2).
+    FdViolation {
+        dependency: String,
+        detail: String,
+    },
+    /// A value lies outside its attribute's domain.
+    DomainViolation {
+        attr: String,
+        value: String,
+        domain: String,
+    },
+    /// A tuple refers to an attribute that is unknown in the context at hand.
+    UnknownAttribute(String),
+    /// A named relation (or other catalog object) was not found.
+    NotFound(String),
+    /// A query, plan or expression is invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidScheme(msg) => write!(f, "invalid flexible scheme: {}", msg),
+            CoreError::InvalidDependency(msg) => write!(f, "invalid dependency: {}", msg),
+            CoreError::SchemeViolation { tuple_attrs, scheme } => write!(
+                f,
+                "tuple attributes {} are not an admissible combination of scheme {}",
+                tuple_attrs, scheme
+            ),
+            CoreError::AdViolation { dependency, detail } => {
+                write!(f, "attribute dependency {} violated: {}", dependency, detail)
+            }
+            CoreError::FdViolation { dependency, detail } => {
+                write!(f, "functional dependency {} violated: {}", dependency, detail)
+            }
+            CoreError::DomainViolation { attr, value, domain } => write!(
+                f,
+                "value {} of attribute {} is outside its domain {}",
+                value, attr, domain
+            ),
+            CoreError::UnknownAttribute(a) => write!(f, "unknown attribute {}", a),
+            CoreError::NotFound(what) => write!(f, "not found: {}", what),
+            CoreError::Invalid(msg) => write!(f, "invalid: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_details() {
+        let e = CoreError::DomainViolation {
+            attr: "salary".into(),
+            value: "\"oops\"".into(),
+            domain: "Int".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("salary") && s.contains("oops") && s.contains("Int"));
+
+        let e = CoreError::SchemeViolation {
+            tuple_attrs: "{A, B}".into(),
+            scheme: "<2,2,{A,C}>".into(),
+        };
+        assert!(e.to_string().contains("{A, B}"));
+
+        let e = CoreError::AdViolation {
+            dependency: "{jobtype} --attr--> {typing-speed}".into(),
+            detail: "tuple has jobtype='salesman' but carries typing-speed".into(),
+        };
+        assert!(e.to_string().contains("jobtype"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::NotFound("x".into()));
+    }
+}

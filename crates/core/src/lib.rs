@@ -1,0 +1,97 @@
+//! # flexrel-core
+//!
+//! A from-scratch implementation of the model of **flexible relations** and
+//! **attribute dependencies** from
+//!
+//! > C. Kalus, P. Dadam: *Record Subtyping in Flexible Relations by means of
+//! > Attribute Dependencies*, ICDE 1995, pp. 383–390.
+//!
+//! The crate provides:
+//!
+//! * the data model: attributes, typed values/domains, heterogeneous tuples
+//!   ([`attr`], [`value`], [`tuple`]);
+//! * the generic flexible-scheme constructor `<at-least, at-most, {…}>` with
+//!   DNF unfolding and admissibility checks ([`scheme`]);
+//! * flexible relations with insert/update/delete and full type checking
+//!   ([`relation`], [`typecheck`]);
+//! * the dependency theory: explicit attribute dependencies (EADs), their
+//!   abbreviated AD form and adapted FDs ([`dep`]);
+//! * the axiom systems ℛ (ADs) and ℰ (FDs + ADs) with closures, implication
+//!   tests, derivation traces, minimal covers and the completeness-proof
+//!   witness construction ([`axioms`]);
+//! * record subtyping: the classical rule as a baseline and the AD-induced,
+//!   semantics-preserving subtype families of §3.2 ([`subtype`]);
+//! * the mapping of ER predicate-defined specializations onto EADs ([`er`]).
+//!
+//! Algebraic operators, AD propagation (Theorem 4.3), storage, query
+//! processing, decomposition and host-language embedding live in the sibling
+//! crates `flexrel-algebra`, `flexrel-storage`, `flexrel-query`,
+//! `flexrel-decompose` and `flexrel-embed`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use flexrel_core::prelude::*;
+//!
+//! // Employee scheme: empno, salary, jobtype always present; the variant
+//! // attributes are grouped in an optional nested scheme.
+//! let variants = FlexScheme::new(0, 2, vec![
+//!     Component::from("typing-speed"),
+//!     Component::from("products"),
+//! ]).unwrap();
+//! let scheme = SchemeBuilder::all_of(["empno", "salary", "jobtype"])
+//!     .nested(variants)
+//!     .build()
+//!     .unwrap();
+//!
+//! // The value of jobtype determines which variant attributes exist.
+//! let ead = Ead::new(
+//!     AttrSet::singleton("jobtype"),
+//!     AttrSet::from_names(["typing-speed", "products"]),
+//!     vec![
+//!         EadVariant::new(vec![Tuple::new().with("jobtype", Value::tag("secretary"))],
+//!                         AttrSet::singleton("typing-speed")),
+//!         EadVariant::new(vec![Tuple::new().with("jobtype", Value::tag("salesman"))],
+//!                         AttrSet::singleton("products")),
+//!     ],
+//! ).unwrap();
+//!
+//! let mut rel = FlexRelation::new("employee", scheme).with_dep(ead);
+//! rel.insert(Tuple::new()
+//!     .with("empno", 1).with("salary", 4000)
+//!     .with("jobtype", Value::tag("secretary"))
+//!     .with("typing-speed", 300)).unwrap();
+//!
+//! // A salesman with a typing-speed is rejected — value-based type checking
+//! // that no conventional scheme can express.
+//! let bad = Tuple::new()
+//!     .with("empno", 2).with("salary", 5000)
+//!     .with("jobtype", Value::tag("salesman"))
+//!     .with("typing-speed", 250);
+//! assert!(rel.insert(bad).is_err());
+//! ```
+
+pub mod attr;
+pub mod axioms;
+pub mod dep;
+pub mod er;
+pub mod error;
+pub mod relation;
+pub mod scheme;
+pub mod subtype;
+pub mod tuple;
+pub mod typecheck;
+pub mod value;
+
+/// Convenient glob import of the most frequently used types.
+pub mod prelude {
+    pub use crate::attr::{Attr, AttrSet};
+    pub use crate::axioms::{AdClosure, AxiomSystem, Derivation};
+    pub use crate::dep::{Ad, Dependency, DependencySet, Ead, EadVariant, Fd};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::relation::{CheckLevel, FlexRelation};
+    pub use crate::scheme::{Component, FlexScheme, SchemeBuilder};
+    pub use crate::subtype::{RecordType, SubtypeFamily};
+    pub use crate::tuple::Tuple;
+    pub use crate::value::{Domain, Value};
+}

@@ -1,0 +1,374 @@
+//! AD-induced subtype families (§3.2).
+//!
+//! Given a flexible scheme `FS` with attributes `W` and an explicit attribute
+//! dependency `<X --exp.attr--> Y, {V1→Y1, …, Vn→Yn}>`:
+//!
+//! * the **supertype** contains the attributes `W − Y` with the domain of the
+//!   determining attributes unrestricted, and
+//! * for every variant `i` there is a **subtype** over `(W − Y) ∪ Yi` whose
+//!   determining attributes are restricted to the value set `Vi`.
+//!
+//! This reproduces the classical record subtyping relation — every subtype is
+//! a record subtype of the supertype — but it is *stronger*: the domain
+//! restriction on the determinant and the addition of the variant attributes
+//! are causally connected.  A candidate supertype that drops the determining
+//! attributes (the paper's `<…, salary : float>` in Example 3) is still a
+//! valid supertype under the record rule but is rejected as
+//! *connection-destroying* here.
+
+use std::fmt;
+
+use crate::attr::Attr;
+use crate::dep::Ead;
+use crate::error::{CoreError, Result};
+use crate::scheme::FlexScheme;
+use crate::subtype::record::{is_record_subtype, RecordType};
+use crate::value::Domain;
+
+/// The verdict on a candidate supertype of a family (see
+/// [`SubtypeFamily::judge_supertype`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupertypeJudgement {
+    /// The candidate is a supertype under the record rule *and* it keeps the
+    /// determining attributes, so the causal connection between determinant
+    /// and variants is preserved.
+    SemanticSupertype,
+    /// The candidate is a supertype under the record rule but drops at least
+    /// one determining attribute — the "purely accidental" reading the paper
+    /// warns about.
+    AccidentalSupertype,
+    /// The candidate is not a supertype of all subtypes even under the
+    /// record rule.
+    NotASupertype,
+}
+
+/// A family of record types induced by one EAD over one flexible scheme.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubtypeFamily {
+    ead: Ead,
+    supertype: RecordType,
+    subtypes: Vec<RecordType>,
+}
+
+impl SubtypeFamily {
+    /// Derives the family from a scheme, an EAD over that scheme and the
+    /// attribute domains.  `domains` supplies the unrestricted domain for
+    /// every attribute of the scheme (missing attributes default to
+    /// [`Domain::Any`]).
+    pub fn derive(
+        scheme: &FlexScheme,
+        ead: &Ead,
+        domains: &[(&str, Domain)],
+        name: &str,
+    ) -> Result<Self> {
+        let w = scheme.attrs();
+        if !ead.lhs().is_subset(&w) || !ead.rhs().is_subset(&w) {
+            return Err(CoreError::InvalidDependency(format!(
+                "the EAD mentions attributes outside the scheme {}",
+                scheme
+            )));
+        }
+        let domain_of = |a: &Attr| -> Domain {
+            domains
+                .iter()
+                .find(|(n, _)| *n == a.name())
+                .map(|(_, d)| d.clone())
+                .unwrap_or(Domain::Any)
+        };
+
+        // Supertype: W − Y, unrestricted domains.
+        let super_attrs = w.difference(ead.rhs());
+        let mut supertype = RecordType::new(format!("{}_type", name));
+        for a in super_attrs.iter() {
+            supertype.add_field(a.clone(), domain_of(a));
+        }
+
+        // One subtype per variant: (W − Y) ∪ Yi with X restricted to Vi.
+        let mut subtypes = Vec::with_capacity(ead.variants().len());
+        for (i, variant) in ead.variants().iter().enumerate() {
+            let attrs = super_attrs.union(&variant.attrs);
+            let mut ty = RecordType::new(format!("{}_variant_{}", name, i));
+            for a in attrs.iter() {
+                ty.add_field(a.clone(), domain_of(a));
+            }
+            // Restrict each determining attribute to the values occurring for
+            // it inside Vi.
+            for x_attr in ead.lhs().iter() {
+                let values: Vec<_> = variant
+                    .values
+                    .iter()
+                    .filter_map(|t| t.get(x_attr).cloned())
+                    .collect();
+                ty = ty.restrict_field(x_attr, values);
+            }
+            subtypes.push(ty);
+        }
+        Ok(SubtypeFamily {
+            ead: ead.clone(),
+            supertype,
+            subtypes,
+        })
+    }
+
+    /// The EAD the family was derived from.
+    pub fn ead(&self) -> &Ead {
+        &self.ead
+    }
+
+    /// The derived supertype (`W − Y`, unrestricted determinant domain).
+    pub fn supertype(&self) -> &RecordType {
+        &self.supertype
+    }
+
+    /// The derived subtypes, one per variant of the EAD.
+    pub fn subtypes(&self) -> &[RecordType] {
+        &self.subtypes
+    }
+
+    /// Whether every derived subtype is a record subtype of the derived
+    /// supertype (it always is — this is the "ADs incorporate record
+    /// subtyping" direction of §3.2).
+    pub fn record_rule_holds(&self) -> bool {
+        self.subtypes
+            .iter()
+            .all(|s| is_record_subtype(s, &self.supertype))
+    }
+
+    /// Judges an arbitrary candidate supertype of the whole family:
+    ///
+    /// * [`SupertypeJudgement::SemanticSupertype`] — record supertype of all
+    ///   subtypes *and* the determining attributes `X` are retained;
+    /// * [`SupertypeJudgement::AccidentalSupertype`] — record supertype of
+    ///   all subtypes but some determining attribute has been dropped, so the
+    ///   causal connection of the simultaneous type changes is destroyed
+    ///   (Example 3);
+    /// * [`SupertypeJudgement::NotASupertype`] otherwise.
+    pub fn judge_supertype(&self, candidate: &RecordType) -> SupertypeJudgement {
+        let record_ok = self
+            .subtypes
+            .iter()
+            .all(|s| is_record_subtype(s, candidate));
+        if !record_ok {
+            return SupertypeJudgement::NotASupertype;
+        }
+        if self.ead.lhs().is_subset(&candidate.attrs()) {
+            SupertypeJudgement::SemanticSupertype
+        } else {
+            SupertypeJudgement::AccidentalSupertype
+        }
+    }
+
+    /// Enumerates all projections of the derived supertype and classifies
+    /// each, returning `(semantic, accidental, not_a_supertype)` counts.
+    /// This quantifies how much stricter the AD-based notion is than the
+    /// record rule (experiment E3); only intended for supertypes with at most
+    /// 16 attributes.
+    pub fn classify_all_projections(&self) -> (usize, usize, usize) {
+        let mut semantic = 0;
+        let mut accidental = 0;
+        let mut not_super = 0;
+        for attrs in self.supertype.attrs().power_set() {
+            let candidate = self.supertype.project(&attrs);
+            match self.judge_supertype(&candidate) {
+                SupertypeJudgement::SemanticSupertype => semantic += 1,
+                SupertypeJudgement::AccidentalSupertype => accidental += 1,
+                SupertypeJudgement::NotASupertype => not_super += 1,
+            }
+        }
+        (semantic, accidental, not_super)
+    }
+}
+
+impl fmt::Display for SubtypeFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.supertype)?;
+        for s in &self.subtypes {
+            writeln!(f, "  {}", s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+    use crate::dep::example2_jobtype_ead;
+    use crate::scheme::{Component, SchemeBuilder};
+    use crate::value::Value;
+
+    fn employee_scheme() -> FlexScheme {
+        let variants = FlexScheme::new(
+            0,
+            5,
+            vec![
+                Component::from("typing-speed"),
+                Component::from("foreign-languages"),
+                Component::from("products"),
+                Component::from("programming-languages"),
+                Component::from("sales-commission"),
+            ],
+        )
+        .unwrap();
+        SchemeBuilder::all_of(["salary", "jobtype"])
+            .nested(variants)
+            .build()
+            .unwrap()
+    }
+
+    fn employee_domains() -> Vec<(&'static str, Domain)> {
+        vec![
+            ("salary", Domain::Float),
+            (
+                "jobtype",
+                Domain::enumeration(["secretary", "software engineer", "salesman"]),
+            ),
+            ("typing-speed", Domain::Int),
+            ("foreign-languages", Domain::Text),
+            ("products", Domain::Text),
+            ("programming-languages", Domain::Text),
+            ("sales-commission", Domain::Int),
+        ]
+    }
+
+    fn family() -> SubtypeFamily {
+        SubtypeFamily::derive(
+            &employee_scheme(),
+            &example2_jobtype_ead(),
+            &employee_domains(),
+            "employee",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example3_types_are_reproduced() {
+        let fam = family();
+        // Supertype: salary + jobtype with the full jobtype enumeration.
+        assert_eq!(fam.supertype().attrs(), attrs!["salary", "jobtype"]);
+        let jd = fam.supertype().field(&Attr::new("jobtype")).unwrap();
+        assert!(jd.contains(&Value::tag("secretary")));
+        assert!(jd.contains(&Value::tag("salesman")));
+
+        // Three subtypes with restricted jobtype domains and variant attrs.
+        assert_eq!(fam.subtypes().len(), 3);
+        let secretary = &fam.subtypes()[0];
+        assert_eq!(
+            secretary.attrs(),
+            attrs!["salary", "jobtype", "typing-speed", "foreign-languages"]
+        );
+        let sd = secretary.field(&Attr::new("jobtype")).unwrap();
+        assert!(sd.contains(&Value::tag("secretary")));
+        assert!(!sd.contains(&Value::tag("salesman")));
+
+        let salesman = &fam.subtypes()[2];
+        assert_eq!(
+            salesman.attrs(),
+            attrs!["salary", "jobtype", "products", "sales-commission"]
+        );
+    }
+
+    #[test]
+    fn ads_incorporate_record_subtyping() {
+        // Every AD-derived subtype is a record subtype of the derived
+        // supertype — the inclusion rule is expressible with an AD.
+        assert!(family().record_rule_holds());
+    }
+
+    #[test]
+    fn example3_accidental_supertype_is_detected() {
+        let fam = family();
+        // <…, salary : float> without jobtype: record-supertype of all three
+        // subtypes, but the connection to the determinant is destroyed.
+        let salary_only = RecordType::new("salary_only").with_field("salary", Domain::Float);
+        assert_eq!(
+            fam.judge_supertype(&salary_only),
+            SupertypeJudgement::AccidentalSupertype
+        );
+        // The full employee type is a semantic supertype.
+        assert_eq!(
+            fam.judge_supertype(fam.supertype()),
+            SupertypeJudgement::SemanticSupertype
+        );
+        // A type with an unrelated mandatory field is no supertype at all.
+        let unrelated = RecordType::new("x")
+            .with_field("salary", Domain::Float)
+            .with_field("badge-number", Domain::Int);
+        assert_eq!(
+            fam.judge_supertype(&unrelated),
+            SupertypeJudgement::NotASupertype
+        );
+    }
+
+    #[test]
+    fn classification_counts_projections() {
+        let fam = family();
+        let (semantic, accidental, not_super) = fam.classify_all_projections();
+        // Projections of {salary, jobtype}: {}, {salary}, {jobtype},
+        // {salary, jobtype}.  All are record supertypes; those containing
+        // jobtype are semantic.
+        assert_eq!(semantic + accidental + not_super, 4);
+        assert_eq!(semantic, 2);
+        assert_eq!(accidental, 2);
+        assert_eq!(not_super, 0);
+    }
+
+    #[test]
+    fn derive_rejects_foreign_ead() {
+        let scheme = SchemeBuilder::all_of(["a"]).build().unwrap();
+        let err = SubtypeFamily::derive(&scheme, &example2_jobtype_ead(), &[], "x");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn display_lists_every_type() {
+        let s = family().to_string();
+        assert!(s.contains("employee_type"));
+        assert!(s.contains("employee_variant_0"));
+        assert!(s.contains("employee_variant_2"));
+    }
+
+    #[test]
+    fn subtype_domains_restrict_each_determining_attribute() {
+        // Multi-attribute determinant: sex + marital-status determine
+        // maiden-name.
+        let scheme = SchemeBuilder::all_of(["sex", "marital-status"])
+            .optional("maiden-name")
+            .build()
+            .unwrap();
+        let mk = |sex: &str, ms: &str| {
+            crate::tuple::Tuple::new()
+                .with("sex", Value::tag(sex))
+                .with("marital-status", Value::tag(ms))
+        };
+        let ead = Ead::new(
+            attrs!["sex", "marital-status"],
+            attrs!["maiden-name"],
+            vec![crate::dep::EadVariant::new(
+                vec![mk("female", "married"), mk("female", "widowed")],
+                attrs!["maiden-name"],
+            )],
+        )
+        .unwrap();
+        let fam = SubtypeFamily::derive(
+            &scheme,
+            &ead,
+            &[
+                ("sex", Domain::enumeration(["female", "male"])),
+                ("marital-status", Domain::enumeration(["single", "married", "widowed"])),
+                ("maiden-name", Domain::Text),
+            ],
+            "person",
+        )
+        .unwrap();
+        let sub = &fam.subtypes()[0];
+        let sexdom = sub.field(&Attr::new("sex")).unwrap();
+        assert!(sexdom.contains(&Value::tag("female")));
+        assert!(!sexdom.contains(&Value::tag("male")));
+        let msdom = sub.field(&Attr::new("marital-status")).unwrap();
+        assert!(msdom.contains(&Value::tag("married")));
+        assert!(msdom.contains(&Value::tag("widowed")));
+        assert!(!msdom.contains(&Value::tag("single")));
+        assert!(fam.record_rule_holds());
+    }
+}

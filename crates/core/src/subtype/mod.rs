@@ -1,0 +1,23 @@
+//! Record subtyping (§3.2).
+//!
+//! Two notions are implemented side by side:
+//!
+//! * the classical record subtyping rule (Cardelli/Wegner): a record type is
+//!   a subtype of another if it has at least the supertype's fields and each
+//!   shared field's type is a refinement ([`record`]);
+//! * the AD-induced, *semantics-preserving* families of §3.2: an attribute
+//!   dependency over a flexible scheme generates one supertype and one
+//!   subtype per variant, and — unlike the classical rule — keeps the
+//!   domain restriction of the determining attributes and the added variant
+//!   attributes causally connected ([`family`]).
+//!
+//! The difference is exactly the paper's Example 3: dropping `jobtype` from
+//! the employee type still yields a valid *record* supertype of the three
+//! specialised types, but it severs the connection between determinant and
+//! variant; the AD-based notion rejects (or at least flags) it.
+
+pub mod family;
+pub mod record;
+
+pub use family::{SubtypeFamily, SupertypeJudgement};
+pub use record::{is_record_subtype, RecordType};

@@ -1,0 +1,241 @@
+//! The classical record subtyping rule (the baseline of §3.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attr::{Attr, AttrSet};
+use crate::value::{Domain, Value};
+
+/// A record type: a set of typed fields `< a1 : t1, …, am : tm >`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RecordType {
+    name: String,
+    fields: BTreeMap<Attr, Domain>,
+}
+
+impl RecordType {
+    /// Creates an empty record type with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RecordType {
+            name: name.into(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a field (builder style).
+    pub fn with_field(mut self, attr: impl Into<Attr>, domain: Domain) -> Self {
+        self.fields.insert(attr.into(), domain);
+        self
+    }
+
+    /// Adds a field.
+    pub fn add_field(&mut self, attr: impl Into<Attr>, domain: Domain) {
+        self.fields.insert(attr.into(), domain);
+    }
+
+    /// The type's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field names.
+    pub fn attrs(&self) -> AttrSet {
+        self.fields.keys().collect()
+    }
+
+    /// The domain of a field, if present.
+    pub fn field(&self, attr: &Attr) -> Option<&Domain> {
+        self.fields.get(attr)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Iterates over `(attr, domain)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Attr, &Domain)> + '_ {
+        self.fields.iter()
+    }
+
+    /// Restricts the domain of a field (used to build variant subtypes that
+    /// pin the determining attributes to a value set).
+    pub fn restrict_field<I>(mut self, attr: &Attr, values: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        if let Some(d) = self.fields.get(attr) {
+            let restricted = d.restrict_to(values);
+            self.fields.insert(attr.clone(), restricted);
+        }
+        self
+    }
+
+    /// The projection of the type onto a set of attributes (classical record
+    /// subtyping: any projection of a type is a supertype of it).
+    pub fn project(&self, attrs: &AttrSet) -> RecordType {
+        RecordType {
+            name: format!("{}[{}]", self.name, attrs),
+            fields: self
+                .fields
+                .iter()
+                .filter(|(a, _)| attrs.contains(a))
+                .map(|(a, d)| (a.clone(), d.clone()))
+                .collect(),
+        }
+    }
+
+    /// Whether a tuple structurally conforms to this record type: it is
+    /// defined on all fields and every value lies within the field's domain.
+    pub fn accepts(&self, t: &crate::tuple::Tuple) -> bool {
+        self.fields
+            .iter()
+            .all(|(a, d)| t.get(a).map(|v| d.contains(v)).unwrap_or(false))
+    }
+
+    /// Renames the type.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = <", self.name)?;
+        for (i, (a, d)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} : {}", a, d)?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// The classical record subtyping rule:
+///
+/// ```text
+///                tᵢ ≤ uᵢ   (i = 1..n)
+/// <a1:t1, …, an:tn, …, am:tm>  ≤  <a1:u1, …, an:un>
+/// ```
+///
+/// i.e. `sub` has at least the fields of `sup` (width subtyping) and each
+/// shared field's domain in `sub` is a restriction of the domain in `sup`
+/// (depth subtyping).
+pub fn is_record_subtype(sub: &RecordType, sup: &RecordType) -> bool {
+    sup.iter().all(|(a, sup_dom)| {
+        sub.field(a)
+            .map(|sub_dom| sub_dom.is_restriction_of(sup_dom))
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+    use crate::tuple;
+
+    fn employee_type() -> RecordType {
+        RecordType::new("employee_type")
+            .with_field("salary", Domain::Float)
+            .with_field(
+                "jobtype",
+                Domain::enumeration(["secretary", "software engineer", "salesman"]),
+            )
+    }
+
+    fn secretary_type() -> RecordType {
+        RecordType::new("secretary_type")
+            .with_field("salary", Domain::Float)
+            .with_field("jobtype", Domain::enumeration(["secretary"]))
+            .with_field("typing-speed", Domain::Int)
+            .with_field("foreign-languages", Domain::Text)
+    }
+
+    #[test]
+    fn width_subtyping() {
+        let wide = RecordType::new("wide")
+            .with_field("a", Domain::Int)
+            .with_field("b", Domain::Int);
+        let narrow = RecordType::new("narrow").with_field("a", Domain::Int);
+        assert!(is_record_subtype(&wide, &narrow));
+        assert!(!is_record_subtype(&narrow, &wide));
+        assert!(is_record_subtype(&wide, &wide));
+    }
+
+    #[test]
+    fn depth_subtyping_via_domain_restriction() {
+        assert!(is_record_subtype(&secretary_type(), &employee_type()));
+        // The other direction fails: the jobtype domain of employee_type is
+        // not a restriction of {secretary}.
+        assert!(!is_record_subtype(&employee_type(), &secretary_type()));
+    }
+
+    #[test]
+    fn example3_accidental_supertype_is_accepted_by_the_record_rule() {
+        // <…, salary: float> without jobtype IS a record supertype of
+        // secretary_type — this is precisely the weakness §3.2 points out.
+        let accidental = RecordType::new("salary_only").with_field("salary", Domain::Float);
+        assert!(is_record_subtype(&secretary_type(), &accidental));
+    }
+
+    #[test]
+    fn incompatible_field_breaks_subtyping() {
+        let a = RecordType::new("a").with_field("x", Domain::Text);
+        let b = RecordType::new("b").with_field("x", Domain::Int);
+        assert!(!is_record_subtype(&a, &b));
+    }
+
+    #[test]
+    fn projection_yields_a_supertype() {
+        let t = secretary_type();
+        let p = t.project(&attrs!["salary", "jobtype"]);
+        assert!(is_record_subtype(&t, &p));
+        assert_eq!(p.arity(), 2);
+    }
+
+    #[test]
+    fn accepts_checks_fields_and_domains() {
+        let t = secretary_type();
+        let good = tuple! {
+            "salary" => 4000.0,
+            "jobtype" => Value::tag("secretary"),
+            "typing-speed" => 300,
+            "foreign-languages" => "french"
+        };
+        assert!(t.accepts(&good));
+        let wrong_domain = tuple! {
+            "salary" => 4000.0,
+            "jobtype" => Value::tag("salesman"),
+            "typing-speed" => 300,
+            "foreign-languages" => "french"
+        };
+        assert!(!t.accepts(&wrong_domain));
+        let missing_field = tuple! {"salary" => 4000.0};
+        assert!(!t.accepts(&missing_field));
+    }
+
+    #[test]
+    fn restrict_field_narrows_domain() {
+        let t = employee_type().restrict_field(&Attr::new("jobtype"), [Value::tag("salesman")]);
+        let d = t.field(&Attr::new("jobtype")).unwrap();
+        assert!(d.contains(&Value::tag("salesman")));
+        assert!(!d.contains(&Value::tag("secretary")));
+    }
+
+    #[test]
+    fn display_shows_fields() {
+        let s = employee_type().to_string();
+        assert!(s.contains("employee_type = <"));
+        assert!(s.contains("salary : float"));
+    }
+
+    #[test]
+    fn every_type_is_subtype_of_empty_record() {
+        let empty = RecordType::new("top");
+        assert!(is_record_subtype(&employee_type(), &empty));
+        assert!(is_record_subtype(&empty, &empty));
+    }
+}

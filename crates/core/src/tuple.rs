@@ -1,0 +1,339 @@
+//! Tuples over attribute sets.
+//!
+//! A tuple is a mapping from a set of attributes to atomic values.  In the
+//! flexible-relation model different tuples of the same relation may be
+//! defined on *different* attribute sets; the function `attr(t)` (here
+//! [`Tuple::attrs`]) yields the attribute set a tuple is defined on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attr::{Attr, AttrSet};
+use crate::value::Value;
+
+/// A tuple: a finite mapping from attributes to values.
+///
+/// The map is ordered by attribute name so that tuples have a canonical
+/// rendering and `attrs()` is cheap to compute deterministically.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple {
+    values: BTreeMap<Attr, Value>,
+}
+
+impl Tuple {
+    /// The empty tuple (defined on no attributes).
+    pub fn empty() -> Self {
+        Tuple { values: BTreeMap::new() }
+    }
+
+    /// Starts building a tuple: `Tuple::new().with("salary", 5000)…`.
+    pub fn new() -> Self {
+        Self::empty()
+    }
+
+    /// Builder-style insertion of an attribute/value pair.
+    pub fn with(mut self, attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
+        self.values.insert(attr.into(), value.into());
+        self
+    }
+
+    /// Builds a tuple from `(attribute, value)` pairs.
+    pub fn from_pairs<I, A, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (A, V)>,
+        A: Into<Attr>,
+        V: Into<Value>,
+    {
+        Tuple {
+            values: pairs
+                .into_iter()
+                .map(|(a, v)| (a.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    /// Inserts (or replaces) a value for an attribute.
+    pub fn insert(&mut self, attr: impl Into<Attr>, value: impl Into<Value>) {
+        self.values.insert(attr.into(), value.into());
+    }
+
+    /// Removes an attribute from the tuple, returning its value if present.
+    pub fn remove(&mut self, attr: &Attr) -> Option<Value> {
+        self.values.remove(attr)
+    }
+
+    /// `attr(t)`: the attribute set this tuple is defined on.
+    pub fn attrs(&self) -> AttrSet {
+        self.values.keys().collect()
+    }
+
+    /// Number of attributes the tuple is defined on.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tuple is defined on no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the tuple is defined on attribute `a`.
+    pub fn has(&self, a: &Attr) -> bool {
+        self.values.contains_key(a)
+    }
+
+    /// Whether the tuple is defined on an attribute with the given name.
+    pub fn has_name(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Whether the tuple is defined on *all* attributes of `x` (the type
+    /// guard `X ⊆ attr(t)` used by Def. 4.1/4.2).
+    pub fn defined_on(&self, x: &AttrSet) -> bool {
+        x.iter().all(|a| self.values.contains_key(a))
+    }
+
+    /// The value of attribute `a`, if the tuple is defined on it.
+    pub fn get(&self, a: &Attr) -> Option<&Value> {
+        self.values.get(a)
+    }
+
+    /// The value of the attribute with the given name, if present.
+    pub fn get_name(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// `t[X]`: the restriction (projection) of the tuple to the attributes of
+    /// `x`.  Attributes of `x` the tuple is not defined on are simply absent
+    /// from the result, mirroring the model's treatment of projection on
+    /// heterogeneous tuples.
+    pub fn project(&self, x: &AttrSet) -> Tuple {
+        Tuple {
+            values: self
+                .values
+                .iter()
+                .filter(|(a, _)| x.contains(a))
+                .map(|(a, v)| (a.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Whether two tuples agree on `x`: both are defined on all of `x` and
+    /// have equal values there (`X ⊆ attr(t1) ∧ X ⊆ attr(t2) ∧ t1[X] = t2[X]`).
+    pub fn agrees_on(&self, other: &Tuple, x: &AttrSet) -> bool {
+        x.iter().all(|a| match (self.get(a), other.get(a)) {
+            (Some(v1), Some(v2)) => v1 == v2,
+            _ => false,
+        })
+    }
+
+    /// Extends the tuple with all attribute/value pairs of `other`.  On
+    /// conflicts `other` wins.  This is the tuple-level operation behind the
+    /// cartesian product, the extension operator `ε` and joins.
+    pub fn merged_with(&self, other: &Tuple) -> Tuple {
+        let mut values = self.values.clone();
+        for (a, v) in &other.values {
+            values.insert(a.clone(), v.clone());
+        }
+        Tuple { values }
+    }
+
+    /// Whether the tuples are *join-compatible*: they agree on every attribute
+    /// they are both defined on.
+    pub fn joinable_with(&self, other: &Tuple) -> bool {
+        let common = self.attrs().intersection(&other.attrs());
+        self.agrees_on(other, &common)
+    }
+
+    /// Iterates over `(attribute, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Attr, &Value)> + '_ {
+        self.values.iter()
+    }
+
+    /// Renames attribute `from` to `to`, if present.
+    pub fn rename(&self, from: &Attr, to: &Attr) -> Tuple {
+        let mut values = self.values.clone();
+        if let Some(v) = values.remove(from) {
+            values.insert(to.clone(), v);
+        }
+        Tuple { values }
+    }
+
+    /// Strips all attributes whose value is [`Value::Null`].  Used when
+    /// converting from the null-padded baseline representation back into a
+    /// flexible tuple.
+    pub fn without_nulls(&self) -> Tuple {
+        Tuple {
+            values: self
+                .values
+                .iter()
+                .filter(|(_, v)| !v.is_null())
+                .map(|(a, v)| (a.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Pads the tuple with [`Value::Null`] for every attribute of `universe`
+    /// it is not defined on.  Used to build the flat baseline representation.
+    pub fn null_padded(&self, universe: &AttrSet) -> Tuple {
+        let mut values = self.values.clone();
+        for a in universe.iter() {
+            values.entry(a.clone()).or_insert(Value::Null);
+        }
+        Tuple { values }
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, (a, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a, v)?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl FromIterator<(Attr, Value)> for Tuple {
+    fn from_iter<T: IntoIterator<Item = (Attr, Value)>>(iter: T) -> Self {
+        Tuple { values: iter.into_iter().collect() }
+    }
+}
+
+/// Convenience macro for building tuples:
+/// `tuple!{"jobtype" => Value::tag("secretary"), "salary" => 5000}`.
+#[macro_export]
+macro_rules! tuple {
+    () => { $crate::tuple::Tuple::empty() };
+    ($($attr:expr => $val:expr),+ $(,)?) => {{
+        let mut t = $crate::tuple::Tuple::empty();
+        $( t.insert($attr, $val); )+
+        t
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+
+    fn secretary() -> Tuple {
+        tuple! {
+            "name" => "Ann",
+            "salary" => 4200,
+            "jobtype" => Value::tag("secretary"),
+            "typing-speed" => 320,
+            "foreign-languages" => "french"
+        }
+    }
+
+    #[test]
+    fn attrs_returns_definition_set() {
+        let t = secretary();
+        assert_eq!(
+            t.attrs(),
+            attrs!["name", "salary", "jobtype", "typing-speed", "foreign-languages"]
+        );
+        assert_eq!(t.arity(), 5);
+    }
+
+    #[test]
+    fn builder_and_macro_agree() {
+        let a = Tuple::new().with("x", 1).with("y", 2);
+        let b = tuple! {"x" => 1, "y" => 2};
+        assert_eq!(a, b);
+        let c = Tuple::from_pairs([("x", Value::Int(1)), ("y", Value::Int(2))]);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn projection_restricts_to_present_attrs() {
+        let t = secretary();
+        let p = t.project(&attrs!["salary", "jobtype", "products"]);
+        assert_eq!(p.attrs(), attrs!["salary", "jobtype"]);
+        assert_eq!(p.get_name("salary"), Some(&Value::Int(4200)));
+        assert_eq!(p.get_name("products"), None);
+    }
+
+    #[test]
+    fn agreement_requires_definition_on_both_sides() {
+        let t1 = secretary();
+        let t2 = tuple! {"jobtype" => Value::tag("secretary"), "salary" => 9999};
+        assert!(t1.agrees_on(&t2, &attrs!["jobtype"]));
+        assert!(!t1.agrees_on(&t2, &attrs!["salary"]));
+        // t2 is not defined on typing-speed, so no agreement there.
+        assert!(!t1.agrees_on(&t2, &attrs!["typing-speed"]));
+        // Agreement on the empty set is vacuous.
+        assert!(t1.agrees_on(&t2, &AttrSet::empty()));
+    }
+
+    #[test]
+    fn defined_on_is_the_type_guard() {
+        let t = secretary();
+        assert!(t.defined_on(&attrs!["jobtype", "salary"]));
+        assert!(!t.defined_on(&attrs!["jobtype", "products"]));
+        assert!(t.defined_on(&AttrSet::empty()));
+    }
+
+    #[test]
+    fn merge_and_joinability() {
+        let left = tuple! {"a" => 1, "b" => 2};
+        let right = tuple! {"b" => 2, "c" => 3};
+        assert!(left.joinable_with(&right));
+        let joined = left.merged_with(&right);
+        assert_eq!(joined.attrs(), attrs!["a", "b", "c"]);
+
+        let conflicting = tuple! {"b" => 99};
+        assert!(!left.joinable_with(&conflicting));
+        // Disjoint tuples are trivially joinable.
+        assert!(left.joinable_with(&tuple! {"z" => 0}));
+    }
+
+    #[test]
+    fn rename_moves_value() {
+        let t = tuple! {"a" => 1};
+        let r = t.rename(&Attr::new("a"), &Attr::new("b"));
+        assert_eq!(r, tuple! {"b" => 1});
+        // Renaming an absent attribute is a no-op.
+        let r2 = t.rename(&Attr::new("zz"), &Attr::new("b"));
+        assert_eq!(r2, t);
+    }
+
+    #[test]
+    fn null_padding_round_trip() {
+        let t = tuple! {"a" => 1};
+        let universe = attrs!["a", "b", "c"];
+        let padded = t.null_padded(&universe);
+        assert_eq!(padded.arity(), 3);
+        assert_eq!(padded.get_name("b"), Some(&Value::Null));
+        assert_eq!(padded.without_nulls(), t);
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        let t = tuple! {"jobtype" => Value::tag("salesman"), "salary" => 100};
+        let s = t.to_string();
+        assert!(s.starts_with('<') && s.ends_with('>'));
+        assert!(s.contains("jobtype: 'salesman'"));
+    }
+
+    #[test]
+    fn insert_remove_get() {
+        let mut t = Tuple::empty();
+        assert!(t.is_empty());
+        t.insert("x", 1);
+        assert!(t.has_name("x"));
+        assert!(t.has(&Attr::new("x")));
+        assert_eq!(t.remove(&Attr::new("x")), Some(Value::Int(1)));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Horizontal decomposition along an EAD (§3.1.1).
+//!
+//! The entity is split into one fragment per EAD variant (the tuples whose
+//! determining values select that variant) plus a rest fragment for tuples
+//! selecting no variant.  Restoring the entity requires an **outer union**
+//! instead of a plain union because the fragments have different shapes.
+
+use flexrel_core::dep::Ead;
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::relation::FlexRelation;
+use flexrel_core::tuple::Tuple;
+
+use flexrel_algebra::ops::outer_union;
+
+/// The result of a horizontal decomposition.
+#[derive(Clone, Debug)]
+pub struct HorizontalDecomposition {
+    /// The EAD that guided the decomposition.
+    pub ead: Ead,
+    /// One fragment per EAD variant, in variant order.
+    pub fragments: Vec<FlexRelation>,
+    /// Tuples whose determining value selects no variant.
+    pub rest: FlexRelation,
+}
+
+impl HorizontalDecomposition {
+    /// Total number of tuples across all fragments.
+    pub fn total_tuples(&self) -> usize {
+        self.fragments.iter().map(|f| f.len()).sum::<usize>() + self.rest.len()
+    }
+
+    /// Restores the original relation by outer union of all fragments.
+    pub fn restore(&self) -> Result<FlexRelation> {
+        let mut acc: Option<FlexRelation> = None;
+        for frag in self.fragments.iter().chain(std::iter::once(&self.rest)) {
+            if frag.is_empty() {
+                continue;
+            }
+            acc = Some(match acc {
+                None => frag.clone(),
+                Some(prev) => outer_union(&prev, frag)?,
+            });
+        }
+        acc.ok_or_else(|| CoreError::Invalid("cannot restore an empty decomposition".into()))
+    }
+
+    /// The fragment holding the given variant index.
+    pub fn fragment(&self, variant: usize) -> Option<&FlexRelation> {
+        self.fragments.get(variant)
+    }
+}
+
+/// Horizontally decomposes `rel` along `ead`.
+///
+/// Each fragment keeps the original scheme and dependency set (a fragment is
+/// just a restriction of the instance, so everything that held before still
+/// holds); what changes is the instance.
+pub fn horizontal_decompose(rel: &FlexRelation, ead: &Ead) -> Result<HorizontalDecomposition> {
+    if !ead.lhs().is_subset(&rel.attrs()) {
+        return Err(CoreError::InvalidDependency(format!(
+            "the EAD determinant {} is not part of relation {}",
+            ead.lhs(),
+            rel.name()
+        )));
+    }
+    let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); ead.variants().len()];
+    let mut rest: Vec<Tuple> = Vec::new();
+    for t in rel.tuples() {
+        if t.defined_on(ead.lhs()) {
+            match ead.variant_for(&t.project(ead.lhs())) {
+                Some((i, _)) => buckets[i].push(t.clone()),
+                None => rest.push(t.clone()),
+            }
+        } else {
+            rest.push(t.clone());
+        }
+    }
+    let fragments = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, tuples)| {
+            FlexRelation::from_parts(
+                format!("{}_variant_{}", rel.name(), i),
+                rel.scheme().clone(),
+                rel.domains().clone(),
+                rel.deps().clone(),
+                tuples,
+            )
+        })
+        .collect();
+    let rest = FlexRelation::from_parts(
+        format!("{}_rest", rel.name()),
+        rel.scheme().clone(),
+        rel.domains().clone(),
+        rel.deps().clone(),
+        rest,
+    );
+    Ok(HorizontalDecomposition { ead: ead.clone(), fragments, rest })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::dep::example2_jobtype_ead;
+    use flexrel_core::value::Value;
+    use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+    use std::collections::BTreeSet;
+
+    fn loaded_employees(n: usize) -> FlexRelation {
+        let mut rel = employee_relation();
+        for t in generate_employees(&EmployeeConfig::clean(n)) {
+            rel.insert(t).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn fragments_partition_the_instance() {
+        let rel = loaded_employees(300);
+        let d = horizontal_decompose(&rel, &example2_jobtype_ead()).unwrap();
+        assert_eq!(d.fragments.len(), 3);
+        assert_eq!(d.total_tuples(), rel.len());
+        assert!(d.rest.is_empty(), "every employee matches a variant");
+        // Each fragment is variant-pure.
+        for (i, frag) in d.fragments.iter().enumerate() {
+            for t in frag.tuples() {
+                let (vi, _) = d
+                    .ead
+                    .variant_for(&t.project(d.ead.lhs()))
+                    .expect("tuple matches a variant");
+                assert_eq!(vi, i);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_round_trips_the_instance() {
+        let rel = loaded_employees(200);
+        let d = horizontal_decompose(&rel, &example2_jobtype_ead()).unwrap();
+        let restored = d.restore().unwrap();
+        let original: BTreeSet<_> = rel.tuples().iter().cloned().collect();
+        let back: BTreeSet<_> = restored.tuples().iter().cloned().collect();
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn unmatched_tuples_go_to_rest() {
+        let mut rel = employee_relation();
+        for t in generate_employees(&EmployeeConfig::clean(10)) {
+            rel.insert(t).unwrap();
+        }
+        // An EAD over a *different* tag set: employees with an unmatched
+        // jobtype end up in the rest fragment.
+        let mk = |tag: &str| vec![flexrel_core::tuple::Tuple::new().with("jobtype", Value::tag(tag))];
+        let partial_ead = Ead::new(
+            flexrel_core::attr::AttrSet::singleton("jobtype"),
+            flexrel_core::attr::AttrSet::from_names(["typing-speed", "foreign-languages"]),
+            vec![flexrel_core::dep::EadVariant::new(
+                mk("secretary"),
+                flexrel_core::attr::AttrSet::from_names(["typing-speed", "foreign-languages"]),
+            )],
+        )
+        .unwrap();
+        let d = horizontal_decompose(&rel, &partial_ead).unwrap();
+        assert_eq!(d.fragments.len(), 1);
+        assert_eq!(d.total_tuples(), rel.len());
+        assert!(d.fragment(0).unwrap().len() + d.rest.len() == rel.len());
+        assert!(d.fragment(7).is_none());
+    }
+
+    #[test]
+    fn decompose_rejects_foreign_ead() {
+        let rel = loaded_employees(5);
+        let mk = |tag: &str| vec![flexrel_core::tuple::Tuple::new().with("kind", Value::tag(tag))];
+        let foreign = Ead::new(
+            flexrel_core::attr::AttrSet::singleton("kind"),
+            flexrel_core::attr::AttrSet::singleton("Street"),
+            vec![flexrel_core::dep::EadVariant::new(
+                mk("street"),
+                flexrel_core::attr::AttrSet::singleton("Street"),
+            )],
+        )
+        .unwrap();
+        assert!(horizontal_decompose(&rel, &foreign).is_err());
+    }
+
+    #[test]
+    fn restoring_an_empty_decomposition_fails() {
+        let rel = employee_relation();
+        let d = horizontal_decompose(&rel, &example2_jobtype_ead()).unwrap();
+        assert!(d.restore().is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # flexrel-decompose
+//!
+//! Decomposition strategies for heterogeneous entities (§3.1.1 of
+//! Kalus & Dadam, ICDE 1995) and the translation baselines the paper
+//! compares flexible relations against:
+//!
+//! * [`horizontal`] — one fragment per EAD variant, restored with an **outer
+//!   union**;
+//! * [`vertical`] — a master relation plus one depending relation per
+//!   variant, restored with a **multiway join**;
+//! * [`nullrel`] — the flat, null-padded single-relation translation with an
+//!   artificial variant-tag attribute (Elmasri/Navathe's first two
+//!   translation methods), which burdens the application with maintaining
+//!   the tag/null consistency by hand;
+//! * [`multirel`] — the Ahad & Basu "multirelation" translation with image
+//!   attributes, which the paper shows to be a special case of an attribute
+//!   dependency with an artificial single-attribute determinant;
+//! * [`stats`] — storage metrics (cells, null cells, fragment sizes) used by
+//!   experiment E8.
+
+pub mod horizontal;
+pub mod multirel;
+pub mod nullrel;
+pub mod stats;
+pub mod vertical;
+
+pub use horizontal::{horizontal_decompose, HorizontalDecomposition};
+pub use multirel::{multirel_decompose, MultiRelation};
+pub use nullrel::{to_null_padded, NullPaddedRelation};
+pub use stats::StorageStats;
+pub use vertical::{vertical_decompose, VerticalDecomposition};

@@ -1,0 +1,305 @@
+//! The Ahad & Basu "multirelation" baseline (§5, related work).
+//!
+//! The multirelation model decomposes an entity into a master relation and
+//! depending relations and records the connection via **image attributes**:
+//! attributes whose domain consists of *relation names*.  A master tuple's
+//! image attribute names the depending relation that holds its variant part,
+//! so restoration can be automated.  The paper observes that an image
+//! attribute is a special case of an attribute dependency with a single
+//! artificial attribute as determinant — this module makes that equivalence
+//! executable ([`MultiRelation::induced_ead`]).
+
+use std::collections::BTreeMap;
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::dep::{Ead, EadVariant};
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::relation::FlexRelation;
+use flexrel_core::scheme::FlexScheme;
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+
+use flexrel_algebra::ops::{natural_join, outer_union};
+
+/// A multirelation: master + named depending relations + the image attribute
+/// connecting them.
+#[derive(Clone, Debug)]
+pub struct MultiRelation {
+    /// The image attribute added to the master relation.
+    pub image_attr: Attr,
+    /// The join key shared by master and depending relations.
+    pub key: AttrSet,
+    /// The master relation (unconditioned attributes + image attribute).
+    pub master: FlexRelation,
+    /// The depending relations, addressed by name (the image attribute's
+    /// domain).
+    pub depending: BTreeMap<String, FlexRelation>,
+}
+
+impl MultiRelation {
+    /// Total stored tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.master.len() + self.depending.values().map(|r| r.len()).sum::<usize>()
+    }
+
+    /// Restores the original heterogeneous relation: for each depending
+    /// relation, join the master tuples whose image attribute names it, then
+    /// outer-union the pieces (and append master tuples pointing nowhere).
+    pub fn restore(&self) -> Result<FlexRelation> {
+        let mut pieces: Vec<FlexRelation> = Vec::new();
+        for (name, dep_rel) in &self.depending {
+            let selected: Vec<Tuple> = self
+                .master
+                .tuples()
+                .iter()
+                .filter(|t| {
+                    t.get(&self.image_attr).map(|v| v.as_str() == Some(name.as_str())) == Some(true)
+                })
+                .map(|t| {
+                    let mut t = t.clone();
+                    t.remove(&self.image_attr);
+                    t
+                })
+                .collect();
+            if selected.is_empty() {
+                continue;
+            }
+            let selected_rel = FlexRelation::from_parts(
+                format!("{}_sel_{}", self.master.name(), name),
+                flexrel_algebra::schemes::project_scheme(
+                    self.master.scheme(),
+                    &self.master.attrs().difference(&self.image_attr.to_set()),
+                )
+                .ok_or_else(|| CoreError::Invalid("master has no attributes".into()))?,
+                self.master.domains().clone(),
+                flexrel_core::dep::DependencySet::new(),
+                selected,
+            );
+            pieces.push(natural_join(&selected_rel, dep_rel)?);
+        }
+        // Master tuples whose image attribute names no depending relation.
+        let orphans: Vec<Tuple> = self
+            .master
+            .tuples()
+            .iter()
+            .filter(|t| {
+                t.get(&self.image_attr)
+                    .and_then(|v| v.as_str())
+                    .map(|n| !self.depending.contains_key(n))
+                    .unwrap_or(true)
+            })
+            .map(|t| {
+                let mut t = t.clone();
+                t.remove(&self.image_attr);
+                t
+            })
+            .collect();
+        if !orphans.is_empty() {
+            let shapes: std::collections::BTreeSet<AttrSet> =
+                orphans.iter().map(|t| t.attrs()).collect();
+            pieces.push(FlexRelation::from_parts(
+                format!("{}_orphans", self.master.name()),
+                flexrel_algebra::schemes::covering_scheme(&shapes)?,
+                self.master.domains().clone(),
+                flexrel_core::dep::DependencySet::new(),
+                orphans,
+            ));
+        }
+        let mut acc: Option<FlexRelation> = None;
+        for p in pieces {
+            acc = Some(match acc {
+                None => p,
+                Some(prev) => outer_union(&prev, &p)?,
+            });
+        }
+        acc.ok_or_else(|| CoreError::Invalid("cannot restore an empty multirelation".into()))
+    }
+
+    /// The attribute dependency the image attribute induces: the image
+    /// attribute (an artificial single-attribute determinant) determines
+    /// which depending relation's attributes are present — exactly the
+    /// special case of an EAD the paper describes.
+    pub fn induced_ead(&self) -> Result<Ead> {
+        let mut y = AttrSet::empty();
+        let mut variants = Vec::new();
+        for (name, rel) in &self.depending {
+            let attrs = rel.attrs().difference(&self.key);
+            y.extend_with(&attrs);
+            variants.push(EadVariant::new(
+                vec![Tuple::new().with(self.image_attr.clone(), Value::tag(name.clone()))],
+                attrs,
+            ));
+        }
+        Ead::new(self.image_attr.to_set(), y, variants)
+    }
+}
+
+/// Decomposes a flexible relation into a multirelation along an EAD: the
+/// master keeps the unconditioned attributes plus an image attribute naming
+/// the depending relation holding the tuple's variant part; one depending
+/// relation is created per EAD variant.
+pub fn multirel_decompose(
+    rel: &FlexRelation,
+    ead: &Ead,
+    key: &AttrSet,
+) -> Result<MultiRelation> {
+    let master_attrs = rel.attrs().difference(ead.rhs());
+    if !key.is_subset(&master_attrs) {
+        return Err(CoreError::Invalid(format!(
+            "the key {} must be part of the unconditioned attributes {}",
+            key, master_attrs
+        )));
+    }
+    let image_attr = Attr::new("image");
+    let mut depending: BTreeMap<String, FlexRelation> = BTreeMap::new();
+    let mut master_tuples: Vec<Tuple> = Vec::with_capacity(rel.len());
+
+    // Prepare empty depending relations, one per variant.
+    let mut buckets: Vec<Vec<Tuple>> = vec![Vec::new(); ead.variants().len()];
+    for t in rel.tuples() {
+        let variant = if t.defined_on(ead.lhs()) {
+            ead.variant_for(&t.project(ead.lhs())).map(|(i, _)| i)
+        } else {
+            None
+        };
+        let mut m = t.project(&master_attrs);
+        match variant {
+            Some(i) => {
+                let detail_attrs = key.union(&ead.variants()[i].attrs);
+                buckets[i].push(t.project(&detail_attrs));
+                m.insert(image_attr.clone(), Value::tag(format!("{}_detail_{}", rel.name(), i)));
+            }
+            None => {
+                m.insert(image_attr.clone(), Value::tag("none"));
+            }
+        }
+        master_tuples.push(m);
+    }
+    for (i, tuples) in buckets.into_iter().enumerate() {
+        let name = format!("{}_detail_{}", rel.name(), i);
+        let detail_attrs = key.union(&ead.variants()[i].attrs);
+        depending.insert(
+            name.clone(),
+            FlexRelation::from_parts(
+                name,
+                FlexScheme::relational(detail_attrs.clone()),
+                rel.domains()
+                    .iter()
+                    .filter(|(a, _)| detail_attrs.contains(a))
+                    .map(|(a, d)| (a.clone(), d.clone()))
+                    .collect(),
+                flexrel_core::dep::DependencySet::new(),
+                tuples,
+            ),
+        );
+    }
+
+    let master_scheme = {
+        let base = flexrel_algebra::schemes::project_scheme(rel.scheme(), &master_attrs)
+            .ok_or_else(|| CoreError::Invalid("master projection retains no attribute".into()))?;
+        flexrel_algebra::schemes::extend_scheme(&base, &image_attr)?
+    };
+    let master = FlexRelation::from_parts(
+        format!("{}_master", rel.name()),
+        master_scheme,
+        rel.domains()
+            .iter()
+            .filter(|(a, _)| master_attrs.contains(a))
+            .map(|(a, d)| (a.clone(), d.clone()))
+            .collect(),
+        flexrel_algebra::propagate::project_deps(rel.deps(), &master_attrs),
+        master_tuples,
+    );
+    Ok(MultiRelation {
+        image_attr,
+        key: key.clone(),
+        master,
+        depending,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+    use flexrel_core::dep::example2_jobtype_ead;
+    use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+    use std::collections::BTreeSet;
+
+    fn loaded(n: usize) -> FlexRelation {
+        let mut rel = employee_relation();
+        for t in generate_employees(&EmployeeConfig::clean(n)) {
+            rel.insert(t).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn decomposition_structure() {
+        let rel = loaded(90);
+        let m = multirel_decompose(&rel, &example2_jobtype_ead(), &attrs!["empno"]).unwrap();
+        assert_eq!(m.master.len(), 90);
+        assert_eq!(m.depending.len(), 3);
+        assert_eq!(m.total_tuples(), 180);
+        // Every master tuple carries the image attribute.
+        assert!(m
+            .master
+            .tuples()
+            .iter()
+            .all(|t| t.has(&m.image_attr)));
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let rel = loaded(70);
+        let m = multirel_decompose(&rel, &example2_jobtype_ead(), &attrs!["empno"]).unwrap();
+        let restored = m.restore().unwrap();
+        let back: BTreeSet<Tuple> = restored.tuples().iter().cloned().collect();
+        let original: BTreeSet<Tuple> = rel.tuples().iter().cloned().collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn image_attribute_induces_an_ead() {
+        // The paper: image attributes are a special case of an AD with a
+        // single artificial determinant.  The induced EAD must prescribe,
+        // per depending relation, exactly its variant attributes.
+        let rel = loaded(30);
+        let m = multirel_decompose(&rel, &example2_jobtype_ead(), &attrs!["empno"]).unwrap();
+        let ead = m.induced_ead().unwrap();
+        assert_eq!(ead.lhs(), &attrs!["image"]);
+        assert_eq!(ead.variants().len(), 3);
+        // The restored master+image view satisfies the induced EAD: each
+        // master tuple joined with its variant part carries exactly the
+        // variant attributes its image names.
+        let mut joined: Vec<Tuple> = Vec::new();
+        for t in m.master.tuples() {
+            let image = t.get(&m.image_attr).unwrap().as_str().unwrap().to_string();
+            let detail = &m.depending[&image];
+            for d in detail.tuples() {
+                if d.agrees_on(t, &m.key) {
+                    joined.push(t.merged_with(d));
+                }
+            }
+        }
+        assert!(ead.satisfied_by(&joined));
+    }
+
+    #[test]
+    fn orphan_master_tuples_survive_restore() {
+        let rel = loaded(20);
+        let mut m = multirel_decompose(&rel, &example2_jobtype_ead(), &attrs!["empno"]).unwrap();
+        // Remove one depending relation: its masters become orphans and come
+        // back without their variant attributes.
+        let removed = m.depending.remove(&format!("{}_detail_0", rel.name()));
+        assert!(removed.is_some());
+        let restored = m.restore().unwrap();
+        assert_eq!(restored.len(), rel.len());
+    }
+
+    #[test]
+    fn key_must_be_unconditioned() {
+        let rel = loaded(5);
+        assert!(multirel_decompose(&rel, &example2_jobtype_ead(), &attrs!["sales-commission"]).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The flat, null-padded baseline translation (§3.1.1).
+//!
+//! Elmasri/Navathe's first two translation methods for predicate-defined
+//! specializations map the whole entity onto a *single* homogeneous relation:
+//! every tuple carries every attribute, absent values become nulls, and an
+//! artificial attribute indicates the current variant — and has to be
+//! interpreted and kept consistent *by the application*.  This module
+//! implements that baseline so the benchmarks can compare it against
+//! flexible relations with ADs (experiments E2 and E8).
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::dep::Ead;
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::relation::FlexRelation;
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+
+/// A flat, null-padded representation of a heterogeneous entity.
+#[derive(Clone, Debug)]
+pub struct NullPaddedRelation {
+    /// Name of the relation.
+    pub name: String,
+    /// The homogeneous attribute universe (original attributes plus the
+    /// artificial variant tag).
+    pub universe: AttrSet,
+    /// The artificial variant-tag attribute.
+    pub tag_attr: Attr,
+    /// The EAD the tag encodes (kept only so the *simulated application
+    /// logic* can check consistency; a real flat schema has no such
+    /// constraint enforced by the DBMS).
+    pub ead: Ead,
+    /// The padded tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl NullPaddedRelation {
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total number of stored cells (tuples × universe width).
+    pub fn total_cells(&self) -> usize {
+        self.tuples.len() * self.universe.len()
+    }
+
+    /// Number of null cells.
+    pub fn null_cells(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| t.iter().filter(|(_, v)| v.is_null()).count())
+            .sum()
+    }
+
+    /// Inserts a padded tuple **without** any variant consistency check —
+    /// this is exactly what a plain relational schema permits and what the
+    /// paper criticizes: nothing stops a 'salesman' row from carrying a
+    /// typing-speed.
+    pub fn insert_unchecked(&mut self, padded: Tuple) {
+        self.tuples.push(padded);
+    }
+
+    /// The *application-side* consistency check the flat translation forces
+    /// the user to write by hand: the non-null variant attributes of a row
+    /// must match exactly what the tag prescribes.  Returns the indices of
+    /// inconsistent rows.
+    pub fn manual_consistency_check(&self) -> Vec<usize> {
+        let mut bad = Vec::new();
+        for (i, t) in self.tuples.iter().enumerate() {
+            if !row_consistent(t, &self.tag_attr, &self.ead) {
+                bad.push(i);
+            }
+        }
+        bad
+    }
+
+    /// Converts the flat representation back into heterogeneous tuples by
+    /// stripping nulls and the artificial tag attribute.
+    pub fn to_flexible_tuples(&self) -> Vec<Tuple> {
+        self.tuples
+            .iter()
+            .map(|t| {
+                let mut out = t.without_nulls();
+                out.remove(&self.tag_attr);
+                out
+            })
+            .collect()
+    }
+}
+
+fn row_consistent(t: &Tuple, tag_attr: &Attr, ead: &Ead) -> bool {
+    let tag = match t.get(tag_attr) {
+        Some(v) if !v.is_null() => v.clone(),
+        _ => return false,
+    };
+    let probe = Tuple::new().with(ead.lhs().iter().next().unwrap().clone(), tag);
+    // Which variant does the tag claim?  (The tag mirrors the determining
+    // attribute for single-attribute determinants, which is the common case
+    // the flat translation handles.)
+    let required = ead.required_attrs(&probe);
+    for y in ead.rhs().iter() {
+        let non_null = t.get(y).map(|v| !v.is_null()).unwrap_or(false);
+        if required.contains(y) != non_null {
+            return false;
+        }
+    }
+    true
+}
+
+/// Flattens a flexible relation into the null-padded baseline: every tuple is
+/// padded with nulls over the full attribute universe and an artificial tag
+/// attribute `variant_tag` records which EAD variant the tuple belongs to
+/// (or `'none'`).
+pub fn to_null_padded(rel: &FlexRelation, ead: &Ead) -> Result<NullPaddedRelation> {
+    if ead.lhs().len() != 1 {
+        return Err(CoreError::Invalid(
+            "the flat translation models single-attribute determinants; introduce an artificial \
+             determinant first (see flexrel-embed) for multi-attribute ones"
+                .into(),
+        ));
+    }
+    let tag_attr = Attr::new("variant_tag");
+    let universe = rel.attrs().union(&tag_attr.to_set());
+    let mut tuples = Vec::with_capacity(rel.len());
+    for t in rel.tuples() {
+        let variant = if t.defined_on(ead.lhs()) {
+            ead.variant_for(&t.project(ead.lhs())).map(|(i, _)| i)
+        } else {
+            None
+        };
+        let tag_value = match variant {
+            Some(i) => Value::tag(format!("variant_{}", i)),
+            None => Value::tag("none"),
+        };
+        // The tag mirrors the determining attribute's value so the manual
+        // consistency check can interpret it.
+        let mut padded = t.null_padded(&rel.attrs());
+        let det_value = t
+            .get(ead.lhs().iter().next().unwrap())
+            .cloned()
+            .unwrap_or(Value::Null);
+        let _ = tag_value;
+        padded.insert(tag_attr.clone(), det_value);
+        tuples.push(padded);
+    }
+    Ok(NullPaddedRelation {
+        name: format!("{}_flat", rel.name()),
+        universe,
+        tag_attr,
+        ead: ead.clone(),
+        tuples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::dep::example2_jobtype_ead;
+    use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+    use std::collections::BTreeSet as Set;
+
+    fn loaded(n: usize) -> FlexRelation {
+        let mut rel = employee_relation();
+        for t in generate_employees(&EmployeeConfig::clean(n)) {
+            rel.insert(t).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn padding_produces_homogeneous_rows() {
+        let rel = loaded(50);
+        let flat = to_null_padded(&rel, &example2_jobtype_ead()).unwrap();
+        assert_eq!(flat.len(), 50);
+        for t in &flat.tuples {
+            assert_eq!(t.arity(), flat.universe.len());
+        }
+        assert!(!flat.is_empty());
+    }
+
+    #[test]
+    fn null_cell_overhead_is_substantial() {
+        // Each employee uses 2 of the 5 variant attributes, so 3 nulls per
+        // row: the flat translation wastes 3·n cells that the flexible
+        // relation simply does not store.
+        let rel = loaded(100);
+        let flat = to_null_padded(&rel, &example2_jobtype_ead()).unwrap();
+        assert_eq!(flat.null_cells(), 3 * 100);
+        assert_eq!(flat.total_cells(), 100 * flat.universe.len());
+    }
+
+    #[test]
+    fn round_trip_through_padding() {
+        let rel = loaded(60);
+        let flat = to_null_padded(&rel, &example2_jobtype_ead()).unwrap();
+        let back: Set<Tuple> = flat.to_flexible_tuples().into_iter().collect();
+        let original: Set<Tuple> = rel.tuples().iter().cloned().collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn flat_translation_accepts_inconsistent_rows_silently() {
+        // The paper's point: nothing in the flat schema rejects a salesman
+        // with a typing-speed; only the hand-written application check finds
+        // it.
+        let rel = loaded(10);
+        let mut flat = to_null_padded(&rel, &example2_jobtype_ead()).unwrap();
+        assert!(flat.manual_consistency_check().is_empty());
+
+        let mut bad = Tuple::new()
+            .with("empno", 99)
+            .with("name", "bad")
+            .with("salary", 1.0)
+            .with("jobtype", Value::tag("salesman"))
+            .with("typing-speed", 400)
+            .with("foreign-languages", "fr")
+            .null_padded(&rel.attrs());
+        bad.insert(flat.tag_attr.clone(), Value::tag("salesman"));
+        flat.insert_unchecked(bad);
+        let inconsistent = flat.manual_consistency_check();
+        assert_eq!(inconsistent, vec![10]);
+    }
+
+    #[test]
+    fn multi_attribute_determinant_is_rejected() {
+        let rel = loaded(1);
+        let mk = |a: &str, b: &str| {
+            vec![Tuple::new()
+                .with("sex", Value::tag(a))
+                .with("marital-status", Value::tag(b))]
+        };
+        let ead = Ead::new(
+            AttrSet::from_names(["sex", "marital-status"]),
+            AttrSet::singleton("maiden-name"),
+            vec![flexrel_core::dep::EadVariant::new(
+                mk("female", "married"),
+                AttrSet::singleton("maiden-name"),
+            )],
+        )
+        .unwrap();
+        assert!(to_null_padded(&rel, &ead).is_err());
+    }
+
+    #[test]
+    fn missing_tag_is_inconsistent() {
+        let rel = loaded(1);
+        let mut flat = to_null_padded(&rel, &example2_jobtype_ead()).unwrap();
+        let mut no_tag = rel.tuples()[0].null_padded(&rel.attrs());
+        no_tag.insert(flat.tag_attr.clone(), Value::Null);
+        flat.insert_unchecked(no_tag);
+        assert_eq!(flat.manual_consistency_check().len(), 1);
+    }
+}

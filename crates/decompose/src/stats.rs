@@ -1,0 +1,152 @@
+//! Storage metrics for comparing the representations (experiment E8).
+
+use flexrel_core::relation::FlexRelation;
+
+use crate::{HorizontalDecomposition, MultiRelation, NullPaddedRelation, VerticalDecomposition};
+
+/// Storage statistics of one representation of a heterogeneous entity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Number of stored tuples (rows across all fragments/relations).
+    pub tuples: usize,
+    /// Number of stored cells (attribute/value slots, nulls included).
+    pub cells: usize,
+    /// Number of stored null cells.
+    pub null_cells: usize,
+    /// Number of relations/fragments the representation uses.
+    pub relations: usize,
+}
+
+impl StorageStats {
+    /// Cells that carry actual data.
+    pub fn useful_cells(&self) -> usize {
+        self.cells - self.null_cells
+    }
+
+    /// Fraction of cells wasted on nulls.
+    pub fn null_fraction(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.null_cells as f64 / self.cells as f64
+        }
+    }
+}
+
+fn relation_cells(rel: &FlexRelation) -> usize {
+    rel.tuples().iter().map(|t| t.arity()).sum()
+}
+
+/// Statistics of a flexible relation (tuples store only the attributes they
+/// are defined on; no nulls by construction).
+pub fn flexible_stats(rel: &FlexRelation) -> StorageStats {
+    StorageStats {
+        tuples: rel.len(),
+        cells: relation_cells(rel),
+        null_cells: 0,
+        relations: 1,
+    }
+}
+
+/// Statistics of the null-padded flat baseline.
+pub fn null_padded_stats(flat: &NullPaddedRelation) -> StorageStats {
+    StorageStats {
+        tuples: flat.len(),
+        cells: flat.total_cells(),
+        null_cells: flat.null_cells(),
+        relations: 1,
+    }
+}
+
+/// Statistics of a horizontal decomposition.
+pub fn horizontal_stats(d: &HorizontalDecomposition) -> StorageStats {
+    let fragments: Vec<&FlexRelation> = d
+        .fragments
+        .iter()
+        .chain(std::iter::once(&d.rest))
+        .collect();
+    StorageStats {
+        tuples: fragments.iter().map(|r| r.len()).sum(),
+        cells: fragments.iter().map(|r| relation_cells(r)).sum(),
+        null_cells: 0,
+        relations: fragments.iter().filter(|r| !r.is_empty()).count(),
+    }
+}
+
+/// Statistics of a vertical decomposition.
+pub fn vertical_stats(d: &VerticalDecomposition) -> StorageStats {
+    let rels: Vec<&FlexRelation> = std::iter::once(&d.master).chain(d.details.iter()).collect();
+    StorageStats {
+        tuples: rels.iter().map(|r| r.len()).sum(),
+        cells: rels.iter().map(|r| relation_cells(r)).sum(),
+        null_cells: 0,
+        relations: rels.len(),
+    }
+}
+
+/// Statistics of a multirelation.
+pub fn multirel_stats(m: &MultiRelation) -> StorageStats {
+    let rels: Vec<&FlexRelation> = std::iter::once(&m.master).chain(m.depending.values()).collect();
+    StorageStats {
+        tuples: rels.iter().map(|r| r.len()).sum(),
+        cells: rels.iter().map(|r| relation_cells(r)).sum(),
+        null_cells: 0,
+        relations: rels.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{horizontal_decompose, multirel_decompose, to_null_padded, vertical_decompose};
+    use flexrel_core::attr::AttrSet;
+    use flexrel_core::dep::example2_jobtype_ead;
+    use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+    fn loaded(n: usize) -> FlexRelation {
+        let mut rel = employee_relation();
+        for t in generate_employees(&EmployeeConfig::clean(n)) {
+            rel.insert(t).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn flexible_representation_has_no_nulls_and_fewest_cells() {
+        let rel = loaded(200);
+        let ead = example2_jobtype_ead();
+        let key = AttrSet::singleton("empno");
+
+        let flex = flexible_stats(&rel);
+        let flat = null_padded_stats(&to_null_padded(&rel, &ead).unwrap());
+        let horiz = horizontal_stats(&horizontal_decompose(&rel, &ead).unwrap());
+        let vert = vertical_stats(&vertical_decompose(&rel, &ead, &key).unwrap());
+        let multi = multirel_stats(&multirel_decompose(&rel, &ead, &key).unwrap());
+
+        assert_eq!(flex.null_cells, 0);
+        assert_eq!(flex.null_fraction(), 0.0);
+        // The flat baseline stores strictly more cells, all of the surplus
+        // being nulls (plus the artificial tag column).
+        assert!(flat.cells > flex.cells);
+        assert!(flat.null_cells > 0);
+        assert!(flat.null_fraction() > 0.2);
+        // Horizontal fragments store exactly the same cells as the flexible
+        // relation (they are a partition of it).
+        assert_eq!(horiz.cells, flex.cells);
+        assert_eq!(horiz.tuples, flex.tuples);
+        assert!(horiz.relations >= 3);
+        // Vertical decomposition and the multirelation pay for the repeated
+        // key (and the image attribute).
+        assert!(vert.cells > flex.cells);
+        assert_eq!(vert.tuples, 2 * rel.len());
+        assert!(multi.cells >= vert.cells);
+        assert_eq!(flat.useful_cells() + flat.null_cells, flat.cells);
+    }
+
+    #[test]
+    fn null_fraction_of_empty_representation_is_zero() {
+        let s = StorageStats { tuples: 0, cells: 0, null_cells: 0, relations: 1 };
+        assert_eq!(s.null_fraction(), 0.0);
+        assert_eq!(s.useful_cells(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Artificial determinants (§4.2) and artificial EADs for uncovered groups
+//! (§3.3).
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::axioms::{derive, AxiomSystem, Derivation};
+use flexrel_core::dep::{Ad, Dependency, DependencySet, Ead, EadVariant, Fd};
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::scheme::FlexScheme;
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+
+/// The result of replacing a multi-attribute determinant by an artificial
+/// single attribute.
+#[derive(Clone, Debug)]
+pub struct ArtificialDeterminant {
+    /// The artificial attribute `A`.
+    pub attr: Attr,
+    /// The functional dependency `X --func--> A` tying the artificial
+    /// attribute to the original determinant.
+    pub fd: Fd,
+    /// The rewritten explicit dependency `A --exp.attr--> Y`.
+    pub ead: Ead,
+    /// The machine-checkable certificate that the original abbreviated
+    /// dependency `X --attr--> Y` is still derivable (via AF2) from the
+    /// replacement — the validity argument of §4.2.
+    pub certificate: Derivation,
+}
+
+impl ArtificialDeterminant {
+    /// The value the artificial attribute must carry for a tuple whose
+    /// original determinant projection is `x_value` (one tag per variant,
+    /// `'none'` when no variant matches).
+    pub fn tag_for(&self, original: &Ead, x_value: &Tuple) -> Value {
+        match original.variant_for(x_value) {
+            Some((i, _)) => Value::tag(format!("v{}", i)),
+            None => Value::tag("none"),
+        }
+    }
+}
+
+/// Replaces the (possibly multi-attribute) determinant of `ead` by an
+/// artificial single attribute named `tag_name`, as required by PASCAL's
+/// variant records.  Returns the artificial attribute, the accompanying FD,
+/// the rewritten EAD and the ℰ-derivation proving the original dependency is
+/// preserved.
+pub fn introduce_artificial_determinant(
+    ead: &Ead,
+    tag_name: &str,
+) -> Result<ArtificialDeterminant> {
+    let attr = Attr::new(tag_name);
+    if ead.lhs().contains(&attr) || ead.rhs().contains(&attr) {
+        return Err(CoreError::Invalid(format!(
+            "the artificial attribute {} collides with the dependency's attributes",
+            attr
+        )));
+    }
+    let fd = Fd::new(ead.lhs().clone(), attr.to_set());
+    let variants: Vec<EadVariant> = ead
+        .variants()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            EadVariant::new(
+                vec![Tuple::new().with(attr.clone(), Value::tag(format!("v{}", i)))],
+                v.attrs.clone(),
+            )
+        })
+        .collect();
+    let new_ead = Ead::new(attr.to_set(), ead.rhs().clone(), variants)?;
+
+    // Certificate: from { X --func--> A, A --attr--> Y } derive
+    // X --attr--> Y in the combined system ℰ.
+    let sigma = DependencySet::from_deps(vec![
+        Dependency::Fd(fd.clone()),
+        Dependency::Ad(new_ead.to_ad()),
+    ]);
+    let target = Dependency::Ad(Ad::new(ead.lhs().clone(), ead.rhs().clone()));
+    let certificate = derive(&sigma, &target, AxiomSystem::E).ok_or_else(|| {
+        CoreError::Invalid("the artificial-determinant replacement lost the original dependency".into())
+    })?;
+    Ok(ArtificialDeterminant { attr, fd, ead: new_ead, certificate })
+}
+
+/// Synthesizes an artificial EAD for a variant group of a flexible scheme
+/// (§3.3: "if necessary, this can be obtained by introducing artificial ADs
+/// with artificial determining attributes").  The artificial determinant
+/// `tag_name` enumerates every admissible attribute combination of the
+/// group, one tag value per combination — this also covers non-disjoint
+/// unions, which no single host-language case construct expresses directly.
+pub fn artificial_ead_for_group(group: &FlexScheme, tag_name: &str) -> Result<Ead> {
+    let attr = Attr::new(tag_name);
+    let combos: Vec<AttrSet> = group.dnf().into_iter().collect();
+    if combos.is_empty() {
+        return Err(CoreError::InvalidScheme("the group admits no combination".into()));
+    }
+    let variants: Vec<EadVariant> = combos
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            EadVariant::new(
+                vec![Tuple::new().with(attr.clone(), Value::tag(format!("c{}", i)))],
+                c.clone(),
+            )
+        })
+        .collect();
+    Ead::new(attr.to_set(), group.attrs(), variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+    use flexrel_core::axioms::Rule;
+    use flexrel_core::dep::example2_jobtype_ead;
+
+    fn maiden_name_ead() -> Ead {
+        let mk = |sex: &str, ms: &str| {
+            Tuple::new()
+                .with("sex", Value::tag(sex))
+                .with("marital-status", Value::tag(ms))
+        };
+        Ead::new(
+            attrs!["sex", "marital-status"],
+            attrs!["maiden-name"],
+            vec![EadVariant::new(
+                vec![mk("female", "married"), mk("female", "widowed")],
+                attrs!["maiden-name"],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn workaround_is_certified_by_af2() {
+        let original = maiden_name_ead();
+        let art = introduce_artificial_determinant(&original, "name-variant").unwrap();
+        assert_eq!(art.fd.lhs(), &attrs!["sex", "marital-status"]);
+        assert_eq!(art.fd.rhs(), &attrs!["name-variant"]);
+        assert_eq!(art.ead.lhs(), &attrs!["name-variant"]);
+        // The certificate is verifiable and uses combined transitivity.
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Fd(art.fd.clone()),
+            Dependency::Ad(art.ead.to_ad()),
+        ]);
+        art.certificate.verify(&sigma).unwrap();
+        assert!(art
+            .certificate
+            .steps
+            .iter()
+            .any(|s| s.rule == Rule::CombinedTransitivity));
+    }
+
+    #[test]
+    fn tag_values_follow_the_original_variants() {
+        let original = maiden_name_ead();
+        let art = introduce_artificial_determinant(&original, "name-variant").unwrap();
+        let married = Tuple::new()
+            .with("sex", Value::tag("female"))
+            .with("marital-status", Value::tag("married"));
+        assert_eq!(art.tag_for(&original, &married), Value::tag("v0"));
+        let single = Tuple::new()
+            .with("sex", Value::tag("male"))
+            .with("marital-status", Value::tag("single"));
+        assert_eq!(art.tag_for(&original, &single), Value::tag("none"));
+    }
+
+    #[test]
+    fn collision_with_existing_attribute_is_rejected() {
+        let original = maiden_name_ead();
+        assert!(introduce_artificial_determinant(&original, "sex").is_err());
+        assert!(introduce_artificial_determinant(&original, "maiden-name").is_err());
+    }
+
+    #[test]
+    fn single_attribute_determinants_also_work() {
+        // The workaround is not *needed* for single-attribute determinants,
+        // but it must still be sound.
+        let art = introduce_artificial_determinant(&example2_jobtype_ead(), "job-variant").unwrap();
+        assert_eq!(art.ead.variants().len(), 3);
+        let sigma = DependencySet::from_deps(vec![
+            Dependency::Fd(art.fd.clone()),
+            Dependency::Ad(art.ead.to_ad()),
+        ]);
+        art.certificate.verify(&sigma).unwrap();
+    }
+
+    #[test]
+    fn artificial_ead_covers_non_disjoint_groups() {
+        // The electronic communication address: a non-disjoint union of
+        // three attributes has 7 admissible combinations.
+        let group = FlexScheme::non_disjoint_union(["tel-number", "FAX-number", "email-address"])
+            .unwrap();
+        let ead = artificial_ead_for_group(&group, "comm-variant").unwrap();
+        assert_eq!(ead.variants().len(), 7);
+        assert_eq!(ead.rhs(), &attrs!["tel-number", "FAX-number", "email-address"]);
+        // Every variant prescribes one of the group's admissible combos.
+        let dnf = group.dnf();
+        for v in ead.variants() {
+            assert!(dnf.contains(&v.attrs));
+        }
+    }
+
+    #[test]
+    fn artificial_ead_for_disjoint_group() {
+        let group = FlexScheme::disjoint_union(["PostOfficeBoxNumber", "Street"]).unwrap();
+        let ead = artificial_ead_for_group(&group, "local-variant").unwrap();
+        assert_eq!(ead.variants().len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # flexrel-embed
+//!
+//! Host-language embedding of flexible relations (§3.3, §4.2 of
+//! Kalus & Dadam, ICDE 1995).
+//!
+//! Attribute dependencies are an encoding of general sums, so a flexible
+//! scheme whose existential relationships are each accompanied by an AD can
+//! be translated into a host-language sum type:
+//!
+//! * [`pascal`] generates PASCAL variant-record declarations — the target
+//!   the paper discusses, including its syntactic restriction that only a
+//!   *single* attribute may act as the determinant of a variant part;
+//! * [`rust_gen`] generates the equivalent Rust `struct` + `enum`
+//!   declarations;
+//! * [`artificial`] implements the §4.2 workaround for that restriction:
+//!   introduce an artificial determinant `A`, replace `X --attr--> Y` by
+//!   `A --attr--> Y` and add `X --func--> A`; the combined axiom system ℰ
+//!   (rule AF2) proves the replacement faithful, and the module produces
+//!   that derivation as a machine-checkable certificate.
+
+pub mod artificial;
+pub mod pascal;
+pub mod rust_gen;
+
+pub use artificial::{artificial_ead_for_group, introduce_artificial_determinant, ArtificialDeterminant};
+pub use pascal::{pascal_record, PascalEmbedding};
+pub use rust_gen::rust_types;

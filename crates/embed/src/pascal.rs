@@ -1,0 +1,262 @@
+//! PASCAL variant-record generation (§3.3, §4.2).
+//!
+//! A flexible scheme accompanied by EADs for its variant groups translates
+//! into PASCAL types as follows: the unconditioned attributes and every
+//! determinant become fixed fields; each variant group becomes a dedicated
+//! record type whose variant part (`case … of`) is driven by the group's
+//! determinant.  PASCAL's restriction that the determinant of a variant part
+//! must be a *single* field is honoured: callers with multi-attribute
+//! determinants first apply
+//! [`introduce_artificial_determinant`](crate::artificial::introduce_artificial_determinant).
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::dep::Ead;
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::scheme::FlexScheme;
+use flexrel_core::value::Domain;
+
+/// The result of a PASCAL embedding: the generated source text plus the
+/// structure it was generated from (useful for tests and tooling).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PascalEmbedding {
+    /// The generated `type` section.
+    pub source: String,
+    /// Name of the top-level record type.
+    pub record_name: String,
+    /// One generated sub-record per variant group, in EAD order.
+    pub group_records: Vec<String>,
+}
+
+fn identifier(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        out.insert(0, 'f');
+    }
+    out
+}
+
+fn pascal_type(domain: &Domain) -> String {
+    match domain {
+        Domain::Int | Domain::IntRange(_, _) => "integer".to_string(),
+        Domain::Float => "real".to_string(),
+        Domain::Bool => "boolean".to_string(),
+        Domain::Text | Domain::Any => "string[80]".to_string(),
+        Domain::Enum(tags) => {
+            let names: Vec<String> = tags.iter().map(|t| identifier(t)).collect();
+            format!("({})", names.join(", "))
+        }
+        Domain::Finite(_) => "string[80]".to_string(),
+    }
+}
+
+fn domain_of(domains: &[(&str, Domain)], attr: &Attr) -> Domain {
+    domains
+        .iter()
+        .find(|(n, _)| *n == attr.name())
+        .map(|(_, d)| d.clone())
+        .unwrap_or(Domain::Any)
+}
+
+/// Generates a PASCAL `type` section for a flexible scheme whose variant
+/// groups are each governed by one of the supplied EADs.
+///
+/// Requirements checked here (both straight from the paper):
+/// * every EAD determinant must be a single attribute (PASCAL restriction;
+///   see §4.2 for the workaround), and
+/// * every attribute of the scheme must either be unconditioned (outside all
+///   EAD right sides, present in every combination) or covered by exactly
+///   one EAD (§3.3: each existential relationship needs an accompanying AD).
+pub fn pascal_record(
+    type_name: &str,
+    scheme: &FlexScheme,
+    eads: &[Ead],
+    domains: &[(&str, Domain)],
+) -> Result<PascalEmbedding> {
+    let all = scheme.attrs();
+    let mut covered = AttrSet::empty();
+    for ead in eads {
+        if ead.lhs().len() != 1 {
+            return Err(CoreError::Invalid(format!(
+                "PASCAL variant records allow only a single determinant field; {} has {} — \
+                 introduce an artificial determinant first (§4.2)",
+                ead.lhs(),
+                ead.lhs().len()
+            )));
+        }
+        if !covered.is_disjoint(ead.rhs()) {
+            return Err(CoreError::Invalid(
+                "variant groups covered by different EADs must not overlap".into(),
+            ));
+        }
+        covered.extend_with(ead.rhs());
+        if !ead.lhs().is_subset(&all) && !ead.lhs().iter().next().map(|a| a.name().contains("variant")).unwrap_or(false) {
+            // The determinant is usually part of the scheme; an artificial
+            // tag attribute may live outside it — both are acceptable.
+        }
+    }
+    let fixed = all.difference(&covered);
+
+    // Fixed attributes must be present in every admissible combination,
+    // otherwise some existential relationship lacks its AD (§3.3).
+    for combo in scheme.dnf() {
+        if !fixed.is_subset(&combo) {
+            let missing = fixed.difference(&combo);
+            return Err(CoreError::Invalid(format!(
+                "attributes {} are optional in the scheme but no EAD governs them; \
+                 introduce an artificial AD (see artificial_ead_for_group)",
+                missing
+            )));
+        }
+    }
+
+    let record_name = identifier(type_name);
+    let mut group_records = Vec::new();
+    let mut out = String::new();
+    out.push_str("type\n");
+
+    // One sub-record per EAD (its variant part).
+    for (gi, ead) in eads.iter().enumerate() {
+        let det = ead.lhs().iter().next().expect("single determinant");
+        let det_domain = domain_of(domains, det);
+        let group_name = format!("{}_group{}", record_name, gi);
+        out.push_str(&format!("  {} = record\n", group_name));
+        out.push_str(&format!(
+            "    case {} : {} of\n",
+            identifier(det.name()),
+            pascal_type(&det_domain)
+        ));
+        for (vi, variant) in ead.variants().iter().enumerate() {
+            let label = variant
+                .values
+                .first()
+                .and_then(|v| v.get(det))
+                .map(|v| identifier(&v.to_string()))
+                .unwrap_or_else(|| format!("v{}", vi));
+            let fields: Vec<String> = variant
+                .attrs
+                .iter()
+                .map(|a| {
+                    format!(
+                        "{} : {}",
+                        identifier(a.name()),
+                        pascal_type(&domain_of(domains, a))
+                    )
+                })
+                .collect();
+            out.push_str(&format!("      {} : ({});\n", label, fields.join("; ")));
+        }
+        out.push_str("  end;\n");
+        group_records.push(group_name);
+    }
+
+    // The top-level record: fixed fields plus one field per group record.
+    out.push_str(&format!("  {} = record\n", record_name));
+    for a in fixed.iter() {
+        out.push_str(&format!(
+            "    {} : {};\n",
+            identifier(a.name()),
+            pascal_type(&domain_of(domains, a))
+        ));
+    }
+    for g in &group_records {
+        out.push_str(&format!("    {} : {};\n", g.to_lowercase(), g));
+    }
+    out.push_str("  end;\n");
+
+    Ok(PascalEmbedding { source: out, record_name, group_records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::dep::example2_jobtype_ead;
+    use flexrel_workload::{employee_domains, employee_scheme};
+
+    #[test]
+    fn employee_embedding_produces_a_case_record() {
+        let emb = pascal_record(
+            "employee",
+            &employee_scheme(),
+            &[example2_jobtype_ead()],
+            &employee_domains(),
+        )
+        .unwrap();
+        assert!(emb.source.starts_with("type\n"));
+        assert!(emb.source.contains("case jobtype : (salesman, secretary, software_engineer) of"));
+        assert!(emb.source.contains("typing_speed : integer"));
+        assert!(emb.source.contains("sales_commission : integer"));
+        assert!(emb.source.contains("employee = record"));
+        assert!(emb.source.contains("salary : real;"));
+        assert_eq!(emb.group_records.len(), 1);
+        assert_eq!(emb.record_name, "employee");
+    }
+
+    #[test]
+    fn multi_attribute_determinant_is_rejected() {
+        use flexrel_core::dep::EadVariant;
+        use flexrel_core::tuple::Tuple;
+        use flexrel_core::value::Value;
+        let scheme = flexrel_core::scheme::SchemeBuilder::all_of(["sex", "marital-status"])
+            .optional("maiden-name")
+            .build()
+            .unwrap();
+        let mk = |a: &str, b: &str| {
+            Tuple::new()
+                .with("sex", Value::tag(a))
+                .with("marital-status", Value::tag(b))
+        };
+        let ead = Ead::new(
+            AttrSet::from_names(["sex", "marital-status"]),
+            AttrSet::singleton("maiden-name"),
+            vec![EadVariant::new(vec![mk("female", "married")], AttrSet::singleton("maiden-name"))],
+        )
+        .unwrap();
+        let err = pascal_record("person", &scheme, &[ead], &[]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn uncovered_optional_attribute_is_rejected() {
+        // The employee scheme without any EAD: the five variant attributes
+        // are optional but ungoverned.
+        let err = pascal_record("employee", &employee_scheme(), &[], &employee_domains());
+        assert!(err.is_err());
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("artificial"), "hint at the artificial-AD workaround: {msg}");
+    }
+
+    #[test]
+    fn artificial_ead_makes_an_uncovered_group_embeddable() {
+        use crate::artificial::artificial_ead_for_group;
+        // The communication group of the address entity.
+        let group = FlexScheme::non_disjoint_union(["tel-number", "FAX-number", "email-address"])
+            .unwrap();
+        let scheme = flexrel_core::scheme::SchemeBuilder::all_of(["ZipCode", "Town"])
+            .nested(group.clone())
+            .build()
+            .unwrap();
+        let ead = artificial_ead_for_group(&group, "comm-variant").unwrap();
+        let emb = pascal_record("address", &scheme, &[ead], &[]).unwrap();
+        assert!(emb.source.contains("case comm_variant"));
+        assert!(emb.source.contains("ZipCode : string[80]"));
+    }
+
+    #[test]
+    fn identifier_sanitization() {
+        assert_eq!(identifier("typing-speed"), "typing_speed");
+        assert_eq!(identifier("3x"), "f3x");
+        assert_eq!(identifier("'secretary'"), "_secretary_");
+    }
+
+    #[test]
+    fn type_mapping() {
+        assert_eq!(pascal_type(&Domain::Int), "integer");
+        assert_eq!(pascal_type(&Domain::Float), "real");
+        assert_eq!(pascal_type(&Domain::Bool), "boolean");
+        assert_eq!(pascal_type(&Domain::Text), "string[80]");
+        assert!(pascal_type(&Domain::enumeration(["a", "b"])).starts_with('('));
+    }
+}

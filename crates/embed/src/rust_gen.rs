@@ -1,0 +1,203 @@
+//! Rust type generation: the modern counterpart of the PASCAL embedding.
+//!
+//! A flexible scheme plus its EADs becomes a `struct` with the unconditioned
+//! attributes as plain fields and one `enum` field per variant group, each
+//! enum variant carrying that variant's attributes.  Non-disjoint unions
+//! (which PASCAL cannot express directly) need the same artificial-EAD
+//! treatment; the generated enum then has one variant per admissible
+//! combination.
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::dep::Ead;
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::scheme::FlexScheme;
+use flexrel_core::value::Domain;
+
+fn camel(name: &str) -> String {
+    let mut out = String::new();
+    let mut upper = true;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if upper {
+                out.extend(c.to_uppercase());
+                upper = false;
+            } else {
+                out.push(c);
+            }
+        } else {
+            upper = true;
+        }
+    }
+    if out.is_empty() || out.chars().next().unwrap().is_ascii_digit() {
+        out.insert(0, 'T');
+    }
+    out
+}
+
+fn snake(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    if out.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        out.insert(0, 'f');
+    }
+    out
+}
+
+fn rust_type(domain: &Domain) -> &'static str {
+    match domain {
+        Domain::Int | Domain::IntRange(_, _) => "i64",
+        Domain::Float => "f64",
+        Domain::Bool => "bool",
+        _ => "String",
+    }
+}
+
+fn domain_of(domains: &[(&str, Domain)], attr: &Attr) -> Domain {
+    domains
+        .iter()
+        .find(|(n, _)| *n == attr.name())
+        .map(|(_, d)| d.clone())
+        .unwrap_or(Domain::Any)
+}
+
+/// Generates Rust type declarations (`struct` + one `enum` per EAD) for a
+/// flexible scheme.  The same coverage requirements as the PASCAL embedding
+/// apply: single-attribute determinants and full coverage of all optional
+/// attributes by the supplied EADs.
+pub fn rust_types(
+    type_name: &str,
+    scheme: &FlexScheme,
+    eads: &[Ead],
+    domains: &[(&str, Domain)],
+) -> Result<String> {
+    let all = scheme.attrs();
+    let mut covered = AttrSet::empty();
+    for ead in eads {
+        if ead.lhs().len() != 1 {
+            return Err(CoreError::Invalid(
+                "introduce an artificial determinant before generating sum types".into(),
+            ));
+        }
+        covered.extend_with(ead.rhs());
+    }
+    let fixed = all.difference(&covered);
+    for combo in scheme.dnf() {
+        if !fixed.is_subset(&combo) {
+            return Err(CoreError::Invalid(format!(
+                "attributes {} are optional but not governed by any EAD",
+                fixed.difference(&combo)
+            )));
+        }
+    }
+
+    let mut out = String::new();
+    // Enums first.
+    let mut enum_names = Vec::new();
+    for (gi, ead) in eads.iter().enumerate() {
+        let det = ead.lhs().iter().next().expect("single determinant");
+        let enum_name = format!("{}{}", camel(type_name), camel(det.name()));
+        out.push_str(&format!("#[derive(Clone, Debug, PartialEq)]\npub enum {} {{\n", enum_name));
+        for (vi, variant) in ead.variants().iter().enumerate() {
+            let label = variant
+                .values
+                .first()
+                .and_then(|v| v.get(det))
+                .and_then(|v| v.as_str().map(camel))
+                .unwrap_or_else(|| format!("V{}", vi));
+            if variant.attrs.is_empty() {
+                out.push_str(&format!("    {},\n", label));
+            } else {
+                out.push_str(&format!("    {} {{\n", label));
+                for a in variant.attrs.iter() {
+                    out.push_str(&format!(
+                        "        {}: {},\n",
+                        snake(a.name()),
+                        rust_type(&domain_of(domains, a))
+                    ));
+                }
+                out.push_str("    },\n");
+            }
+        }
+        out.push_str("}\n\n");
+        enum_names.push((gi, enum_name));
+    }
+    // The struct.
+    out.push_str(&format!(
+        "#[derive(Clone, Debug, PartialEq)]\npub struct {} {{\n",
+        camel(type_name)
+    ));
+    for a in fixed.iter() {
+        out.push_str(&format!(
+            "    pub {}: {},\n",
+            snake(a.name()),
+            rust_type(&domain_of(domains, a))
+        ));
+    }
+    for (gi, enum_name) in &enum_names {
+        out.push_str(&format!("    pub variant_{}: {},\n", gi, enum_name));
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::dep::example2_jobtype_ead;
+    use flexrel_workload::{employee_domains, employee_scheme};
+
+    #[test]
+    fn employee_types_generate_struct_and_enum() {
+        let src = rust_types(
+            "employee",
+            &employee_scheme(),
+            &[example2_jobtype_ead()],
+            &employee_domains(),
+        )
+        .unwrap();
+        assert!(src.contains("pub enum EmployeeJobtype {"));
+        assert!(src.contains("Secretary {"));
+        assert!(src.contains("typing_speed: i64,"));
+        assert!(src.contains("pub struct Employee {"));
+        assert!(src.contains("pub salary: f64,"));
+        assert!(src.contains("pub variant_0: EmployeeJobtype,"));
+    }
+
+    #[test]
+    fn generated_code_has_one_variant_per_ead_variant() {
+        let src = rust_types(
+            "employee",
+            &employee_scheme(),
+            &[example2_jobtype_ead()],
+            &employee_domains(),
+        )
+        .unwrap();
+        assert_eq!(src.matches("    Secretary").count(), 1);
+        assert_eq!(src.matches("    Salesman").count(), 1);
+        assert_eq!(src.matches("    SoftwareEngineer").count(), 1);
+    }
+
+    #[test]
+    fn uncovered_groups_are_rejected() {
+        assert!(rust_types("employee", &employee_scheme(), &[], &employee_domains()).is_err());
+    }
+
+    #[test]
+    fn name_mangling() {
+        assert_eq!(camel("software engineer"), "SoftwareEngineer");
+        assert_eq!(camel("typing-speed"), "TypingSpeed");
+        assert_eq!(snake("FAX-number"), "fax_number");
+        assert_eq!(snake("3d"), "f3d");
+        assert_eq!(camel(""), "T");
+    }
+
+    #[test]
+    fn type_mapping() {
+        assert_eq!(rust_type(&Domain::Int), "i64");
+        assert_eq!(rust_type(&Domain::Float), "f64");
+        assert_eq!(rust_type(&Domain::Bool), "bool");
+        assert_eq!(rust_type(&Domain::Text), "String");
+    }
+}

@@ -1,0 +1,236 @@
+//! A materializing executor for logical plans against a
+//! [`flexrel_storage::Database`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::error::Result;
+use flexrel_core::tuple::Tuple;
+use flexrel_storage::Database;
+
+use crate::logical::LogicalPlan;
+
+fn attrs_of(rows: &[Tuple]) -> AttrSet {
+    rows.iter().fold(AttrSet::empty(), |acc, t| acc.union(&t.attrs()))
+}
+
+fn hash_join(left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
+    let common = attrs_of(&left).intersection(&attrs_of(&right));
+    let mut hashed: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+    let mut scan: Vec<&Tuple> = Vec::new();
+    for r in &right {
+        if r.defined_on(&common) {
+            hashed.entry(r.project(&common)).or_default().push(r);
+        } else {
+            scan.push(r);
+        }
+    }
+    let mut out = Vec::new();
+    for l in &left {
+        if l.defined_on(&common) {
+            if let Some(partners) = hashed.get(&l.project(&common)) {
+                for r in partners {
+                    out.push(l.merged_with(r));
+                }
+            }
+            for r in &scan {
+                if l.joinable_with(r) {
+                    out.push(l.merged_with(r));
+                }
+            }
+        } else {
+            for r in &right {
+                if l.joinable_with(r) {
+                    out.push(l.merged_with(r));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Executes a logical plan, returning the result tuples.
+pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Vec<Tuple>> {
+    match plan {
+        LogicalPlan::Empty => Ok(Vec::new()),
+        LogicalPlan::Scan { relation, qualification } => {
+            let mut rows: Vec<Tuple> = db.scan(relation)?.into_iter().map(|(_, t)| t).collect();
+            // The qualification is *known* to hold; applying it is a no-op on
+            // consistent data but keeps hand-built fragment plans honest when
+            // they scan a broader base relation.
+            if let Some(q) = qualification {
+                rows.retain(|t| q.eval(t));
+            }
+            Ok(rows)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let rows = execute(input, db)?;
+            Ok(rows.into_iter().filter(|t| predicate.eval(t)).collect())
+        }
+        LogicalPlan::Project { input, attrs } => {
+            let rows = execute(input, db)?;
+            let mut seen = BTreeSet::new();
+            let mut out = Vec::new();
+            for t in rows {
+                let p = t.project(attrs);
+                if seen.insert(p.clone()) {
+                    out.push(p);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Guard { input, attrs } => {
+            let rows = execute(input, db)?;
+            Ok(rows.into_iter().filter(|t| t.defined_on(attrs)).collect())
+        }
+        LogicalPlan::Join { left, right } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            Ok(hash_join(l, r))
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let mut seen = BTreeSet::new();
+            let mut out = Vec::new();
+            for i in inputs {
+                for t in execute(i, db)? {
+                    if seen.insert(t.clone()) {
+                        out.push(t);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Extend { input, attr, value } => {
+            let rows = execute(input, db)?;
+            Ok(rows
+                .into_iter()
+                .map(|mut t| {
+                    t.insert(attr.as_str(), value.clone());
+                    t
+                })
+                .collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use crate::parser::parse;
+    use crate::planner::plan_query;
+    use flexrel_algebra::predicate::Predicate;
+    use flexrel_core::attrs;
+    use flexrel_core::value::Value;
+    use flexrel_storage::RelationDef;
+    use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+    fn db(n: usize) -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+        for t in generate_employees(&EmployeeConfig::clean(n)) {
+            db.insert("employee", t).unwrap();
+        }
+        db
+    }
+
+    fn run(db: &Database, frql: &str) -> Vec<Tuple> {
+        let q = parse(frql).unwrap();
+        let plan = plan_query(&q, db.catalog()).unwrap();
+        execute(&plan, db).unwrap()
+    }
+
+    #[test]
+    fn scan_filter_project_guard() {
+        let db = db(200);
+        let all = run(&db, "SELECT * FROM employee");
+        assert_eq!(all.len(), 200);
+
+        let secretaries = run(&db, "SELECT * FROM employee WHERE jobtype = 'secretary'");
+        assert!(!secretaries.is_empty());
+        assert!(secretaries
+            .iter()
+            .all(|t| t.get_name("jobtype") == Some(&Value::tag("secretary"))));
+
+        let projected = run(&db, "SELECT empno, salary FROM employee WHERE salary > 5000");
+        assert!(projected.iter().all(|t| t.attrs() == attrs!["empno", "salary"]));
+
+        let guarded = run(&db, "SELECT * FROM employee GUARD products");
+        assert!(guarded.iter().all(|t| t.has_name("products")));
+        assert!(guarded.len() < 200);
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_plans_agree() {
+        let db = db(300);
+        let queries = [
+            "SELECT * FROM employee WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
+            "SELECT empno FROM employee WHERE jobtype = 'salesman' GUARD sales-commission",
+            "SELECT * FROM employee WHERE jobtype = 'secretary' GUARD products",
+            "SELECT empno, products FROM employee WHERE jobtype = 'software engineer' AND PRESENT(products)",
+            "SELECT * FROM employee WHERE salary > 9999999",
+        ];
+        for q in queries {
+            let parsed = parse(q).unwrap();
+            let plan = plan_query(&parsed, db.catalog()).unwrap();
+            let naive: std::collections::BTreeSet<Tuple> =
+                execute(&plan, &db).unwrap().into_iter().collect();
+            let (optimized, _) = optimize(plan, db.catalog());
+            let fast: std::collections::BTreeSet<Tuple> =
+                execute(&optimized, &db).unwrap().into_iter().collect();
+            assert_eq!(naive, fast, "optimization must not change results for {}", q);
+        }
+    }
+
+    #[test]
+    fn join_and_union_execution() {
+        let db = db(50);
+        // Join employee with itself projected on empno/salary: equivalent to
+        // the original relation (key join).
+        let left = LogicalPlan::scan("employee").project(attrs!["empno", "salary"]);
+        let right = LogicalPlan::scan("employee").project(attrs!["empno", "jobtype"]);
+        let joined = execute(&left.join(right), &db).unwrap();
+        assert_eq!(joined.len(), 50);
+        assert!(joined.iter().all(|t| t.attrs() == attrs!["empno", "salary", "jobtype"]));
+
+        let union = LogicalPlan::UnionAll {
+            inputs: vec![
+                LogicalPlan::scan("employee").filter(Predicate::eq("jobtype", Value::tag("secretary"))),
+                LogicalPlan::scan("employee").filter(Predicate::eq("jobtype", Value::tag("salesman"))),
+                LogicalPlan::scan("employee").filter(Predicate::eq("jobtype", Value::tag("salesman"))),
+            ],
+        };
+        let rows = execute(&union, &db).unwrap();
+        let by_scan = run(&db, "SELECT * FROM employee WHERE jobtype = 'secretary' OR jobtype = 'salesman'");
+        assert_eq!(rows.len(), by_scan.len(), "duplicates across branches are removed");
+    }
+
+    #[test]
+    fn extend_adds_constant() {
+        let db = db(10);
+        let plan = LogicalPlan::Extend {
+            input: Box::new(LogicalPlan::scan("employee")),
+            attr: "source".into(),
+            value: Value::tag("hr"),
+        };
+        let rows = execute(&plan, &db).unwrap();
+        assert!(rows.iter().all(|t| t.get_name("source") == Some(&Value::tag("hr"))));
+    }
+
+    #[test]
+    fn qualified_scan_applies_its_predicate() {
+        let db = db(40);
+        let plan = LogicalPlan::qualified_scan(
+            "employee",
+            Predicate::eq("jobtype", Value::tag("salesman")),
+        );
+        let rows = execute(&plan, &db).unwrap();
+        assert!(rows.iter().all(|t| t.get_name("jobtype") == Some(&Value::tag("salesman"))));
+    }
+
+    #[test]
+    fn empty_plan_returns_nothing() {
+        let db = db(5);
+        assert!(execute(&LogicalPlan::Empty, &db).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! # flexrel-query
+//!
+//! Query processing over flexible relations: a small query language (FRQL),
+//! logical plans, a rule-based optimizer whose rewrites are justified by
+//! attribute dependencies (§3.1.2 and Example 4 of Kalus & Dadam, ICDE
+//! 1995), and a materializing executor running against
+//! [`flexrel_storage::Database`].
+//!
+//! ## The optimizer's AD-driven rewrites
+//!
+//! * **Redundant type-guard elimination** (Example 4): a guard asking for
+//!   attributes whose presence already follows — via the axiom system ℛ/ℰ —
+//!   from the selection formula is removed; the derivation justifying the
+//!   removal is attached to the rewrite note.
+//! * **Unsatisfiable-guard pruning**: a guard asking for attributes the
+//!   selected variant can never carry collapses the subtree to an empty
+//!   plan.
+//! * **Variant/branch pruning** (qualified relations): joins and union
+//!   branches whose qualification contradicts the query's equality
+//!   constraints on the determining attributes are eliminated — the
+//!   "unnecessary joins with variants that are known to be excluded".
+//!
+//! ```
+//! use flexrel_query::prelude::*;
+//! use flexrel_storage::{Database, RelationDef};
+//! use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+//!
+//! let mut db = Database::new();
+//! let def = RelationDef::from_relation(&employee_relation());
+//! db.create_relation(def).unwrap();
+//! for t in generate_employees(&EmployeeConfig::clean(100)) {
+//!     db.insert("employee", t).unwrap();
+//! }
+//!
+//! let query = parse(
+//!     "SELECT empno, typing-speed FROM employee \
+//!      WHERE salary > 3000 AND jobtype = 'secretary' GUARD typing-speed",
+//! ).unwrap();
+//! let plan = plan_query(&query, db.catalog()).unwrap();
+//! let (optimized, notes) = optimize(plan, db.catalog());
+//! assert!(notes.iter().any(|n| n.rule == "guard-elimination"));
+//! let rows = execute(&optimized, &db).unwrap();
+//! assert!(rows.iter().all(|t| t.has_name("typing-speed")));
+//! ```
+
+pub mod exec;
+pub mod logical;
+pub mod optimizer;
+pub mod parser;
+pub mod planner;
+
+pub use exec::execute;
+pub use logical::LogicalPlan;
+pub use optimizer::{optimize, RewriteNote};
+pub use parser::{parse, Query};
+pub use planner::plan_query;
+
+/// The most commonly used items.
+pub mod prelude {
+    pub use crate::exec::execute;
+    pub use crate::logical::LogicalPlan;
+    pub use crate::optimizer::{optimize, RewriteNote};
+    pub use crate::parser::{parse, Query};
+    pub use crate::planner::plan_query;
+}

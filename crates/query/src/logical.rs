@@ -1,0 +1,212 @@
+//! Logical query plans over flexible relations.
+
+use std::fmt;
+
+use flexrel_algebra::predicate::Predicate;
+use flexrel_core::attr::AttrSet;
+use flexrel_core::value::Value;
+
+/// A logical plan node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalPlan {
+    /// A statically-known-empty result (produced by the optimizer when a
+    /// branch is proven unsatisfiable).
+    Empty,
+    /// Scan of a stored relation.  `qualification` is a predicate known to
+    /// hold for every tuple of the relation (a *qualified relation* in the
+    /// sense of Ceri/Pelagatti); the optimizer uses it to prune branches.
+    Scan {
+        relation: String,
+        qualification: Option<Predicate>,
+    },
+    /// Selection.
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: Predicate,
+    },
+    /// Projection onto an attribute set.
+    Project {
+        input: Box<LogicalPlan>,
+        attrs: AttrSet,
+    },
+    /// An explicit retrieval-side type guard: keep only tuples defined on
+    /// all the listed attributes.
+    Guard {
+        input: Box<LogicalPlan>,
+        attrs: AttrSet,
+    },
+    /// Natural join of two inputs.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
+    /// Outer union of several inputs (heterogeneous shapes allowed).
+    UnionAll { inputs: Vec<LogicalPlan> },
+    /// Extension by a constant attribute.
+    Extend {
+        input: Box<LogicalPlan>,
+        attr: String,
+        value: Value,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan of a relation without qualification.
+    pub fn scan(relation: impl Into<String>) -> Self {
+        LogicalPlan::Scan { relation: relation.into(), qualification: None }
+    }
+
+    /// Scan of a qualified relation.
+    pub fn qualified_scan(relation: impl Into<String>, qualification: Predicate) -> Self {
+        LogicalPlan::Scan {
+            relation: relation.into(),
+            qualification: Some(qualification),
+        }
+    }
+
+    /// Wraps the plan in a filter.
+    pub fn filter(self, predicate: Predicate) -> Self {
+        LogicalPlan::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Wraps the plan in a projection.
+    pub fn project(self, attrs: impl Into<AttrSet>) -> Self {
+        LogicalPlan::Project { input: Box::new(self), attrs: attrs.into() }
+    }
+
+    /// Wraps the plan in a type guard.
+    pub fn guard(self, attrs: impl Into<AttrSet>) -> Self {
+        LogicalPlan::Guard { input: Box::new(self), attrs: attrs.into() }
+    }
+
+    /// Joins the plan with another plan.
+    pub fn join(self, right: LogicalPlan) -> Self {
+        LogicalPlan::Join { left: Box::new(self), right: Box::new(right) }
+    }
+
+    /// Number of nodes in the plan.
+    pub fn node_count(&self) -> usize {
+        match self {
+            LogicalPlan::Empty | LogicalPlan::Scan { .. } => 1,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Guard { input, .. }
+            | LogicalPlan::Extend { input, .. } => 1 + input.node_count(),
+            LogicalPlan::Join { left, right } => 1 + left.node_count() + right.node_count(),
+            LogicalPlan::UnionAll { inputs } => {
+                1 + inputs.iter().map(|p| p.node_count()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of guard nodes (used by tests and the experiment harness to
+    /// show the optimizer removed them).
+    pub fn guard_count(&self) -> usize {
+        match self {
+            LogicalPlan::Empty | LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Guard { input, .. } => 1 + input.guard_count(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Extend { input, .. } => input.guard_count(),
+            LogicalPlan::Join { left, right } => left.guard_count() + right.guard_count(),
+            LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| p.guard_count()).sum(),
+        }
+    }
+
+    /// Number of join nodes.
+    pub fn join_count(&self) -> usize {
+        match self {
+            LogicalPlan::Empty | LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Join { left, right } => 1 + left.join_count() + right.join_count(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Guard { input, .. }
+            | LogicalPlan::Extend { input, .. } => input.join_count(),
+            LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| p.join_count()).sum(),
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Empty => writeln!(f, "{}Empty", pad),
+            LogicalPlan::Scan { relation, qualification } => match qualification {
+                Some(q) => writeln!(f, "{}Scan {} [qualified by {}]", pad, relation, q),
+                None => writeln!(f, "{}Scan {}", pad, relation),
+            },
+            LogicalPlan::Filter { input, predicate } => {
+                writeln!(f, "{}Filter {}", pad, predicate)?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Project { input, attrs } => {
+                writeln!(f, "{}Project {}", pad, attrs)?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Guard { input, attrs } => {
+                writeln!(f, "{}Guard {}", pad, attrs)?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Join { left, right } => {
+                writeln!(f, "{}Join", pad)?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::UnionAll { inputs } => {
+                writeln!(f, "{}UnionAll", pad)?;
+                for i in inputs {
+                    i.fmt_indent(f, indent + 1)?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Extend { input, attr, value } => {
+                writeln!(f, "{}Extend {} := {}", pad, attr, value)?;
+                input.fmt_indent(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+
+    fn sample() -> LogicalPlan {
+        LogicalPlan::scan("employee")
+            .filter(Predicate::gt("salary", 5000))
+            .guard(attrs!["typing-speed"])
+            .project(attrs!["empno", "typing-speed"])
+    }
+
+    #[test]
+    fn builders_and_counters() {
+        let p = sample();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.guard_count(), 1);
+        assert_eq!(p.join_count(), 0);
+        let j = LogicalPlan::scan("a").join(LogicalPlan::scan("b"));
+        assert_eq!(j.join_count(), 1);
+        assert_eq!(j.node_count(), 3);
+        let u = LogicalPlan::UnionAll { inputs: vec![sample(), LogicalPlan::Empty] };
+        assert_eq!(u.node_count(), 6);
+        assert_eq!(u.guard_count(), 1);
+    }
+
+    #[test]
+    fn display_is_an_explain_tree() {
+        let p = sample();
+        let s = p.to_string();
+        assert!(s.contains("Project {empno, typing-speed}"));
+        assert!(s.contains("Guard {typing-speed}"));
+        assert!(s.contains("Filter salary > 5000"));
+        assert!(s.contains("  Scan employee") || s.contains("Scan employee"));
+        let q = LogicalPlan::qualified_scan("detail", Predicate::eq("jobtype", flexrel_core::value::Value::tag("salesman")));
+        assert!(q.to_string().contains("qualified by"));
+    }
+}

@@ -1,0 +1,556 @@
+//! The rule-based optimizer.
+//!
+//! Every rewrite is *justified*: redundant type guards are removed only when
+//! the axiom system derives the corresponding attribute dependency from the
+//! declared dependencies (Example 4); branches and joins are pruned only
+//! when their qualification provably contradicts the query's equality
+//! constraints on the determining attributes (§3.1.2, qualified relations).
+
+use flexrel_algebra::predicate::Predicate;
+use flexrel_core::attr::AttrSet;
+use flexrel_core::axioms::AxiomSystem;
+use flexrel_core::dep::DependencySet;
+use flexrel_core::tuple::Tuple;
+use flexrel_core::typecheck::{analyse_guard, GuardAnalysis, SelectionContext, TypeGuard};
+use flexrel_storage::Catalog;
+
+use crate::logical::LogicalPlan;
+
+/// A record of one rewrite the optimizer performed, for EXPLAIN output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RewriteNote {
+    /// The rule that fired (e.g. `"guard-elimination"`).
+    pub rule: String,
+    /// Human-readable description, including the derivation for
+    /// guard-elimination rewrites.
+    pub detail: String,
+}
+
+impl RewriteNote {
+    fn new(rule: &str, detail: impl Into<String>) -> Self {
+        RewriteNote { rule: rule.to_string(), detail: detail.into() }
+    }
+}
+
+/// Optimizes a plan, returning the rewritten plan and the rewrite notes.
+pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> (LogicalPlan, Vec<RewriteNote>) {
+    let mut notes = Vec::new();
+    let plan = rewrite(plan, catalog, &SelectionContext::none(), &mut notes);
+    let plan = simplify_empties(plan, &mut notes);
+    (plan, notes)
+}
+
+/// The dependencies visible below a plan node: the union of the declared
+/// dependency sets of every scanned relation in the subtree.
+fn subtree_deps(plan: &LogicalPlan, catalog: &Catalog) -> DependencySet {
+    match plan {
+        LogicalPlan::Scan { relation, .. } => catalog
+            .get(relation)
+            .map(|def| def.deps.clone())
+            .unwrap_or_default(),
+        LogicalPlan::Empty => DependencySet::new(),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Extend { input, .. } => subtree_deps(input, catalog),
+        LogicalPlan::Join { left, right } => {
+            subtree_deps(left, catalog).union(&subtree_deps(right, catalog))
+        }
+        LogicalPlan::UnionAll { inputs } => inputs
+            .iter()
+            .fold(DependencySet::new(), |acc, p| acc.union(&subtree_deps(p, catalog))),
+    }
+}
+
+/// The selection context established *below* a node: predicates of filters
+/// and scan qualifications in the subtree contribute their required
+/// attributes and implied equalities.
+fn subtree_context(plan: &LogicalPlan) -> SelectionContext {
+    fn merge(ctx: SelectionContext, p: &Predicate) -> SelectionContext {
+        let mut ctx = ctx.with_referenced(p.required_attrs());
+        for (a, v) in p.implied_equalities().iter() {
+            ctx = ctx.with_equality(a.clone(), v.clone());
+        }
+        ctx
+    }
+    match plan {
+        LogicalPlan::Empty => SelectionContext::none(),
+        LogicalPlan::Scan { qualification, .. } => match qualification {
+            Some(q) => merge(SelectionContext::none(), q),
+            None => SelectionContext::none(),
+        },
+        LogicalPlan::Filter { input, predicate } => merge(subtree_context(input), predicate),
+        LogicalPlan::Guard { input, attrs } => {
+            subtree_context(input).with_referenced(attrs.clone())
+        }
+        LogicalPlan::Project { input, .. } | LogicalPlan::Extend { input, .. } => {
+            subtree_context(input)
+        }
+        LogicalPlan::Join { left, right } => {
+            // Both sides' constraints hold for the join result.
+            let l = subtree_context(left);
+            let r = subtree_context(right);
+            let mut ctx = l.with_referenced(r.referenced.clone());
+            for (a, v) in r.equalities.iter() {
+                ctx = ctx.with_equality(a.clone(), v.clone());
+            }
+            ctx
+        }
+        // A union guarantees only what holds on every branch; be
+        // conservative and claim nothing.
+        LogicalPlan::UnionAll { .. } => SelectionContext::none(),
+    }
+}
+
+/// All equality constraints established by scan qualifications inside a
+/// subtree (used for branch pruning).
+fn qualification_equalities(plan: &LogicalPlan) -> Tuple {
+    match plan {
+        LogicalPlan::Scan { qualification: Some(q), .. } => q.implied_equalities(),
+        LogicalPlan::Scan { .. } | LogicalPlan::Empty => Tuple::empty(),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Extend { input, .. } => qualification_equalities(input),
+        LogicalPlan::Join { left, right } => {
+            qualification_equalities(left).merged_with(&qualification_equalities(right))
+        }
+        LogicalPlan::UnionAll { .. } => Tuple::empty(),
+    }
+}
+
+/// Whether two equality constraint sets contradict each other: some shared
+/// attribute is pinned to different constants.
+fn contradicts(a: &Tuple, b: &Tuple) -> bool {
+    a.iter().any(|(attr, v)| b.get(attr).map(|w| w != v).unwrap_or(false))
+}
+
+fn rewrite(
+    plan: LogicalPlan,
+    catalog: &Catalog,
+    above: &SelectionContext,
+    notes: &mut Vec<RewriteNote>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Guard { input, attrs } => {
+            let deps = subtree_deps(&input, catalog);
+            let below = subtree_context(&input);
+            let ctx = merge_contexts(above, &below);
+            let guard = TypeGuard::new(attrs.clone());
+            match analyse_guard(&deps, &ctx, &guard, AxiomSystem::E) {
+                GuardAnalysis::Redundant(derivation) => {
+                    notes.push(RewriteNote::new(
+                        "guard-elimination",
+                        format!(
+                            "guard for {} is redundant; justified by:\n{}",
+                            attrs, derivation
+                        ),
+                    ));
+                    rewrite(*input, catalog, above, notes)
+                }
+                GuardAnalysis::Unsatisfiable => {
+                    notes.push(RewriteNote::new(
+                        "guard-unsatisfiable",
+                        format!("guard for {} can never hold under the selection; branch pruned", attrs),
+                    ));
+                    LogicalPlan::Empty
+                }
+                GuardAnalysis::Necessary => LogicalPlan::Guard {
+                    input: Box::new(rewrite(*input, catalog, above, notes)),
+                    attrs,
+                },
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // Eliminate redundant / unsatisfiable IsPresent conjuncts inside
+            // the predicate itself.  The context for judging a PRESENT
+            // conjunct is everything known *besides* the guards themselves:
+            // the constraints from above, from below, and from the
+            // comparison conjuncts of this very predicate (a guard must not
+            // justify itself).
+            let deps = subtree_deps(&input, catalog);
+            let below = subtree_context(&input);
+            let own = context_without_guards(&predicate);
+            let ctx_all = merge_contexts(&merge_contexts(above, &below), &own);
+            let simplified = simplify_guards_in_predicate(&predicate, &deps, &ctx_all, notes);
+
+            // Branch pruning: if the filter's equalities contradict the
+            // qualification of the scans below, the result is empty.
+            let filter_eq = simplified.implied_equalities();
+            let qual_eq = qualification_equalities(&input);
+            if contradicts(&filter_eq, &qual_eq) {
+                notes.push(RewriteNote::new(
+                    "variant-pruning",
+                    format!(
+                        "selection {} contradicts the branch qualification {}; branch removed",
+                        simplified, qual_eq
+                    ),
+                ));
+                return LogicalPlan::Empty;
+            }
+
+            // Push the filter's context downwards (for nested guards and
+            // union branches).
+            let mut ctx_for_children = above.clone().with_referenced(simplified.required_attrs());
+            for (a, v) in simplified.implied_equalities().iter() {
+                ctx_for_children = ctx_for_children.with_equality(a.clone(), v.clone());
+            }
+            let new_input = rewrite(*input, catalog, &ctx_for_children, notes);
+            if simplified == Predicate::False {
+                notes.push(RewriteNote::new("constant-folding", "predicate is constant false"));
+                return LogicalPlan::Empty;
+            }
+            if simplified == Predicate::True {
+                notes.push(RewriteNote::new("constant-folding", "predicate is constant true"));
+                return new_input;
+            }
+            LogicalPlan::Filter { input: Box::new(new_input), predicate: simplified }
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let mut kept = Vec::new();
+            for branch in inputs {
+                let qual_eq = qualification_equalities(&branch);
+                if contradicts(&above.equalities, &qual_eq) {
+                    notes.push(RewriteNote::new(
+                        "variant-pruning",
+                        format!(
+                            "union branch qualified by {} is excluded by the selection constraints {}",
+                            qual_eq, above.equalities
+                        ),
+                    ));
+                    continue;
+                }
+                kept.push(rewrite(branch, catalog, above, notes));
+            }
+            LogicalPlan::UnionAll { inputs: kept }
+        }
+        LogicalPlan::Join { left, right } => {
+            // If the constraints established above (e.g. a selection on the
+            // determining attribute) contradict a side's qualification, the
+            // join produces nothing.
+            for side in [&left, &right] {
+                let qual_eq = qualification_equalities(side);
+                if contradicts(&above.equalities, &qual_eq) {
+                    notes.push(RewriteNote::new(
+                        "join-pruning",
+                        format!(
+                            "join with a variant qualified by {} is excluded by the selection constraints {}",
+                            qual_eq, above.equalities
+                        ),
+                    ));
+                    return LogicalPlan::Empty;
+                }
+            }
+            LogicalPlan::Join {
+                left: Box::new(rewrite(*left, catalog, above, notes)),
+                right: Box::new(rewrite(*right, catalog, above, notes)),
+            }
+        }
+        LogicalPlan::Project { input, attrs } => LogicalPlan::Project {
+            input: Box::new(rewrite(*input, catalog, above, notes)),
+            attrs,
+        },
+        LogicalPlan::Extend { input, attr, value } => LogicalPlan::Extend {
+            input: Box::new(rewrite(*input, catalog, above, notes)),
+            attr,
+            value,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Empty) => leaf,
+    }
+}
+
+/// The selection context a predicate establishes through its comparison
+/// conjuncts only — `PRESENT(...)` atoms are ignored so that a guard cannot
+/// justify its own elimination.
+fn context_without_guards(p: &Predicate) -> SelectionContext {
+    fn required(p: &Predicate) -> AttrSet {
+        match p {
+            Predicate::Cmp { attr, .. } => attr.to_set(),
+            Predicate::And(a, b) => required(a).union(&required(b)),
+            Predicate::Or(a, b) => required(a).intersection(&required(b)),
+            _ => AttrSet::empty(),
+        }
+    }
+    fn equalities(p: &Predicate) -> Tuple {
+        match p {
+            Predicate::Cmp { attr, op: flexrel_algebra::predicate::CmpOp::Eq, value } => {
+                Tuple::new().with(attr.clone(), value.clone())
+            }
+            Predicate::And(a, b) => equalities(a).merged_with(&equalities(b)),
+            _ => Tuple::empty(),
+        }
+    }
+    let mut ctx = SelectionContext::none().with_referenced(required(p));
+    for (a, v) in equalities(p).iter() {
+        ctx = ctx.with_equality(a.clone(), v.clone());
+    }
+    ctx
+}
+
+fn merge_contexts(a: &SelectionContext, b: &SelectionContext) -> SelectionContext {
+    let mut out = a.clone().with_referenced(b.referenced.clone());
+    for (attr, v) in b.equalities.iter() {
+        out = out.with_equality(attr.clone(), v.clone());
+    }
+    out
+}
+
+/// Replaces redundant `PRESENT(...)` conjuncts by `True` and unsatisfiable
+/// ones by `False`, then simplifies.
+fn simplify_guards_in_predicate(
+    predicate: &Predicate,
+    deps: &DependencySet,
+    ctx: &SelectionContext,
+    notes: &mut Vec<RewriteNote>,
+) -> Predicate {
+    fn walk(
+        p: &Predicate,
+        deps: &DependencySet,
+        ctx: &SelectionContext,
+        notes: &mut Vec<RewriteNote>,
+    ) -> Predicate {
+        match p {
+            Predicate::IsPresent(attrs) => {
+                match analyse_guard(deps, ctx, &TypeGuard::new(attrs.clone()), AxiomSystem::E) {
+                    GuardAnalysis::Redundant(d) => {
+                        notes.push(RewriteNote::new(
+                            "guard-elimination",
+                            format!("PRESENT({}) is redundant; justified by:\n{}", attrs, d),
+                        ));
+                        Predicate::True
+                    }
+                    GuardAnalysis::Unsatisfiable => {
+                        notes.push(RewriteNote::new(
+                            "guard-unsatisfiable",
+                            format!("PRESENT({}) can never hold under the selection", attrs),
+                        ));
+                        Predicate::False
+                    }
+                    GuardAnalysis::Necessary => p.clone(),
+                }
+            }
+            Predicate::And(a, b) => {
+                walk(a, deps, ctx, notes).and(walk(b, deps, ctx, notes))
+            }
+            // Inside disjunctions and negations the conjunction context does
+            // not apply; leave them untouched.
+            other => other.clone(),
+        }
+    }
+    walk(predicate, deps, ctx, notes).simplify()
+}
+
+/// Final cleanup: empty inputs propagate upwards.
+fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = simplify_empties(*input, notes);
+            if matches!(input, LogicalPlan::Empty) {
+                LogicalPlan::Empty
+            } else {
+                LogicalPlan::Filter { input: Box::new(input), predicate }
+            }
+        }
+        LogicalPlan::Project { input, attrs } => {
+            let input = simplify_empties(*input, notes);
+            if matches!(input, LogicalPlan::Empty) {
+                LogicalPlan::Empty
+            } else {
+                LogicalPlan::Project { input: Box::new(input), attrs }
+            }
+        }
+        LogicalPlan::Guard { input, attrs } => {
+            let input = simplify_empties(*input, notes);
+            if matches!(input, LogicalPlan::Empty) {
+                LogicalPlan::Empty
+            } else {
+                LogicalPlan::Guard { input: Box::new(input), attrs }
+            }
+        }
+        LogicalPlan::Extend { input, attr, value } => {
+            let input = simplify_empties(*input, notes);
+            if matches!(input, LogicalPlan::Empty) {
+                LogicalPlan::Empty
+            } else {
+                LogicalPlan::Extend { input: Box::new(input), attr, value }
+            }
+        }
+        LogicalPlan::Join { left, right } => {
+            let left = simplify_empties(*left, notes);
+            let right = simplify_empties(*right, notes);
+            if matches!(left, LogicalPlan::Empty) || matches!(right, LogicalPlan::Empty) {
+                notes.push(RewriteNote::new("empty-propagation", "join with an empty input removed"));
+                LogicalPlan::Empty
+            } else {
+                LogicalPlan::Join { left: Box::new(left), right: Box::new(right) }
+            }
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let kept: Vec<LogicalPlan> = inputs
+                .into_iter()
+                .map(|p| simplify_empties(p, notes))
+                .filter(|p| !matches!(p, LogicalPlan::Empty))
+                .collect();
+            match kept.len() {
+                0 => LogicalPlan::Empty,
+                1 => kept.into_iter().next().expect("one element"),
+                _ => LogicalPlan::UnionAll { inputs: kept },
+            }
+        }
+        leaf => leaf,
+    }
+}
+
+/// The attribute set `AttrSet` re-exported for plan construction ergonomics
+/// in downstream crates (benches build qualified-fragment plans by hand).
+pub type Attrs = AttrSet;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::planner::plan_query;
+    use flexrel_core::attrs;
+    use flexrel_core::value::Value;
+    use flexrel_storage::{Catalog, RelationDef};
+    use flexrel_workload::employee_relation;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(RelationDef::from_relation(&employee_relation())).unwrap();
+        c
+    }
+
+    fn planned(frql: &str) -> LogicalPlan {
+        plan_query(&parse(frql).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn example4_guard_is_eliminated_with_justification() {
+        let plan = planned(
+            "SELECT * FROM employee WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
+        );
+        assert_eq!(plan.guard_count(), 1);
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(optimized.guard_count(), 0, "the guard must be removed");
+        let note = notes.iter().find(|n| n.rule == "guard-elimination").unwrap();
+        assert!(note.detail.contains("A4 (left augmentation)") || note.detail.contains("AF2"),
+            "the note must carry the derivation: {}", note.detail);
+    }
+
+    #[test]
+    fn guard_for_excluded_variant_prunes_the_query() {
+        let plan = planned(
+            "SELECT * FROM employee WHERE jobtype = 'secretary' GUARD sales-commission",
+        );
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(optimized, LogicalPlan::Empty);
+        assert!(notes.iter().any(|n| n.rule == "guard-unsatisfiable"));
+    }
+
+    #[test]
+    fn necessary_guard_is_kept() {
+        let plan = planned("SELECT * FROM employee WHERE salary > 5000 GUARD typing-speed");
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(optimized.guard_count(), 1);
+        assert!(notes.iter().all(|n| n.rule != "guard-elimination"));
+    }
+
+    #[test]
+    fn present_conjuncts_are_simplified_too() {
+        let plan = planned(
+            "SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(typing-speed)",
+        );
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert!(notes.iter().any(|n| n.rule == "guard-elimination"));
+        // The remaining filter no longer mentions the PRESENT conjunct.
+        let s = optimized.to_string();
+        assert!(!s.contains("present"));
+        assert!(s.contains("jobtype = 'secretary'"));
+
+        let plan = planned(
+            "SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(products)",
+        );
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(optimized, LogicalPlan::Empty);
+        assert!(notes.iter().any(|n| n.rule == "guard-unsatisfiable"));
+    }
+
+    #[test]
+    fn union_branches_with_contradicting_qualification_are_pruned() {
+        // Horizontal decomposition: three qualified fragments; a selection on
+        // jobtype must keep only the matching fragment.
+        let fragment = |name: &str, tag: &str| {
+            LogicalPlan::qualified_scan(
+                "employee",
+                Predicate::eq("jobtype", Value::tag(tag)),
+            )
+            .filter(Predicate::eq("jobtype", Value::tag(tag)))
+            .project(attrs!["empno", "jobtype"])
+            // keep the fragment's own name out of the catalog: they all scan
+            // the base relation here, the qualification is what matters
+            .guard(attrs![name])
+        };
+        let _ = fragment; // the simpler direct construction below suffices
+
+        let branches = vec![
+            LogicalPlan::qualified_scan("employee", Predicate::eq("jobtype", Value::tag("secretary"))),
+            LogicalPlan::qualified_scan("employee", Predicate::eq("jobtype", Value::tag("software engineer"))),
+            LogicalPlan::qualified_scan("employee", Predicate::eq("jobtype", Value::tag("salesman"))),
+        ];
+        let plan = LogicalPlan::UnionAll { inputs: branches }
+            .filter(Predicate::eq("jobtype", Value::tag("salesman")).and(Predicate::gt("salary", 1000)));
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(
+            notes.iter().filter(|n| n.rule == "variant-pruning").count(),
+            2,
+            "two of the three fragments are excluded"
+        );
+        // The union collapses to the single surviving branch.
+        let s = optimized.to_string();
+        assert!(!s.contains("UnionAll"));
+        assert!(s.contains("qualified by jobtype = 'salesman'"));
+    }
+
+    #[test]
+    fn joins_with_excluded_variants_are_pruned() {
+        // Vertical decomposition: master ⋈ detail_i where detail_i is
+        // qualified by the variant's jobtype; selecting secretaries excludes
+        // the salesman detail join.
+        let join_with = |tag: &str| {
+            LogicalPlan::scan("employee").join(LogicalPlan::qualified_scan(
+                "employee",
+                Predicate::eq("jobtype", Value::tag(tag)),
+            ))
+        };
+        let plan = LogicalPlan::UnionAll {
+            inputs: vec![join_with("secretary"), join_with("salesman")],
+        }
+        .filter(Predicate::eq("jobtype", Value::tag("secretary")));
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert!(notes.iter().any(|n| n.rule == "variant-pruning" || n.rule == "join-pruning"));
+        assert_eq!(optimized.join_count(), 1, "only the secretary join survives");
+    }
+
+    #[test]
+    fn constant_false_filter_collapses_to_empty() {
+        let plan = LogicalPlan::scan("employee").filter(Predicate::False);
+        let (optimized, _) = optimize(plan, &catalog());
+        assert_eq!(optimized, LogicalPlan::Empty);
+        let plan = LogicalPlan::scan("employee").filter(Predicate::True);
+        let (optimized, _) = optimize(plan, &catalog());
+        assert_eq!(optimized, LogicalPlan::scan("employee"));
+    }
+
+    #[test]
+    fn empty_propagation_through_joins_and_unions() {
+        let plan = LogicalPlan::Empty.join(LogicalPlan::scan("employee"));
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(optimized, LogicalPlan::Empty);
+        assert!(notes.iter().any(|n| n.rule == "empty-propagation"));
+
+        let plan = LogicalPlan::UnionAll { inputs: vec![LogicalPlan::Empty, LogicalPlan::scan("employee")] };
+        let (optimized, _) = optimize(plan, &catalog());
+        assert_eq!(optimized, LogicalPlan::scan("employee"));
+    }
+}

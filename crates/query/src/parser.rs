@@ -1,0 +1,370 @@
+//! FRQL: a small query language for flexible relations.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query      := SELECT projection FROM ident [WHERE predicate] [GUARD attrlist]
+//! projection := '*' | attrlist
+//! attrlist   := ident (',' ident)*
+//! predicate  := disjunct (OR disjunct)*
+//! disjunct   := conjunct (AND conjunct)*
+//! conjunct   := NOT conjunct | '(' predicate ')' | PRESENT '(' attrlist ')' | comparison
+//! comparison := ident op literal
+//! op         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//! literal    := integer | float | 'tag' | "string" | TRUE | FALSE
+//! ```
+//!
+//! Attribute names may contain letters, digits, `_` and `-` (the paper's
+//! attribute names such as `typing-speed` parse as single identifiers).
+
+use flexrel_algebra::predicate::{CmpOp, Predicate};
+use flexrel_core::attr::AttrSet;
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::value::Value;
+
+/// A parsed FRQL query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The relation named in `FROM`.
+    pub relation: String,
+    /// The projection attribute list; `None` means `*`.
+    pub projection: Option<AttrSet>,
+    /// The `WHERE` predicate, if any.
+    pub predicate: Option<Predicate>,
+    /// The `GUARD` attribute list, if any (an explicit retrieval-side type
+    /// guard).
+    pub guard: Option<AttrSet>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Tag(String),
+    Str(String),
+    Symbol(String),
+    Keyword(String),
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GUARD", "AND", "OR", "NOT", "PRESENT", "TRUE", "FALSE",
+];
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' || c == '"' {
+            let quote = c;
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != quote {
+                s.push(chars[i]);
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(CoreError::Invalid("unterminated string literal".into()));
+            }
+            i += 1;
+            tokens.push(if quote == '\'' { Token::Tag(s) } else { Token::Str(s) });
+        } else if c.is_ascii_digit()
+            || (c == '-' && chars.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+                && matches!(tokens.last(), None | Some(Token::Symbol(_)) | Some(Token::Keyword(_))))
+        {
+            let mut s = String::new();
+            s.push(c);
+            i += 1;
+            let mut is_float = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                if chars[i] == '.' {
+                    is_float = true;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            if is_float {
+                tokens.push(Token::Float(s.parse().map_err(|_| {
+                    CoreError::Invalid(format!("bad float literal {}", s))
+                })?));
+            } else {
+                tokens.push(Token::Int(s.parse().map_err(|_| {
+                    CoreError::Invalid(format!("bad integer literal {}", s))
+                })?));
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len() && is_ident_char(chars[i]) {
+                s.push(chars[i]);
+                i += 1;
+            }
+            let upper = s.to_ascii_uppercase();
+            if KEYWORDS.contains(&upper.as_str()) {
+                tokens.push(Token::Keyword(upper));
+            } else {
+                tokens.push(Token::Ident(s));
+            }
+        } else {
+            // Symbols: multi-char operators first.
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+                tokens.push(Token::Symbol(two));
+                i += 2;
+            } else {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            other => Err(CoreError::Invalid(format!("expected {}, found {:?}", kw, other))),
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(sym)) if sym == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(CoreError::Invalid(format!("expected identifier, found {:?}", other))),
+        }
+    }
+
+    fn attr_list(&mut self) -> Result<AttrSet> {
+        let mut out = AttrSet::empty();
+        out.insert(self.ident()?.as_str());
+        while self.accept_symbol(",") {
+            out.insert(self.ident()?.as_str());
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Tag(s)) => Ok(Value::Tag(s)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Value::Bool(true)),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Value::Bool(false)),
+            other => Err(CoreError::Invalid(format!("expected literal, found {:?}", other))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.conjunction()?;
+        while self.accept_keyword("OR") {
+            let right = self.conjunction()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> Result<Predicate> {
+        let mut left = self.atom()?;
+        while self.accept_keyword("AND") {
+            let right = self.atom()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Predicate> {
+        if self.accept_keyword("NOT") {
+            return Ok(self.atom()?.negate());
+        }
+        if self.accept_keyword("TRUE") {
+            return Ok(Predicate::True);
+        }
+        if self.accept_keyword("FALSE") {
+            return Ok(Predicate::False);
+        }
+        if self.accept_keyword("PRESENT") {
+            if !self.accept_symbol("(") {
+                return Err(CoreError::Invalid("expected ( after PRESENT".into()));
+            }
+            let attrs = self.attr_list()?;
+            if !self.accept_symbol(")") {
+                return Err(CoreError::Invalid("expected ) after PRESENT list".into()));
+            }
+            return Ok(Predicate::present(attrs));
+        }
+        if self.accept_symbol("(") {
+            let p = self.predicate()?;
+            if !self.accept_symbol(")") {
+                return Err(CoreError::Invalid("expected )".into()));
+            }
+            return Ok(p);
+        }
+        // comparison
+        let attr = self.ident()?;
+        let op = match self.next() {
+            Some(Token::Symbol(s)) => match s.as_str() {
+                "=" => CmpOp::Eq,
+                "<>" | "!=" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => return Err(CoreError::Invalid(format!("unknown operator {}", other))),
+            },
+            other => return Err(CoreError::Invalid(format!("expected operator, found {:?}", other))),
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Cmp { attr: attr.as_str().into(), op, value })
+    }
+}
+
+/// Parses an FRQL query.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("SELECT")?;
+    let projection = if p.accept_symbol("*") {
+        None
+    } else {
+        Some(p.attr_list()?)
+    };
+    p.expect_keyword("FROM")?;
+    let relation = p.ident()?;
+    let predicate = if p.accept_keyword("WHERE") {
+        Some(p.predicate()?)
+    } else {
+        None
+    };
+    let guard = if p.accept_keyword("GUARD") {
+        Some(p.attr_list()?)
+    } else {
+        None
+    };
+    if let Some(tok) = p.peek() {
+        return Err(CoreError::Invalid(format!("unexpected trailing token {:?}", tok)));
+    }
+    Ok(Query { relation, projection, predicate, guard })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+
+    #[test]
+    fn parses_the_example4_query() {
+        let q = parse(
+            "SELECT * FROM employee WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
+        )
+        .unwrap();
+        assert_eq!(q.relation, "employee");
+        assert_eq!(q.projection, None);
+        assert_eq!(q.guard, Some(attrs!["typing-speed"]));
+        let p = q.predicate.unwrap();
+        assert_eq!(
+            p.to_string(),
+            "(salary > 5000 AND jobtype = 'secretary')"
+        );
+    }
+
+    #[test]
+    fn parses_projection_lists_and_hyphenated_attrs() {
+        let q = parse("SELECT empno, typing-speed, foreign-languages FROM employee").unwrap();
+        assert_eq!(
+            q.projection,
+            Some(attrs!["empno", "typing-speed", "foreign-languages"])
+        );
+        assert!(q.predicate.is_none());
+        assert!(q.guard.is_none());
+    }
+
+    #[test]
+    fn parses_boolean_structure_and_present() {
+        let q = parse(
+            "SELECT * FROM r WHERE (a = 1 OR b = 2) AND NOT PRESENT(c, d) AND flag = TRUE",
+        )
+        .unwrap();
+        let p = q.predicate.unwrap();
+        let s = p.to_string();
+        assert!(s.contains("OR"));
+        assert!(s.contains("NOT"));
+        assert!(s.contains("present({c, d})"));
+        assert!(s.contains("flag = true"));
+    }
+
+    #[test]
+    fn parses_all_comparison_operators_and_literals() {
+        for (op, txt) in [("=", "="), ("<>", "<>"), ("!=", "<>"), ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">=")] {
+            let q = parse(&format!("SELECT * FROM r WHERE x {} 3", op)).unwrap();
+            assert!(q.predicate.unwrap().to_string().contains(txt));
+        }
+        let q = parse("SELECT * FROM r WHERE x = -4").unwrap();
+        assert!(q.predicate.unwrap().to_string().contains("-4"));
+        let q = parse("SELECT * FROM r WHERE x = 2.5 AND y = \"abc\"").unwrap();
+        assert!(q.predicate.unwrap().to_string().contains("2.5"));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("FROM employee").is_err());
+        assert!(parse("SELECT * employee").is_err());
+        assert!(parse("SELECT * FROM employee WHERE").is_err());
+        assert!(parse("SELECT * FROM employee WHERE x >").is_err());
+        assert!(parse("SELECT * FROM employee WHERE x > 1 trailing").is_err());
+        assert!(parse("SELECT * FROM employee WHERE x ~ 1").is_err());
+        assert!(parse("SELECT * FROM e WHERE s = 'unterminated").is_err());
+        assert!(parse("SELECT * FROM e WHERE PRESENT a").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select empno from employee where salary >= 100 guard products").unwrap();
+        assert_eq!(q.relation, "employee");
+        assert_eq!(q.projection, Some(attrs!["empno"]));
+        assert_eq!(q.guard, Some(attrs!["products"]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Binding a parsed FRQL query against the catalog and building the initial
+//! logical plan.
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::error::{CoreError, Result};
+use flexrel_storage::Catalog;
+
+use crate::logical::LogicalPlan;
+use crate::parser::Query;
+
+fn check_attrs(known: &AttrSet, used: &AttrSet, what: &str) -> Result<()> {
+    if !used.is_subset(known) {
+        return Err(CoreError::UnknownAttribute(format!(
+            "{} in {}",
+            used.difference(known),
+            what
+        )));
+    }
+    Ok(())
+}
+
+/// Builds the initial (unoptimized) logical plan for a query: scan, then
+/// filter, then guard, then projection.
+pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
+    let def = catalog.get(&query.relation)?;
+    let known = def.scheme.attrs();
+
+    if let Some(p) = &query.predicate {
+        check_attrs(&known, &p.referenced_attrs(), "WHERE clause")?;
+    }
+    if let Some(g) = &query.guard {
+        check_attrs(&known, g, "GUARD clause")?;
+    }
+    if let Some(proj) = &query.projection {
+        check_attrs(&known, proj, "SELECT list")?;
+    }
+
+    let mut plan = LogicalPlan::scan(query.relation.clone());
+    if let Some(p) = &query.predicate {
+        plan = plan.filter(p.clone());
+    }
+    if let Some(g) = &query.guard {
+        plan = plan.guard(g.clone());
+    }
+    if let Some(proj) = &query.projection {
+        plan = plan.project(proj.clone());
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use flexrel_storage::RelationDef;
+    use flexrel_workload::employee_relation;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(RelationDef::from_relation(&employee_relation())).unwrap();
+        c
+    }
+
+    #[test]
+    fn plan_shape_follows_the_query() {
+        let q = parse(
+            "SELECT empno FROM employee WHERE jobtype = 'secretary' GUARD typing-speed",
+        )
+        .unwrap();
+        let plan = plan_query(&q, &catalog()).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("Project {empno}"));
+        assert!(s.contains("Guard {typing-speed}"));
+        assert!(s.contains("Filter jobtype = 'secretary'"));
+        assert!(s.contains("Scan employee"));
+        assert_eq!(plan.node_count(), 4);
+    }
+
+    #[test]
+    fn select_star_has_no_projection_node() {
+        let q = parse("SELECT * FROM employee").unwrap();
+        let plan = plan_query(&q, &catalog()).unwrap();
+        assert_eq!(plan.node_count(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_and_attributes_are_rejected() {
+        let c = catalog();
+        let q = parse("SELECT * FROM nowhere").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        let q = parse("SELECT bogus FROM employee").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        let q = parse("SELECT * FROM employee WHERE bogus = 1").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        let q = parse("SELECT * FROM employee GUARD bogus").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+    }
+}

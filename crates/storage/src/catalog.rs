@@ -1,0 +1,169 @@
+//! The catalog: named relation definitions (scheme, dependencies, domains).
+
+use std::collections::BTreeMap;
+
+use flexrel_core::attr::Attr;
+use flexrel_core::dep::{Dependency, DependencySet};
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::relation::FlexRelation;
+use flexrel_core::scheme::FlexScheme;
+use flexrel_core::value::Domain;
+
+/// The definition of one relation: everything except its instance.
+#[derive(Clone, Debug)]
+pub struct RelationDef {
+    /// Relation name.
+    pub name: String,
+    /// The flexible scheme.
+    pub scheme: FlexScheme,
+    /// Declared dependencies (EADs, ADs, FDs).
+    pub deps: DependencySet,
+    /// Declared attribute domains.
+    pub domains: BTreeMap<Attr, Domain>,
+}
+
+impl RelationDef {
+    /// Creates a definition with no dependencies or domains.
+    pub fn new(name: impl Into<String>, scheme: FlexScheme) -> Self {
+        RelationDef {
+            name: name.into(),
+            scheme,
+            deps: DependencySet::new(),
+            domains: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a dependency (builder style).
+    pub fn with_dep(mut self, dep: impl Into<Dependency>) -> Self {
+        self.deps.add(dep);
+        self
+    }
+
+    /// Declares an attribute domain (builder style).
+    pub fn with_domain(mut self, attr: impl Into<Attr>, domain: Domain) -> Self {
+        self.domains.insert(attr.into(), domain);
+        self
+    }
+
+    /// Builds an empty [`FlexRelation`] from this definition.
+    pub fn empty_relation(&self) -> FlexRelation {
+        FlexRelation::from_parts(
+            self.name.clone(),
+            self.scheme.clone(),
+            self.domains.clone(),
+            self.deps.clone(),
+            Vec::new(),
+        )
+    }
+
+    /// Extracts a definition from an existing relation.
+    pub fn from_relation(rel: &FlexRelation) -> Self {
+        RelationDef {
+            name: rel.name().to_string(),
+            scheme: rel.scheme().clone(),
+            deps: rel.deps().clone(),
+            domains: rel.domains().clone(),
+        }
+    }
+}
+
+/// A catalog of relation definitions.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, RelationDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog { relations: BTreeMap::new() }
+    }
+
+    /// Registers a relation definition; fails if the name is taken.
+    pub fn register(&mut self, def: RelationDef) -> Result<()> {
+        if self.relations.contains_key(&def.name) {
+            return Err(CoreError::Invalid(format!(
+                "relation {} already exists",
+                def.name
+            )));
+        }
+        self.relations.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Looks up a definition.
+    pub fn get(&self, name: &str) -> Result<&RelationDef> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| CoreError::NotFound(format!("relation {}", name)))
+    }
+
+    /// Drops a definition, returning it.
+    pub fn drop(&mut self, name: &str) -> Result<RelationDef> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| CoreError::NotFound(format!("relation {}", name)))
+    }
+
+    /// Whether a relation is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all registered relations.
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+    use flexrel_core::dep::Fd;
+
+    fn def() -> RelationDef {
+        RelationDef::new("emp", FlexScheme::relational(attrs!["empno", "name"]))
+            .with_dep(Fd::new(attrs!["empno"], attrs!["name"]))
+            .with_domain("empno", Domain::Int)
+    }
+
+    #[test]
+    fn register_lookup_drop() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register(def()).unwrap();
+        assert!(c.contains("emp"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.names(), vec!["emp"]);
+        assert_eq!(c.get("emp").unwrap().deps.len(), 1);
+        assert!(c.get("nope").is_err());
+        assert!(c.register(def()).is_err(), "duplicate names rejected");
+        c.drop("emp").unwrap();
+        assert!(c.drop("emp").is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn definition_round_trips_through_relation() {
+        let d = def();
+        let rel = d.empty_relation();
+        assert_eq!(rel.name(), "emp");
+        assert!(rel.is_empty());
+        let d2 = RelationDef::from_relation(&rel);
+        assert_eq!(d2.name, d.name);
+        assert_eq!(d2.scheme, d.scheme);
+        assert_eq!(d2.deps, d.deps);
+        assert_eq!(d2.domains, d.domains);
+    }
+}

@@ -1,0 +1,453 @@
+//! The database facade: catalog + heaps + indexes + constraint enforcement.
+
+use std::collections::BTreeMap;
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::dep::Dependency;
+use flexrel_core::error::{CoreError, Result};
+use flexrel_core::relation::FlexRelation;
+use flexrel_core::tuple::Tuple;
+
+use crate::catalog::{Catalog, RelationDef};
+use crate::heap::{Heap, TupleId};
+use crate::index::HashIndex;
+use crate::txn::{Transaction, UndoAction};
+
+/// Per-relation storage: the heap plus one hash index per distinct
+/// dependency determinant (created automatically so dependency checking and
+/// determinant-equality selections avoid full scans).
+#[derive(Clone, Debug)]
+struct Stored {
+    heap: Heap,
+    indexes: Vec<HashIndex>,
+}
+
+impl Stored {
+    fn index_on(&self, key: &AttrSet) -> Option<&HashIndex> {
+        self.indexes.iter().find(|i| i.key() == key)
+    }
+}
+
+/// An in-memory flexible-relation database.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+    storage: BTreeMap<String, Stored>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database { catalog: Catalog::new(), storage: BTreeMap::new() }
+    }
+
+    /// The catalog of relation definitions.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Creates a relation from a definition, building one hash index per
+    /// distinct dependency determinant.
+    pub fn create_relation(&mut self, def: RelationDef) -> Result<()> {
+        let mut keys: Vec<AttrSet> = Vec::new();
+        for dep in def.deps.iter() {
+            let key = dep.lhs().clone();
+            if !key.is_empty() && !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        let stored = Stored {
+            heap: Heap::new(),
+            indexes: keys.into_iter().map(HashIndex::new).collect(),
+        };
+        let name = def.name.clone();
+        self.catalog.register(def)?;
+        self.storage.insert(name, stored);
+        Ok(())
+    }
+
+    /// Drops a relation and its storage.
+    pub fn drop_relation(&mut self, name: &str) -> Result<()> {
+        self.catalog.drop(name)?;
+        self.storage.remove(name);
+        Ok(())
+    }
+
+    /// Number of live tuples in a relation.
+    pub fn count(&self, relation: &str) -> Result<usize> {
+        Ok(self.stored(relation)?.heap.len())
+    }
+
+    fn stored(&self, relation: &str) -> Result<&Stored> {
+        self.storage
+            .get(relation)
+            .ok_or_else(|| CoreError::NotFound(format!("relation {}", relation)))
+    }
+
+    fn stored_mut(&mut self, relation: &str) -> Result<&mut Stored> {
+        self.storage
+            .get_mut(relation)
+            .ok_or_else(|| CoreError::NotFound(format!("relation {}", relation)))
+    }
+
+    /// Validates a tuple against the relation's scheme, domains and
+    /// dependencies (using the determinant indexes for the pairwise checks)
+    /// without inserting it.
+    pub fn check_insert(&self, relation: &str, t: &Tuple) -> Result<()> {
+        let def = self.catalog.get(relation)?;
+        let stored = self.stored(relation)?;
+        // Scheme + domains + no-null checks.
+        let probe = FlexRelation::from_parts(
+            def.name.clone(),
+            def.scheme.clone(),
+            def.domains.clone(),
+            flexrel_core::dep::DependencySet::new(),
+            Vec::new(),
+        );
+        probe.check_scheme(t)?;
+        // Dependencies.
+        for dep in def.deps.iter() {
+            match dep {
+                Dependency::Ead(ead) => ead.check_tuple(t)?,
+                Dependency::Ad(ad) => {
+                    let peers = self.peers(stored, ad.lhs(), t);
+                    ad.check_insert(&peers, t)?;
+                }
+                Dependency::Fd(fd) => {
+                    let peers = self.peers(stored, fd.lhs(), t);
+                    fd.check_insert(&peers, t)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The existing tuples that could conflict with `t` on a dependency with
+    /// determinant `lhs`: an index lookup when an index on `lhs` exists,
+    /// otherwise a full scan.
+    fn peers(&self, stored: &Stored, lhs: &AttrSet, t: &Tuple) -> Vec<Tuple> {
+        if !t.defined_on(lhs) {
+            return Vec::new();
+        }
+        if let Some(idx) = stored.index_on(lhs) {
+            let key = t.project(lhs);
+            let mut out: Vec<Tuple> = idx
+                .lookup(&key)
+                .iter()
+                .filter_map(|tid| stored.heap.get(*tid).cloned())
+                .collect();
+            out.extend(
+                idx.partial_tuples()
+                    .iter()
+                    .filter_map(|tid| stored.heap.get(*tid).cloned()),
+            );
+            out
+        } else {
+            stored.heap.all_tuples()
+        }
+    }
+
+    /// Inserts a tuple with full type checking.
+    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<TupleId> {
+        self.check_insert(relation, &t)?;
+        let stored = self.stored_mut(relation)?;
+        let tid = stored.heap.insert(t.clone());
+        for idx in &mut stored.indexes {
+            idx.insert(tid, &t);
+        }
+        Ok(tid)
+    }
+
+    /// Inserts under a transaction, recording the undo action.
+    pub fn insert_txn(&mut self, txn: &mut Transaction, relation: &str, t: Tuple) -> Result<TupleId> {
+        let tid = self.insert(relation, t)?;
+        txn.record(UndoAction::UndoInsert { relation: relation.to_string(), tid });
+        Ok(tid)
+    }
+
+    /// Deletes a tuple by identifier, returning it.
+    pub fn delete(&mut self, relation: &str, tid: TupleId) -> Result<Tuple> {
+        let stored = self.stored_mut(relation)?;
+        let old = stored
+            .heap
+            .delete(tid)
+            .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", tid, relation)))?;
+        for idx in &mut stored.indexes {
+            idx.remove(tid, &old);
+        }
+        Ok(old)
+    }
+
+    /// Deletes under a transaction.
+    pub fn delete_txn(&mut self, txn: &mut Transaction, relation: &str, tid: TupleId) -> Result<Tuple> {
+        let old = self.delete(relation, tid)?;
+        txn.record(UndoAction::UndoDelete { relation: relation.to_string(), tuple: old.clone() });
+        Ok(old)
+    }
+
+    /// Replaces the tuple under `tid` after re-checking all constraints
+    /// against the rest of the instance.
+    pub fn update(&mut self, relation: &str, tid: TupleId, new: Tuple) -> Result<Tuple> {
+        // Remove, check, re-insert under the same identifier; restore on
+        // failure.
+        let old = self.delete(relation, tid)?;
+        if let Err(e) = self.check_insert(relation, &new) {
+            let stored = self.stored_mut(relation)?;
+            let restored_tid = stored.heap.insert(old.clone());
+            for idx in &mut stored.indexes {
+                idx.insert(restored_tid, &old);
+            }
+            return Err(e);
+        }
+        let stored = self.stored_mut(relation)?;
+        let new_tid = stored.heap.insert(new.clone());
+        for idx in &mut stored.indexes {
+            idx.insert(new_tid, &new);
+        }
+        Ok(old)
+    }
+
+    /// Scans all tuples of a relation.
+    pub fn scan(&self, relation: &str) -> Result<Vec<(TupleId, Tuple)>> {
+        Ok(self
+            .stored(relation)?
+            .heap
+            .scan()
+            .map(|(tid, t)| (tid, t.clone()))
+            .collect())
+    }
+
+    /// Equality lookup on an attribute set: uses the matching determinant
+    /// index when one exists, otherwise scans.  `key_value` must be a tuple
+    /// over exactly the attributes of `key`.
+    pub fn lookup_eq(&self, relation: &str, key: &AttrSet, key_value: &Tuple) -> Result<Vec<Tuple>> {
+        let stored = self.stored(relation)?;
+        if let Some(idx) = stored.index_on(key) {
+            Ok(idx
+                .lookup(key_value)
+                .iter()
+                .filter_map(|tid| stored.heap.get(*tid).cloned())
+                .collect())
+        } else {
+            Ok(stored
+                .heap
+                .scan()
+                .filter(|(_, t)| t.defined_on(key) && t.project(key) == *key_value)
+                .map(|(_, t)| t.clone())
+                .collect())
+        }
+    }
+
+    /// Whether an index on exactly this key exists for the relation.
+    pub fn has_index(&self, relation: &str, key: &AttrSet) -> bool {
+        self.stored(relation)
+            .map(|s| s.index_on(key).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Materializes a relation as a [`FlexRelation`] snapshot for the
+    /// algebra and the query executor.
+    pub fn snapshot(&self, relation: &str) -> Result<FlexRelation> {
+        let def = self.catalog.get(relation)?;
+        let stored = self.stored(relation)?;
+        Ok(FlexRelation::from_parts(
+            def.name.clone(),
+            def.scheme.clone(),
+            def.domains.clone(),
+            def.deps.clone(),
+            stored.heap.all_tuples(),
+        ))
+    }
+
+    /// Rolls back a transaction, undoing every recorded action in reverse
+    /// order.
+    pub fn rollback(&mut self, mut txn: Transaction) -> Result<()> {
+        for action in txn.drain_rollback() {
+            match action {
+                UndoAction::UndoInsert { relation, tid } => {
+                    let stored = self.stored_mut(&relation)?;
+                    if let Some(old) = stored.heap.delete(tid) {
+                        for idx in &mut stored.indexes {
+                            idx.remove(tid, &old);
+                        }
+                    }
+                }
+                UndoAction::UndoDelete { relation, tuple } => {
+                    let stored = self.stored_mut(&relation)?;
+                    let tid = stored.heap.insert(tuple.clone());
+                    for idx in &mut stored.indexes {
+                        idx.insert(tid, &tuple);
+                    }
+                }
+                UndoAction::UndoUpdate { relation, tid, previous } => {
+                    let stored = self.stored_mut(&relation)?;
+                    if let Some(current) = stored.heap.get(tid).cloned() {
+                        stored.heap.replace(tid, previous.clone());
+                        for idx in &mut stored.indexes {
+                            idx.remove(tid, &current);
+                            idx.insert(tid, &previous);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::attrs;
+    use flexrel_core::value::Value;
+    use flexrel_workload::{employee_domains, employee_relation, generate_employees, EmployeeConfig};
+
+    fn employee_def() -> RelationDef {
+        let rel = employee_relation();
+        let mut def = RelationDef::new("employee", rel.scheme().clone());
+        for (a, d) in employee_domains() {
+            def = def.with_domain(a, d);
+        }
+        for dep in rel.deps().iter() {
+            def = def.with_dep(dep.clone());
+        }
+        def
+    }
+
+    fn db_with_employees(n: usize) -> Database {
+        let mut db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        for t in generate_employees(&EmployeeConfig::clean(n)) {
+            db.insert("employee", t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn create_insert_count_scan() {
+        let db = db_with_employees(50);
+        assert_eq!(db.count("employee").unwrap(), 50);
+        assert_eq!(db.scan("employee").unwrap().len(), 50);
+        assert!(db.catalog().contains("employee"));
+        assert!(db.count("nope").is_err());
+    }
+
+    #[test]
+    fn determinant_indexes_are_created_and_used() {
+        let db = db_with_employees(100);
+        assert!(db.has_index("employee", &attrs!["jobtype"]));
+        assert!(db.has_index("employee", &attrs!["empno"]));
+        assert!(!db.has_index("employee", &attrs!["salary"]));
+        let secretaries = db
+            .lookup_eq(
+                "employee",
+                &attrs!["jobtype"],
+                &Tuple::new().with("jobtype", Value::tag("secretary")),
+            )
+            .unwrap();
+        assert!(!secretaries.is_empty());
+        assert!(secretaries
+            .iter()
+            .all(|t| t.get_name("jobtype") == Some(&Value::tag("secretary"))));
+    }
+
+    #[test]
+    fn lookup_without_index_falls_back_to_scan() {
+        let db = db_with_employees(30);
+        let hits = db
+            .lookup_eq(
+                "employee",
+                &attrs!["name"],
+                &Tuple::new().with("name", "emp3"),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn type_checking_is_enforced_on_insert() {
+        let mut db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        let bad_variant = Tuple::new()
+            .with("empno", 1)
+            .with("name", "x")
+            .with("salary", 1000.0)
+            .with("jobtype", Value::tag("salesman"))
+            .with("typing-speed", 200);
+        assert!(matches!(
+            db.insert("employee", bad_variant).unwrap_err(),
+            CoreError::AdViolation { .. }
+        ));
+        let bad_key = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+        db.insert("employee", bad_key.clone()).unwrap();
+        let mut dup = bad_key;
+        dup.insert("salary", Value::Float(1.0));
+        assert!(matches!(
+            db.insert("employee", dup).unwrap_err(),
+            CoreError::FdViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut db = db_with_employees(10);
+        let (tid, t) = db.scan("employee").unwrap()[0].clone();
+        let removed = db.delete("employee", tid).unwrap();
+        assert_eq!(removed, t);
+        assert_eq!(db.count("employee").unwrap(), 9);
+        assert!(db.delete("employee", tid).is_err());
+
+        // Update: change a salesman's jobtype without fixing the variant
+        // attributes → rejected, original restored.
+        let (tid, original) = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .find(|(_, t)| t.get_name("jobtype") == Some(&Value::tag("salesman")))
+            .unwrap();
+        let mut broken = original.clone();
+        broken.insert("jobtype", Value::tag("secretary"));
+        assert!(db.update("employee", tid, broken).is_err());
+        assert_eq!(db.count("employee").unwrap(), 9);
+        let still_there = db
+            .lookup_eq("employee", &attrs!["empno"], &original.project(&attrs!["empno"]))
+            .unwrap();
+        assert_eq!(still_there.len(), 1);
+        assert_eq!(still_there[0], original);
+    }
+
+    #[test]
+    fn snapshot_matches_storage() {
+        let db = db_with_employees(25);
+        let snap = db.snapshot("employee").unwrap();
+        assert_eq!(snap.len(), 25);
+        assert_eq!(snap.deps().len(), 2);
+        assert!(snap.validate_instance().is_ok());
+    }
+
+    #[test]
+    fn transaction_rollback_restores_state() {
+        let mut db = db_with_employees(5);
+        let before = db.count("employee").unwrap();
+        let mut txn = Transaction::begin();
+        let extra = generate_employees(&EmployeeConfig { n: 8, violation_rate: 0.0, seed: 99 });
+        for (i, mut t) in extra.into_iter().enumerate() {
+            // Give fresh keys so the FD does not fire against existing rows.
+            t.insert("empno", 1000 + i as i64);
+            db.insert_txn(&mut txn, "employee", t).unwrap();
+        }
+        let (tid, _) = db.scan("employee").unwrap()[0].clone();
+        db.delete_txn(&mut txn, "employee", tid).unwrap();
+        assert_eq!(db.count("employee").unwrap(), before + 8 - 1);
+        db.rollback(txn).unwrap();
+        assert_eq!(db.count("employee").unwrap(), before);
+    }
+
+    #[test]
+    fn drop_relation_removes_storage() {
+        let mut db = db_with_employees(3);
+        db.drop_relation("employee").unwrap();
+        assert!(db.scan("employee").is_err());
+        assert!(db.drop_relation("employee").is_err());
+    }
+}

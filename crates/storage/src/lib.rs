@@ -1,0 +1,26 @@
+//! # flexrel-storage
+//!
+//! An in-memory storage substrate for flexible relations: a catalog of
+//! relation definitions, a heap tuple store with stable tuple identifiers,
+//! hash indexes over attribute sets (notably the determining attributes of
+//! the declared ADs), a small undo-log transaction layer and a [`Database`]
+//! facade that enforces scheme, domain and dependency constraints on every
+//! write — the operational side of §3.1's "they can now be exploited
+//! operationally".
+//!
+//! The query engine (`flexrel-query`) plans and executes against this crate;
+//! the algebra (`flexrel-algebra`) operates on materialized
+//! [`FlexRelation`](flexrel_core::relation::FlexRelation) snapshots obtained
+//! via [`Database::snapshot`].
+
+pub mod catalog;
+pub mod db;
+pub mod heap;
+pub mod index;
+pub mod txn;
+
+pub use catalog::{Catalog, RelationDef};
+pub use db::Database;
+pub use heap::{Heap, TupleId};
+pub use index::HashIndex;
+pub use txn::{Transaction, UndoAction};

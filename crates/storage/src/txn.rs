@@ -1,0 +1,107 @@
+//! A minimal undo-log transaction layer.
+//!
+//! Transactions collect undo actions for every mutation applied through the
+//! [`Database`](crate::db::Database) facade; rolling back replays them in
+//! reverse order.  There is no concurrency control — the substrate is
+//! single-threaded by design (the paper's contribution is orthogonal to
+//! isolation), but aborts must restore consistency exactly because a type
+//! error in the middle of a multi-tuple load must not leave half the batch
+//! behind.
+
+use flexrel_core::tuple::Tuple;
+
+use crate::heap::TupleId;
+
+/// One undoable action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UndoAction {
+    /// A tuple was inserted into `relation` under `tid`; undo by deleting it.
+    UndoInsert { relation: String, tid: TupleId },
+    /// A tuple was deleted from `relation`; undo by re-inserting it.
+    UndoDelete { relation: String, tuple: Tuple },
+    /// A tuple was replaced; undo by restoring the previous value.
+    UndoUpdate {
+        relation: String,
+        tid: TupleId,
+        previous: Tuple,
+    },
+}
+
+/// An open transaction: a log of undo actions.
+#[derive(Clone, Debug, Default)]
+pub struct Transaction {
+    log: Vec<UndoAction>,
+    committed: bool,
+}
+
+impl Transaction {
+    /// Begins an empty transaction.
+    pub fn begin() -> Self {
+        Transaction { log: Vec::new(), committed: false }
+    }
+
+    /// Records an undo action.
+    pub fn record(&mut self, action: UndoAction) {
+        self.log.push(action);
+    }
+
+    /// Number of logged actions.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Marks the transaction committed; the log is discarded.
+    pub fn commit(&mut self) {
+        self.committed = true;
+        self.log.clear();
+    }
+
+    /// Whether the transaction has been committed.
+    pub fn is_committed(&self) -> bool {
+        self.committed
+    }
+
+    /// Drains the undo actions in reverse (rollback) order.
+    pub fn drain_rollback(&mut self) -> Vec<UndoAction> {
+        let mut out = std::mem::take(&mut self.log);
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::tuple;
+
+    #[test]
+    fn log_and_rollback_order() {
+        let mut txn = Transaction::begin();
+        assert!(txn.is_empty());
+        let tid = crate::heap::Heap::new().insert(tuple! {"x" => 1});
+        txn.record(UndoAction::UndoInsert { relation: "r".into(), tid });
+        txn.record(UndoAction::UndoDelete { relation: "r".into(), tuple: tuple! {"x" => 2} });
+        assert_eq!(txn.len(), 2);
+        let actions = txn.drain_rollback();
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(actions[0], UndoAction::UndoDelete { .. }), "reverse order");
+        assert!(txn.is_empty());
+    }
+
+    #[test]
+    fn commit_discards_log() {
+        let mut txn = Transaction::begin();
+        let tid = crate::heap::Heap::new().insert(tuple! {"x" => 1});
+        txn.record(UndoAction::UndoInsert { relation: "r".into(), tid });
+        assert!(!txn.is_committed());
+        txn.commit();
+        assert!(txn.is_committed());
+        assert!(txn.is_empty());
+        assert!(txn.drain_rollback().is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! The address workload from the paper's introduction.
+//!
+//! Every address has `ZipCode` and `Town`; the town-local part is either a
+//! `PostOfficeBoxNumber` or a `Street` (optionally with a `HouseNumber`);
+//! the electronic communication part is a non-disjoint union of
+//! `tel-number`, `FAX-number` and `email-address` (at least one present).
+//! The `kind` attribute makes the disjoint variant value-determined so that
+//! an EAD can govern it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::dep::{Ead, EadVariant};
+use flexrel_core::relation::FlexRelation;
+use flexrel_core::scheme::{Component, FlexScheme, SchemeBuilder};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::{Domain, Value};
+
+/// Configuration of the address generator.
+#[derive(Clone, Debug)]
+pub struct AddressConfig {
+    /// Number of tuples.
+    pub n: usize,
+    /// Fraction of addresses that use a post-office box instead of a street.
+    pub pobox_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AddressConfig {
+    fn default() -> Self {
+        AddressConfig { n: 1_000, pobox_rate: 0.3, seed: 7 }
+    }
+}
+
+/// The address flexible scheme of §1.
+pub fn address_scheme() -> FlexScheme {
+    let comm = FlexScheme::non_disjoint_union(["tel-number", "FAX-number", "email-address"])
+        .expect("communication union is valid");
+    let local = FlexScheme::new(
+        1,
+        2,
+        vec![
+            Component::Scheme(
+                FlexScheme::disjoint_union(["PostOfficeBoxNumber", "Street"]).unwrap(),
+            ),
+            Component::Scheme(FlexScheme::optional("HouseNumber")),
+        ],
+    )
+    .expect("town-local part is valid");
+    SchemeBuilder::all_of(["ZipCode", "Town", "kind"])
+        .nested(local)
+        .nested(comm)
+        .build()
+        .expect("address scheme is valid")
+}
+
+/// The EAD governing the town-local part: `kind = 'pobox'` selects the
+/// post-office box, `kind = 'street'` selects street (+ optional house
+/// number is left to the scheme).
+pub fn address_ead() -> Ead {
+    let mk = |tag: &str| vec![Tuple::new().with("kind", Value::tag(tag))];
+    Ead::new(
+        AttrSet::singleton("kind"),
+        AttrSet::from_names(["PostOfficeBoxNumber", "Street"]),
+        vec![
+            EadVariant::new(mk("pobox"), AttrSet::singleton("PostOfficeBoxNumber")),
+            EadVariant::new(mk("street"), AttrSet::singleton("Street")),
+        ],
+    )
+    .expect("address EAD is well-formed")
+}
+
+/// An empty address relation with scheme, domains and the EAD declared.
+pub fn address_relation() -> FlexRelation {
+    let mut rel = FlexRelation::new("address", address_scheme());
+    rel.set_domain("ZipCode", Domain::IntRange(10_000, 99_999));
+    rel.set_domain("Town", Domain::Text);
+    rel.set_domain("kind", Domain::enumeration(["pobox", "street"]));
+    rel.set_domain("PostOfficeBoxNumber", Domain::Int);
+    rel.set_domain("Street", Domain::Text);
+    rel.set_domain("HouseNumber", Domain::Int);
+    rel.set_domain("tel-number", Domain::Text);
+    rel.set_domain("FAX-number", Domain::Text);
+    rel.set_domain("email-address", Domain::Text);
+    rel.add_dep(address_ead());
+    rel
+}
+
+/// Generates address tuples consistent with the scheme and the EAD.
+pub fn generate_addresses(cfg: &AddressConfig) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let towns = ["Ulm", "Berlin", "Hamburg", "Munich", "Leipzig", "Bremen"];
+    let streets = ["Main St", "Oak Ave", "Station Rd", "Park Lane"];
+    let mut out = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        let mut t = Tuple::new()
+            .with("ZipCode", Value::Int(rng.gen_range(10_000..100_000)))
+            .with("Town", Value::str(towns[rng.gen_range(0..towns.len())]));
+        if rng.gen_bool(cfg.pobox_rate) {
+            t.insert("kind", Value::tag("pobox"));
+            t.insert("PostOfficeBoxNumber", Value::Int(rng.gen_range(1..10_000)));
+        } else {
+            t.insert("kind", Value::tag("street"));
+            t.insert("Street", Value::str(streets[rng.gen_range(0..streets.len())]));
+            if rng.gen_bool(0.8) {
+                t.insert("HouseNumber", Value::Int(rng.gen_range(1..300)));
+            }
+        }
+        // At least one of the three communication attributes.
+        let mask = rng.gen_range(1u8..8);
+        if mask & 1 != 0 {
+            t.insert("tel-number", Value::str(format!("+49-731-{}", 1000 + i)));
+        }
+        if mask & 2 != 0 {
+            t.insert("FAX-number", Value::str(format!("+49-731-9{}", 1000 + i)));
+        }
+        if mask & 4 != 0 {
+            t.insert("email-address", Value::str(format!("user{}@example.org", i)));
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_addresses_are_valid() {
+        let mut rel = address_relation();
+        for t in generate_addresses(&AddressConfig { n: 300, ..Default::default() }) {
+            rel.insert(t).expect("generated addresses must type-check");
+        }
+        assert_eq!(rel.len(), 300);
+    }
+
+    #[test]
+    fn scheme_expresses_the_intro_variants() {
+        let s = address_scheme();
+        assert!(s.admits(&AttrSet::from_names(["ZipCode", "Town", "kind", "Street", "tel-number"])));
+        assert!(s.admits(&AttrSet::from_names([
+            "ZipCode",
+            "Town",
+            "kind",
+            "Street",
+            "HouseNumber",
+            "email-address"
+        ])));
+        assert!(s.admits(&AttrSet::from_names([
+            "ZipCode",
+            "Town",
+            "kind",
+            "PostOfficeBoxNumber",
+            "FAX-number"
+        ])));
+        // No communication attribute at all is not admissible.
+        assert!(!s.admits(&AttrSet::from_names(["ZipCode", "Town", "kind", "Street"])));
+        // Both a PO box and a street are not admissible.
+        assert!(!s.admits(&AttrSet::from_names([
+            "ZipCode",
+            "Town",
+            "kind",
+            "PostOfficeBoxNumber",
+            "Street",
+            "tel-number"
+        ])));
+    }
+
+    #[test]
+    fn pobox_rate_controls_the_mix() {
+        let all_pobox = generate_addresses(&AddressConfig { n: 200, pobox_rate: 1.0, seed: 1 });
+        assert!(all_pobox.iter().all(|t| t.has_name("PostOfficeBoxNumber")));
+        let all_street = generate_addresses(&AddressConfig { n: 200, pobox_rate: 0.0, seed: 1 });
+        assert!(all_street.iter().all(|t| t.has_name("Street")));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate_addresses(&AddressConfig::default());
+        let b = generate_addresses(&AddressConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ead_rejects_mixed_variant() {
+        let ead = address_ead();
+        let bad = Tuple::new()
+            .with("kind", Value::tag("pobox"))
+            .with("Street", "Main St");
+        assert!(ead.check_tuple(&bad).is_err());
+    }
+}

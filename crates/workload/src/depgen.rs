@@ -1,0 +1,112 @@
+//! Random dependency sets for the axiom-system experiments (E5/E6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::dep::{Ad, Dependency, DependencySet, Fd};
+
+/// Configuration of the random dependency-set generator.
+#[derive(Clone, Debug)]
+pub struct DepGenConfig {
+    /// Size of the attribute universe (attributes are named `A0, A1, …`).
+    pub universe: usize,
+    /// Number of dependencies to generate.
+    pub count: usize,
+    /// Fraction of functional dependencies (the rest are ADs).
+    pub fd_fraction: f64,
+    /// Maximum size of a dependency's left-hand side.
+    pub max_lhs: usize,
+    /// Maximum size of a dependency's right-hand side.
+    pub max_rhs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DepGenConfig {
+    fn default() -> Self {
+        DepGenConfig {
+            universe: 12,
+            count: 8,
+            fd_fraction: 0.4,
+            max_lhs: 2,
+            max_rhs: 3,
+            seed: 3,
+        }
+    }
+}
+
+/// The attribute universe `A0 … A(n-1)` used by the generator.
+pub fn universe(n: usize) -> AttrSet {
+    AttrSet::from_names((0..n).map(|i| format!("A{}", i)))
+}
+
+fn random_subset(rng: &mut StdRng, n: usize, max_size: usize) -> AttrSet {
+    let size = rng.gen_range(1..=max_size.max(1));
+    let mut out = AttrSet::empty();
+    for _ in 0..size {
+        out.insert(format!("A{}", rng.gen_range(0..n)).as_str());
+    }
+    out
+}
+
+/// Generates a random mixed set of FDs and ADs over the configured universe.
+pub fn random_dependency_set(cfg: &DepGenConfig) -> DependencySet {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = DependencySet::new();
+    while out.len() < cfg.count {
+        let lhs = random_subset(&mut rng, cfg.universe, cfg.max_lhs);
+        let rhs = random_subset(&mut rng, cfg.universe, cfg.max_rhs);
+        if rhs.is_subset(&lhs) {
+            continue; // skip trivial dependencies, they add nothing
+        }
+        if rng.gen_bool(cfg.fd_fraction) {
+            out.add(Dependency::Fd(Fd::new(lhs, rhs)));
+        } else {
+            out.add(Dependency::Ad(Ad::new(lhs, rhs)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::axioms::{attr_closure, func_closure, AxiomSystem};
+
+    #[test]
+    fn generator_is_deterministic_and_sized() {
+        let cfg = DepGenConfig::default();
+        let a = random_dependency_set(&cfg);
+        let b = random_dependency_set(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.count);
+        assert!(a.attrs().is_subset(&universe(cfg.universe)));
+    }
+
+    #[test]
+    fn fd_fraction_extremes() {
+        let all_fd = random_dependency_set(&DepGenConfig { fd_fraction: 1.0, ..Default::default() });
+        assert_eq!(all_fd.fds().count(), all_fd.len());
+        let all_ad = random_dependency_set(&DepGenConfig { fd_fraction: 0.0, ..Default::default() });
+        assert_eq!(all_ad.ads().count(), all_ad.len());
+    }
+
+    #[test]
+    fn no_trivial_dependencies_generated() {
+        let s = random_dependency_set(&DepGenConfig { count: 30, ..Default::default() });
+        for d in s.iter() {
+            assert!(!d.rhs().is_subset(d.lhs()), "trivial dependency {}", d);
+        }
+    }
+
+    #[test]
+    fn closures_over_generated_sets_are_monotone() {
+        let s = random_dependency_set(&DepGenConfig { count: 20, universe: 10, ..Default::default() });
+        let x = AttrSet::from_names(["A0", "A1"]);
+        let f = func_closure(&x, &s);
+        let a = attr_closure(&x, &s, AxiomSystem::E);
+        assert!(x.is_subset(&f));
+        assert!(f.is_subset(&a), "X⁺func ⊆ X⁺attr");
+    }
+}

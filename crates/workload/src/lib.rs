@@ -1,0 +1,23 @@
+//! # flexrel-workload
+//!
+//! Synthetic workload generators for the flexrel reproduction.  The paper
+//! (ICDE 1995) has no measured evaluation, so its motivating examples — the
+//! employee/jobtype entity and the address entity of §1 — are turned into
+//! parameterized, seedable generators that the benchmarks scale up.  A
+//! random flexible-scheme generator and a random dependency-set generator
+//! drive the axiom-system and embedding experiments.
+//!
+//! All generators are deterministic given their seed.
+
+pub mod address;
+pub mod depgen;
+pub mod employee;
+pub mod schemagen;
+
+pub use address::{address_relation, generate_addresses, AddressConfig};
+pub use depgen::{random_dependency_set, DepGenConfig};
+pub use employee::{
+    employee_deps, employee_domains, employee_relation, employee_scheme, generate_employees,
+    EmployeeConfig, JobType,
+};
+pub use schemagen::{random_ead, random_scheme, SchemeGenConfig};

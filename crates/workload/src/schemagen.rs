@@ -1,0 +1,174 @@
+//! Random flexible schemes and EADs.
+//!
+//! Used by the DNF-growth experiment (E1), the embedding experiment (E9) and
+//! the property tests: a scheme is built from a mandatory part plus a number
+//! of variant groups (disjoint or non-disjoint unions, optionally nested one
+//! level deeper), and an EAD can be derived whose determinant is a fresh tag
+//! attribute selecting which variant of a chosen group is present.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::dep::{Ead, EadVariant};
+use flexrel_core::scheme::{Component, FlexScheme};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+
+/// Configuration of the random scheme generator.
+#[derive(Clone, Debug)]
+pub struct SchemeGenConfig {
+    /// Number of unconditioned (always present) attributes.
+    pub mandatory: usize,
+    /// Number of variant groups.
+    pub groups: usize,
+    /// Attributes per group.
+    pub group_width: usize,
+    /// Probability that a group is a disjoint union (otherwise non-disjoint).
+    pub disjoint_prob: f64,
+    /// Probability that a group member is itself a nested union of two
+    /// attributes (adds one level of nesting).
+    pub nest_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SchemeGenConfig {
+    fn default() -> Self {
+        SchemeGenConfig {
+            mandatory: 2,
+            groups: 3,
+            group_width: 3,
+            disjoint_prob: 0.5,
+            nest_prob: 0.2,
+            seed: 11,
+        }
+    }
+}
+
+/// Generates a random flexible scheme.  Attribute names are `m0, m1, …` for
+/// the mandatory part and `g<i>_a<j>` (plus `g<i>_a<j>_x` / `_y` for nested
+/// pairs) for the groups, so schemes of different sizes never collide.
+pub fn random_scheme(cfg: &SchemeGenConfig) -> FlexScheme {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut components: Vec<Component> = Vec::new();
+    for i in 0..cfg.mandatory {
+        components.push(Component::from(format!("m{}", i).as_str()));
+    }
+    for g in 0..cfg.groups {
+        let mut members: Vec<Component> = Vec::new();
+        for a in 0..cfg.group_width {
+            if rng.gen_bool(cfg.nest_prob) {
+                let nested = FlexScheme::disjoint_union([
+                    format!("g{}_a{}_x", g, a).as_str(),
+                    format!("g{}_a{}_y", g, a).as_str(),
+                ])
+                .expect("nested pair is valid");
+                members.push(Component::Scheme(nested));
+            } else {
+                members.push(Component::from(format!("g{}_a{}", g, a).as_str()));
+            }
+        }
+        let group = if rng.gen_bool(cfg.disjoint_prob) {
+            FlexScheme::new(1, 1, members)
+        } else {
+            let n = members.len();
+            FlexScheme::new(1, n, members)
+        }
+        .expect("group scheme is valid");
+        components.push(Component::Scheme(group));
+    }
+    let n = components.len();
+    FlexScheme::new(n, n, components).expect("outer scheme is valid")
+}
+
+/// Derives an EAD for a generated scheme: a fresh determining attribute
+/// `tag<g>` (which callers must add to the scheme's mandatory part if they
+/// want to store instances) whose values `v0, v1, …` select which member of
+/// group `g` is present.
+///
+/// Returns the EAD together with the tag attribute name.
+pub fn random_ead(scheme: &FlexScheme, group_index: usize) -> Option<(String, Ead)> {
+    let group = scheme
+        .components()
+        .iter()
+        .filter_map(|c| match c {
+            Component::Scheme(s) if s.at_least() == 1 && s.at_most() == 1 => Some(s),
+            _ => None,
+        })
+        .nth(group_index)?;
+    let tag = format!("tag{}", group_index);
+    let mut variants = Vec::new();
+    for (i, member) in group.components().iter().enumerate() {
+        let values = vec![Tuple::new().with(tag.as_str(), Value::tag(format!("v{}", i)))];
+        variants.push(EadVariant::new(values, member.attrs()));
+    }
+    let y: AttrSet = group.attrs();
+    Ead::new(AttrSet::singleton(tag.as_str()), y, variants)
+        .ok()
+        .map(|ead| (tag, ead))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_schemes_are_valid_and_deterministic() {
+        let cfg = SchemeGenConfig::default();
+        let a = random_scheme(&cfg);
+        let b = random_scheme(&cfg);
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+        assert!(a.depth() >= 2);
+    }
+
+    #[test]
+    fn dnf_grows_with_group_count() {
+        let mut last = 0;
+        for groups in 1..=5 {
+            let cfg = SchemeGenConfig {
+                groups,
+                nest_prob: 0.0,
+                disjoint_prob: 1.0,
+                ..Default::default()
+            };
+            let s = random_scheme(&cfg);
+            let n = s.dnf_len();
+            assert!(n > last, "dnf must grow with the number of variant groups");
+            last = n;
+        }
+        // With three attributes per disjoint group the growth is 3^groups.
+        assert_eq!(last, 3usize.pow(5));
+    }
+
+    #[test]
+    fn dnf_len_matches_materialization_on_random_schemes() {
+        for seed in 0..10 {
+            let cfg = SchemeGenConfig { seed, groups: 3, group_width: 3, ..Default::default() };
+            let s = random_scheme(&cfg);
+            assert_eq!(s.dnf_len(), s.dnf().len(), "seed {}", seed);
+        }
+    }
+
+    #[test]
+    fn random_ead_selects_a_disjoint_group() {
+        let cfg = SchemeGenConfig { disjoint_prob: 1.0, nest_prob: 0.0, ..Default::default() };
+        let s = random_scheme(&cfg);
+        let (tag, ead) = random_ead(&s, 0).expect("a disjoint group exists");
+        assert!(tag.starts_with("tag"));
+        assert_eq!(ead.variants().len(), cfg.group_width);
+        assert!(ead.rhs().is_subset(&s.attrs()));
+        // Each variant prescribes exactly one member of the group.
+        for v in ead.variants() {
+            assert!(!v.attrs.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_ead_out_of_range_is_none() {
+        let cfg = SchemeGenConfig { groups: 1, disjoint_prob: 1.0, ..Default::default() };
+        let s = random_scheme(&cfg);
+        assert!(random_ead(&s, 5).is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! The address entity from the paper's introduction: a disjoint union
+//! (PO box vs. street), an optional attribute (house number) and a
+//! non-disjoint union (telephone / fax / email), governed by an EAD and
+//! embedded into PASCAL and Rust types.
+//!
+//! Run with `cargo run -p flexrel-examples --bin address_book`.
+
+use flexrel_embed::{artificial_ead_for_group, pascal_record, rust_types};
+use flexrel_workload::address::{address_ead, address_relation, address_scheme};
+use flexrel_workload::{generate_addresses, AddressConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scheme = address_scheme();
+    println!("address scheme: {}", scheme);
+    println!("admissible combinations: {}", scheme.dnf_len());
+
+    let mut rel = address_relation();
+    for t in generate_addresses(&AddressConfig { n: 1_000, ..Default::default() }) {
+        rel.insert(t)?;
+    }
+    println!("loaded {} addresses; shape histogram:", rel.len());
+    for (shape, count) in rel.shape_histogram() {
+        println!("  {:>5}  {}", count, shape);
+    }
+
+    // Embed into host-language types.  The town-local part is governed by
+    // the 'kind' EAD; the communication part needs an artificial EAD since
+    // it is a non-disjoint union.
+    let comm_group = flexrel_core::scheme::FlexScheme::non_disjoint_union([
+        "tel-number",
+        "FAX-number",
+        "email-address",
+    ])?;
+    let house_group = flexrel_core::scheme::FlexScheme::optional("HouseNumber");
+    let eads = vec![
+        address_ead(),
+        artificial_ead_for_group(&comm_group, "comm-variant")?,
+        artificial_ead_for_group(&house_group, "house-variant")?,
+    ];
+    let pascal = pascal_record("address", &scheme, &eads, &[])?;
+    println!("\nPASCAL embedding:\n{}", pascal.source);
+    let rust = rust_types("address", &scheme, &eads, &[])?;
+    println!("Rust embedding:\n{}", rust);
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: define a flexible scheme with an attribute dependency, insert
+//! heterogeneous tuples with full type checking, and watch a value-based
+//! violation being rejected.
+//!
+//! Run with `cargo run -p flexrel-examples --bin quickstart`.
+
+use flexrel_core::prelude::*;
+
+fn main() -> Result<()> {
+    // Employees: empno, salary and jobtype are always present; depending on
+    // the jobtype the employee carries either a typing-speed or products.
+    let variants = FlexScheme::new(
+        0,
+        2,
+        vec![Component::from("typing-speed"), Component::from("products")],
+    )?;
+    let scheme = SchemeBuilder::all_of(["empno", "salary", "jobtype"])
+        .nested(variants)
+        .build()?;
+    println!("flexible scheme: {}", scheme);
+    println!("admissible attribute combinations (dnf): {}", scheme.dnf_len());
+
+    // The attribute dependency: the value of jobtype determines which of the
+    // variant attributes exist.
+    let ead = Ead::new(
+        AttrSet::singleton("jobtype"),
+        AttrSet::from_names(["typing-speed", "products"]),
+        vec![
+            EadVariant::new(
+                vec![Tuple::new().with("jobtype", Value::tag("secretary"))],
+                AttrSet::singleton("typing-speed"),
+            ),
+            EadVariant::new(
+                vec![Tuple::new().with("jobtype", Value::tag("salesman"))],
+                AttrSet::singleton("products"),
+            ),
+        ],
+    )?;
+    println!("attribute dependency: {}", ead);
+
+    let mut rel = FlexRelation::new("employee", scheme)
+        .with_domain("empno", Domain::Int)
+        .with_domain("salary", Domain::Float)
+        .with_domain("jobtype", Domain::enumeration(["secretary", "salesman"]))
+        .with_dep(ead);
+
+    rel.insert(
+        Tuple::new()
+            .with("empno", 1)
+            .with("salary", 4200.0)
+            .with("jobtype", Value::tag("secretary"))
+            .with("typing-speed", 320),
+    )?;
+    rel.insert(
+        Tuple::new()
+            .with("empno", 2)
+            .with("salary", 5100.0)
+            .with("jobtype", Value::tag("salesman"))
+            .with("products", "crm"),
+    )?;
+    println!("\nloaded relation:\n{}", rel);
+
+    // A salesman with a typing-speed fits the *scheme* but violates the AD:
+    // this is exactly the tuple no conventional relational scheme can reject.
+    let invalid = Tuple::new()
+        .with("empno", 3)
+        .with("salary", 4900.0)
+        .with("jobtype", Value::tag("salesman"))
+        .with("typing-speed", 280);
+    match rel.insert(invalid) {
+        Err(e) => println!("value-based violation rejected as expected:\n  {}", e),
+        Ok(()) => unreachable!("the AD must reject this tuple"),
+    }
+    Ok(())
+}

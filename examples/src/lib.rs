@@ -1,0 +1,3 @@
+//! Shared helpers for the runnable flexrel examples (see the `[[bin]]`
+//! targets of this package: `quickstart`, `hr_database`, `address_book`,
+//! `query_optimization`, `subtyping_comparison`).

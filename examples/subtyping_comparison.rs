@@ -1,0 +1,49 @@
+//! Record subtyping vs. AD-induced subtyping (Example 3): the classical rule
+//! accepts the "accidental" salary-only supertype; the AD-based notion keeps
+//! the determinant and the variant attributes causally connected.
+//!
+//! Run with `cargo run -p flexrel-examples --bin subtyping_comparison`.
+
+use flexrel_core::dep::example2_jobtype_ead;
+use flexrel_core::subtype::{is_record_subtype, RecordType, SubtypeFamily, SupertypeJudgement};
+use flexrel_core::value::Domain;
+use flexrel_workload::{employee_domains, employee_scheme};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let family = SubtypeFamily::derive(
+        &employee_scheme(),
+        &example2_jobtype_ead(),
+        &employee_domains(),
+        "employee",
+    )?;
+    println!("AD-induced subtype family (Example 3):\n{}", family);
+    println!("every subtype is a record subtype of the supertype: {}", family.record_rule_holds());
+
+    // The paper's accidental supertype: <…, salary : float> without jobtype.
+    let salary_only = RecordType::new("salary_only").with_field("salary", Domain::Float);
+    for sub in family.subtypes() {
+        println!(
+            "record rule: {} <= salary_only ? {}",
+            sub.name(),
+            is_record_subtype(sub, &salary_only)
+        );
+    }
+    println!(
+        "AD judgement of salary_only: {:?} (the connection to jobtype is destroyed)",
+        family.judge_supertype(&salary_only)
+    );
+    println!(
+        "AD judgement of the full employee supertype: {:?}",
+        family.judge_supertype(family.supertype())
+    );
+    let (semantic, accidental, rejected) = family.classify_all_projections();
+    println!(
+        "projections of the supertype: {} semantic, {} accidental, {} not supertypes",
+        semantic, accidental, rejected
+    );
+    assert_eq!(
+        family.judge_supertype(&salary_only),
+        SupertypeJudgement::AccidentalSupertype
+    );
+    Ok(())
+}

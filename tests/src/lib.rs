@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for the flexrel workspace live in this
+//! package's `tests/` directory; the library target is intentionally empty.

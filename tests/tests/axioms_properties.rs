@@ -1,0 +1,158 @@
+//! Property-based tests of the axiom systems ℛ and ℰ (Theorems 4.1 and 4.2)
+//! over randomly generated dependency sets:
+//!
+//! * the closure-based implication test agrees with the brute-force
+//!   saturation oracle on small universes,
+//! * every implied dependency comes with a mechanically verifiable
+//!   derivation,
+//! * every non-implied dependency is refuted by the appendix's two-tuple
+//!   witness relation (which still satisfies all of Σ),
+//! * soundness: dependencies implied by Σ hold on instances that satisfy Σ.
+
+use proptest::prelude::*;
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::axioms::{
+    derive, implies, non_redundant_cover, saturate, witness_relation, AxiomSystem,
+};
+use flexrel_core::dep::{Ad, Dependency, DependencySet, Fd};
+use flexrel_workload::depgen::{random_dependency_set, universe, DepGenConfig};
+use flexrel_workload::{generate_employees, EmployeeConfig};
+
+fn small_sigma(seed: u64, count: usize, fd_fraction: f64) -> (DependencySet, AttrSet) {
+    let cfg = DepGenConfig {
+        universe: 4,
+        count,
+        fd_fraction,
+        max_lhs: 2,
+        max_rhs: 2,
+        seed,
+    };
+    (random_dependency_set(&cfg), universe(4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Closure-based implication ≡ exhaustive saturation, for both systems.
+    #[test]
+    fn implication_agrees_with_saturation(seed in 0u64..1000, count in 2usize..6, fd in 0.0f64..1.0) {
+        let (sigma, uni) = small_sigma(seed, count, fd);
+        for system in [AxiomSystem::R, AxiomSystem::E] {
+            let sat = saturate(&sigma, system.rules(), &uni);
+            for x in uni.power_set() {
+                for y in uni.power_set() {
+                    let ad = Dependency::Ad(Ad::new(x.clone(), y.clone()));
+                    prop_assert_eq!(
+                        sat.contains(&ad),
+                        implies(&sigma, &ad, system),
+                        "AD disagreement under {:?} on {}", system, ad
+                    );
+                    if system == AxiomSystem::E {
+                        let fd_dep = Dependency::Fd(Fd::new(x.clone(), y.clone()));
+                        prop_assert_eq!(
+                            sat.contains(&fd_dep),
+                            implies(&sigma, &fd_dep, system),
+                            "FD disagreement on {}", fd_dep
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every implied dependency has a derivation that verifies step by step;
+    /// every non-implied one is refuted by the witness relation.
+    #[test]
+    fn derivations_and_witnesses(seed in 0u64..1000, count in 2usize..7, fd in 0.0f64..1.0) {
+        let (sigma, uni) = small_sigma(seed, count, fd);
+        for x in uni.power_set() {
+            for y in uni.power_set().into_iter().take(8) {
+                let dep = Dependency::Ad(Ad::new(x.clone(), y.clone()));
+                if implies(&sigma, &dep, AxiomSystem::E) {
+                    let d = derive(&sigma, &dep, AxiomSystem::E).expect("derivation exists");
+                    prop_assert!(d.verify(&sigma).is_ok(), "derivation fails to verify for {}", dep);
+                    prop_assert_eq!(d.target(), &dep);
+                } else {
+                    let w = witness_relation(&sigma, &x, &uni, AxiomSystem::E).unwrap();
+                    prop_assert!(!w.satisfies(&dep), "witness must violate {}", dep);
+                    for given in sigma.iter() {
+                        prop_assert!(w.satisfies(given), "witness must satisfy {}", given);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A non-redundant cover is equivalent to the original set and no larger.
+    #[test]
+    fn covers_are_equivalent_and_minimal(seed in 0u64..1000, count in 3usize..8) {
+        let cfg = DepGenConfig { universe: 6, count, fd_fraction: 0.3, max_lhs: 2, max_rhs: 2, seed };
+        let sigma = random_dependency_set(&cfg);
+        for system in [AxiomSystem::R, AxiomSystem::E] {
+            let cover = non_redundant_cover(&sigma, system);
+            prop_assert!(cover.len() <= sigma.len());
+            for d in sigma.iter() {
+                // System ℛ has no FD rules at all: FDs are inert there and
+                // survive in the cover verbatim rather than being implied.
+                if system == AxiomSystem::R && d.is_fd() {
+                    prop_assert!(cover.contains(d));
+                } else {
+                    prop_assert!(implies(&cover, d, system), "cover must imply {}", d);
+                }
+            }
+            for d in cover.iter() {
+                if system == AxiomSystem::R && d.is_fd() {
+                    prop_assert!(sigma.contains(d));
+                } else {
+                    prop_assert!(implies(&sigma, d, system), "original must imply {}", d);
+                }
+            }
+        }
+    }
+
+    /// Soundness on real data: dependencies implied by the employee
+    /// dependency set hold on every generated employee instance.
+    #[test]
+    fn implied_dependencies_hold_on_employee_instances(seed in 0u64..500, n in 20usize..120) {
+        let tuples = generate_employees(&EmployeeConfig { n, violation_rate: 0.0, seed });
+        let sigma = flexrel_workload::employee_deps();
+        // A few dependencies implied by Σ (via projectivity, augmentation,
+        // subsumption, combined transitivity).
+        let candidates = vec![
+            Dependency::Ad(Ad::new(
+                AttrSet::singleton("jobtype"),
+                AttrSet::from_names(["typing-speed", "products"]),
+            )),
+            Dependency::Ad(Ad::new(
+                AttrSet::from_names(["jobtype", "salary"]),
+                AttrSet::singleton("sales-commission"),
+            )),
+            Dependency::Ad(Ad::new(
+                AttrSet::singleton("empno"),
+                AttrSet::singleton("foreign-languages"),
+            )),
+            Dependency::Fd(Fd::new(AttrSet::singleton("empno"), AttrSet::singleton("salary"))),
+        ];
+        for dep in candidates {
+            prop_assert!(implies(&sigma, &dep, AxiomSystem::E), "{} should be implied", dep);
+            prop_assert!(dep.satisfied_by(&tuples), "{} must hold on the instance", dep);
+        }
+    }
+}
+
+/// The ℛ-specific non-theorem: AD transitivity is invalid.  There is a
+/// two-tuple instance satisfying `A→B` and `B→C` but not `A→C`.
+#[test]
+fn ad_transitivity_is_refutable() {
+    let sigma = DependencySet::from_deps(vec![
+        Dependency::Ad(Ad::new(AttrSet::singleton("A"), AttrSet::singleton("B"))),
+        Dependency::Ad(Ad::new(AttrSet::singleton("B"), AttrSet::singleton("C"))),
+    ]);
+    let target = Dependency::Ad(Ad::new(AttrSet::singleton("A"), AttrSet::singleton("C")));
+    assert!(!implies(&sigma, &target, AxiomSystem::E));
+    let uni = AttrSet::from_names(["A", "B", "C"]);
+    let w = witness_relation(&sigma, &AttrSet::singleton("A"), &uni, AxiomSystem::E).unwrap();
+    assert!(w.satisfies(&sigma.iter().next().unwrap().clone()));
+    assert!(!w.satisfies(&target));
+}

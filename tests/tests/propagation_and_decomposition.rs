@@ -1,0 +1,145 @@
+//! Property-based integration tests: Theorem 4.3 propagation holds on
+//! materialized operator outputs, algebra outputs stay scheme-admissible,
+//! and every decomposition strategy round-trips the instance — for randomly
+//! generated employee instances.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use flexrel_algebra::ops;
+use flexrel_algebra::predicate::Predicate;
+use flexrel_core::attr::AttrSet;
+use flexrel_core::dep::example2_jobtype_ead;
+use flexrel_core::relation::{CheckLevel, FlexRelation};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+use flexrel_decompose::{
+    horizontal_decompose, multirel_decompose, to_null_padded, vertical_decompose,
+};
+use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+fn loaded(n: usize, seed: u64) -> FlexRelation {
+    let mut rel = employee_relation();
+    for t in generate_employees(&EmployeeConfig { n, violation_rate: 0.0, seed }) {
+        rel.insert_checked(t, CheckLevel::None).unwrap();
+    }
+    rel
+}
+
+fn tuple_set(rel: &FlexRelation) -> BTreeSet<Tuple> {
+    rel.tuples().iter().cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Rule (3): selections preserve every declared dependency, and the
+    /// propagated set indeed holds on the output.
+    #[test]
+    fn selection_preserves_dependencies(seed in 0u64..500, threshold in 2000i64..9000) {
+        let rel = loaded(120, seed);
+        let out = ops::select(&rel, &Predicate::gt("salary", threshold as f64));
+        prop_assert!(out.deps().satisfied_by(out.tuples()));
+        for t in out.tuples() {
+            prop_assert!(out.scheme().admits(&t.attrs()));
+        }
+    }
+
+    /// Rule (2): projections keep exactly the dependencies whose determinant
+    /// survives, and those hold on the materialized output.
+    #[test]
+    fn projection_propagation_holds(seed in 0u64..500, keep_jobtype in any::<bool>()) {
+        let rel = loaded(100, seed);
+        let mut x = AttrSet::from_names(["salary", "typing-speed", "products", "sales-commission"]);
+        if keep_jobtype {
+            x.insert("jobtype");
+        }
+        let out = ops::project(&rel, &x).unwrap();
+        prop_assert!(out.deps().satisfied_by(out.tuples()));
+        if !keep_jobtype {
+            prop_assert!(out.deps().is_empty(), "dropping the determinant invalidates the EAD");
+        } else {
+            prop_assert!(out.deps().ads().count() >= 1);
+        }
+        for t in out.tuples() {
+            prop_assert!(out.scheme().admits(&t.attrs()), "{} not admitted", t);
+        }
+    }
+
+    /// Rule (6): the tagged union keeps the augmented dependencies, and they
+    /// hold on the combined instance; the plain union keeps none.
+    #[test]
+    fn union_vs_tagged_union(seed_a in 0u64..200, seed_b in 200u64..400) {
+        let a = loaded(60, seed_a);
+        let b = loaded(60, seed_b);
+        let plain = ops::union(&a, &b).unwrap();
+        prop_assert!(plain.deps().is_empty());
+        let tagged = ops::tagged_union(&a, &b, "src", Value::tag("a"), Value::tag("b")).unwrap();
+        prop_assert!(!tagged.deps().is_empty());
+        prop_assert!(tagged.deps().satisfied_by(tagged.tuples()));
+        prop_assert_eq!(tagged.len(), a.len() + b.len());
+    }
+
+    /// Horizontal, vertical and multirelation decompositions all restore the
+    /// original instance exactly; the flat baseline round-trips through
+    /// null-stripping.
+    #[test]
+    fn decompositions_round_trip(seed in 0u64..500, n in 20usize..150) {
+        let rel = loaded(n, seed);
+        let ead = example2_jobtype_ead();
+        let key = AttrSet::singleton("empno");
+        let original = tuple_set(&rel);
+
+        let h = horizontal_decompose(&rel, &ead).unwrap();
+        prop_assert_eq!(tuple_set(&h.restore().unwrap()), original.clone());
+
+        let v = vertical_decompose(&rel, &ead, &key).unwrap();
+        prop_assert_eq!(tuple_set(&v.restore().unwrap()), original.clone());
+
+        let m = multirel_decompose(&rel, &ead, &key).unwrap();
+        prop_assert_eq!(tuple_set(&m.restore().unwrap()), original.clone());
+
+        let flat = to_null_padded(&rel, &ead).unwrap();
+        let back: BTreeSet<Tuple> = flat.to_flexible_tuples().into_iter().collect();
+        prop_assert_eq!(back, original);
+    }
+
+    /// The product of employee data with an unrelated relation keeps both
+    /// dependency sets satisfied (rule 1).
+    #[test]
+    fn product_propagation_holds(seed in 0u64..200, m in 1usize..6) {
+        let rel = loaded(40, seed);
+        let mut dept = FlexRelation::new(
+            "dept",
+            flexrel_core::scheme::FlexScheme::relational(AttrSet::from_names(["dname", "budget"])),
+        );
+        for i in 0..m {
+            dept.insert(Tuple::new().with("dname", format!("d{}", i)).with("budget", i as i64)).unwrap();
+        }
+        let out = ops::product(&rel, &dept).unwrap();
+        prop_assert_eq!(out.len(), rel.len() * m);
+        prop_assert!(out.deps().satisfied_by(out.tuples()));
+    }
+}
+
+/// Restoring after dropping every detail still yields one row per master
+/// tuple (the unmatched-master path), deterministically.
+#[test]
+fn vertical_restore_handles_missing_details() {
+    let rel = loaded(50, 7);
+    let ead = example2_jobtype_ead();
+    let mut v = vertical_decompose(&rel, &ead, &AttrSet::singleton("empno")).unwrap();
+    for d in &mut v.details {
+        *d = FlexRelation::from_parts(
+            d.name().to_string(),
+            d.scheme().clone(),
+            d.domains().clone(),
+            d.deps().clone(),
+            Vec::new(),
+        );
+    }
+    let restored = v.restore().unwrap();
+    assert_eq!(restored.len(), 50);
+    assert!(restored.tuples().iter().all(|t| !t.has_name("products")));
+}
