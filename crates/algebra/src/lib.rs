@@ -31,7 +31,7 @@ pub mod propagate;
 pub mod schemes;
 
 pub use ops::{
-    difference, extend, multiway_join, natural_join, outer_union, product, project, rename,
-    select, tagged_union, union,
+    difference, extend, multiway_join, natural_join, outer_union, product, project, rename, select,
+    tagged_union, union,
 };
 pub use predicate::{CmpOp, Predicate};

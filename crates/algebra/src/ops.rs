@@ -157,7 +157,11 @@ pub fn difference(left: &FlexRelation, right: &FlexRelation) -> Result<FlexRelat
 
 /// Extension `ε_{A:a}(FR)`: adds attribute `A` with the constant value `a`
 /// to every tuple.  Used for tagging before unions (Theorem 4.3, rule 6).
-pub fn extend(fr: &FlexRelation, attr: impl Into<Attr>, value: impl Into<Value>) -> Result<FlexRelation> {
+pub fn extend(
+    fr: &FlexRelation,
+    attr: impl Into<Attr>,
+    value: impl Into<Value>,
+) -> Result<FlexRelation> {
     let attr = attr.into();
     let value = value.into();
     if fr.attrs().contains(&attr) {
@@ -401,7 +405,7 @@ pub fn multiway_join(relations: &[FlexRelation]) -> Result<FlexRelation> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexrel_core::dep::{example2_jobtype_ead, Dependency, Fd};
+    use flexrel_core::dep::{example2_jobtype_ead, Fd};
     use flexrel_core::scheme::{Component, FlexScheme, SchemeBuilder};
     use flexrel_core::{attrs, tuple};
 
@@ -461,7 +465,9 @@ mod tests {
         assert_eq!(out.len(), 3);
         for t in out.tuples() {
             assert!(out.scheme().admits(&t.attrs()), "scheme must admit {}", t);
-            assert!(t.attrs().is_subset(&attrs!["jobtype", "products", "typing-speed"]));
+            assert!(t
+                .attrs()
+                .is_subset(&attrs!["jobtype", "products", "typing-speed"]));
         }
         // The FD on empno is gone; the jobtype EAD survives with a trimmed
         // right side and still holds.
@@ -490,8 +496,10 @@ mod tests {
         assert!(product(&e, &e).is_err());
 
         let mut dept = FlexRelation::new("dept", FlexScheme::relational(attrs!["dname", "budget"]));
-        dept.insert(tuple! {"dname" => "hq", "budget" => 100}).unwrap();
-        dept.insert(tuple! {"dname" => "lab", "budget" => 200}).unwrap();
+        dept.insert(tuple! {"dname" => "hq", "budget" => 100})
+            .unwrap();
+        dept.insert(tuple! {"dname" => "lab", "budget" => 200})
+            .unwrap();
         let out = product(&e, &dept).unwrap();
         assert_eq!(out.len(), 6);
         assert!(out.deps().len() >= e.deps().len());
@@ -540,7 +548,10 @@ mod tests {
             assert_eq!(t.get_name("source"), Some(&Value::tag("hr")));
             assert!(out.scheme().admits(&t.attrs()));
         }
-        assert!(extend(&e, "salary", 0).is_err(), "existing attribute is rejected");
+        assert!(
+            extend(&e, "salary", 0).is_err(),
+            "existing attribute is rejected"
+        );
     }
 
     #[test]
@@ -549,7 +560,10 @@ mod tests {
         let e2 = employee();
         let out = tagged_union(&e1, &e2, "src", Value::tag("a"), Value::tag("b")).unwrap();
         assert_eq!(out.len(), 6);
-        assert!(!out.deps().is_empty(), "rule (6): dependencies survive augmented");
+        assert!(
+            !out.deps().is_empty(),
+            "rule (6): dependencies survive augmented"
+        );
         for d in out.deps().iter() {
             assert!(d.lhs().contains_name("src"));
         }
@@ -560,9 +574,13 @@ mod tests {
     #[test]
     fn outer_union_merges_heterogeneous_schemes() {
         let mut people = FlexRelation::new("people", FlexScheme::relational(attrs!["name", "age"]));
-        people.insert(tuple! {"name" => "ann", "age" => 30}).unwrap();
+        people
+            .insert(tuple! {"name" => "ann", "age" => 30})
+            .unwrap();
         let mut firms = FlexRelation::new("firms", FlexScheme::relational(attrs!["name", "vat"]));
-        firms.insert(tuple! {"name" => "acme", "vat" => 42}).unwrap();
+        firms
+            .insert(tuple! {"name" => "acme", "vat" => 42})
+            .unwrap();
         let out = outer_union(&people, &firms).unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.deps().is_empty());
@@ -573,12 +591,24 @@ mod tests {
 
     #[test]
     fn natural_join_recombines_decomposed_relations() {
-        let mut master = FlexRelation::new("master", FlexScheme::relational(attrs!["empno", "salary"]));
-        master.insert(tuple! {"empno" => 1, "salary" => 100}).unwrap();
-        master.insert(tuple! {"empno" => 2, "salary" => 200}).unwrap();
-        let mut detail = FlexRelation::new("detail", FlexScheme::relational(attrs!["empno", "products"]));
-        detail.insert(tuple! {"empno" => 2, "products" => "crm"}).unwrap();
-        detail.insert(tuple! {"empno" => 3, "products" => "erp"}).unwrap();
+        let mut master =
+            FlexRelation::new("master", FlexScheme::relational(attrs!["empno", "salary"]));
+        master
+            .insert(tuple! {"empno" => 1, "salary" => 100})
+            .unwrap();
+        master
+            .insert(tuple! {"empno" => 2, "salary" => 200})
+            .unwrap();
+        let mut detail = FlexRelation::new(
+            "detail",
+            FlexScheme::relational(attrs!["empno", "products"]),
+        );
+        detail
+            .insert(tuple! {"empno" => 2, "products" => "crm"})
+            .unwrap();
+        detail
+            .insert(tuple! {"empno" => 3, "products" => "erp"})
+            .unwrap();
         let out = natural_join(&master, &detail).unwrap();
         assert_eq!(out.len(), 1);
         let t = &out.tuples()[0];

@@ -59,11 +59,7 @@ pub enum Predicate {
     /// Always false.
     False,
     /// `attr op constant`; false if the tuple lacks the attribute.
-    Cmp {
-        attr: Attr,
-        op: CmpOp,
-        value: Value,
-    },
+    Cmp { attr: Attr, op: CmpOp, value: Value },
     /// Type guard: all listed attributes are present.
     IsPresent(AttrSet),
     /// Conjunction.
@@ -77,32 +73,56 @@ pub enum Predicate {
 impl Predicate {
     /// `attr = value`.
     pub fn eq(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { attr: attr.into(), op: CmpOp::Eq, value: value.into() }
+        Predicate::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
     }
 
     /// `attr > value`.
     pub fn gt(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { attr: attr.into(), op: CmpOp::Gt, value: value.into() }
+        Predicate::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Gt,
+            value: value.into(),
+        }
     }
 
     /// `attr < value`.
     pub fn lt(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { attr: attr.into(), op: CmpOp::Lt, value: value.into() }
+        Predicate::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Lt,
+            value: value.into(),
+        }
     }
 
     /// `attr >= value`.
     pub fn ge(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { attr: attr.into(), op: CmpOp::Ge, value: value.into() }
+        Predicate::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Ge,
+            value: value.into(),
+        }
     }
 
     /// `attr <= value`.
     pub fn le(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { attr: attr.into(), op: CmpOp::Le, value: value.into() }
+        Predicate::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Le,
+            value: value.into(),
+        }
     }
 
     /// `attr <> value`.
     pub fn ne(attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { attr: attr.into(), op: CmpOp::Ne, value: value.into() }
+        Predicate::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Ne,
+            value: value.into(),
+        }
     }
 
     /// Type guard for a set of attributes.
@@ -173,9 +193,11 @@ impl Predicate {
     /// `attr = value` atoms.
     pub fn implied_equalities(&self) -> Tuple {
         match self {
-            Predicate::Cmp { attr, op: CmpOp::Eq, value } => {
-                Tuple::new().with(attr.clone(), value.clone())
-            }
+            Predicate::Cmp {
+                attr,
+                op: CmpOp::Eq,
+                value,
+            } => Tuple::new().with(attr.clone(), value.clone()),
             Predicate::And(a, b) => a.implied_equalities().merged_with(&b.implied_equalities()),
             _ => Tuple::empty(),
         }
@@ -277,7 +299,8 @@ mod tests {
     #[test]
     fn boolean_connectives() {
         let t = secretary();
-        let p = Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
+        let p =
+            Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
         assert!(p.eval(&t));
         let q = Predicate::gt("salary", 9000).or(Predicate::present(attrs!["typing-speed"]));
         assert!(q.eval(&t));
@@ -299,14 +322,16 @@ mod tests {
             attrs!["salary", "jobtype", "typing-speed"]
         );
         // Disjunction weakens the requirement to the common attributes.
-        let q = Predicate::gt("salary", 1).or(Predicate::gt("salary", 2).and(Predicate::gt("bonus", 3)));
+        let q = Predicate::gt("salary", 1)
+            .or(Predicate::gt("salary", 2).and(Predicate::gt("bonus", 3)));
         assert_eq!(q.required_attrs(), attrs!["salary"]);
         assert_eq!(q.referenced_attrs(), attrs!["salary", "bonus"]);
     }
 
     #[test]
     fn implied_equalities_and_context() {
-        let p = Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
+        let p =
+            Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
         let eq = p.implied_equalities();
         assert_eq!(eq.get_name("jobtype"), Some(&Value::tag("secretary")));
         assert_eq!(eq.get_name("salary"), None);
@@ -333,7 +358,8 @@ mod tests {
 
     #[test]
     fn display_round_trip_reads_naturally() {
-        let p = Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
+        let p =
+            Predicate::gt("salary", 5000).and(Predicate::eq("jobtype", Value::tag("secretary")));
         assert_eq!(p.to_string(), "(salary > 5000 AND jobtype = 'secretary')");
     }
 }

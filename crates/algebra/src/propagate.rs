@@ -86,11 +86,7 @@ pub fn extend_deps(deps: &DependencySet) -> DependencySet {
 /// input survives with the tag attribute added to its left side (the left
 /// augmentation rule A4 / F2 applied inside the extended inputs makes this
 /// sound; the tag then separates the two sources).
-pub fn tagged_union_deps(
-    left: &DependencySet,
-    right: &DependencySet,
-    tag: &Attr,
-) -> DependencySet {
+pub fn tagged_union_deps(left: &DependencySet, right: &DependencySet, tag: &Attr) -> DependencySet {
     let mut out = DependencySet::new();
     for dep in left.iter().chain(right.iter()) {
         let lhs = dep.lhs().union(&tag.to_set());
@@ -124,7 +120,10 @@ mod tests {
 
     fn sample() -> DependencySet {
         DependencySet::from_deps(vec![
-            Dependency::Ad(Ad::new(attrs!["jobtype"], attrs!["products", "typing-speed"])),
+            Dependency::Ad(Ad::new(
+                attrs!["jobtype"],
+                attrs!["products", "typing-speed"],
+            )),
             Dependency::Fd(Fd::new(attrs!["empno"], attrs!["salary", "jobtype"])),
             Dependency::Ead(example2_jobtype_ead()),
         ])
@@ -170,16 +169,24 @@ mod tests {
 
     #[test]
     fn product_and_join_union_both_sides() {
-        let left = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["a"], attrs!["b"]))]);
-        let right = DependencySet::from_deps(vec![Dependency::Fd(Fd::new(attrs!["c"], attrs!["d"]))]);
+        let left =
+            DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["a"], attrs!["b"]))]);
+        let right =
+            DependencySet::from_deps(vec![Dependency::Fd(Fd::new(attrs!["c"], attrs!["d"]))]);
         assert_eq!(product_deps(&left, &right).len(), 2);
         assert_eq!(join_deps(&left, &right).len(), 2);
     }
 
     #[test]
     fn tagged_union_augments_left_sides() {
-        let left = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["jobtype"], attrs!["products"]))]);
-        let right = DependencySet::from_deps(vec![Dependency::Fd(Fd::new(attrs!["empno"], attrs!["salary"]))]);
+        let left = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(
+            attrs!["jobtype"],
+            attrs!["products"],
+        ))]);
+        let right = DependencySet::from_deps(vec![Dependency::Fd(Fd::new(
+            attrs!["empno"],
+            attrs!["salary"],
+        ))]);
         let out = tagged_union_deps(&left, &right, &Attr::new("src"));
         assert_eq!(out.len(), 2);
         for d in out.iter() {

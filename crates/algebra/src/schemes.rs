@@ -76,9 +76,7 @@ pub fn extend_scheme(scheme: &FlexScheme, attr: &flexrel_core::attr::Attr) -> Re
 /// never rejects one inside.  Used for operators (joins, outer unions) whose
 /// exact shape set is not expressible with attribute-disjoint components.
 pub fn covering_scheme(shapes: &BTreeSet<AttrSet>) -> Result<FlexScheme> {
-    let all: AttrSet = shapes
-        .iter()
-        .fold(AttrSet::empty(), |acc, s| acc.union(s));
+    let all: AttrSet = shapes.iter().fold(AttrSet::empty(), |acc, s| acc.union(s));
     if shapes.is_empty() || all.is_empty() {
         // Degenerate: no information; a single optional pseudo-component is
         // not possible without attributes, so fall back to a one-attribute
@@ -141,7 +139,12 @@ mod tests {
     #[test]
     fn projection_admits_every_projected_shape() {
         let fs = example1_scheme();
-        for x in [attrs!["A", "B"], attrs!["A", "C", "E"], attrs!["E", "F", "G"], attrs!["C", "D"]] {
+        for x in [
+            attrs!["A", "B"],
+            attrs!["A", "C", "E"],
+            attrs!["E", "F", "G"],
+            attrs!["C", "D"],
+        ] {
             let p = project_scheme(&fs, &x).unwrap();
             for shape in fs.dnf() {
                 let projected = shape.intersection(&x);

@@ -12,10 +12,17 @@ fn bench(c: &mut Criterion) {
         b.iter(|| fs.dnf().len())
     });
     for groups in [2usize, 4, 6] {
-        let fs = random_scheme(&SchemeGenConfig { groups, group_width: 3, nest_prob: 0.2, ..Default::default() });
-        g.bench_with_input(BenchmarkId::new("generated_dnf_len", groups), &fs, |b, fs| {
-            b.iter(|| fs.dnf_len())
+        let fs = random_scheme(&SchemeGenConfig {
+            groups,
+            group_width: 3,
+            nest_prob: 0.2,
+            ..Default::default()
         });
+        g.bench_with_input(
+            BenchmarkId::new("generated_dnf_len", groups),
+            &fs,
+            |b, fs| b.iter(|| fs.dnf_len()),
+        );
     }
     g.finish();
 }

@@ -14,23 +14,29 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut rel = employee_relation();
                 for t in tuples {
-                    rel.insert_checked(t.clone(), CheckLevel::SchemeOnly).unwrap();
+                    rel.insert_checked(t.clone(), CheckLevel::SchemeOnly)
+                        .unwrap();
                 }
                 rel.len()
             })
         });
         // Full checking goes through the storage engine, whose hash indexes
         // on the dependency determinants keep the FD/AD peer lookups cheap.
-        g.bench_with_input(BenchmarkId::new("full_ad_checking", n), &tuples, |b, tuples| {
-            b.iter(|| {
-                let mut db = Database::new();
-                db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
-                for t in tuples {
-                    db.insert("employee", t.clone()).unwrap();
-                }
-                db.count("employee").unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("full_ad_checking", n),
+            &tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    let mut db = Database::new();
+                    db.create_relation(RelationDef::from_relation(&employee_relation()))
+                        .unwrap();
+                    for t in tuples {
+                        db.insert("employee", t.clone()).unwrap();
+                    }
+                    db.count("employee").unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }

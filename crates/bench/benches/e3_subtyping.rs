@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("e3_classify_projections", |b| {
         b.iter(|| fam.classify_all_projections())
     });
-    c.bench_function("e3_record_rule_holds", |b| b.iter(|| fam.record_rule_holds()));
+    c.bench_function("e3_record_rule_holds", |b| {
+        b.iter(|| fam.record_rule_holds())
+    });
 }
 
 criterion_group!(benches, bench);

@@ -7,7 +7,8 @@ use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
 
 fn db(n: usize) -> Database {
     let mut db = Database::new();
-    db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+    db.create_relation(RelationDef::from_relation(&employee_relation()))
+        .unwrap();
     for t in generate_employees(&EmployeeConfig::clean(n)) {
         db.insert("employee", t).unwrap();
     }
@@ -17,7 +18,8 @@ fn db(n: usize) -> Database {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_guard_elim");
     g.sample_size(20);
-    for n in [10_000usize] {
+    {
+        let n = 10_000usize;
         let db = db(n);
         let q = parse(
             "SELECT empno, typing-speed FROM employee WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
@@ -28,9 +30,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("naive_plan", n), &naive, |b, plan| {
             b.iter(|| execute(plan, &db).unwrap().len())
         });
-        g.bench_with_input(BenchmarkId::new("optimized_plan", n), &optimized, |b, plan| {
-            b.iter(|| execute(plan, &db).unwrap().len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("optimized_plan", n),
+            &optimized,
+            |b, plan| b.iter(|| execute(plan, &db).unwrap().len()),
+        );
         g.bench_function(BenchmarkId::new("optimize_time", n), |b| {
             b.iter(|| optimize(naive.clone(), db.catalog()).0.node_count())
         });

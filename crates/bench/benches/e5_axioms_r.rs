@@ -15,13 +15,17 @@ fn bench(c: &mut Criterion) {
         });
         let universe = depgen::universe(16);
         let xs: Vec<_> = universe.power_set().into_iter().take(128).collect();
-        g.bench_with_input(BenchmarkId::new("attr_closure_r", count), &sigma, |b, sigma| {
-            b.iter(|| {
-                xs.iter()
-                    .map(|x| attr_closure(x, sigma, AxiomSystem::R).len())
-                    .sum::<usize>()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("attr_closure_r", count),
+            &sigma,
+            |b, sigma| {
+                b.iter(|| {
+                    xs.iter()
+                        .map(|x| attr_closure(x, sigma, AxiomSystem::R).len())
+                        .sum::<usize>()
+                })
+            },
+        );
     }
     g.finish();
 }

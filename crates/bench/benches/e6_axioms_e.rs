@@ -15,16 +15,28 @@ fn bench(c: &mut Criterion) {
         });
         let universe = depgen::universe(16);
         let xs: Vec<_> = universe.power_set().into_iter().take(128).collect();
-        g.bench_with_input(BenchmarkId::new("attr_closure_e", count), &sigma, |b, sigma| {
-            b.iter(|| {
-                xs.iter()
-                    .map(|x| attr_closure(x, sigma, AxiomSystem::E).len())
-                    .sum::<usize>()
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("func_closure", count), &sigma, |b, sigma| {
-            b.iter(|| xs.iter().map(|x| func_closure(x, sigma).len()).sum::<usize>())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("attr_closure_e", count),
+            &sigma,
+            |b, sigma| {
+                b.iter(|| {
+                    xs.iter()
+                        .map(|x| attr_closure(x, sigma, AxiomSystem::E).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("func_closure", count),
+            &sigma,
+            |b, sigma| {
+                b.iter(|| {
+                    xs.iter()
+                        .map(|x| func_closure(x, sigma).len())
+                        .sum::<usize>()
+                })
+            },
+        );
     }
     g.finish();
 }

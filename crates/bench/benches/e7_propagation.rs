@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_propagation");
     g.sample_size(10);
     g.bench_function("select_with_deps", |b| {
-        b.iter(|| ops::select(&rel, &Predicate::gt("salary", 5000.0)).deps().len())
+        b.iter(|| {
+            ops::select(&rel, &Predicate::gt("salary", 5000.0))
+                .deps()
+                .len()
+        })
     });
     g.bench_function("project_with_deps", |b| {
         let x = AttrSet::from_names(["jobtype", "products", "typing-speed", "salary"]);

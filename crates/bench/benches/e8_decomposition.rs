@@ -23,9 +23,15 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("e8_decomposition");
     g.sample_size(10);
-    g.bench_function("restore_outer_union", |b| b.iter(|| h.restore().unwrap().len()));
-    g.bench_function("restore_multiway_join", |b| b.iter(|| v.restore().unwrap().len()));
-    g.bench_function("select_full_relation", |b| b.iter(|| ops::select(&rel, &pred).len()));
+    g.bench_function("restore_outer_union", |b| {
+        b.iter(|| h.restore().unwrap().len())
+    });
+    g.bench_function("restore_multiway_join", |b| {
+        b.iter(|| v.restore().unwrap().len())
+    });
+    g.bench_function("select_full_relation", |b| {
+        b.iter(|| ops::select(&rel, &pred).len())
+    });
     g.bench_function("select_pruned_fragment", |b| {
         b.iter(|| ops::select(h.fragment(0).unwrap(), &pred).len())
     });

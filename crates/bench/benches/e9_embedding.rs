@@ -10,13 +10,27 @@ fn bench(c: &mut Criterion) {
     let ead = example2_jobtype_ead();
     let domains = employee_domains();
     c.bench_function("e9_pascal_record", |b| {
-        b.iter(|| pascal_record("employee", &scheme, &[ead.clone()], &domains).unwrap().source.len())
+        b.iter(|| {
+            pascal_record("employee", &scheme, std::slice::from_ref(&ead), &domains)
+                .unwrap()
+                .source
+                .len()
+        })
     });
     c.bench_function("e9_rust_types", |b| {
-        b.iter(|| rust_types("employee", &scheme, &[ead.clone()], &domains).unwrap().len())
+        b.iter(|| {
+            rust_types("employee", &scheme, std::slice::from_ref(&ead), &domains)
+                .unwrap()
+                .len()
+        })
     });
     c.bench_function("e9_artificial_determinant_certificate", |b| {
-        b.iter(|| introduce_artificial_determinant(&ead, "job-tag").unwrap().certificate.len())
+        b.iter(|| {
+            introduce_artificial_determinant(&ead, "job-tag")
+                .unwrap()
+                .certificate
+                .len()
+        })
     });
 }
 

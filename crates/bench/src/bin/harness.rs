@@ -11,10 +11,24 @@
 use flexrel_bench::experiments;
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000);
+    let scale: usize = match std::env::args().nth(1) {
+        None => 10_000,
+        Some(arg) => match arg.parse() {
+            // The data-heavy experiments divide the scale by up to 10 and
+            // need at least one tuple each, so tiny scales are rejected
+            // rather than panicking deep inside an experiment.
+            Ok(n) if n >= 10 => n,
+            Ok(n) => {
+                eprintln!("error: scale must be at least 10 tuples, got {}", n);
+                std::process::exit(2);
+            }
+            Err(_) => {
+                eprintln!("error: scale must be an integer, got {:?}", arg);
+                eprintln!("usage: harness [scale]");
+                std::process::exit(2);
+            }
+        },
+    };
     println!("flexrel experiment harness (scale = {} tuples)\n", scale);
     for table in experiments::run_all(scale) {
         println!("{}", table);

@@ -11,7 +11,9 @@ use std::time::Instant;
 use flexrel_algebra::ops;
 use flexrel_algebra::predicate::Predicate;
 use flexrel_core::attr::AttrSet;
-use flexrel_core::axioms::{attr_closure, func_closure, implies, saturate, witness_relation, AxiomSystem};
+use flexrel_core::axioms::{
+    attr_closure, func_closure, implies, saturate, witness_relation, AxiomSystem,
+};
 use flexrel_core::dep::{example2_jobtype_ead, Ad, Dependency};
 use flexrel_core::er::{employee_specialization, Specialization};
 use flexrel_core::relation::{CheckLevel, FlexRelation};
@@ -20,8 +22,12 @@ use flexrel_core::subtype::SubtypeFamily;
 use flexrel_core::tuple::Tuple;
 use flexrel_core::value::{Domain, Value};
 use flexrel_decompose::stats;
-use flexrel_decompose::{horizontal_decompose, multirel_decompose, to_null_padded, vertical_decompose};
-use flexrel_embed::{artificial_ead_for_group, introduce_artificial_determinant, pascal_record, rust_types};
+use flexrel_decompose::{
+    horizontal_decompose, multirel_decompose, to_null_padded, vertical_decompose,
+};
+use flexrel_embed::{
+    artificial_ead_for_group, introduce_artificial_determinant, pascal_record, rust_types,
+};
 use flexrel_query::prelude::*;
 use flexrel_storage::{Database, RelationDef};
 use flexrel_workload::{
@@ -39,7 +45,14 @@ fn micros(start: Instant) -> f64 {
 pub fn e1_dnf_growth() -> Table {
     let mut t = Table::new(
         "E1: dnf(FS) growth vs. scheme compactness (Example 1)",
-        &["scheme", "groups", "attrs", "components", "|dnf(FS)|", "unfold µs"],
+        &[
+            "scheme",
+            "groups",
+            "attrs",
+            "components",
+            "|dnf(FS)|",
+            "unfold µs",
+        ],
     );
     // The paper's Example 1 scheme first.
     let fs = example1_scheme();
@@ -84,21 +97,33 @@ pub fn e2_typecheck(sizes: &[usize]) -> Table {
     let mut t = Table::new(
         "E2: insert-time type checking (5% injected value-based violations)",
         &[
-            "n", "violations", "scheme-only rejects", "AD rejects", "flat accepts silently",
-            "scheme-only µs/tuple", "full µs/tuple", "flat manual-check µs/tuple",
+            "n",
+            "violations",
+            "scheme-only rejects",
+            "AD rejects",
+            "flat accepts silently",
+            "scheme-only µs/tuple",
+            "full µs/tuple",
+            "flat manual-check µs/tuple",
         ],
     );
     for &n in sizes {
         let tuples = generate_employees(&EmployeeConfig::with_violations(n, 0.05));
         let ead = example2_jobtype_ead();
-        let injected = tuples.iter().filter(|x| ead.check_tuple(x).is_err()).count();
+        let injected = tuples
+            .iter()
+            .filter(|x| ead.check_tuple(x).is_err())
+            .count();
 
         // Scheme-only checking.
         let mut scheme_only = employee_relation();
         let start = Instant::now();
         let mut scheme_rejects = 0usize;
         for x in &tuples {
-            if scheme_only.insert_checked(x.clone(), CheckLevel::SchemeOnly).is_err() {
+            if scheme_only
+                .insert_checked(x.clone(), CheckLevel::SchemeOnly)
+                .is_err()
+            {
                 scheme_rejects += 1;
             }
         }
@@ -107,7 +132,8 @@ pub fn e2_typecheck(sizes: &[usize]) -> Table {
         // Full checking (scheme + domains + dependencies) through the
         // storage engine, which indexes the dependency determinants.
         let mut full = Database::new();
-        full.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+        full.create_relation(RelationDef::from_relation(&employee_relation()))
+            .unwrap();
         let start = Instant::now();
         let mut ad_rejects = 0usize;
         for x in &tuples {
@@ -147,7 +173,14 @@ pub fn e2_typecheck(sizes: &[usize]) -> Table {
 pub fn e3_subtyping() -> Table {
     let mut t = Table::new(
         "E3: record-rule supertypes vs. semantics-preserving (AD) supertypes",
-        &["family", "unconditioned attrs", "projections", "record-rule accepts", "semantic", "accidental"],
+        &[
+            "family",
+            "unconditioned attrs",
+            "projections",
+            "record-rule accepts",
+            "semantic",
+            "accidental",
+        ],
     );
     // The employee family of Example 3.
     let fam = SubtypeFamily::derive(
@@ -193,7 +226,8 @@ pub fn e3_subtyping() -> Table {
 
 fn employee_db(n: usize) -> Database {
     let mut db = Database::new();
-    db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+    db.create_relation(RelationDef::from_relation(&employee_relation()))
+        .unwrap();
     for x in generate_employees(&EmployeeConfig::clean(n)) {
         db.insert("employee", x).unwrap();
     }
@@ -234,7 +268,14 @@ pub fn e4_guard_elimination(n: usize) -> Table {
 pub fn e5_axioms_r() -> Table {
     let mut t = Table::new(
         "E5: system R — soundness/completeness spot checks and closure cost",
-        &["|Σ|", "universe", "implication checks", "oracle disagreements", "witness failures", "closure µs"],
+        &[
+            "|Σ|",
+            "universe",
+            "implication checks",
+            "oracle disagreements",
+            "witness failures",
+            "closure µs",
+        ],
     );
     for (count, universe_size) in [(4usize, 5usize), (8, 5), (16, 10), (32, 16)] {
         let sigma = random_dependency_set(&DepGenConfig {
@@ -300,9 +341,21 @@ pub fn e5_axioms_r() -> Table {
 pub fn e6_axioms_e() -> Table {
     let mut t = Table::new(
         "E6: system E — FD+AD closures, oracle agreement and the §4.2 workaround",
-        &["|Σ|", "universe", "fd share", "oracle disagreements", "workaround certified", "closure µs"],
+        &[
+            "|Σ|",
+            "universe",
+            "fd share",
+            "oracle disagreements",
+            "workaround certified",
+            "closure µs",
+        ],
     );
-    for (count, universe_size, fd_fraction) in [(6usize, 5usize, 0.5f64), (12, 5, 0.4), (24, 12, 0.4), (48, 20, 0.3)] {
+    for (count, universe_size, fd_fraction) in [
+        (6usize, 5usize, 0.5f64),
+        (12, 5, 0.4),
+        (24, 12, 0.4),
+        (48, 20, 0.3),
+    ] {
         let sigma = random_dependency_set(&DepGenConfig {
             universe: universe_size,
             count,
@@ -328,11 +381,10 @@ pub fn e6_axioms_e() -> Table {
         }
         // §4.2 workaround, certified through ℰ for the maiden-name example
         // and for the jobtype EAD.
-        let workaround_ok = [
-            introduce_artificial_determinant(&example2_jobtype_ead(), "job-tag").is_ok(),
-        ]
-        .iter()
-        .all(|b| *b);
+        let workaround_ok =
+            [introduce_artificial_determinant(&example2_jobtype_ead(), "job-tag").is_ok()]
+                .iter()
+                .all(|b| *b);
 
         let start = Instant::now();
         let mut acc = 0usize;
@@ -359,7 +411,13 @@ pub fn e6_axioms_e() -> Table {
 pub fn e7_propagation(n: usize) -> Table {
     let mut t = Table::new(
         "E7: Theorem 4.3 — propagated dependencies vs. ground truth on materialized outputs",
-        &["operator", "input tuples", "propagated deps", "all hold", "op µs"],
+        &[
+            "operator",
+            "input tuples",
+            "propagated deps",
+            "all hold",
+            "op µs",
+        ],
     );
     let mut rel = employee_relation();
     for x in generate_employees(&EmployeeConfig::clean(n)) {
@@ -370,8 +428,12 @@ pub fn e7_propagation(n: usize) -> Table {
         flexrel_core::scheme::FlexScheme::relational(AttrSet::from_names(["dname", "budget"])),
     );
     for i in 0..8 {
-        dept.insert(Tuple::new().with("dname", format!("d{}", i)).with("budget", i * 100))
-            .unwrap();
+        dept.insert(
+            Tuple::new()
+                .with("dname", format!("d{}", i))
+                .with("budget", i * 100),
+        )
+        .unwrap();
     }
 
     let mut record = |name: &str, out: FlexRelation, start: Instant| {
@@ -386,12 +448,20 @@ pub fn e7_propagation(n: usize) -> Table {
     };
 
     let start = Instant::now();
-    record("selection σ", ops::select(&rel, &Predicate::gt("salary", 5000.0)), start);
+    record(
+        "selection σ",
+        ops::select(&rel, &Predicate::gt("salary", 5000.0)),
+        start,
+    );
 
     let start = Instant::now();
     record(
         "projection π",
-        ops::project(&rel, &AttrSet::from_names(["jobtype", "products", "typing-speed", "salary"])).unwrap(),
+        ops::project(
+            &rel,
+            &AttrSet::from_names(["jobtype", "products", "typing-speed", "salary"]),
+        )
+        .unwrap(),
         start,
     );
 
@@ -418,7 +488,15 @@ pub fn e7_propagation(n: usize) -> Table {
 pub fn e8_decomposition(n: usize) -> Table {
     let mut t = Table::new(
         "E8: representations of the employee entity — storage and restoration",
-        &["representation", "relations", "tuples", "cells", "null cells", "restore µs", "σ(jobtype='secretary') µs"],
+        &[
+            "representation",
+            "relations",
+            "tuples",
+            "cells",
+            "null cells",
+            "restore µs",
+            "σ(jobtype='secretary') µs",
+        ],
     );
     let mut rel = employee_relation();
     for x in generate_employees(&EmployeeConfig::clean(n)) {
@@ -536,7 +614,15 @@ pub fn e8_decomposition(n: usize) -> Table {
 pub fn e9_embedding() -> Table {
     let mut t = Table::new(
         "E9: embedding generated schemes into PASCAL / Rust sum types",
-        &["schemes", "direct", "needed artificial EAD", "pascal ok", "rust ok", "certificates ok", "gen µs/scheme"],
+        &[
+            "schemes",
+            "direct",
+            "needed artificial EAD",
+            "pascal ok",
+            "rust ok",
+            "certificates ok",
+            "gen µs/scheme",
+        ],
     );
     for batch in [10usize, 25, 50] {
         let mut direct = 0usize;
@@ -546,7 +632,13 @@ pub fn e9_embedding() -> Table {
         let mut certs_ok = 0usize;
         let start = Instant::now();
         for seed in 0..batch as u64 {
-            let cfg = SchemeGenConfig { seed, groups: 2, group_width: 3, nest_prob: 0.0, ..Default::default() };
+            let cfg = SchemeGenConfig {
+                seed,
+                groups: 2,
+                group_width: 3,
+                nest_prob: 0.0,
+                ..Default::default()
+            };
             let scheme = random_scheme(&cfg);
             // Try to cover every group with a generated EAD; groups that are
             // not disjoint unions need an artificial EAD.
@@ -563,7 +655,9 @@ pub fn e9_embedding() -> Table {
                         }
                     }
                     needed_artificial = true;
-                    eads.push(artificial_ead_for_group(group, &format!("art{}", eads.len())).unwrap());
+                    eads.push(
+                        artificial_ead_for_group(group, &format!("art{}", eads.len())).unwrap(),
+                    );
                 }
             }
             if needed_artificial {
@@ -603,7 +697,13 @@ pub fn e9_embedding() -> Table {
 pub fn e10_er_mapping() -> Table {
     let mut t = Table::new(
         "E10: ER specialization ↔ EAD mapping (one-to-one) and classification",
-        &["specialization", "subclasses", "round-trip exact", "overlap", "coverage over jobtype domain"],
+        &[
+            "specialization",
+            "subclasses",
+            "round-trip exact",
+            "overlap",
+            "coverage over jobtype domain",
+        ],
     );
     let spec = employee_specialization();
     let ead = spec.to_ead().unwrap();
@@ -656,15 +756,24 @@ mod tests {
         let scheme_rejects: usize = row[2].parse().unwrap();
         let ad_rejects: usize = row[3].parse().unwrap();
         assert!(injected > 0);
-        assert_eq!(scheme_rejects, 0, "scheme-only checking cannot see value-based violations");
-        assert_eq!(ad_rejects, injected, "AD checking catches every injected violation");
+        assert_eq!(
+            scheme_rejects, 0,
+            "scheme-only checking cannot see value-based violations"
+        );
+        assert_eq!(
+            ad_rejects, injected,
+            "AD checking catches every injected violation"
+        );
     }
 
     #[test]
     fn e3_reports_accidental_supertypes() {
         let t = e3_subtyping();
         let accidental: usize = t.rows[0][5].parse().unwrap();
-        assert!(accidental > 0, "the record rule accepts supertypes the AD notion rejects");
+        assert!(
+            accidental > 0,
+            "the record rule accepts supertypes the AD notion rejects"
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: ToString,
     {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows.
@@ -46,10 +47,10 @@ impl Table {
         let cols = self.header.len();
         let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
-            for c in 0..cols {
+            for (c, width) in w.iter_mut().enumerate().take(cols) {
                 let len = row.get(c).map(|s| s.len()).unwrap_or(0);
-                if len > w[c] {
-                    w[c] = len;
+                if len > *width {
+                    *width = len;
                 }
             }
         }

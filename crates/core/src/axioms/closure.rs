@@ -63,12 +63,8 @@ pub fn implies(sigma: &DependencySet, dep: &Dependency, system: AxiomSystem) -> 
         (_, Dependency::Ad(ad)) => ad.rhs().is_subset(&attr_closure(ad.lhs(), sigma, system)),
         // An explicit AD is judged through its abbreviation (the explicit
         // variant structure carries no additional *implication* content).
-        (_, Dependency::Ead(ead)) => {
-            ead.rhs().is_subset(&attr_closure(ead.lhs(), sigma, system))
-        }
-        (AxiomSystem::E, Dependency::Fd(fd)) => {
-            fd.rhs().is_subset(&func_closure(fd.lhs(), sigma))
-        }
+        (_, Dependency::Ead(ead)) => ead.rhs().is_subset(&attr_closure(ead.lhs(), sigma, system)),
+        (AxiomSystem::E, Dependency::Fd(fd)) => fd.rhs().is_subset(&func_closure(fd.lhs(), sigma)),
         (AxiomSystem::R, Dependency::Fd(_)) => false,
     }
 }

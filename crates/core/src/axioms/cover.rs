@@ -120,7 +120,8 @@ mod tests {
 
     #[test]
     fn equivalence_is_not_syntactic() {
-        let a = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"]))]);
+        let a =
+            DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"]))]);
         let b = DependencySet::from_deps(vec![
             Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
             Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])),

@@ -81,14 +81,20 @@ impl Derivation {
                     )));
                 }
             }
-            let premise_deps: Vec<&Dependency> =
-                step.premises.iter().map(|&p| &self.steps[p].conclusion).collect();
+            let premise_deps: Vec<&Dependency> = step
+                .premises
+                .iter()
+                .map(|&p| &self.steps[p].conclusion)
+                .collect();
             if !rule_instance_valid(step.rule, &premise_deps, &step.conclusion, sigma) {
                 return Err(CoreError::Invalid(format!(
                     "step {} is not a valid instance of {}: premises {:?} conclusion {}",
                     i,
                     step.rule,
-                    premise_deps.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+                    premise_deps
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>(),
                     step.conclusion
                 )));
             }
@@ -153,9 +159,7 @@ pub fn rule_instance_valid(
         },
         Rule::Additivity => match (premises, conclusion) {
             ([DAd(p1), DAd(p2)], DAd(c)) => {
-                p1.lhs() == p2.lhs()
-                    && c.lhs() == p1.lhs()
-                    && *c.rhs() == p1.rhs().union(p2.rhs())
+                p1.lhs() == p2.lhs() && c.lhs() == p1.lhs() && *c.rhs() == p1.rhs().union(p2.rhs())
             }
             _ => false,
         },
@@ -215,16 +219,26 @@ struct Builder {
 
 impl Builder {
     fn new(system: AxiomSystem) -> Self {
-        Builder { system, steps: Vec::new() }
+        Builder {
+            system,
+            steps: Vec::new(),
+        }
     }
 
     fn push(&mut self, rule: Rule, premises: Vec<usize>, conclusion: Dependency) -> usize {
-        self.steps.push(DerivationStep { rule, premises, conclusion });
+        self.steps.push(DerivationStep {
+            rule,
+            premises,
+            conclusion,
+        });
         self.steps.len() - 1
     }
 
     fn finish(self) -> Derivation {
-        Derivation { system: self.system, steps: self.steps }
+        Derivation {
+            system: self.system,
+            steps: self.steps,
+        }
     }
 }
 
@@ -450,11 +464,7 @@ pub fn derive(
 /// members, so this is restricted to `n ≤ 6`; it exists as an oracle for
 /// tests (closure correctness, non-redundancy of rules), not as a production
 /// reasoning path.
-pub fn saturate(
-    sigma: &DependencySet,
-    rules: &[Rule],
-    universe: &AttrSet,
-) -> BTreeSet<Dependency> {
+pub fn saturate(sigma: &DependencySet, rules: &[Rule], universe: &AttrSet) -> BTreeSet<Dependency> {
     assert!(
         universe.len() <= 6,
         "saturate() is an exhaustive oracle and only supports universes of at most 6 attributes"
@@ -502,10 +512,8 @@ pub fn saturate(
                     }
                     if rules.contains(&Rule::LeftAugmentation) {
                         for z in &subsets {
-                            new_deps.push(Dependency::Ad(Ad::new(
-                                ad.lhs().union(z),
-                                ad.rhs().clone(),
-                            )));
+                            new_deps
+                                .push(Dependency::Ad(Ad::new(ad.lhs().union(z), ad.rhs().clone())));
                         }
                     }
                 }
@@ -529,29 +537,23 @@ pub fn saturate(
         for d1 in &snapshot {
             for d2 in &snapshot {
                 match (d1, d2) {
-                    (Dependency::Ad(a1), Dependency::Ad(a2)) => {
-                        if rules.contains(&Rule::Additivity) && a1.lhs() == a2.lhs() {
-                            new_deps.push(Dependency::Ad(Ad::new(
-                                a1.lhs().clone(),
-                                a1.rhs().union(a2.rhs()),
-                            )));
-                        }
+                    (Dependency::Ad(a1), Dependency::Ad(a2))
+                        if rules.contains(&Rule::Additivity) && a1.lhs() == a2.lhs() =>
+                    {
+                        new_deps.push(Dependency::Ad(Ad::new(
+                            a1.lhs().clone(),
+                            a1.rhs().union(a2.rhs()),
+                        )));
                     }
-                    (Dependency::Fd(f1), Dependency::Fd(f2)) => {
-                        if rules.contains(&Rule::TransitivityFd) && f1.rhs() == f2.lhs() {
-                            new_deps.push(Dependency::Fd(Fd::new(
-                                f1.lhs().clone(),
-                                f2.rhs().clone(),
-                            )));
-                        }
+                    (Dependency::Fd(f1), Dependency::Fd(f2))
+                        if rules.contains(&Rule::TransitivityFd) && f1.rhs() == f2.lhs() =>
+                    {
+                        new_deps.push(Dependency::Fd(Fd::new(f1.lhs().clone(), f2.rhs().clone())));
                     }
-                    (Dependency::Fd(f1), Dependency::Ad(a2)) => {
-                        if rules.contains(&Rule::CombinedTransitivity) && f1.rhs() == a2.lhs() {
-                            new_deps.push(Dependency::Ad(Ad::new(
-                                f1.lhs().clone(),
-                                a2.rhs().clone(),
-                            )));
-                        }
+                    (Dependency::Fd(f1), Dependency::Ad(a2))
+                        if rules.contains(&Rule::CombinedTransitivity) && f1.rhs() == a2.lhs() =>
+                    {
+                        new_deps.push(Dependency::Ad(Ad::new(f1.lhs().clone(), a2.rhs().clone())));
                     }
                     _ => {}
                 }
@@ -658,7 +660,10 @@ mod tests {
             (Dependency::Fd(Fd::new(attrs!["A"], attrs!["C"])), true),
             (Dependency::Ad(Ad::new(attrs!["A"], attrs!["C"])), true),
             (Dependency::Ad(Ad::new(attrs!["A"], attrs!["D"])), true),
-            (Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "D", "E"])), true),
+            (
+                Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "D", "E"])),
+                true,
+            ),
             (Dependency::Fd(Fd::new(attrs!["A"], attrs!["D"])), false),
             (Dependency::Ad(Ad::new(attrs!["D"], attrs!["E"])), false),
         ];
@@ -679,10 +684,16 @@ mod tests {
         // attribute A with X --func--> A and A --attr--> Y; then
         // X --attr--> Y remains derivable via AF2.
         let sigma = DependencySet::from_deps(vec![
-            Dependency::Fd(Fd::new(attrs!["sex", "marital-status"], attrs!["variant-tag"])),
+            Dependency::Fd(Fd::new(
+                attrs!["sex", "marital-status"],
+                attrs!["variant-tag"],
+            )),
             Dependency::Ad(Ad::new(attrs!["variant-tag"], attrs!["maiden-name"])),
         ]);
-        let target = Dependency::Ad(Ad::new(attrs!["sex", "marital-status"], attrs!["maiden-name"]));
+        let target = Dependency::Ad(Ad::new(
+            attrs!["sex", "marital-status"],
+            attrs!["maiden-name"],
+        ));
         let d = derive(&sigma, &target, AxiomSystem::E).expect("AF2 makes the workaround valid");
         d.verify(&sigma).unwrap();
         assert!(d.steps.iter().any(|s| s.rule == Rule::CombinedTransitivity));
@@ -747,7 +758,10 @@ mod tests {
         let cases: Vec<(Rule, DependencySet, Dependency)> = vec![
             (
                 Rule::Projectivity,
-                DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"]))]),
+                DependencySet::from_deps(vec![Dependency::Ad(Ad::new(
+                    attrs!["A"],
+                    attrs!["B", "C"],
+                ))]),
                 Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
             ),
             (
@@ -803,7 +817,10 @@ mod tests {
             ),
             (
                 Rule::Projectivity,
-                DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B", "C"]))]),
+                DependencySet::from_deps(vec![Dependency::Ad(Ad::new(
+                    attrs!["A"],
+                    attrs!["B", "C"],
+                ))]),
                 Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"])),
             ),
             (
@@ -857,7 +874,8 @@ mod tests {
         let sat = saturate(&DependencySet::new(), AxiomSystem::E.rules(), &universe);
         assert!(sat.contains(&Dependency::Ad(Ad::new(attrs!["A", "B"], attrs!["A"]))));
         // A4 instance: from A --attr--> B derive {A,C} --attr--> B.
-        let sigma = DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"]))]);
+        let sigma =
+            DependencySet::from_deps(vec![Dependency::Ad(Ad::new(attrs!["A"], attrs!["B"]))]);
         let sat = saturate(&sigma, AxiomSystem::E.rules(), &universe);
         assert!(sat.contains(&Dependency::Ad(Ad::new(attrs!["A", "C"], attrs!["B"]))));
     }

@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn rule_labels_match_paper_names() {
         assert_eq!(Rule::Projectivity.label(), "A1 (projectivity)");
-        assert_eq!(Rule::CombinedTransitivity.to_string(), "AF2 (combined transitivity)");
+        assert_eq!(
+            Rule::CombinedTransitivity.to_string(),
+            "AF2 (combined transitivity)"
+        );
         assert!(AxiomSystem::R.to_string().contains("R"));
     }
 }

@@ -109,7 +109,11 @@ pub fn witness_relation(
     let t2: Tuple = attr
         .iter()
         .map(|a| {
-            let v = if func.contains(a) { Value::Int(1) } else { Value::Int(0) };
+            let v = if func.contains(a) {
+                Value::Int(1)
+            } else {
+                Value::Int(0)
+            };
             (a.clone(), v)
         })
         .collect();

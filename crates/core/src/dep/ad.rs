@@ -29,7 +29,10 @@ pub struct Ad {
 impl Ad {
     /// Creates the dependency `lhs --attr--> rhs`.
     pub fn new(lhs: impl Into<AttrSet>, rhs: impl Into<AttrSet>) -> Self {
-        Ad { lhs: lhs.into(), rhs: rhs.into() }
+        Ad {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
     }
 
     /// The determining attribute set `X`.
@@ -224,7 +227,9 @@ mod tests {
             "typing-speed" => 280,
             "foreign-languages" => "russian"
         };
-        assert!(ad.check_insert(&[secretary(), engineer()], &another_secretary).is_ok());
+        assert!(ad
+            .check_insert(&[secretary(), engineer()], &another_secretary)
+            .is_ok());
     }
 
     #[test]

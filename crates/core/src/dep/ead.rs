@@ -21,7 +21,10 @@ pub struct EadVariant {
 impl EadVariant {
     /// Creates a variant.
     pub fn new(values: Vec<Tuple>, attrs: impl Into<AttrSet>) -> Self {
-        EadVariant { values, attrs: attrs.into() }
+        EadVariant {
+            values,
+            attrs: attrs.into(),
+        }
     }
 
     /// Whether `x_value` (a tuple over `X`) belongs to this variant's value
@@ -343,10 +346,7 @@ mod tests {
         let err = Ead::new(
             attrs!["jobtype"],
             attrs!["a"],
-            vec![EadVariant::new(
-                vec![tuple! {"salary" => 1}],
-                attrs!["a"],
-            )],
+            vec![EadVariant::new(vec![tuple! {"salary" => 1}], attrs!["a"])],
         );
         assert!(err.is_err());
     }

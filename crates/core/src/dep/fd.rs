@@ -28,7 +28,10 @@ pub struct Fd {
 impl Fd {
     /// Creates the dependency `lhs --func--> rhs`.
     pub fn new(lhs: impl Into<AttrSet>, rhs: impl Into<AttrSet>) -> Self {
-        Fd { lhs: lhs.into(), rhs: rhs.into() }
+        Fd {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
     }
 
     /// The determining attribute set `X`.
@@ -102,7 +105,9 @@ impl Fd {
             return Ok(());
         }
         for t in existing {
-            if t.defined_on(&self.lhs) && t.agrees_on(new, &self.lhs) && !self.pair_satisfied(t, new)
+            if t.defined_on(&self.lhs)
+                && t.agrees_on(new, &self.lhs)
+                && !self.pair_satisfied(t, new)
             {
                 return Err(CoreError::FdViolation {
                     dependency: self.to_string(),

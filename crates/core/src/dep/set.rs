@@ -235,8 +235,12 @@ mod tests {
     fn check_insert_delegates_to_members() {
         let s = sample();
         let existing = vec![tuple! {"empno" => 1, "salary" => 100}];
-        assert!(s.check_insert(&existing, &tuple! {"empno" => 1, "salary" => 100}).is_ok());
-        assert!(s.check_insert(&existing, &tuple! {"empno" => 1, "salary" => 2}).is_err());
+        assert!(s
+            .check_insert(&existing, &tuple! {"empno" => 1, "salary" => 100})
+            .is_ok());
+        assert!(s
+            .check_insert(&existing, &tuple! {"empno" => 1, "salary" => 2})
+            .is_err());
     }
 
     #[test]

@@ -105,7 +105,9 @@ impl Specialization {
             .variants()
             .iter()
             .enumerate()
-            .map(|(i, v)| Subclass::new(format!("variant_{}", i), v.values.clone(), v.attrs.clone()))
+            .map(|(i, v)| {
+                Subclass::new(format!("variant_{}", i), v.values.clone(), v.attrs.clone())
+            })
             .collect();
         Specialization {
             entity: entity.into(),
@@ -138,7 +140,11 @@ impl Specialization {
 
 impl fmt::Display for Specialization {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "specialization of {} on {}", self.entity, self.determining)?;
+        writeln!(
+            f,
+            "specialization of {} on {}",
+            self.entity, self.determining
+        )?;
         for s in &self.subclasses {
             writeln!(f, "  {} adds {}", s.name, s.attrs)?;
         }
@@ -160,9 +166,7 @@ pub fn enumerate_tuples(x: &AttrSet, domains: &[(&str, &Domain)]) -> Result<Vec<
             Domain::Enum(tags) => tags.iter().map(|t| Value::Tag(t.clone())).collect(),
             Domain::Finite(vals) => vals.iter().cloned().collect(),
             Domain::Bool => vec![Value::Bool(false), Value::Bool(true)],
-            Domain::IntRange(lo, hi) if hi - lo < 1_000 => {
-                (*lo..=*hi).map(Value::Int).collect()
-            }
+            Domain::IntRange(lo, hi) if hi - lo < 1_000 => (*lo..=*hi).map(Value::Int).collect(),
             other => {
                 return Err(CoreError::Invalid(format!(
                     "domain {} of attribute {} is not enumerable",
@@ -295,7 +299,8 @@ mod tests {
     fn bool_and_range_domains_enumerate() {
         let b = Domain::Bool;
         let r = Domain::IntRange(1, 3);
-        let tuples = enumerate_tuples(&attrs!["flag", "level"], &[("flag", &b), ("level", &r)]).unwrap();
+        let tuples =
+            enumerate_tuples(&attrs!["flag", "level"], &[("flag", &b), ("level", &r)]).unwrap();
         assert_eq!(tuples.len(), 6);
     }
 

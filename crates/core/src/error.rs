@@ -30,10 +30,7 @@ pub enum CoreError {
         detail: String,
     },
     /// A tuple violates a functional dependency (Def. 4.2).
-    FdViolation {
-        dependency: String,
-        detail: String,
-    },
+    FdViolation { dependency: String, detail: String },
     /// A value lies outside its attribute's domain.
     DomainViolation {
         attr: String,
@@ -53,18 +50,33 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidScheme(msg) => write!(f, "invalid flexible scheme: {}", msg),
             CoreError::InvalidDependency(msg) => write!(f, "invalid dependency: {}", msg),
-            CoreError::SchemeViolation { tuple_attrs, scheme } => write!(
+            CoreError::SchemeViolation {
+                tuple_attrs,
+                scheme,
+            } => write!(
                 f,
                 "tuple attributes {} are not an admissible combination of scheme {}",
                 tuple_attrs, scheme
             ),
             CoreError::AdViolation { dependency, detail } => {
-                write!(f, "attribute dependency {} violated: {}", dependency, detail)
+                write!(
+                    f,
+                    "attribute dependency {} violated: {}",
+                    dependency, detail
+                )
             }
             CoreError::FdViolation { dependency, detail } => {
-                write!(f, "functional dependency {} violated: {}", dependency, detail)
+                write!(
+                    f,
+                    "functional dependency {} violated: {}",
+                    dependency, detail
+                )
             }
-            CoreError::DomainViolation { attr, value, domain } => write!(
+            CoreError::DomainViolation {
+                attr,
+                value,
+                domain,
+            } => write!(
                 f,
                 "value {} of attribute {} is outside its domain {}",
                 value, attr, domain

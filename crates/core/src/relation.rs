@@ -298,7 +298,10 @@ mod tests {
                 Domain::enumeration(["secretary", "software engineer", "salesman"]),
             )
             .with_dep(example2_jobtype_ead())
-            .with_dep(Fd::new(attrs!["empno"], attrs!["name", "salary", "jobtype"]))
+            .with_dep(Fd::new(
+                attrs!["empno"],
+                attrs!["name", "salary", "jobtype"],
+            ))
     }
 
     fn secretary(empno: i64) -> Tuple {
@@ -346,7 +349,10 @@ mod tests {
             "typing-speed" => 999,
             "foreign-languages" => "french, russian"
         };
-        assert!(rel.check_scheme(&bad).is_ok(), "scheme alone cannot reject this tuple");
+        assert!(
+            rel.check_scheme(&bad).is_ok(),
+            "scheme alone cannot reject this tuple"
+        );
         let err = rel.insert(bad).unwrap_err();
         assert!(matches!(err, CoreError::AdViolation { .. }));
         assert_eq!(rel.len(), 0);
@@ -433,9 +439,7 @@ mod tests {
         rel.insert(secretary(1)).unwrap();
         rel.insert(salesman(2)).unwrap();
         rel.insert(secretary(3)).unwrap();
-        let removed = rel.delete_where(|t| {
-            t.get_name("jobtype") == Some(&Value::tag("secretary"))
-        });
+        let removed = rel.delete_where(|t| t.get_name("jobtype") == Some(&Value::tag("secretary")));
         assert_eq!(removed, 2);
         assert_eq!(rel.len(), 1);
     }

@@ -232,7 +232,10 @@ impl FlexScheme {
         // the number of taken components within [at_least, at_most]; then take
         // the cross product of the chosen components' own combinations.
         let n = self.components.len();
-        assert!(n <= 24, "dnf materialization supports at most 24 components per level");
+        assert!(
+            n <= 24,
+            "dnf materialization supports at most 24 components per level"
+        );
         for mask in 0u32..(1u32 << n) {
             let taken = mask.count_ones() as usize;
             if taken < self.at_least || taken > self.at_most {
@@ -400,7 +403,8 @@ impl SchemeBuilder {
 
     /// Adds another unconditioned attribute.
     pub fn attr(mut self, name: impl AsRef<str>) -> Self {
-        self.mandatory.push(Component::Attr(Attr::new(name.as_ref())));
+        self.mandatory
+            .push(Component::Attr(Attr::new(name.as_ref())));
         self
     }
 
@@ -579,7 +583,12 @@ mod tests {
         // A house number with a PO box is admitted by the *scheme* (the
         // existence-based constraint cannot forbid it); ruling it out is the
         // job of an attribute dependency.
-        assert!(fs.admits(&attrs!["ZipCode", "Town", "PostOfficeBoxNumber", "HouseNumber"]));
+        assert!(fs.admits(&attrs![
+            "ZipCode",
+            "Town",
+            "PostOfficeBoxNumber",
+            "HouseNumber"
+        ]));
         assert!(!fs.admits(&attrs!["ZipCode", "Town"]));
         assert!(!fs.admits(&attrs!["ZipCode", "Town", "PostOfficeBoxNumber", "Street"]));
     }

@@ -355,7 +355,10 @@ mod tests {
             &ead,
             &[
                 ("sex", Domain::enumeration(["female", "male"])),
-                ("marital-status", Domain::enumeration(["single", "married", "widowed"])),
+                (
+                    "marital-status",
+                    Domain::enumeration(["single", "married", "widowed"]),
+                ),
                 ("maiden-name", Domain::Text),
             ],
             "person",

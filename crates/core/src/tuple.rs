@@ -23,7 +23,9 @@ pub struct Tuple {
 impl Tuple {
     /// The empty tuple (defined on no attributes).
     pub fn empty() -> Self {
-        Tuple { values: BTreeMap::new() }
+        Tuple {
+            values: BTreeMap::new(),
+        }
     }
 
     /// Starts building a tuple: `Tuple::new().with("salary", 5000)…`.
@@ -205,7 +207,9 @@ impl fmt::Display for Tuple {
 
 impl FromIterator<(Attr, Value)> for Tuple {
     fn from_iter<T: IntoIterator<Item = (Attr, Value)>>(iter: T) -> Self {
-        Tuple { values: iter.into_iter().collect() }
+        Tuple {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -241,7 +245,13 @@ mod tests {
         let t = secretary();
         assert_eq!(
             t.attrs(),
-            attrs!["name", "salary", "jobtype", "typing-speed", "foreign-languages"]
+            attrs![
+                "name",
+                "salary",
+                "jobtype",
+                "typing-speed",
+                "foreign-languages"
+            ]
         );
         assert_eq!(t.arity(), 5);
     }

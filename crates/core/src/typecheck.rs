@@ -33,7 +33,9 @@ pub struct TypeGuard {
 impl TypeGuard {
     /// Creates a guard for the given attributes.
     pub fn new(required: impl Into<AttrSet>) -> Self {
-        TypeGuard { required: required.into() }
+        TypeGuard {
+            required: required.into(),
+        }
     }
 
     /// Evaluates the guard against a tuple.
@@ -463,8 +465,7 @@ mod tests {
 
     #[test]
     fn type_checker_from_relation() {
-        let rel = FlexRelation::new("employee", employee_scheme())
-            .with_dep(example2_jobtype_ead());
+        let rel = FlexRelation::new("employee", employee_scheme()).with_dep(example2_jobtype_ead());
         let checker = TypeChecker::for_relation(&rel);
         assert_eq!(checker.scheme(), rel.scheme());
         assert_eq!(checker.deps().len(), 1);

@@ -432,7 +432,10 @@ mod tests {
         assert!(d.check("salary", &Value::Int(3)).is_ok());
         let err = d.check("salary", &Value::str("oops")).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("salary"), "message should name the attribute: {msg}");
+        assert!(
+            msg.contains("salary"),
+            "message should name the attribute: {msg}"
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ pub fn horizontal_decompose(rel: &FlexRelation, ead: &Ead) -> Result<HorizontalD
         rel.deps().clone(),
         rest,
     );
-    Ok(HorizontalDecomposition { ead: ead.clone(), fragments, rest })
+    Ok(HorizontalDecomposition {
+        ead: ead.clone(),
+        fragments,
+        rest,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +155,8 @@ mod tests {
         }
         // An EAD over a *different* tag set: employees with an unmatched
         // jobtype end up in the rest fragment.
-        let mk = |tag: &str| vec![flexrel_core::tuple::Tuple::new().with("jobtype", Value::tag(tag))];
+        let mk =
+            |tag: &str| vec![flexrel_core::tuple::Tuple::new().with("jobtype", Value::tag(tag))];
         let partial_ead = Ead::new(
             flexrel_core::attr::AttrSet::singleton("jobtype"),
             flexrel_core::attr::AttrSet::from_names(["typing-speed", "foreign-languages"]),

@@ -53,7 +53,9 @@ impl MultiRelation {
                 .tuples()
                 .iter()
                 .filter(|t| {
-                    t.get(&self.image_attr).map(|v| v.as_str() == Some(name.as_str())) == Some(true)
+                    t.get(&self.image_attr)
+                        .map(|v| v.as_str() == Some(name.as_str()))
+                        == Some(true)
                 })
                 .map(|t| {
                     let mut t = t.clone();
@@ -138,11 +140,7 @@ impl MultiRelation {
 /// master keeps the unconditioned attributes plus an image attribute naming
 /// the depending relation holding the tuple's variant part; one depending
 /// relation is created per EAD variant.
-pub fn multirel_decompose(
-    rel: &FlexRelation,
-    ead: &Ead,
-    key: &AttrSet,
-) -> Result<MultiRelation> {
+pub fn multirel_decompose(rel: &FlexRelation, ead: &Ead, key: &AttrSet) -> Result<MultiRelation> {
     let master_attrs = rel.attrs().difference(ead.rhs());
     if !key.is_subset(&master_attrs) {
         return Err(CoreError::Invalid(format!(
@@ -167,7 +165,10 @@ pub fn multirel_decompose(
             Some(i) => {
                 let detail_attrs = key.union(&ead.variants()[i].attrs);
                 buckets[i].push(t.project(&detail_attrs));
-                m.insert(image_attr.clone(), Value::tag(format!("{}_detail_{}", rel.name(), i)));
+                m.insert(
+                    image_attr.clone(),
+                    Value::tag(format!("{}_detail_{}", rel.name(), i)),
+                );
             }
             None => {
                 m.insert(image_attr.clone(), Value::tag("none"));
@@ -242,11 +243,7 @@ mod tests {
         assert_eq!(m.depending.len(), 3);
         assert_eq!(m.total_tuples(), 180);
         // Every master tuple carries the image attribute.
-        assert!(m
-            .master
-            .tuples()
-            .iter()
-            .all(|t| t.has(&m.image_attr)));
+        assert!(m.master.tuples().iter().all(|t| t.has(&m.image_attr)));
     }
 
     #[test]
@@ -300,6 +297,8 @@ mod tests {
     #[test]
     fn key_must_be_unconditioned() {
         let rel = loaded(5);
-        assert!(multirel_decompose(&rel, &example2_jobtype_ead(), &attrs!["sales-commission"]).is_err());
+        assert!(
+            multirel_decompose(&rel, &example2_jobtype_ead(), &attrs!["sales-commission"]).is_err()
+        );
     }
 }

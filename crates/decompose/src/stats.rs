@@ -60,11 +60,8 @@ pub fn null_padded_stats(flat: &NullPaddedRelation) -> StorageStats {
 
 /// Statistics of a horizontal decomposition.
 pub fn horizontal_stats(d: &HorizontalDecomposition) -> StorageStats {
-    let fragments: Vec<&FlexRelation> = d
-        .fragments
-        .iter()
-        .chain(std::iter::once(&d.rest))
-        .collect();
+    let fragments: Vec<&FlexRelation> =
+        d.fragments.iter().chain(std::iter::once(&d.rest)).collect();
     StorageStats {
         tuples: fragments.iter().map(|r| r.len()).sum(),
         cells: fragments.iter().map(|r| relation_cells(r)).sum(),
@@ -86,7 +83,9 @@ pub fn vertical_stats(d: &VerticalDecomposition) -> StorageStats {
 
 /// Statistics of a multirelation.
 pub fn multirel_stats(m: &MultiRelation) -> StorageStats {
-    let rels: Vec<&FlexRelation> = std::iter::once(&m.master).chain(m.depending.values()).collect();
+    let rels: Vec<&FlexRelation> = std::iter::once(&m.master)
+        .chain(m.depending.values())
+        .collect();
     StorageStats {
         tuples: rels.iter().map(|r| r.len()).sum(),
         cells: rels.iter().map(|r| relation_cells(r)).sum(),
@@ -145,7 +144,12 @@ mod tests {
 
     #[test]
     fn null_fraction_of_empty_representation_is_zero() {
-        let s = StorageStats { tuples: 0, cells: 0, null_cells: 0, relations: 1 };
+        let s = StorageStats {
+            tuples: 0,
+            cells: 0,
+            null_cells: 0,
+            relations: 1,
+        };
         assert_eq!(s.null_fraction(), 0.0);
         assert_eq!(s.useful_cells(), 0);
     }

@@ -100,7 +100,11 @@ pub fn vertical_decompose(
     }
 
     // Master: projection of every tuple onto the unconditioned attributes.
-    let master_tuples: Vec<Tuple> = rel.tuples().iter().map(|t| t.project(&master_attrs)).collect();
+    let master_tuples: Vec<Tuple> = rel
+        .tuples()
+        .iter()
+        .map(|t| t.project(&master_attrs))
+        .collect();
     let master_scheme = flexrel_algebra::schemes::project_scheme(rel.scheme(), &master_attrs)
         .ok_or_else(|| CoreError::Invalid("master projection retains no attribute".into()))?;
     let master = FlexRelation::from_parts(
@@ -187,10 +191,7 @@ mod tests {
             attrs!["empno", "products", "sales-commission"]
         );
         // Every original tuple is represented in exactly one detail.
-        assert_eq!(
-            d.details.iter().map(|r| r.len()).sum::<usize>(),
-            rel.len()
-        );
+        assert_eq!(d.details.iter().map(|r| r.len()).sum::<usize>(), rel.len());
         // Master tuples are homogeneous; the projected key FD survives.
         assert!(d.master.deps().fds().count() >= 1);
     }

@@ -76,9 +76,16 @@ pub fn introduce_artificial_determinant(
     ]);
     let target = Dependency::Ad(Ad::new(ead.lhs().clone(), ead.rhs().clone()));
     let certificate = derive(&sigma, &target, AxiomSystem::E).ok_or_else(|| {
-        CoreError::Invalid("the artificial-determinant replacement lost the original dependency".into())
+        CoreError::Invalid(
+            "the artificial-determinant replacement lost the original dependency".into(),
+        )
     })?;
-    Ok(ArtificialDeterminant { attr, fd, ead: new_ead, certificate })
+    Ok(ArtificialDeterminant {
+        attr,
+        fd,
+        ead: new_ead,
+        certificate,
+    })
 }
 
 /// Synthesizes an artificial EAD for a variant group of a flexible scheme
@@ -91,7 +98,9 @@ pub fn artificial_ead_for_group(group: &FlexScheme, tag_name: &str) -> Result<Ea
     let attr = Attr::new(tag_name);
     let combos: Vec<AttrSet> = group.dnf().into_iter().collect();
     if combos.is_empty() {
-        return Err(CoreError::InvalidScheme("the group admits no combination".into()));
+        return Err(CoreError::InvalidScheme(
+            "the group admits no combination".into(),
+        ));
     }
     let variants: Vec<EadVariant> = combos
         .iter()
@@ -188,11 +197,14 @@ mod tests {
     fn artificial_ead_covers_non_disjoint_groups() {
         // The electronic communication address: a non-disjoint union of
         // three attributes has 7 admissible combinations.
-        let group = FlexScheme::non_disjoint_union(["tel-number", "FAX-number", "email-address"])
-            .unwrap();
+        let group =
+            FlexScheme::non_disjoint_union(["tel-number", "FAX-number", "email-address"]).unwrap();
         let ead = artificial_ead_for_group(&group, "comm-variant").unwrap();
         assert_eq!(ead.variants().len(), 7);
-        assert_eq!(ead.rhs(), &attrs!["tel-number", "FAX-number", "email-address"]);
+        assert_eq!(
+            ead.rhs(),
+            &attrs!["tel-number", "FAX-number", "email-address"]
+        );
         // Every variant prescribes one of the group's admissible combos.
         let dnf = group.dnf();
         for v in ead.variants() {

@@ -22,6 +22,8 @@ pub mod artificial;
 pub mod pascal;
 pub mod rust_gen;
 
-pub use artificial::{artificial_ead_for_group, introduce_artificial_determinant, ArtificialDeterminant};
+pub use artificial::{
+    artificial_ead_for_group, introduce_artificial_determinant, ArtificialDeterminant,
+};
 pub use pascal::{pascal_record, PascalEmbedding};
 pub use rust_gen::rust_types;

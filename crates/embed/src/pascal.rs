@@ -32,7 +32,12 @@ fn identifier(name: &str) -> String {
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
-    if out.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
         out.insert(0, 'f');
     }
     out
@@ -92,10 +97,9 @@ pub fn pascal_record(
             ));
         }
         covered.extend_with(ead.rhs());
-        if !ead.lhs().is_subset(&all) && !ead.lhs().iter().next().map(|a| a.name().contains("variant")).unwrap_or(false) {
-            // The determinant is usually part of the scheme; an artificial
-            // tag attribute may live outside it — both are acceptable.
-        }
+        // The determinant is usually part of the scheme; an artificial tag
+        // attribute may live outside it — both are acceptable, so no
+        // membership check on ead.lhs() here.
     }
     let fixed = all.difference(&covered);
 
@@ -166,7 +170,11 @@ pub fn pascal_record(
     }
     out.push_str("  end;\n");
 
-    Ok(PascalEmbedding { source: out, record_name, group_records })
+    Ok(PascalEmbedding {
+        source: out,
+        record_name,
+        group_records,
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +193,9 @@ mod tests {
         )
         .unwrap();
         assert!(emb.source.starts_with("type\n"));
-        assert!(emb.source.contains("case jobtype : (salesman, secretary, software_engineer) of"));
+        assert!(emb
+            .source
+            .contains("case jobtype : (salesman, secretary, software_engineer) of"));
         assert!(emb.source.contains("typing_speed : integer"));
         assert!(emb.source.contains("sales_commission : integer"));
         assert!(emb.source.contains("employee = record"));
@@ -211,7 +221,10 @@ mod tests {
         let ead = Ead::new(
             AttrSet::from_names(["sex", "marital-status"]),
             AttrSet::singleton("maiden-name"),
-            vec![EadVariant::new(vec![mk("female", "married")], AttrSet::singleton("maiden-name"))],
+            vec![EadVariant::new(
+                vec![mk("female", "married")],
+                AttrSet::singleton("maiden-name"),
+            )],
         )
         .unwrap();
         let err = pascal_record("person", &scheme, &[ead], &[]);
@@ -225,15 +238,18 @@ mod tests {
         let err = pascal_record("employee", &employee_scheme(), &[], &employee_domains());
         assert!(err.is_err());
         let msg = err.unwrap_err().to_string();
-        assert!(msg.contains("artificial"), "hint at the artificial-AD workaround: {msg}");
+        assert!(
+            msg.contains("artificial"),
+            "hint at the artificial-AD workaround: {msg}"
+        );
     }
 
     #[test]
     fn artificial_ead_makes_an_uncovered_group_embeddable() {
         use crate::artificial::artificial_ead_for_group;
         // The communication group of the address entity.
-        let group = FlexScheme::non_disjoint_union(["tel-number", "FAX-number", "email-address"])
-            .unwrap();
+        let group =
+            FlexScheme::non_disjoint_union(["tel-number", "FAX-number", "email-address"]).unwrap();
         let scheme = flexrel_core::scheme::SchemeBuilder::all_of(["ZipCode", "Town"])
             .nested(group.clone())
             .build()

@@ -37,9 +37,20 @@ fn camel(name: &str) -> String {
 fn snake(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
-    if out.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
         out.insert(0, 'f');
     }
     out
@@ -98,7 +109,10 @@ pub fn rust_types(
     for (gi, ead) in eads.iter().enumerate() {
         let det = ead.lhs().iter().next().expect("single determinant");
         let enum_name = format!("{}{}", camel(type_name), camel(det.name()));
-        out.push_str(&format!("#[derive(Clone, Debug, PartialEq)]\npub enum {} {{\n", enum_name));
+        out.push_str(&format!(
+            "#[derive(Clone, Debug, PartialEq)]\npub enum {} {{\n",
+            enum_name
+        ));
         for (vi, variant) in ead.variants().iter().enumerate() {
             let label = variant
                 .values

@@ -11,7 +11,8 @@ use flexrel_storage::Database;
 use crate::logical::LogicalPlan;
 
 fn attrs_of(rows: &[Tuple]) -> AttrSet {
-    rows.iter().fold(AttrSet::empty(), |acc, t| acc.union(&t.attrs()))
+    rows.iter()
+        .fold(AttrSet::empty(), |acc, t| acc.union(&t.attrs()))
 }
 
 fn hash_join(left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
@@ -53,7 +54,10 @@ fn hash_join(left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
 pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Vec<Tuple>> {
     match plan {
         LogicalPlan::Empty => Ok(Vec::new()),
-        LogicalPlan::Scan { relation, qualification } => {
+        LogicalPlan::Scan {
+            relation,
+            qualification,
+        } => {
             let mut rows: Vec<Tuple> = db.scan(relation)?.into_iter().map(|(_, t)| t).collect();
             // The qualification is *known* to hold; applying it is a no-op on
             // consistent data but keeps hand-built fragment plans honest when
@@ -127,7 +131,8 @@ mod tests {
 
     fn db(n: usize) -> Database {
         let mut db = Database::new();
-        db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+        db.create_relation(RelationDef::from_relation(&employee_relation()))
+            .unwrap();
         for t in generate_employees(&EmployeeConfig::clean(n)) {
             db.insert("employee", t).unwrap();
         }
@@ -152,8 +157,13 @@ mod tests {
             .iter()
             .all(|t| t.get_name("jobtype") == Some(&Value::tag("secretary"))));
 
-        let projected = run(&db, "SELECT empno, salary FROM employee WHERE salary > 5000");
-        assert!(projected.iter().all(|t| t.attrs() == attrs!["empno", "salary"]));
+        let projected = run(
+            &db,
+            "SELECT empno, salary FROM employee WHERE salary > 5000",
+        );
+        assert!(projected
+            .iter()
+            .all(|t| t.attrs() == attrs!["empno", "salary"]));
 
         let guarded = run(&db, "SELECT * FROM employee GUARD products");
         assert!(guarded.iter().all(|t| t.has_name("products")));
@@ -178,7 +188,11 @@ mod tests {
             let (optimized, _) = optimize(plan, db.catalog());
             let fast: std::collections::BTreeSet<Tuple> =
                 execute(&optimized, &db).unwrap().into_iter().collect();
-            assert_eq!(naive, fast, "optimization must not change results for {}", q);
+            assert_eq!(
+                naive, fast,
+                "optimization must not change results for {}",
+                q
+            );
         }
     }
 
@@ -191,18 +205,30 @@ mod tests {
         let right = LogicalPlan::scan("employee").project(attrs!["empno", "jobtype"]);
         let joined = execute(&left.join(right), &db).unwrap();
         assert_eq!(joined.len(), 50);
-        assert!(joined.iter().all(|t| t.attrs() == attrs!["empno", "salary", "jobtype"]));
+        assert!(joined
+            .iter()
+            .all(|t| t.attrs() == attrs!["empno", "salary", "jobtype"]));
 
         let union = LogicalPlan::UnionAll {
             inputs: vec![
-                LogicalPlan::scan("employee").filter(Predicate::eq("jobtype", Value::tag("secretary"))),
-                LogicalPlan::scan("employee").filter(Predicate::eq("jobtype", Value::tag("salesman"))),
-                LogicalPlan::scan("employee").filter(Predicate::eq("jobtype", Value::tag("salesman"))),
+                LogicalPlan::scan("employee")
+                    .filter(Predicate::eq("jobtype", Value::tag("secretary"))),
+                LogicalPlan::scan("employee")
+                    .filter(Predicate::eq("jobtype", Value::tag("salesman"))),
+                LogicalPlan::scan("employee")
+                    .filter(Predicate::eq("jobtype", Value::tag("salesman"))),
             ],
         };
         let rows = execute(&union, &db).unwrap();
-        let by_scan = run(&db, "SELECT * FROM employee WHERE jobtype = 'secretary' OR jobtype = 'salesman'");
-        assert_eq!(rows.len(), by_scan.len(), "duplicates across branches are removed");
+        let by_scan = run(
+            &db,
+            "SELECT * FROM employee WHERE jobtype = 'secretary' OR jobtype = 'salesman'",
+        );
+        assert_eq!(
+            rows.len(),
+            by_scan.len(),
+            "duplicates across branches are removed"
+        );
     }
 
     #[test]
@@ -214,7 +240,9 @@ mod tests {
             value: Value::tag("hr"),
         };
         let rows = execute(&plan, &db).unwrap();
-        assert!(rows.iter().all(|t| t.get_name("source") == Some(&Value::tag("hr"))));
+        assert!(rows
+            .iter()
+            .all(|t| t.get_name("source") == Some(&Value::tag("hr"))));
     }
 
     #[test]
@@ -225,7 +253,9 @@ mod tests {
             Predicate::eq("jobtype", Value::tag("salesman")),
         );
         let rows = execute(&plan, &db).unwrap();
-        assert!(rows.iter().all(|t| t.get_name("jobtype") == Some(&Value::tag("salesman"))));
+        assert!(rows
+            .iter()
+            .all(|t| t.get_name("jobtype") == Some(&Value::tag("salesman"))));
     }
 
     #[test]

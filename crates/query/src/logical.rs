@@ -53,7 +53,10 @@ pub enum LogicalPlan {
 impl LogicalPlan {
     /// Scan of a relation without qualification.
     pub fn scan(relation: impl Into<String>) -> Self {
-        LogicalPlan::Scan { relation: relation.into(), qualification: None }
+        LogicalPlan::Scan {
+            relation: relation.into(),
+            qualification: None,
+        }
     }
 
     /// Scan of a qualified relation.
@@ -66,22 +69,34 @@ impl LogicalPlan {
 
     /// Wraps the plan in a filter.
     pub fn filter(self, predicate: Predicate) -> Self {
-        LogicalPlan::Filter { input: Box::new(self), predicate }
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Wraps the plan in a projection.
     pub fn project(self, attrs: impl Into<AttrSet>) -> Self {
-        LogicalPlan::Project { input: Box::new(self), attrs: attrs.into() }
+        LogicalPlan::Project {
+            input: Box::new(self),
+            attrs: attrs.into(),
+        }
     }
 
     /// Wraps the plan in a type guard.
     pub fn guard(self, attrs: impl Into<AttrSet>) -> Self {
-        LogicalPlan::Guard { input: Box::new(self), attrs: attrs.into() }
+        LogicalPlan::Guard {
+            input: Box::new(self),
+            attrs: attrs.into(),
+        }
     }
 
     /// Joins the plan with another plan.
     pub fn join(self, right: LogicalPlan) -> Self {
-        LogicalPlan::Join { left: Box::new(self), right: Box::new(right) }
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// Number of nodes in the plan.
@@ -130,7 +145,10 @@ impl LogicalPlan {
         let pad = "  ".repeat(indent);
         match self {
             LogicalPlan::Empty => writeln!(f, "{}Empty", pad),
-            LogicalPlan::Scan { relation, qualification } => match qualification {
+            LogicalPlan::Scan {
+                relation,
+                qualification,
+            } => match qualification {
                 Some(q) => writeln!(f, "{}Scan {} [qualified by {}]", pad, relation, q),
                 None => writeln!(f, "{}Scan {}", pad, relation),
             },
@@ -193,7 +211,9 @@ mod tests {
         let j = LogicalPlan::scan("a").join(LogicalPlan::scan("b"));
         assert_eq!(j.join_count(), 1);
         assert_eq!(j.node_count(), 3);
-        let u = LogicalPlan::UnionAll { inputs: vec![sample(), LogicalPlan::Empty] };
+        let u = LogicalPlan::UnionAll {
+            inputs: vec![sample(), LogicalPlan::Empty],
+        };
         assert_eq!(u.node_count(), 6);
         assert_eq!(u.guard_count(), 1);
     }
@@ -206,7 +226,10 @@ mod tests {
         assert!(s.contains("Guard {typing-speed}"));
         assert!(s.contains("Filter salary > 5000"));
         assert!(s.contains("  Scan employee") || s.contains("Scan employee"));
-        let q = LogicalPlan::qualified_scan("detail", Predicate::eq("jobtype", flexrel_core::value::Value::tag("salesman")));
+        let q = LogicalPlan::qualified_scan(
+            "detail",
+            Predicate::eq("jobtype", flexrel_core::value::Value::tag("salesman")),
+        );
         assert!(q.to_string().contains("qualified by"));
     }
 }

@@ -28,7 +28,10 @@ pub struct RewriteNote {
 
 impl RewriteNote {
     fn new(rule: &str, detail: impl Into<String>) -> Self {
-        RewriteNote { rule: rule.to_string(), detail: detail.into() }
+        RewriteNote {
+            rule: rule.to_string(),
+            detail: detail.into(),
+        }
     }
 }
 
@@ -56,9 +59,9 @@ fn subtree_deps(plan: &LogicalPlan, catalog: &Catalog) -> DependencySet {
         LogicalPlan::Join { left, right } => {
             subtree_deps(left, catalog).union(&subtree_deps(right, catalog))
         }
-        LogicalPlan::UnionAll { inputs } => inputs
-            .iter()
-            .fold(DependencySet::new(), |acc, p| acc.union(&subtree_deps(p, catalog))),
+        LogicalPlan::UnionAll { inputs } => inputs.iter().fold(DependencySet::new(), |acc, p| {
+            acc.union(&subtree_deps(p, catalog))
+        }),
     }
 }
 
@@ -106,7 +109,10 @@ fn subtree_context(plan: &LogicalPlan) -> SelectionContext {
 /// subtree (used for branch pruning).
 fn qualification_equalities(plan: &LogicalPlan) -> Tuple {
     match plan {
-        LogicalPlan::Scan { qualification: Some(q), .. } => q.implied_equalities(),
+        LogicalPlan::Scan {
+            qualification: Some(q),
+            ..
+        } => q.implied_equalities(),
         LogicalPlan::Scan { .. } | LogicalPlan::Empty => Tuple::empty(),
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
@@ -122,7 +128,8 @@ fn qualification_equalities(plan: &LogicalPlan) -> Tuple {
 /// Whether two equality constraint sets contradict each other: some shared
 /// attribute is pinned to different constants.
 fn contradicts(a: &Tuple, b: &Tuple) -> bool {
-    a.iter().any(|(attr, v)| b.get(attr).map(|w| w != v).unwrap_or(false))
+    a.iter()
+        .any(|(attr, v)| b.get(attr).map(|w| w != v).unwrap_or(false))
 }
 
 fn rewrite(
@@ -151,7 +158,10 @@ fn rewrite(
                 GuardAnalysis::Unsatisfiable => {
                     notes.push(RewriteNote::new(
                         "guard-unsatisfiable",
-                        format!("guard for {} can never hold under the selection; branch pruned", attrs),
+                        format!(
+                            "guard for {} can never hold under the selection; branch pruned",
+                            attrs
+                        ),
                     ));
                     LogicalPlan::Empty
                 }
@@ -197,14 +207,23 @@ fn rewrite(
             }
             let new_input = rewrite(*input, catalog, &ctx_for_children, notes);
             if simplified == Predicate::False {
-                notes.push(RewriteNote::new("constant-folding", "predicate is constant false"));
+                notes.push(RewriteNote::new(
+                    "constant-folding",
+                    "predicate is constant false",
+                ));
                 return LogicalPlan::Empty;
             }
             if simplified == Predicate::True {
-                notes.push(RewriteNote::new("constant-folding", "predicate is constant true"));
+                notes.push(RewriteNote::new(
+                    "constant-folding",
+                    "predicate is constant true",
+                ));
                 return new_input;
             }
-            LogicalPlan::Filter { input: Box::new(new_input), predicate: simplified }
+            LogicalPlan::Filter {
+                input: Box::new(new_input),
+                predicate: simplified,
+            }
         }
         LogicalPlan::UnionAll { inputs } => {
             let mut kept = Vec::new();
@@ -273,9 +292,11 @@ fn context_without_guards(p: &Predicate) -> SelectionContext {
     }
     fn equalities(p: &Predicate) -> Tuple {
         match p {
-            Predicate::Cmp { attr, op: flexrel_algebra::predicate::CmpOp::Eq, value } => {
-                Tuple::new().with(attr.clone(), value.clone())
-            }
+            Predicate::Cmp {
+                attr,
+                op: flexrel_algebra::predicate::CmpOp::Eq,
+                value,
+            } => Tuple::new().with(attr.clone(), value.clone()),
             Predicate::And(a, b) => equalities(a).merged_with(&equalities(b)),
             _ => Tuple::empty(),
         }
@@ -329,9 +350,7 @@ fn simplify_guards_in_predicate(
                     GuardAnalysis::Necessary => p.clone(),
                 }
             }
-            Predicate::And(a, b) => {
-                walk(a, deps, ctx, notes).and(walk(b, deps, ctx, notes))
-            }
+            Predicate::And(a, b) => walk(a, deps, ctx, notes).and(walk(b, deps, ctx, notes)),
             // Inside disjunctions and negations the conjunction context does
             // not apply; leave them untouched.
             other => other.clone(),
@@ -348,7 +367,10 @@ fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalP
             if matches!(input, LogicalPlan::Empty) {
                 LogicalPlan::Empty
             } else {
-                LogicalPlan::Filter { input: Box::new(input), predicate }
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
             }
         }
         LogicalPlan::Project { input, attrs } => {
@@ -356,7 +378,10 @@ fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalP
             if matches!(input, LogicalPlan::Empty) {
                 LogicalPlan::Empty
             } else {
-                LogicalPlan::Project { input: Box::new(input), attrs }
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    attrs,
+                }
             }
         }
         LogicalPlan::Guard { input, attrs } => {
@@ -364,7 +389,10 @@ fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalP
             if matches!(input, LogicalPlan::Empty) {
                 LogicalPlan::Empty
             } else {
-                LogicalPlan::Guard { input: Box::new(input), attrs }
+                LogicalPlan::Guard {
+                    input: Box::new(input),
+                    attrs,
+                }
             }
         }
         LogicalPlan::Extend { input, attr, value } => {
@@ -372,17 +400,27 @@ fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalP
             if matches!(input, LogicalPlan::Empty) {
                 LogicalPlan::Empty
             } else {
-                LogicalPlan::Extend { input: Box::new(input), attr, value }
+                LogicalPlan::Extend {
+                    input: Box::new(input),
+                    attr,
+                    value,
+                }
             }
         }
         LogicalPlan::Join { left, right } => {
             let left = simplify_empties(*left, notes);
             let right = simplify_empties(*right, notes);
             if matches!(left, LogicalPlan::Empty) || matches!(right, LogicalPlan::Empty) {
-                notes.push(RewriteNote::new("empty-propagation", "join with an empty input removed"));
+                notes.push(RewriteNote::new(
+                    "empty-propagation",
+                    "join with an empty input removed",
+                ));
                 LogicalPlan::Empty
             } else {
-                LogicalPlan::Join { left: Box::new(left), right: Box::new(right) }
+                LogicalPlan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
             }
         }
         LogicalPlan::UnionAll { inputs } => {
@@ -410,14 +448,14 @@ mod tests {
     use super::*;
     use crate::parser::parse;
     use crate::planner::plan_query;
-    use flexrel_core::attrs;
     use flexrel_core::value::Value;
     use flexrel_storage::{Catalog, RelationDef};
     use flexrel_workload::employee_relation;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.register(RelationDef::from_relation(&employee_relation())).unwrap();
+        c.register(RelationDef::from_relation(&employee_relation()))
+            .unwrap();
         c
     }
 
@@ -433,16 +471,21 @@ mod tests {
         assert_eq!(plan.guard_count(), 1);
         let (optimized, notes) = optimize(plan, &catalog());
         assert_eq!(optimized.guard_count(), 0, "the guard must be removed");
-        let note = notes.iter().find(|n| n.rule == "guard-elimination").unwrap();
-        assert!(note.detail.contains("A4 (left augmentation)") || note.detail.contains("AF2"),
-            "the note must carry the derivation: {}", note.detail);
+        let note = notes
+            .iter()
+            .find(|n| n.rule == "guard-elimination")
+            .unwrap();
+        assert!(
+            note.detail.contains("A4 (left augmentation)") || note.detail.contains("AF2"),
+            "the note must carry the derivation: {}",
+            note.detail
+        );
     }
 
     #[test]
     fn guard_for_excluded_variant_prunes_the_query() {
-        let plan = planned(
-            "SELECT * FROM employee WHERE jobtype = 'secretary' GUARD sales-commission",
-        );
+        let plan =
+            planned("SELECT * FROM employee WHERE jobtype = 'secretary' GUARD sales-commission");
         let (optimized, notes) = optimize(plan, &catalog());
         assert_eq!(optimized, LogicalPlan::Empty);
         assert!(notes.iter().any(|n| n.rule == "guard-unsatisfiable"));
@@ -458,9 +501,8 @@ mod tests {
 
     #[test]
     fn present_conjuncts_are_simplified_too() {
-        let plan = planned(
-            "SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(typing-speed)",
-        );
+        let plan =
+            planned("SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(typing-speed)");
         let (optimized, notes) = optimize(plan, &catalog());
         assert!(notes.iter().any(|n| n.rule == "guard-elimination"));
         // The remaining filter no longer mentions the PRESENT conjunct.
@@ -468,9 +510,8 @@ mod tests {
         assert!(!s.contains("present"));
         assert!(s.contains("jobtype = 'secretary'"));
 
-        let plan = planned(
-            "SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(products)",
-        );
+        let plan =
+            planned("SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(products)");
         let (optimized, notes) = optimize(plan, &catalog());
         assert_eq!(optimized, LogicalPlan::Empty);
         assert!(notes.iter().any(|n| n.rule == "guard-unsatisfiable"));
@@ -480,26 +521,23 @@ mod tests {
     fn union_branches_with_contradicting_qualification_are_pruned() {
         // Horizontal decomposition: three qualified fragments; a selection on
         // jobtype must keep only the matching fragment.
-        let fragment = |name: &str, tag: &str| {
+        let branches = vec![
             LogicalPlan::qualified_scan(
                 "employee",
-                Predicate::eq("jobtype", Value::tag(tag)),
-            )
-            .filter(Predicate::eq("jobtype", Value::tag(tag)))
-            .project(attrs!["empno", "jobtype"])
-            // keep the fragment's own name out of the catalog: they all scan
-            // the base relation here, the qualification is what matters
-            .guard(attrs![name])
-        };
-        let _ = fragment; // the simpler direct construction below suffices
-
-        let branches = vec![
-            LogicalPlan::qualified_scan("employee", Predicate::eq("jobtype", Value::tag("secretary"))),
-            LogicalPlan::qualified_scan("employee", Predicate::eq("jobtype", Value::tag("software engineer"))),
-            LogicalPlan::qualified_scan("employee", Predicate::eq("jobtype", Value::tag("salesman"))),
+                Predicate::eq("jobtype", Value::tag("secretary")),
+            ),
+            LogicalPlan::qualified_scan(
+                "employee",
+                Predicate::eq("jobtype", Value::tag("software engineer")),
+            ),
+            LogicalPlan::qualified_scan(
+                "employee",
+                Predicate::eq("jobtype", Value::tag("salesman")),
+            ),
         ];
-        let plan = LogicalPlan::UnionAll { inputs: branches }
-            .filter(Predicate::eq("jobtype", Value::tag("salesman")).and(Predicate::gt("salary", 1000)));
+        let plan = LogicalPlan::UnionAll { inputs: branches }.filter(
+            Predicate::eq("jobtype", Value::tag("salesman")).and(Predicate::gt("salary", 1000)),
+        );
         let (optimized, notes) = optimize(plan, &catalog());
         assert_eq!(
             notes.iter().filter(|n| n.rule == "variant-pruning").count(),
@@ -528,8 +566,14 @@ mod tests {
         }
         .filter(Predicate::eq("jobtype", Value::tag("secretary")));
         let (optimized, notes) = optimize(plan, &catalog());
-        assert!(notes.iter().any(|n| n.rule == "variant-pruning" || n.rule == "join-pruning"));
-        assert_eq!(optimized.join_count(), 1, "only the secretary join survives");
+        assert!(notes
+            .iter()
+            .any(|n| n.rule == "variant-pruning" || n.rule == "join-pruning"));
+        assert_eq!(
+            optimized.join_count(),
+            1,
+            "only the secretary join survives"
+        );
     }
 
     #[test]
@@ -549,7 +593,9 @@ mod tests {
         assert_eq!(optimized, LogicalPlan::Empty);
         assert!(notes.iter().any(|n| n.rule == "empty-propagation"));
 
-        let plan = LogicalPlan::UnionAll { inputs: vec![LogicalPlan::Empty, LogicalPlan::scan("employee")] };
+        let plan = LogicalPlan::UnionAll {
+            inputs: vec![LogicalPlan::Empty, LogicalPlan::scan("employee")],
+        };
         let (optimized, _) = optimize(plan, &catalog());
         assert_eq!(optimized, LogicalPlan::scan("employee"));
     }

@@ -75,10 +75,21 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                 return Err(CoreError::Invalid("unterminated string literal".into()));
             }
             i += 1;
-            tokens.push(if quote == '\'' { Token::Tag(s) } else { Token::Str(s) });
+            tokens.push(if quote == '\'' {
+                Token::Tag(s)
+            } else {
+                Token::Str(s)
+            });
         } else if c.is_ascii_digit()
-            || (c == '-' && chars.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)
-                && matches!(tokens.last(), None | Some(Token::Symbol(_)) | Some(Token::Keyword(_))))
+            || (c == '-'
+                && chars
+                    .get(i + 1)
+                    .map(|d| d.is_ascii_digit())
+                    .unwrap_or(false)
+                && matches!(
+                    tokens.last(),
+                    None | Some(Token::Symbol(_)) | Some(Token::Keyword(_))
+                ))
         {
             let mut s = String::new();
             s.push(c);
@@ -148,7 +159,10 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
         match self.next() {
             Some(Token::Keyword(k)) if k == kw => Ok(()),
-            other => Err(CoreError::Invalid(format!("expected {}, found {:?}", kw, other))),
+            other => Err(CoreError::Invalid(format!(
+                "expected {}, found {:?}",
+                kw, other
+            ))),
         }
     }
 
@@ -173,7 +187,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(CoreError::Invalid(format!("expected identifier, found {:?}", other))),
+            other => Err(CoreError::Invalid(format!(
+                "expected identifier, found {:?}",
+                other
+            ))),
         }
     }
 
@@ -194,7 +211,10 @@ impl Parser {
             Some(Token::Str(s)) => Ok(Value::Str(s)),
             Some(Token::Keyword(k)) if k == "TRUE" => Ok(Value::Bool(true)),
             Some(Token::Keyword(k)) if k == "FALSE" => Ok(Value::Bool(false)),
-            other => Err(CoreError::Invalid(format!("expected literal, found {:?}", other))),
+            other => Err(CoreError::Invalid(format!(
+                "expected literal, found {:?}",
+                other
+            ))),
         }
     }
 
@@ -255,10 +275,19 @@ impl Parser {
                 ">=" => CmpOp::Ge,
                 other => return Err(CoreError::Invalid(format!("unknown operator {}", other))),
             },
-            other => return Err(CoreError::Invalid(format!("expected operator, found {:?}", other))),
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "expected operator, found {:?}",
+                    other
+                )))
+            }
         };
         let value = self.literal()?;
-        Ok(Predicate::Cmp { attr: attr.as_str().into(), op, value })
+        Ok(Predicate::Cmp {
+            attr: attr.as_str().into(),
+            op,
+            value,
+        })
     }
 }
 
@@ -285,9 +314,17 @@ pub fn parse(input: &str) -> Result<Query> {
         None
     };
     if let Some(tok) = p.peek() {
-        return Err(CoreError::Invalid(format!("unexpected trailing token {:?}", tok)));
+        return Err(CoreError::Invalid(format!(
+            "unexpected trailing token {:?}",
+            tok
+        )));
     }
-    Ok(Query { relation, projection, predicate, guard })
+    Ok(Query {
+        relation,
+        projection,
+        predicate,
+        guard,
+    })
 }
 
 #[cfg(test)]
@@ -305,10 +342,7 @@ mod tests {
         assert_eq!(q.projection, None);
         assert_eq!(q.guard, Some(attrs!["typing-speed"]));
         let p = q.predicate.unwrap();
-        assert_eq!(
-            p.to_string(),
-            "(salary > 5000 AND jobtype = 'secretary')"
-        );
+        assert_eq!(p.to_string(), "(salary > 5000 AND jobtype = 'secretary')");
     }
 
     #[test]
@@ -324,10 +358,9 @@ mod tests {
 
     #[test]
     fn parses_boolean_structure_and_present() {
-        let q = parse(
-            "SELECT * FROM r WHERE (a = 1 OR b = 2) AND NOT PRESENT(c, d) AND flag = TRUE",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT * FROM r WHERE (a = 1 OR b = 2) AND NOT PRESENT(c, d) AND flag = TRUE")
+                .unwrap();
         let p = q.predicate.unwrap();
         let s = p.to_string();
         assert!(s.contains("OR"));
@@ -338,7 +371,15 @@ mod tests {
 
     #[test]
     fn parses_all_comparison_operators_and_literals() {
-        for (op, txt) in [("=", "="), ("<>", "<>"), ("!=", "<>"), ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">=")] {
+        for (op, txt) in [
+            ("=", "="),
+            ("<>", "<>"),
+            ("!=", "<>"),
+            ("<", "<"),
+            ("<=", "<="),
+            (">", ">"),
+            (">=", ">="),
+        ] {
             let q = parse(&format!("SELECT * FROM r WHERE x {} 3", op)).unwrap();
             assert!(q.predicate.unwrap().to_string().contains(txt));
         }

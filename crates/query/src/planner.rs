@@ -57,16 +57,15 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.register(RelationDef::from_relation(&employee_relation())).unwrap();
+        c.register(RelationDef::from_relation(&employee_relation()))
+            .unwrap();
         c
     }
 
     #[test]
     fn plan_shape_follows_the_query() {
-        let q = parse(
-            "SELECT empno FROM employee WHERE jobtype = 'secretary' GUARD typing-speed",
-        )
-        .unwrap();
+        let q = parse("SELECT empno FROM employee WHERE jobtype = 'secretary' GUARD typing-speed")
+            .unwrap();
         let plan = plan_query(&q, &catalog()).unwrap();
         let s = plan.to_string();
         assert!(s.contains("Project {empno}"));

@@ -76,7 +76,9 @@ pub struct Catalog {
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
-        Catalog { relations: BTreeMap::new() }
+        Catalog {
+            relations: BTreeMap::new(),
+        }
     }
 
     /// Registers a relation definition; fails if the name is taken.

@@ -38,7 +38,10 @@ pub struct Database {
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
-        Database { catalog: Catalog::new(), storage: BTreeMap::new() }
+        Database {
+            catalog: Catalog::new(),
+            storage: BTreeMap::new(),
+        }
     }
 
     /// The catalog of relation definitions.
@@ -159,9 +162,17 @@ impl Database {
     }
 
     /// Inserts under a transaction, recording the undo action.
-    pub fn insert_txn(&mut self, txn: &mut Transaction, relation: &str, t: Tuple) -> Result<TupleId> {
+    pub fn insert_txn(
+        &mut self,
+        txn: &mut Transaction,
+        relation: &str,
+        t: Tuple,
+    ) -> Result<TupleId> {
         let tid = self.insert(relation, t)?;
-        txn.record(UndoAction::UndoInsert { relation: relation.to_string(), tid });
+        txn.record(UndoAction::UndoInsert {
+            relation: relation.to_string(),
+            tid,
+        });
         Ok(tid)
     }
 
@@ -179,9 +190,17 @@ impl Database {
     }
 
     /// Deletes under a transaction.
-    pub fn delete_txn(&mut self, txn: &mut Transaction, relation: &str, tid: TupleId) -> Result<Tuple> {
+    pub fn delete_txn(
+        &mut self,
+        txn: &mut Transaction,
+        relation: &str,
+        tid: TupleId,
+    ) -> Result<Tuple> {
         let old = self.delete(relation, tid)?;
-        txn.record(UndoAction::UndoDelete { relation: relation.to_string(), tuple: old.clone() });
+        txn.record(UndoAction::UndoDelete {
+            relation: relation.to_string(),
+            tuple: old.clone(),
+        });
         Ok(old)
     }
 
@@ -220,7 +239,12 @@ impl Database {
     /// Equality lookup on an attribute set: uses the matching determinant
     /// index when one exists, otherwise scans.  `key_value` must be a tuple
     /// over exactly the attributes of `key`.
-    pub fn lookup_eq(&self, relation: &str, key: &AttrSet, key_value: &Tuple) -> Result<Vec<Tuple>> {
+    pub fn lookup_eq(
+        &self,
+        relation: &str,
+        key: &AttrSet,
+        key_value: &Tuple,
+    ) -> Result<Vec<Tuple>> {
         let stored = self.stored(relation)?;
         if let Some(idx) = stored.index_on(key) {
             Ok(idx
@@ -279,7 +303,11 @@ impl Database {
                         idx.insert(tid, &tuple);
                     }
                 }
-                UndoAction::UndoUpdate { relation, tid, previous } => {
+                UndoAction::UndoUpdate {
+                    relation,
+                    tid,
+                    previous,
+                } => {
                     let stored = self.stored_mut(&relation)?;
                     if let Some(current) = stored.heap.get(tid).cloned() {
                         stored.heap.replace(tid, previous.clone());
@@ -300,7 +328,9 @@ mod tests {
     use super::*;
     use flexrel_core::attrs;
     use flexrel_core::value::Value;
-    use flexrel_workload::{employee_domains, employee_relation, generate_employees, EmployeeConfig};
+    use flexrel_workload::{
+        employee_domains, employee_relation, generate_employees, EmployeeConfig,
+    };
 
     fn employee_def() -> RelationDef {
         let rel = employee_relation();
@@ -410,7 +440,11 @@ mod tests {
         assert!(db.update("employee", tid, broken).is_err());
         assert_eq!(db.count("employee").unwrap(), 9);
         let still_there = db
-            .lookup_eq("employee", &attrs!["empno"], &original.project(&attrs!["empno"]))
+            .lookup_eq(
+                "employee",
+                &attrs!["empno"],
+                &original.project(&attrs!["empno"]),
+            )
             .unwrap();
         assert_eq!(still_there.len(), 1);
         assert_eq!(still_there[0], original);
@@ -430,7 +464,11 @@ mod tests {
         let mut db = db_with_employees(5);
         let before = db.count("employee").unwrap();
         let mut txn = Transaction::begin();
-        let extra = generate_employees(&EmployeeConfig { n: 8, violation_rate: 0.0, seed: 99 });
+        let extra = generate_employees(&EmployeeConfig {
+            n: 8,
+            violation_rate: 0.0,
+            seed: 99,
+        });
         for (i, mut t) in extra.into_iter().enumerate() {
             // Give fresh keys so the FD does not fire against existing rows.
             t.insert("empno", 1000 + i as i64);

@@ -41,7 +41,9 @@ struct Segment {
 
 impl Segment {
     fn new() -> Self {
-        Segment { slots: Vec::with_capacity(SEGMENT_SIZE) }
+        Segment {
+            slots: Vec::with_capacity(SEGMENT_SIZE),
+        }
     }
 
     fn is_full(&self) -> bool {
@@ -61,7 +63,11 @@ pub struct Heap {
 impl Heap {
     /// Creates an empty heap.
     pub fn new() -> Self {
-        Heap { segments: Vec::new(), free: Vec::new(), live: 0 }
+        Heap {
+            segments: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
     }
 
     /// Number of live tuples.
@@ -85,9 +91,15 @@ impl Heap {
             self.segments.push(Segment::new());
         }
         let segment = (self.segments.len() - 1) as u32;
-        let seg = self.segments.last_mut().expect("just ensured a segment exists");
+        let seg = self
+            .segments
+            .last_mut()
+            .expect("just ensured a segment exists");
         seg.slots.push(Some(t));
-        TupleId { segment, slot: (seg.slots.len() - 1) as u32 }
+        TupleId {
+            segment,
+            slot: (seg.slots.len() - 1) as u32,
+        }
     }
 
     /// Reads the tuple stored under `tid`, if it is live.
@@ -130,7 +142,10 @@ impl Heap {
             seg.slots.iter().enumerate().filter_map(move |(pi, slot)| {
                 slot.as_ref().map(|t| {
                     (
-                        TupleId { segment: si as u32, slot: pi as u32 },
+                        TupleId {
+                            segment: si as u32,
+                            slot: pi as u32,
+                        },
                         t,
                     )
                 })
@@ -179,9 +194,14 @@ mod tests {
     #[test]
     fn identifiers_are_stable_across_growth() {
         let mut h = Heap::new();
-        let ids: Vec<TupleId> = (0..3000).map(|i| h.insert(tuple! {"x" => i as i64})).collect();
+        let ids: Vec<TupleId> = (0..3000)
+            .map(|i| h.insert(tuple! {"x" => i as i64}))
+            .collect();
         assert_eq!(h.len(), 3000);
-        assert!(ids.iter().map(|t| t.segment()).any(|s| s > 0), "spans several segments");
+        assert!(
+            ids.iter().map(|t| t.segment()).any(|s| s > 0),
+            "spans several segments"
+        );
         for (i, tid) in ids.iter().enumerate() {
             assert_eq!(
                 h.get(*tid).and_then(|t| t.get_name("x")).cloned(),

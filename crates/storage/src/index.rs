@@ -41,7 +41,10 @@ impl HashIndex {
     /// Indexes a tuple.
     pub fn insert(&mut self, tid: TupleId, t: &Tuple) {
         if t.defined_on(&self.key) {
-            self.entries.entry(t.project(&self.key)).or_default().push(tid);
+            self.entries
+                .entry(t.project(&self.key))
+                .or_default()
+                .push(tid);
         } else {
             self.partial.push(tid);
         }
@@ -65,7 +68,10 @@ impl HashIndex {
     /// Tuple identifiers whose key projection equals `key_value` (a tuple
     /// over exactly the index key).
     pub fn lookup(&self, key_value: &Tuple) -> &[TupleId] {
-        self.entries.get(key_value).map(|v| v.as_slice()).unwrap_or(&[])
+        self.entries
+            .get(key_value)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Tuple identifiers of tuples not defined on the full index key.

@@ -37,7 +37,10 @@ pub struct Transaction {
 impl Transaction {
     /// Begins an empty transaction.
     pub fn begin() -> Self {
-        Transaction { log: Vec::new(), committed: false }
+        Transaction {
+            log: Vec::new(),
+            committed: false,
+        }
     }
 
     /// Records an undo action.
@@ -84,12 +87,21 @@ mod tests {
         let mut txn = Transaction::begin();
         assert!(txn.is_empty());
         let tid = crate::heap::Heap::new().insert(tuple! {"x" => 1});
-        txn.record(UndoAction::UndoInsert { relation: "r".into(), tid });
-        txn.record(UndoAction::UndoDelete { relation: "r".into(), tuple: tuple! {"x" => 2} });
+        txn.record(UndoAction::UndoInsert {
+            relation: "r".into(),
+            tid,
+        });
+        txn.record(UndoAction::UndoDelete {
+            relation: "r".into(),
+            tuple: tuple! {"x" => 2},
+        });
         assert_eq!(txn.len(), 2);
         let actions = txn.drain_rollback();
         assert_eq!(actions.len(), 2);
-        assert!(matches!(actions[0], UndoAction::UndoDelete { .. }), "reverse order");
+        assert!(
+            matches!(actions[0], UndoAction::UndoDelete { .. }),
+            "reverse order"
+        );
         assert!(txn.is_empty());
     }
 
@@ -97,7 +109,10 @@ mod tests {
     fn commit_discards_log() {
         let mut txn = Transaction::begin();
         let tid = crate::heap::Heap::new().insert(tuple! {"x" => 1});
-        txn.record(UndoAction::UndoInsert { relation: "r".into(), tid });
+        txn.record(UndoAction::UndoInsert {
+            relation: "r".into(),
+            tid,
+        });
         assert!(!txn.is_committed());
         txn.commit();
         assert!(txn.is_committed());

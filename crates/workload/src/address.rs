@@ -30,7 +30,11 @@ pub struct AddressConfig {
 
 impl Default for AddressConfig {
     fn default() -> Self {
-        AddressConfig { n: 1_000, pobox_rate: 0.3, seed: 7 }
+        AddressConfig {
+            n: 1_000,
+            pobox_rate: 0.3,
+            seed: 7,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ pub fn generate_addresses(cfg: &AddressConfig) -> Vec<Tuple> {
             t.insert("PostOfficeBoxNumber", Value::Int(rng.gen_range(1..10_000)));
         } else {
             t.insert("kind", Value::tag("street"));
-            t.insert("Street", Value::str(streets[rng.gen_range(0..streets.len())]));
+            t.insert(
+                "Street",
+                Value::str(streets[rng.gen_range(0..streets.len())]),
+            );
             if rng.gen_bool(0.8) {
                 t.insert("HouseNumber", Value::Int(rng.gen_range(1..300)));
             }
@@ -117,7 +124,10 @@ pub fn generate_addresses(cfg: &AddressConfig) -> Vec<Tuple> {
             t.insert("FAX-number", Value::str(format!("+49-731-9{}", 1000 + i)));
         }
         if mask & 4 != 0 {
-            t.insert("email-address", Value::str(format!("user{}@example.org", i)));
+            t.insert(
+                "email-address",
+                Value::str(format!("user{}@example.org", i)),
+            );
         }
         out.push(t);
     }
@@ -131,7 +141,10 @@ mod tests {
     #[test]
     fn generated_addresses_are_valid() {
         let mut rel = address_relation();
-        for t in generate_addresses(&AddressConfig { n: 300, ..Default::default() }) {
+        for t in generate_addresses(&AddressConfig {
+            n: 300,
+            ..Default::default()
+        }) {
             rel.insert(t).expect("generated addresses must type-check");
         }
         assert_eq!(rel.len(), 300);
@@ -140,7 +153,13 @@ mod tests {
     #[test]
     fn scheme_expresses_the_intro_variants() {
         let s = address_scheme();
-        assert!(s.admits(&AttrSet::from_names(["ZipCode", "Town", "kind", "Street", "tel-number"])));
+        assert!(s.admits(&AttrSet::from_names([
+            "ZipCode",
+            "Town",
+            "kind",
+            "Street",
+            "tel-number"
+        ])));
         assert!(s.admits(&AttrSet::from_names([
             "ZipCode",
             "Town",
@@ -171,9 +190,17 @@ mod tests {
 
     #[test]
     fn pobox_rate_controls_the_mix() {
-        let all_pobox = generate_addresses(&AddressConfig { n: 200, pobox_rate: 1.0, seed: 1 });
+        let all_pobox = generate_addresses(&AddressConfig {
+            n: 200,
+            pobox_rate: 1.0,
+            seed: 1,
+        });
         assert!(all_pobox.iter().all(|t| t.has_name("PostOfficeBoxNumber")));
-        let all_street = generate_addresses(&AddressConfig { n: 200, pobox_rate: 0.0, seed: 1 });
+        let all_street = generate_addresses(&AddressConfig {
+            n: 200,
+            pobox_rate: 0.0,
+            seed: 1,
+        });
         assert!(all_street.iter().all(|t| t.has_name("Street")));
     }
 

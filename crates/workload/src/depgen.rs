@@ -86,23 +86,87 @@ mod tests {
 
     #[test]
     fn fd_fraction_extremes() {
-        let all_fd = random_dependency_set(&DepGenConfig { fd_fraction: 1.0, ..Default::default() });
+        let all_fd = random_dependency_set(&DepGenConfig {
+            fd_fraction: 1.0,
+            ..Default::default()
+        });
         assert_eq!(all_fd.fds().count(), all_fd.len());
-        let all_ad = random_dependency_set(&DepGenConfig { fd_fraction: 0.0, ..Default::default() });
+        let all_ad = random_dependency_set(&DepGenConfig {
+            fd_fraction: 0.0,
+            ..Default::default()
+        });
         assert_eq!(all_ad.ads().count(), all_ad.len());
     }
 
     #[test]
     fn no_trivial_dependencies_generated() {
-        let s = random_dependency_set(&DepGenConfig { count: 30, ..Default::default() });
+        let s = random_dependency_set(&DepGenConfig {
+            count: 30,
+            ..Default::default()
+        });
         for d in s.iter() {
             assert!(!d.rhs().is_subset(d.lhs()), "trivial dependency {}", d);
         }
     }
 
     #[test]
+    fn generated_dependencies_respect_configured_bounds() {
+        for seed in 0..25 {
+            let cfg = DepGenConfig {
+                universe: 5,
+                count: 12,
+                fd_fraction: 0.5,
+                max_lhs: 2,
+                max_rhs: 3,
+                seed,
+            };
+            let s = random_dependency_set(&cfg);
+            let uni = universe(cfg.universe);
+            for d in s.iter() {
+                assert!(
+                    (1..=cfg.max_lhs).contains(&d.lhs().len()),
+                    "lhs of {} exceeds max_lhs={}",
+                    d,
+                    cfg.max_lhs
+                );
+                assert!(
+                    (1..=cfg.max_rhs).contains(&d.rhs().len()),
+                    "rhs of {} exceeds max_rhs={}",
+                    d,
+                    cfg.max_rhs
+                );
+                assert!(d.lhs().is_subset(&uni), "lhs of {} outside universe", d);
+                assert!(d.rhs().is_subset(&uni), "rhs of {} outside universe", d);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        // Not a tautology (two seeds *can* collide), but over a spread of
+        // seeds the generator must not be constant.
+        let base = random_dependency_set(&DepGenConfig {
+            seed: 0,
+            ..Default::default()
+        });
+        let differing = (1..10u64)
+            .filter(|&seed| {
+                random_dependency_set(&DepGenConfig {
+                    seed,
+                    ..Default::default()
+                }) != base
+            })
+            .count();
+        assert!(differing > 0, "generator ignores its seed");
+    }
+
+    #[test]
     fn closures_over_generated_sets_are_monotone() {
-        let s = random_dependency_set(&DepGenConfig { count: 20, universe: 10, ..Default::default() });
+        let s = random_dependency_set(&DepGenConfig {
+            count: 20,
+            universe: 10,
+            ..Default::default()
+        });
         let x = AttrSet::from_names(["A0", "A1"]);
         let f = func_closure(&x, &s);
         let a = attr_closure(&x, &s, AxiomSystem::E);

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use flexrel_core::attr::AttrSet;
-use flexrel_core::dep::{example2_jobtype_ead, DependencySet, Dependency, Fd};
+use flexrel_core::dep::{example2_jobtype_ead, Dependency, DependencySet, Fd};
 use flexrel_core::relation::FlexRelation;
 use flexrel_core::scheme::{Component, FlexScheme, SchemeBuilder};
 use flexrel_core::tuple::Tuple;
@@ -41,16 +41,18 @@ impl JobType {
     pub fn variant_attrs(&self) -> AttrSet {
         match self {
             JobType::Secretary => AttrSet::from_names(["typing-speed", "foreign-languages"]),
-            JobType::SoftwareEngineer => {
-                AttrSet::from_names(["products", "programming-languages"])
-            }
+            JobType::SoftwareEngineer => AttrSet::from_names(["products", "programming-languages"]),
             JobType::Salesman => AttrSet::from_names(["products", "sales-commission"]),
         }
     }
 
     /// All three job types.
     pub fn all() -> [JobType; 3] {
-        [JobType::Secretary, JobType::SoftwareEngineer, JobType::Salesman]
+        [
+            JobType::Secretary,
+            JobType::SoftwareEngineer,
+            JobType::Salesman,
+        ]
     }
 }
 
@@ -68,19 +70,31 @@ pub struct EmployeeConfig {
 
 impl Default for EmployeeConfig {
     fn default() -> Self {
-        EmployeeConfig { n: 1_000, violation_rate: 0.0, seed: 42 }
+        EmployeeConfig {
+            n: 1_000,
+            violation_rate: 0.0,
+            seed: 42,
+        }
     }
 }
 
 impl EmployeeConfig {
     /// A configuration of `n` clean tuples.
     pub fn clean(n: usize) -> Self {
-        EmployeeConfig { n, violation_rate: 0.0, seed: 42 }
+        EmployeeConfig {
+            n,
+            violation_rate: 0.0,
+            seed: 42,
+        }
     }
 
     /// A configuration with the given violation rate.
     pub fn with_violations(n: usize, rate: f64) -> Self {
-        EmployeeConfig { n, violation_rate: rate, seed: 42 }
+        EmployeeConfig {
+            n,
+            violation_rate: rate,
+            seed: 42,
+        }
     }
 }
 
@@ -154,7 +168,10 @@ fn variant_values(rng: &mut StdRng, job: JobType, t: &mut Tuple) {
         JobType::Secretary => {
             t.insert("typing-speed", Value::Int(rng.gen_range(150..400)));
             let langs = ["french", "russian", "spanish", "italian"];
-            t.insert("foreign-languages", Value::str(langs[rng.gen_range(0..langs.len())]));
+            t.insert(
+                "foreign-languages",
+                Value::str(langs[rng.gen_range(0..langs.len())]),
+            );
         }
         JobType::SoftwareEngineer => {
             let prods = ["db-kernel", "optimizer", "parser", "storage"];
@@ -180,11 +197,14 @@ pub fn generate_employees(cfg: &EmployeeConfig) -> Vec<Tuple> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut out = Vec::with_capacity(cfg.n);
     for i in 0..cfg.n {
-        let job = JobType::all()[rng.gen_range(0..3)];
+        let job = JobType::all()[rng.gen_range(0..3usize)];
         let mut t = Tuple::new()
             .with("empno", i as i64)
             .with("name", format!("emp{}", i))
-            .with("salary", Value::Float(2_000.0 + rng.gen_range(0..8_000) as f64))
+            .with(
+                "salary",
+                Value::Float(2_000.0 + rng.gen_range(0..8_000) as f64),
+            )
             .with("jobtype", Value::tag(job.tag()));
         let violate = rng.gen_bool(cfg.violation_rate);
         if violate {
@@ -212,7 +232,10 @@ mod tests {
         let a = generate_employees(&EmployeeConfig::clean(100));
         let b = generate_employees(&EmployeeConfig::clean(100));
         assert_eq!(a, b);
-        let c = generate_employees(&EmployeeConfig { seed: 7, ..EmployeeConfig::clean(100) });
+        let c = generate_employees(&EmployeeConfig {
+            seed: 7,
+            ..EmployeeConfig::clean(100)
+        });
         assert_ne!(a, c);
     }
 
@@ -221,7 +244,8 @@ mod tests {
         let mut rel = employee_relation();
         let tuples = generate_employees(&EmployeeConfig::clean(200));
         for t in tuples {
-            rel.insert(t).expect("clean tuples must pass scheme, domain and AD checks");
+            rel.insert(t)
+                .expect("clean tuples must pass scheme, domain and AD checks");
         }
         assert_eq!(rel.len(), 200);
     }
@@ -241,15 +265,24 @@ mod tests {
                 ead_rejects += 1;
             }
         }
-        assert_eq!(scheme_rejects, 0, "violations must remain scheme-admissible");
-        assert_eq!(ead_rejects, 500, "every violation must be caught by the EAD");
+        assert_eq!(
+            scheme_rejects, 0,
+            "violations must remain scheme-admissible"
+        );
+        assert_eq!(
+            ead_rejects, 500,
+            "every violation must be caught by the EAD"
+        );
     }
 
     #[test]
     fn violation_rate_is_roughly_respected() {
         let tuples = generate_employees(&EmployeeConfig::with_violations(2_000, 0.25));
         let ead = example2_jobtype_ead();
-        let bad = tuples.iter().filter(|t| ead.check_tuple(t).is_err()).count();
+        let bad = tuples
+            .iter()
+            .filter(|t| ead.check_tuple(t).is_err())
+            .count();
         // The jobtype of the "other" variant may coincidentally prescribe an
         // overlapping attribute set, but never an identical one, so every
         // injected violation is detected; sampling noise only.
@@ -271,7 +304,12 @@ mod tests {
         let rel = employee_relation();
         assert_eq!(rel.deps().len(), 2);
         assert!(rel.scheme().admits(&AttrSet::from_names([
-            "empno", "name", "salary", "jobtype", "typing-speed", "foreign-languages"
+            "empno",
+            "name",
+            "salary",
+            "jobtype",
+            "typing-speed",
+            "foreign-languages"
         ])));
         assert_eq!(rel.domains().len(), 9);
     }

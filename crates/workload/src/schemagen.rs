@@ -145,7 +145,12 @@ mod tests {
     #[test]
     fn dnf_len_matches_materialization_on_random_schemes() {
         for seed in 0..10 {
-            let cfg = SchemeGenConfig { seed, groups: 3, group_width: 3, ..Default::default() };
+            let cfg = SchemeGenConfig {
+                seed,
+                groups: 3,
+                group_width: 3,
+                ..Default::default()
+            };
             let s = random_scheme(&cfg);
             assert_eq!(s.dnf_len(), s.dnf().len(), "seed {}", seed);
         }
@@ -153,7 +158,11 @@ mod tests {
 
     #[test]
     fn random_ead_selects_a_disjoint_group() {
-        let cfg = SchemeGenConfig { disjoint_prob: 1.0, nest_prob: 0.0, ..Default::default() };
+        let cfg = SchemeGenConfig {
+            disjoint_prob: 1.0,
+            nest_prob: 0.0,
+            ..Default::default()
+        };
         let s = random_scheme(&cfg);
         let (tag, ead) = random_ead(&s, 0).expect("a disjoint group exists");
         assert!(tag.starts_with("tag"));
@@ -167,7 +176,11 @@ mod tests {
 
     #[test]
     fn random_ead_out_of_range_is_none() {
-        let cfg = SchemeGenConfig { groups: 1, disjoint_prob: 1.0, ..Default::default() };
+        let cfg = SchemeGenConfig {
+            groups: 1,
+            disjoint_prob: 1.0,
+            ..Default::default()
+        };
         let s = random_scheme(&cfg);
         assert!(random_ead(&s, 5).is_none());
     }

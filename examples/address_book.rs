@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("admissible combinations: {}", scheme.dnf_len());
 
     let mut rel = address_relation();
-    for t in generate_addresses(&AddressConfig { n: 1_000, ..Default::default() }) {
+    for t in generate_addresses(&AddressConfig {
+        n: 1_000,
+        ..Default::default()
+    }) {
         rel.insert(t)?;
     }
     println!("loaded {} addresses; shape histogram:", rel.len());

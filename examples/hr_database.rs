@@ -5,7 +5,7 @@
 
 use flexrel_core::attr::AttrSet;
 use flexrel_core::dep::example2_jobtype_ead;
-use flexrel_decompose::{horizontal_decompose, vertical_decompose, stats};
+use flexrel_decompose::{horizontal_decompose, stats, vertical_decompose};
 use flexrel_query::prelude::*;
 use flexrel_storage::{Database, RelationDef, Transaction};
 use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let a = execute(&naive, &db)?;
     let b = execute(&optimized, &db)?;
-    println!("both plans return {} rows (identical: {})", a.len(), a.len() == b.len());
+    println!(
+        "both plans return {} rows (identical: {})",
+        a.len(),
+        a.len() == b.len()
+    );
 
     // Variant pruning: a union of qualified fragments, filtered on the
     // determining attribute.
@@ -45,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfragmented plan:\n{}", plan);
     let (pruned, notes) = optimize(plan, db.catalog());
     println!("after variant pruning:\n{}", pruned);
-    println!("{} branches were pruned", notes.iter().filter(|n| n.rule == "variant-pruning").count());
+    println!(
+        "{} branches were pruned",
+        notes.iter().filter(|n| n.rule == "variant-pruning").count()
+    );
     Ok(())
 }

@@ -18,7 +18,10 @@ fn main() -> Result<()> {
         .nested(variants)
         .build()?;
     println!("flexible scheme: {}", scheme);
-    println!("admissible attribute combinations (dnf): {}", scheme.dnf_len());
+    println!(
+        "admissible attribute combinations (dnf): {}",
+        scheme.dnf_len()
+    );
 
     // The attribute dependency: the value of jobtype determines which of the
     // variant attributes exist.

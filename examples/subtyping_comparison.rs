@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "employee",
     )?;
     println!("AD-induced subtype family (Example 3):\n{}", family);
-    println!("every subtype is a record subtype of the supertype: {}", family.record_rule_holds());
+    println!(
+        "every subtype is a record subtype of the supertype: {}",
+        family.record_rule_holds()
+    );
 
     // The paper's accidental supertype: <…, salary : float> without jobtype.
     let salary_only = RecordType::new("salary_only").with_field("salary", Domain::Float);

@@ -32,7 +32,8 @@ fn example1_dnf_has_14_combinations() {
 #[test]
 fn example2_type_checking_through_the_storage_engine() {
     let mut db = Database::new();
-    db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+    db.create_relation(RelationDef::from_relation(&employee_relation()))
+        .unwrap();
     for t in generate_employees(&EmployeeConfig::clean(500)) {
         db.insert("employee", t).unwrap();
     }
@@ -81,15 +82,15 @@ fn example3_subtype_family_and_accidental_supertype() {
 #[test]
 fn example4_guard_elimination_end_to_end() {
     // The implication itself.
-    let sigma = flexrel_core::dep::DependencySet::from_deps(vec![Dependency::Ead(
-        example2_jobtype_ead(),
-    )]);
+    let sigma =
+        flexrel_core::dep::DependencySet::from_deps(vec![Dependency::Ead(example2_jobtype_ead())]);
     let target = Dependency::Ad(Ad::new(attrs!["jobtype", "salary"], attrs!["typing-speed"]));
     assert!(implies(&sigma, &target, AxiomSystem::R));
 
     // Through the query stack.
     let mut db = Database::new();
-    db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
+    db.create_relation(RelationDef::from_relation(&employee_relation()))
+        .unwrap();
     for t in generate_employees(&EmployeeConfig::clean(2_000)) {
         db.insert("employee", t).unwrap();
     }

@@ -21,7 +21,11 @@ use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
 
 fn loaded(n: usize, seed: u64) -> FlexRelation {
     let mut rel = employee_relation();
-    for t in generate_employees(&EmployeeConfig { n, violation_rate: 0.0, seed }) {
+    for t in generate_employees(&EmployeeConfig {
+        n,
+        violation_rate: 0.0,
+        seed,
+    }) {
         rel.insert_checked(t, CheckLevel::None).unwrap();
     }
     rel

@@ -14,14 +14,23 @@ use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig, Jo
 
 fn database(n: usize, seed: u64) -> Database {
     let mut db = Database::new();
-    db.create_relation(RelationDef::from_relation(&employee_relation())).unwrap();
-    for t in generate_employees(&EmployeeConfig { n, violation_rate: 0.0, seed }) {
+    db.create_relation(RelationDef::from_relation(&employee_relation()))
+        .unwrap();
+    for t in generate_employees(&EmployeeConfig {
+        n,
+        violation_rate: 0.0,
+        seed,
+    }) {
         db.insert("employee", t).unwrap();
     }
     db
 }
 
-fn reference_filter(db: &Database, jobtype: Option<&str>, min_salary: Option<f64>) -> BTreeSet<Tuple> {
+fn reference_filter(
+    db: &Database,
+    jobtype: Option<&str>,
+    min_salary: Option<f64>,
+) -> BTreeSet<Tuple> {
     db.scan("employee")
         .unwrap()
         .into_iter()
@@ -31,7 +40,12 @@ fn reference_filter(db: &Database, jobtype: Option<&str>, min_salary: Option<f64
                 .map(|j| t.get_name("jobtype") == Some(&Value::tag(j)))
                 .unwrap_or(true)
                 && min_salary
-                    .map(|s| t.get_name("salary").and_then(|v| v.as_f64()).map(|v| v > s).unwrap_or(false))
+                    .map(|s| {
+                        t.get_name("salary")
+                            .and_then(|v| v.as_f64())
+                            .map(|v| v > s)
+                            .unwrap_or(false)
+                    })
                     .unwrap_or(true)
         })
         .collect()

@@ -1,0 +1,235 @@
+//! Vendored, dependency-free stand-in for the slice of `criterion` this
+//! workspace uses: `criterion_group!`/`criterion_main!`, benchmark
+//! groups, `bench_function`/`bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter`.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! cannot be fetched.  Measurement is intentionally lightweight: each
+//! benchmark is warmed up once, then timed over enough iterations to
+//! fill a short measurement window, and the per-iteration mean/min are
+//! printed.  There is no statistical analysis, HTML report, or baseline
+//! comparison — the stub exists so the e1–e9 bench targets compile, run,
+//! and emit comparable numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark, optionally parameterised (`name/param`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Opaque value barrier (defeats const-folding of benchmark bodies).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    min: Duration,
+    window: Duration,
+}
+
+impl Bencher {
+    fn new(window: Duration) -> Self {
+        Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            window,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up iteration (also primes caches/allocations).
+        black_box(body());
+        let started = Instant::now();
+        while started.elapsed() < self.window {
+            let t = Instant::now();
+            black_box(body());
+            let dt = t.elapsed();
+            self.total += dt;
+            if dt < self.min {
+                self.min = dt;
+            }
+            self.iters_done += 1;
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters_done == 0 {
+            println!("{label:<48} (no iterations)");
+            return;
+        }
+        let mean = self.total / self.iters_done as u32;
+        println!(
+            "{label:<48} mean {:>12} min {:>12} ({} iters)",
+            fmt_duration(mean),
+            fmt_duration(self.min),
+            self.iters_done
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_WINDOW_MS trims or extends the per-bench measurement
+        // window (smoke tests use a tiny one).
+        let ms = std::env::var("CRITERION_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(200u64);
+        Criterion {
+            window: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.window);
+        f(&mut b);
+        b.report(&id.id);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall-clock
+    /// window, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.window = window;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.window);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.window);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.  Criterion-style
+/// CLI arguments from `cargo bench`/`cargo test` are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; measuring in
+            // that mode would only slow the suite down, so exit cleanly.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

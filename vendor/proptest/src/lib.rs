@@ -1,0 +1,431 @@
+//! Vendored, dependency-free stand-in for the slice of `proptest` this
+//! workspace uses: the `proptest!` macro over range strategies and
+//! `any::<bool>()`, `prop_assert!`/`prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! The build environment has no registry access, so the real `proptest`
+//! cannot be fetched.  Behavioural differences from upstream:
+//!
+//! * no shrinking — a failing case reports its replay seed instead;
+//! * inputs are drawn from a deterministic per-test stream, so CI runs
+//!   are reproducible by construction;
+//! * `PROPTEST_CASES` (env) overrides the configured case count, and
+//!   `PROPTEST_SEED` (env) re-bases the input stream;
+//! * regression seeds are replayed from `proptest-regressions/<file>.txt`
+//!   next to the consuming crate's manifest (lines: `<test_name> <seed>`),
+//!   mirroring upstream's persisted-failure convention.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic 64-bit generator backing every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.  Upstream proptest's `Strategy`
+/// is a shrinking value tree; here it is just a sampler.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// Marker returned by [`any`]; sampling is defined per type via
+/// [`Arbitrary`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// A failed property check (carried by `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration; `cases` is the number of random inputs per test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override, which
+    /// lets CI dial coverage up or down without editing code.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a — stable base seed derived from the fully qualified test name,
+/// so every test draws an independent but reproducible input stream.
+pub fn seed_for_test(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    match std::env::var("PROPTEST_SEED") {
+        Ok(v) => {
+            let base: u64 = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be an integer, got {v:?}"));
+            h ^ base
+        }
+        Err(_) => h,
+    }
+}
+
+/// Regression seeds persisted at
+/// `<manifest_dir>/proptest-regressions/<file_stem>.txt`, one
+/// `<test_name> <seed>` pair per line (`#` starts a comment).  These are
+/// replayed before the random cases, mirroring upstream's convention.
+pub fn regression_seeds(manifest_dir: &str, source_file: &str, test_name: &str) -> Vec<u64> {
+    let stem = std::path::Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    let path = format!("{manifest_dir}/proptest-regressions/{stem}.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some(test_name) {
+            if let Some(Ok(seed)) = parts.next().map(str::parse) {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)*)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` at {}:{}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
+            )));
+        }
+    }};
+}
+
+/// Expands each `fn name(arg in strategy, ...) { body }` item into a
+/// plain `#[test]` that replays any persisted regression seeds and then
+/// runs `cases` deterministic random inputs.  A failure panics with the
+/// seed to persist.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let test_name = stringify!($name);
+                let base = $crate::seed_for_test(concat!(module_path!(), "::", stringify!($name)));
+                let regressions =
+                    $crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), file!(), test_name);
+                let n_regressions = regressions.len();
+                let seeds = regressions
+                    .into_iter()
+                    .chain((0..cases as u64).map(|i| base.wrapping_add(i)));
+                for (case, seed) in seeds.enumerate() {
+                    let mut rng = $crate::TestRng::new(seed);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(err) = outcome {
+                        let kind = if case < n_regressions { "regression" } else { "random" };
+                        panic!(
+                            "proptest case {case} ({kind}, seed {seed}) failed: {err}\n\
+                             inputs: {inputs}\n\
+                             to replay, add `{name} {seed}` to proptest-regressions/<file>.txt",
+                            case = case,
+                            kind = kind,
+                            seed = seed,
+                            err = err,
+                            inputs = format!(concat!($(stringify!($arg), " = {:?}  ",)+), $($arg),+),
+                            name = test_name,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u64..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Uses the public API without touching the process environment:
+        // absent override leaves the configured count untouched.
+        let cfg = ProptestConfig::with_cases(12);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.resolved_cases(), 12);
+        }
+    }
+
+    #[test]
+    fn regression_file_parsing() {
+        let dir = std::env::temp_dir().join("flexrel-proptest-regressions-test");
+        let reg = dir.join("proptest-regressions");
+        std::fs::create_dir_all(&reg).unwrap();
+        std::fs::write(
+            reg.join("my_suite.txt"),
+            "# comment\nalpha 7\nbeta 9\nalpha 11\nalpha not_a_seed\n",
+        )
+        .unwrap();
+        let manifest = dir.to_str().unwrap();
+        assert_eq!(
+            crate::regression_seeds(manifest, "tests/my_suite.rs", "alpha"),
+            vec![7, 11]
+        );
+        assert_eq!(
+            crate::regression_seeds(manifest, "tests/my_suite.rs", "beta"),
+            vec![9]
+        );
+        assert!(crate::regression_seeds(manifest, "tests/my_suite.rs", "gamma").is_empty());
+        assert!(crate::regression_seeds(manifest, "tests/other.rs", "alpha").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_smoke(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}
