@@ -1,0 +1,161 @@
+//! E11: throughput pins for the hot kernels the bitset representation and
+//! the linear closures are responsible for.
+//!
+//! These benches exist as the regression tripwire for the interned-universe
+//! work: closure throughput with and without index reuse, raw attribute-set
+//! algebra (inline and spilled words), dependency-set dedup, and subtype
+//! checking.  If a future change makes any of these slower, the drop shows
+//! up here before it shows up in the E2/E5/E6/E7 harness numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrel_core::attr::AttrSet;
+use flexrel_core::axioms::{AxiomSystem, ClosureIndex};
+use flexrel_core::dep::{example2_jobtype_ead, Ad, DependencySet};
+use flexrel_core::subtype::SubtypeFamily;
+use flexrel_workload::{
+    depgen, employee_domains, employee_scheme, random_dependency_set, DepGenConfig,
+};
+
+fn closure_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_closure");
+    for (count, universe_size) in [(16usize, 16usize), (48, 20), (128, 32)] {
+        let sigma = random_dependency_set(&DepGenConfig {
+            universe: universe_size,
+            count,
+            fd_fraction: 0.4,
+            ..Default::default()
+        });
+        // Candidate determining sets: subsets of (at most) the first 16
+        // attributes — `power_set` refuses universes past 20 attributes.
+        let base: AttrSet = depgen::universe(universe_size.min(16))
+            .to_vec()
+            .into_iter()
+            .collect();
+        let xs: Vec<AttrSet> = base.power_set().into_iter().take(256).collect();
+        // The steady-state path: one index, many closures.
+        let index = ClosureIndex::new(&sigma);
+        g.bench_with_input(
+            BenchmarkId::new("attr_closure_e_indexed", count),
+            &xs,
+            |b, xs| {
+                b.iter(|| {
+                    xs.iter()
+                        .map(|x| index.attr_closure(x, AxiomSystem::E).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("func_closure_indexed", count),
+            &xs,
+            |b, xs| {
+                b.iter(|| {
+                    xs.iter()
+                        .map(|x| index.func_closure(x).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        // The cold path: index build amortized over one batch.
+        g.bench_with_input(
+            BenchmarkId::new("attr_closure_e_cold_index", count),
+            &xs,
+            |b, xs| {
+                b.iter(|| {
+                    let index = ClosureIndex::new(&sigma);
+                    xs.iter()
+                        .map(|x| index.attr_closure(x, AxiomSystem::E).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn attrset_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_attrset");
+    // Inline (≤64 ids) and spilled (multi-word) universes.
+    for n in [32usize, 256] {
+        let universe = depgen::universe(n);
+        let members = universe.to_vec();
+        let evens: AttrSet = members.iter().step_by(2).cloned().collect();
+        let odds: AttrSet = members.iter().skip(1).step_by(2).cloned().collect();
+        let low_half: AttrSet = members[..n / 2].iter().cloned().collect();
+        g.bench_with_input(BenchmarkId::new("set_algebra", n), &universe, |b, u| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                acc += evens.union(&odds).len();
+                acc += low_half.intersection(&evens).len();
+                acc += u.difference(&odds).len();
+                acc += usize::from(low_half.is_subset(u));
+                acc += usize::from(evens.is_disjoint(&odds));
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("membership", n), &members, |b, members| {
+            b.iter(|| members.iter().filter(|a| evens.contains(a)).count())
+        });
+    }
+    g.finish();
+}
+
+fn depset_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_depset");
+    for count in [64usize, 512] {
+        let sigma = random_dependency_set(&DepGenConfig {
+            universe: 24,
+            count,
+            fd_fraction: 0.4,
+            max_lhs: 3,
+            max_rhs: 3,
+            ..Default::default()
+        });
+        let deps: Vec<_> = sigma.iter().cloned().collect();
+        // Rebuild with duplicates interleaved: every add is a dedup probe.
+        g.bench_with_input(BenchmarkId::new("add_dedup", count), &deps, |b, deps| {
+            b.iter(|| {
+                let mut s = DependencySet::new();
+                for d in deps {
+                    s.add(d.clone());
+                    s.add(d.clone());
+                }
+                s.len()
+            })
+        });
+        let probe = Ad::new(
+            AttrSet::from_names(["Z-not-there"]),
+            AttrSet::from_names(["Z-either"]),
+        )
+        .into();
+        g.bench_with_input(BenchmarkId::new("contains", count), &sigma, |b, sigma| {
+            b.iter(|| {
+                deps.iter().filter(|d| sigma.contains(d)).count()
+                    + usize::from(sigma.contains(&probe))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn subtype_benches(c: &mut Criterion) {
+    let fam = SubtypeFamily::derive(
+        &employee_scheme(),
+        &example2_jobtype_ead(),
+        &employee_domains(),
+        "employee",
+    )
+    .unwrap();
+    c.bench_function("e11_subtype_classify_projections", |b| {
+        b.iter(|| fam.classify_all_projections())
+    });
+}
+
+criterion_group!(
+    benches,
+    closure_benches,
+    attrset_benches,
+    depset_benches,
+    subtype_benches
+);
+criterion_main!(benches);

@@ -1,6 +1,8 @@
-//! Minimal table rendering for the experiment harness.
+//! Minimal table rendering and JSON emission for the experiment harness.
 
 use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// A simple text table: a title, a header row and data rows.
 #[derive(Clone, Debug, Default)]
@@ -43,6 +45,39 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Serializes the table as a machine-readable JSON document together
+    /// with run metadata: the experiment id, the harness scale, and the
+    /// wall-clock time the experiment took.
+    pub fn to_json(&self, experiment: &str, scale: usize, elapsed_ms: f64) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"experiment\": {},\n", json_string(experiment)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!("  \"scale\": {},\n", scale));
+        out.push_str(&format!("  \"elapsed_ms\": {:.3},\n", elapsed_ms));
+        out.push_str(&format!(
+            "  \"header\": [{}],\n",
+            self.header
+                .iter()
+                .map(|h| json_string(h))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    [{}]{}\n",
+                row.iter()
+                    .map(|c| json_string(c))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     fn widths(&self) -> Vec<usize> {
         let cols = self.header.len();
         let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
@@ -79,6 +114,44 @@ impl fmt::Display for Table {
     }
 }
 
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes one `BENCH_<ID>.json` file per experiment into `dir` and returns
+/// the paths written.  `timed` pairs each experiment id with its table and
+/// measured wall-clock duration in milliseconds.
+pub fn write_json_reports(
+    dir: &Path,
+    scale: usize,
+    timed: &[(&str, Table, f64)],
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(timed.len());
+    for (id, table, elapsed_ms) in timed {
+        let path = dir.join(format!("BENCH_{}.json", id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(table.to_json(id, scale, *elapsed_ms).as_bytes())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +167,38 @@ mod tests {
         assert!(s.contains("== E0: demo =="));
         assert!(s.contains("| name"));
         assert!(s.contains("| a much longer name | 123456 |"));
+    }
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let mut t = Table::new("E0: \"quoted\"\ttitle", &["k", "v"]);
+        t.row(["a", "1"]);
+        t.row(["b\\c", "2"]);
+        let j = t.to_json("E0", 500, 12.5);
+        assert!(j.contains("\"experiment\": \"E0\""));
+        assert!(j.contains("\"scale\": 500"));
+        assert!(j.contains("\"elapsed_ms\": 12.500"));
+        assert!(j.contains("\\\"quoted\\\"\\ttitle"));
+        assert!(j.contains("[\"a\", \"1\"],"));
+        assert!(j.contains("[\"b\\\\c\", \"2\"]"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn write_json_reports_creates_one_file_per_experiment() {
+        let dir =
+            std::env::temp_dir().join(format!("flexrel-bench-json-test-{}", std::process::id()));
+        let mut t = Table::new("E1: demo", &["a"]);
+        t.row(["x"]);
+        let written =
+            write_json_reports(&dir, 100, &[("E1", t.clone(), 1.0), ("E2", t, 2.0)]).unwrap();
+        assert_eq!(written.len(), 2);
+        assert!(written[0].ends_with("BENCH_E1.json"));
+        assert!(written[1].ends_with("BENCH_E2.json"));
+        let body = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(body.contains("\"experiment\": \"E2\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

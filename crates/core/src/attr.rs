@@ -5,31 +5,163 @@
 //! as ordinary mathematical sets: `XY` denotes the union of `X` and `Y`, and a
 //! single attribute is silently promoted to the singleton set when a set is
 //! expected.  This module provides both notions: [`Attr`], a cheaply clonable
-//! interned attribute name, and [`AttrSet`], an ordered attribute set with the
-//! usual set algebra.
+//! interned attribute name, and [`AttrSet`], an attribute set with the usual
+//! set algebra.
+//!
+//! # Representation
+//!
+//! Attribute names are interned once, process-wide, in the [`AttrUniverse`]:
+//! every distinct name is assigned a dense `u32` id in first-come order.  An
+//! [`Attr`] carries both its id (for O(1) equality and set membership) and a
+//! shared pointer to its name (for lock-free display and ordering).
+//!
+//! An [`AttrSet`] is a bitset over those ids.  Sets whose members all have
+//! ids below 64 — the overwhelmingly common case — live in a single inline
+//! `u64`; larger universes spill to a boxed slice of words.  Union,
+//! intersection, difference, subset, superset and disjointness tests are all
+//! word-parallel bit operations, never string comparisons.
+//!
+//! # Canonical order
+//!
+//! Interning ids are assigned in first-come order and are therefore *not*
+//! stable across runs.  All observable orderings consequently go through the
+//! attribute *names*: [`AttrSet::iter`], [`AttrSet::to_vec`], the `Display`
+//! rendering and the `Ord` instances of both [`Attr`] and [`AttrSet`] use
+//! lexicographic name order.  This is the canonical order the rest of the
+//! system relies on (schemes, dependency sets and tuples render
+//! deterministically regardless of interning order), and it is guaranteed to
+//! match what the previous `BTreeSet`-based representation produced.
 
 use std::borrow::Borrow;
-use std::collections::BTreeSet;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The process-wide attribute interner: a bijection between attribute names
+/// and dense `u32` ids.
+///
+/// Ids are handed out in first-come order, so they are dense (the first `n`
+/// distinct names get ids `0..n`) but not lexicographically meaningful; see
+/// the module docs for how canonical ordering is preserved on top of that.
+pub struct AttrUniverse {
+    inner: RwLock<UniverseInner>,
+}
+
+#[derive(Default)]
+struct UniverseInner {
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl AttrUniverse {
+    fn new() -> Self {
+        AttrUniverse {
+            inner: RwLock::new(UniverseInner::default()),
+        }
+    }
+
+    /// The global universe every [`Attr`] is interned in.
+    pub fn global() -> &'static AttrUniverse {
+        static GLOBAL: OnceLock<AttrUniverse> = OnceLock::new();
+        GLOBAL.get_or_init(AttrUniverse::new)
+    }
+
+    /// Interns `name`, returning its id and the shared name storage.
+    pub fn intern(&self, name: &str) -> (u32, Arc<str>) {
+        {
+            let inner = self.inner.read().unwrap();
+            if let Some(&id) = inner.ids.get(name) {
+                return (id, inner.names[id as usize].clone());
+            }
+        }
+        let mut inner = self.inner.write().unwrap();
+        // Re-check under the write lock: another thread may have interned the
+        // name between our read and write acquisitions.
+        if let Some(&id) = inner.ids.get(name) {
+            return (id, inner.names[id as usize].clone());
+        }
+        let id = u32::try_from(inner.names.len()).expect("attribute universe exhausted u32 ids");
+        let arc: Arc<str> = Arc::from(name);
+        inner.names.push(arc.clone());
+        inner.ids.insert(arc.clone(), id);
+        (id, arc)
+    }
+
+    /// Looks up the id of an already-interned name, without interning it.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.inner.read().unwrap().ids.get(name).copied()
+    }
+
+    /// The name interned under `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was never handed out by this universe.
+    pub fn resolve(&self, id: u32) -> Arc<str> {
+        self.inner.read().unwrap().names[id as usize].clone()
+    }
+
+    /// Resolves many ids under a single lock acquisition.
+    pub fn resolve_all(&self, ids: impl IntoIterator<Item = u32>) -> Vec<Attr> {
+        let inner = self.inner.read().unwrap();
+        ids.into_iter()
+            .map(|id| Attr {
+                id,
+                name: inner.names[id as usize].clone(),
+            })
+            .collect()
+    }
+
+    /// Number of distinct attribute names interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().names.len()
+    }
+
+    /// Whether no name has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// A single attribute name.
 ///
-/// Attributes are interned as `Arc<str>` so cloning is a reference-count bump
-/// and equality is cheap.  Ordering is lexicographic on the name, which gives
-/// attribute sets, schemes and dependency sets a canonical order.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Attr(Arc<str>);
+/// Attributes are interned in the global [`AttrUniverse`]: equality is a
+/// `u32` comparison, cloning is a reference-count bump, and the name is
+/// available without touching the interner.  Ordering is lexicographic on the
+/// name, which gives attribute sets, schemes and dependency sets a canonical
+/// order independent of interning order.
+#[derive(Clone)]
+pub struct Attr {
+    id: u32,
+    name: Arc<str>,
+}
 
 impl Attr {
-    /// Creates an attribute from a name.
+    /// Creates (interning if necessary) an attribute from a name.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Attr(Arc::from(name.as_ref()))
+        let (id, name) = AttrUniverse::global().intern(name.as_ref());
+        Attr { id, name }
+    }
+
+    /// Reconstructs an attribute from its interned id.
+    ///
+    /// # Panics
+    /// Panics if `id` was never handed out by the global universe.
+    pub fn from_id(id: u32) -> Self {
+        Attr {
+            id,
+            name: AttrUniverse::global().resolve(id),
+        }
+    }
+
+    /// The attribute's dense interned id.
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     /// The attribute's name.
     pub fn name(&self) -> &str {
-        &self.0
+        &self.name
     }
 
     /// Promotes this attribute to a singleton [`AttrSet`] (the paper's
@@ -40,15 +172,49 @@ impl Attr {
     }
 }
 
+impl PartialEq for Attr {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Attr {}
+
+// Ordering is by name so canonical order survives arbitrary interning order;
+// this is consistent with id equality because the interner is a bijection.
+impl PartialOrd for Attr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Attr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.name.cmp(&other.name)
+        }
+    }
+}
+
+// Hashes the *name* (not the id) so that `Borrow<str>` keeps the required
+// `hash(attr) == hash(attr.name())` consistency for map lookups by name.
+impl Hash for Attr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state)
+    }
+}
+
 impl fmt::Debug for Attr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.name)
     }
 }
 
 impl fmt::Display for Attr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.name)
     }
 }
 
@@ -72,36 +238,58 @@ impl From<&Attr> for Attr {
 
 impl Borrow<str> for Attr {
     fn borrow(&self) -> &str {
-        &self.0
+        &self.name
     }
 }
 
 impl AsRef<str> for Attr {
     fn as_ref(&self) -> &str {
-        &self.0
+        &self.name
     }
 }
 
-/// An ordered set of attributes.
+const BITS: usize = 64;
+
+/// The bit storage of an [`AttrSet`]: one inline word while every member id
+/// fits below 64, a boxed slice of words otherwise.
+#[derive(Clone)]
+enum Bits {
+    Inline(u64),
+    Spilled(Box<[u64]>),
+}
+
+/// An attribute set.
 ///
 /// `AttrSet` is the workhorse of the dependency theory: left- and right-hand
 /// sides of ADs and FDs, scheme DNF entries, tuple shapes (`attr(t)`) and
-/// closures are all attribute sets.  It is a thin wrapper around a
-/// `BTreeSet<Attr>` providing the set algebra used throughout the paper.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct AttrSet(BTreeSet<Attr>);
+/// closures are all attribute sets.  It is a bitset over interned attribute
+/// ids (see the module docs), so the set algebra used throughout the paper —
+/// union, intersection, difference, subset — runs as word-parallel bit
+/// operations.  Iteration and display are in lexicographic name order.
+#[derive(Clone)]
+pub struct AttrSet {
+    bits: Bits,
+}
+
+impl Default for AttrSet {
+    fn default() -> Self {
+        AttrSet::empty()
+    }
+}
 
 impl AttrSet {
     /// The empty attribute set `∅`.
     pub fn empty() -> Self {
-        AttrSet(BTreeSet::new())
+        AttrSet {
+            bits: Bits::Inline(0),
+        }
     }
 
     /// A singleton attribute set `{A}`.
     pub fn singleton(a: impl Into<Attr>) -> Self {
-        let mut s = BTreeSet::new();
+        let mut s = AttrSet::empty();
         s.insert(a.into());
-        AttrSet(s)
+        s
     }
 
     /// Builds an attribute set from anything yielding attribute names.
@@ -110,84 +298,233 @@ impl AttrSet {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        AttrSet(names.into_iter().map(|n| Attr::new(n.as_ref())).collect())
+        let mut s = AttrSet::empty();
+        for n in names {
+            s.insert(Attr::new(n.as_ref()));
+        }
+        s
+    }
+
+    /// The raw words of the bitset (used internally by the set algebra).
+    fn words(&self) -> &[u64] {
+        match &self.bits {
+            Bits::Inline(w) => std::slice::from_ref(w),
+            Bits::Spilled(ws) => ws,
+        }
+    }
+
+    /// Sets the bit for `id`, growing to the spilled representation if needed.
+    /// Returns `true` if the bit was not set before.
+    fn set_bit(&mut self, id: u32) -> bool {
+        let (word, bit) = (id as usize / BITS, id as usize % BITS);
+        let mask = 1u64 << bit;
+        match &mut self.bits {
+            Bits::Inline(w) if word == 0 => {
+                let fresh = *w & mask == 0;
+                *w |= mask;
+                fresh
+            }
+            Bits::Inline(w) => {
+                let mut ws = vec![0u64; word + 1];
+                ws[0] = *w;
+                ws[word] |= mask;
+                self.bits = Bits::Spilled(ws.into_boxed_slice());
+                true
+            }
+            Bits::Spilled(ws) => {
+                if word >= ws.len() {
+                    let mut grown = vec![0u64; word + 1];
+                    grown[..ws.len()].copy_from_slice(ws);
+                    grown[word] |= mask;
+                    self.bits = Bits::Spilled(grown.into_boxed_slice());
+                    true
+                } else {
+                    let fresh = ws[word] & mask == 0;
+                    ws[word] |= mask;
+                    fresh
+                }
+            }
+        }
+    }
+
+    /// Clears the bit for `id`; returns `true` if it was set.
+    fn clear_bit(&mut self, id: u32) -> bool {
+        let (word, bit) = (id as usize / BITS, id as usize % BITS);
+        let mask = 1u64 << bit;
+        match &mut self.bits {
+            Bits::Inline(w) => {
+                if word == 0 && *w & mask != 0 {
+                    *w &= !mask;
+                    true
+                } else {
+                    false
+                }
+            }
+            Bits::Spilled(ws) => {
+                if word < ws.len() && ws[word] & mask != 0 {
+                    ws[word] &= !mask;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn has_bit(&self, id: u32) -> bool {
+        let (word, bit) = (id as usize / BITS, id as usize % BITS);
+        self.words()
+            .get(word)
+            .is_some_and(|w| w & (1u64 << bit) != 0)
     }
 
     /// Number of attributes in the set.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Whether `a` is a member of the set.
     pub fn contains(&self, a: &Attr) -> bool {
-        self.0.contains(a)
+        self.has_bit(a.id)
+    }
+
+    /// Whether the attribute with the given interned id is a member.
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.has_bit(id)
     }
 
     /// Whether an attribute with the given name is a member of the set.
     pub fn contains_name(&self, name: &str) -> bool {
-        self.0.contains(name)
+        // A name that was never interned cannot be in any set.
+        AttrUniverse::global()
+            .lookup(name)
+            .is_some_and(|id| self.has_bit(id))
     }
 
     /// Inserts an attribute; returns `true` if it was not present before.
     pub fn insert(&mut self, a: impl Into<Attr>) -> bool {
-        self.0.insert(a.into())
+        self.set_bit(a.into().id)
+    }
+
+    /// Inserts the attribute with the given interned id; returns `true` if it
+    /// was not present before.
+    pub fn insert_id(&mut self, id: u32) -> bool {
+        self.set_bit(id)
     }
 
     /// Removes an attribute; returns `true` if it was present.
     pub fn remove(&mut self, a: &Attr) -> bool {
-        self.0.remove(a)
+        self.clear_bit(a.id)
+    }
+
+    fn zip_words<F: Fn(u64, u64) -> u64>(&self, other: &AttrSet, f: F) -> AttrSet {
+        let (a, b) = (self.words(), other.words());
+        let n = a.len().max(b.len());
+        if n <= 1 {
+            return AttrSet {
+                bits: Bits::Inline(f(
+                    a.first().copied().unwrap_or(0),
+                    b.first().copied().unwrap_or(0),
+                )),
+            };
+        }
+        let mut out = vec![0u64; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(
+                a.get(i).copied().unwrap_or(0),
+                b.get(i).copied().unwrap_or(0),
+            );
+        }
+        AttrSet {
+            bits: Bits::Spilled(out.into_boxed_slice()),
+        }
     }
 
     /// Set union `X ∪ Y` (the paper's juxtaposition `XY`).
     pub fn union(&self, other: &AttrSet) -> AttrSet {
-        AttrSet(self.0.union(&other.0).cloned().collect())
+        self.zip_words(other, |a, b| a | b)
     }
 
     /// Set intersection `X ∩ Y`.
     pub fn intersection(&self, other: &AttrSet) -> AttrSet {
-        AttrSet(self.0.intersection(&other.0).cloned().collect())
+        self.zip_words(other, |a, b| a & b)
     }
 
     /// Set difference `X − Y`.
     pub fn difference(&self, other: &AttrSet) -> AttrSet {
-        AttrSet(self.0.difference(&other.0).cloned().collect())
+        self.zip_words(other, |a, b| a & !b)
     }
 
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &AttrSet) -> bool {
-        self.0.is_subset(&other.0)
+        let (a, b) = (self.words(), other.words());
+        a.iter()
+            .enumerate()
+            .all(|(i, &w)| w & !b.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// Whether `self ⊇ other`.
     pub fn is_superset(&self, other: &AttrSet) -> bool {
-        self.0.is_superset(&other.0)
+        other.is_subset(self)
     }
 
     /// Whether the two sets have no attribute in common.
     pub fn is_disjoint(&self, other: &AttrSet) -> bool {
-        self.0.is_disjoint(&other.0)
+        let (a, b) = (self.words(), other.words());
+        a.iter()
+            .enumerate()
+            .all(|(i, &w)| w & b.get(i).copied().unwrap_or(0) == 0)
     }
 
-    /// Iterates over the attributes in lexicographic order.
-    pub fn iter(&self) -> impl Iterator<Item = &Attr> + '_ {
-        self.0.iter()
+    /// Iterates over the member ids in ascending *id* order (no name
+    /// resolution; the hot path for the closure algorithms).
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * BITS) as u32;
+            std::iter::successors(if w == 0 { None } else { Some(w) }, |&rest| {
+                let next = rest & (rest - 1);
+                if next == 0 {
+                    None
+                } else {
+                    Some(next)
+                }
+            })
+            .map(move |rest| base + rest.trailing_zeros())
+        })
     }
 
-    /// Returns the attributes as a vector (lexicographic order).
+    /// Iterates over the attributes in lexicographic name order (the
+    /// canonical order; see the module docs).
+    pub fn iter(&self) -> std::vec::IntoIter<Attr> {
+        self.to_vec().into_iter()
+    }
+
+    /// Iterates over the attributes in unspecified (id) order, skipping the
+    /// canonical sort.  Use this in hot paths where the visit order is
+    /// unobservable (e.g. all/any-style scans); use [`AttrSet::iter`]
+    /// anywhere order can leak into output.
+    pub fn iter_unordered(&self) -> std::vec::IntoIter<Attr> {
+        AttrUniverse::global().resolve_all(self.ids()).into_iter()
+    }
+
+    /// Returns the attributes as a vector in lexicographic name order.
     pub fn to_vec(&self) -> Vec<Attr> {
-        self.0.iter().cloned().collect()
+        let mut attrs = AttrUniverse::global().resolve_all(self.ids());
+        attrs.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        attrs
     }
 
     /// Extends the set with the attributes of `other` in place.
     pub fn extend_with(&mut self, other: &AttrSet) {
-        for a in other.iter() {
-            self.0.insert(a.clone());
+        if other.is_subset(self) {
+            return;
         }
+        *self = self.union(other);
     }
 
     /// All subsets of this set (the power set).  Only intended for small sets
@@ -214,6 +551,54 @@ impl AttrSet {
     }
 }
 
+// Equality must not distinguish inline from spilled storage or depend on
+// trailing zero words, so it compares words with implicit zero padding.
+impl PartialEq for AttrSet {
+    fn eq(&self, other: &Self) -> bool {
+        let (a, b) = (self.words(), other.words());
+        let n = a.len().max(b.len());
+        (0..n).all(|i| a.get(i).copied().unwrap_or(0) == b.get(i).copied().unwrap_or(0))
+    }
+}
+
+impl Eq for AttrSet {}
+
+// Hashing skips trailing zero words for the same reason equality pads them.
+impl Hash for AttrSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let ws = self.words();
+        let significant = ws.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        ws[..significant].hash(state)
+    }
+}
+
+// Ordering is lexicographic over the canonical (name-ordered) attribute
+// sequence, matching what the previous `BTreeSet<Attr>` representation
+// produced and keeping ordered collections of attribute sets deterministic
+// across runs despite unstable interning ids.
+impl PartialOrd for AttrSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self == other {
+            return std::cmp::Ordering::Equal;
+        }
+        // Resolve both sides under a single interner lock and compare the
+        // sorted name sequences as borrowed strings — no `Attr` construction
+        // or `Arc` clones per comparison.
+        let inner = AttrUniverse::global().inner.read().unwrap();
+        let mut a: Vec<&str> = self.ids().map(|id| &*inner.names[id as usize]).collect();
+        let mut b: Vec<&str> = other.ids().map(|id| &*inner.names[id as usize]).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a.cmp(&b)
+    }
+}
+
 impl fmt::Debug for AttrSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self)
@@ -223,7 +608,7 @@ impl fmt::Debug for AttrSet {
 impl fmt::Display for AttrSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, a) in self.0.iter().enumerate() {
+        for (i, a) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -235,29 +620,37 @@ impl fmt::Display for AttrSet {
 
 impl FromIterator<Attr> for AttrSet {
     fn from_iter<T: IntoIterator<Item = Attr>>(iter: T) -> Self {
-        AttrSet(iter.into_iter().collect())
+        let mut s = AttrSet::empty();
+        for a in iter {
+            s.insert(a);
+        }
+        s
     }
 }
 
 impl<'a> FromIterator<&'a Attr> for AttrSet {
     fn from_iter<T: IntoIterator<Item = &'a Attr>>(iter: T) -> Self {
-        AttrSet(iter.into_iter().cloned().collect())
+        let mut s = AttrSet::empty();
+        for a in iter {
+            s.insert(a.clone());
+        }
+        s
     }
 }
 
 impl IntoIterator for AttrSet {
     type Item = Attr;
-    type IntoIter = std::collections::btree_set::IntoIter<Attr>;
+    type IntoIter = std::vec::IntoIter<Attr>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.into_iter()
+        self.iter()
     }
 }
 
-impl<'a> IntoIterator for &'a AttrSet {
-    type Item = &'a Attr;
-    type IntoIter = std::collections::btree_set::Iter<'a, Attr>;
+impl IntoIterator for &AttrSet {
+    type Item = Attr;
+    type IntoIter = std::vec::IntoIter<Attr>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.iter()
     }
 }
 
@@ -305,6 +698,7 @@ mod tests {
         let b = Attr::new("B");
         let a2 = Attr::new("A");
         assert_eq!(a, a2);
+        assert_eq!(a.id(), a2.id(), "interning is stable");
         assert_ne!(a, b);
         assert!(a < b);
         assert_eq!(a.name(), "A");
@@ -314,6 +708,12 @@ mod tests {
     fn attr_display() {
         assert_eq!(format!("{}", Attr::new("salary")), "salary");
         assert_eq!(format!("{:?}", Attr::new("salary")), "salary");
+    }
+
+    #[test]
+    fn attr_from_id_round_trips() {
+        let a = Attr::new("round-trip-attr");
+        assert_eq!(Attr::from_id(a.id()), a);
     }
 
     #[test]
@@ -392,6 +792,7 @@ mod tests {
         let x = attrs!["salary", "jobtype"];
         assert!(x.contains_name("salary"));
         assert!(!x.contains_name("products"));
+        assert!(!x.contains_name("never-interned-name-xyzzy"));
     }
 
     #[test]
@@ -410,5 +811,69 @@ mod tests {
         let mut x = attrs!["A"];
         x.extend_with(&attrs!["B", "C"]);
         assert_eq!(x, attrs!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn spilled_sets_behave_like_inline_sets() {
+        // Force ids ≥ 64 to exercise the spilled representation.  The global
+        // universe is shared across tests, so generate enough fresh names to
+        // guarantee at least some land beyond the first word.
+        let names: Vec<String> = (0..96).map(|i| format!("spill-test-{:03}", i)).collect();
+        let all = AttrSet::from_names(&names);
+        assert_eq!(all.len(), 96);
+        let half = AttrSet::from_names(&names[..48]);
+        assert!(half.is_subset(&all));
+        assert!(!all.is_subset(&half));
+        assert_eq!(all.difference(&half).len(), 48);
+        assert_eq!(all.intersection(&half), half);
+        assert_eq!(half.union(&all), all);
+        // Mixed inline/spilled equality and hashing: removing the spilled
+        // members must make the set equal to its inline-only restriction.
+        let mut shrunk = all.clone();
+        for n in &names {
+            if !half.contains_name(n) {
+                assert!(shrunk.remove(&Attr::new(n)));
+            }
+        }
+        assert_eq!(shrunk, half);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |s: &AttrSet| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&shrunk), h(&half), "hash ignores trailing zero words");
+    }
+
+    #[test]
+    fn ids_iterates_every_member() {
+        let x = attrs!["A", "B", "C"];
+        let ids: Vec<u32> = x.ids().collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending id order");
+        for id in ids {
+            assert!(x.contains_id(id));
+            assert!(x.contains(&Attr::from_id(id)));
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_name_order_not_id_order() {
+        // Intern in reverse lexicographic order: ids are now anti-sorted
+        // relative to names, yet iteration must stay lexicographic.
+        let z = Attr::new("zzz-order-test");
+        let m = Attr::new("mmm-order-test");
+        let a = Attr::new("aaa-order-test");
+        assert!(z.id() < m.id() && m.id() < a.id());
+        let s: AttrSet = [z, m, a].into_iter().collect();
+        let names: Vec<&'static str> = vec!["aaa-order-test", "mmm-order-test", "zzz-order-test"];
+        assert_eq!(
+            s.iter().map(|x| x.name().to_string()).collect::<Vec<_>>(),
+            names
+        );
+        assert_eq!(
+            format!("{}", s),
+            "{aaa-order-test, mmm-order-test, zzz-order-test}"
+        );
     }
 }

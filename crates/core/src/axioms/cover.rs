@@ -7,7 +7,7 @@
 //! redundant members makes both cheaper without changing the constrained
 //! instances.
 
-use crate::axioms::closure::implies;
+use crate::axioms::closure::{implies, ClosureIndex};
 use crate::axioms::AxiomSystem;
 use crate::dep::DependencySet;
 
@@ -59,7 +59,9 @@ pub fn non_redundant_cover(sigma: &DependencySet, system: AxiomSystem) -> Depend
 /// Whether two dependency sets are equivalent under `system`: each implies
 /// every member of the other.
 pub fn equivalent(a: &DependencySet, b: &DependencySet, system: AxiomSystem) -> bool {
-    b.iter().all(|d| implies(a, d, system)) && a.iter().all(|d| implies(b, d, system))
+    let index_a = ClosureIndex::new(a);
+    let index_b = ClosureIndex::new(b);
+    b.iter().all(|d| index_a.implies(d, system)) && a.iter().all(|d| index_b.implies(d, system))
 }
 
 #[cfg(test)]

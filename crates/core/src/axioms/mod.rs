@@ -24,7 +24,7 @@ pub mod cover;
 pub mod derive;
 pub mod witness;
 
-pub use closure::{attr_closure, func_closure, implies, AdClosure};
+pub use closure::{attr_closure, func_closure, implies, AdClosure, ClosureIndex};
 pub use cover::{is_redundant, non_redundant_cover};
 pub use derive::{derive, saturate, Derivation, DerivationStep};
 pub use witness::{witness_relation, Witness};

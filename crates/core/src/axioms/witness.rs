@@ -17,7 +17,7 @@
 //! executable completeness oracle.
 
 use crate::attr::AttrSet;
-use crate::axioms::closure::{attr_closure, func_closure};
+use crate::axioms::closure::ClosureIndex;
 use crate::axioms::AxiomSystem;
 use crate::dep::{Dependency, DependencySet};
 use crate::error::{CoreError, Result};
@@ -96,11 +96,12 @@ pub fn witness_relation(
             "the universe must contain X and all attributes of the dependency set".into(),
         ));
     }
+    let index = ClosureIndex::new(sigma);
     let func = match system {
         AxiomSystem::R => x.clone(),
-        AxiomSystem::E => func_closure(x, sigma),
+        AxiomSystem::E => index.func_closure(x),
     };
-    let attr = attr_closure(x, sigma, system);
+    let attr = index.attr_closure(x, system);
 
     let t1: Tuple = universe
         .iter()
@@ -109,7 +110,7 @@ pub fn witness_relation(
     let t2: Tuple = attr
         .iter()
         .map(|a| {
-            let v = if func.contains(a) {
+            let v = if func.contains(&a) {
                 Value::Int(1)
             } else {
                 Value::Int(0)

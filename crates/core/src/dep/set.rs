@@ -1,5 +1,6 @@
 //! Sets of mixed dependencies (the `AF` of the completeness proof).
 
+use std::collections::HashSet;
 use std::fmt;
 
 use crate::attr::AttrSet;
@@ -9,32 +10,50 @@ use crate::tuple::Tuple;
 
 /// An ordered collection of [`Dependency`] values (FDs and ADs), as attached
 /// to a flexible relation scheme or handed to the axiom systems.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+///
+/// Iteration order is insertion order (first insertion wins on duplicates);
+/// a hash index alongside the ordered storage makes [`DependencySet::add`]
+/// and [`DependencySet::contains`] O(1) instead of an O(n) scan, which is
+/// what keeps axiom saturation and propagation from going quadratic in |Σ|.
+#[derive(Clone, Debug, Default)]
 pub struct DependencySet {
     deps: Vec<Dependency>,
+    index: HashSet<Dependency>,
 }
+
+// Equality is over the ordered contents; the index is derived state.
+impl PartialEq for DependencySet {
+    fn eq(&self, other: &Self) -> bool {
+        self.deps == other.deps
+    }
+}
+
+impl Eq for DependencySet {}
 
 impl DependencySet {
     /// The empty dependency set.
     pub fn new() -> Self {
-        DependencySet { deps: Vec::new() }
+        DependencySet::default()
     }
 
     /// Builds a set from an iterator of dependencies.
+    ///
+    /// Unlike [`DependencySet::add`], this preserves the given sequence
+    /// verbatim, duplicates included (matching the original constructor).
     pub fn from_deps<I, D>(deps: I) -> Self
     where
         I: IntoIterator<Item = D>,
         D: Into<Dependency>,
     {
-        DependencySet {
-            deps: deps.into_iter().map(Into::into).collect(),
-        }
+        let deps: Vec<Dependency> = deps.into_iter().map(Into::into).collect();
+        let index = deps.iter().cloned().collect();
+        DependencySet { deps, index }
     }
 
     /// Adds a dependency (duplicates are ignored).
     pub fn add(&mut self, dep: impl Into<Dependency>) {
         let dep = dep.into();
-        if !self.deps.contains(&dep) {
+        if self.index.insert(dep.clone()) {
             self.deps.push(dep);
         }
     }
@@ -51,7 +70,7 @@ impl DependencySet {
 
     /// Whether the given dependency is syntactically contained in the set.
     pub fn contains(&self, dep: &Dependency) -> bool {
-        self.deps.contains(dep)
+        self.index.contains(dep)
     }
 
     /// Iterates over all dependencies.
@@ -118,22 +137,24 @@ impl DependencySet {
 
     /// Removes and returns the dependency at `index`.
     pub fn remove(&mut self, index: usize) -> Dependency {
-        self.deps.remove(index)
+        let removed = self.deps.remove(index);
+        // `from_deps` may have stored duplicates; only drop the hash entry
+        // when the last occurrence goes.
+        if !self.deps.contains(&removed) {
+            self.index.remove(&removed);
+        }
+        removed
     }
 
     /// A new set containing only the attribute dependencies (abbreviated and
     /// explicit).
     pub fn only_ads(&self) -> DependencySet {
-        DependencySet {
-            deps: self.deps.iter().filter(|d| d.is_ad()).cloned().collect(),
-        }
+        DependencySet::from_deps(self.deps.iter().filter(|d| d.is_ad()).cloned())
     }
 
     /// A new set containing only the functional dependencies.
     pub fn only_fds(&self) -> DependencySet {
-        DependencySet {
-            deps: self.deps.iter().filter(|d| d.is_fd()).cloned().collect(),
-        }
+        DependencySet::from_deps(self.deps.iter().filter(|d| d.is_fd()).cloned())
     }
 
     /// Union of two dependency sets (duplicates removed).
@@ -196,6 +217,39 @@ mod tests {
         assert_eq!(s.len(), 2);
         s.add(Ad::new(attrs!["jobtype"], attrs!["products"]));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_insertion_order_stable() {
+        // The hash dedup index must not disturb the observable order: the set
+        // iterates in first-insertion order, duplicates are dropped, and
+        // removal keeps the relative order of the survivors.
+        let mut s = DependencySet::new();
+        let deps: Vec<Dependency> = vec![
+            Ad::new(attrs!["z"], attrs!["y"]).into(),
+            Fd::new(attrs!["a"], attrs!["b"]).into(),
+            Ad::new(attrs!["m"], attrs!["n"]).into(),
+            Fd::new(attrs!["z"], attrs!["a"]).into(),
+        ];
+        for d in &deps {
+            s.add(d.clone());
+        }
+        // Re-adding earlier members must neither duplicate nor reorder.
+        s.add(deps[2].clone());
+        s.add(deps[0].clone());
+        let got: Vec<&Dependency> = s.iter().collect();
+        assert_eq!(got, deps.iter().collect::<Vec<_>>());
+        assert!(deps.iter().all(|d| s.contains(d)));
+        // Removal preserves the order of the remaining members.
+        let removed = s.remove(1);
+        assert_eq!(removed, deps[1]);
+        assert!(!s.contains(&deps[1]));
+        let got: Vec<&Dependency> = s.iter().collect();
+        assert_eq!(got, vec![&deps[0], &deps[2], &deps[3]]);
+        // And adding the removed member again appends at the end.
+        s.add(deps[1].clone());
+        let got: Vec<&Dependency> = s.iter().collect();
+        assert_eq!(got, vec![&deps[0], &deps[2], &deps[3], &deps[1]]);
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl SubtypeFamily {
         let super_attrs = w.difference(ead.rhs());
         let mut supertype = RecordType::new(format!("{}_type", name));
         for a in super_attrs.iter() {
-            supertype.add_field(a.clone(), domain_of(a));
+            supertype.add_field(a.clone(), domain_of(&a));
         }
 
         // One subtype per variant: (W − Y) ∪ Yi with X restricted to Vi.
@@ -89,7 +89,7 @@ impl SubtypeFamily {
             let attrs = super_attrs.union(&variant.attrs);
             let mut ty = RecordType::new(format!("{}_variant_{}", name, i));
             for a in attrs.iter() {
-                ty.add_field(a.clone(), domain_of(a));
+                ty.add_field(a.clone(), domain_of(&a));
             }
             // Restrict each determining attribute to the values occurring for
             // it inside Vi.
@@ -97,9 +97,9 @@ impl SubtypeFamily {
                 let values: Vec<_> = variant
                     .values
                     .iter()
-                    .filter_map(|t| t.get(x_attr).cloned())
+                    .filter_map(|t| t.get(&x_attr).cloned())
                     .collect();
-                ty = ty.restrict_field(x_attr, values);
+                ty = ty.restrict_field(&x_attr, values);
             }
             subtypes.push(ty);
         }

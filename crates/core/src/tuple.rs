@@ -14,18 +14,52 @@ use crate::value::Value;
 /// A tuple: a finite mapping from attributes to values.
 ///
 /// The map is ordered by attribute name so that tuples have a canonical
-/// rendering and `attrs()` is cheap to compute deterministically.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// rendering; the tuple additionally caches its shape `attr(t)` as a bitset
+/// so that the ubiquitous type guard `X ⊆ attr(t)` (Def. 4.1/4.2) is a
+/// word-level subset test instead of per-attribute map lookups.
+#[derive(Clone, Default)]
 pub struct Tuple {
     values: BTreeMap<Attr, Value>,
+    shape: AttrSet,
+}
+
+// Equality, ordering and hashing are over the value map alone: the shape is
+// derived state (it is exactly the key set of `values`).
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
+impl Eq for Tuple {}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.values.cmp(&other.values)
+    }
+}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.values.hash(state)
+    }
 }
 
 impl Tuple {
     /// The empty tuple (defined on no attributes).
     pub fn empty() -> Self {
-        Tuple {
-            values: BTreeMap::new(),
-        }
+        Tuple::default()
+    }
+
+    fn from_map(values: BTreeMap<Attr, Value>) -> Self {
+        let shape = values.keys().collect();
+        Tuple { values, shape }
     }
 
     /// Starts building a tuple: `Tuple::new().with("salary", 5000)…`.
@@ -35,7 +69,7 @@ impl Tuple {
 
     /// Builder-style insertion of an attribute/value pair.
     pub fn with(mut self, attr: impl Into<Attr>, value: impl Into<Value>) -> Self {
-        self.values.insert(attr.into(), value.into());
+        self.insert(attr, value);
         self
     }
 
@@ -46,27 +80,33 @@ impl Tuple {
         A: Into<Attr>,
         V: Into<Value>,
     {
-        Tuple {
-            values: pairs
+        Tuple::from_map(
+            pairs
                 .into_iter()
                 .map(|(a, v)| (a.into(), v.into()))
                 .collect(),
-        }
+        )
     }
 
     /// Inserts (or replaces) a value for an attribute.
     pub fn insert(&mut self, attr: impl Into<Attr>, value: impl Into<Value>) {
-        self.values.insert(attr.into(), value.into());
+        let attr = attr.into();
+        self.shape.insert(attr.clone());
+        self.values.insert(attr, value.into());
     }
 
     /// Removes an attribute from the tuple, returning its value if present.
     pub fn remove(&mut self, attr: &Attr) -> Option<Value> {
-        self.values.remove(attr)
+        let removed = self.values.remove(attr);
+        if removed.is_some() {
+            self.shape.remove(attr);
+        }
+        removed
     }
 
     /// `attr(t)`: the attribute set this tuple is defined on.
     pub fn attrs(&self) -> AttrSet {
-        self.values.keys().collect()
+        self.shape.clone()
     }
 
     /// Number of attributes the tuple is defined on.
@@ -81,7 +121,7 @@ impl Tuple {
 
     /// Whether the tuple is defined on attribute `a`.
     pub fn has(&self, a: &Attr) -> bool {
-        self.values.contains_key(a)
+        self.shape.contains(a)
     }
 
     /// Whether the tuple is defined on an attribute with the given name.
@@ -92,7 +132,7 @@ impl Tuple {
     /// Whether the tuple is defined on *all* attributes of `x` (the type
     /// guard `X ⊆ attr(t)` used by Def. 4.1/4.2).
     pub fn defined_on(&self, x: &AttrSet) -> bool {
-        x.iter().all(|a| self.values.contains_key(a))
+        x.is_subset(&self.shape)
     }
 
     /// The value of attribute `a`, if the tuple is defined on it.
@@ -117,16 +157,18 @@ impl Tuple {
                 .filter(|(a, _)| x.contains(a))
                 .map(|(a, v)| (a.clone(), v.clone()))
                 .collect(),
+            shape: self.shape.intersection(x),
         }
     }
 
     /// Whether two tuples agree on `x`: both are defined on all of `x` and
     /// have equal values there (`X ⊆ attr(t1) ∧ X ⊆ attr(t2) ∧ t1[X] = t2[X]`).
     pub fn agrees_on(&self, other: &Tuple, x: &AttrSet) -> bool {
-        x.iter().all(|a| match (self.get(a), other.get(a)) {
-            (Some(v1), Some(v2)) => v1 == v2,
-            _ => false,
-        })
+        if !x.is_subset(&self.shape) || !x.is_subset(&other.shape) {
+            return false;
+        }
+        x.iter_unordered()
+            .all(|a| self.values.get(&a) == other.values.get(&a))
     }
 
     /// Extends the tuple with all attribute/value pairs of `other`.  On
@@ -137,13 +179,16 @@ impl Tuple {
         for (a, v) in &other.values {
             values.insert(a.clone(), v.clone());
         }
-        Tuple { values }
+        Tuple {
+            values,
+            shape: self.shape.union(&other.shape),
+        }
     }
 
     /// Whether the tuples are *join-compatible*: they agree on every attribute
     /// they are both defined on.
     pub fn joinable_with(&self, other: &Tuple) -> bool {
-        let common = self.attrs().intersection(&other.attrs());
+        let common = self.shape.intersection(&other.shape);
         self.agrees_on(other, &common)
     }
 
@@ -158,21 +203,20 @@ impl Tuple {
         if let Some(v) = values.remove(from) {
             values.insert(to.clone(), v);
         }
-        Tuple { values }
+        Tuple::from_map(values)
     }
 
     /// Strips all attributes whose value is [`Value::Null`].  Used when
     /// converting from the null-padded baseline representation back into a
     /// flexible tuple.
     pub fn without_nulls(&self) -> Tuple {
-        Tuple {
-            values: self
-                .values
+        Tuple::from_map(
+            self.values
                 .iter()
                 .filter(|(_, v)| !v.is_null())
                 .map(|(a, v)| (a.clone(), v.clone()))
                 .collect(),
-        }
+        )
     }
 
     /// Pads the tuple with [`Value::Null`] for every attribute of `universe`
@@ -182,7 +226,10 @@ impl Tuple {
         for a in universe.iter() {
             values.entry(a.clone()).or_insert(Value::Null);
         }
-        Tuple { values }
+        Tuple {
+            values,
+            shape: self.shape.union(universe),
+        }
     }
 }
 
@@ -207,9 +254,7 @@ impl fmt::Display for Tuple {
 
 impl FromIterator<(Attr, Value)> for Tuple {
     fn from_iter<T: IntoIterator<Item = (Attr, Value)>>(iter: T) -> Self {
-        Tuple {
-            values: iter.into_iter().collect(),
-        }
+        Tuple::from_map(iter.into_iter().collect())
     }
 }
 

@@ -189,13 +189,15 @@ fn variant_outcome(ead: &Ead, ctx: &SelectionContext, guard: &AttrSet) -> Varian
     // selection's equalities on the determining attributes.  If the
     // equalities do not pin all of X we must also consider "no variant".
     let pinned = ctx.equalities.project(ead.lhs());
-    let fully_pinned = pinned.attrs() == *ead.lhs();
+    let pinned_attrs = pinned.attrs();
+    let fully_pinned = pinned_attrs == *ead.lhs();
     let mut possible_required: Vec<AttrSet> = Vec::new();
     for variant in ead.variants() {
-        let consistent = variant
-            .values
-            .iter()
-            .any(|v| pinned.attrs().iter().all(|a| v.get(a) == pinned.get(a)));
+        let consistent = variant.values.iter().any(|v| {
+            pinned_attrs
+                .iter_unordered()
+                .all(|a| v.get(&a) == pinned.get(&a))
+        });
         if consistent {
             possible_required.push(variant.attrs.clone());
         }

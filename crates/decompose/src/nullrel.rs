@@ -104,8 +104,8 @@ fn row_consistent(t: &Tuple, tag_attr: &Attr, ead: &Ead) -> bool {
     // the flat translation handles.)
     let required = ead.required_attrs(&probe);
     for y in ead.rhs().iter() {
-        let non_null = t.get(y).map(|v| !v.is_null()).unwrap_or(false);
-        if required.contains(y) != non_null {
+        let non_null = t.get(&y).map(|v| !v.is_null()).unwrap_or(false);
+        if required.contains(&y) != non_null {
             return false;
         }
     }
@@ -141,7 +141,7 @@ pub fn to_null_padded(rel: &FlexRelation, ead: &Ead) -> Result<NullPaddedRelatio
         // consistency check can interpret it.
         let mut padded = t.null_padded(&rel.attrs());
         let det_value = t
-            .get(ead.lhs().iter().next().unwrap())
+            .get(&ead.lhs().iter().next().unwrap())
             .cloned()
             .unwrap_or(Value::Null);
         let _ = tag_value;

@@ -124,7 +124,7 @@ pub fn pascal_record(
     // One sub-record per EAD (its variant part).
     for (gi, ead) in eads.iter().enumerate() {
         let det = ead.lhs().iter().next().expect("single determinant");
-        let det_domain = domain_of(domains, det);
+        let det_domain = domain_of(domains, &det);
         let group_name = format!("{}_group{}", record_name, gi);
         out.push_str(&format!("  {} = record\n", group_name));
         out.push_str(&format!(
@@ -136,7 +136,7 @@ pub fn pascal_record(
             let label = variant
                 .values
                 .first()
-                .and_then(|v| v.get(det))
+                .and_then(|v| v.get(&det))
                 .map(|v| identifier(&v.to_string()))
                 .unwrap_or_else(|| format!("v{}", vi));
             let fields: Vec<String> = variant
@@ -146,7 +146,7 @@ pub fn pascal_record(
                     format!(
                         "{} : {}",
                         identifier(a.name()),
-                        pascal_type(&domain_of(domains, a))
+                        pascal_type(&domain_of(domains, &a))
                     )
                 })
                 .collect();
@@ -162,7 +162,7 @@ pub fn pascal_record(
         out.push_str(&format!(
             "    {} : {};\n",
             identifier(a.name()),
-            pascal_type(&domain_of(domains, a))
+            pascal_type(&domain_of(domains, &a))
         ));
     }
     for g in &group_records {

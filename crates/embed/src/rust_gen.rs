@@ -117,7 +117,7 @@ pub fn rust_types(
             let label = variant
                 .values
                 .first()
-                .and_then(|v| v.get(det))
+                .and_then(|v| v.get(&det))
                 .and_then(|v| v.as_str().map(camel))
                 .unwrap_or_else(|| format!("V{}", vi));
             if variant.attrs.is_empty() {
@@ -128,7 +128,7 @@ pub fn rust_types(
                     out.push_str(&format!(
                         "        {}: {},\n",
                         snake(a.name()),
-                        rust_type(&domain_of(domains, a))
+                        rust_type(&domain_of(domains, &a))
                     ));
                 }
                 out.push_str("    },\n");
@@ -146,7 +146,7 @@ pub fn rust_types(
         out.push_str(&format!(
             "    pub {}: {},\n",
             snake(a.name()),
-            rust_type(&domain_of(domains, a))
+            rust_type(&domain_of(domains, &a))
         ));
     }
     for (gi, enum_name) in &enum_names {

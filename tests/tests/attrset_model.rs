@@ -1,0 +1,146 @@
+//! Model-based property tests for the bitset [`AttrSet`].
+//!
+//! The model is a plain `BTreeSet<String>` of attribute names — exactly the
+//! observable behaviour of the original `BTreeSet<Attr>` representation.  For
+//! random pairs of sets drawn from a pool large enough to force the spilled
+//! (multi-word) bitset path, every algebraic operation, every predicate and
+//! the canonical iteration order must agree with the model.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use flexrel_core::attr::{Attr, AttrSet};
+
+/// A deterministic pool of attribute names.  The `wide-*` names push the
+/// interned id space well past 64 so that sets drawn from the tail of the
+/// pool exercise the spilled representation, while the `p*` names stay in
+/// (or near) the inline word.
+fn name_pool() -> Vec<String> {
+    let mut pool: Vec<String> = (0..40).map(|i| format!("p{:02}", i)).collect();
+    pool.extend((0..80).map(|i| format!("wide-{:03}", i)));
+    pool
+}
+
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Draws a random sub-multiset of the pool as (bitset, model) twins.
+fn draw(seed: &mut u64, pool: &[String], max_len: usize) -> (AttrSet, BTreeSet<String>) {
+    let len = (split_mix(seed) as usize) % (max_len + 1);
+    let mut set = AttrSet::empty();
+    let mut model = BTreeSet::new();
+    for _ in 0..len {
+        let name = &pool[(split_mix(seed) as usize) % pool.len()];
+        // Exercise both insert paths and assert they agree on novelty.
+        let fresh_model = model.insert(name.clone());
+        let fresh_set = set.insert(Attr::new(name));
+        assert_eq!(fresh_set, fresh_model, "insert novelty for {}", name);
+    }
+    (set, model)
+}
+
+fn names_of(set: &AttrSet) -> Vec<String> {
+    set.iter().map(|a| a.name().to_string()).collect()
+}
+
+fn model_names(model: &BTreeSet<String>) -> Vec<String> {
+    model.iter().cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union, intersection and difference agree with the set-of-strings
+    /// model, element for element and in canonical (lexicographic) order.
+    #[test]
+    fn algebra_matches_model(seed in 0u64..1_000_000) {
+        let pool = name_pool();
+        let mut s = seed;
+        let (a, ma) = draw(&mut s, &pool, 48);
+        let (b, mb) = draw(&mut s, &pool, 48);
+
+        let union: Vec<String> = ma.union(&mb).cloned().collect();
+        prop_assert_eq!(names_of(&a.union(&b)), union);
+
+        let inter: Vec<String> = ma.intersection(&mb).cloned().collect();
+        prop_assert_eq!(names_of(&a.intersection(&b)), inter);
+
+        let diff: Vec<String> = ma.difference(&mb).cloned().collect();
+        prop_assert_eq!(names_of(&a.difference(&b)), diff);
+
+        let rdiff: Vec<String> = mb.difference(&ma).cloned().collect();
+        prop_assert_eq!(names_of(&b.difference(&a)), rdiff);
+
+        // extend_with is in-place union.
+        let mut extended = a.clone();
+        extended.extend_with(&b);
+        prop_assert_eq!(&extended, &a.union(&b));
+
+        // The algebra results compare equal regardless of how they were
+        // reached (union twice, or rebuilt from names).
+        prop_assert_eq!(AttrSet::from_names(union), a.union(&b));
+    }
+
+    /// Subset, superset, disjointness, membership and sizes agree with the
+    /// model.
+    #[test]
+    fn predicates_match_model(seed in 0u64..1_000_000) {
+        let pool = name_pool();
+        let mut s = seed;
+        let (a, ma) = draw(&mut s, &pool, 48);
+        let (b, mb) = draw(&mut s, &pool, 48);
+
+        prop_assert_eq!(a.len(), ma.len());
+        prop_assert_eq!(a.is_empty(), ma.is_empty());
+        prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+        prop_assert_eq!(a.is_superset(&b), ma.is_superset(&mb));
+        prop_assert_eq!(a.is_disjoint(&b), ma.is_disjoint(&mb));
+        prop_assert_eq!(a == b, ma == mb);
+        for name in &pool {
+            prop_assert_eq!(a.contains_name(name), ma.contains(name));
+            prop_assert_eq!(a.contains(&Attr::new(name)), ma.contains(name));
+        }
+        // A set is always a subset and superset of itself and never
+        // disjoint from itself unless empty.
+        prop_assert!(a.is_subset(&a));
+        prop_assert!(a.is_superset(&a));
+        prop_assert_eq!(a.is_disjoint(&a), a.is_empty());
+    }
+
+    /// Iteration (`iter`, `to_vec`, `IntoIterator`, `Display`) is in the
+    /// model's sorted order, and removal keeps the twins in sync.
+    #[test]
+    fn iteration_order_and_removal_match_model(seed in 0u64..1_000_000) {
+        let pool = name_pool();
+        let mut s = seed;
+        let (a, ma) = draw(&mut s, &pool, 48);
+
+        prop_assert_eq!(names_of(&a), model_names(&ma));
+        let via_to_vec: Vec<String> = a.to_vec().iter().map(|x| x.name().to_string()).collect();
+        prop_assert_eq!(via_to_vec, model_names(&ma));
+        let via_into: Vec<String> = (&a).into_iter().map(|x| x.name().to_string()).collect();
+        prop_assert_eq!(via_into, model_names(&ma));
+        let rendered: Vec<String> = model_names(&ma);
+        prop_assert_eq!(format!("{}", a), format!("{{{}}}", rendered.join(", ")));
+
+        // Remove a random half of the members from both twins.
+        let mut set = a.clone();
+        let mut model = ma.clone();
+        for name in &rendered {
+            if split_mix(&mut s).is_multiple_of(2) {
+                prop_assert!(set.remove(&Attr::new(name)));
+                prop_assert!(model.remove(name));
+                // Double removal reports absence on both sides.
+                prop_assert!(!set.remove(&Attr::new(name)));
+            }
+        }
+        prop_assert_eq!(names_of(&set), model_names(&model));
+        prop_assert_eq!(set.len(), model.len());
+    }
+}
