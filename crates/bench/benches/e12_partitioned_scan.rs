@@ -1,0 +1,46 @@
+//! E12: shape-partitioned scans — partition pruning vs. full scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_query::prelude::*;
+use flexrel_storage::{Database, RelationDef};
+use flexrel_workload::{generate_wide, wide_relation, WideConfig};
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 10_000;
+    const VARIANTS: usize = 8;
+    let mut db = Database::new();
+    db.create_relation(RelationDef::from_relation(&wide_relation(VARIANTS)))
+        .unwrap();
+    for t in generate_wide(&WideConfig::new(N, VARIANTS)) {
+        db.insert("wide", t).unwrap();
+    }
+    let parsed = parse("SELECT * FROM wide WHERE kind = 'k0'").unwrap();
+    let naive = plan_query(&parsed, db.catalog()).unwrap();
+    let (pruned, _) = optimize(naive.clone(), db.catalog());
+
+    let mut g = c.benchmark_group("e12_partitioned_scan");
+    g.sample_size(10);
+    g.bench_function("full_scan_filter", |b| {
+        b.iter(|| execute(&naive, &db).unwrap().len())
+    });
+    g.bench_function("partition_pruned_scan", |b| {
+        b.iter(|| execute(&pruned, &db).unwrap().len())
+    });
+    g.bench_function("insert_memoized_typecheck", |b| {
+        let batch = generate_wide(&WideConfig::new(1_000, VARIANTS));
+        b.iter(|| {
+            let mut db = Database::new();
+            db.create_relation(RelationDef::from_relation(&wide_relation(VARIANTS)))
+                .unwrap();
+            let mut n = 0usize;
+            for t in batch.iter() {
+                n += db.insert("wide", t.clone()).is_ok() as usize;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

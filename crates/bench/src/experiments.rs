@@ -29,8 +29,9 @@ use flexrel_embed::{
 use flexrel_query::prelude::*;
 use flexrel_storage::{Database, RelationDef};
 use flexrel_workload::{
-    employee_domains, employee_relation, generate_employees, random_dependency_set, random_ead,
-    random_scheme, DepGenConfig, EmployeeConfig, SchemeGenConfig,
+    employee_domains, employee_relation, generate_employees, generate_wide, random_dependency_set,
+    random_ead, random_scheme, wide_relation, DepGenConfig, EmployeeConfig, SchemeGenConfig,
+    WideConfig,
 };
 
 use crate::report::Table;
@@ -729,6 +730,113 @@ pub fn e10_er_mapping() -> Table {
     t
 }
 
+/// Builds a database holding the k-variant wide relation with `n` tuples
+/// (one heap partition per variant shape).
+fn wide_db(n: usize, variants: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationDef::from_relation(&wide_relation(variants)))
+        .unwrap();
+    for t in generate_wide(&WideConfig::new(n, variants)) {
+        db.insert("wide", t).unwrap();
+    }
+    db
+}
+
+/// E12 — shape-partitioned storage: partition-pruned scans vs. full scans
+/// on a multi-shape workload.
+///
+/// For a growing number of coexisting tuple shapes, the same FRQL query is
+/// executed twice: from the naive plan (full scan + filter) and from the
+/// optimized plan, whose scan carries a shape predicate so only the
+/// partitions that can contain qualifying tuples are read.  Both runs must
+/// return the same rows; the speedup column is full/pruned.
+pub fn e12_partition_pruning(scale: usize) -> Table {
+    let mut t = Table::new(
+        "E12: partition pruning — shape-pruned scans vs. full scans (k-variant workload)",
+        &[
+            "n",
+            "shapes",
+            "query",
+            "parts scanned",
+            "rows",
+            "full µs",
+            "pruned µs",
+            "speedup",
+        ],
+    );
+    const REPS: u32 = 5;
+    for variants in [4usize, 8, 16] {
+        let db = wide_db(scale, variants);
+        let queries = [
+            // EAD-region pruning: the equality on the determining attribute
+            // fixes the exact Y-overlap, so one partition survives.
+            "SELECT * FROM wide WHERE kind = 'k0'".to_string(),
+            // Containment pruning: the guard requires v1 present.
+            "SELECT * FROM wide GUARD v1".to_string(),
+        ];
+        for frql in queries {
+            let parsed = parse(&frql).unwrap();
+            let naive = plan_query(&parsed, db.catalog()).unwrap();
+            let (optimized, _) = optimize(naive.clone(), db.catalog());
+            let total_parts = db.partitions("wide").unwrap().len();
+            let scanned = db
+                .partitions("wide")
+                .unwrap()
+                .into_iter()
+                .filter(|p| plan_shape_admits(&optimized, &p.shape))
+                .count();
+
+            let mut rows_full = 0usize;
+            let start = Instant::now();
+            for _ in 0..REPS {
+                rows_full = execute(&naive, &db).unwrap().len();
+            }
+            let full_us = micros(start) / REPS as f64;
+
+            let mut rows_pruned = 0usize;
+            let start = Instant::now();
+            for _ in 0..REPS {
+                rows_pruned = execute(&optimized, &db).unwrap().len();
+            }
+            let pruned_us = micros(start) / REPS as f64;
+
+            assert_eq!(rows_full, rows_pruned, "pruning must not change results");
+            t.row([
+                scale.to_string(),
+                variants.to_string(),
+                frql.clone(),
+                format!("{}/{}", scanned, total_parts),
+                rows_pruned.to_string(),
+                format!("{:.1}", full_us),
+                format!("{:.1}", pruned_us),
+                format!("{:.2}x", full_us / pruned_us),
+            ]);
+        }
+    }
+    t
+}
+
+/// Whether the plan's scan shape predicate admits the given partition shape
+/// (plans without a shape predicate admit everything).
+fn plan_shape_admits(
+    plan: &flexrel_query::LogicalPlan,
+    shape: &flexrel_core::attr::AttrSet,
+) -> bool {
+    use flexrel_query::LogicalPlan as P;
+    match plan {
+        P::Empty => false,
+        P::Scan { shape: sp, .. } => sp.as_ref().map(|s| s.admits(shape)).unwrap_or(true),
+        P::Filter { input, .. }
+        | P::Project { input, .. }
+        | P::Guard { input, .. }
+        | P::Extend { input, .. } => plan_shape_admits(input, shape),
+        P::Join { left, right } => {
+            plan_shape_admits(left, shape) || plan_shape_admits(right, shape)
+        }
+        P::UnionAll { inputs } => inputs.iter().any(|p| plan_shape_admits(p, shape)),
+    }
+}
+
 /// Runs every experiment with harness-sized workloads, returning for each
 /// its id, table, and wall-clock duration in milliseconds.
 pub fn run_all_timed(scale: usize) -> Vec<(&'static str, Table, f64)> {
@@ -744,6 +852,7 @@ pub fn run_all_timed(scale: usize) -> Vec<(&'static str, Table, f64)> {
         ("E8", Box::new(move || e8_decomposition(scale / 2))),
         ("E9", Box::new(e9_embedding)),
         ("E10", Box::new(e10_er_mapping)),
+        ("E12", Box::new(move || e12_partition_pruning(scale))),
     ];
     experiments
         .into_iter()
@@ -840,6 +949,24 @@ mod tests {
         let flat_nulls: usize = t.rows[1][4].parse().unwrap();
         assert!(flat_cells > flex_cells);
         assert!(flat_nulls > 0);
+    }
+
+    #[test]
+    fn e12_prunes_partitions_and_preserves_results() {
+        let t = e12_partition_pruning(600);
+        assert_eq!(t.len(), 6, "three shape counts x two queries");
+        for row in &t.rows {
+            let (scanned, total) = row[3].split_once('/').unwrap();
+            let scanned: usize = scanned.parse().unwrap();
+            let total: usize = total.parse().unwrap();
+            assert_eq!(
+                scanned, 1,
+                "both query templates pin a single partition: {:?}",
+                row
+            );
+            assert_eq!(total, row[1].parse::<usize>().unwrap());
+            assert!(row[7].ends_with('x'));
+        }
     }
 
     #[test]

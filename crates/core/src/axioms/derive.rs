@@ -1,6 +1,6 @@
 //! Constructive derivations and a saturation engine for ℛ and ℰ.
 //!
-//! [`derive`] builds an explicit, step-by-step derivation of a dependency
+//! [`derive`](fn@derive) builds an explicit, step-by-step derivation of a dependency
 //! from a set Σ — every step is an exact instance of one rule of the chosen
 //! system, and [`Derivation::verify`] re-checks this mechanically.  The query
 //! optimizer uses these traces to *justify* rewrites such as the redundant

@@ -15,7 +15,7 @@
 //! * fast closure computation and implication tests ([`closure`]),
 //! * an explicit rule-application (saturation) engine with derivation traces,
 //!   used for explainability and the non-redundancy demonstrations
-//!   ([`derive`]),
+//!   ([`derive`](mod@derive)),
 //! * the two-tuple witness relation of the completeness proof ([`witness`]),
 //! * minimal covers for dependency sets ([`cover`]).
 

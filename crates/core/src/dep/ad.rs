@@ -76,14 +76,41 @@ impl Ad {
     pub fn find_violation(&self, tuples: &[Tuple]) -> Option<(usize, usize)> {
         use std::collections::HashMap;
         // Group by t[X] for tuples defined on X; remember the first index and
-        // the Y-shape of that group.
-        let mut groups: HashMap<Tuple, (usize, AttrSet)> = HashMap::new();
+        // the Y-shape of that group.  The group key borrows the X-values in a
+        // fixed attribute order instead of materializing a projected tuple;
+        // a single-attribute determinant (the common case) keys on the bare
+        // value without even a key vector.
+        let lhs_attrs: Vec<crate::attr::Attr> = self.lhs.iter_unordered().collect();
+        if let [single] = lhs_attrs.as_slice() {
+            let mut groups: HashMap<&crate::value::Value, (usize, AttrSet)> =
+                HashMap::with_capacity(tuples.len());
+            for (i, t) in tuples.iter().enumerate() {
+                let Some(v) = t.get(single) else { continue };
+                let shape = t.shape().intersection(&self.rhs);
+                match groups.get(v) {
+                    None => {
+                        groups.insert(v, (i, shape));
+                    }
+                    Some((j, expected)) => {
+                        if *expected != shape {
+                            return Some((*j, i));
+                        }
+                    }
+                }
+            }
+            return None;
+        }
+        let mut groups: HashMap<Vec<&crate::value::Value>, (usize, AttrSet)> =
+            HashMap::with_capacity(tuples.len());
         for (i, t) in tuples.iter().enumerate() {
             if !t.defined_on(&self.lhs) {
                 continue;
             }
-            let key = t.project(&self.lhs);
-            let shape = t.attrs().intersection(&self.rhs);
+            let key: Vec<&crate::value::Value> = lhs_attrs
+                .iter()
+                .map(|a| t.get(a).expect("defined on lhs"))
+                .collect();
+            let shape = t.shape().intersection(&self.rhs);
             match groups.get(&key) {
                 None => {
                     groups.insert(key, (i, shape));
@@ -102,6 +129,16 @@ impl Ad {
     /// returning a descriptive error if inserting it would violate the
     /// dependency.
     pub fn check_insert(&self, existing: &[Tuple], new: &Tuple) -> Result<()> {
+        self.check_insert_among(existing, new)
+    }
+
+    /// [`Ad::check_insert`] over any iterator of existing tuples — used by
+    /// the storage layer to check against borrowed index peers without
+    /// cloning them first.
+    pub fn check_insert_among<'a, I>(&self, existing: I, new: &Tuple) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
         if !new.defined_on(&self.lhs) {
             return Ok(());
         }

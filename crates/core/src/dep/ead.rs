@@ -32,6 +32,16 @@ impl EadVariant {
     pub fn matches(&self, x_value: &Tuple) -> bool {
         self.values.iter().any(|v| v == x_value)
     }
+
+    /// Whether `t[X]` belongs to this variant's value set `Vi`, for a tuple
+    /// `t` defined on all of `X` — equivalent to
+    /// `self.matches(&t.project(x))` but without materializing the
+    /// projection (the hot path of instance-wide EAD checking).
+    pub fn matches_restriction(&self, t: &Tuple) -> bool {
+        self.values
+            .iter()
+            .any(|v| v.iter().all(|(a, val)| t.get(a) == Some(val)))
+    }
 }
 
 /// An explicit attribute dependency (EAD, Def. 2.1):
@@ -130,6 +140,15 @@ impl Ead {
             .find(|(_, v)| v.matches(x_value))
     }
 
+    /// Looks up the variant matched by `t[X]` for a tuple defined on all of
+    /// `X`, without materializing the projection.
+    pub fn variant_for_restriction(&self, t: &Tuple) -> Option<(usize, &EadVariant)> {
+        self.variants
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.matches_restriction(t))
+    }
+
     /// The subset of `Y` a tuple with determining value `x_value` must carry:
     /// `Yi` if some variant matches, `∅` otherwise.
     pub fn required_attrs(&self, x_value: &Tuple) -> AttrSet {
@@ -145,15 +164,20 @@ impl Ead {
     /// is not a full tuple over `X` matches no `Vi` and must therefore carry
     /// no attribute of `Y`.
     pub fn check_tuple(&self, t: &Tuple) -> Result<()> {
-        let actual = t.attrs().intersection(&self.rhs);
-        let required = if t.defined_on(&self.lhs) {
-            self.required_attrs(&t.project(&self.lhs))
+        let actual = t.shape().intersection(&self.rhs);
+        let matched = if t.defined_on(&self.lhs) {
+            self.variant_for_restriction(t).map(|(_, v)| &v.attrs)
         } else {
-            AttrSet::empty()
+            None
         };
-        if actual == required {
+        let ok = match matched {
+            Some(required) => actual == *required,
+            None => actual.is_empty(),
+        };
+        if ok {
             Ok(())
         } else {
+            let required = matched.cloned().unwrap_or_else(AttrSet::empty);
             Err(CoreError::AdViolation {
                 dependency: self.to_string(),
                 detail: format!(

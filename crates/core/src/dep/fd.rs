@@ -76,31 +76,67 @@ impl Fd {
     /// all pairs within an `X`-group.
     pub fn find_violation(&self, tuples: &[Tuple]) -> Option<(usize, usize)> {
         use std::collections::HashMap;
-        let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();
-        for (i, t) in tuples.iter().enumerate() {
-            if t.defined_on(&self.lhs) {
-                groups.entry(t.project(&self.lhs)).or_default().push(i);
+        // The group key borrows the X-values in a fixed attribute order
+        // instead of materializing a projected tuple per input tuple; a
+        // single-attribute determinant (the common case) keys on the bare
+        // value without even a key vector.
+        let lhs_attrs: Vec<crate::attr::Attr> = self.lhs.iter_unordered().collect();
+        let check_groups = |groups: &[Vec<usize>]| -> Option<(usize, usize)> {
+            for indices in groups {
+                if indices.len() < 2 {
+                    continue;
+                }
+                let first = indices[0];
+                for &i in &indices[1..] {
+                    if !self.pair_satisfied(&tuples[first], &tuples[i]) {
+                        return Some((first, i));
+                    }
+                }
+                // All later tuples agree with the first on Y (and are
+                // defined on it), hence they pairwise agree as well;
+                // checking against the first representative suffices.
             }
-        }
-        for indices in groups.values() {
-            if indices.len() < 2 {
-                continue;
-            }
-            let first = indices[0];
-            for &i in &indices[1..] {
-                if !self.pair_satisfied(&tuples[first], &tuples[i]) {
-                    return Some((first, i));
+            None
+        };
+        if let [single] = lhs_attrs.as_slice() {
+            let mut groups: HashMap<&crate::value::Value, Vec<usize>> =
+                HashMap::with_capacity(tuples.len());
+            for (i, t) in tuples.iter().enumerate() {
+                if let Some(v) = t.get(single) {
+                    groups.entry(v).or_default().push(i);
                 }
             }
-            // All later tuples agree with the first on Y (and are defined on
-            // it), hence they pairwise agree as well; checking against the
-            // first representative suffices.
+            let groups: Vec<Vec<usize>> = groups.into_values().collect();
+            check_groups(&groups)
+        } else {
+            let mut groups: HashMap<Vec<&crate::value::Value>, Vec<usize>> =
+                HashMap::with_capacity(tuples.len());
+            for (i, t) in tuples.iter().enumerate() {
+                if t.defined_on(&self.lhs) {
+                    let key: Vec<&crate::value::Value> = lhs_attrs
+                        .iter()
+                        .map(|a| t.get(a).expect("defined on lhs"))
+                        .collect();
+                    groups.entry(key).or_default().push(i);
+                }
+            }
+            let groups: Vec<Vec<usize>> = groups.into_values().collect();
+            check_groups(&groups)
         }
-        None
     }
 
     /// Checks a new tuple against an existing instance.
     pub fn check_insert(&self, existing: &[Tuple], new: &Tuple) -> Result<()> {
+        self.check_insert_among(existing, new)
+    }
+
+    /// [`Fd::check_insert`] over any iterator of existing tuples — used by
+    /// the storage layer to check against borrowed index peers without
+    /// cloning them first.
+    pub fn check_insert_among<'a, I>(&self, existing: I, new: &Tuple) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
         if !new.defined_on(&self.lhs) {
             return Ok(());
         }

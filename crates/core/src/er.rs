@@ -163,7 +163,7 @@ pub fn enumerate_tuples(x: &AttrSet, domains: &[(&str, &Domain)]) -> Result<Vec<
             .map(|(_, d)| *d)
             .ok_or_else(|| CoreError::UnknownAttribute(a.name().to_string()))?;
         let values = match dom {
-            Domain::Enum(tags) => tags.iter().map(|t| Value::Tag(t.clone())).collect(),
+            Domain::Enum(tags) => tags.iter().map(|t| Value::Tag(t.as_str().into())).collect(),
             Domain::Finite(vals) => vals.iter().cloned().collect(),
             Domain::Bool => vec![Value::Bool(false), Value::Bool(true)],
             Domain::IntRange(lo, hi) if hi - lo < 1_000 => (*lo..=*hi).map(Value::Int).collect(),

@@ -9,7 +9,7 @@
 //! The crate provides:
 //!
 //! * the data model: attributes, typed values/domains, heterogeneous tuples
-//!   ([`attr`], [`value`], [`tuple`]);
+//!   ([`attr`], [`value`], [`tuple`](mod@tuple));
 //! * the generic flexible-scheme constructor `<at-least, at-most, {…}>` with
 //!   DNF unfolding and admissibility checks ([`scheme`]);
 //! * flexible relations with insert/update/delete and full type checking

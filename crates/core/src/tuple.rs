@@ -5,11 +5,81 @@
 //! defined on *different* attribute sets; the function `attr(t)` (here
 //! [`Tuple::attrs`]) yields the attribute set a tuple is defined on.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
 use crate::attr::{Attr, AttrSet};
 use crate::value::Value;
+
+/// A stable identifier of an interned tuple *shape* (an attribute set
+/// `attr(t)`).
+///
+/// Shapes are interned process-wide, exactly like attribute names: the first
+/// time a shape is seen it is assigned a dense `u32` id, and the same
+/// attribute set always maps to the same id for the lifetime of the process.
+/// The storage layer keys its heap partitions by `ShapeId`
+/// (`flexrel-storage`), so that all tuples with the same `attr(t)` — the
+/// same disjunct of the scheme's DNF — live together and a scan can skip
+/// whole partitions whose shape cannot satisfy a query.
+///
+/// Like attribute ids, shape ids are dense but *not* stable across runs
+/// (they depend on first-come interning order); anything order-sensitive
+/// must go through the resolved [`AttrSet`], see [`ShapeId::attrs`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShapeId(u32);
+
+impl ShapeId {
+    /// The dense interned index of this shape.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Resolves the shape back to its attribute set.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by [`Tuple::shape_id`] (or
+    /// [`ShapeId::intern`]) in this process.
+    pub fn attrs(self) -> AttrSet {
+        let inner = shape_universe().read().unwrap();
+        inner.shapes[self.0 as usize].clone()
+    }
+
+    /// Interns an arbitrary attribute set as a shape.
+    pub fn intern(shape: &AttrSet) -> ShapeId {
+        {
+            let inner = shape_universe().read().unwrap();
+            if let Some(&id) = inner.ids.get(shape) {
+                return ShapeId(id);
+            }
+        }
+        let mut inner = shape_universe().write().unwrap();
+        if let Some(&id) = inner.ids.get(shape) {
+            return ShapeId(id);
+        }
+        let id = u32::try_from(inner.shapes.len()).expect("shape universe exhausted u32 ids");
+        inner.shapes.push(shape.clone());
+        inner.ids.insert(shape.clone(), id);
+        ShapeId(id)
+    }
+}
+
+impl fmt::Display for ShapeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct ShapeUniverseInner {
+    shapes: Vec<AttrSet>,
+    ids: HashMap<AttrSet, u32>,
+}
+
+fn shape_universe() -> &'static RwLock<ShapeUniverseInner> {
+    static SHAPES: OnceLock<RwLock<ShapeUniverseInner>> = OnceLock::new();
+    SHAPES.get_or_init(|| RwLock::new(ShapeUniverseInner::default()))
+}
 
 /// A tuple: a finite mapping from attributes to values.
 ///
@@ -45,9 +115,18 @@ impl Ord for Tuple {
     }
 }
 
+// Hashes the shape bitset followed by the values in canonical attribute
+// order.  This is consistent with `Eq` (equal value maps have equal key sets,
+// hence equal shape bitsets, and equal values) while avoiding re-hashing the
+// attribute *names* — tuples are hash-map keys on several hot paths (hash
+// joins, determinant indexes, dependency grouping) and the shape words
+// already discriminate the attributes.
 impl std::hash::Hash for Tuple {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.values.hash(state)
+        self.shape.hash(state);
+        for v in self.values.values() {
+            v.hash(state);
+        }
     }
 }
 
@@ -107,6 +186,20 @@ impl Tuple {
     /// `attr(t)`: the attribute set this tuple is defined on.
     pub fn attrs(&self) -> AttrSet {
         self.shape.clone()
+    }
+
+    /// `attr(t)` by reference (no clone); the cached shape bitset.
+    pub fn shape(&self) -> &AttrSet {
+        &self.shape
+    }
+
+    /// The interned [`ShapeId`] of `attr(t)`.
+    ///
+    /// Tuples of the same shape share the id; the storage layer uses it to
+    /// route a tuple to its heap partition and to memoize shape-level type
+    /// checks (`X ⊆ attr(t)` guards and scheme membership) across inserts.
+    pub fn shape_id(&self) -> ShapeId {
+        ShapeId::intern(&self.shape)
     }
 
     /// Number of attributes the tuple is defined on.
@@ -379,6 +472,44 @@ mod tests {
         let s = t.to_string();
         assert!(s.starts_with('<') && s.ends_with('>'));
         assert!(s.contains("jobtype: 'salesman'"));
+    }
+
+    #[test]
+    fn shape_ids_are_interned_per_attribute_set() {
+        let a = tuple! {"x" => 1, "y" => 2};
+        let b = tuple! {"x" => 9, "y" => 0};
+        let c = tuple! {"x" => 1};
+        assert_eq!(a.shape_id(), b.shape_id(), "same shape, same id");
+        assert_ne!(a.shape_id(), c.shape_id());
+        assert_eq!(a.shape_id().attrs(), attrs!["x", "y"]);
+        assert_eq!(ShapeId::intern(&attrs!["x", "y"]), a.shape_id());
+        assert!(a.shape_id().to_string().starts_with('#'));
+        assert_eq!(a.shape(), &attrs!["x", "y"]);
+    }
+
+    #[test]
+    fn shape_id_tracks_mutation() {
+        let mut t = tuple! {"x" => 1};
+        let before = t.shape_id();
+        t.insert("y", 2);
+        assert_ne!(t.shape_id(), before);
+        t.remove(&Attr::new("y"));
+        assert_eq!(t.shape_id(), before);
+    }
+
+    #[test]
+    fn hash_is_consistent_with_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |t: &Tuple| {
+            let mut hasher = DefaultHasher::new();
+            t.hash(&mut hasher);
+            hasher.finish()
+        };
+        let a = tuple! {"x" => 1, "y" => "s"};
+        let b = Tuple::new().with("y", "s").with("x", 1);
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
     }
 
     #[test]

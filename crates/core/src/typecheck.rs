@@ -225,7 +225,7 @@ fn variant_outcome(ead: &Ead, ctx: &SelectionContext, guard: &AttrSet) -> Varian
 
 /// A bundled type checker for a flexible relation: scheme, domains and
 /// dependencies.  It offers the insert-time checks of
-/// [`FlexRelation`](crate::relation::FlexRelation) on loose tuples, which is
+/// [`FlexRelation`] on loose tuples, which is
 /// what the storage and query layers need when tuples flow through operators
 /// rather than living in a base relation.
 #[derive(Clone, Debug)]

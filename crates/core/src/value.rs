@@ -13,6 +13,7 @@
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{CoreError, Result};
 
@@ -24,13 +25,15 @@ pub enum Value {
     /// 64-bit float.  Ordered via total ordering (NaN sorts last) so values
     /// can live in ordered sets.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string.  Stored behind a shared pointer so that cloning a
+    /// tuple (the bread and butter of selections, joins and peer checks)
+    /// bumps a refcount instead of copying the bytes.
+    Str(Arc<str>),
     /// Boolean.
     Bool(bool),
     /// A tag from an enumerated domain (e.g. `jobtype : 'secretary'`).
     /// Distinguished from `Str` so that enumeration domains can be closed.
-    Tag(String),
+    Tag(Arc<str>),
     /// SQL-style null.  Only used by the null-padded baseline representation;
     /// never legal inside a flexible relation.
     Null,
@@ -39,12 +42,12 @@ pub enum Value {
 impl Value {
     /// Convenience constructor for string values.
     pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+        Value::Str(s.into().into())
     }
 
     /// Convenience constructor for enumeration tags.
     pub fn tag(s: impl Into<String>) -> Self {
-        Value::Tag(s.into())
+        Value::Tag(s.into().into())
     }
 
     /// Whether this value is the SQL-style null.
@@ -174,12 +177,12 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 
@@ -263,8 +266,8 @@ impl Domain {
             (Domain::Float, Value::Float(_)) | (Domain::Float, Value::Int(_)) => true,
             (Domain::Text, Value::Str(_)) => true,
             (Domain::Bool, Value::Bool(_)) => true,
-            (Domain::Enum(tags), Value::Tag(t)) => tags.contains(t),
-            (Domain::Enum(tags), Value::Str(t)) => tags.contains(t),
+            (Domain::Enum(tags), Value::Tag(t)) => tags.contains(&**t),
+            (Domain::Enum(tags), Value::Str(t)) => tags.contains(&**t),
             (Domain::Finite(vals), v) => vals.contains(v),
             _ => false,
         }

@@ -1,5 +1,18 @@
-//! A materializing executor for logical plans against a
+//! A streaming executor for logical plans against a
 //! [`flexrel_storage::Database`].
+//!
+//! Plans execute as iterator pipelines ([`execute_stream`]): each operator
+//! pulls tuples from its input on demand instead of materializing a
+//! `Vec<Tuple>` per operator.  Scans are partition-aware — a
+//! [`ShapePredicate`](crate::logical::ShapePredicate) pushed down by the
+//! optimizer is evaluated once per heap partition, so pruned partitions are
+//! never touched.  The only blocking points are the ones inherent to the
+//! operators: the build side of a hash join and the duplicate-elimination
+//! state of projections and unions.
+//!
+//! Join and projection attribute sets are derived from partition catalog
+//! metadata ([`Database::relation_attrs`]) rather than by folding over
+//! input tuples; see [`plan_attrs`].
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -10,116 +23,166 @@ use flexrel_storage::Database;
 
 use crate::logical::LogicalPlan;
 
-fn attrs_of(rows: &[Tuple]) -> AttrSet {
-    rows.iter()
-        .fold(AttrSet::empty(), |acc, t| acc.union(&t.attrs()))
+/// A stream of result tuples borrowed from the database.
+pub type TupleStream<'a> = Box<dyn Iterator<Item = Tuple> + 'a>;
+
+/// An upper bound on the attribute set of the tuples a plan can produce,
+/// derived from partition catalog metadata — for a base scan this is the
+/// exact union of the live (admitted) partition shapes; no operator folds
+/// over tuples to discover attributes.
+///
+/// Used by the hash join to compute the common-attribute set of its inputs:
+/// any attribute shared by an actual pair of tuples is contained in the
+/// intersection of the two bounds, which is what the join hashes on.
+pub fn plan_attrs(plan: &LogicalPlan, db: &Database) -> AttrSet {
+    match plan {
+        LogicalPlan::Empty => AttrSet::empty(),
+        LogicalPlan::Scan {
+            relation, shape, ..
+        } => match db.partitions(relation) {
+            Ok(parts) => parts
+                .iter()
+                .filter(|p| shape.as_ref().map(|s| s.admits(&p.shape)).unwrap_or(true))
+                .fold(AttrSet::empty(), |acc, p| acc.union(&p.shape)),
+            Err(_) => AttrSet::empty(),
+        },
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Guard { input, .. } => {
+            plan_attrs(input, db)
+        }
+        LogicalPlan::Project { input, attrs } => plan_attrs(input, db).intersection(attrs),
+        LogicalPlan::Extend { input, attr, .. } => {
+            let mut out = plan_attrs(input, db);
+            out.insert(attr.as_str());
+            out
+        }
+        LogicalPlan::Join { left, right } => plan_attrs(left, db).union(&plan_attrs(right, db)),
+        LogicalPlan::UnionAll { inputs } => inputs
+            .iter()
+            .fold(AttrSet::empty(), |acc, p| acc.union(&plan_attrs(p, db))),
+    }
 }
 
-fn hash_join(left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
-    let common = attrs_of(&left).intersection(&attrs_of(&right));
-    let mut hashed: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-    let mut scan: Vec<&Tuple> = Vec::new();
-    for r in &right {
+/// Streaming hash join: the right input is materialized as the build side,
+/// the left input streams through as the probe side.  `common` must be a
+/// superset of every attribute an actual left/right tuple pair can share
+/// (see [`plan_attrs`]); tuples not defined on all of `common` fall back to
+/// pairwise `joinable_with` checks.
+fn hash_join_stream<'a>(
+    left: TupleStream<'a>,
+    right: Vec<Tuple>,
+    common: AttrSet,
+) -> TupleStream<'a> {
+    let mut hashed: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+    let mut scan_side: Vec<Tuple> = Vec::new();
+    for r in right {
         if r.defined_on(&common) {
             hashed.entry(r.project(&common)).or_default().push(r);
         } else {
-            scan.push(r);
+            scan_side.push(r);
         }
     }
-    let mut out = Vec::new();
-    for l in &left {
+    Box::new(left.flat_map(move |l| {
+        let mut out = Vec::new();
         if l.defined_on(&common) {
             if let Some(partners) = hashed.get(&l.project(&common)) {
                 for r in partners {
                     out.push(l.merged_with(r));
                 }
             }
-            for r in &scan {
+            for r in &scan_side {
                 if l.joinable_with(r) {
                     out.push(l.merged_with(r));
                 }
             }
         } else {
-            for r in &right {
+            for r in hashed.values().flatten().chain(scan_side.iter()) {
                 if l.joinable_with(r) {
                     out.push(l.merged_with(r));
                 }
             }
         }
-    }
-    out
+        out
+    }))
 }
 
-/// Executes a logical plan, returning the result tuples.
-pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Vec<Tuple>> {
-    match plan {
-        LogicalPlan::Empty => Ok(Vec::new()),
+/// Builds the streaming pipeline for a plan.  Catalog errors (unknown
+/// relations) surface here, before any tuple flows.
+pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<TupleStream<'a>> {
+    Ok(match plan {
+        LogicalPlan::Empty => Box::new(std::iter::empty()),
         LogicalPlan::Scan {
             relation,
             qualification,
+            shape,
         } => {
-            let mut rows: Vec<Tuple> = db.scan(relation)?.into_iter().map(|(_, t)| t).collect();
-            // The qualification is *known* to hold; applying it is a no-op on
-            // consistent data but keeps hand-built fragment plans honest when
-            // they scan a broader base relation.
-            if let Some(q) = qualification {
-                rows.retain(|t| q.eval(t));
+            let rows = db
+                .scan_where(relation, move |s| {
+                    shape.as_ref().map(|p| p.admits(s)).unwrap_or(true)
+                })?
+                .map(|(_, t)| t.clone());
+            // The qualification is *known* to hold; applying it is a no-op
+            // on consistent data but keeps hand-built fragment plans honest
+            // when they scan a broader base relation.
+            match qualification {
+                Some(q) => Box::new(rows.filter(move |t| q.eval(t))),
+                None => Box::new(rows),
             }
-            Ok(rows)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let rows = execute(input, db)?;
-            Ok(rows.into_iter().filter(|t| predicate.eval(t)).collect())
+            let rows = execute_stream(input, db)?;
+            Box::new(rows.filter(move |t| predicate.eval(t)))
         }
         LogicalPlan::Project { input, attrs } => {
-            let rows = execute(input, db)?;
-            let mut seen = BTreeSet::new();
-            let mut out = Vec::new();
-            for t in rows {
+            let rows = execute_stream(input, db)?;
+            let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+            Box::new(rows.filter_map(move |t| {
                 let p = t.project(attrs);
-                if seen.insert(p.clone()) {
-                    out.push(p);
-                }
-            }
-            Ok(out)
+                seen.insert(p.clone()).then_some(p)
+            }))
         }
         LogicalPlan::Guard { input, attrs } => {
-            let rows = execute(input, db)?;
-            Ok(rows.into_iter().filter(|t| t.defined_on(attrs)).collect())
+            let rows = execute_stream(input, db)?;
+            Box::new(rows.filter(move |t| t.defined_on(attrs)))
         }
         LogicalPlan::Join { left, right } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
-            Ok(hash_join(l, r))
+            let common = plan_attrs(left, db).intersection(&plan_attrs(right, db));
+            let l = execute_stream(left, db)?;
+            let r: Vec<Tuple> = execute_stream(right, db)?.collect();
+            hash_join_stream(l, r, common)
         }
         LogicalPlan::UnionAll { inputs } => {
-            let mut seen = BTreeSet::new();
-            let mut out = Vec::new();
-            for i in inputs {
-                for t in execute(i, db)? {
-                    if seen.insert(t.clone()) {
-                        out.push(t);
-                    }
-                }
-            }
-            Ok(out)
+            let streams: Vec<TupleStream<'a>> = inputs
+                .iter()
+                .map(|i| execute_stream(i, db))
+                .collect::<Result<_>>()?;
+            let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+            Box::new(
+                streams
+                    .into_iter()
+                    .flatten()
+                    .filter(move |t| seen.insert(t.clone())),
+            )
         }
         LogicalPlan::Extend { input, attr, value } => {
-            let rows = execute(input, db)?;
-            Ok(rows
-                .into_iter()
-                .map(|mut t| {
-                    t.insert(attr.as_str(), value.clone());
-                    t
-                })
-                .collect())
+            let rows = execute_stream(input, db)?;
+            Box::new(rows.map(move |mut t| {
+                t.insert(attr.as_str(), value.clone());
+                t
+            }))
         }
-    }
+    })
+}
+
+/// Executes a logical plan, materializing the result tuples.  A convenience
+/// wrapper around [`execute_stream`].
+pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Vec<Tuple>> {
+    Ok(execute_stream(plan, db)?.collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::logical::ShapePredicate;
     use crate::optimizer::optimize;
     use crate::parser::parse;
     use crate::planner::plan_query;
@@ -197,6 +260,39 @@ mod tests {
     }
 
     #[test]
+    fn shape_predicates_prune_partitions_without_changing_results() {
+        let db = db(240);
+        let frql = "SELECT * FROM employee WHERE jobtype = 'secretary' AND salary > 3000";
+        let parsed = parse(frql).unwrap();
+        let plan = plan_query(&parsed, db.catalog()).unwrap();
+        let (optimized, notes) = optimize(plan.clone(), db.catalog());
+        assert_eq!(optimized.pruned_scan_count(), 1, "{}", optimized);
+        assert!(notes.iter().any(|n| n.rule == "partition-pruning"));
+        let naive: std::collections::BTreeSet<Tuple> =
+            execute(&plan, &db).unwrap().into_iter().collect();
+        let pruned: std::collections::BTreeSet<Tuple> =
+            execute(&optimized, &db).unwrap().into_iter().collect();
+        assert_eq!(naive, pruned);
+        // The pruned scan bound covers only the secretary partition.
+        let bound = plan_attrs(&optimized, &db);
+        assert!(bound.is_superset(&attrs!["typing-speed", "foreign-languages"]));
+        assert!(!bound.contains_name("sales-commission"));
+    }
+
+    #[test]
+    fn execute_stream_is_lazy_per_tuple() {
+        let db = db(100);
+        let plan = LogicalPlan::scan("employee");
+        let mut stream = execute_stream(&plan, &db).unwrap();
+        // Pulling a single tuple must not require draining the pipeline.
+        assert!(stream.next().is_some());
+        drop(stream);
+        // take() composes with the stream without materializing the rest.
+        let five: Vec<Tuple> = execute_stream(&plan, &db).unwrap().take(5).collect();
+        assert_eq!(five.len(), 5);
+    }
+
+    #[test]
     fn join_and_union_execution() {
         let db = db(50);
         // Join employee with itself projected on empno/salary: equivalent to
@@ -232,6 +328,21 @@ mod tests {
     }
 
     #[test]
+    fn join_common_attrs_come_from_partition_metadata() {
+        let db = db(60);
+        let left = LogicalPlan::scan("employee").project(attrs!["empno", "salary"]);
+        let right = LogicalPlan::scan("employee").project(attrs!["empno", "jobtype"]);
+        assert_eq!(plan_attrs(&left, &db), attrs!["empno", "salary"]);
+        assert_eq!(
+            plan_attrs(&left, &db).intersection(&plan_attrs(&right, &db)),
+            attrs!["empno"]
+        );
+        let join = left.join(right);
+        assert_eq!(plan_attrs(&join, &db), attrs!["empno", "salary", "jobtype"]);
+        assert_eq!(plan_attrs(&LogicalPlan::Empty, &db), AttrSet::empty());
+    }
+
+    #[test]
     fn extend_adds_constant() {
         let db = db(10);
         let plan = LogicalPlan::Extend {
@@ -243,6 +354,7 @@ mod tests {
         assert!(rows
             .iter()
             .all(|t| t.get_name("source") == Some(&Value::tag("hr"))));
+        assert!(plan_attrs(&plan, &db).contains_name("source"));
     }
 
     #[test]
@@ -256,6 +368,24 @@ mod tests {
         assert!(rows
             .iter()
             .all(|t| t.get_name("jobtype") == Some(&Value::tag("salesman"))));
+    }
+
+    #[test]
+    fn hand_built_shape_predicate_restricts_the_scan() {
+        let db = db(80);
+        let full = execute(&LogicalPlan::scan("employee"), &db).unwrap().len();
+        let plan = LogicalPlan::Scan {
+            relation: "employee".into(),
+            qualification: None,
+            shape: Some(ShapePredicate {
+                required: attrs!["typing-speed"],
+                regions: Vec::new(),
+            }),
+        };
+        let rows = execute(&plan, &db).unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.len() < full);
+        assert!(rows.iter().all(|t| t.has_name("typing-speed")));
     }
 
     #[test]

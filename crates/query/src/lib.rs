@@ -3,15 +3,16 @@
 //! Query processing over flexible relations: a small query language (FRQL),
 //! logical plans, a rule-based optimizer whose rewrites are justified by
 //! attribute dependencies (§3.1.2 and Example 4 of Kalus & Dadam, ICDE
-//! 1995), and a materializing executor running against
+//! 1995), and a streaming, partition-aware executor running against
 //! [`flexrel_storage::Database`].
 //!
 //! ## The optimizer's AD-driven rewrites
 //!
 //! * **Redundant type-guard elimination** (Example 4): a guard asking for
-//!   attributes whose presence already follows — via the axiom system ℛ/ℰ —
-//!   from the selection formula is removed; the derivation justifying the
-//!   removal is attached to the rewrite note.
+//!   attributes whose presence already follows — via the axiom system ℛ/ℰ
+//!   ([`flexrel_core::typecheck::analyse_guard`]) — from the selection
+//!   formula is removed; the derivation justifying the removal is attached
+//!   to the rewrite note.
 //! * **Unsatisfiable-guard pruning**: a guard asking for attributes the
 //!   selected variant can never carry collapses the subtree to an empty
 //!   plan.
@@ -19,6 +20,13 @@
 //!   branches whose qualification contradicts the query's equality
 //!   constraints on the determining attributes are eliminated — the
 //!   "unnecessary joins with variants that are known to be excluded".
+//! * **Partition pruning**: the attributes a selection requires present
+//!   ([`flexrel_algebra::predicate::Predicate::required_attrs`]) and the
+//!   exact variant overlap an [`Ead`](flexrel_core::dep::Ead) prescribes
+//!   for pinned determining values are pushed into a
+//!   [`ShapePredicate`] on the scan; the executor
+//!   evaluates it per heap partition and skips partitions whose shape
+//!   cannot qualify.
 //!
 //! ```
 //! use flexrel_query::prelude::*;
@@ -43,22 +51,24 @@
 //! assert!(rows.iter().all(|t| t.has_name("typing-speed")));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod exec;
 pub mod logical;
 pub mod optimizer;
 pub mod parser;
 pub mod planner;
 
-pub use exec::execute;
-pub use logical::LogicalPlan;
+pub use exec::{execute, execute_stream, plan_attrs, TupleStream};
+pub use logical::{LogicalPlan, ShapePredicate};
 pub use optimizer::{optimize, RewriteNote};
 pub use parser::{parse, Query};
 pub use planner::plan_query;
 
 /// The most commonly used items.
 pub mod prelude {
-    pub use crate::exec::execute;
-    pub use crate::logical::LogicalPlan;
+    pub use crate::exec::{execute, execute_stream};
+    pub use crate::logical::{LogicalPlan, ShapePredicate};
     pub use crate::optimizer::{optimize, RewriteNote};
     pub use crate::parser::{parse, Query};
     pub use crate::planner::plan_query;

@@ -6,6 +6,65 @@ use flexrel_algebra::predicate::Predicate;
 use flexrel_core::attr::AttrSet;
 use flexrel_core::value::Value;
 
+/// A predicate over tuple *shapes* (`attr(t)`), attached to a
+/// [`LogicalPlan::Scan`] by the optimizer's partition-pruning pass.
+///
+/// The executor evaluates it once per heap partition (not per tuple): a
+/// partition whose shape is not admitted is skipped entirely.  Two kinds of
+/// constraints are combined:
+///
+/// * `required ⊆ shape` — attributes every qualifying tuple must be defined
+///   on (from [`Predicate::required_attrs`] of the selections above the
+///   scan and the attribute sets of explicit type guards);
+/// * `shape ∩ Y = Yi` *regions* — derived from an
+///   [`Ead`](flexrel_core::dep::Ead) `<X --exp.attr--> Y, {Vi --exp.attr-->
+///   Yi}>` whose determinant `X` is pinned to constants by the selection:
+///   every stored tuple with that `X`-value carries exactly `Yi` of `Y`
+///   (Def. 2.1, enforced at insert time), so partitions with any other
+///   `Y`-overlap cannot contribute.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ShapePredicate {
+    /// Attributes that must be present in the shape.
+    pub required: AttrSet,
+    /// Exact-overlap constraints `(Y, Yi)`: the shape must satisfy
+    /// `shape ∩ Y = Yi`.
+    pub regions: Vec<(AttrSet, AttrSet)>,
+}
+
+impl ShapePredicate {
+    /// Whether a partition of the given shape can contain qualifying tuples.
+    pub fn admits(&self, shape: &AttrSet) -> bool {
+        self.required.is_subset(shape)
+            && self
+                .regions
+                .iter()
+                .all(|(y, yi)| shape.intersection(y) == *yi)
+    }
+
+    /// Whether the predicate admits every shape (nothing to prune).
+    pub fn is_trivial(&self) -> bool {
+        self.required.is_empty() && self.regions.is_empty()
+    }
+}
+
+impl fmt::Display for ShapePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if !self.required.is_empty() {
+            write!(f, "shape ⊇ {}", self.required)?;
+            first = false;
+        }
+        for (y, yi) in &self.regions {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "shape ∩ {} = {}", y, yi)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
 /// A logical plan node.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LogicalPlan {
@@ -15,37 +74,57 @@ pub enum LogicalPlan {
     /// Scan of a stored relation.  `qualification` is a predicate known to
     /// hold for every tuple of the relation (a *qualified relation* in the
     /// sense of Ceri/Pelagatti); the optimizer uses it to prune branches.
+    /// `shape` is an optional shape predicate the optimizer pushes down so
+    /// the executor can skip whole heap partitions.
     Scan {
+        /// The stored relation to scan.
         relation: String,
+        /// A predicate known to hold for every tuple of the relation.
         qualification: Option<Predicate>,
+        /// Partition-pruning predicate over tuple shapes.
+        shape: Option<ShapePredicate>,
     },
     /// Selection.
     Filter {
+        /// The input plan.
         input: Box<LogicalPlan>,
+        /// The selection predicate.
         predicate: Predicate,
     },
     /// Projection onto an attribute set.
     Project {
+        /// The input plan.
         input: Box<LogicalPlan>,
+        /// The attributes to project onto.
         attrs: AttrSet,
     },
     /// An explicit retrieval-side type guard: keep only tuples defined on
     /// all the listed attributes.
     Guard {
+        /// The input plan.
         input: Box<LogicalPlan>,
+        /// The attributes whose presence is asserted.
         attrs: AttrSet,
     },
     /// Natural join of two inputs.
     Join {
+        /// The left input.
         left: Box<LogicalPlan>,
+        /// The right input.
         right: Box<LogicalPlan>,
     },
     /// Outer union of several inputs (heterogeneous shapes allowed).
-    UnionAll { inputs: Vec<LogicalPlan> },
+    UnionAll {
+        /// The union branches.
+        inputs: Vec<LogicalPlan>,
+    },
     /// Extension by a constant attribute.
     Extend {
+        /// The input plan.
         input: Box<LogicalPlan>,
+        /// The attribute to add.
         attr: String,
+        /// The constant value of the added attribute.
         value: Value,
     },
 }
@@ -56,6 +135,7 @@ impl LogicalPlan {
         LogicalPlan::Scan {
             relation: relation.into(),
             qualification: None,
+            shape: None,
         }
     }
 
@@ -64,6 +144,27 @@ impl LogicalPlan {
         LogicalPlan::Scan {
             relation: relation.into(),
             qualification: Some(qualification),
+            shape: None,
+        }
+    }
+
+    /// Number of scan nodes carrying a non-trivial shape predicate (used by
+    /// tests and the experiment harness to show the optimizer pushed
+    /// partition pruning down).
+    pub fn pruned_scan_count(&self) -> usize {
+        match self {
+            LogicalPlan::Empty => 0,
+            LogicalPlan::Scan { shape, .. } => {
+                shape.as_ref().map(|s| !s.is_trivial()).unwrap_or(false) as usize
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Guard { input, .. }
+            | LogicalPlan::Extend { input, .. } => input.pruned_scan_count(),
+            LogicalPlan::Join { left, right } => {
+                left.pruned_scan_count() + right.pruned_scan_count()
+            }
+            LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| p.pruned_scan_count()).sum(),
         }
     }
 
@@ -148,10 +249,18 @@ impl LogicalPlan {
             LogicalPlan::Scan {
                 relation,
                 qualification,
-            } => match qualification {
-                Some(q) => writeln!(f, "{}Scan {} [qualified by {}]", pad, relation, q),
-                None => writeln!(f, "{}Scan {}", pad, relation),
-            },
+                shape,
+            } => {
+                write!(f, "{}Scan {}", pad, relation)?;
+                if let Some(q) = qualification {
+                    write!(f, " [qualified by {}]", q)?;
+                }
+                match shape {
+                    Some(s) if !s.is_trivial() => write!(f, " [partitions: {}]", s)?,
+                    _ => {}
+                }
+                writeln!(f)
+            }
             LogicalPlan::Filter { input, predicate } => {
                 writeln!(f, "{}Filter {}", pad, predicate)?;
                 input.fmt_indent(f, indent + 1)

@@ -1,20 +1,24 @@
 //! The rule-based optimizer.
 //!
 //! Every rewrite is *justified*: redundant type guards are removed only when
-//! the axiom system derives the corresponding attribute dependency from the
-//! declared dependencies (Example 4); branches and joins are pruned only
-//! when their qualification provably contradicts the query's equality
-//! constraints on the determining attributes (§3.1.2, qualified relations).
+//! the axiom system ([`flexrel_core::axioms::AxiomSystem::E`], applied via
+//! [`flexrel_core::typecheck::analyse_guard`]) derives the corresponding
+//! attribute dependency from the declared dependencies (Example 4); branches
+//! and joins are pruned only when their qualification provably contradicts
+//! the query's equality constraints on the determining attributes (§3.1.2,
+//! qualified relations); and scans are restricted to the heap partitions
+//! whose shape can satisfy the selection — using the exact variant overlap
+//! an [`flexrel_core::dep::Ead`] prescribes for pinned determining values.
 
 use flexrel_algebra::predicate::Predicate;
-use flexrel_core::attr::AttrSet;
+use flexrel_core::attr::{Attr, AttrSet};
 use flexrel_core::axioms::AxiomSystem;
 use flexrel_core::dep::DependencySet;
 use flexrel_core::tuple::Tuple;
 use flexrel_core::typecheck::{analyse_guard, GuardAnalysis, SelectionContext, TypeGuard};
-use flexrel_storage::Catalog;
+use flexrel_storage::{Catalog, RelationDef};
 
-use crate::logical::LogicalPlan;
+use crate::logical::{LogicalPlan, ShapePredicate};
 
 /// A record of one rewrite the optimizer performed, for EXPLAIN output.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,10 +40,22 @@ impl RewriteNote {
 }
 
 /// Optimizes a plan, returning the rewritten plan and the rewrite notes.
+///
+/// Runs three phases: the justified rewrites (guard elimination via
+/// [`analyse_guard`], variant/join pruning), empty-plan propagation, and
+/// the partition-pruning pass that attaches
+/// [`ShapePredicate`]s to scans.
 pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> (LogicalPlan, Vec<RewriteNote>) {
     let mut notes = Vec::new();
     let plan = rewrite(plan, catalog, &SelectionContext::none(), &mut notes);
     let plan = simplify_empties(plan, &mut notes);
+    let plan = prune_scans(
+        plan,
+        catalog,
+        &AttrSet::empty(),
+        &Tuple::empty(),
+        &mut notes,
+    );
     (plan, notes)
 }
 
@@ -359,6 +375,165 @@ fn simplify_guards_in_predicate(
     walk(predicate, deps, ctx, notes).simplify()
 }
 
+/// The partition-pruning pass: pushes what the operators *above* a scan
+/// guarantee about qualifying tuples — attributes that must be present
+/// (selections via [`Predicate::required_attrs`], explicit type guards) and
+/// attributes pinned to constants by equality — down into a
+/// [`ShapePredicate`] on the scan, so the executor can skip whole heap
+/// partitions.
+///
+/// The context propagates through shape-preserving operators (filters,
+/// guards, projections, union branches) and is cut off where tuples gain
+/// attributes from elsewhere: an [`LogicalPlan::Extend`] removes its own
+/// attribute from the context (the scan's tuples need not carry it), and a
+/// join resets the context for both sides (a required attribute may be
+/// contributed by the other side).
+///
+/// Besides pure presence, the pass performs the AD-driven step of §3.1.2 at
+/// the storage level: when the selection pins an EAD's determining
+/// attributes `X` to constants, Def. 2.1 fixes the exact `Y`-overlap
+/// (`attr(t) ∩ Y = Yi`) of every qualifying tuple, so all partitions with a
+/// different overlap are excluded — the physical counterpart of the
+/// variant pruning the rewrite pass performs on qualified fragments.
+fn prune_scans(
+    plan: LogicalPlan,
+    catalog: &Catalog,
+    required: &AttrSet,
+    equalities: &Tuple,
+    notes: &mut Vec<RewriteNote>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let req = required.union(&predicate.required_attrs());
+            let eq = equalities.merged_with(&predicate.implied_equalities());
+            LogicalPlan::Filter {
+                input: Box::new(prune_scans(*input, catalog, &req, &eq, notes)),
+                predicate,
+            }
+        }
+        LogicalPlan::Guard { input, attrs } => {
+            let req = required.union(&attrs);
+            LogicalPlan::Guard {
+                input: Box::new(prune_scans(*input, catalog, &req, equalities, notes)),
+                attrs,
+            }
+        }
+        LogicalPlan::Project { input, attrs } => LogicalPlan::Project {
+            input: Box::new(prune_scans(*input, catalog, required, equalities, notes)),
+            attrs,
+        },
+        LogicalPlan::Extend { input, attr, value } => {
+            // The extended attribute is present in every output tuple no
+            // matter what the input looked like; constraints on it must not
+            // reach the scan.
+            let mut req = required.clone();
+            req.remove(&Attr::new(&attr));
+            let mut eq = equalities.clone();
+            eq.remove(&Attr::new(&attr));
+            LogicalPlan::Extend {
+                input: Box::new(prune_scans(*input, catalog, &req, &eq, notes)),
+                attr,
+                value,
+            }
+        }
+        LogicalPlan::Join { left, right } => LogicalPlan::Join {
+            // A join merges tuples: an attribute required above may be
+            // supplied by either side, so nothing can be pushed across.
+            left: Box::new(prune_scans(
+                *left,
+                catalog,
+                &AttrSet::empty(),
+                &Tuple::empty(),
+                notes,
+            )),
+            right: Box::new(prune_scans(
+                *right,
+                catalog,
+                &AttrSet::empty(),
+                &Tuple::empty(),
+                notes,
+            )),
+        },
+        LogicalPlan::UnionAll { inputs } => LogicalPlan::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(|p| prune_scans(p, catalog, required, equalities, notes))
+                .collect(),
+        },
+        LogicalPlan::Scan {
+            relation,
+            qualification,
+            shape,
+        } => {
+            // The scan's own qualification holds for every tuple it yields,
+            // so it contributes to the shape predicate as well.
+            let mut req = required.clone();
+            let mut eq = equalities.clone();
+            if let Some(q) = &qualification {
+                req.extend_with(&q.required_attrs());
+                eq = eq.merged_with(&q.implied_equalities());
+            }
+            let pred = catalog
+                .get(&relation)
+                .ok()
+                .and_then(|def| shape_predicate_for(def, &req, &eq));
+            if let Some(p) = &pred {
+                notes.push(RewriteNote::new(
+                    "partition-pruning",
+                    format!("scan of {} restricted to partitions with {}", relation, p),
+                ));
+            }
+            // A shape predicate already on the scan (hand-built plans) is
+            // result-affecting and must be preserved: conjoin rather than
+            // replace.
+            let shape = match (pred, shape) {
+                (Some(mut p), Some(existing)) => {
+                    p.required.extend_with(&existing.required);
+                    p.regions.extend(existing.regions);
+                    Some(p)
+                }
+                (p, existing) => p.or(existing),
+            };
+            LogicalPlan::Scan {
+                relation,
+                qualification,
+                shape,
+            }
+        }
+        leaf @ LogicalPlan::Empty => leaf,
+    }
+}
+
+/// Builds the shape predicate for one scan from the accumulated context, or
+/// `None` when nothing can be pruned.
+fn shape_predicate_for(
+    def: &RelationDef,
+    required: &AttrSet,
+    equalities: &Tuple,
+) -> Option<ShapePredicate> {
+    let mut regions: Vec<(AttrSet, AttrSet)> = Vec::new();
+    let pinned = equalities.attrs();
+    for ead in def.deps.eads() {
+        if ead.lhs().is_subset(&pinned) {
+            let x_value = equalities.project(ead.lhs());
+            let yi = ead
+                .variant_for(&x_value)
+                .map(|(_, v)| v.attrs.clone())
+                .unwrap_or_else(AttrSet::empty);
+            regions.push((ead.rhs().clone(), yi));
+        }
+    }
+    let pred = ShapePredicate {
+        required: required.clone(),
+        regions,
+    };
+    if pred.is_trivial() {
+        None
+    } else {
+        Some(pred)
+    }
+}
+
 /// Final cleanup: empty inputs propagate upwards.
 fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalPlan {
     match plan {
@@ -574,6 +749,90 @@ mod tests {
             1,
             "only the secretary join survives"
         );
+    }
+
+    #[test]
+    fn partition_pruning_pushes_required_attrs_and_ead_regions() {
+        // Equality on the EAD determinant → exact-overlap region constraint.
+        let plan = planned("SELECT * FROM employee WHERE jobtype = 'secretary' AND salary > 1000");
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(optimized.pruned_scan_count(), 1);
+        let note = notes
+            .iter()
+            .find(|n| n.rule == "partition-pruning")
+            .unwrap();
+        assert!(
+            note.detail.contains("shape ⊇") && note.detail.contains("shape ∩"),
+            "{}",
+            note.detail
+        );
+        // A kept (necessary) guard contributes its attributes too.
+        let plan = planned("SELECT * FROM employee WHERE salary > 5000 GUARD typing-speed");
+        let (optimized, _) = optimize(plan, &catalog());
+        assert_eq!(optimized.guard_count(), 1);
+        assert_eq!(optimized.pruned_scan_count(), 1);
+        let s = optimized.to_string();
+        assert!(s.contains("typing-speed"), "{}", s);
+    }
+
+    #[test]
+    fn partition_pruning_preserves_hand_built_shape_predicates() {
+        use crate::logical::ShapePredicate;
+        use flexrel_core::attrs;
+        // A hand-built scan restricted to typing-speed partitions is
+        // result-affecting; optimizing a filter on top must conjoin, not
+        // replace, the restriction.
+        let plan = LogicalPlan::Scan {
+            relation: "employee".into(),
+            qualification: None,
+            shape: Some(ShapePredicate {
+                required: attrs!["typing-speed"],
+                regions: Vec::new(),
+            }),
+        }
+        .filter(Predicate::gt("salary", 0));
+        let (optimized, _) = optimize(plan, &catalog());
+        let LogicalPlan::Filter { input, .. } = optimized else {
+            panic!("filter must survive");
+        };
+        let LogicalPlan::Scan {
+            shape: Some(sp), ..
+        } = *input
+        else {
+            panic!("scan must keep a shape predicate");
+        };
+        assert!(
+            sp.required.is_superset(&attrs!["salary", "typing-speed"]),
+            "hand-built restriction merged with the pushed context: {}",
+            sp
+        );
+    }
+
+    #[test]
+    fn partition_pruning_stops_at_extend_and_join() {
+        // A filter on the extended attribute must not constrain the scan:
+        // the attribute exists on every extended tuple regardless of shape.
+        let plan = LogicalPlan::Extend {
+            input: Box::new(LogicalPlan::scan("employee")),
+            attr: "source".into(),
+            value: Value::tag("hr"),
+        }
+        .filter(Predicate::eq("source", Value::tag("hr")));
+        let (optimized, _) = optimize(plan, &catalog());
+        assert_eq!(
+            optimized.pruned_scan_count(),
+            0,
+            "extend cuts the context off: {}",
+            optimized
+        );
+
+        // A filter above a join may be satisfied by either side; nothing is
+        // pushed across, but each side keeps its own subtree context.
+        let plan = LogicalPlan::scan("employee")
+            .join(LogicalPlan::scan("employee"))
+            .filter(Predicate::gt("salary", 1000));
+        let (optimized, _) = optimize(plan, &catalog());
+        assert_eq!(optimized.pruned_scan_count(), 0, "{}", optimized);
     }
 
     #[test]

@@ -207,8 +207,8 @@ impl Parser {
         match self.next() {
             Some(Token::Int(i)) => Ok(Value::Int(i)),
             Some(Token::Float(f)) => Ok(Value::Float(f)),
-            Some(Token::Tag(s)) => Ok(Value::Tag(s)),
-            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Tag(s)) => Ok(Value::tag(s)),
+            Some(Token::Str(s)) => Ok(Value::str(s)),
             Some(Token::Keyword(k)) if k == "TRUE" => Ok(Value::Bool(true)),
             Some(Token::Keyword(k)) if k == "FALSE" => Ok(Value::Bool(false)),
             other => Err(CoreError::Invalid(format!(

@@ -1,4 +1,11 @@
-//! The database facade: catalog + heaps + indexes + constraint enforcement.
+//! The database facade: catalog + partitioned heaps + indexes + constraint
+//! enforcement.
+//!
+//! Every relation's instance is stored shape-partitioned (see
+//! [`crate::partition`]): one segment heap per distinct `attr(t)`.  Insert
+//! checking is split into a *shape-level* half that is memoized per
+//! partition ([`ShapeMemo`]) and a *value-level* half (domains, `t[X]`
+//! variant lookups, FD agreement against index peers) that runs per tuple.
 
 use std::collections::BTreeMap;
 
@@ -6,19 +13,19 @@ use flexrel_core::attr::AttrSet;
 use flexrel_core::dep::Dependency;
 use flexrel_core::error::{CoreError, Result};
 use flexrel_core::relation::FlexRelation;
-use flexrel_core::tuple::Tuple;
+use flexrel_core::tuple::{ShapeId, Tuple};
 
 use crate::catalog::{Catalog, RelationDef};
-use crate::heap::{Heap, TupleId};
 use crate::index::HashIndex;
+use crate::partition::{DepGuard, PartitionedHeap, Rid, ShapeMemo};
 use crate::txn::{Transaction, UndoAction};
 
-/// Per-relation storage: the heap plus one hash index per distinct
-/// dependency determinant (created automatically so dependency checking and
-/// determinant-equality selections avoid full scans).
+/// Per-relation storage: the shape-partitioned heap plus one hash index per
+/// distinct dependency determinant (created automatically so dependency
+/// checking and determinant-equality selections avoid full scans).
 #[derive(Clone, Debug)]
 struct Stored {
-    heap: Heap,
+    parts: PartitionedHeap,
     indexes: Vec<HashIndex>,
 }
 
@@ -26,6 +33,44 @@ impl Stored {
     fn index_on(&self, key: &AttrSet) -> Option<&HashIndex> {
         self.indexes.iter().find(|i| i.key() == key)
     }
+
+    /// The existing tuples that can conflict with `t` on a dependency with
+    /// determinant `lhs`: an index probe when an index on `lhs` exists,
+    /// otherwise a scan.  Tuples not defined on all of `lhs` are excluded —
+    /// the pairwise premise of Defs. 4.1/4.2 requires `X ⊆ attr(t)` on both
+    /// sides, so they can never conflict.
+    fn peers<'a>(&'a self, lhs: &AttrSet, t: &Tuple) -> Vec<&'a Tuple> {
+        if !t.defined_on(lhs) {
+            return Vec::new();
+        }
+        if let Some(idx) = self.index_on(lhs) {
+            idx.lookup(&t.project(lhs))
+                .iter()
+                .filter_map(|rid| self.parts.get(*rid))
+                .collect()
+        } else {
+            self.parts
+                .scan()
+                .map(|(_, u)| u)
+                .filter(|u| u.defined_on(lhs))
+                .collect()
+        }
+    }
+}
+
+/// Per-partition catalog metadata: the shape, the DNF disjunct it satisfies
+/// and its live tuple count.  Returned by [`Database::partitions`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionInfo {
+    /// The interned shape id (the partition key).
+    pub shape_id: ShapeId,
+    /// The shape `attr(t)` shared by every tuple of the partition.
+    pub shape: AttrSet,
+    /// The DNF disjunct of the relation's scheme the shape satisfies (for
+    /// an admitted shape this is the shape itself).
+    pub disjunct: AttrSet,
+    /// Number of live tuples in the partition.
+    pub tuples: usize,
 }
 
 /// An in-memory flexible-relation database.
@@ -33,6 +78,59 @@ impl Stored {
 pub struct Database {
     catalog: Catalog,
     storage: BTreeMap<String, Stored>,
+}
+
+/// Builds the memoized shape-level type-check facts for a shape that has
+/// just been admitted (see [`ShapeMemo`]).
+fn shape_memo(def: &RelationDef, shape: &AttrSet) -> ShapeMemo {
+    let dep_guards = def
+        .deps
+        .iter()
+        .map(|dep| match dep {
+            Dependency::Ead(ead) => {
+                let y_overlap = shape.intersection(ead.rhs());
+                DepGuard::Ead {
+                    lhs_defined: ead.lhs().is_subset(shape),
+                    y_overlap_empty: y_overlap.is_empty(),
+                    admissible: ead
+                        .variants()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| v.attrs == y_overlap)
+                        .map(|(i, _)| i)
+                        .collect(),
+                }
+            }
+            Dependency::Ad(ad) => DepGuard::Pairwise {
+                lhs_defined: ad.lhs().is_subset(shape),
+            },
+            Dependency::Fd(fd) => DepGuard::Pairwise {
+                lhs_defined: fd.lhs().is_subset(shape),
+            },
+        })
+        .collect();
+    ShapeMemo {
+        disjunct: shape.clone(),
+        dep_guards,
+    }
+}
+
+/// The value-level half of scheme checking: attribute domains and the
+/// no-nulls rule.  (Shape membership in `dnf(FS)` is the memoized half.)
+fn check_domains(def: &RelationDef, t: &Tuple) -> Result<()> {
+    for (a, v) in t.iter() {
+        if let Some(d) = def.domains.get(a) {
+            d.check(a.name(), v)?;
+        }
+        if v.is_null() {
+            return Err(CoreError::DomainViolation {
+                attr: a.name().to_string(),
+                value: "NULL".into(),
+                domain: "flexible relations model absence structurally, not with nulls".into(),
+            });
+        }
+    }
+    Ok(())
 }
 
 impl Database {
@@ -60,7 +158,7 @@ impl Database {
             }
         }
         let stored = Stored {
-            heap: Heap::new(),
+            parts: PartitionedHeap::new(),
             indexes: keys.into_iter().map(HashIndex::new).collect(),
         };
         let name = def.name.clone();
@@ -78,7 +176,7 @@ impl Database {
 
     /// Number of live tuples in a relation.
     pub fn count(&self, relation: &str) -> Result<usize> {
-        Ok(self.stored(relation)?.heap.len())
+        Ok(self.stored(relation)?.parts.len())
     }
 
     fn stored(&self, relation: &str) -> Result<&Stored> {
@@ -95,108 +193,175 @@ impl Database {
 
     /// Validates a tuple against the relation's scheme, domains and
     /// dependencies (using the determinant indexes for the pairwise checks)
-    /// without inserting it.
+    /// without inserting it.  This is the unmemoized path; [`Database::insert`]
+    /// reuses the shape memo of the target partition when one exists.
     pub fn check_insert(&self, relation: &str, t: &Tuple) -> Result<()> {
         let def = self.catalog.get(relation)?;
         let stored = self.stored(relation)?;
-        // Scheme + domains + no-null checks.
-        let probe = FlexRelation::from_parts(
-            def.name.clone(),
-            def.scheme.clone(),
-            def.domains.clone(),
-            flexrel_core::dep::DependencySet::new(),
-            Vec::new(),
-        );
-        probe.check_scheme(t)?;
-        // Dependencies.
+        self.check_insert_full(def, stored, t)
+    }
+
+    /// The full (unmemoized) check sequence: scheme membership, domains,
+    /// dependencies.  Shared by [`Database::check_insert`] and the
+    /// new-partition path of [`Database::insert`].
+    fn check_insert_full(&self, def: &RelationDef, stored: &Stored, t: &Tuple) -> Result<()> {
+        if !def.scheme.admits(&t.attrs()) {
+            return Err(CoreError::SchemeViolation {
+                tuple_attrs: t.attrs().to_string(),
+                scheme: def.scheme.to_string(),
+            });
+        }
+        check_domains(def, t)?;
+        self.check_deps_full(def, stored, t)
+    }
+
+    /// The dependency half of the unmemoized check.
+    fn check_deps_full(&self, def: &RelationDef, stored: &Stored, t: &Tuple) -> Result<()> {
         for dep in def.deps.iter() {
             match dep {
                 Dependency::Ead(ead) => ead.check_tuple(t)?,
                 Dependency::Ad(ad) => {
-                    let peers = self.peers(stored, ad.lhs(), t);
-                    ad.check_insert(&peers, t)?;
+                    ad.check_insert_among(stored.peers(ad.lhs(), t), t)?;
                 }
                 Dependency::Fd(fd) => {
-                    let peers = self.peers(stored, fd.lhs(), t);
-                    fd.check_insert(&peers, t)?;
+                    fd.check_insert_among(stored.peers(fd.lhs(), t), t)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// The existing tuples that could conflict with `t` on a dependency with
-    /// determinant `lhs`: an index lookup when an index on `lhs` exists,
-    /// otherwise a full scan.
-    fn peers(&self, stored: &Stored, lhs: &AttrSet, t: &Tuple) -> Vec<Tuple> {
-        if !t.defined_on(lhs) {
-            return Vec::new();
+    /// The memoized check: the shape already passed scheme membership and
+    /// every `X ⊆ attr(t)` guard when its partition was opened, so only
+    /// value-level checks (domains, variant lookup, peer agreement) run.
+    fn check_deps_memoized(
+        &self,
+        def: &RelationDef,
+        stored: &Stored,
+        memo: &ShapeMemo,
+        t: &Tuple,
+    ) -> Result<()> {
+        for (dep, guard) in def.deps.iter().zip(memo.dep_guards.iter()) {
+            match (dep, guard) {
+                (
+                    Dependency::Ead(ead),
+                    DepGuard::Ead {
+                        lhs_defined,
+                        y_overlap_empty,
+                        admissible,
+                    },
+                ) => {
+                    // A shape not defined on X was admitted with an empty
+                    // Y-overlap; nothing value-level remains to check.
+                    if *lhs_defined {
+                        match ead.variant_for_restriction(t) {
+                            Some((i, _)) if admissible.contains(&i) => {}
+                            None if *y_overlap_empty => {}
+                            // Fall back to the ground-truth check for the
+                            // canonical error message.
+                            _ => ead.check_tuple(t)?,
+                        }
+                    }
+                }
+                (Dependency::Ad(ad), DepGuard::Pairwise { lhs_defined }) => {
+                    if *lhs_defined {
+                        ad.check_insert_among(stored.peers(ad.lhs(), t), t)?;
+                    }
+                }
+                (Dependency::Fd(fd), DepGuard::Pairwise { lhs_defined }) => {
+                    if *lhs_defined {
+                        fd.check_insert_among(stored.peers(fd.lhs(), t), t)?;
+                    }
+                }
+                // The memo is built from the same dependency list it is
+                // zipped with; a mismatch means the definition changed under
+                // us, so fall back to the full check.
+                _ => return self.check_deps_full(def, stored, t),
+            }
         }
-        if let Some(idx) = stored.index_on(lhs) {
-            let key = t.project(lhs);
-            let mut out: Vec<Tuple> = idx
-                .lookup(&key)
-                .iter()
-                .filter_map(|tid| stored.heap.get(*tid).cloned())
-                .collect();
-            out.extend(
-                idx.partial_tuples()
-                    .iter()
-                    .filter_map(|tid| stored.heap.get(*tid).cloned()),
-            );
-            out
-        } else {
-            stored.heap.all_tuples()
-        }
+        Ok(())
     }
 
-    /// Inserts a tuple with full type checking.
-    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<TupleId> {
-        self.check_insert(relation, &t)?;
-        let stored = self.stored_mut(relation)?;
-        let tid = stored.heap.insert(t.clone());
+    /// Inserts a tuple with full type checking, memoized per shape.
+    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<Rid> {
+        let def = self
+            .catalog
+            .get(relation)
+            .map_err(|_| CoreError::NotFound(format!("relation {}", relation)))?;
+        let stored = self
+            .storage
+            .get(relation)
+            .ok_or_else(|| CoreError::NotFound(format!("relation {}", relation)))?;
+        let sid = t.shape_id();
+        let new_memo = match stored.parts.partition(sid) {
+            Some(part) => {
+                // Fast path: shape-level checks replayed from the memo.
+                check_domains(def, &t)?;
+                self.check_deps_memoized(def, stored, part.memo(), &t)?;
+                None
+            }
+            None => {
+                self.check_insert_full(def, stored, &t)?;
+                Some(shape_memo(def, t.shape()))
+            }
+        };
+        let stored = self.storage.get_mut(relation).expect("checked above");
+        let rid = stored.parts.insert(sid, t.clone(), new_memo);
         for idx in &mut stored.indexes {
-            idx.insert(tid, &t);
+            idx.insert(rid, &t);
         }
-        Ok(tid)
+        Ok(rid)
+    }
+
+    /// Inserts a tuple *without* constraint checks.  Only used to restore
+    /// previously validated tuples (rollback, failed updates); rebuilds the
+    /// partition memo if the shape's partition was dropped in the meantime.
+    fn insert_unchecked(&mut self, relation: &str, t: Tuple) -> Result<Rid> {
+        let def = self.catalog.get(relation)?;
+        let sid = t.shape_id();
+        let memo = {
+            let stored = self.stored(relation)?;
+            if stored.parts.partition(sid).is_none() {
+                Some(shape_memo(def, t.shape()))
+            } else {
+                None
+            }
+        };
+        let stored = self.storage.get_mut(relation).expect("checked above");
+        let rid = stored.parts.insert(sid, t.clone(), memo);
+        for idx in &mut stored.indexes {
+            idx.insert(rid, &t);
+        }
+        Ok(rid)
     }
 
     /// Inserts under a transaction, recording the undo action.
-    pub fn insert_txn(
-        &mut self,
-        txn: &mut Transaction,
-        relation: &str,
-        t: Tuple,
-    ) -> Result<TupleId> {
-        let tid = self.insert(relation, t)?;
+    pub fn insert_txn(&mut self, txn: &mut Transaction, relation: &str, t: Tuple) -> Result<Rid> {
+        let rid = self.insert(relation, t)?;
         txn.record(UndoAction::UndoInsert {
             relation: relation.to_string(),
-            tid,
+            rid,
         });
-        Ok(tid)
+        Ok(rid)
     }
 
-    /// Deletes a tuple by identifier, returning it.
-    pub fn delete(&mut self, relation: &str, tid: TupleId) -> Result<Tuple> {
+    /// Deletes a tuple by identifier, returning it.  Deleting the last tuple
+    /// of a partition drops the partition (and its shape memo).
+    pub fn delete(&mut self, relation: &str, rid: Rid) -> Result<Tuple> {
         let stored = self.stored_mut(relation)?;
         let old = stored
-            .heap
-            .delete(tid)
-            .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", tid, relation)))?;
+            .parts
+            .delete(rid)
+            .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))?;
         for idx in &mut stored.indexes {
-            idx.remove(tid, &old);
+            idx.remove(rid, &old);
         }
         Ok(old)
     }
 
     /// Deletes under a transaction.
-    pub fn delete_txn(
-        &mut self,
-        txn: &mut Transaction,
-        relation: &str,
-        tid: TupleId,
-    ) -> Result<Tuple> {
-        let old = self.delete(relation, tid)?;
+    pub fn delete_txn(&mut self, txn: &mut Transaction, relation: &str, rid: Rid) -> Result<Tuple> {
+        let old = self.delete(relation, rid)?;
         txn.record(UndoAction::UndoDelete {
             relation: relation.to_string(),
             tuple: old.clone(),
@@ -204,36 +369,66 @@ impl Database {
         Ok(old)
     }
 
-    /// Replaces the tuple under `tid` after re-checking all constraints
-    /// against the rest of the instance.
-    pub fn update(&mut self, relation: &str, tid: TupleId, new: Tuple) -> Result<Tuple> {
-        // Remove, check, re-insert under the same identifier; restore on
-        // failure.
-        let old = self.delete(relation, tid)?;
-        if let Err(e) = self.check_insert(relation, &new) {
-            let stored = self.stored_mut(relation)?;
-            let restored_tid = stored.heap.insert(old.clone());
-            for idx in &mut stored.indexes {
-                idx.insert(restored_tid, &old);
+    /// Replaces the tuple under `rid` after re-checking all constraints
+    /// against the rest of the instance.  The replacement may change the
+    /// tuple's shape, in which case it moves to another partition (a *type
+    /// change* in the sense of §3.1 footnote 3).
+    pub fn update(&mut self, relation: &str, rid: Rid, new: Tuple) -> Result<Tuple> {
+        // Remove, check, re-insert; restore on failure.
+        let old = self.delete(relation, rid)?;
+        match self.insert(relation, new) {
+            Ok(_) => Ok(old),
+            Err(e) => {
+                self.insert_unchecked(relation, old)
+                    .expect("restoring the previous tuple cannot fail");
+                Err(e)
             }
-            return Err(e);
         }
-        let stored = self.stored_mut(relation)?;
-        let new_tid = stored.heap.insert(new.clone());
-        for idx in &mut stored.indexes {
-            idx.insert(new_tid, &new);
-        }
-        Ok(old)
     }
 
-    /// Scans all tuples of a relation.
-    pub fn scan(&self, relation: &str) -> Result<Vec<(TupleId, Tuple)>> {
+    /// Scans all tuples of a relation, partition by partition.
+    pub fn scan(&self, relation: &str) -> Result<Vec<(Rid, Tuple)>> {
         Ok(self
             .stored(relation)?
-            .heap
+            .parts
             .scan()
-            .map(|(tid, t)| (tid, t.clone()))
+            .map(|(rid, t)| (rid, t.clone()))
             .collect())
+    }
+
+    /// Streams the tuples of the partitions admitted by the shape predicate
+    /// — the pruned scan behind the streaming executor.  `admits` is given
+    /// each live partition's shape once, not once per tuple.
+    pub fn scan_where<'a, F>(
+        &'a self,
+        relation: &str,
+        admits: F,
+    ) -> Result<impl Iterator<Item = (Rid, &'a Tuple)> + 'a>
+    where
+        F: FnMut(&AttrSet) -> bool + 'a,
+    {
+        Ok(self.stored(relation)?.parts.scan_where(admits))
+    }
+
+    /// Per-partition metadata for a relation, in `ShapeId` order.
+    pub fn partitions(&self, relation: &str) -> Result<Vec<PartitionInfo>> {
+        Ok(self
+            .stored(relation)?
+            .parts
+            .partitions()
+            .map(|(sid, p)| PartitionInfo {
+                shape_id: sid,
+                shape: p.shape().clone(),
+                disjunct: p.memo().disjunct.clone(),
+                tuples: p.len(),
+            })
+            .collect())
+    }
+
+    /// The union of the live tuple shapes of a relation — the exact
+    /// `⋃ attr(t)` over the instance, from partition metadata.
+    pub fn relation_attrs(&self, relation: &str) -> Result<AttrSet> {
+        Ok(self.stored(relation)?.parts.attrs_union())
     }
 
     /// Equality lookup on an attribute set: uses the matching determinant
@@ -250,13 +445,13 @@ impl Database {
             Ok(idx
                 .lookup(key_value)
                 .iter()
-                .filter_map(|tid| stored.heap.get(*tid).cloned())
+                .filter_map(|rid| stored.parts.get(*rid).cloned())
                 .collect())
         } else {
             Ok(stored
-                .heap
-                .scan()
-                .filter(|(_, t)| t.defined_on(key) && t.project(key) == *key_value)
+                .parts
+                .scan_where(|shape| key.is_subset(shape))
+                .filter(|(_, t)| t.project(key) == *key_value)
                 .map(|(_, t)| t.clone())
                 .collect())
         }
@@ -279,42 +474,39 @@ impl Database {
             def.scheme.clone(),
             def.domains.clone(),
             def.deps.clone(),
-            stored.heap.all_tuples(),
+            stored.parts.all_tuples(),
         ))
     }
 
     /// Rolls back a transaction, undoing every recorded action in reverse
-    /// order.
+    /// order.  Partitions (and their shape memos) opened by the transaction
+    /// are dropped again when their last tuple is undone, so the partition
+    /// structure is restored exactly.
     pub fn rollback(&mut self, mut txn: Transaction) -> Result<()> {
         for action in txn.drain_rollback() {
             match action {
-                UndoAction::UndoInsert { relation, tid } => {
+                UndoAction::UndoInsert { relation, rid } => {
                     let stored = self.stored_mut(&relation)?;
-                    if let Some(old) = stored.heap.delete(tid) {
+                    if let Some(old) = stored.parts.delete(rid) {
                         for idx in &mut stored.indexes {
-                            idx.remove(tid, &old);
+                            idx.remove(rid, &old);
                         }
                     }
                 }
                 UndoAction::UndoDelete { relation, tuple } => {
-                    let stored = self.stored_mut(&relation)?;
-                    let tid = stored.heap.insert(tuple.clone());
-                    for idx in &mut stored.indexes {
-                        idx.insert(tid, &tuple);
-                    }
+                    self.insert_unchecked(&relation, tuple)?;
                 }
                 UndoAction::UndoUpdate {
                     relation,
-                    tid,
+                    rid,
                     previous,
                 } => {
                     let stored = self.stored_mut(&relation)?;
-                    if let Some(current) = stored.heap.get(tid).cloned() {
-                        stored.heap.replace(tid, previous.clone());
+                    if let Some(current) = stored.parts.delete(rid) {
                         for idx in &mut stored.indexes {
-                            idx.remove(tid, &current);
-                            idx.insert(tid, &previous);
+                            idx.remove(rid, &current);
                         }
+                        self.insert_unchecked(&relation, previous)?;
                     }
                 }
             }
@@ -360,6 +552,48 @@ mod tests {
         assert_eq!(db.scan("employee").unwrap().len(), 50);
         assert!(db.catalog().contains("employee"));
         assert!(db.count("nope").is_err());
+    }
+
+    #[test]
+    fn storage_is_partitioned_by_shape() {
+        let db = db_with_employees(120);
+        let parts = db.partitions("employee").unwrap();
+        assert_eq!(
+            parts.len(),
+            3,
+            "three job types, three variant shapes: {:?}",
+            parts
+        );
+        assert_eq!(
+            parts.iter().map(|p| p.tuples).sum::<usize>(),
+            120,
+            "partitions cover the instance"
+        );
+        for p in &parts {
+            assert_eq!(p.disjunct, p.shape, "an admitted shape is its own disjunct");
+            assert!(p.shape.is_superset(&attrs!["empno", "jobtype"]));
+            assert_eq!(p.shape_id.attrs(), p.shape);
+        }
+        // The live attribute union comes from partition metadata.
+        let union = db.relation_attrs("employee").unwrap();
+        assert!(union.is_superset(&attrs!["typing-speed", "sales-commission"]));
+    }
+
+    #[test]
+    fn scan_where_prunes_by_shape() {
+        let db = db_with_employees(90);
+        let need = attrs!["typing-speed"];
+        let secretaries: Vec<_> = db
+            .scan_where("employee", |s| need.is_subset(s))
+            .unwrap()
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert!(!secretaries.is_empty());
+        assert!(secretaries
+            .iter()
+            .all(|t| t.get_name("jobtype") == Some(&Value::tag("secretary"))));
+        let full = db.scan("employee").unwrap().len();
+        assert!(secretaries.len() < full);
     }
 
     #[test]
@@ -419,17 +653,38 @@ mod tests {
     }
 
     #[test]
+    fn memoized_fast_path_rejects_like_the_full_path() {
+        // Every tuple is checked twice: via check_insert (always the full,
+        // unmemoized path) and via insert (memoized after the first tuple of
+        // each shape).  The verdicts must agree tuple for tuple.
+        let mut db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        let tuples = generate_employees(&EmployeeConfig::with_violations(400, 0.2));
+        let mut rejects_full = 0usize;
+        let mut rejects_fast = 0usize;
+        for t in tuples {
+            let full = db.check_insert("employee", &t);
+            let fast = db.insert("employee", t);
+            assert_eq!(full.is_ok(), fast.is_ok(), "memo and full path disagree");
+            rejects_full += full.is_err() as usize;
+            rejects_fast += fast.is_err() as usize;
+        }
+        assert!(rejects_fast > 0, "the workload injected violations");
+        assert_eq!(rejects_full, rejects_fast);
+    }
+
+    #[test]
     fn delete_and_update() {
         let mut db = db_with_employees(10);
-        let (tid, t) = db.scan("employee").unwrap()[0].clone();
-        let removed = db.delete("employee", tid).unwrap();
+        let (rid, t) = db.scan("employee").unwrap()[0].clone();
+        let removed = db.delete("employee", rid).unwrap();
         assert_eq!(removed, t);
         assert_eq!(db.count("employee").unwrap(), 9);
-        assert!(db.delete("employee", tid).is_err());
+        assert!(db.delete("employee", rid).is_err());
 
         // Update: change a salesman's jobtype without fixing the variant
         // attributes → rejected, original restored.
-        let (tid, original) = db
+        let (rid, original) = db
             .scan("employee")
             .unwrap()
             .into_iter()
@@ -437,7 +692,7 @@ mod tests {
             .unwrap();
         let mut broken = original.clone();
         broken.insert("jobtype", Value::tag("secretary"));
-        assert!(db.update("employee", tid, broken).is_err());
+        assert!(db.update("employee", rid, broken).is_err());
         assert_eq!(db.count("employee").unwrap(), 9);
         let still_there = db
             .lookup_eq(
@@ -448,6 +703,44 @@ mod tests {
             .unwrap();
         assert_eq!(still_there.len(), 1);
         assert_eq!(still_there[0], original);
+    }
+
+    #[test]
+    fn update_can_change_shape_and_partition() {
+        let mut db = db_with_employees(30);
+        let before = db.partitions("employee").unwrap();
+        let (rid, original) = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .find(|(_, t)| t.get_name("jobtype") == Some(&Value::tag("secretary")))
+            .unwrap();
+        // A proper type change: secretary → salesman with adapted variant
+        // attributes moves the tuple to the salesman partition.
+        let mut changed = original.clone();
+        changed.insert("jobtype", Value::tag("salesman"));
+        changed.remove(&"typing-speed".into());
+        changed.remove(&"foreign-languages".into());
+        changed.insert("products", "crm");
+        changed.insert("sales-commission", 5);
+        db.update("employee", rid, changed.clone()).unwrap();
+        let after = db.partitions("employee").unwrap();
+        assert_eq!(before.len(), after.len());
+        let count_for = |parts: &[PartitionInfo], shape: &AttrSet| {
+            parts
+                .iter()
+                .find(|p| p.shape == *shape)
+                .map(|p| p.tuples)
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            count_for(&after, changed.shape()),
+            count_for(&before, changed.shape()) + 1
+        );
+        assert_eq!(
+            count_for(&after, original.shape()),
+            count_for(&before, original.shape()) - 1
+        );
     }
 
     #[test]
@@ -474,11 +767,103 @@ mod tests {
             t.insert("empno", 1000 + i as i64);
             db.insert_txn(&mut txn, "employee", t).unwrap();
         }
-        let (tid, _) = db.scan("employee").unwrap()[0].clone();
-        db.delete_txn(&mut txn, "employee", tid).unwrap();
+        let (rid, _) = db.scan("employee").unwrap()[0].clone();
+        db.delete_txn(&mut txn, "employee", rid).unwrap();
         assert_eq!(db.count("employee").unwrap(), before + 8 - 1);
         db.rollback(txn).unwrap();
         assert_eq!(db.count("employee").unwrap(), before);
+    }
+
+    #[test]
+    fn rollback_across_partitions_restores_heaps_and_memo_state() {
+        use std::collections::BTreeSet;
+        // Start from a single-shape instance: two secretaries.
+        let mut db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        let secretary = |empno: i64| {
+            Tuple::new()
+                .with("empno", empno)
+                .with("name", format!("sec{}", empno))
+                .with("salary", 4000.0 + empno as f64)
+                .with("jobtype", Value::tag("secretary"))
+                .with("typing-speed", 300)
+                .with("foreign-languages", "french")
+        };
+        db.insert("employee", secretary(1)).unwrap();
+        db.insert("employee", secretary(2)).unwrap();
+        let parts_before = db.partitions("employee").unwrap();
+        let tuples_before: BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(parts_before.len(), 1, "one shape before the load");
+
+        // An aborted multi-tuple load spanning two *new* shapes (salesman
+        // and software engineer) plus one more tuple of the existing shape.
+        let mut txn = Transaction::begin();
+        db.insert_txn(
+            &mut txn,
+            "employee",
+            Tuple::new()
+                .with("empno", 10)
+                .with("name", "sal")
+                .with("salary", 5000.0)
+                .with("jobtype", Value::tag("salesman"))
+                .with("products", "crm")
+                .with("sales-commission", 7),
+        )
+        .unwrap();
+        db.insert_txn(
+            &mut txn,
+            "employee",
+            Tuple::new()
+                .with("empno", 11)
+                .with("name", "eng")
+                .with("salary", 6000.0)
+                .with("jobtype", Value::tag("software engineer"))
+                .with("products", "db")
+                .with("programming-languages", "rust"),
+        )
+        .unwrap();
+        db.insert_txn(&mut txn, "employee", secretary(12)).unwrap();
+        assert_eq!(
+            db.partitions("employee").unwrap().len(),
+            3,
+            "the load opened two new partitions"
+        );
+
+        // Abort: both new partition heaps and their shape memos must vanish,
+        // and the surviving partition must be byte-for-byte as before.
+        db.rollback(txn).unwrap();
+        let parts_after = db.partitions("employee").unwrap();
+        assert_eq!(
+            parts_after, parts_before,
+            "partition catalog (shapes, disjuncts, memo presence, counts) restored exactly"
+        );
+        let tuples_after: BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(tuples_after, tuples_before);
+
+        // The memo state is rebuilt correctly on the next insert of a
+        // previously rolled-back shape.
+        db.insert(
+            "employee",
+            Tuple::new()
+                .with("empno", 20)
+                .with("name", "sal2")
+                .with("salary", 5100.0)
+                .with("jobtype", Value::tag("salesman"))
+                .with("products", "erp")
+                .with("sales-commission", 9),
+        )
+        .unwrap();
+        assert_eq!(db.partitions("employee").unwrap().len(), 2);
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! Tuples live in fixed-size segments; a [`TupleId`] is the pair of segment
 //! number and slot.  Deleted slots are tombstoned and reused by later
 //! inserts, so identifiers of live tuples never move.
+//!
+//! A [`Heap`] stores one *partition* of a relation — all tuples of a single
+//! shape; see [`crate::partition`] for the shape-partitioned store built on
+//! top and for the [`Rid`](crate::partition::Rid) identifiers that pair a
+//! partition with a `TupleId`.
 
 use flexrel_core::tuple::Tuple;
 

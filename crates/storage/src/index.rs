@@ -5,22 +5,25 @@
 //! determining attributes of the declared ADs/FDs make both dependency
 //! checking at insert time and equality selections on the determinant cheap
 //! — the access-path counterpart of the query-rewrite uses of ADs (§3.1.2).
+//!
+//! With shape-partitioned heaps the indexed identifiers are [`Rid`]s, so an
+//! index probe lands directly in the right partition.
 
 use std::collections::HashMap;
 
 use flexrel_core::attr::AttrSet;
 use flexrel_core::tuple::Tuple;
 
-use crate::heap::TupleId;
+use crate::partition::Rid;
 
 /// A hash index over a fixed attribute-set key.
 #[derive(Clone, Debug)]
 pub struct HashIndex {
     key: AttrSet,
-    entries: HashMap<Tuple, Vec<TupleId>>,
+    entries: HashMap<Tuple, Vec<Rid>>,
     /// Tuples not defined on the full key are unreachable through the index
     /// and tracked separately so scans can fall back to them.
-    partial: Vec<TupleId>,
+    partial: Vec<Rid>,
 }
 
 impl HashIndex {
@@ -39,35 +42,35 @@ impl HashIndex {
     }
 
     /// Indexes a tuple.
-    pub fn insert(&mut self, tid: TupleId, t: &Tuple) {
+    pub fn insert(&mut self, rid: Rid, t: &Tuple) {
         if t.defined_on(&self.key) {
             self.entries
                 .entry(t.project(&self.key))
                 .or_default()
-                .push(tid);
+                .push(rid);
         } else {
-            self.partial.push(tid);
+            self.partial.push(rid);
         }
     }
 
     /// Removes a tuple from the index.
-    pub fn remove(&mut self, tid: TupleId, t: &Tuple) {
+    pub fn remove(&mut self, rid: Rid, t: &Tuple) {
         if t.defined_on(&self.key) {
             let k = t.project(&self.key);
             if let Some(v) = self.entries.get_mut(&k) {
-                v.retain(|x| *x != tid);
+                v.retain(|x| *x != rid);
                 if v.is_empty() {
                     self.entries.remove(&k);
                 }
             }
         } else {
-            self.partial.retain(|x| *x != tid);
+            self.partial.retain(|x| *x != rid);
         }
     }
 
     /// Tuple identifiers whose key projection equals `key_value` (a tuple
     /// over exactly the index key).
-    pub fn lookup(&self, key_value: &Tuple) -> &[TupleId] {
+    pub fn lookup(&self, key_value: &Tuple) -> &[Rid] {
         self.entries
             .get(key_value)
             .map(|v| v.as_slice())
@@ -75,7 +78,7 @@ impl HashIndex {
     }
 
     /// Tuple identifiers of tuples not defined on the full index key.
-    pub fn partial_tuples(&self) -> &[TupleId] {
+    pub fn partial_tuples(&self) -> &[Rid] {
         &self.partial
     }
 
@@ -101,14 +104,15 @@ mod tests {
     use flexrel_core::value::Value;
     use flexrel_core::{attrs, tuple};
 
-    fn tid(n: u32) -> TupleId {
-        // Build distinct TupleIds through a throwaway heap.
+    fn rid(n: u32) -> Rid {
+        // Build distinct Rids through a throwaway heap (all in one shape).
+        let shape = tuple! {"x" => 0}.shape_id();
         let mut h = crate::heap::Heap::new();
         let mut last = h.insert(tuple! {"x" => 0});
         for i in 1..=n {
             last = h.insert(tuple! {"x" => i as i64});
         }
-        last
+        Rid::new(shape, last)
     }
 
     #[test]
@@ -117,7 +121,7 @@ mod tests {
         let t1 = tuple! {"jobtype" => Value::tag("secretary"), "empno" => 1};
         let t2 = tuple! {"jobtype" => Value::tag("secretary"), "empno" => 2};
         let t3 = tuple! {"jobtype" => Value::tag("salesman"), "empno" => 3};
-        let (a, b, c) = (tid(0), tid(1), tid(2));
+        let (a, b, c) = (rid(0), rid(1), rid(2));
         idx.insert(a, &t1);
         idx.insert(b, &t2);
         idx.insert(c, &t3);
@@ -136,7 +140,7 @@ mod tests {
     fn tuples_without_key_go_to_partial_list() {
         let mut idx = HashIndex::new(attrs!["jobtype"]);
         let t = tuple! {"empno" => 1};
-        let a = tid(0);
+        let a = rid(0);
         idx.insert(a, &t);
         assert_eq!(idx.partial_tuples(), &[a]);
         assert_eq!(idx.len(), 1);

@@ -1,26 +1,38 @@
 //! # flexrel-storage
 //!
 //! An in-memory storage substrate for flexible relations: a catalog of
-//! relation definitions, a heap tuple store with stable tuple identifiers,
-//! hash indexes over attribute sets (notably the determining attributes of
-//! the declared ADs), a small undo-log transaction layer and a [`Database`]
-//! facade that enforces scheme, domain and dependency constraints on every
-//! write — the operational side of §3.1's "they can now be exploited
-//! operationally".
+//! relation definitions, **shape-partitioned** heap tuple storage (one
+//! segment heap per distinct `attr(t)`, keyed by the interned
+//! [`ShapeId`](flexrel_core::tuple::ShapeId)), hash indexes over attribute
+//! sets (notably the determining attributes of the declared ADs), a small
+//! undo-log transaction layer and a [`Database`] facade that enforces
+//! scheme, domain and dependency constraints on every write — the
+//! operational side of §3.1's "they can now be exploited operationally".
+//!
+//! Partitioning by shape makes the DNF structure of the scheme
+//! (`dnf(FS)`, [`FlexScheme::dnf`](flexrel_core::scheme::FlexScheme::dnf))
+//! physical: each partition is a homogeneous fragment satisfying exactly one
+//! disjunct, insert-time type checks are memoized per shape
+//! ([`partition::ShapeMemo`]), and scans can skip partitions whose shape
+//! cannot satisfy a query ([`Database::scan_where`]).
 //!
 //! The query engine (`flexrel-query`) plans and executes against this crate;
 //! the algebra (`flexrel-algebra`) operates on materialized
 //! [`FlexRelation`](flexrel_core::relation::FlexRelation) snapshots obtained
 //! via [`Database::snapshot`].
 
+#![deny(missing_docs)]
+
 pub mod catalog;
 pub mod db;
 pub mod heap;
 pub mod index;
+pub mod partition;
 pub mod txn;
 
 pub use catalog::{Catalog, RelationDef};
-pub use db::Database;
+pub use db::{Database, PartitionInfo};
 pub use heap::{Heap, TupleId};
 pub use index::HashIndex;
+pub use partition::{DepGuard, Partition, PartitionedHeap, Rid, ShapeMemo};
 pub use txn::{Transaction, UndoAction};

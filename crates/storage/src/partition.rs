@@ -1,0 +1,367 @@
+//! Shape-partitioned heap storage.
+//!
+//! A flexible relation's instance is the union of homogeneous *fragments*:
+//! every tuple's attribute set `attr(t)` is one disjunct of the scheme's DNF
+//! (`attr(t) ∈ dnf(FS)`, §2.1), and the attribute dependencies constrain
+//! which disjuncts can carry which determining values.  This module stores
+//! each relation physically in that shape: one segment [`Heap`] per distinct
+//! tuple shape, keyed by the interned
+//! [`ShapeId`] that
+//! [`Tuple::shape_id`](flexrel_core::tuple::Tuple::shape_id) yields.
+//!
+//! Partitioning buys three things:
+//!
+//! * **Partition pruning** — a scan that needs attributes `X` present (a
+//!   type guard, or a selection whose predicate requires them) visits only
+//!   the partitions whose shape contains `X`; the query optimizer pushes
+//!   such shape predicates into `Scan` nodes (`flexrel-query`).
+//! * **Memoized insert checking** — a shape that has been admitted once has
+//!   already passed the scheme-membership test `attr(t) ∈ dnf(FS)` and all
+//!   `X ⊆ attr(t)` guards of the declared dependencies; later inserts of
+//!   the same shape skip straight to value-level checks (see [`ShapeMemo`]).
+//! * **Cheap shape metadata** — the set of live shapes (and their union) is
+//!   maintained incrementally, so the executor can derive join/projection
+//!   attribute sets from partition metadata instead of folding over tuples.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::tuple::{ShapeId, Tuple};
+
+use crate::heap::{Heap, TupleId};
+
+/// A stable identifier of a tuple stored in a shape-partitioned relation:
+/// the partition's [`ShapeId`] plus the tuple's [`TupleId`] inside that
+/// partition's segment heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rid {
+    shape: ShapeId,
+    loc: TupleId,
+}
+
+impl Rid {
+    /// Builds a record identifier from its parts.
+    pub fn new(shape: ShapeId, loc: TupleId) -> Self {
+        Rid { shape, loc }
+    }
+
+    /// The partition (shape) this tuple lives in.
+    pub fn shape(&self) -> ShapeId {
+        self.shape
+    }
+
+    /// The position inside the partition's segment heap.
+    pub fn loc(&self) -> TupleId {
+        self.loc
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.shape, self.loc)
+    }
+}
+
+/// The memoized outcome of the shape-level half of insert-time type
+/// checking, computed once when a partition is created.
+///
+/// Full type checking of a tuple `t` splits into *shape-level* facts that
+/// depend only on `attr(t)` — scheme membership `attr(t) ∈ dnf(FS)` and the
+/// `X ⊆ attr(t)` guards of every declared dependency — and *value-level*
+/// facts that depend on the stored values (domains, the actual `t[X]`, FD
+/// agreement with peers).  Because all tuples of a partition share their
+/// shape, the shape-level half is computed once and replayed from this memo
+/// for every later insert into the partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeMemo {
+    /// The DNF disjunct of the scheme this shape satisfies.  For an admitted
+    /// shape this is the shape itself (the DNF members *are* the admissible
+    /// attribute combinations); recording it memoizes the recursive
+    /// `FlexScheme::admits` test.
+    pub disjunct: AttrSet,
+    /// One guard per declared dependency, in declaration order.
+    pub dep_guards: Vec<DepGuard>,
+}
+
+/// The shape-level residue of one dependency check (see [`ShapeMemo`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DepGuard {
+    /// An EAD `<X --exp.attr--> Y, {Vi --exp.attr--> Yi}>` reduced to this
+    /// shape: which variants are *admissible* (those whose `Yi` equals the
+    /// shape's `Y`-overlap), so the value-level check is a variant lookup
+    /// plus an index test.
+    Ead {
+        /// Whether the shape contains all of `X` (tuples of this shape can
+        /// match a variant at all).  When `false`, the shape's `Y`-overlap
+        /// was verified empty at admission time and the whole check is
+        /// skipped.
+        lhs_defined: bool,
+        /// Whether `shape ∩ Y = ∅`.
+        y_overlap_empty: bool,
+        /// Indices of the variants whose `Yi` equals `shape ∩ Y`.
+        admissible: Vec<usize>,
+    },
+    /// An AD or FD, whose per-pair premise requires `X ⊆ attr(t)`: when
+    /// `lhs_defined` is `false` the check is vacuous for every tuple of the
+    /// shape and is skipped entirely.
+    Pairwise {
+        /// Whether the shape contains the dependency's determinant `X`.
+        lhs_defined: bool,
+    },
+}
+
+/// One heap partition: all live tuples of a single shape.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    shape: AttrSet,
+    heap: Heap,
+    memo: ShapeMemo,
+}
+
+impl Partition {
+    fn new(shape: AttrSet, memo: ShapeMemo) -> Self {
+        Partition {
+            shape,
+            heap: Heap::new(),
+            memo,
+        }
+    }
+
+    /// The shape (`attr(t)`) shared by every tuple of the partition.
+    pub fn shape(&self) -> &AttrSet {
+        &self.shape
+    }
+
+    /// The memoized shape-level type-check facts.
+    pub fn memo(&self) -> &ShapeMemo {
+        &self.memo
+    }
+
+    /// Number of live tuples in the partition.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the partition holds no live tuple.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Iterates over the partition's live tuples.
+    pub fn tuples(&self) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
+        self.heap.scan()
+    }
+}
+
+/// A shape-partitioned heap: one segment [`Heap`] per distinct live tuple
+/// shape, keyed by [`ShapeId`].
+///
+/// Partitions are created lazily on the first insert of a shape (the caller
+/// supplies the [`ShapeMemo`] computed during that insert's full type check)
+/// and dropped as soon as their last tuple is deleted — so the partition
+/// set, including the memo state, always reflects exactly the live shapes.
+/// Rolling back a transaction therefore restores not only the tuples but
+/// the partition and memo structure as well.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionedHeap {
+    parts: BTreeMap<ShapeId, Partition>,
+    live: usize,
+}
+
+impl PartitionedHeap {
+    /// Creates an empty partitioned heap.
+    pub fn new() -> Self {
+        PartitionedHeap::default()
+    }
+
+    /// Total number of live tuples across all partitions.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no partition holds a live tuple.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of live partitions (distinct shapes).
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition for a shape, if any tuple of that shape is live.
+    pub fn partition(&self, shape: ShapeId) -> Option<&Partition> {
+        self.parts.get(&shape)
+    }
+
+    /// Iterates over the live partitions in `ShapeId` order.
+    pub fn partitions(&self) -> impl Iterator<Item = (ShapeId, &Partition)> + '_ {
+        self.parts.iter().map(|(sid, p)| (*sid, p))
+    }
+
+    /// The union of all live shapes — the exact `⋃ attr(t)` over the stored
+    /// instance, maintained from partition metadata instead of tuples.
+    pub fn attrs_union(&self) -> AttrSet {
+        self.parts
+            .values()
+            .fold(AttrSet::empty(), |acc, p| acc.union(&p.shape))
+    }
+
+    /// Inserts a tuple into its shape's partition.  `memo` must be provided
+    /// (and is consumed) exactly when the shape has no live partition yet —
+    /// i.e. when the caller just ran the full shape-level checks.
+    ///
+    /// # Panics
+    /// Panics if a new partition is needed but `memo` is `None`.
+    pub fn insert(&mut self, shape: ShapeId, t: Tuple, memo: Option<ShapeMemo>) -> Rid {
+        let part = self.parts.entry(shape).or_insert_with(|| {
+            Partition::new(
+                t.attrs(),
+                memo.expect("a ShapeMemo is required to open a new partition"),
+            )
+        });
+        debug_assert_eq!(part.shape, *t.shape(), "tuple routed to wrong partition");
+        let loc = part.heap.insert(t);
+        self.live += 1;
+        Rid { shape, loc }
+    }
+
+    /// Reads the tuple stored under `rid`, if it is live.
+    pub fn get(&self, rid: Rid) -> Option<&Tuple> {
+        self.parts.get(&rid.shape)?.heap.get(rid.loc)
+    }
+
+    /// Deletes the tuple under `rid`, returning it if it was live.  Dropping
+    /// the last tuple of a partition drops the partition (and its memo).
+    pub fn delete(&mut self, rid: Rid) -> Option<Tuple> {
+        let part = self.parts.get_mut(&rid.shape)?;
+        let old = part.heap.delete(rid.loc)?;
+        self.live -= 1;
+        if part.heap.is_empty() {
+            self.parts.remove(&rid.shape);
+        }
+        Some(old)
+    }
+
+    /// Iterates over all live tuples, partition by partition.
+    pub fn scan(&self) -> impl Iterator<Item = (Rid, &Tuple)> + '_ {
+        self.parts.iter().flat_map(|(sid, p)| {
+            p.heap
+                .scan()
+                .map(move |(loc, t)| (Rid { shape: *sid, loc }, t))
+        })
+    }
+
+    /// Iterates over the live tuples of the partitions admitted by the shape
+    /// predicate — the pruned scan behind the streaming executor.
+    pub fn scan_where<'a, F>(&'a self, mut admits: F) -> impl Iterator<Item = (Rid, &'a Tuple)> + 'a
+    where
+        F: FnMut(&AttrSet) -> bool + 'a,
+    {
+        self.parts
+            .iter()
+            .filter(move |(_, p)| admits(&p.shape))
+            .flat_map(|(sid, p)| {
+                p.heap
+                    .scan()
+                    .map(move |(loc, t)| (Rid { shape: *sid, loc }, t))
+            })
+    }
+
+    /// Materializes all live tuples.
+    pub fn all_tuples(&self) -> Vec<Tuple> {
+        self.scan().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::{attrs, tuple};
+
+    fn memo_for(shape: &AttrSet) -> ShapeMemo {
+        ShapeMemo {
+            disjunct: shape.clone(),
+            dep_guards: Vec::new(),
+        }
+    }
+
+    fn insert(h: &mut PartitionedHeap, t: Tuple) -> Rid {
+        let sid = t.shape_id();
+        let memo = if h.partition(sid).is_none() {
+            Some(memo_for(t.shape()))
+        } else {
+            None
+        };
+        h.insert(sid, t, memo)
+    }
+
+    #[test]
+    fn tuples_are_routed_by_shape() {
+        let mut h = PartitionedHeap::new();
+        let a = insert(&mut h, tuple! {"x" => 1});
+        let b = insert(&mut h, tuple! {"x" => 2});
+        let c = insert(&mut h, tuple! {"x" => 3, "y" => 4});
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.partition_count(), 2);
+        assert_eq!(a.shape(), b.shape());
+        assert_ne!(a.shape(), c.shape());
+        assert_eq!(h.get(a), Some(&tuple! {"x" => 1}));
+        assert_eq!(h.get(c), Some(&tuple! {"x" => 3, "y" => 4}));
+        assert_eq!(h.attrs_union(), attrs!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_partitions_are_dropped() {
+        let mut h = PartitionedHeap::new();
+        let a = insert(&mut h, tuple! {"x" => 1});
+        let _b = insert(&mut h, tuple! {"x" => 2, "y" => 3});
+        assert_eq!(h.partition_count(), 2);
+        assert_eq!(h.delete(a), Some(tuple! {"x" => 1}));
+        assert_eq!(h.partition_count(), 1, "emptied partition is dropped");
+        assert_eq!(h.attrs_union(), attrs!["x", "y"]);
+        assert_eq!(h.delete(a), None, "double delete is a no-op");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn scan_where_prunes_partitions() {
+        let mut h = PartitionedHeap::new();
+        for i in 0..5 {
+            insert(&mut h, tuple! {"x" => i});
+            insert(&mut h, tuple! {"x" => i, "y" => i});
+        }
+        let required = attrs!["y"];
+        let pruned: Vec<_> = h.scan_where(|s| required.is_subset(s)).collect();
+        assert_eq!(pruned.len(), 5);
+        assert!(pruned.iter().all(|(_, t)| t.has_name("y")));
+        assert_eq!(h.scan().count(), 10);
+        assert_eq!(h.all_tuples().len(), 10);
+    }
+
+    #[test]
+    fn memo_travels_with_the_partition() {
+        let mut h = PartitionedHeap::new();
+        let a = insert(&mut h, tuple! {"x" => 1});
+        let sid = a.shape();
+        assert_eq!(
+            h.partition(sid).unwrap().memo().disjunct,
+            attrs!["x"],
+            "memo records the admitted disjunct"
+        );
+        assert!(h.partition(sid).unwrap().tuples().count() == 1);
+        assert!(!h.partition(sid).unwrap().is_empty());
+        h.delete(a);
+        assert!(h.partition(sid).is_none(), "memo dropped with partition");
+    }
+
+    #[test]
+    fn rid_display_and_accessors() {
+        let mut h = PartitionedHeap::new();
+        let a = insert(&mut h, tuple! {"x" => 1});
+        assert_eq!(a.loc().segment(), 0);
+        assert_eq!(a.loc().slot(), 0);
+        assert!(a.to_string().contains("(0, 0)"));
+    }
+}

@@ -10,19 +10,36 @@
 
 use flexrel_core::tuple::Tuple;
 
-use crate::heap::TupleId;
+use crate::partition::Rid;
 
 /// One undoable action.
 #[derive(Clone, Debug, PartialEq)]
 pub enum UndoAction {
-    /// A tuple was inserted into `relation` under `tid`; undo by deleting it.
-    UndoInsert { relation: String, tid: TupleId },
-    /// A tuple was deleted from `relation`; undo by re-inserting it.
-    UndoDelete { relation: String, tuple: Tuple },
-    /// A tuple was replaced; undo by restoring the previous value.
-    UndoUpdate {
+    /// A tuple was inserted into `relation` under `rid`; undo by deleting
+    /// it (dropping its partition again if it was the partition's only
+    /// tuple).
+    UndoInsert {
+        /// The relation the tuple was inserted into.
         relation: String,
-        tid: TupleId,
+        /// The identifier the insert produced.
+        rid: Rid,
+    },
+    /// A tuple was deleted from `relation`; undo by re-inserting it.
+    UndoDelete {
+        /// The relation the tuple was deleted from.
+        relation: String,
+        /// The deleted tuple, re-inserted on rollback.
+        tuple: Tuple,
+    },
+    /// A tuple was replaced; undo by restoring the previous value (which
+    /// may live in a different partition when the update changed the
+    /// tuple's shape).
+    UndoUpdate {
+        /// The relation the tuple was replaced in.
+        relation: String,
+        /// The identifier of the replacement tuple.
+        rid: Rid,
+        /// The previous tuple, restored on rollback.
         previous: Tuple,
     },
 }
@@ -86,10 +103,13 @@ mod tests {
     fn log_and_rollback_order() {
         let mut txn = Transaction::begin();
         assert!(txn.is_empty());
-        let tid = crate::heap::Heap::new().insert(tuple! {"x" => 1});
+        let rid = Rid::new(
+            tuple! {"x" => 1}.shape_id(),
+            crate::heap::Heap::new().insert(tuple! {"x" => 1}),
+        );
         txn.record(UndoAction::UndoInsert {
             relation: "r".into(),
-            tid,
+            rid,
         });
         txn.record(UndoAction::UndoDelete {
             relation: "r".into(),
@@ -108,10 +128,13 @@ mod tests {
     #[test]
     fn commit_discards_log() {
         let mut txn = Transaction::begin();
-        let tid = crate::heap::Heap::new().insert(tuple! {"x" => 1});
+        let rid = Rid::new(
+            tuple! {"x" => 1}.shape_id(),
+            crate::heap::Heap::new().insert(tuple! {"x" => 1}),
+        );
         txn.record(UndoAction::UndoInsert {
             relation: "r".into(),
-            tid,
+            rid,
         });
         assert!(!txn.is_committed());
         txn.commit();

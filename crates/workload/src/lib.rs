@@ -13,6 +13,7 @@ pub mod address;
 pub mod depgen;
 pub mod employee;
 pub mod schemagen;
+pub mod widegen;
 
 pub use address::{address_relation, generate_addresses, AddressConfig};
 pub use depgen::{random_dependency_set, DepGenConfig};
@@ -21,3 +22,4 @@ pub use employee::{
     EmployeeConfig, JobType,
 };
 pub use schemagen::{random_ead, random_scheme, SchemeGenConfig};
+pub use widegen::{generate_wide, wide_relation, WideConfig};

@@ -1,0 +1,137 @@
+//! A k-variant "wide" workload for the partition-pruning experiments.
+//!
+//! The employee entity of §1 has only three variants; to measure how
+//! shape-partitioned storage scales with the number of coexisting shapes,
+//! this generator builds a relation with a configurable number `k` of
+//! disjoint variants: `id` and `kind` are unconditioned, and the value of
+//! `kind` determines (via an EAD) which single variant attribute
+//! `v0 … v{k-1}` the tuple carries — so a populated instance has exactly
+//! `k` tuple shapes, one heap partition each.
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::attrs;
+use flexrel_core::dep::{DependencySet, Ead, EadVariant, Fd};
+use flexrel_core::relation::FlexRelation;
+use flexrel_core::scheme::{FlexScheme, SchemeBuilder};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::{Domain, Value};
+
+/// Configuration of the wide-variant generator.
+#[derive(Clone, Debug)]
+pub struct WideConfig {
+    /// Number of tuples to generate.
+    pub n: usize,
+    /// Number of variants (distinct tuple shapes), at least 1.
+    pub variants: usize,
+}
+
+impl WideConfig {
+    /// `n` tuples spread round-robin over `variants` shapes.
+    pub fn new(n: usize, variants: usize) -> Self {
+        assert!(variants >= 1, "at least one variant is required");
+        WideConfig { n, variants }
+    }
+}
+
+/// The tag stored in `kind` for variant `i`.
+pub fn wide_kind_tag(i: usize) -> String {
+    format!("k{}", i)
+}
+
+/// The variant attribute prescribed for variant `i`.
+pub fn wide_variant_attr(i: usize) -> String {
+    format!("v{}", i)
+}
+
+/// The scheme of the wide relation: `<3, 3, {id, kind, <1,1,{v0 … v{k-1}}>}>`.
+pub fn wide_scheme(variants: usize) -> FlexScheme {
+    let group = FlexScheme::disjoint_union(
+        (0..variants).map(|i| flexrel_core::attr::Attr::new(wide_variant_attr(i))),
+    )
+    .expect("valid group");
+    SchemeBuilder::all_of(["id", "kind"])
+        .nested(group)
+        .build()
+        .expect("valid wide scheme")
+}
+
+/// The dependencies of the wide relation: the EAD `kind --exp.attr--> {v0 …}`
+/// with one variant per kind tag, plus the key FD `id --func--> kind`.
+pub fn wide_deps(variants: usize) -> DependencySet {
+    let rhs: AttrSet = AttrSet::from_names((0..variants).map(wide_variant_attr));
+    let ead_variants: Vec<EadVariant> = (0..variants)
+        .map(|i| {
+            EadVariant::new(
+                vec![Tuple::new().with("kind", Value::tag(wide_kind_tag(i)))],
+                AttrSet::from_names([wide_variant_attr(i)]),
+            )
+        })
+        .collect();
+    let ead = Ead::new(attrs!["kind"], rhs, ead_variants).expect("valid wide EAD");
+    let mut deps = DependencySet::new();
+    deps.add(ead);
+    deps.add(Fd::new(attrs!["id"], attrs!["kind"]));
+    deps
+}
+
+/// The empty wide relation with scheme, domains and dependencies attached.
+pub fn wide_relation(variants: usize) -> FlexRelation {
+    let mut rel = FlexRelation::new("wide", wide_scheme(variants));
+    rel.set_domain("id", Domain::Int);
+    rel.set_domain(
+        "kind",
+        Domain::enumeration((0..variants).map(wide_kind_tag)),
+    );
+    for dep in wide_deps(variants).iter() {
+        rel.add_dep(dep.clone());
+    }
+    rel
+}
+
+/// Generates `cfg.n` valid tuples spread round-robin over the variants.
+pub fn generate_wide(cfg: &WideConfig) -> Vec<Tuple> {
+    (0..cfg.n)
+        .map(|i| {
+            let v = i % cfg.variants;
+            Tuple::new()
+                .with("id", i as i64)
+                .with("kind", Value::tag(wide_kind_tag(v)))
+                .with(wide_variant_attr(v), (i * 7 % 1000) as i64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::relation::CheckLevel;
+
+    #[test]
+    fn generated_tuples_satisfy_the_relation() {
+        let mut rel = wide_relation(8);
+        for t in generate_wide(&WideConfig::new(64, 8)) {
+            rel.insert_checked(t, CheckLevel::Full).unwrap();
+        }
+        assert_eq!(rel.len(), 64);
+        assert!(rel.validate_instance().is_ok());
+        assert_eq!(rel.shape_histogram().len(), 8, "one shape per variant");
+    }
+
+    #[test]
+    fn scheme_has_one_disjunct_per_variant() {
+        let fs = wide_scheme(5);
+        assert_eq!(fs.dnf_len(), 5);
+        assert!(fs.admits(&attrs!["id", "kind", "v3"]));
+        assert!(!fs.admits(&attrs!["id", "kind", "v0", "v1"]));
+    }
+
+    #[test]
+    fn cross_variant_tuples_violate_the_ead() {
+        let ead = wide_deps(4).eads().next().unwrap().clone();
+        let bad = Tuple::new()
+            .with("id", 1)
+            .with("kind", Value::tag("k0"))
+            .with("v1", 9);
+        assert!(ead.check_tuple(&bad).is_err());
+    }
+}
