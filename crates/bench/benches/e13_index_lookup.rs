@@ -1,0 +1,58 @@
+//! E13: index access paths — indexed point lookups and index-nested-loop
+//! joins vs. shape-pruned scans and hash joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_bench::experiments::wide_access_path_db;
+use flexrel_query::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 10_000;
+    const VARIANTS: usize = 8;
+    const PROBE_KEYS: usize = 16;
+    // The shared access-path fixture: `wide` (indexed), its index-free
+    // shadow `wide_nx` (hash-join baseline) and the `ids` probe keys.
+    let db = wide_access_path_db(N, VARIANTS, 0.0, PROBE_KEYS);
+
+    // Point lookup on the unique FD determinant: pruned scan vs. IndexLookup.
+    let parsed = parse(&format!("SELECT * FROM wide WHERE id = {}", N / 2)).unwrap();
+    let plan = plan_query(&parsed, db.catalog()).unwrap();
+    let (pruned, _) = optimize(plan.clone(), db.catalog());
+    let (indexed, _) = optimize_with_db(plan, &db);
+    assert_eq!(indexed.index_lookup_count(), 1);
+
+    // Small-probe join: index-nested-loop vs. hash over the index-free
+    // shadow relation holding the same tuples.
+    let inl_plan = LogicalPlan::scan("ids").join(LogicalPlan::scan("wide"));
+    assert_eq!(
+        join_strategy(&LogicalPlan::scan("ids"), &LogicalPlan::scan("wide"), &db),
+        JoinStrategy::IndexNestedLoopRight
+    );
+    let hash_plan = LogicalPlan::scan("ids").join(LogicalPlan::scan("wide_nx"));
+    assert_eq!(
+        join_strategy(
+            &LogicalPlan::scan("ids"),
+            &LogicalPlan::scan("wide_nx"),
+            &db
+        ),
+        JoinStrategy::Hash
+    );
+
+    let mut g = c.benchmark_group("e13_index_lookup");
+    g.sample_size(10);
+    g.bench_function("point_lookup_pruned_scan", |b| {
+        b.iter(|| execute(&pruned, &db).unwrap().len())
+    });
+    g.bench_function("point_lookup_index", |b| {
+        b.iter(|| execute(&indexed, &db).unwrap().len())
+    });
+    g.bench_function("small_probe_hash_join", |b| {
+        b.iter(|| execute(&hash_plan, &db).unwrap().len())
+    });
+    g.bench_function("small_probe_index_nested_loop", |b| {
+        b.iter(|| execute(&inl_plan, &db).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

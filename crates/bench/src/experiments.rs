@@ -15,7 +15,7 @@ use flexrel_core::axioms::{saturate, witness_relation, AxiomSystem, ClosureIndex
 use flexrel_core::dep::{example2_jobtype_ead, Ad, Dependency};
 use flexrel_core::er::{employee_specialization, Specialization};
 use flexrel_core::relation::{CheckLevel, FlexRelation};
-use flexrel_core::scheme::example1_scheme;
+use flexrel_core::scheme::{example1_scheme, FlexScheme};
 use flexrel_core::subtype::SubtypeFamily;
 use flexrel_core::tuple::Tuple;
 use flexrel_core::value::{Domain, Value};
@@ -731,12 +731,13 @@ pub fn e10_er_mapping() -> Table {
 }
 
 /// Builds a database holding the k-variant wide relation with `n` tuples
-/// (one heap partition per variant shape).
-fn wide_db(n: usize, variants: usize) -> Database {
+/// (one heap partition per variant shape), with the given key skew on the
+/// `kind` distribution (0.0 = uniform round-robin).
+fn wide_db(n: usize, variants: usize, skew: f64) -> Database {
     let mut db = Database::new();
     db.create_relation(RelationDef::from_relation(&wide_relation(variants)))
         .unwrap();
-    for t in generate_wide(&WideConfig::new(n, variants)) {
+    for t in generate_wide(&WideConfig::new(n, variants).with_skew(skew)) {
         db.insert("wide", t).unwrap();
     }
     db
@@ -766,7 +767,7 @@ pub fn e12_partition_pruning(scale: usize) -> Table {
     );
     const REPS: u32 = 5;
     for variants in [4usize, 8, 16] {
-        let db = wide_db(scale, variants);
+        let db = wide_db(scale, variants, 0.0);
         let queries = [
             // EAD-region pruning: the equality on the determining attribute
             // fixes the exact Y-overlap, so one partition survives.
@@ -816,6 +817,157 @@ pub fn e12_partition_pruning(scale: usize) -> Table {
     t
 }
 
+/// Builds the shared access-path fixture (E13, the `e13_index_lookup`
+/// bench and the cross-crate differential tests): the k-variant `wide`
+/// relation with `n` tuples at the given `kind` skew, a dependency-free
+/// shadow copy `wide_nx` of the same instance (no dependencies means no
+/// indexes, so joins against it always take the hash path — the baseline),
+/// and a small `ids` key-list relation with `probe_keys` spread keys that
+/// drives index-nested-loop joins.
+pub fn wide_access_path_db(n: usize, variants: usize, skew: f64, probe_keys: usize) -> Database {
+    let mut db = wide_db(n, variants, skew);
+    db.create_relation(RelationDef::new(
+        "wide_nx",
+        wide_relation(variants).scheme().clone(),
+    ))
+    .unwrap();
+    for t in generate_wide(&WideConfig::new(n, variants).with_skew(skew)) {
+        db.insert("wide_nx", t).unwrap();
+    }
+    db.create_relation(RelationDef::new(
+        "ids",
+        FlexScheme::relational(AttrSet::singleton("id")),
+    ))
+    .unwrap();
+    let probe_keys = probe_keys.min(n).max(1);
+    for k in 0..probe_keys {
+        db.insert(
+            "ids",
+            Tuple::new().with("id", (k * (n / probe_keys)) as i64),
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// E13 — index access paths: indexed point lookups and index-nested-loop
+/// joins vs. shape-pruned scans and hash joins, under uniform and skewed
+/// key distributions.
+///
+/// Every row runs the same query twice — once from the catalog-only
+/// optimized plan (shape-pruned scan + filter, hash join) and once from the
+/// database-aware plan (`optimize_with_db`: IndexLookup access path,
+/// index-nested-loop join where the statistics gate picks it) — asserts the
+/// results are identical, and reports both timings.
+pub fn e13_index_lookup(scale: usize) -> Table {
+    let mut t = Table::new(
+        "E13: index access paths — indexed lookups/joins vs. pruned scans/hash joins",
+        &[
+            "n",
+            "skew",
+            "query",
+            "access path",
+            "rows",
+            "scan/hash µs",
+            "indexed µs",
+            "speedup",
+        ],
+    );
+    const REPS: u32 = 5;
+    const VARIANTS: usize = 8;
+    let time = |plan: &LogicalPlan, db: &Database| -> (usize, f64) {
+        let mut rows = 0usize;
+        let start = Instant::now();
+        for _ in 0..REPS {
+            rows = execute(plan, db).unwrap().len();
+        }
+        (rows, micros(start) / REPS as f64)
+    };
+    for skew in [0.0f64, 1.0] {
+        let probe_keys = 16usize.min(scale);
+        let db = wide_access_path_db(scale, VARIANTS, skew, probe_keys);
+
+        // Point lookup on the unique FD determinant `id`.
+        let frql = format!("SELECT * FROM wide WHERE id = {}", scale / 2);
+        let parsed = parse(&frql).unwrap();
+        let plan = plan_query(&parsed, db.catalog()).unwrap();
+        let (pruned, _) = optimize(plan.clone(), db.catalog());
+        let (indexed, _) = optimize_with_db(plan, &db);
+        assert_eq!(indexed.index_lookup_count(), 1, "{}", indexed);
+        let scan_rows = execute(&pruned, &db).unwrap();
+        let index_rows = execute(&indexed, &db).unwrap();
+        assert_eq!(
+            scan_rows.iter().collect::<std::collections::BTreeSet<_>>(),
+            index_rows.iter().collect::<std::collections::BTreeSet<_>>(),
+            "index access must not change results"
+        );
+        let (rows, scan_us) = time(&pruned, &db);
+        let (_, index_us) = time(&indexed, &db);
+        t.row([
+            scale.to_string(),
+            format!("{:.1}", skew),
+            "id = <mid> (point)".to_string(),
+            "IndexLookup (unique fd key)".to_string(),
+            rows.to_string(),
+            format!("{:.1}", scan_us),
+            format!("{:.1}", index_us),
+            format!("{:.2}x", scan_us / index_us),
+        ]);
+
+        // Determinant lookup: the EAD key `kind` — partition pruning already
+        // reads a single partition, the index chain is the same tuples.
+        let frql = "SELECT * FROM wide WHERE kind = 'k0'";
+        let parsed = parse(frql).unwrap();
+        let plan = plan_query(&parsed, db.catalog()).unwrap();
+        let (pruned, _) = optimize(plan.clone(), db.catalog());
+        let (indexed, _) = optimize_with_db(plan, &db);
+        assert_eq!(indexed.index_lookup_count(), 1, "{}", indexed);
+        let (rows_scan, scan_us) = time(&pruned, &db);
+        let (rows_idx, index_us) = time(&indexed, &db);
+        assert_eq!(rows_scan, rows_idx);
+        t.row([
+            scale.to_string(),
+            format!("{:.1}", skew),
+            "kind = 'k0' (determinant)".to_string(),
+            "IndexLookup (ead determinant)".to_string(),
+            rows_idx.to_string(),
+            format!("{:.1}", scan_us),
+            format!("{:.1}", index_us),
+            format!("{:.2}x", scan_us / index_us),
+        ]);
+
+        // Join: ids ⋈ wide on the indexed key. The database-aware executor
+        // picks index-nested-loop (gated by the index statistics); the
+        // index-free shadow relation provides the hash-join baseline over
+        // the same tuples.
+        let ids = LogicalPlan::scan("ids");
+        let wide = LogicalPlan::scan("wide");
+        let strategy = join_strategy(&ids, &wide, &db);
+        let inl_plan = ids.clone().join(wide);
+        let hash_plan = LogicalPlan::scan("ids").join(LogicalPlan::scan("wide_nx"));
+        let inl_rows = execute(&inl_plan, &db).unwrap();
+        let hash_rows = execute(&hash_plan, &db).unwrap();
+        assert_eq!(
+            inl_rows.iter().collect::<std::collections::BTreeSet<_>>(),
+            hash_rows.iter().collect::<std::collections::BTreeSet<_>>(),
+            "join strategies must agree"
+        );
+        let (rows, hash_us) = time(&hash_plan, &db);
+        let (_, inl_us) = time(&inl_plan, &db);
+        t.row([
+            scale.to_string(),
+            format!("{:.1}", skew),
+            format!("ids({}) ⋈ wide", probe_keys),
+            format!("{:?}", strategy),
+            rows.to_string(),
+            format!("{:.1}", hash_us),
+            format!("{:.1}", inl_us),
+            format!("{:.2}x", hash_us / inl_us),
+        ]);
+    }
+    t
+}
+
 /// Whether the plan's scan shape predicate admits the given partition shape
 /// (plans without a shape predicate admit everything).
 fn plan_shape_admits(
@@ -826,6 +978,9 @@ fn plan_shape_admits(
     match plan {
         P::Empty => false,
         P::Scan { shape: sp, .. } => sp.as_ref().map(|s| s.admits(shape)).unwrap_or(true),
+        P::IndexLookup { key, shapes, .. } => {
+            key.is_subset(shape) && shapes.as_ref().map(|s| s.admits(shape)).unwrap_or(true)
+        }
         P::Filter { input, .. }
         | P::Project { input, .. }
         | P::Guard { input, .. }
@@ -853,6 +1008,7 @@ pub fn run_all_timed(scale: usize) -> Vec<(&'static str, Table, f64)> {
         ("E9", Box::new(e9_embedding)),
         ("E10", Box::new(e10_er_mapping)),
         ("E12", Box::new(move || e12_partition_pruning(scale))),
+        ("E13", Box::new(move || e13_index_lookup(scale))),
     ];
     experiments
         .into_iter()
@@ -965,6 +1121,23 @@ mod tests {
                 row
             );
             assert_eq!(total, row[1].parse::<usize>().unwrap());
+            assert!(row[7].ends_with('x'));
+        }
+    }
+
+    #[test]
+    fn e13_index_access_agrees_and_picks_the_expected_paths() {
+        let t = e13_index_lookup(3_000);
+        assert_eq!(t.len(), 6, "two skews x three queries");
+        for row in &t.rows {
+            // Point lookups on the unique key return exactly one row.
+            if row[2].contains("point") {
+                assert_eq!(row[4], "1", "{:?}", row);
+            }
+            // At this scale the small-probe join takes the indexed path.
+            if row[2].contains("⋈") {
+                assert!(row[3].contains("IndexNestedLoop"), "{:?}", row);
+            }
             assert!(row[7].ends_with('x'));
         }
     }

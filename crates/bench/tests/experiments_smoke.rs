@@ -1,5 +1,5 @@
-//! Smoke test: run every experiment (E1–E10 and E12) at a tiny scale so the
-//! code behind the criterion benches is compiled and exercised by
+//! Smoke test: run every experiment (E1–E10, E12 and E13) at a tiny scale
+//! so the code behind the criterion benches is compiled and exercised by
 //! `cargo test` without paying for a full measurement run.
 
 use flexrel_bench::experiments;
@@ -7,7 +7,11 @@ use flexrel_bench::experiments;
 #[test]
 fn run_all_at_tiny_scale_produces_every_table() {
     let tables = experiments::run_all(50);
-    assert_eq!(tables.len(), 11, "one table per experiment E1–E10 and E12");
+    assert_eq!(
+        tables.len(),
+        12,
+        "one table per experiment E1–E10, E12 and E13"
+    );
     for t in &tables {
         assert!(!t.is_empty(), "experiment {:?} produced no rows", t.title);
         for row in &t.rows {

@@ -4,7 +4,7 @@
 //! Plans execute as iterator pipelines ([`execute_stream`]): each operator
 //! pulls tuples from its input on demand instead of materializing a
 //! `Vec<Tuple>` per operator.  Scans are partition-aware — a
-//! [`ShapePredicate`](crate::logical::ShapePredicate) pushed down by the
+//! [`ShapePredicate`] pushed down by the
 //! optimizer is evaluated once per heap partition, so pruned partitions are
 //! never touched.  The only blocking points are the ones inherent to the
 //! operators: the build side of a hash join and the duplicate-elimination
@@ -16,12 +16,13 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use flexrel_algebra::predicate::Predicate;
 use flexrel_core::attr::AttrSet;
 use flexrel_core::error::Result;
-use flexrel_core::tuple::Tuple;
-use flexrel_storage::Database;
+use flexrel_core::tuple::{ShapeId, Tuple};
+use flexrel_storage::{Database, Rid};
 
-use crate::logical::LogicalPlan;
+use crate::logical::{LogicalPlan, ShapePredicate};
 
 /// A stream of result tuples borrowed from the database.
 pub type TupleStream<'a> = Box<dyn Iterator<Item = Tuple> + 'a>;
@@ -46,6 +47,21 @@ pub fn plan_attrs(plan: &LogicalPlan, db: &Database) -> AttrSet {
                 .fold(AttrSet::empty(), |acc, p| acc.union(&p.shape)),
             Err(_) => AttrSet::empty(),
         },
+        LogicalPlan::IndexLookup {
+            relation,
+            key,
+            shapes,
+            ..
+        } => match db.partitions(relation) {
+            // An equality probe only reaches tuples defined on the key, so
+            // partitions whose shape lacks it cannot contribute.
+            Ok(parts) => parts
+                .iter()
+                .filter(|p| key.is_subset(&p.shape))
+                .filter(|p| shapes.as_ref().map(|s| s.admits(&p.shape)).unwrap_or(true))
+                .fold(AttrSet::empty(), |acc, p| acc.union(&p.shape)),
+            Err(_) => AttrSet::empty(),
+        },
         LogicalPlan::Filter { input, .. } | LogicalPlan::Guard { input, .. } => {
             plan_attrs(input, db)
         }
@@ -60,6 +76,268 @@ pub fn plan_attrs(plan: &LogicalPlan, db: &Database) -> AttrSet {
             .iter()
             .fold(AttrSet::empty(), |acc, p| acc.union(&plan_attrs(p, db))),
     }
+}
+
+/// A cardinality *estimate* for a plan, derived from partition metadata and
+/// index statistics; `None` when nothing can be derived (joins and anything
+/// above them).  For scans this is an exact live count (an upper bound for
+/// everything stacked on one); for index lookups it is the *expected* chain
+/// length — under key skew an actual probe can return more.  The
+/// join-strategy gate uses it to size the probe side of an
+/// index-nested-loop join; do not rely on it as a hard bound.
+pub fn estimate_rows(plan: &LogicalPlan, db: &Database) -> Option<usize> {
+    match plan {
+        LogicalPlan::Empty => Some(0),
+        LogicalPlan::Scan {
+            relation, shape, ..
+        } => db.partitions(relation).ok().map(|parts| {
+            parts
+                .iter()
+                .filter(|p| shape.as_ref().map(|s| s.admits(&p.shape)).unwrap_or(true))
+                .map(|p| p.tuples)
+                .sum()
+        }),
+        LogicalPlan::IndexLookup { relation, key, .. } => {
+            match db.index_info(relation, key).ok().flatten() {
+                // One probe returns one hash chain: the average chain length
+                // is the expected match count.
+                Some(info) => Some(info.avg_matches()),
+                None => db.count(relation).ok(),
+            }
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Extend { input, .. } => estimate_rows(input, db),
+        LogicalPlan::UnionAll { inputs } => inputs
+            .iter()
+            .map(|p| estimate_rows(p, db))
+            .sum::<Option<usize>>(),
+        LogicalPlan::Join { .. } => None,
+    }
+}
+
+/// The physical strategy the executor picks for a [`LogicalPlan::Join`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Materialize and hash the right input, stream the left input.
+    Hash,
+    /// Stream the left input, probe the right relation's stored index on
+    /// the equi-join attributes per tuple.
+    IndexNestedLoopRight,
+    /// Stream the right input, probe the left relation's stored index on
+    /// the equi-join attributes per tuple.
+    IndexNestedLoopLeft,
+}
+
+/// A side an index-nested-loop join can probe: a base scan, possibly under
+/// residual filters.  The scan's qualification and any filter predicates are
+/// folded into one per-tuple qualification that the probe re-applies; the
+/// shape predicate is re-applied per rid.
+struct InnerSide<'a> {
+    relation: &'a str,
+    qualification: Option<Predicate>,
+    shapes: &'a Option<ShapePredicate>,
+}
+
+fn inl_inner_side(plan: &LogicalPlan) -> Option<InnerSide<'_>> {
+    match plan {
+        LogicalPlan::Scan {
+            relation,
+            qualification,
+            shape,
+        } => Some(InnerSide {
+            relation,
+            qualification: qualification.clone(),
+            shapes: shape,
+        }),
+        LogicalPlan::Filter { input, predicate } => {
+            let side = inl_inner_side(input)?;
+            let qualification = Some(match side.qualification {
+                Some(q) => q.and(predicate.clone()),
+                None => predicate.clone(),
+            });
+            Some(InnerSide {
+                qualification,
+                ..side
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Whether probing the inner side's index on `common` beats building a
+/// hash table over it, by the index statistics: the outer side issues
+/// ~`outer_est` probes of ~`avg_matches` results each, the hash join pays
+/// for materializing the inner *plan*'s rows (its shape-pruned/filtered
+/// estimate, not the whole relation).  The factor 2 keeps the switch
+/// conservative around the break-even point.  Returns `false` when no
+/// index on exactly `common` exists.
+fn inl_gate(
+    outer: &LogicalPlan,
+    inner: &LogicalPlan,
+    inner_relation: &str,
+    common: &AttrSet,
+    db: &Database,
+) -> bool {
+    let Ok(Some(info)) = db.index_info(inner_relation, common) else {
+        return false;
+    };
+    let Some(outer_est) = estimate_rows(outer, db) else {
+        return false;
+    };
+    let inner_est = estimate_rows(inner, db).unwrap_or(info.len);
+    outer_est
+        .saturating_mul(info.avg_matches())
+        .saturating_mul(2)
+        <= inner_est
+}
+
+/// The join strategy the executor will pick for `left ⋈ right`:
+/// index-nested-loop when one side is a (possibly filtered) base scan with
+/// a stored index on exactly the equi-join attributes and the statistics
+/// gate passes, otherwise hash join.  Exposed so tests and the experiment
+/// harness can show which access path a join takes.
+pub fn join_strategy(left: &LogicalPlan, right: &LogicalPlan, db: &Database) -> JoinStrategy {
+    let common = plan_attrs(left, db).intersection(&plan_attrs(right, db));
+    join_strategy_for(left, right, &common, db)
+}
+
+/// [`join_strategy`] with the equi-join attribute set already computed —
+/// the executor derives `common` once per join and shares it between the
+/// strategy choice and the chosen stream.
+fn join_strategy_for(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    common: &AttrSet,
+    db: &Database,
+) -> JoinStrategy {
+    if common.is_empty() {
+        return JoinStrategy::Hash;
+    }
+    if let Some(side) = inl_inner_side(right) {
+        if inl_gate(left, right, side.relation, common, db) {
+            return JoinStrategy::IndexNestedLoopRight;
+        }
+    }
+    if let Some(side) = inl_inner_side(left) {
+        if inl_gate(right, left, side.relation, common, db) {
+            return JoinStrategy::IndexNestedLoopLeft;
+        }
+    }
+    JoinStrategy::Hash
+}
+
+/// Memoized shape-predicate verdicts for rid-level checks: one interner
+/// resolution (`ShapeId` → `AttrSet`) per partition, not per matched tuple.
+/// Shared by the `IndexLookup` executor and the index-nested-loop join.
+struct ShapeAdmitMemo<'a> {
+    shapes: &'a Option<ShapePredicate>,
+    verdicts: HashMap<ShapeId, bool>,
+}
+
+impl<'a> ShapeAdmitMemo<'a> {
+    fn new(shapes: &'a Option<ShapePredicate>) -> Self {
+        ShapeAdmitMemo {
+            shapes,
+            verdicts: HashMap::new(),
+        }
+    }
+
+    fn admits(&mut self, rid: Rid) -> bool {
+        match self.shapes {
+            None => true,
+            Some(s) => *self
+                .verdicts
+                .entry(rid.shape())
+                .or_insert_with(|| s.admits(&rid.shape().attrs())),
+        }
+    }
+}
+
+/// Index-nested-loop join: streams the probe side and, per probe tuple,
+/// looks the matching inner tuples up through the inner relation's stored
+/// index on `common` — the inner side is never materialized as a whole.
+/// Inner tuples not defined on the full key (the index's partial list) are
+/// checked pairwise, mirroring the hash join's scan side; probe tuples not
+/// defined on `common` fall back to a pairwise pass over the admitted inner
+/// side, which is materialized once on first need and reused.
+fn index_nested_loop_stream<'a>(
+    probe: TupleStream<'a>,
+    db: &'a Database,
+    inner_relation: &'a str,
+    inner_qualification: Option<Predicate>,
+    inner_shapes: &'a Option<ShapePredicate>,
+    common: AttrSet,
+) -> Result<TupleStream<'a>> {
+    let mut shape_memo = ShapeAdmitMemo::new(inner_shapes);
+    let qualifies =
+        move |q: &Option<Predicate>, t: &Tuple| q.as_ref().map(|q| q.eval(t)).unwrap_or(true);
+    // The relation and its index are resolved once for the whole stream;
+    // each probe is then one projection and one hash lookup yielding a
+    // borrowed rid slice — no per-probe catalog walk or allocation.
+    let index = db.index(inner_relation, &common)?;
+    let partials: Vec<&'a Tuple> = db
+        .lookup_partial(inner_relation, &common)?
+        .into_iter()
+        .filter(|(rid, t)| shape_memo.admits(*rid) && qualifies(&inner_qualification, t))
+        .map(|(_, t)| t)
+        .collect();
+    let mut fallback: Option<Vec<&'a Tuple>> = None;
+    Ok(Box::new(probe.flat_map(move |l| {
+        let mut out = Vec::new();
+        if l.defined_on(&common) {
+            match index {
+                Some(idx) => {
+                    for rid in idx.lookup(&l.project(&common)) {
+                        let Ok(Some(r)) = db.get(inner_relation, *rid) else {
+                            continue;
+                        };
+                        if shape_memo.admits(*rid) && qualifies(&inner_qualification, r) {
+                            out.push(l.merged_with(r));
+                        }
+                    }
+                }
+                // Unreachable when the strategy gate chose this stream (it
+                // requires the index); kept as a correct scan fallback.
+                None => {
+                    if let Ok(hits) = db.lookup_eq(inner_relation, &common, &l.project(&common)) {
+                        for (rid, r) in hits {
+                            if shape_memo.admits(rid) && qualifies(&inner_qualification, r) {
+                                out.push(l.merged_with(r));
+                            }
+                        }
+                    }
+                }
+            }
+            for r in &partials {
+                if l.joinable_with(r) {
+                    out.push(l.merged_with(r));
+                }
+            }
+        } else {
+            // Rare path: the probe tuple lacks part of the key, so the
+            // index cannot answer; pair it against the (pruned, qualified)
+            // inner side, materialized once across all such probe tuples.
+            let rows = fallback.get_or_insert_with(|| {
+                match db.scan_where(inner_relation, move |s| {
+                    inner_shapes.as_ref().map(|p| p.admits(s)).unwrap_or(true)
+                }) {
+                    Ok(iter) => iter
+                        .map(|(_, r)| r)
+                        .filter(|r| qualifies(&inner_qualification, r))
+                        .collect(),
+                    Err(_) => Vec::new(),
+                }
+            });
+            for r in rows.iter() {
+                if l.joinable_with(r) {
+                    out.push(l.merged_with(r));
+                }
+            }
+        }
+        out
+    })))
 }
 
 /// Streaming hash join: the right input is materialized as the build side,
@@ -128,6 +406,24 @@ pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<Tup
                 None => Box::new(rows),
             }
         }
+        LogicalPlan::IndexLookup {
+            relation,
+            key,
+            key_value,
+            shapes,
+        } => {
+            // The probe returns borrowed (rid, tuple) pairs; the shape
+            // predicate is re-applied per rid (its ShapeId names the
+            // partition), so shape pruning composes with index access.  The
+            // verdict is memoized per ShapeId ([`ShapeAdmitMemo`]).
+            let hits = db.lookup_eq(relation, key, key_value)?;
+            let mut admitted = ShapeAdmitMemo::new(shapes);
+            Box::new(
+                hits.into_iter()
+                    .filter(move |(rid, _)| admitted.admits(*rid))
+                    .map(|(_, t)| t.clone()),
+            )
+        }
         LogicalPlan::Filter { input, predicate } => {
             let rows = execute_stream(input, db)?;
             Box::new(rows.filter(move |t| predicate.eval(t)))
@@ -146,9 +442,37 @@ pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<Tup
         }
         LogicalPlan::Join { left, right } => {
             let common = plan_attrs(left, db).intersection(&plan_attrs(right, db));
-            let l = execute_stream(left, db)?;
-            let r: Vec<Tuple> = execute_stream(right, db)?.collect();
-            hash_join_stream(l, r, common)
+            match join_strategy_for(left, right, &common, db) {
+                JoinStrategy::IndexNestedLoopRight => {
+                    let side = inl_inner_side(right).expect("the strategy implies a base scan");
+                    let probe = execute_stream(left, db)?;
+                    index_nested_loop_stream(
+                        probe,
+                        db,
+                        side.relation,
+                        side.qualification,
+                        side.shapes,
+                        common,
+                    )?
+                }
+                JoinStrategy::IndexNestedLoopLeft => {
+                    let side = inl_inner_side(left).expect("the strategy implies a base scan");
+                    let probe = execute_stream(right, db)?;
+                    index_nested_loop_stream(
+                        probe,
+                        db,
+                        side.relation,
+                        side.qualification,
+                        side.shapes,
+                        common,
+                    )?
+                }
+                JoinStrategy::Hash => {
+                    let l = execute_stream(left, db)?;
+                    let r: Vec<Tuple> = execute_stream(right, db)?.collect();
+                    hash_join_stream(l, r, common)
+                }
+            }
         }
         LogicalPlan::UnionAll { inputs } => {
             let streams: Vec<TupleStream<'a>> = inputs
@@ -392,5 +716,191 @@ mod tests {
     fn empty_plan_returns_nothing() {
         let db = db(5);
         assert!(execute(&LogicalPlan::Empty, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_lookup_plans_agree_with_scans() {
+        use crate::optimizer::optimize_with_db;
+        let db = db(250);
+        for frql in [
+            "SELECT * FROM employee WHERE empno = 17",
+            "SELECT * FROM employee WHERE jobtype = 'secretary'",
+            "SELECT empno FROM employee WHERE jobtype = 'salesman' AND salary > 4000",
+        ] {
+            let parsed = parse(frql).unwrap();
+            let plan = plan_query(&parsed, db.catalog()).unwrap();
+            let naive: std::collections::BTreeSet<Tuple> =
+                execute(&plan, &db).unwrap().into_iter().collect();
+            let (indexed, _) = optimize_with_db(plan, &db);
+            assert_eq!(indexed.index_lookup_count(), 1, "{}: {}", frql, indexed);
+            let fast: std::collections::BTreeSet<Tuple> =
+                execute(&indexed, &db).unwrap().into_iter().collect();
+            assert_eq!(
+                naive, fast,
+                "index access must not change results: {}",
+                frql
+            );
+        }
+    }
+
+    #[test]
+    fn index_lookup_applies_its_shape_predicate_per_rid() {
+        let db = db(120);
+        // A hand-built lookup on the jobtype index restricted to shapes that
+        // carry typing-speed: salesman/engineer partitions are excluded even
+        // though the probe key matches no secretaries... probe 'salesman'
+        // with a secretary-only shape predicate: nothing may come back.
+        let plan = LogicalPlan::IndexLookup {
+            relation: "employee".into(),
+            key: attrs!["jobtype"],
+            key_value: Tuple::new().with("jobtype", Value::tag("salesman")),
+            shapes: Some(ShapePredicate {
+                required: attrs!["typing-speed"],
+                regions: Vec::new(),
+            }),
+        };
+        assert!(execute(&plan, &db).unwrap().is_empty());
+        // Without the shape restriction the probe returns the salesmen.
+        let plan = LogicalPlan::IndexLookup {
+            relation: "employee".into(),
+            key: attrs!["jobtype"],
+            key_value: Tuple::new().with("jobtype", Value::tag("salesman")),
+            shapes: None,
+        };
+        let rows = execute(&plan, &db).unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows
+            .iter()
+            .all(|t| t.get_name("jobtype") == Some(&Value::tag("salesman"))));
+    }
+
+    /// A small key-list relation to drive index-nested-loop joins.
+    fn with_wanted(mut db: Database, keys: &[i64]) -> Database {
+        use flexrel_core::scheme::FlexScheme;
+        db.create_relation(RelationDef::new(
+            "wanted",
+            FlexScheme::relational(attrs!["empno"]),
+        ))
+        .unwrap();
+        for k in keys {
+            db.insert("wanted", Tuple::new().with("empno", *k)).unwrap();
+        }
+        db
+    }
+
+    /// Registers a dependency-free copy of `employee` under `name` with the
+    /// same instance.  No dependencies means no indexes, so joins against
+    /// it always take the hash path — the baseline INL is checked against.
+    fn with_shadow(mut db: Database, name: &str) -> Database {
+        let scheme = db.catalog().get("employee").unwrap().scheme.clone();
+        db.create_relation(RelationDef::new(name, scheme)).unwrap();
+        let tuples: Vec<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        for t in tuples {
+            db.insert(name, t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn small_probe_side_picks_index_nested_loop() {
+        let db = with_shadow(with_wanted(db(300), &[3, 7, 11, 200]), "employee_nx");
+        let wanted = LogicalPlan::scan("wanted");
+        let employee = LogicalPlan::scan("employee");
+        // Indexed side right resp. left: both orientations are picked.
+        assert_eq!(
+            join_strategy(&wanted, &employee, &db),
+            JoinStrategy::IndexNestedLoopRight
+        );
+        assert_eq!(
+            join_strategy(&employee, &wanted, &db),
+            JoinStrategy::IndexNestedLoopLeft
+        );
+        // A residual filter over the indexed scan folds into the probe's
+        // qualification instead of disqualifying the side.
+        let filtered = LogicalPlan::scan("employee").filter(Predicate::gt("salary", 0));
+        assert_eq!(
+            join_strategy(&wanted, &filtered, &db),
+            JoinStrategy::IndexNestedLoopRight
+        );
+
+        // All INL shapes agree with the hash join over the index-free
+        // shadow copy of the same instance.
+        let inl: std::collections::BTreeSet<Tuple> = execute(&wanted.clone().join(employee), &db)
+            .unwrap()
+            .into_iter()
+            .collect();
+        let inl_filtered: std::collections::BTreeSet<Tuple> =
+            execute(&wanted.clone().join(filtered), &db)
+                .unwrap()
+                .into_iter()
+                .collect();
+        let shadow = LogicalPlan::scan("employee_nx");
+        assert_eq!(
+            join_strategy(&wanted, &shadow, &db),
+            JoinStrategy::Hash,
+            "no index exists on the shadow relation"
+        );
+        let hash: std::collections::BTreeSet<Tuple> = execute(&wanted.join(shadow), &db)
+            .unwrap()
+            .into_iter()
+            .collect();
+        assert_eq!(inl, hash);
+        assert_eq!(inl_filtered, hash, "salary > 0 holds for every employee");
+        assert_eq!(hash.len(), 4, "empnos 3, 7, 11 and 200 exist among 300");
+    }
+
+    #[test]
+    fn large_probe_side_stays_with_hash_join() {
+        // Equal-size self join on the indexed key: probing 300 times with
+        // ~1 match each is not cheaper than one 300-tuple build side, so
+        // the statistics gate keeps the hash join.
+        let db = db(300);
+        let l = LogicalPlan::scan("employee").project(attrs!["empno"]);
+        let r = LogicalPlan::scan("employee");
+        assert!(db.has_index("employee", &attrs!["empno"]));
+        assert_eq!(join_strategy(&l, &r, &db), JoinStrategy::Hash);
+    }
+
+    #[test]
+    fn estimate_rows_uses_partition_and_index_statistics() {
+        let db = with_wanted(db(240), &[1, 2]);
+        assert_eq!(estimate_rows(&LogicalPlan::Empty, &db), Some(0));
+        assert_eq!(
+            estimate_rows(&LogicalPlan::scan("employee"), &db),
+            Some(240)
+        );
+        assert_eq!(estimate_rows(&LogicalPlan::scan("wanted"), &db), Some(2));
+        // A pruned scan counts only admitted partitions.
+        let pruned = LogicalPlan::Scan {
+            relation: "employee".into(),
+            qualification: None,
+            shape: Some(ShapePredicate {
+                required: attrs!["typing-speed"],
+                regions: Vec::new(),
+            }),
+        };
+        let est = estimate_rows(&pruned, &db).unwrap();
+        assert!(est > 0 && est < 240, "est = {}", est);
+        // An index lookup estimates one hash chain.
+        let lookup = LogicalPlan::IndexLookup {
+            relation: "employee".into(),
+            key: attrs!["empno"],
+            key_value: Tuple::new().with("empno", 5),
+            shapes: None,
+        };
+        assert_eq!(estimate_rows(&lookup, &db), Some(1));
+        // Joins are unbounded.
+        assert_eq!(
+            estimate_rows(
+                &LogicalPlan::scan("wanted").join(LogicalPlan::scan("employee")),
+                &db
+            ),
+            None
+        );
     }
 }

@@ -27,6 +27,13 @@
 //!   [`ShapePredicate`] on the scan; the executor
 //!   evaluates it per heap partition and skips partitions whose shape
 //!   cannot qualify.
+//! * **Index access paths** ([`optimize_with_db`]): equality selections
+//!   covered by a stored index (the auto-created determinant indexes, or a
+//!   user-defined secondary one) become
+//!   [`IndexLookup`](LogicalPlan::IndexLookup) probes with a residual
+//!   filter, and joins on an indexed key stream one side against the index
+//!   ([`join_strategy`], gated by the index statistics) instead of
+//!   building a hash table.
 //!
 //! ```
 //! use flexrel_query::prelude::*;
@@ -59,17 +66,19 @@ pub mod optimizer;
 pub mod parser;
 pub mod planner;
 
-pub use exec::{execute, execute_stream, plan_attrs, TupleStream};
+pub use exec::{
+    estimate_rows, execute, execute_stream, join_strategy, plan_attrs, JoinStrategy, TupleStream,
+};
 pub use logical::{LogicalPlan, ShapePredicate};
-pub use optimizer::{optimize, RewriteNote};
+pub use optimizer::{choose_access_paths, optimize, optimize_with_db, RewriteNote};
 pub use parser::{parse, Query};
 pub use planner::plan_query;
 
 /// The most commonly used items.
 pub mod prelude {
-    pub use crate::exec::{execute, execute_stream};
+    pub use crate::exec::{execute, execute_stream, join_strategy, JoinStrategy};
     pub use crate::logical::{LogicalPlan, ShapePredicate};
-    pub use crate::optimizer::{optimize, RewriteNote};
+    pub use crate::optimizer::{optimize, optimize_with_db, RewriteNote};
     pub use crate::parser::{parse, Query};
     pub use crate::planner::plan_query;
 }

@@ -4,6 +4,7 @@ use std::fmt;
 
 use flexrel_algebra::predicate::Predicate;
 use flexrel_core::attr::AttrSet;
+use flexrel_core::tuple::Tuple;
 use flexrel_core::value::Value;
 
 /// A predicate over tuple *shapes* (`attr(t)`), attached to a
@@ -84,6 +85,22 @@ pub enum LogicalPlan {
         /// Partition-pruning predicate over tuple shapes.
         shape: Option<ShapePredicate>,
     },
+    /// An indexed equality lookup — the access-path alternative to a scan,
+    /// produced by the optimizer's access-path pass when a stored index
+    /// covers the equality constraints of a selection.  Yields exactly the
+    /// tuples whose projection onto `key` equals `key_value`.
+    IndexLookup {
+        /// The stored relation to probe.
+        relation: String,
+        /// The indexed attribute set (the probe key).
+        key: AttrSet,
+        /// The constant key value, a tuple over exactly `key`.
+        key_value: Tuple,
+        /// Partition-pruning predicate, applied per matching rid via its
+        /// [`ShapeId`](flexrel_core::tuple::ShapeId) — shape pruning composes
+        /// with the index probe instead of being lost to it.
+        shapes: Option<ShapePredicate>,
+    },
     /// Selection.
     Filter {
         /// The input plan.
@@ -153,7 +170,7 @@ impl LogicalPlan {
     /// partition pruning down).
     pub fn pruned_scan_count(&self) -> usize {
         match self {
-            LogicalPlan::Empty => 0,
+            LogicalPlan::Empty | LogicalPlan::IndexLookup { .. } => 0,
             LogicalPlan::Scan { shape, .. } => {
                 shape.as_ref().map(|s| !s.is_trivial()).unwrap_or(false) as usize
             }
@@ -200,10 +217,27 @@ impl LogicalPlan {
         }
     }
 
+    /// Number of index-lookup nodes (used by tests and the experiment
+    /// harness to show the optimizer chose an index access path).
+    pub fn index_lookup_count(&self) -> usize {
+        match self {
+            LogicalPlan::Empty | LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::IndexLookup { .. } => 1,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Guard { input, .. }
+            | LogicalPlan::Extend { input, .. } => input.index_lookup_count(),
+            LogicalPlan::Join { left, right } => {
+                left.index_lookup_count() + right.index_lookup_count()
+            }
+            LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| p.index_lookup_count()).sum(),
+        }
+    }
+
     /// Number of nodes in the plan.
     pub fn node_count(&self) -> usize {
         match self {
-            LogicalPlan::Empty | LogicalPlan::Scan { .. } => 1,
+            LogicalPlan::Empty | LogicalPlan::Scan { .. } | LogicalPlan::IndexLookup { .. } => 1,
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Guard { input, .. }
@@ -219,7 +253,7 @@ impl LogicalPlan {
     /// show the optimizer removed them).
     pub fn guard_count(&self) -> usize {
         match self {
-            LogicalPlan::Empty | LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Empty | LogicalPlan::Scan { .. } | LogicalPlan::IndexLookup { .. } => 0,
             LogicalPlan::Guard { input, .. } => 1 + input.guard_count(),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
@@ -232,7 +266,7 @@ impl LogicalPlan {
     /// Number of join nodes.
     pub fn join_count(&self) -> usize {
         match self {
-            LogicalPlan::Empty | LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Empty | LogicalPlan::Scan { .. } | LogicalPlan::IndexLookup { .. } => 0,
             LogicalPlan::Join { left, right } => 1 + left.join_count() + right.join_count(),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
@@ -256,6 +290,23 @@ impl LogicalPlan {
                     write!(f, " [qualified by {}]", q)?;
                 }
                 match shape {
+                    Some(s) if !s.is_trivial() => write!(f, " [partitions: {}]", s)?,
+                    _ => {}
+                }
+                writeln!(f)
+            }
+            LogicalPlan::IndexLookup {
+                relation,
+                key,
+                key_value,
+                shapes,
+            } => {
+                write!(
+                    f,
+                    "{}IndexLookup {} [{} = {}]",
+                    pad, relation, key, key_value
+                )?;
+                match shapes {
                     Some(s) if !s.is_trivial() => write!(f, " [partitions: {}]", s)?,
                     _ => {}
                 }

@@ -10,13 +10,13 @@
 //! whose shape can satisfy the selection — using the exact variant overlap
 //! an [`flexrel_core::dep::Ead`] prescribes for pinned determining values.
 
-use flexrel_algebra::predicate::Predicate;
+use flexrel_algebra::predicate::{CmpOp, Predicate};
 use flexrel_core::attr::{Attr, AttrSet};
 use flexrel_core::axioms::AxiomSystem;
 use flexrel_core::dep::DependencySet;
 use flexrel_core::tuple::Tuple;
 use flexrel_core::typecheck::{analyse_guard, GuardAnalysis, SelectionContext, TypeGuard};
-use flexrel_storage::{Catalog, RelationDef};
+use flexrel_storage::{Catalog, Database, IndexInfo, RelationDef};
 
 use crate::logical::{LogicalPlan, ShapePredicate};
 
@@ -59,11 +59,154 @@ pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> (LogicalPlan, Vec<Rewri
     (plan, notes)
 }
 
+/// Optimizes a plan against a live database: runs [`optimize`] and then the
+/// access-path pass ([`choose_access_paths`]), which needs the database's
+/// index metadata ([`Database::indexes`]) on top of the catalog.
+///
+/// Prefer this entry point when executing against a [`Database`]; plain
+/// [`optimize`] remains for callers that only have a catalog (and for
+/// measuring what the justified rewrites alone achieve).
+pub fn optimize_with_db(plan: LogicalPlan, db: &Database) -> (LogicalPlan, Vec<RewriteNote>) {
+    let (plan, mut notes) = optimize(plan, db.catalog());
+    let plan = choose_access_paths(plan, db, &mut notes);
+    (plan, notes)
+}
+
+/// The access-path pass: rewrites `Filter(… ∧ A = c ∧ …) ∘ Scan` into an
+/// [`LogicalPlan::IndexLookup`] (plus a residual filter for the conjuncts
+/// the index does not answer) when the stored relation has an index — auto
+/// determinant or user-created secondary — whose key is fully pinned by the
+/// filter's top-level equality conjuncts.
+///
+/// Runs *after* [`optimize`], so the scan already carries the
+/// [`ShapePredicate`] pushed down by partition pruning; the predicate moves
+/// onto the lookup's `shapes` field and the executor re-applies it per
+/// matching rid (via the rid's `ShapeId`), composing index probing with
+/// shape pruning instead of losing it.  When several indexes cover the
+/// pinned attributes the one with the most distinct keys (the most
+/// selective probe) wins.
+pub fn choose_access_paths(
+    plan: LogicalPlan,
+    db: &Database,
+    notes: &mut Vec<RewriteNote>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = choose_access_paths(*input, db, notes);
+            if let LogicalPlan::Scan {
+                relation,
+                qualification,
+                shape,
+            } = input
+            {
+                let pinned = predicate.implied_equalities();
+                if let Some(info) = covering_index(db, &relation, &pinned) {
+                    let key_value = pinned.project(&info.key);
+                    let mut residual =
+                        strip_consumed_equalities(&predicate, &info.key, &key_value).simplify();
+                    if let Some(q) = qualification {
+                        // The scan would have applied its qualification;
+                        // the lookup keeps it as part of the residual.
+                        residual = residual.and(q).simplify();
+                    }
+                    notes.push(RewriteNote::new(
+                        "access-path",
+                        format!(
+                            "scan of {} replaced by index lookup on {} = {} \
+                             ({} distinct keys over {} entries)",
+                            relation, info.key, key_value, info.distinct_keys, info.len
+                        ),
+                    ));
+                    let lookup = LogicalPlan::IndexLookup {
+                        relation,
+                        key: info.key,
+                        key_value,
+                        shapes: shape,
+                    };
+                    return if residual == Predicate::True {
+                        lookup
+                    } else {
+                        lookup.filter(residual)
+                    };
+                }
+                LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::Scan {
+                        relation,
+                        qualification,
+                        shape,
+                    }),
+                    predicate,
+                }
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+        LogicalPlan::Project { input, attrs } => LogicalPlan::Project {
+            input: Box::new(choose_access_paths(*input, db, notes)),
+            attrs,
+        },
+        LogicalPlan::Guard { input, attrs } => LogicalPlan::Guard {
+            input: Box::new(choose_access_paths(*input, db, notes)),
+            attrs,
+        },
+        LogicalPlan::Extend { input, attr, value } => LogicalPlan::Extend {
+            input: Box::new(choose_access_paths(*input, db, notes)),
+            attr,
+            value,
+        },
+        LogicalPlan::Join { left, right } => LogicalPlan::Join {
+            left: Box::new(choose_access_paths(*left, db, notes)),
+            right: Box::new(choose_access_paths(*right, db, notes)),
+        },
+        LogicalPlan::UnionAll { inputs } => LogicalPlan::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(|p| choose_access_paths(p, db, notes))
+                .collect(),
+        },
+        leaf
+        @ (LogicalPlan::Scan { .. } | LogicalPlan::IndexLookup { .. } | LogicalPlan::Empty) => leaf,
+    }
+}
+
+/// The most selective stored index whose key is fully pinned by the
+/// equality constraints, if any.
+fn covering_index(db: &Database, relation: &str, pinned: &Tuple) -> Option<IndexInfo> {
+    if pinned.is_empty() {
+        return None;
+    }
+    let pinned_attrs = pinned.attrs();
+    db.indexes(relation)
+        .ok()?
+        .into_iter()
+        .filter(|info| !info.key.is_empty() && info.key.is_subset(&pinned_attrs))
+        .max_by_key(|info| (info.distinct_keys, info.key.len()))
+}
+
+/// Replaces the top-level equality conjuncts the index probe answers
+/// (`A = c` with `A` in the key and `c` the probed constant) by `True`; the
+/// caller simplifies the remainder into the residual filter.
+fn strip_consumed_equalities(p: &Predicate, key: &AttrSet, key_value: &Tuple) -> Predicate {
+    match p {
+        Predicate::Cmp {
+            attr,
+            op: CmpOp::Eq,
+            value,
+        } if key.contains(attr) && key_value.get(attr) == Some(value) => Predicate::True,
+        Predicate::And(a, b) => strip_consumed_equalities(a, key, key_value)
+            .and(strip_consumed_equalities(b, key, key_value)),
+        other => other.clone(),
+    }
+}
+
 /// The dependencies visible below a plan node: the union of the declared
 /// dependency sets of every scanned relation in the subtree.
 fn subtree_deps(plan: &LogicalPlan, catalog: &Catalog) -> DependencySet {
     match plan {
-        LogicalPlan::Scan { relation, .. } => catalog
+        LogicalPlan::Scan { relation, .. } | LogicalPlan::IndexLookup { relation, .. } => catalog
             .get(relation)
             .map(|def| def.deps.clone())
             .unwrap_or_default(),
@@ -98,6 +241,16 @@ fn subtree_context(plan: &LogicalPlan) -> SelectionContext {
             Some(q) => merge(SelectionContext::none(), q),
             None => SelectionContext::none(),
         },
+        // An index lookup pins its key attributes to the probe constants:
+        // every yielded tuple is defined on `key` and agrees with
+        // `key_value`.
+        LogicalPlan::IndexLookup { key, key_value, .. } => {
+            let mut ctx = SelectionContext::none().with_referenced(key.clone());
+            for (a, v) in key_value.iter() {
+                ctx = ctx.with_equality(a.clone(), v.clone());
+            }
+            ctx
+        }
         LogicalPlan::Filter { input, predicate } => merge(subtree_context(input), predicate),
         LogicalPlan::Guard { input, attrs } => {
             subtree_context(input).with_referenced(attrs.clone())
@@ -129,6 +282,7 @@ fn qualification_equalities(plan: &LogicalPlan) -> Tuple {
             qualification: Some(q),
             ..
         } => q.implied_equalities(),
+        LogicalPlan::IndexLookup { key_value, .. } => key_value.clone(),
         LogicalPlan::Scan { .. } | LogicalPlan::Empty => Tuple::empty(),
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
@@ -290,7 +444,8 @@ fn rewrite(
             attr,
             value,
         },
-        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Empty) => leaf,
+        leaf
+        @ (LogicalPlan::Scan { .. } | LogicalPlan::IndexLookup { .. } | LogicalPlan::Empty) => leaf,
     }
 }
 
@@ -498,6 +653,45 @@ fn prune_scans(
                 relation,
                 qualification,
                 shape,
+            }
+        }
+        LogicalPlan::IndexLookup {
+            relation,
+            key,
+            key_value,
+            shapes,
+        } => {
+            // The lookup's own key equalities hold for every yielded tuple,
+            // exactly like a scan qualification: they contribute required
+            // attributes and pinned EAD determinants to the shape predicate.
+            let req = required.union(&key);
+            let eq = equalities.merged_with(&key_value);
+            let pred = catalog
+                .get(&relation)
+                .ok()
+                .and_then(|def| shape_predicate_for(def, &req, &eq));
+            if let Some(p) = &pred {
+                notes.push(RewriteNote::new(
+                    "partition-pruning",
+                    format!(
+                        "index lookup on {} restricted to partitions with {}",
+                        relation, p
+                    ),
+                ));
+            }
+            let shapes = match (pred, shapes) {
+                (Some(mut p), Some(existing)) => {
+                    p.required.extend_with(&existing.required);
+                    p.regions.extend(existing.regions);
+                    Some(p)
+                }
+                (p, existing) => p.or(existing),
+            };
+            LogicalPlan::IndexLookup {
+                relation,
+                key,
+                key_value,
+                shapes,
             }
         }
         leaf @ LogicalPlan::Empty => leaf,
@@ -833,6 +1027,70 @@ mod tests {
             .filter(Predicate::gt("salary", 1000));
         let (optimized, _) = optimize(plan, &catalog());
         assert_eq!(optimized.pruned_scan_count(), 0, "{}", optimized);
+    }
+
+    fn database(n: usize) -> Database {
+        use flexrel_workload::{generate_employees, EmployeeConfig};
+        let mut db = Database::new();
+        db.create_relation(RelationDef::from_relation(&employee_relation()))
+            .unwrap();
+        for t in generate_employees(&EmployeeConfig::clean(n)) {
+            db.insert("employee", t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn access_path_pass_rewrites_covered_equality_filters() {
+        let db = database(50);
+        let plan = planned("SELECT * FROM employee WHERE empno = 3 AND salary > 0");
+        let (optimized, notes) = optimize_with_db(plan, &db);
+        assert_eq!(optimized.index_lookup_count(), 1, "{}", optimized);
+        assert!(notes.iter().any(|n| n.rule == "access-path"));
+        let s = optimized.to_string();
+        assert!(s.contains("IndexLookup employee"), "{}", s);
+        assert!(s.contains("salary > 0"), "residual filter kept: {}", s);
+        assert!(!s.contains("empno = 3"), "consumed equality removed: {}", s);
+    }
+
+    #[test]
+    fn access_path_pass_needs_a_covering_index() {
+        let mut db = database(30);
+        // No index on name: the filter stays a filtered scan.
+        let plan = planned("SELECT * FROM employee WHERE name = 'emp3'");
+        let (optimized, _) = optimize_with_db(plan.clone(), &db);
+        assert_eq!(optimized.index_lookup_count(), 0, "{}", optimized);
+        // A user-created secondary index enables the rewrite.
+        db.create_index("employee", flexrel_core::attrs!["name"])
+            .unwrap();
+        let (optimized, notes) = optimize_with_db(plan, &db);
+        assert_eq!(optimized.index_lookup_count(), 1, "{}", optimized);
+        assert!(notes.iter().any(|n| n.rule == "access-path"));
+    }
+
+    #[test]
+    fn index_lookup_composes_with_partition_pruning() {
+        // The equality on the EAD determinant both picks the jobtype index
+        // and pins the variant region; the shape predicate pushed by
+        // prune_scans must survive on the lookup node.
+        let db = database(60);
+        let plan = planned("SELECT * FROM employee WHERE jobtype = 'secretary'");
+        let (optimized, _) = optimize_with_db(plan, &db);
+        let LogicalPlan::IndexLookup {
+            shapes: Some(sp),
+            key,
+            ..
+        } = optimized
+        else {
+            panic!("expected a bare index lookup");
+        };
+        assert_eq!(key, flexrel_core::attrs!["jobtype"]);
+        assert!(!sp.is_trivial());
+        assert!(
+            sp.regions.iter().any(|(_, yi)| !yi.is_empty()),
+            "the pinned determinant fixes the variant region: {}",
+            sp
+        );
     }
 
     #[test]

@@ -20,18 +20,45 @@ use crate::index::HashIndex;
 use crate::partition::{DepGuard, PartitionedHeap, Rid, ShapeMemo};
 use crate::txn::{Transaction, UndoAction};
 
+/// One stored index: the hash index plus whether it was created
+/// automatically for a dependency determinant.  Auto indexes cannot be
+/// dropped — the insert-time AD/FD checks probe them.
+#[derive(Clone, Debug)]
+struct StoredIndex {
+    idx: HashIndex,
+    auto: bool,
+}
+
 /// Per-relation storage: the shape-partitioned heap plus one hash index per
 /// distinct dependency determinant (created automatically so dependency
-/// checking and determinant-equality selections avoid full scans).
+/// checking and determinant-equality selections avoid full scans) and any
+/// user-created secondary indexes ([`Database::create_index`]).
 #[derive(Clone, Debug)]
 struct Stored {
     parts: PartitionedHeap,
-    indexes: Vec<HashIndex>,
+    indexes: Vec<StoredIndex>,
 }
 
 impl Stored {
     fn index_on(&self, key: &AttrSet) -> Option<&HashIndex> {
-        self.indexes.iter().find(|i| i.key() == key)
+        self.indexes
+            .iter()
+            .find(|si| si.idx.key() == key)
+            .map(|si| &si.idx)
+    }
+
+    /// Adds `t` under `rid` to every maintained index.
+    fn index_all(&mut self, rid: Rid, t: &Tuple) {
+        for si in &mut self.indexes {
+            si.idx.insert(rid, t);
+        }
+    }
+
+    /// Removes `t` under `rid` from every maintained index.
+    fn unindex_all(&mut self, rid: Rid, t: &Tuple) {
+        for si in &mut self.indexes {
+            si.idx.remove(rid, t);
+        }
     }
 
     /// The existing tuples that can conflict with `t` on a dependency with
@@ -71,6 +98,41 @@ pub struct PartitionInfo {
     pub disjunct: AttrSet,
     /// Number of live tuples in the partition.
     pub tuples: usize,
+}
+
+/// Per-index catalog metadata: the key, cardinality statistics and whether
+/// the index was auto-created for a dependency determinant.  Returned by
+/// [`Database::indexes`] / [`Database::index_info`]; the optimizer's
+/// access-path pass and the executor's join-strategy gate read these
+/// statistics instead of touching the index itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexInfo {
+    /// The indexed attribute set.
+    pub key: AttrSet,
+    /// Number of distinct key values currently indexed.
+    pub distinct_keys: usize,
+    /// Total number of indexed tuples (including partial ones).
+    pub len: usize,
+    /// Number of tuples not defined on the full key (reachable only through
+    /// the partial-tuple list, never through an equality probe).
+    pub partial_tuples: usize,
+    /// Whether the index was auto-created for a dependency determinant.
+    pub auto: bool,
+}
+
+impl IndexInfo {
+    /// The expected number of matches of one equality probe: the average
+    /// chain length over the key-bearing tuples,
+    /// `(len − partial_tuples) / distinct_keys` (at least 1) — partial
+    /// tuples are excluded because a probe can never return them.  This is
+    /// the selectivity figure the index-nested-loop gate uses.
+    pub fn avg_matches(&self) -> usize {
+        let reachable = self.len - self.partial_tuples;
+        reachable
+            .checked_div(self.distinct_keys)
+            .unwrap_or(1)
+            .max(1)
+    }
 }
 
 /// An in-memory flexible-relation database.
@@ -159,7 +221,13 @@ impl Database {
         }
         let stored = Stored {
             parts: PartitionedHeap::new(),
-            indexes: keys.into_iter().map(HashIndex::new).collect(),
+            indexes: keys
+                .into_iter()
+                .map(|k| StoredIndex {
+                    idx: HashIndex::new(k),
+                    auto: true,
+                })
+                .collect(),
         };
         let name = def.name.clone();
         self.catalog.register(def)?;
@@ -172,6 +240,76 @@ impl Database {
         self.catalog.drop(name)?;
         self.storage.remove(name);
         Ok(())
+    }
+
+    /// Creates a user-defined secondary hash index on `key`, backfilling it
+    /// from the live instance.  Fails if an index on exactly this key (auto
+    /// or secondary) already exists or if `key` is empty.
+    pub fn create_index(&mut self, relation: &str, key: impl Into<AttrSet>) -> Result<()> {
+        let key = key.into();
+        if key.is_empty() {
+            return Err(CoreError::Invalid(
+                "cannot index the empty attribute set".into(),
+            ));
+        }
+        let stored = self.stored_mut(relation)?;
+        if stored.indexes.iter().any(|si| si.idx.key() == &key) {
+            return Err(CoreError::Invalid(format!(
+                "index on {} already exists for {}",
+                key, relation
+            )));
+        }
+        let mut idx = HashIndex::new(key);
+        for (rid, t) in stored.parts.scan() {
+            idx.insert(rid, t);
+        }
+        stored.indexes.push(StoredIndex { idx, auto: false });
+        Ok(())
+    }
+
+    /// Drops the user-defined secondary index on exactly `key`.  Auto-created
+    /// determinant indexes cannot be dropped — dependency checking probes
+    /// them on every insert.
+    pub fn drop_index(&mut self, relation: &str, key: &AttrSet) -> Result<()> {
+        let stored = self.stored_mut(relation)?;
+        let pos = stored
+            .indexes
+            .iter()
+            .position(|si| si.idx.key() == key)
+            .ok_or_else(|| CoreError::NotFound(format!("index on {} for {}", key, relation)))?;
+        if stored.indexes[pos].auto {
+            return Err(CoreError::Invalid(format!(
+                "index on {} for {} is a determinant index and cannot be dropped",
+                key, relation
+            )));
+        }
+        stored.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// Per-index metadata for a relation, in index-creation order (the
+    /// auto-created determinant indexes first).
+    pub fn indexes(&self, relation: &str) -> Result<Vec<IndexInfo>> {
+        Ok(self
+            .stored(relation)?
+            .indexes
+            .iter()
+            .map(|si| IndexInfo {
+                key: si.idx.key().clone(),
+                distinct_keys: si.idx.distinct_keys(),
+                len: si.idx.len(),
+                partial_tuples: si.idx.partial_tuples().len(),
+                auto: si.auto,
+            })
+            .collect())
+    }
+
+    /// Metadata of the index on exactly `key`, if one exists.
+    pub fn index_info(&self, relation: &str, key: &AttrSet) -> Result<Option<IndexInfo>> {
+        Ok(self
+            .indexes(relation)?
+            .into_iter()
+            .find(|info| info.key == *key))
     }
 
     /// Number of live tuples in a relation.
@@ -307,9 +445,7 @@ impl Database {
         };
         let stored = self.storage.get_mut(relation).expect("checked above");
         let rid = stored.parts.insert(sid, t.clone(), new_memo);
-        for idx in &mut stored.indexes {
-            idx.insert(rid, &t);
-        }
+        stored.index_all(rid, &t);
         Ok(rid)
     }
 
@@ -329,18 +465,17 @@ impl Database {
         };
         let stored = self.storage.get_mut(relation).expect("checked above");
         let rid = stored.parts.insert(sid, t.clone(), memo);
-        for idx in &mut stored.indexes {
-            idx.insert(rid, &t);
-        }
+        stored.index_all(rid, &t);
         Ok(rid)
     }
 
     /// Inserts under a transaction, recording the undo action.
     pub fn insert_txn(&mut self, txn: &mut Transaction, relation: &str, t: Tuple) -> Result<Rid> {
-        let rid = self.insert(relation, t)?;
+        let rid = self.insert(relation, t.clone())?;
         txn.record(UndoAction::UndoInsert {
             relation: relation.to_string(),
             rid,
+            tuple: t,
         });
         Ok(rid)
     }
@@ -353,9 +488,7 @@ impl Database {
             .parts
             .delete(rid)
             .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))?;
-        for idx in &mut stored.indexes {
-            idx.remove(rid, &old);
-        }
+        stored.unindex_all(rid, &old);
         Ok(old)
     }
 
@@ -372,18 +505,49 @@ impl Database {
     /// Replaces the tuple under `rid` after re-checking all constraints
     /// against the rest of the instance.  The replacement may change the
     /// tuple's shape, in which case it moves to another partition (a *type
-    /// change* in the sense of §3.1 footnote 3).
-    pub fn update(&mut self, relation: &str, rid: Rid, new: Tuple) -> Result<Tuple> {
+    /// change* in the sense of §3.1 footnote 3) under a *new* [`Rid`].
+    ///
+    /// Returns the replacement's identifier together with the previous
+    /// tuple, so callers can still locate the tuple after a shape-changing
+    /// update.  On failure the previous tuple is restored (including every
+    /// index) and the error returned.
+    pub fn update(&mut self, relation: &str, rid: Rid, new: Tuple) -> Result<(Rid, Tuple)> {
         // Remove, check, re-insert; restore on failure.
         let old = self.delete(relation, rid)?;
         match self.insert(relation, new) {
-            Ok(_) => Ok(old),
+            Ok(new_rid) => Ok((new_rid, old)),
             Err(e) => {
                 self.insert_unchecked(relation, old)
                     .expect("restoring the previous tuple cannot fail");
                 Err(e)
             }
         }
+    }
+
+    /// Updates under a transaction, recording the undo action.  Rolling back
+    /// deletes the replacement under its new identifier and restores the
+    /// previous tuple (re-opening its partition if the update moved the last
+    /// tuple of a shape).
+    pub fn update_txn(
+        &mut self,
+        txn: &mut Transaction,
+        relation: &str,
+        rid: Rid,
+        new: Tuple,
+    ) -> Result<(Rid, Tuple)> {
+        let (new_rid, old) = self.update(relation, rid, new.clone())?;
+        txn.record(UndoAction::UndoUpdate {
+            relation: relation.to_string(),
+            rid: new_rid,
+            replacement: new,
+            previous: old.clone(),
+        });
+        Ok((new_rid, old))
+    }
+
+    /// Reads the tuple stored under `rid`, if it is live.
+    pub fn get(&self, relation: &str, rid: Rid) -> Result<Option<&Tuple>> {
+        Ok(self.stored(relation)?.parts.get(rid))
     }
 
     /// Scans all tuples of a relation, partition by partition.
@@ -431,30 +595,68 @@ impl Database {
         Ok(self.stored(relation)?.parts.attrs_union())
     }
 
-    /// Equality lookup on an attribute set: uses the matching determinant
-    /// index when one exists, otherwise scans.  `key_value` must be a tuple
-    /// over exactly the attributes of `key`.
-    pub fn lookup_eq(
-        &self,
+    /// Equality lookup on an attribute set: uses the matching index (auto or
+    /// secondary) when one exists, otherwise falls back to a shape-pruned
+    /// scan.  `key_value` must be a tuple over exactly the attributes of
+    /// `key`.  Returns `(Rid, &Tuple)` pairs borrowed from storage — no
+    /// tuple is cloned.
+    pub fn lookup_eq<'a>(
+        &'a self,
         relation: &str,
         key: &AttrSet,
         key_value: &Tuple,
-    ) -> Result<Vec<Tuple>> {
+    ) -> Result<Vec<(Rid, &'a Tuple)>> {
         let stored = self.stored(relation)?;
         if let Some(idx) = stored.index_on(key) {
             Ok(idx
                 .lookup(key_value)
                 .iter()
-                .filter_map(|rid| stored.parts.get(*rid).cloned())
+                .filter_map(|rid| stored.parts.get(*rid).map(|t| (*rid, t)))
+                .collect())
+        } else {
+            let contains = key.clone();
+            let project = key.clone();
+            let value = key_value.clone();
+            Ok(stored
+                .parts
+                .scan_where(move |shape| contains.is_subset(shape))
+                .filter(move |(_, t)| t.project(&project) == value)
+                .collect())
+        }
+    }
+
+    /// The tuples of a relation *not* defined on all of `key` — exactly the
+    /// tuples an equality lookup on `key` can never return.  Served from the
+    /// index's partial-tuple bookkeeping when an index exists, otherwise by
+    /// a scan.  The index-nested-loop join uses this as its fallback side.
+    pub fn lookup_partial<'a>(
+        &'a self,
+        relation: &str,
+        key: &AttrSet,
+    ) -> Result<Vec<(Rid, &'a Tuple)>> {
+        let stored = self.stored(relation)?;
+        if let Some(idx) = stored.index_on(key) {
+            Ok(idx
+                .partial_tuples()
+                .iter()
+                .filter_map(|rid| stored.parts.get(*rid).map(|t| (*rid, t)))
                 .collect())
         } else {
             Ok(stored
                 .parts
-                .scan_where(|shape| key.is_subset(shape))
-                .filter(|(_, t)| t.project(key) == *key_value)
-                .map(|(_, t)| t.clone())
+                .scan()
+                .filter(|(_, t)| !t.defined_on(key))
                 .collect())
         }
+    }
+
+    /// The stored hash index on exactly `key`, if one exists.  Lets
+    /// per-tuple probe loops (the index-nested-loop join) resolve the
+    /// relation and index once and then call
+    /// [`HashIndex::lookup`] per probe, instead of paying the catalog
+    /// lookup and index search on every tuple.
+    pub fn index(&self, relation: &str, key: &AttrSet) -> Result<Option<&HashIndex>> {
+        Ok(self.stored(relation)?.index_on(key))
     }
 
     /// Whether an index on exactly this key exists for the relation.
@@ -485,13 +687,12 @@ impl Database {
     pub fn rollback(&mut self, mut txn: Transaction) -> Result<()> {
         for action in txn.drain_rollback() {
             match action {
-                UndoAction::UndoInsert { relation, rid } => {
-                    let stored = self.stored_mut(&relation)?;
-                    if let Some(old) = stored.parts.delete(rid) {
-                        for idx in &mut stored.indexes {
-                            idx.remove(rid, &old);
-                        }
-                    }
+                UndoAction::UndoInsert {
+                    relation,
+                    rid,
+                    tuple,
+                } => {
+                    self.undo_remove(&relation, rid, &tuple)?;
                 }
                 UndoAction::UndoDelete { relation, tuple } => {
                     self.insert_unchecked(&relation, tuple)?;
@@ -499,19 +700,45 @@ impl Database {
                 UndoAction::UndoUpdate {
                     relation,
                     rid,
+                    replacement,
                     previous,
                 } => {
-                    let stored = self.stored_mut(&relation)?;
-                    if let Some(current) = stored.parts.delete(rid) {
-                        for idx in &mut stored.indexes {
-                            idx.remove(rid, &current);
-                        }
+                    if self.undo_remove(&relation, rid, &replacement)? {
                         self.insert_unchecked(&relation, previous)?;
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Removes the tuple a transaction wrote, for rollback.  The recorded
+    /// `rid` is only a fast path: a partition that was emptied (dropped)
+    /// and re-created within the transaction hands out fresh slots, so the
+    /// rid may now name a *different* live tuple — deleting blindly by rid
+    /// would destroy committed data.  The rid is therefore revalidated
+    /// against `expected` and, on mismatch, the tuple is located by value
+    /// in its shape's partition (equal tuples are interchangeable, so any
+    /// match preserves the multiset).  Returns whether a tuple was removed.
+    fn undo_remove(&mut self, relation: &str, rid: Rid, expected: &Tuple) -> Result<bool> {
+        let stored = self.stored_mut(relation)?;
+        let target = if stored.parts.get(rid) == Some(expected) {
+            Some(rid)
+        } else {
+            let sid = expected.shape_id();
+            stored.parts.partition(sid).and_then(|p| {
+                p.tuples()
+                    .find(|(_, t)| *t == expected)
+                    .map(|(loc, _)| Rid::new(sid, loc))
+            })
+        };
+        if let Some(target) = target {
+            if let Some(old) = stored.parts.delete(target) {
+                stored.unindex_all(target, &old);
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -612,7 +839,11 @@ mod tests {
         assert!(!secretaries.is_empty());
         assert!(secretaries
             .iter()
-            .all(|t| t.get_name("jobtype") == Some(&Value::tag("secretary"))));
+            .all(|(_, t)| t.get_name("jobtype") == Some(&Value::tag("secretary"))));
+        // The returned rids locate the borrowed tuples.
+        for (rid, t) in &secretaries {
+            assert_eq!(db.get("employee", *rid).unwrap(), Some(*t));
+        }
     }
 
     #[test]
@@ -702,7 +933,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(still_there.len(), 1);
-        assert_eq!(still_there[0], original);
+        assert_eq!(still_there[0].1, &original);
     }
 
     #[test]
@@ -723,7 +954,15 @@ mod tests {
         changed.remove(&"foreign-languages".into());
         changed.insert("products", "crm");
         changed.insert("sales-commission", 5);
-        db.update("employee", rid, changed.clone()).unwrap();
+        let (new_rid, previous) = db.update("employee", rid, changed.clone()).unwrap();
+        assert_eq!(previous, original, "the old tuple is returned");
+        assert_ne!(new_rid, rid, "a shape change moves the tuple");
+        assert_eq!(
+            db.get("employee", new_rid).unwrap(),
+            Some(&changed),
+            "the returned rid locates the moved tuple"
+        );
+        assert_eq!(db.get("employee", rid).unwrap(), None);
         let after = db.partitions("employee").unwrap();
         assert_eq!(before.len(), after.len());
         let count_for = |parts: &[PartitionInfo], shape: &AttrSet| {
@@ -864,6 +1103,273 @@ mod tests {
         )
         .unwrap();
         assert_eq!(db.partitions("employee").unwrap().len(), 2);
+    }
+
+    /// One canonicalized index: key, entry map with sorted rid sets, sorted
+    /// partial list, auto flag.
+    type CanonicalIndex = (
+        AttrSet,
+        std::collections::BTreeMap<Tuple, std::collections::BTreeSet<Rid>>,
+        std::collections::BTreeSet<Rid>,
+        bool,
+    );
+
+    /// A canonical, order-insensitive snapshot of every index of a relation.
+    fn index_snapshot(db: &Database, relation: &str) -> Vec<CanonicalIndex> {
+        db.storage[relation]
+            .indexes
+            .iter()
+            .map(|si| {
+                (
+                    si.idx.key().clone(),
+                    si.idx
+                        .entries()
+                        .map(|(k, v)| (k.clone(), v.iter().copied().collect()))
+                        .collect(),
+                    si.idx.partial_tuples().iter().copied().collect(),
+                    si.auto,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn secondary_index_lifecycle_and_stats() {
+        let mut db = db_with_employees(60);
+        // Auto indexes exist for the two determinants; none on name yet.
+        let infos = db.indexes("employee").unwrap();
+        assert_eq!(infos.len(), 2);
+        assert!(infos.iter().all(|i| i.auto));
+        assert!(!db.has_index("employee", &attrs!["name"]));
+
+        // A secondary index is backfilled from the live instance.
+        db.create_index("employee", attrs!["name"]).unwrap();
+        assert!(db.has_index("employee", &attrs!["name"]));
+        let info = db
+            .index_info("employee", &attrs!["name"])
+            .unwrap()
+            .expect("just created");
+        assert!(!info.auto);
+        assert_eq!(info.len, 60, "backfill covered the instance");
+        assert_eq!(info.distinct_keys, 60, "names are unique in the workload");
+        assert_eq!(info.partial_tuples, 0, "every employee has a name");
+        assert_eq!(info.avg_matches(), 1);
+
+        // Lookups through the new index agree with the scan fallback result.
+        let probe = Tuple::new().with("name", "emp7");
+        let hits = db.lookup_eq("employee", &attrs!["name"], &probe).unwrap();
+        assert_eq!(hits.len(), 1);
+
+        // Inserts maintain the secondary index.
+        let mut extra = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+        extra.insert("empno", 777);
+        extra.insert("name", "emp7");
+        db.insert("employee", extra).unwrap();
+        let hits = db.lookup_eq("employee", &attrs!["name"], &probe).unwrap();
+        assert_eq!(hits.len(), 2, "duplicate names share one index entry");
+
+        // Duplicate creation and dropping auto indexes are rejected.
+        assert!(db.create_index("employee", attrs!["name"]).is_err());
+        assert!(db.create_index("employee", AttrSet::empty()).is_err());
+        assert!(db.drop_index("employee", &attrs!["empno"]).is_err());
+        db.drop_index("employee", &attrs!["name"]).unwrap();
+        assert!(!db.has_index("employee", &attrs!["name"]));
+        assert!(db.drop_index("employee", &attrs!["name"]).is_err());
+    }
+
+    #[test]
+    fn index_info_tracks_partial_tuples() {
+        let mut db = db_with_employees(90);
+        // typing-speed exists only on secretary-shaped tuples: the others are
+        // reachable solely through the partial list.
+        db.create_index("employee", attrs!["typing-speed"]).unwrap();
+        let info = db
+            .index_info("employee", &attrs!["typing-speed"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(info.len, 90);
+        assert!(info.partial_tuples > 0);
+        let partial = db
+            .lookup_partial("employee", &attrs!["typing-speed"])
+            .unwrap();
+        assert_eq!(partial.len(), info.partial_tuples);
+        assert!(partial.iter().all(|(_, t)| !t.has_name("typing-speed")));
+        // The scan fallback (no index on this wider key) computes the same
+        // set: name and salary are universal, so only typing-speed decides.
+        let by_scan = db
+            .lookup_partial("employee", &attrs!["name", "salary", "typing-speed"])
+            .unwrap();
+        assert_eq!(by_scan.len(), info.partial_tuples);
+    }
+
+    #[test]
+    fn update_txn_rollback_restores_tuples_partitions_and_indexes() {
+        let mut db = db_with_employees(30);
+        // A secondary index participates in the restore as well.
+        db.create_index("employee", attrs!["name"]).unwrap();
+        let parts_before = db.partitions("employee").unwrap();
+        let idx_before = index_snapshot(&db, "employee");
+        let (rid, original) = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .find(|(_, t)| t.get_name("jobtype") == Some(&Value::tag("secretary")))
+            .unwrap();
+
+        // A mid-transaction shape-changing update, then abort.
+        let mut txn = Transaction::begin();
+        let mut changed = original.clone();
+        changed.insert("jobtype", Value::tag("salesman"));
+        changed.remove(&"typing-speed".into());
+        changed.remove(&"foreign-languages".into());
+        changed.insert("products", "crm");
+        changed.insert("sales-commission", 5);
+        let (new_rid, _) = db
+            .update_txn(&mut txn, "employee", rid, changed.clone())
+            .unwrap();
+        assert_eq!(db.get("employee", new_rid).unwrap(), Some(&changed));
+        assert_eq!(txn.len(), 1, "the update recorded its undo action");
+
+        db.rollback(txn).unwrap();
+        assert_eq!(
+            db.partitions("employee").unwrap(),
+            parts_before,
+            "partition catalog restored"
+        );
+        assert_eq!(
+            index_snapshot(&db, "employee"),
+            idx_before,
+            "index contents restored"
+        );
+        assert_eq!(db.get("employee", new_rid).unwrap(), None);
+        let found = db
+            .lookup_eq(
+                "employee",
+                &attrs!["empno"],
+                &original.project(&attrs!["empno"]),
+            )
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1, &original);
+    }
+
+    #[test]
+    fn failed_update_restores_every_index_exactly() {
+        let mut db = db_with_employees(40);
+        db.create_index("employee", attrs!["name"]).unwrap();
+        db.create_index("employee", attrs!["typing-speed"]).unwrap();
+        let parts_before = db.partitions("employee").unwrap();
+        let idx_before = index_snapshot(&db, "employee");
+        let tuples_before: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+
+        // A shape-changing update that fails the EAD check: jobtype flips but
+        // the variant attributes stay, so the insert is rejected after the
+        // delete already ran — the automatic restore must undo everything.
+        let (rid, original) = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .find(|(_, t)| t.get_name("jobtype") == Some(&Value::tag("secretary")))
+            .unwrap();
+        let mut broken = original.clone();
+        broken.insert("jobtype", Value::tag("salesman"));
+        assert!(db.update("employee", rid, broken).is_err());
+
+        assert_eq!(db.partitions("employee").unwrap(), parts_before);
+        assert_eq!(
+            index_snapshot(&db, "employee"),
+            idx_before,
+            "every index (entries and partial lists) is byte-identical after the restore"
+        );
+        let tuples_after: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(tuples_after, tuples_before);
+        // The restored tuple is live under its original identifier again
+        // (the freed slot is reused by the restore).
+        assert_eq!(db.get("employee", rid).unwrap(), Some(&original));
+    }
+
+    #[test]
+    fn rollback_survives_rid_drift_from_partition_recreation() {
+        // Emptying a partition mid-transaction discards its heap and free
+        // list; the rollback replay then re-creates it with fresh slot
+        // assignments, so the rids recorded by UndoInsert/UndoUpdate can
+        // name *different* tuples by the time their undo runs.  Rollback
+        // must locate the tuples by value, not trust the drifted rids.
+        let secretary = |empno: i64| {
+            Tuple::new()
+                .with("empno", empno)
+                .with("name", format!("sec{}", empno))
+                .with("salary", 4000.0 + empno as f64)
+                .with("jobtype", Value::tag("secretary"))
+                .with("typing-speed", 300)
+                .with("foreign-languages", "french")
+        };
+
+        // UndoUpdate drift: update q1 in place (slot reuse), then delete
+        // both live tuples — the partition drops.  On rollback the two
+        // UndoDeletes repopulate a fresh heap in reverse order, so the
+        // update's recorded rid now points at q2.
+        let mut db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        let r1 = db.insert("employee", secretary(1)).unwrap();
+        let r2 = db.insert("employee", secretary(2)).unwrap();
+        let before: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let mut txn = Transaction::begin();
+        let mut changed = secretary(1);
+        changed.insert("salary", 9999.0);
+        let (new_rid, _) = db.update_txn(&mut txn, "employee", r1, changed).unwrap();
+        db.delete_txn(&mut txn, "employee", new_rid).unwrap();
+        db.delete_txn(&mut txn, "employee", r2).unwrap();
+        assert_eq!(db.count("employee").unwrap(), 0, "partition dropped");
+        db.rollback(txn).unwrap();
+        let after: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(after, before, "no tuple lost, no replacement leaked");
+
+        // UndoInsert drift: insert t3, then delete q1 and t3 (partition
+        // drops).  Rollback re-inserts t3 and q1 into fresh slots, so the
+        // UndoInsert rid points at q1 — deleting by rid would destroy it.
+        let mut db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        let r1 = db.insert("employee", secretary(1)).unwrap();
+        let before: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let mut txn = Transaction::begin();
+        let r3 = db.insert_txn(&mut txn, "employee", secretary(3)).unwrap();
+        db.delete_txn(&mut txn, "employee", r1).unwrap();
+        db.delete_txn(&mut txn, "employee", r3).unwrap();
+        assert_eq!(db.count("employee").unwrap(), 0, "partition dropped");
+        db.rollback(txn).unwrap();
+        let after: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(after, before, "the committed tuple survives the abort");
     }
 
     #[test]

@@ -82,6 +82,13 @@ impl HashIndex {
         &self.partial
     }
 
+    /// Iterates over the index entries: each distinct key projection with the
+    /// identifiers of the tuples carrying it.  Entry and identifier order are
+    /// unspecified; canonicalize before comparing snapshots.
+    pub fn entries(&self) -> impl Iterator<Item = (&Tuple, &[Rid])> + '_ {
+        self.entries.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
     /// Number of distinct key values.
     pub fn distinct_keys(&self) -> usize {
         self.entries.len()

@@ -31,7 +31,7 @@ pub mod partition;
 pub mod txn;
 
 pub use catalog::{Catalog, RelationDef};
-pub use db::{Database, PartitionInfo};
+pub use db::{Database, IndexInfo, PartitionInfo};
 pub use heap::{Heap, TupleId};
 pub use index::HashIndex;
 pub use partition::{DepGuard, Partition, PartitionedHeap, Rid, ShapeMemo};

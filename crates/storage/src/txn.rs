@@ -21,8 +21,13 @@ pub enum UndoAction {
     UndoInsert {
         /// The relation the tuple was inserted into.
         relation: String,
-        /// The identifier the insert produced.
+        /// The identifier the insert produced — a fast path that rollback
+        /// revalidates: a partition emptied and re-created within the same
+        /// transaction reassigns slots, so a recorded rid can drift.
         rid: Rid,
+        /// The inserted tuple, used to locate it by value when the rid has
+        /// drifted.
+        tuple: Tuple,
     },
     /// A tuple was deleted from `relation`; undo by re-inserting it.
     UndoDelete {
@@ -31,14 +36,18 @@ pub enum UndoAction {
         /// The deleted tuple, re-inserted on rollback.
         tuple: Tuple,
     },
-    /// A tuple was replaced; undo by restoring the previous value (which
-    /// may live in a different partition when the update changed the
-    /// tuple's shape).
+    /// A tuple was replaced; undo by removing the replacement and restoring
+    /// the previous value (which may live in a different partition when the
+    /// update changed the tuple's shape).
     UndoUpdate {
         /// The relation the tuple was replaced in.
         relation: String,
-        /// The identifier of the replacement tuple.
+        /// The identifier of the replacement tuple (revalidated like
+        /// [`UndoAction::UndoInsert`]'s rid).
         rid: Rid,
+        /// The replacement tuple the update inserted, used to locate it by
+        /// value when the rid has drifted.
+        replacement: Tuple,
         /// The previous tuple, restored on rollback.
         previous: Tuple,
     },
@@ -110,6 +119,7 @@ mod tests {
         txn.record(UndoAction::UndoInsert {
             relation: "r".into(),
             rid,
+            tuple: tuple! {"x" => 1},
         });
         txn.record(UndoAction::UndoDelete {
             relation: "r".into(),
@@ -135,6 +145,7 @@ mod tests {
         txn.record(UndoAction::UndoInsert {
             relation: "r".into(),
             rid,
+            tuple: tuple! {"x" => 1},
         });
         assert!(!txn.is_committed());
         txn.commit();

@@ -23,13 +23,53 @@ pub struct WideConfig {
     pub n: usize,
     /// Number of variants (distinct tuple shapes), at least 1.
     pub variants: usize,
+    /// Key-skew exponent for the `kind` distribution: `0.0` spreads tuples
+    /// round-robin (uniform); larger values weight variant `i` by
+    /// `1 / (i+1)^skew` (Zipf-like), concentrating tuples — and hence one
+    /// partition and one `kind`-index chain — on the low variants.  Lets
+    /// the access-path experiments control determinant selectivity.
+    pub skew: f64,
 }
 
 impl WideConfig {
     /// `n` tuples spread round-robin over `variants` shapes.
     pub fn new(n: usize, variants: usize) -> Self {
         assert!(variants >= 1, "at least one variant is required");
-        WideConfig { n, variants }
+        WideConfig {
+            n,
+            variants,
+            skew: 0.0,
+        }
+    }
+
+    /// Sets the key-skew exponent (builder style).
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        assert!(skew >= 0.0, "skew must be non-negative");
+        self.skew = skew;
+        self
+    }
+
+    /// The number of tuples assigned to each variant: uniform (round-robin
+    /// remainders go to the low variants) for `skew = 0`, Zipf-weighted
+    /// otherwise.  Deterministic, sums to `n`.
+    pub fn variant_counts(&self) -> Vec<usize> {
+        let weights: Vec<f64> = (0..self.variants)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut counts: Vec<usize> = weights
+            .iter()
+            .map(|w| (self.n as f64 * w / total).floor() as usize)
+            .collect();
+        // Distribute the rounding remainder to the heaviest variants first.
+        let mut assigned: usize = counts.iter().sum();
+        let mut i = 0usize;
+        while assigned < self.n {
+            counts[i % self.variants] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        counts
     }
 }
 
@@ -88,17 +128,36 @@ pub fn wide_relation(variants: usize) -> FlexRelation {
     rel
 }
 
-/// Generates `cfg.n` valid tuples spread round-robin over the variants.
+/// Generates `cfg.n` valid tuples over the variants: round-robin when
+/// `cfg.skew` is zero (the historical behaviour), otherwise Zipf-weighted by
+/// [`WideConfig::variant_counts`] with the variants interleaved so every
+/// prefix of the output mixes shapes.
 pub fn generate_wide(cfg: &WideConfig) -> Vec<Tuple> {
-    (0..cfg.n)
-        .map(|i| {
-            let v = i % cfg.variants;
-            Tuple::new()
-                .with("id", i as i64)
-                .with("kind", Value::tag(wide_kind_tag(v)))
-                .with(wide_variant_attr(v), (i * 7 % 1000) as i64)
-        })
-        .collect()
+    let tuple_for = |i: usize, v: usize| {
+        Tuple::new()
+            .with("id", i as i64)
+            .with("kind", Value::tag(wide_kind_tag(v)))
+            .with(wide_variant_attr(v), (i * 7 % 1000) as i64)
+    };
+    if cfg.skew == 0.0 {
+        return (0..cfg.n).map(|i| tuple_for(i, i % cfg.variants)).collect();
+    }
+    let mut remaining = cfg.variant_counts();
+    let mut out = Vec::with_capacity(cfg.n);
+    let mut v = 0usize;
+    for i in 0..cfg.n {
+        // Round-robin over the variants that still have budget.
+        let mut probes = 0;
+        while remaining[v % cfg.variants] == 0 && probes < cfg.variants {
+            v += 1;
+            probes += 1;
+        }
+        let chosen = v % cfg.variants;
+        remaining[chosen] -= 1;
+        v += 1;
+        out.push(tuple_for(i, chosen));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -123,6 +182,42 @@ mod tests {
         assert_eq!(fs.dnf_len(), 5);
         assert!(fs.admits(&attrs!["id", "kind", "v3"]));
         assert!(!fs.admits(&attrs!["id", "kind", "v0", "v1"]));
+    }
+
+    #[test]
+    fn skewed_generation_is_valid_and_concentrated() {
+        let cfg = WideConfig::new(200, 4).with_skew(1.5);
+        let counts = cfg.variant_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 200);
+        assert!(
+            counts[0] > counts[3] * 2,
+            "skew concentrates the low variants: {:?}",
+            counts
+        );
+        let tuples = generate_wide(&cfg);
+        assert_eq!(tuples.len(), 200);
+        let mut rel = wide_relation(4);
+        for t in &tuples {
+            rel.insert_checked(t.clone(), CheckLevel::Full).unwrap();
+        }
+        // Ids stay unique and the per-kind histogram matches the plan.
+        for (i, c) in counts.iter().enumerate() {
+            let kind = Value::tag(wide_kind_tag(i));
+            assert_eq!(
+                tuples
+                    .iter()
+                    .filter(|t| t.get_name("kind") == Some(&kind))
+                    .count(),
+                *c
+            );
+        }
+        // Zero skew keeps the historical round-robin layout.
+        let uniform = WideConfig::new(12, 4);
+        assert_eq!(uniform.variant_counts(), vec![3, 3, 3, 3]);
+        assert_eq!(
+            generate_wide(&uniform)[5].get_name("kind"),
+            Some(&Value::tag("k1"))
+        );
     }
 
     #[test]

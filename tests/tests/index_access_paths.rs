@@ -1,0 +1,227 @@
+//! Index access paths, end to end: `lookup_eq` through an index agrees with
+//! the scan fallback on randomized flexible instances (including tuples not
+//! defined on the key), database-aware optimized plans (IndexLookup +
+//! index-nested-loop joins) produce exactly the rows of the unoptimized
+//! plans, and transactional updates on indexed relations roll back cleanly.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use flexrel_bench::experiments::wide_access_path_db;
+use flexrel_core::attr::AttrSet;
+use flexrel_core::attrs;
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+use flexrel_query::prelude::*;
+use flexrel_storage::{Database, RelationDef, Transaction};
+use flexrel_workload::{
+    employee_relation, generate_employees, generate_wide, wide_relation, EmployeeConfig, JobType,
+    WideConfig,
+};
+
+fn employee_db(n: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationDef::from_relation(&employee_relation()))
+        .unwrap();
+    for t in generate_employees(&EmployeeConfig {
+        n,
+        violation_rate: 0.0,
+        seed,
+    }) {
+        db.insert("employee", t).unwrap();
+    }
+    db
+}
+
+/// The scan-fallback semantics of an equality lookup, computed by hand.
+fn lookup_by_scan(
+    db: &Database,
+    relation: &str,
+    key: &AttrSet,
+    key_value: &Tuple,
+) -> BTreeSet<Tuple> {
+    db.scan(relation)
+        .unwrap()
+        .into_iter()
+        .map(|(_, t)| t)
+        .filter(|t| t.defined_on(key) && &t.project(key) == key_value)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// An indexed `lookup_eq` returns exactly the tuples the scan fallback
+    /// returns — for the determinant indexes, for a secondary index on a
+    /// variant attribute most tuples are *not* defined on, and for an
+    /// unindexed key (the fallback itself).
+    #[test]
+    fn lookup_eq_agrees_with_scan_fallback(seed in 0u64..500, n in 30usize..200, job_idx in 0usize..3) {
+        let mut db = employee_db(n, seed);
+        // Secondary index on a variant attribute: salesman/engineer tuples
+        // land in the partial list.
+        db.create_index("employee", attrs!["typing-speed"]).unwrap();
+
+        // Determinant index probe (jobtype).
+        let job = JobType::all()[job_idx];
+        let key = attrs!["jobtype"];
+        let key_value = Tuple::new().with("jobtype", Value::tag(job.tag()));
+        prop_assert!(db.has_index("employee", &key));
+        let via_index: BTreeSet<Tuple> = db
+            .lookup_eq("employee", &key, &key_value).unwrap()
+            .into_iter().map(|(_, t)| t.clone()).collect();
+        prop_assert_eq!(via_index, lookup_by_scan(&db, "employee", &key, &key_value));
+
+        // Secondary index probe on the sparse attribute.
+        let key = attrs!["typing-speed"];
+        let sample = db
+            .scan("employee").unwrap().into_iter()
+            .find_map(|(_, t)| t.get_name("typing-speed").cloned());
+        if let Some(v) = sample {
+            let key_value = Tuple::new().with("typing-speed", v);
+            let via_index: BTreeSet<Tuple> = db
+                .lookup_eq("employee", &key, &key_value).unwrap()
+                .into_iter().map(|(_, t)| t.clone()).collect();
+            prop_assert!(!via_index.is_empty());
+            prop_assert_eq!(via_index, lookup_by_scan(&db, "employee", &key, &key_value));
+        }
+        // The partial list is exactly the complement of key coverage.
+        let partial = db.lookup_partial("employee", &key).unwrap();
+        let not_defined = db.scan("employee").unwrap().into_iter()
+            .filter(|(_, t)| !t.defined_on(&key)).count();
+        prop_assert_eq!(partial.len(), not_defined);
+
+        // Unindexed key: both sides take the scan path and still agree.
+        let key = attrs!["name"];
+        let key_value = Tuple::new().with("name", "emp3");
+        prop_assert!(!db.has_index("employee", &key));
+        let via_scan: BTreeSet<Tuple> = db
+            .lookup_eq("employee", &key, &key_value).unwrap()
+            .into_iter().map(|(_, t)| t.clone()).collect();
+        prop_assert_eq!(via_scan, lookup_by_scan(&db, "employee", &key, &key_value));
+    }
+
+    /// Database-aware optimization (index lookups, index-nested-loop joins)
+    /// never changes query results — the acceptance differential.
+    #[test]
+    fn indexed_plans_agree_with_unoptimized_plans(seed in 0u64..500, n in 50usize..250, job_idx in 0usize..3, key in 0i64..250) {
+        let db = employee_db(n, seed);
+        let job = JobType::all()[job_idx];
+        let queries = [
+            format!("SELECT * FROM employee WHERE empno = {}", key % n as i64),
+            format!("SELECT * FROM employee WHERE jobtype = '{}'", job.tag()),
+            format!("SELECT empno, salary FROM employee WHERE jobtype = '{}' AND salary > 4000", job.tag()),
+            format!("SELECT * FROM employee WHERE empno = {} AND jobtype = '{}'", key % n as i64, job.tag()),
+        ];
+        for frql in queries {
+            let q = parse(&frql).unwrap();
+            let plan = plan_query(&q, db.catalog()).unwrap();
+            let naive: BTreeSet<Tuple> = execute(&plan, &db).unwrap().into_iter().collect();
+            let (indexed, _) = optimize_with_db(plan, &db);
+            prop_assert!(indexed.index_lookup_count() <= 1);
+            let fast: BTreeSet<Tuple> = execute(&indexed, &db).unwrap().into_iter().collect();
+            prop_assert_eq!(&naive, &fast, "results diverged for {}", &frql);
+        }
+    }
+
+    /// Both join strategies produce the same rows on the wide workload, for
+    /// uniform and skewed key distributions.
+    #[test]
+    fn join_strategies_agree(n in 100usize..400, variants in 2usize..6, skew in 0u8..3) {
+        // The shared fixture: `wide` (indexed), its dependency-free shadow
+        // `wide_nx` (no indexes — always the hash path) and 8 probe keys.
+        let db = wide_access_path_db(n, variants, skew as f64, 8);
+        let inl_plan = LogicalPlan::scan("ids").join(LogicalPlan::scan("wide"));
+        prop_assert_eq!(
+            join_strategy(&LogicalPlan::scan("ids"), &LogicalPlan::scan("wide"), &db),
+            JoinStrategy::IndexNestedLoopRight
+        );
+        let hash_plan = LogicalPlan::scan("ids").join(LogicalPlan::scan("wide_nx"));
+        prop_assert_eq!(
+            join_strategy(&LogicalPlan::scan("ids"), &LogicalPlan::scan("wide_nx"), &db),
+            JoinStrategy::Hash
+        );
+        let inl: BTreeSet<Tuple> = execute(&inl_plan, &db).unwrap().into_iter().collect();
+        let hash: BTreeSet<Tuple> = execute(&hash_plan, &db).unwrap().into_iter().collect();
+        prop_assert_eq!(inl, hash);
+    }
+
+    /// A transaction mixing inserts, updates (shape-changing and not) and
+    /// deletes on an indexed relation aborts back to exactly the initial
+    /// partition catalog, tuple set and index statistics.
+    #[test]
+    fn mixed_transaction_abort_restores_indexed_relation(seed in 0u64..500, n in 20usize..80) {
+        let mut db = employee_db(n, seed);
+        db.create_index("employee", attrs!["name"]).unwrap();
+        let parts_before = db.partitions("employee").unwrap();
+        let tuples_before: BTreeSet<Tuple> =
+            db.scan("employee").unwrap().into_iter().map(|(_, t)| t).collect();
+        let indexes_before = db.indexes("employee").unwrap();
+
+        let mut txn = Transaction::begin();
+        // Insert a fresh secretary.
+        let new_rid = db.insert_txn(&mut txn, "employee", Tuple::new()
+            .with("empno", 90_001)
+            .with("name", "txn-sec")
+            .with("salary", 4321.0)
+            .with("jobtype", Value::tag("secretary"))
+            .with("typing-speed", 250)
+            .with("foreign-languages", "italian")).unwrap();
+        // Shape-changing update of that tuple (secretary → salesman).
+        let moved = Tuple::new()
+            .with("empno", 90_001)
+            .with("name", "txn-sec")
+            .with("salary", 4321.0)
+            .with("jobtype", Value::tag("salesman"))
+            .with("products", "crm")
+            .with("sales-commission", 3);
+        let (moved_rid, _) = db.update_txn(&mut txn, "employee", new_rid, moved).unwrap();
+        // In-place (same-shape) update of an existing tuple.
+        let (rid, t) = db.scan("employee").unwrap().into_iter()
+            .find(|(_, t)| t.get_name("empno") != Some(&Value::Int(90_001)))
+            .unwrap();
+        let mut bumped = t.clone();
+        bumped.insert("salary", 9999.0);
+        db.update_txn(&mut txn, "employee", rid, bumped).unwrap();
+        // Delete the moved tuple.
+        db.delete_txn(&mut txn, "employee", moved_rid).unwrap();
+
+        db.rollback(txn).unwrap();
+        prop_assert_eq!(db.partitions("employee").unwrap(), parts_before);
+        let tuples_after: BTreeSet<Tuple> =
+            db.scan("employee").unwrap().into_iter().map(|(_, t)| t).collect();
+        prop_assert_eq!(tuples_after, tuples_before);
+        prop_assert_eq!(db.indexes("employee").unwrap(), indexes_before);
+    }
+}
+
+/// The full access-path pipeline on the wide workload: parse → plan →
+/// optimize_with_db → stream, with the shape predicate surviving on the
+/// lookup node.
+#[test]
+fn wide_point_lookup_takes_the_index_and_keeps_shape_pruning() {
+    let mut db = Database::new();
+    db.create_relation(RelationDef::from_relation(&wide_relation(8)))
+        .unwrap();
+    for t in generate_wide(&WideConfig::new(800, 8)) {
+        db.insert("wide", t).unwrap();
+    }
+    let q = parse("SELECT * FROM wide WHERE kind = 'k3'").unwrap();
+    let plan = plan_query(&q, db.catalog()).unwrap();
+    let (indexed, notes) = optimize_with_db(plan.clone(), &db);
+    assert_eq!(indexed.index_lookup_count(), 1, "{}", indexed);
+    assert!(notes.iter().any(|n| n.rule == "access-path"));
+    assert!(notes.iter().any(|n| n.rule == "partition-pruning"));
+    let LogicalPlan::IndexLookup {
+        shapes: Some(sp), ..
+    } = &indexed
+    else {
+        panic!("expected a bare index lookup: {}", indexed);
+    };
+    assert!(!sp.is_trivial(), "shape predicate survives on the lookup");
+    let naive: BTreeSet<Tuple> = execute(&plan, &db).unwrap().into_iter().collect();
+    let fast: BTreeSet<Tuple> = execute(&indexed, &db).unwrap().into_iter().collect();
+    assert_eq!(naive, fast);
+    assert_eq!(fast.len(), 100, "one variant of eight");
+}
