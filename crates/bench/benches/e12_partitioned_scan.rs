@@ -8,15 +8,15 @@ use flexrel_workload::{generate_wide, wide_relation, WideConfig};
 fn bench(c: &mut Criterion) {
     const N: usize = 10_000;
     const VARIANTS: usize = 8;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&wide_relation(VARIANTS)))
         .unwrap();
     for t in generate_wide(&WideConfig::new(N, VARIANTS)) {
         db.insert("wide", t).unwrap();
     }
     let parsed = parse("SELECT * FROM wide WHERE kind = 'k0'").unwrap();
-    let naive = plan_query(&parsed, db.catalog()).unwrap();
-    let (pruned, _) = optimize(naive.clone(), db.catalog());
+    let naive = plan_query(&parsed, &db.catalog()).unwrap();
+    let (pruned, _) = optimize(naive.clone(), &db.catalog());
 
     let mut g = c.benchmark_group("e12_partitioned_scan");
     g.sample_size(10);
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("insert_memoized_typecheck", |b| {
         let batch = generate_wide(&WideConfig::new(1_000, VARIANTS));
         b.iter(|| {
-            let mut db = Database::new();
+            let db = Database::new();
             db.create_relation(RelationDef::from_relation(&wide_relation(VARIANTS)))
                 .unwrap();
             let mut n = 0usize;

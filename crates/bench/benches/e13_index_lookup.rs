@@ -15,8 +15,8 @@ fn bench(c: &mut Criterion) {
 
     // Point lookup on the unique FD determinant: pruned scan vs. IndexLookup.
     let parsed = parse(&format!("SELECT * FROM wide WHERE id = {}", N / 2)).unwrap();
-    let plan = plan_query(&parsed, db.catalog()).unwrap();
-    let (pruned, _) = optimize(plan.clone(), db.catalog());
+    let plan = plan_query(&parsed, &db.catalog()).unwrap();
+    let (pruned, _) = optimize(plan.clone(), &db.catalog());
     let (indexed, _) = optimize_with_db(plan, &db);
     assert_eq!(indexed.index_lookup_count(), 1);
 

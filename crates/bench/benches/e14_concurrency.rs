@@ -1,0 +1,94 @@
+//! E14: concurrency — partition-parallel scans at several worker counts
+//! against the serial executor, plus shared-database write throughput under
+//! concurrent readers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_query::prelude::*;
+use flexrel_storage::{Database, RelationDef};
+use flexrel_workload::{
+    generate_wide, wide_kind_tag, wide_relation, wide_variant_attr, WideConfig,
+};
+
+fn wide_db(n: usize, variants: usize) -> Database {
+    let db = Database::new();
+    db.create_relation(RelationDef::from_relation(&wide_relation(variants)))
+        .unwrap();
+    for t in generate_wide(&WideConfig::new(n, variants)) {
+        db.insert("wide", t).unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 10_000;
+    const VARIANTS: usize = 8;
+    let db = wide_db(N, VARIANTS);
+    let plan = LogicalPlan::scan("wide").filter(flexrel_algebra::predicate::Predicate::ge(
+        "id",
+        (N / 2) as i64,
+    ));
+
+    let mut g = c.benchmark_group("e14_concurrency");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let opts = ExecOptions::parallel(threads).with_min_parallel_rows(1);
+        g.bench_function(format!("parallel_scan_{}_threads", threads), |b| {
+            b.iter(|| execute_with(&plan, &db, &opts).unwrap().len())
+        });
+    }
+    g.bench_function("concurrent_insert_2_writers_1_reader", |b| {
+        let batch = generate_wide(&WideConfig::new(512, VARIANTS));
+        b.iter(|| {
+            let db = wide_db(0, VARIANTS);
+            std::thread::scope(|s| {
+                for w in 0..2usize {
+                    let db = db.clone();
+                    let batch = &batch;
+                    s.spawn(move || {
+                        for (i, t) in batch.iter().enumerate().filter(|(i, _)| i % 2 == w) {
+                            let mut t = t.clone();
+                            t.insert("id", (w * batch.len() + i) as i64);
+                            db.insert("wide", t).unwrap();
+                        }
+                    });
+                }
+                let db = db.clone();
+                s.spawn(move || {
+                    let mut rows = 0usize;
+                    for _ in 0..16 {
+                        rows += db.scan("wide").unwrap().len();
+                    }
+                    rows
+                });
+            });
+            db.count("wide").unwrap()
+        })
+    });
+    g.bench_function("transact_batches_of_8", |b| {
+        b.iter(|| {
+            let db = wide_db(0, VARIANTS);
+            for batch in 0..32usize {
+                db.transact(&["wide"], |tx| {
+                    for k in 0..8usize {
+                        let id = (batch * 8 + k) as i64;
+                        let v = (batch * 8 + k) % VARIANTS;
+                        tx.insert(
+                            "wide",
+                            flexrel_core::tuple::Tuple::new()
+                                .with("id", id)
+                                .with("kind", flexrel_core::value::Value::tag(wide_kind_tag(v)))
+                                .with(wide_variant_attr(v), id * 7 % 1000),
+                        )?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+            db.count("wide").unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

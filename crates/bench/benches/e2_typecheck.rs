@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
             &tuples,
             |b, tuples| {
                 b.iter(|| {
-                    let mut db = Database::new();
+                    let db = Database::new();
                     db.create_relation(RelationDef::from_relation(&employee_relation()))
                         .unwrap();
                     for t in tuples {

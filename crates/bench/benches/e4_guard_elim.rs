@@ -6,7 +6,7 @@ use flexrel_storage::{Database, RelationDef};
 use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
 
 fn db(n: usize) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))
         .unwrap();
     for t in generate_employees(&EmployeeConfig::clean(n)) {
@@ -25,8 +25,8 @@ fn bench(c: &mut Criterion) {
             "SELECT empno, typing-speed FROM employee WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
         )
         .unwrap();
-        let naive = plan_query(&q, db.catalog()).unwrap();
-        let (optimized, _) = optimize(naive.clone(), db.catalog());
+        let naive = plan_query(&q, &db.catalog()).unwrap();
+        let (optimized, _) = optimize(naive.clone(), &db.catalog());
         g.bench_with_input(BenchmarkId::new("naive_plan", n), &naive, |b, plan| {
             b.iter(|| execute(plan, &db).unwrap().len())
         });
@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
             |b, plan| b.iter(|| execute(plan, &db).unwrap().len()),
         );
         g.bench_function(BenchmarkId::new("optimize_time", n), |b| {
-            b.iter(|| optimize(naive.clone(), db.catalog()).0.node_count())
+            b.iter(|| optimize(naive.clone(), &db.catalog()).0.node_count())
         });
     }
     g.finish();

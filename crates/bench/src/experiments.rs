@@ -130,7 +130,7 @@ pub fn e2_typecheck(sizes: &[usize]) -> Table {
 
         // Full checking (scheme + domains + dependencies) through the
         // storage engine, which indexes the dependency determinants.
-        let mut full = Database::new();
+        let full = Database::new();
         full.create_relation(RelationDef::from_relation(&employee_relation()))
             .unwrap();
         let start = Instant::now();
@@ -224,7 +224,7 @@ pub fn e3_subtyping() -> Table {
 }
 
 fn employee_db(n: usize) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))
         .unwrap();
     for x in generate_employees(&EmployeeConfig::clean(n)) {
@@ -245,8 +245,8 @@ pub fn e4_guard_elimination(n: usize) -> Table {
          WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
     )
     .unwrap();
-    let naive = plan_query(&query, db.catalog()).unwrap();
-    let (optimized, _notes) = optimize(naive.clone(), db.catalog());
+    let naive = plan_query(&query, &db.catalog()).unwrap();
+    let (optimized, _notes) = optimize(naive.clone(), &db.catalog());
 
     for (label, plan) in [("naive", &naive), ("optimized", &optimized)] {
         let start = Instant::now();
@@ -734,7 +734,7 @@ pub fn e10_er_mapping() -> Table {
 /// (one heap partition per variant shape), with the given key skew on the
 /// `kind` distribution (0.0 = uniform round-robin).
 fn wide_db(n: usize, variants: usize, skew: f64) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&wide_relation(variants)))
         .unwrap();
     for t in generate_wide(&WideConfig::new(n, variants).with_skew(skew)) {
@@ -777,8 +777,8 @@ pub fn e12_partition_pruning(scale: usize) -> Table {
         ];
         for frql in queries {
             let parsed = parse(&frql).unwrap();
-            let naive = plan_query(&parsed, db.catalog()).unwrap();
-            let (optimized, _) = optimize(naive.clone(), db.catalog());
+            let naive = plan_query(&parsed, &db.catalog()).unwrap();
+            let (optimized, _) = optimize(naive.clone(), &db.catalog());
             let total_parts = db.partitions("wide").unwrap().len();
             let scanned = db
                 .partitions("wide")
@@ -814,7 +814,12 @@ pub fn e12_partition_pruning(scale: usize) -> Table {
             ]);
         }
     }
-    t
+    let best = t
+        .rows
+        .iter()
+        .filter_map(|r| parse_speedup(&r[7]))
+        .fold(0.0f64, f64::max);
+    t.with_headline("pruning speedup (best)", headline_speedup(best), true)
 }
 
 /// Builds the shared access-path fixture (E13, the `e13_index_lookup`
@@ -825,7 +830,7 @@ pub fn e12_partition_pruning(scale: usize) -> Table {
 /// and a small `ids` key-list relation with `probe_keys` spread keys that
 /// drives index-nested-loop joins.
 pub fn wide_access_path_db(n: usize, variants: usize, skew: f64, probe_keys: usize) -> Database {
-    let mut db = wide_db(n, variants, skew);
+    let db = wide_db(n, variants, skew);
     db.create_relation(RelationDef::new(
         "wide_nx",
         wide_relation(variants).scheme().clone(),
@@ -890,8 +895,8 @@ pub fn e13_index_lookup(scale: usize) -> Table {
         // Point lookup on the unique FD determinant `id`.
         let frql = format!("SELECT * FROM wide WHERE id = {}", scale / 2);
         let parsed = parse(&frql).unwrap();
-        let plan = plan_query(&parsed, db.catalog()).unwrap();
-        let (pruned, _) = optimize(plan.clone(), db.catalog());
+        let plan = plan_query(&parsed, &db.catalog()).unwrap();
+        let (pruned, _) = optimize(plan.clone(), &db.catalog());
         let (indexed, _) = optimize_with_db(plan, &db);
         assert_eq!(indexed.index_lookup_count(), 1, "{}", indexed);
         let scan_rows = execute(&pruned, &db).unwrap();
@@ -918,8 +923,8 @@ pub fn e13_index_lookup(scale: usize) -> Table {
         // reads a single partition, the index chain is the same tuples.
         let frql = "SELECT * FROM wide WHERE kind = 'k0'";
         let parsed = parse(frql).unwrap();
-        let plan = plan_query(&parsed, db.catalog()).unwrap();
-        let (pruned, _) = optimize(plan.clone(), db.catalog());
+        let plan = plan_query(&parsed, &db.catalog()).unwrap();
+        let (pruned, _) = optimize(plan.clone(), &db.catalog());
         let (indexed, _) = optimize_with_db(plan, &db);
         assert_eq!(indexed.index_lookup_count(), 1, "{}", indexed);
         let (rows_scan, scan_us) = time(&pruned, &db);
@@ -965,7 +970,181 @@ pub fn e13_index_lookup(scale: usize) -> Table {
             format!("{:.2}x", hash_us / inl_us),
         ]);
     }
-    t
+    let point = t
+        .rows
+        .iter()
+        .filter(|r| r[2].contains("point"))
+        .filter_map(|r| parse_speedup(&r[7]))
+        .fold(0.0f64, f64::max);
+    t.with_headline("point-lookup speedup (best)", headline_speedup(point), true)
+}
+
+/// Parses a `"N.NNx"` speedup cell back into a number.
+fn parse_speedup(cell: &str) -> Option<f64> {
+    cell.strip_suffix('x').and_then(|s| s.parse().ok())
+}
+
+/// A speedup-style headline value, capped so extreme ratios (a point
+/// lookup hundreds of times faster than a scan) do not make the regression
+/// gate flap on measurement noise.
+fn headline_speedup(v: f64) -> f64 {
+    v.min(50.0)
+}
+
+/// E14 — concurrent shared database + partition-parallel execution.
+///
+/// Two phases over the k-variant wide workload:
+///
+/// * **read-scan scaling** — the same full-scan-plus-filter query executed
+///   with the partition-parallel executor at 1→8 worker threads; each
+///   thread count is differential-checked (same result multiset as serial
+///   execution) and reported with its scaling factor vs. one thread.
+///   Scaling beyond 1.0 requires actual CPU cores; on a single-core host
+///   the curve stays flat and the differential check is the signal.
+/// * **mixed read/write** — writer threads committing (and sometimes
+///   aborting) atomic [`Database::transact`] batches while reader threads
+///   scan the same relation; every observed scan must land on a batch
+///   boundary (no torn transactions), and the final count must equal the
+///   committed batches exactly.
+pub fn e14_concurrency(scale: usize) -> Table {
+    let mut t = Table::new(
+        "E14: concurrency — parallel scan scaling and atomic read/write mix (shared Database)",
+        &["mode", "threads", "rows", "throughput", "scaling", "check"],
+    );
+    const VARIANTS: usize = 8;
+    const REPS: u32 = 3;
+    let db = wide_db(scale, VARIANTS, 0.0);
+    let plan = LogicalPlan::scan("wide").filter(Predicate::ge("id", (scale / 2) as i64));
+    let mut serial_ref: Vec<_> = execute(&plan, &db).unwrap();
+    serial_ref.sort();
+
+    let mut base_us = 0.0f64;
+    let mut best_scaling = 1.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let opts = ExecOptions::parallel(threads).with_min_parallel_rows(1);
+        let mut rows = execute_with(&plan, &db, &opts).unwrap();
+        rows.sort();
+        let check = if rows == serial_ref { "ok" } else { "MISMATCH" };
+        let n_rows = rows.len();
+        let start = Instant::now();
+        for _ in 0..REPS {
+            let got = execute_with(&plan, &db, &opts).unwrap();
+            assert_eq!(got.len(), n_rows);
+        }
+        let us = micros(start) / REPS as f64;
+        if threads == 1 {
+            base_us = us;
+        }
+        let scaling = base_us / us;
+        if threads > 1 {
+            // The headline takes the best multi-threaded scaling: a single
+            // thread count's timing is noisy (especially on few-core CI
+            // hosts), the max across the curve is what the hardware gives.
+            best_scaling = best_scaling.max(scaling);
+        }
+        t.row([
+            "read-scan".to_string(),
+            threads.to_string(),
+            n_rows.to_string(),
+            format!("{:.1} µs/query", us),
+            format!("{:.2}x", scaling),
+            check.to_string(),
+        ]);
+    }
+
+    // Mixed read/write phase on a fresh shared instance.
+    const WRITERS: usize = 2;
+    const READERS: usize = 2;
+    const BATCH: usize = 8;
+    let batches = (scale / 50).max(4);
+    let db = wide_db(scale, VARIANTS, 0.0);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let torn = std::sync::atomic::AtomicUsize::new(0);
+    let scans = std::sync::atomic::AtomicUsize::new(0);
+    let committed = std::sync::atomic::AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let db = db.clone();
+            let committed = &committed;
+            writers.push(s.spawn(move || {
+                for b in 0..batches {
+                    let abort = b % 4 == 3;
+                    let base_id = scale + ((w * batches + b) * BATCH);
+                    let res = db.transact(&["wide"], |tx| {
+                        for k in 0..BATCH {
+                            let id = (base_id + k) as i64;
+                            let v = (base_id + k) % VARIANTS;
+                            tx.insert(
+                                "wide",
+                                Tuple::new()
+                                    .with("id", id)
+                                    .with("kind", Value::tag(flexrel_workload::wide_kind_tag(v)))
+                                    .with(flexrel_workload::wide_variant_attr(v), id * 7 % 1000),
+                            )?;
+                        }
+                        if abort {
+                            Err(flexrel_core::error::CoreError::Invalid(
+                                "deliberate abort".into(),
+                            ))
+                        } else {
+                            Ok(())
+                        }
+                    });
+                    if res.is_ok() {
+                        committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for _ in 0..READERS {
+            let db = db.clone();
+            let (stop, torn, scans) = (&stop, &torn, &scans);
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let n = db.scan("wide").unwrap().len();
+                    // Committed state only ever grows in whole batches; a
+                    // remainder means a torn (half-applied) transaction.
+                    if !(n - scale).is_multiple_of(BATCH) {
+                        torn.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    scans.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        // Flag the readers down once every writer has finished.
+        for h in writers {
+            h.join().expect("writer thread panicked");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let committed = committed.into_inner();
+    let final_count = db.count("wide").unwrap();
+    let expect = scale + committed * BATCH;
+    let check = if torn.into_inner() == 0 && final_count == expect {
+        "ok"
+    } else {
+        "TORN"
+    };
+    t.row([
+        "mixed-rw".to_string(),
+        format!("{}w+{}r", WRITERS, READERS),
+        final_count.to_string(),
+        format!(
+            "{:.0} tuples/s written, {:.0} scans/s",
+            (committed * BATCH) as f64 / elapsed,
+            scans.into_inner() as f64 / elapsed
+        ),
+        "-".to_string(),
+        check.to_string(),
+    ]);
+    t.with_headline(
+        "parallel read-scan scaling (best)",
+        headline_speedup(best_scaling),
+        true,
+    )
 }
 
 /// Whether the plan's scan shape predicate admits the given partition shape
@@ -1009,6 +1188,7 @@ pub fn run_all_timed(scale: usize) -> Vec<(&'static str, Table, f64)> {
         ("E10", Box::new(e10_er_mapping)),
         ("E12", Box::new(move || e12_partition_pruning(scale))),
         ("E13", Box::new(move || e13_index_lookup(scale))),
+        ("E14", Box::new(move || e14_concurrency(scale))),
     ];
     experiments
         .into_iter()
@@ -1140,6 +1320,32 @@ mod tests {
             }
             assert!(row[7].ends_with('x'));
         }
+    }
+
+    #[test]
+    fn e14_parallel_and_concurrent_execution_hold_their_invariants() {
+        let t = e14_concurrency(600);
+        assert_eq!(t.len(), 5, "four thread counts plus the mixed phase");
+        for row in &t.rows {
+            assert_eq!(
+                row[5], "ok",
+                "differential/atomicity check failed: {:?}",
+                row
+            );
+        }
+        let h = t.headline.as_ref().expect("E14 carries a headline");
+        assert!(h.metric.contains("scaling"));
+        assert!(h.value >= 1.0, "best multi-thread scaling is floored at 1x");
+    }
+
+    #[test]
+    fn e12_and_e13_carry_speedup_headlines() {
+        let t = e12_partition_pruning(400);
+        let h = t.headline.as_ref().unwrap();
+        assert!(h.higher_is_better && h.value > 0.0 && h.value <= 50.0);
+        let t = e13_index_lookup(2_000);
+        let h = t.headline.as_ref().unwrap();
+        assert!(h.higher_is_better && h.value > 0.0 && h.value <= 50.0);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! `benches/`) and by the `harness` binary that regenerates every experiment
 //! row of EXPERIMENTS.md.
 
+pub mod compare;
 pub mod experiments;
 pub mod report;
 
-pub use report::Table;
+pub use compare::{compare_dirs, Comparison};
+pub use report::{Headline, Table};

@@ -4,6 +4,21 @@ use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+/// The one number the CI bench-regression gate tracks for an experiment,
+/// with its direction.  Ratio-style metrics (speedups, scaling factors)
+/// make the most robust headlines: they compare two timings of the same
+/// run, so they transfer across machines in a way raw microseconds do not.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Headline {
+    /// Short metric name, e.g. `"pruning speedup (best)"`.
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// Whether larger values are better (`true` for speedups/throughput,
+    /// `false` for latencies).
+    pub higher_is_better: bool,
+}
+
 /// A simple text table: a title, a header row and data rows.
 #[derive(Clone, Debug, Default)]
 pub struct Table {
@@ -13,6 +28,8 @@ pub struct Table {
     pub header: Vec<String>,
     /// Data rows.
     pub rows: Vec<Vec<String>>,
+    /// Optional headline metric for the bench-regression gate.
+    pub headline: Option<Headline>,
 }
 
 impl Table {
@@ -22,7 +39,18 @@ impl Table {
             title: title.into(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            headline: None,
         }
+    }
+
+    /// Attaches the headline metric (builder style).
+    pub fn with_headline(mut self, metric: impl Into<String>, value: f64, higher: bool) -> Self {
+        self.headline = Some(Headline {
+            metric: metric.into(),
+            value,
+            higher_is_better: higher,
+        });
+        self
     }
 
     /// Appends a row.
@@ -55,6 +83,18 @@ impl Table {
         out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
         out.push_str(&format!("  \"scale\": {},\n", scale));
         out.push_str(&format!("  \"elapsed_ms\": {:.3},\n", elapsed_ms));
+        if let Some(h) = &self.headline {
+            out.push_str(&format!(
+                "  \"headline\": {{\"metric\": {}, \"value\": {:.4}, \"direction\": {}}},\n",
+                json_string(&h.metric),
+                h.value,
+                json_string(if h.higher_is_better {
+                    "higher"
+                } else {
+                    "lower"
+                })
+            ));
+        }
         out.push_str(&format!(
             "  \"header\": [{}],\n",
             self.header
@@ -167,6 +207,16 @@ mod tests {
         assert!(s.contains("== E0: demo =="));
         assert!(s.contains("| name"));
         assert!(s.contains("| a much longer name | 123456 |"));
+    }
+
+    #[test]
+    fn headline_is_emitted_when_present() {
+        let mut t = Table::new("E0: demo", &["k"]).with_headline("scaling @4", 2.5, true);
+        t.row(["x"]);
+        let j = t.to_json("E0", 100, 1.0);
+        assert!(j.contains("\"headline\": {\"metric\": \"scaling @4\", \"value\": 2.5000, \"direction\": \"higher\"}"));
+        let plain = Table::new("E0: demo", &["k"]).to_json("E0", 100, 1.0);
+        assert!(!plain.contains("headline"));
     }
 
     #[test]

@@ -522,4 +522,39 @@ mod tests {
         assert_eq!(t.remove(&Attr::new("x")), Some(Value::Int(1)));
         assert!(t.is_empty());
     }
+
+    /// Shared-value soundness: the process-wide shape interner hands every
+    /// thread the same dense id for the same attribute set, and resolved
+    /// shapes round-trip — the invariant the concurrent storage layer
+    /// (partition keys are `ShapeId`s) builds on.
+    #[test]
+    fn shape_interning_is_consistent_across_threads() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Tuple>();
+        assert_send_sync::<ShapeId>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<AttrSet>();
+
+        let shapes: Vec<AttrSet> = (0..32)
+            .map(|i| AttrSet::from_names((0..=(i % 5)).map(|k| format!("xthread-{}-{}", i % 7, k))))
+            .collect();
+        let mut per_thread: Vec<Vec<ShapeId>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let shapes = &shapes;
+                    s.spawn(move || shapes.iter().map(ShapeId::intern).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().unwrap());
+            }
+        });
+        for ids in &per_thread[1..] {
+            assert_eq!(ids, &per_thread[0], "interning must agree across threads");
+        }
+        for (shape, id) in shapes.iter().zip(&per_thread[0]) {
+            assert_eq!(&id.attrs(), shape, "ids resolve back to their shape");
+        }
+    }
 }

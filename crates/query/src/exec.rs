@@ -1,31 +1,226 @@
-//! A streaming executor for logical plans against a
-//! [`flexrel_storage::Database`].
+//! A streaming, optionally partition-parallel executor for logical plans
+//! against a [`flexrel_storage::Database`].
 //!
 //! Plans execute as iterator pipelines ([`execute_stream`]): each operator
 //! pulls tuples from its input on demand instead of materializing a
 //! `Vec<Tuple>` per operator.  Scans are partition-aware — a
-//! [`ShapePredicate`] pushed down by the
-//! optimizer is evaluated once per heap partition, so pruned partitions are
-//! never touched.  The only blocking points are the ones inherent to the
-//! operators: the build side of a hash join and the duplicate-elimination
-//! state of projections and unions.
+//! [`ShapePredicate`] pushed down by the optimizer is evaluated once per
+//! heap partition, so pruned partitions are never touched.  The only
+//! blocking points are the ones inherent to the operators: the build side
+//! of a hash join and the duplicate-elimination state of projections and
+//! unions.
 //!
-//! Join and projection attribute sets are derived from partition catalog
-//! metadata ([`Database::relation_attrs`]) rather than by folding over
-//! input tuples; see [`plan_attrs`].
+//! # Snapshot discipline
+//!
+//! Before any tuple flows, the executor captures **one**
+//! [`relation_snapshot`](Database::relation_snapshot) per scanned relation:
+//! partition catalog and index set, taken atomically.  Every read of the
+//! query — the partitions a pruned scan visits, the attribute bounds that
+//! size joins ([`plan_attrs`] at execution time), index probes and the
+//! index-nested-loop inner side — goes through that capture.  Concurrent
+//! writers can therefore neither tear a stream mid-scan nor race a
+//! shape-creating insert between the plan's pruning decision and the scan
+//! it prunes; a query observes each relation at a single point in time.
+//!
+//! # Partition-parallel execution
+//!
+//! With [`ExecOptions::threads`] > 1, scans (and filters fused onto them,
+//! including the build side of hash joins, which recurses through the same
+//! path) fan the admitted partitions of their snapshot out over a small
+//! thread pool; each worker streams its partitions, evaluates the
+//! qualification, and sends batches into the merged output iterator.  The
+//! partition is the natural unit of parallelism: the paper's DNF disjuncts
+//! map one shape per partition, so workers never share mutable state.  The
+//! result is the same *multiset* of tuples as serial execution (order may
+//! differ).  [`scan_parallelism`] is the gate: tiny or single-partition
+//! scans stay serial, and index lookups are always serial (a probe touches
+//! a handful of tuples).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use flexrel_algebra::predicate::Predicate;
 use flexrel_core::attr::AttrSet;
 use flexrel_core::error::Result;
 use flexrel_core::tuple::{ShapeId, Tuple};
-use flexrel_storage::{Database, Rid};
+use flexrel_storage::{Database, HashIndex, Partition, PartitionSnapshot, Rid};
 
 use crate::logical::{LogicalPlan, ShapePredicate};
 
-/// A stream of result tuples borrowed from the database.
+/// A stream of result tuples.
 pub type TupleStream<'a> = Box<dyn Iterator<Item = Tuple> + 'a>;
+
+/// Execution options: the physical knobs the executor (acting on the
+/// optimizer's partition statistics) uses to pick between serial and
+/// partition-parallel streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Maximum number of worker threads a single scan may fan out to.
+    /// `1` (the default) disables parallelism entirely.
+    pub threads: usize,
+    /// Minimum number of live rows (across the admitted partitions) before
+    /// a scan is worth parallelizing; below it, thread spawn and channel
+    /// overhead dominate.
+    pub min_parallel_rows: usize,
+}
+
+impl ExecOptions {
+    /// Serial execution — the default, byte-for-byte the historical
+    /// streaming executor.
+    pub fn serial() -> Self {
+        ExecOptions {
+            threads: 1,
+            min_parallel_rows: 4096,
+        }
+    }
+
+    /// Partition-parallel execution with up to `threads` workers per scan.
+    pub fn parallel(threads: usize) -> Self {
+        ExecOptions {
+            threads: threads.max(1),
+            min_parallel_rows: 4096,
+        }
+    }
+
+    /// Overrides the row floor below which scans stay serial (builder
+    /// style); experiments use this to force the parallel path at small
+    /// scales.
+    pub fn with_min_parallel_rows(mut self, rows: usize) -> Self {
+        self.min_parallel_rows = rows;
+        self
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions::serial()
+    }
+}
+
+/// The worker count the executor chooses for a scan, from the partition
+/// statistics of its snapshot: scans of fewer than two partitions or fewer
+/// than [`ExecOptions::min_parallel_rows`] live rows stay serial, larger
+/// ones fan out to at most one worker per partition.
+pub fn scan_parallelism(partitions: usize, rows: usize, opts: &ExecOptions) -> usize {
+    if opts.threads <= 1 || partitions < 2 || rows < opts.min_parallel_rows {
+        1
+    } else {
+        opts.threads.min(partitions)
+    }
+}
+
+/// One relation's atomically captured read state: partition snapshot plus
+/// index snapshots (see [`Database::relation_snapshot`]).
+#[derive(Clone)]
+struct RelSnap {
+    parts: PartitionSnapshot,
+    indexes: Vec<Arc<HashIndex>>,
+}
+
+impl RelSnap {
+    fn index_on(&self, key: &AttrSet) -> Option<&Arc<HashIndex>> {
+        self.indexes.iter().find(|idx| idx.key() == key)
+    }
+}
+
+/// The per-query execution context: one snapshot per scanned relation plus
+/// the execution options.  Built once before any tuple flows.
+struct ExecContext {
+    snaps: HashMap<String, RelSnap>,
+    /// Returned for relations outside the captured set (unreachable after
+    /// a successful `build`, which snapshots every relation the plan
+    /// mentions); avoids cloning in the hot `snap` accessor.
+    empty: RelSnap,
+    opts: ExecOptions,
+}
+
+impl ExecContext {
+    fn build(plan: &LogicalPlan, db: &Database, opts: ExecOptions) -> Result<ExecContext> {
+        let mut relations = BTreeSet::new();
+        collect_relations(plan, &mut relations);
+        ExecContext::for_relations(relations, plan_needs_indexes(plan), db, opts)
+    }
+
+    /// Captures the given relations.  Index snapshots are only taken when
+    /// the plan can probe them (`needs_indexes`): a scan-only query then
+    /// holds no `Arc<HashIndex>`, so concurrent index maintenance stays
+    /// copy-free (see the index-granularity note on
+    /// [`Database::relation_snapshot`]).
+    fn for_relations(
+        relations: BTreeSet<String>,
+        needs_indexes: bool,
+        db: &Database,
+        opts: ExecOptions,
+    ) -> Result<ExecContext> {
+        let mut snaps = HashMap::new();
+        for rel in relations {
+            let snap = if needs_indexes {
+                let (parts, indexes) = db.relation_snapshot(&rel)?;
+                RelSnap { parts, indexes }
+            } else {
+                RelSnap {
+                    parts: db.partition_snapshot(&rel)?,
+                    indexes: Vec::new(),
+                }
+            };
+            snaps.insert(rel, snap);
+        }
+        Ok(ExecContext {
+            snaps,
+            empty: RelSnap {
+                parts: PartitionSnapshot::default(),
+                indexes: Vec::new(),
+            },
+            opts,
+        })
+    }
+
+    /// Borrows the relation's captured snapshot; the metadata derivations
+    /// (`snap_plan_attrs`, `snap_estimate_rows`, the join gates) call this
+    /// per plan node, so no clone happens here — only the few ownership
+    /// sites (scan and index-nested-loop streams) clone.
+    fn snap(&self, relation: &str) -> &RelSnap {
+        self.snaps.get(relation).unwrap_or(&self.empty)
+    }
+}
+
+/// Whether executing `plan` can touch an index: only `IndexLookup` nodes
+/// probe directly, and joins may pick the index-nested-loop strategy (or
+/// estimate rows through index statistics).
+fn plan_needs_indexes(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Empty | LogicalPlan::Scan { .. } => false,
+        LogicalPlan::IndexLookup { .. } | LogicalPlan::Join { .. } => true,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Extend { input, .. } => plan_needs_indexes(input),
+        LogicalPlan::UnionAll { inputs } => inputs.iter().any(plan_needs_indexes),
+    }
+}
+
+fn collect_relations(plan: &LogicalPlan, out: &mut BTreeSet<String>) {
+    match plan {
+        LogicalPlan::Empty => {}
+        LogicalPlan::Scan { relation, .. } | LogicalPlan::IndexLookup { relation, .. } => {
+            out.insert(relation.clone());
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Extend { input, .. } => collect_relations(input, out),
+        LogicalPlan::Join { left, right } => {
+            collect_relations(left, out);
+            collect_relations(right, out);
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            for p in inputs {
+                collect_relations(p, out);
+            }
+        }
+    }
+}
 
 /// An upper bound on the attribute set of the tuples a plan can produce,
 /// derived from partition catalog metadata — for a base scan this is the
@@ -35,47 +230,69 @@ pub type TupleStream<'a> = Box<dyn Iterator<Item = Tuple> + 'a>;
 /// Used by the hash join to compute the common-attribute set of its inputs:
 /// any attribute shared by an actual pair of tuples is contained in the
 /// intersection of the two bounds, which is what the join hashes on.
+///
+/// This entry point reads the database's *current* state and serves the
+/// optimizer; during execution the same derivation runs against the query's
+/// captured snapshots instead, so the bound always matches the partitions
+/// the scan actually visits.
 pub fn plan_attrs(plan: &LogicalPlan, db: &Database) -> AttrSet {
+    match ExecContext::build(plan, db, ExecOptions::serial()) {
+        Ok(ctx) => snap_plan_attrs(plan, &ctx),
+        Err(_) => AttrSet::empty(),
+    }
+}
+
+fn snap_plan_attrs(plan: &LogicalPlan, ctx: &ExecContext) -> AttrSet {
     match plan {
         LogicalPlan::Empty => AttrSet::empty(),
         LogicalPlan::Scan {
             relation, shape, ..
-        } => match db.partitions(relation) {
-            Ok(parts) => parts
-                .iter()
-                .filter(|p| shape.as_ref().map(|s| s.admits(&p.shape)).unwrap_or(true))
-                .fold(AttrSet::empty(), |acc, p| acc.union(&p.shape)),
-            Err(_) => AttrSet::empty(),
-        },
+        } => ctx
+            .snap(relation)
+            .parts
+            .partitions()
+            .filter(|(_, p)| shape.as_ref().map(|s| s.admits(p.shape())).unwrap_or(true))
+            .fold(AttrSet::empty(), |acc, (_, p)| acc.union(p.shape())),
         LogicalPlan::IndexLookup {
             relation,
             key,
             shapes,
             ..
-        } => match db.partitions(relation) {
+        } => ctx
+            .snap(relation)
+            .parts
+            .partitions()
             // An equality probe only reaches tuples defined on the key, so
             // partitions whose shape lacks it cannot contribute.
-            Ok(parts) => parts
-                .iter()
-                .filter(|p| key.is_subset(&p.shape))
-                .filter(|p| shapes.as_ref().map(|s| s.admits(&p.shape)).unwrap_or(true))
-                .fold(AttrSet::empty(), |acc, p| acc.union(&p.shape)),
-            Err(_) => AttrSet::empty(),
-        },
+            .filter(|(_, p)| key.is_subset(p.shape()))
+            .filter(|(_, p)| shapes.as_ref().map(|s| s.admits(p.shape())).unwrap_or(true))
+            .fold(AttrSet::empty(), |acc, (_, p)| acc.union(p.shape())),
         LogicalPlan::Filter { input, .. } | LogicalPlan::Guard { input, .. } => {
-            plan_attrs(input, db)
+            snap_plan_attrs(input, ctx)
         }
-        LogicalPlan::Project { input, attrs } => plan_attrs(input, db).intersection(attrs),
+        LogicalPlan::Project { input, attrs } => snap_plan_attrs(input, ctx).intersection(attrs),
         LogicalPlan::Extend { input, attr, .. } => {
-            let mut out = plan_attrs(input, db);
+            let mut out = snap_plan_attrs(input, ctx);
             out.insert(attr.as_str());
             out
         }
-        LogicalPlan::Join { left, right } => plan_attrs(left, db).union(&plan_attrs(right, db)),
-        LogicalPlan::UnionAll { inputs } => inputs
-            .iter()
-            .fold(AttrSet::empty(), |acc, p| acc.union(&plan_attrs(p, db))),
+        LogicalPlan::Join { left, right } => {
+            snap_plan_attrs(left, ctx).union(&snap_plan_attrs(right, ctx))
+        }
+        LogicalPlan::UnionAll { inputs } => inputs.iter().fold(AttrSet::empty(), |acc, p| {
+            acc.union(&snap_plan_attrs(p, ctx))
+        }),
     }
+}
+
+/// The average probe chain length of an index snapshot (mirrors
+/// [`flexrel_storage::IndexInfo::avg_matches`]).
+fn idx_avg_matches(idx: &HashIndex) -> usize {
+    let reachable = idx.len() - idx.partial_tuples().len();
+    reachable
+        .checked_div(idx.distinct_keys())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// A cardinality *estimate* for a plan, derived from partition metadata and
@@ -86,32 +303,39 @@ pub fn plan_attrs(plan: &LogicalPlan, db: &Database) -> AttrSet {
 /// join-strategy gate uses it to size the probe side of an
 /// index-nested-loop join; do not rely on it as a hard bound.
 pub fn estimate_rows(plan: &LogicalPlan, db: &Database) -> Option<usize> {
+    let ctx = ExecContext::build(plan, db, ExecOptions::serial()).ok()?;
+    snap_estimate_rows(plan, &ctx)
+}
+
+fn snap_estimate_rows(plan: &LogicalPlan, ctx: &ExecContext) -> Option<usize> {
     match plan {
         LogicalPlan::Empty => Some(0),
         LogicalPlan::Scan {
             relation, shape, ..
-        } => db.partitions(relation).ok().map(|parts| {
-            parts
-                .iter()
-                .filter(|p| shape.as_ref().map(|s| s.admits(&p.shape)).unwrap_or(true))
-                .map(|p| p.tuples)
-                .sum()
-        }),
+        } => Some(
+            ctx.snap(relation)
+                .parts
+                .partitions()
+                .filter(|(_, p)| shape.as_ref().map(|s| s.admits(p.shape())).unwrap_or(true))
+                .map(|(_, p)| p.len())
+                .sum(),
+        ),
         LogicalPlan::IndexLookup { relation, key, .. } => {
-            match db.index_info(relation, key).ok().flatten() {
+            let snap = ctx.snap(relation);
+            match snap.index_on(key) {
                 // One probe returns one hash chain: the average chain length
                 // is the expected match count.
-                Some(info) => Some(info.avg_matches()),
-                None => db.count(relation).ok(),
+                Some(idx) => Some(idx_avg_matches(idx)),
+                None => Some(snap.parts.len()),
             }
         }
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Guard { input, .. }
         | LogicalPlan::Project { input, .. }
-        | LogicalPlan::Extend { input, .. } => estimate_rows(input, db),
+        | LogicalPlan::Extend { input, .. } => snap_estimate_rows(input, ctx),
         LogicalPlan::UnionAll { inputs } => inputs
             .iter()
-            .map(|p| estimate_rows(p, db))
+            .map(|p| snap_estimate_rows(p, ctx))
             .sum::<Option<usize>>(),
         LogicalPlan::Join { .. } => None,
     }
@@ -178,17 +402,18 @@ fn inl_gate(
     inner: &LogicalPlan,
     inner_relation: &str,
     common: &AttrSet,
-    db: &Database,
+    ctx: &ExecContext,
 ) -> bool {
-    let Ok(Some(info)) = db.index_info(inner_relation, common) else {
+    let snap = ctx.snap(inner_relation);
+    let Some(idx) = snap.index_on(common) else {
         return false;
     };
-    let Some(outer_est) = estimate_rows(outer, db) else {
+    let Some(outer_est) = snap_estimate_rows(outer, ctx) else {
         return false;
     };
-    let inner_est = estimate_rows(inner, db).unwrap_or(info.len);
+    let inner_est = snap_estimate_rows(inner, ctx).unwrap_or(idx.len());
     outer_est
-        .saturating_mul(info.avg_matches())
+        .saturating_mul(idx_avg_matches(idx))
         .saturating_mul(2)
         <= inner_est
 }
@@ -199,8 +424,14 @@ fn inl_gate(
 /// gate passes, otherwise hash join.  Exposed so tests and the experiment
 /// harness can show which access path a join takes.
 pub fn join_strategy(left: &LogicalPlan, right: &LogicalPlan, db: &Database) -> JoinStrategy {
-    let common = plan_attrs(left, db).intersection(&plan_attrs(right, db));
-    join_strategy_for(left, right, &common, db)
+    let mut relations = BTreeSet::new();
+    collect_relations(left, &mut relations);
+    collect_relations(right, &mut relations);
+    let Ok(ctx) = ExecContext::for_relations(relations, true, db, ExecOptions::serial()) else {
+        return JoinStrategy::Hash;
+    };
+    let common = snap_plan_attrs(left, &ctx).intersection(&snap_plan_attrs(right, &ctx));
+    join_strategy_for(left, right, &common, &ctx)
 }
 
 /// [`join_strategy`] with the equi-join attribute set already computed —
@@ -210,18 +441,18 @@ fn join_strategy_for(
     left: &LogicalPlan,
     right: &LogicalPlan,
     common: &AttrSet,
-    db: &Database,
+    ctx: &ExecContext,
 ) -> JoinStrategy {
     if common.is_empty() {
         return JoinStrategy::Hash;
     }
     if let Some(side) = inl_inner_side(right) {
-        if inl_gate(left, right, side.relation, common, db) {
+        if inl_gate(left, right, side.relation, common, ctx) {
             return JoinStrategy::IndexNestedLoopRight;
         }
     }
     if let Some(side) = inl_inner_side(left) {
-        if inl_gate(right, left, side.relation, common, db) {
+        if inl_gate(right, left, side.relation, common, ctx) {
             return JoinStrategy::IndexNestedLoopLeft;
         }
     }
@@ -231,13 +462,13 @@ fn join_strategy_for(
 /// Memoized shape-predicate verdicts for rid-level checks: one interner
 /// resolution (`ShapeId` → `AttrSet`) per partition, not per matched tuple.
 /// Shared by the `IndexLookup` executor and the index-nested-loop join.
-struct ShapeAdmitMemo<'a> {
-    shapes: &'a Option<ShapePredicate>,
+struct ShapeAdmitMemo {
+    shapes: Option<ShapePredicate>,
     verdicts: HashMap<ShapeId, bool>,
 }
 
-impl<'a> ShapeAdmitMemo<'a> {
-    fn new(shapes: &'a Option<ShapePredicate>) -> Self {
+impl ShapeAdmitMemo {
+    fn new(shapes: Option<ShapePredicate>) -> Self {
         ShapeAdmitMemo {
             shapes,
             verdicts: HashMap::new(),
@@ -245,7 +476,7 @@ impl<'a> ShapeAdmitMemo<'a> {
     }
 
     fn admits(&mut self, rid: Rid) -> bool {
-        match self.shapes {
+        match &self.shapes {
             None => true,
             Some(s) => *self
                 .verdicts
@@ -256,88 +487,83 @@ impl<'a> ShapeAdmitMemo<'a> {
 }
 
 /// Index-nested-loop join: streams the probe side and, per probe tuple,
-/// looks the matching inner tuples up through the inner relation's stored
-/// index on `common` — the inner side is never materialized as a whole.
-/// Inner tuples not defined on the full key (the index's partial list) are
-/// checked pairwise, mirroring the hash join's scan side; probe tuples not
-/// defined on `common` fall back to a pairwise pass over the admitted inner
-/// side, which is materialized once on first need and reused.
+/// looks the matching inner tuples up through the inner relation's index
+/// snapshot on `common` — the inner side is never materialized as a whole.
+/// Index and partitions come from the same atomic capture, so every probed
+/// rid resolves consistently.  Inner tuples not defined on the full key
+/// (the index's partial list) are checked pairwise, mirroring the hash
+/// join's scan side; probe tuples not defined on `common` fall back to a
+/// pairwise pass over the admitted inner side, which is materialized once
+/// on first need and reused.
 fn index_nested_loop_stream<'a>(
     probe: TupleStream<'a>,
-    db: &'a Database,
-    inner_relation: &'a str,
+    inner: RelSnap,
     inner_qualification: Option<Predicate>,
-    inner_shapes: &'a Option<ShapePredicate>,
+    inner_shapes: Option<ShapePredicate>,
     common: AttrSet,
-) -> Result<TupleStream<'a>> {
-    let mut shape_memo = ShapeAdmitMemo::new(inner_shapes);
+) -> TupleStream<'a> {
+    let mut shape_memo = ShapeAdmitMemo::new(inner_shapes.clone());
     let qualifies =
         move |q: &Option<Predicate>, t: &Tuple| q.as_ref().map(|q| q.eval(t)).unwrap_or(true);
-    // The relation and its index are resolved once for the whole stream;
-    // each probe is then one projection and one hash lookup yielding a
-    // borrowed rid slice — no per-probe catalog walk or allocation.
-    let index = db.index(inner_relation, &common)?;
-    let partials: Vec<&'a Tuple> = db
-        .lookup_partial(inner_relation, &common)?
-        .into_iter()
-        .filter(|(rid, t)| shape_memo.admits(*rid) && qualifies(&inner_qualification, t))
-        .map(|(_, t)| t)
-        .collect();
-    let mut fallback: Option<Vec<&'a Tuple>> = None;
-    Ok(Box::new(probe.flat_map(move |l| {
+    // The index snapshot is resolved once for the whole stream; each probe
+    // is then one projection and one hash lookup yielding a borrowed rid
+    // slice — no per-probe catalog walk or locking.
+    let index = inner.index_on(&common).cloned();
+    let partials: Vec<Tuple> = index
+        .as_ref()
+        .map(|idx| {
+            idx.partial_tuples()
+                .iter()
+                .filter(|rid| shape_memo.admits(**rid))
+                .filter_map(|rid| inner.parts.get(*rid))
+                .filter(|t| qualifies(&inner_qualification, t))
+                .cloned()
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut fallback: Option<Vec<Tuple>> = None;
+    Box::new(probe.flat_map(move |l| {
         let mut out = Vec::new();
-        if l.defined_on(&common) {
-            match index {
-                Some(idx) => {
-                    for rid in idx.lookup(&l.project(&common)) {
-                        let Ok(Some(r)) = db.get(inner_relation, *rid) else {
-                            continue;
-                        };
-                        if shape_memo.admits(*rid) && qualifies(&inner_qualification, r) {
-                            out.push(l.merged_with(r));
-                        }
+        let keyed = l.defined_on(&common);
+        if keyed {
+            if let Some(idx) = &index {
+                for rid in idx.lookup(&l.project(&common)) {
+                    let Some(r) = inner.parts.get(*rid) else {
+                        continue;
+                    };
+                    if shape_memo.admits(*rid) && qualifies(&inner_qualification, r) {
+                        out.push(l.merged_with(r));
                     }
                 }
-                // Unreachable when the strategy gate chose this stream (it
-                // requires the index); kept as a correct scan fallback.
-                None => {
-                    if let Ok(hits) = db.lookup_eq(inner_relation, &common, &l.project(&common)) {
-                        for (rid, r) in hits {
-                            if shape_memo.admits(rid) && qualifies(&inner_qualification, r) {
-                                out.push(l.merged_with(r));
-                            }
-                        }
+                for r in &partials {
+                    if l.joinable_with(r) {
+                        out.push(l.merged_with(r));
                     }
                 }
+                return out;
             }
-            for r in &partials {
-                if l.joinable_with(r) {
-                    out.push(l.merged_with(r));
-                }
-            }
-        } else {
-            // Rare path: the probe tuple lacks part of the key, so the
-            // index cannot answer; pair it against the (pruned, qualified)
-            // inner side, materialized once across all such probe tuples.
-            let rows = fallback.get_or_insert_with(|| {
-                match db.scan_where(inner_relation, move |s| {
-                    inner_shapes.as_ref().map(|p| p.admits(s)).unwrap_or(true)
-                }) {
-                    Ok(iter) => iter
-                        .map(|(_, r)| r)
-                        .filter(|r| qualifies(&inner_qualification, r))
-                        .collect(),
-                    Err(_) => Vec::new(),
-                }
-            });
-            for r in rows.iter() {
-                if l.joinable_with(r) {
-                    out.push(l.merged_with(r));
-                }
+        }
+        // Rare paths: the probe tuple lacks part of the key (the index
+        // cannot answer), or no index exists on `common` (unreachable when
+        // the strategy gate chose this stream); pair against the (pruned,
+        // qualified) inner side, materialized once across all such probes.
+        let rows = fallback.get_or_insert_with(|| {
+            inner
+                .parts
+                .clone()
+                .retain_shapes(|s| inner_shapes.as_ref().map(|p| p.admits(s)).unwrap_or(true))
+                .scan()
+                .map(|(_, r)| r)
+                .filter(|r| qualifies(&inner_qualification, r))
+                .collect()
+        });
+        for r in rows.iter() {
+            if l.joinable_with(r) {
+                out.push(l.merged_with(r));
             }
         }
         out
-    })))
+    }))
 }
 
 /// Streaming hash join: the right input is materialized as the build side,
@@ -383,53 +609,162 @@ fn hash_join_stream<'a>(
     }))
 }
 
-/// Builds the streaming pipeline for a plan.  Catalog errors (unknown
-/// relations) surface here, before any tuple flows.
-pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<TupleStream<'a>> {
+/// Fans the partitions of a scan snapshot out over `threads` workers, each
+/// evaluating the qualification over its share and sending batches into
+/// the merged stream.  Partitions are assigned greedily, largest first, so
+/// the load balances even under shape skew.  Workers stop early when the
+/// consumer drops the stream (their channel send fails).
+fn parallel_scan_stream(
+    parts: Vec<(ShapeId, Arc<Partition>)>,
+    qualification: Option<Predicate>,
+    threads: usize,
+) -> TupleStream<'static> {
+    let mut buckets: Vec<Vec<(ShapeId, Arc<Partition>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    let mut loads = vec![0usize; threads];
+    let mut parts = parts;
+    parts.sort_by_key(|(_, p)| std::cmp::Reverse(p.len()));
+    for part in parts {
+        let i = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| **l)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        loads[i] += part.1.len();
+        buckets[i].push(part);
+    }
+    let (tx, rx) = mpsc::sync_channel::<Vec<Tuple>>(threads * 2);
+    for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
+        let tx = tx.clone();
+        let qualification = qualification.clone();
+        std::thread::spawn(move || {
+            for (_, part) in bucket {
+                let mut batch = Vec::with_capacity(part.len());
+                for (_, t) in part.tuples() {
+                    if qualification.as_ref().map(|q| q.eval(t)).unwrap_or(true) {
+                        batch.push(t.clone());
+                    }
+                }
+                if tx.send(batch).is_err() {
+                    return; // consumer dropped the stream
+                }
+            }
+        });
+    }
+    drop(tx);
+    Box::new(rx.into_iter().flatten())
+}
+
+/// Builds the (serial or parallel) stream for one base scan from its
+/// snapshot: shape pruning per partition, then qualification per tuple.
+fn scan_stream<'a>(
+    snap: RelSnap,
+    qualification: &'a Option<Predicate>,
+    shape: &'a Option<ShapePredicate>,
+    opts: &ExecOptions,
+    extra_filter: Option<&'a Predicate>,
+) -> TupleStream<'a> {
+    let parts = snap
+        .parts
+        .retain_shapes(|s| shape.as_ref().map(|p| p.admits(s)).unwrap_or(true));
+    let workers = scan_parallelism(parts.partition_count(), parts.len(), opts);
+    if workers > 1 {
+        // Fold the scan qualification and any fused filter into one
+        // predicate the workers evaluate in parallel.
+        let combined = match (qualification, extra_filter) {
+            (Some(q), Some(f)) => Some(q.clone().and(f.clone())),
+            (Some(q), None) => Some(q.clone()),
+            (None, Some(f)) => Some(f.clone()),
+            (None, None) => None,
+        };
+        return parallel_scan_stream(parts.into_parts(), combined, workers);
+    }
+    let rows = parts.scan().map(|(_, t)| t);
+    // The qualification is *known* to hold; applying it is a no-op on
+    // consistent data but keeps hand-built fragment plans honest when they
+    // scan a broader base relation.
+    let qualified: TupleStream<'a> = match qualification {
+        Some(q) => Box::new(rows.filter(move |t| q.eval(t))),
+        None => Box::new(rows),
+    };
+    match extra_filter {
+        Some(f) => Box::new(qualified.filter(move |t| f.eval(t))),
+        None => qualified,
+    }
+}
+
+fn exec_node<'a>(plan: &'a LogicalPlan, ctx: &ExecContext) -> Result<TupleStream<'a>> {
     Ok(match plan {
         LogicalPlan::Empty => Box::new(std::iter::empty()),
         LogicalPlan::Scan {
             relation,
             qualification,
             shape,
-        } => {
-            let rows = db
-                .scan_where(relation, move |s| {
-                    shape.as_ref().map(|p| p.admits(s)).unwrap_or(true)
-                })?
-                .map(|(_, t)| t.clone());
-            // The qualification is *known* to hold; applying it is a no-op
-            // on consistent data but keeps hand-built fragment plans honest
-            // when they scan a broader base relation.
-            match qualification {
-                Some(q) => Box::new(rows.filter(move |t| q.eval(t))),
-                None => Box::new(rows),
-            }
-        }
+        } => scan_stream(
+            ctx.snap(relation).clone(),
+            qualification,
+            shape,
+            &ctx.opts,
+            None,
+        ),
         LogicalPlan::IndexLookup {
             relation,
             key,
             key_value,
             shapes,
         } => {
-            // The probe returns borrowed (rid, tuple) pairs; the shape
-            // predicate is re-applied per rid (its ShapeId names the
-            // partition), so shape pruning composes with index access.  The
-            // verdict is memoized per ShapeId ([`ShapeAdmitMemo`]).
-            let hits = db.lookup_eq(relation, key, key_value)?;
-            let mut admitted = ShapeAdmitMemo::new(shapes);
+            // The probe resolves rids against the same capture the index
+            // came from; the shape predicate is re-applied per rid (its
+            // ShapeId names the partition), so shape pruning composes with
+            // index access.  The verdict is memoized per ShapeId.
+            let snap = ctx.snap(relation);
+            let hits: Vec<(Rid, Tuple)> = match snap.index_on(key) {
+                Some(idx) => idx
+                    .lookup(key_value)
+                    .iter()
+                    .filter_map(|rid| snap.parts.get(*rid).map(|t| (*rid, t.clone())))
+                    .collect(),
+                // No index on this key: shape-pruned snapshot scan.
+                None => snap
+                    .parts
+                    .clone()
+                    .retain_shapes(|s| key.is_subset(s))
+                    .scan()
+                    .filter(|(_, t)| t.project(key) == *key_value)
+                    .collect(),
+            };
+            let mut admitted = ShapeAdmitMemo::new(shapes.clone());
             Box::new(
                 hits.into_iter()
                     .filter(move |(rid, _)| admitted.admits(*rid))
-                    .map(|(_, t)| t.clone()),
+                    .map(|(_, t)| t),
             )
         }
         LogicalPlan::Filter { input, predicate } => {
-            let rows = execute_stream(input, db)?;
-            Box::new(rows.filter(move |t| predicate.eval(t)))
+            // Fuse the filter onto a base scan so the parallel workers
+            // evaluate it partition-locally instead of on the merged
+            // stream.
+            if let LogicalPlan::Scan {
+                relation,
+                qualification,
+                shape,
+            } = &**input
+            {
+                scan_stream(
+                    ctx.snap(relation).clone(),
+                    qualification,
+                    shape,
+                    &ctx.opts,
+                    Some(predicate),
+                )
+            } else {
+                let rows = exec_node(input, ctx)?;
+                Box::new(rows.filter(move |t| predicate.eval(t)))
+            }
         }
         LogicalPlan::Project { input, attrs } => {
-            let rows = execute_stream(input, db)?;
+            let rows = exec_node(input, ctx)?;
             let mut seen: BTreeSet<Tuple> = BTreeSet::new();
             Box::new(rows.filter_map(move |t| {
                 let p = t.project(attrs);
@@ -437,39 +772,39 @@ pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<Tup
             }))
         }
         LogicalPlan::Guard { input, attrs } => {
-            let rows = execute_stream(input, db)?;
+            let rows = exec_node(input, ctx)?;
             Box::new(rows.filter(move |t| t.defined_on(attrs)))
         }
         LogicalPlan::Join { left, right } => {
-            let common = plan_attrs(left, db).intersection(&plan_attrs(right, db));
-            match join_strategy_for(left, right, &common, db) {
+            let common = snap_plan_attrs(left, ctx).intersection(&snap_plan_attrs(right, ctx));
+            match join_strategy_for(left, right, &common, ctx) {
                 JoinStrategy::IndexNestedLoopRight => {
                     let side = inl_inner_side(right).expect("the strategy implies a base scan");
-                    let probe = execute_stream(left, db)?;
+                    let probe = exec_node(left, ctx)?;
                     index_nested_loop_stream(
                         probe,
-                        db,
-                        side.relation,
+                        ctx.snap(side.relation).clone(),
                         side.qualification,
-                        side.shapes,
+                        side.shapes.clone(),
                         common,
-                    )?
+                    )
                 }
                 JoinStrategy::IndexNestedLoopLeft => {
                     let side = inl_inner_side(left).expect("the strategy implies a base scan");
-                    let probe = execute_stream(right, db)?;
+                    let probe = exec_node(right, ctx)?;
                     index_nested_loop_stream(
                         probe,
-                        db,
-                        side.relation,
+                        ctx.snap(side.relation).clone(),
                         side.qualification,
-                        side.shapes,
+                        side.shapes.clone(),
                         common,
-                    )?
+                    )
                 }
                 JoinStrategy::Hash => {
-                    let l = execute_stream(left, db)?;
-                    let r: Vec<Tuple> = execute_stream(right, db)?.collect();
+                    let l = exec_node(left, ctx)?;
+                    // The build side recurses through the same machinery,
+                    // so a large filtered scan parallelizes here as well.
+                    let r: Vec<Tuple> = exec_node(right, ctx)?.collect();
                     hash_join_stream(l, r, common)
                 }
             }
@@ -477,7 +812,7 @@ pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<Tup
         LogicalPlan::UnionAll { inputs } => {
             let streams: Vec<TupleStream<'a>> = inputs
                 .iter()
-                .map(|i| execute_stream(i, db))
+                .map(|i| exec_node(i, ctx))
                 .collect::<Result<_>>()?;
             let mut seen: BTreeSet<Tuple> = BTreeSet::new();
             Box::new(
@@ -488,7 +823,7 @@ pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<Tup
             )
         }
         LogicalPlan::Extend { input, attr, value } => {
-            let rows = execute_stream(input, db)?;
+            let rows = exec_node(input, ctx)?;
             Box::new(rows.map(move |mut t| {
                 t.insert(attr.as_str(), value.clone());
                 t
@@ -497,8 +832,33 @@ pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<Tup
     })
 }
 
-/// Executes a logical plan, materializing the result tuples.  A convenience
-/// wrapper around [`execute_stream`].
+/// Builds the streaming pipeline for a plan under explicit execution
+/// options.  Catalog errors (unknown relations) surface here, before any
+/// tuple flows; so does the per-relation snapshot capture.
+pub fn execute_stream_with<'a>(
+    plan: &'a LogicalPlan,
+    db: &'a Database,
+    opts: &ExecOptions,
+) -> Result<TupleStream<'a>> {
+    let ctx = ExecContext::build(plan, db, opts.clone())?;
+    exec_node(plan, &ctx)
+}
+
+/// Builds the serial streaming pipeline for a plan (the historical
+/// behavior; see [`execute_stream_with`] for partition-parallel execution).
+pub fn execute_stream<'a>(plan: &'a LogicalPlan, db: &'a Database) -> Result<TupleStream<'a>> {
+    execute_stream_with(plan, db, &ExecOptions::serial())
+}
+
+/// Executes a logical plan under explicit options, materializing the result
+/// tuples.  With `opts.threads > 1` the result is the same multiset as
+/// serial execution; the order may differ.
+pub fn execute_with(plan: &LogicalPlan, db: &Database, opts: &ExecOptions) -> Result<Vec<Tuple>> {
+    Ok(execute_stream_with(plan, db, opts)?.collect())
+}
+
+/// Executes a logical plan serially, materializing the result tuples.  A
+/// convenience wrapper around [`execute_stream`].
 pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Vec<Tuple>> {
     Ok(execute_stream(plan, db)?.collect())
 }
@@ -517,7 +877,7 @@ mod tests {
     use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
 
     fn db(n: usize) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(RelationDef::from_relation(&employee_relation()))
             .unwrap();
         for t in generate_employees(&EmployeeConfig::clean(n)) {
@@ -528,7 +888,7 @@ mod tests {
 
     fn run(db: &Database, frql: &str) -> Vec<Tuple> {
         let q = parse(frql).unwrap();
-        let plan = plan_query(&q, db.catalog()).unwrap();
+        let plan = plan_query(&q, &db.catalog()).unwrap();
         execute(&plan, db).unwrap()
     }
 
@@ -569,10 +929,10 @@ mod tests {
         ];
         for q in queries {
             let parsed = parse(q).unwrap();
-            let plan = plan_query(&parsed, db.catalog()).unwrap();
+            let plan = plan_query(&parsed, &db.catalog()).unwrap();
             let naive: std::collections::BTreeSet<Tuple> =
                 execute(&plan, &db).unwrap().into_iter().collect();
-            let (optimized, _) = optimize(plan, db.catalog());
+            let (optimized, _) = optimize(plan, &db.catalog());
             let fast: std::collections::BTreeSet<Tuple> =
                 execute(&optimized, &db).unwrap().into_iter().collect();
             assert_eq!(
@@ -588,8 +948,8 @@ mod tests {
         let db = db(240);
         let frql = "SELECT * FROM employee WHERE jobtype = 'secretary' AND salary > 3000";
         let parsed = parse(frql).unwrap();
-        let plan = plan_query(&parsed, db.catalog()).unwrap();
-        let (optimized, notes) = optimize(plan.clone(), db.catalog());
+        let plan = plan_query(&parsed, &db.catalog()).unwrap();
+        let (optimized, notes) = optimize(plan.clone(), &db.catalog());
         assert_eq!(optimized.pruned_scan_count(), 1, "{}", optimized);
         assert!(notes.iter().any(|n| n.rule == "partition-pruning"));
         let naive: std::collections::BTreeSet<Tuple> =
@@ -728,7 +1088,7 @@ mod tests {
             "SELECT empno FROM employee WHERE jobtype = 'salesman' AND salary > 4000",
         ] {
             let parsed = parse(frql).unwrap();
-            let plan = plan_query(&parsed, db.catalog()).unwrap();
+            let plan = plan_query(&parsed, &db.catalog()).unwrap();
             let naive: std::collections::BTreeSet<Tuple> =
                 execute(&plan, &db).unwrap().into_iter().collect();
             let (indexed, _) = optimize_with_db(plan, &db);
@@ -775,7 +1135,7 @@ mod tests {
     }
 
     /// A small key-list relation to drive index-nested-loop joins.
-    fn with_wanted(mut db: Database, keys: &[i64]) -> Database {
+    fn with_wanted(db: Database, keys: &[i64]) -> Database {
         use flexrel_core::scheme::FlexScheme;
         db.create_relation(RelationDef::new(
             "wanted",
@@ -791,7 +1151,7 @@ mod tests {
     /// Registers a dependency-free copy of `employee` under `name` with the
     /// same instance.  No dependencies means no indexes, so joins against
     /// it always take the hash path — the baseline INL is checked against.
-    fn with_shadow(mut db: Database, name: &str) -> Database {
+    fn with_shadow(db: Database, name: &str) -> Database {
         let scheme = db.catalog().get("employee").unwrap().scheme.clone();
         db.create_relation(RelationDef::new(name, scheme)).unwrap();
         let tuples: Vec<Tuple> = db
@@ -902,5 +1262,80 @@ mod tests {
             ),
             None
         );
+    }
+
+    /// The parallel gate: serial for single partitions, tiny scans, or
+    /// `threads == 1`; otherwise capped by both knobs.
+    #[test]
+    fn scan_parallelism_gate() {
+        let serial = ExecOptions::serial();
+        let four = ExecOptions::parallel(4).with_min_parallel_rows(100);
+        assert_eq!(scan_parallelism(8, 1_000_000, &serial), 1);
+        assert_eq!(scan_parallelism(1, 1_000_000, &four), 1);
+        assert_eq!(scan_parallelism(8, 50, &four), 1);
+        assert_eq!(scan_parallelism(8, 1_000, &four), 4);
+        assert_eq!(scan_parallelism(3, 1_000, &four), 3, "capped by partitions");
+        assert_eq!(ExecOptions::default(), ExecOptions::serial());
+    }
+
+    fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn parallel_execution_returns_the_serial_multiset() {
+        let db = db(400);
+        let opts = ExecOptions::parallel(4).with_min_parallel_rows(1);
+        let plans = [
+            LogicalPlan::scan("employee"),
+            LogicalPlan::scan("employee").filter(Predicate::gt("salary", 4000)),
+            LogicalPlan::scan("employee")
+                .filter(Predicate::eq("jobtype", Value::tag("secretary")))
+                .project(attrs!["empno", "typing-speed"]),
+            LogicalPlan::scan("employee")
+                .project(attrs!["empno", "salary"])
+                .join(LogicalPlan::scan("employee").project(attrs!["empno", "jobtype"])),
+            LogicalPlan::scan("employee").guard(attrs!["products"]),
+        ];
+        for plan in &plans {
+            let serial = sorted(execute(plan, &db).unwrap());
+            let parallel = sorted(execute_with(plan, &db, &opts).unwrap());
+            assert_eq!(serial, parallel, "parallel multiset differs: {}", plan);
+        }
+    }
+
+    #[test]
+    fn parallel_stream_stops_cleanly_when_dropped_early() {
+        let db = db(300);
+        let opts = ExecOptions::parallel(4).with_min_parallel_rows(1);
+        let plan = LogicalPlan::scan("employee");
+        let mut stream = execute_stream_with(&plan, &db, &opts).unwrap();
+        assert!(stream.next().is_some());
+        drop(stream); // workers must unblock and exit via the closed channel
+        let all: Vec<Tuple> = execute_with(&plan, &db, &opts).unwrap();
+        assert_eq!(all.len(), 300);
+    }
+
+    #[test]
+    fn executor_snapshots_shield_a_query_from_concurrent_writes() {
+        let db = db(120);
+        let plan = LogicalPlan::scan("employee").filter(Predicate::gt("salary", 0));
+        // Build the stream (captures the snapshot), then mutate the
+        // relation heavily before draining it.
+        let stream = execute_stream(&plan, &db).unwrap();
+        let rids: Vec<Rid> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        for rid in rids {
+            db.delete("employee", rid).unwrap();
+        }
+        assert_eq!(db.count("employee").unwrap(), 0);
+        assert_eq!(stream.count(), 120, "the stream sees its snapshot");
+        // A fresh stream sees the new state.
+        assert_eq!(execute(&plan, &db).unwrap().len(), 0);
     }
 }

@@ -51,8 +51,8 @@
 //!     "SELECT empno, typing-speed FROM employee \
 //!      WHERE salary > 3000 AND jobtype = 'secretary' GUARD typing-speed",
 //! ).unwrap();
-//! let plan = plan_query(&query, db.catalog()).unwrap();
-//! let (optimized, notes) = optimize(plan, db.catalog());
+//! let plan = plan_query(&query, &db.catalog()).unwrap();
+//! let (optimized, notes) = optimize(plan, &db.catalog());
 //! assert!(notes.iter().any(|n| n.rule == "guard-elimination"));
 //! let rows = execute(&optimized, &db).unwrap();
 //! assert!(rows.iter().all(|t| t.has_name("typing-speed")));
@@ -67,7 +67,8 @@ pub mod parser;
 pub mod planner;
 
 pub use exec::{
-    estimate_rows, execute, execute_stream, join_strategy, plan_attrs, JoinStrategy, TupleStream,
+    estimate_rows, execute, execute_stream, execute_stream_with, execute_with, join_strategy,
+    plan_attrs, scan_parallelism, ExecOptions, JoinStrategy, TupleStream,
 };
 pub use logical::{LogicalPlan, ShapePredicate};
 pub use optimizer::{choose_access_paths, optimize, optimize_with_db, RewriteNote};
@@ -76,7 +77,10 @@ pub use planner::plan_query;
 
 /// The most commonly used items.
 pub mod prelude {
-    pub use crate::exec::{execute, execute_stream, join_strategy, JoinStrategy};
+    pub use crate::exec::{
+        execute, execute_stream, execute_stream_with, execute_with, join_strategy, ExecOptions,
+        JoinStrategy,
+    };
     pub use crate::logical::{LogicalPlan, ShapePredicate};
     pub use crate::optimizer::{optimize, optimize_with_db, RewriteNote};
     pub use crate::parser::{parse, Query};

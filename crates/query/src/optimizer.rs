@@ -67,7 +67,7 @@ pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> (LogicalPlan, Vec<Rewri
 /// [`optimize`] remains for callers that only have a catalog (and for
 /// measuring what the justified rewrites alone achieve).
 pub fn optimize_with_db(plan: LogicalPlan, db: &Database) -> (LogicalPlan, Vec<RewriteNote>) {
-    let (plan, mut notes) = optimize(plan, db.catalog());
+    let (plan, mut notes) = optimize(plan, &db.catalog());
     let plan = choose_access_paths(plan, db, &mut notes);
     (plan, notes)
 }
@@ -1031,7 +1031,7 @@ mod tests {
 
     fn database(n: usize) -> Database {
         use flexrel_workload::{generate_employees, EmployeeConfig};
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(RelationDef::from_relation(&employee_relation()))
             .unwrap();
         for t in generate_employees(&EmployeeConfig::clean(n)) {
@@ -1055,7 +1055,7 @@ mod tests {
 
     #[test]
     fn access_path_pass_needs_a_covering_index() {
-        let mut db = database(30);
+        let db = database(30);
         // No index on name: the filter stays a filtered scan.
         let plan = planned("SELECT * FROM employee WHERE name = 'emp3'");
         let (optimized, _) = optimize_with_db(plan.clone(), &db);

@@ -1,103 +1,117 @@
 //! The database facade: catalog + partitioned heaps + indexes + constraint
-//! enforcement.
+//! enforcement, shared across threads.
 //!
 //! Every relation's instance is stored shape-partitioned (see
 //! [`crate::partition`]): one segment heap per distinct `attr(t)`.  Insert
 //! checking is split into a *shape-level* half that is memoized per
 //! partition ([`ShapeMemo`]) and a *value-level* half (domains, `t[X]`
 //! variant lookups, FD agreement against index peers) that runs per tuple.
+//!
+//! # Concurrency
+//!
+//! A [`Database`] is a cheap, cloneable **handle** to shared state
+//! (`Clone` produces another handle onto the *same* database — use
+//! [`Database::fork`] for an independent copy).  It is `Send + Sync`; any
+//! number of sessions may read and write concurrently.  The locking is
+//! sharded per relation:
+//!
+//! * a **writer gate** (`Mutex`) serializes writers of one relation — the
+//!   pairwise AD/FD checks are only sound when writes of a relation are
+//!   totally ordered — while leaving readers untouched;
+//! * the **partition catalog** (`RwLock<PartitionedHeap>`) and the **index
+//!   set** (`RwLock<Vec<_>>`) each sit under their own reader/writer lock,
+//!   so metadata reads, scans and index probes proceed while a writer is
+//!   still running its (gate-protected) value checks.
+//!
+//! The lock hierarchy is `catalog → storage map → gate → partitions →
+//! indexes`; every code path acquires in that order, which makes deadlock
+//! impossible (transactions over several relations additionally order the
+//! relations by name).  Writers publish a statement's effects with the
+//! partition *and* index write locks held together, so a reader holding the
+//! partition read lock always observes tuple and index state in sync.
+//!
+//! Scans never hold a lock while streaming: they take a
+//! [`PartitionSnapshot`] (a few refcount bumps under the partition read
+//! lock) and iterate the immutable snapshot afterwards — a query observes a
+//! single point in time per relation, never a torn catalog.  Copy-on-write
+//! granularity differs by structure: heap writes that land while a
+//! snapshot is alive copy only the touched ≤1024-slot segment, but index
+//! maintenance copies a *whole* [`HashIndex`] while an index snapshot
+//! (from [`Database::index`]/[`Database::relation_snapshot`]) is
+//! outstanding — which is why the executor only captures index snapshots
+//! for plans that can probe them.
+//!
+//! Multi-statement atomicity is provided by [`Database::transact`], which
+//! holds the declared relations' write locks for the whole transaction:
+//! concurrent scanners see either none or all of its effects, and a
+//! rollback (error return) restores tuples, the partition catalog and every
+//! index exactly before the locks are released.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use flexrel_core::attr::AttrSet;
 use flexrel_core::dep::Dependency;
 use flexrel_core::error::{CoreError, Result};
 use flexrel_core::relation::FlexRelation;
-use flexrel_core::tuple::{ShapeId, Tuple};
+use flexrel_core::tuple::Tuple;
 
 use crate::catalog::{Catalog, RelationDef};
 use crate::index::HashIndex;
-use crate::partition::{DepGuard, PartitionedHeap, Rid, ShapeMemo};
+use crate::partition::{
+    DepGuard, PartitionSnapshot, PartitionedHeap, Rid, ShapeMemo, SnapshotScan,
+};
 use crate::txn::{Transaction, UndoAction};
+
+// Lock acquisition helpers.  Poisoning is deliberately not propagated
+// (parking-lot-style semantics): the storage layer runs all fallible checks
+// *before* mutating, so a poisoned lock can only result from a caller panic
+// inside `transact` — which rolls back before unwinding — or from a panic
+// in a reader, which does not poison at all.
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
+    l.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One stored index: the hash index plus whether it was created
 /// automatically for a dependency determinant.  Auto indexes cannot be
-/// dropped — the insert-time AD/FD checks probe them.
+/// dropped — the insert-time AD/FD checks probe them.  The index itself is
+/// behind an [`Arc`] so readers can snapshot it (one refcount bump) and
+/// probe lock-free while writers copy-on-write.
 #[derive(Clone, Debug)]
 struct StoredIndex {
-    idx: HashIndex,
+    idx: Arc<HashIndex>,
     auto: bool,
 }
 
-/// Per-relation storage: the shape-partitioned heap plus one hash index per
-/// distinct dependency determinant (created automatically so dependency
-/// checking and determinant-equality selections avoid full scans) and any
-/// user-created secondary indexes ([`Database::create_index`]).
-#[derive(Clone, Debug)]
-struct Stored {
-    parts: PartitionedHeap,
-    indexes: Vec<StoredIndex>,
+/// The index set of one relation.
+type IndexSet = Vec<StoredIndex>;
+
+/// Shared per-relation storage: writer gate, partition catalog and index
+/// set, each under its own lock (see the module docs for the hierarchy).
+#[derive(Debug)]
+struct RelStore {
+    gate: Mutex<()>,
+    parts: RwLock<PartitionedHeap>,
+    indexes: RwLock<IndexSet>,
 }
 
-impl Stored {
-    fn index_on(&self, key: &AttrSet) -> Option<&HashIndex> {
-        self.indexes
-            .iter()
-            .find(|si| si.idx.key() == key)
-            .map(|si| &si.idx)
-    }
-
-    /// Adds `t` under `rid` to every maintained index.
-    fn index_all(&mut self, rid: Rid, t: &Tuple) {
-        for si in &mut self.indexes {
-            si.idx.insert(rid, t);
+impl RelStore {
+    fn new(indexes: IndexSet) -> Self {
+        RelStore {
+            gate: Mutex::new(()),
+            parts: RwLock::new(PartitionedHeap::new()),
+            indexes: RwLock::new(indexes),
         }
     }
-
-    /// Removes `t` under `rid` from every maintained index.
-    fn unindex_all(&mut self, rid: Rid, t: &Tuple) {
-        for si in &mut self.indexes {
-            si.idx.remove(rid, t);
-        }
-    }
-
-    /// The existing tuples that can conflict with `t` on a dependency with
-    /// determinant `lhs`: an index probe when an index on `lhs` exists,
-    /// otherwise a scan.  Tuples not defined on all of `lhs` are excluded —
-    /// the pairwise premise of Defs. 4.1/4.2 requires `X ⊆ attr(t)` on both
-    /// sides, so they can never conflict.
-    fn peers<'a>(&'a self, lhs: &AttrSet, t: &Tuple) -> Vec<&'a Tuple> {
-        if !t.defined_on(lhs) {
-            return Vec::new();
-        }
-        if let Some(idx) = self.index_on(lhs) {
-            idx.lookup(&t.project(lhs))
-                .iter()
-                .filter_map(|rid| self.parts.get(*rid))
-                .collect()
-        } else {
-            self.parts
-                .scan()
-                .map(|(_, u)| u)
-                .filter(|u| u.defined_on(lhs))
-                .collect()
-        }
-    }
-}
-
-/// Per-partition catalog metadata: the shape, the DNF disjunct it satisfies
-/// and its live tuple count.  Returned by [`Database::partitions`].
-#[derive(Clone, Debug, PartialEq)]
-pub struct PartitionInfo {
-    /// The interned shape id (the partition key).
-    pub shape_id: ShapeId,
-    /// The shape `attr(t)` shared by every tuple of the partition.
-    pub shape: AttrSet,
-    /// The DNF disjunct of the relation's scheme the shape satisfies (for
-    /// an admitted shape this is the shape itself).
-    pub disjunct: AttrSet,
-    /// Number of live tuples in the partition.
-    pub tuples: usize,
 }
 
 /// Per-index catalog metadata: the key, cardinality statistics and whether
@@ -135,11 +149,23 @@ impl IndexInfo {
     }
 }
 
-/// An in-memory flexible-relation database.
+/// The shared state behind every [`Database`] handle.
+#[derive(Debug, Default)]
+struct DbInner {
+    /// Copy-on-write catalog: readers grab the `Arc` (one refcount bump)
+    /// and keep a consistent set of definitions for as long as they like.
+    catalog: RwLock<Arc<Catalog>>,
+    storage: RwLock<BTreeMap<String, Arc<RelStore>>>,
+}
+
+/// An in-memory flexible-relation database, shareable across threads.
+///
+/// `Clone` is a cheap handle clone: all handles address the same shared
+/// state.  See the [module docs](self) for the concurrency model and
+/// [`Database::fork`] for an independent copy.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    catalog: Catalog,
-    storage: BTreeMap<String, Stored>,
+    inner: Arc<DbInner>,
 }
 
 /// Builds the memoized shape-level type-check facts for a shape that has
@@ -195,23 +221,368 @@ fn check_domains(def: &RelationDef, t: &Tuple) -> Result<()> {
     Ok(())
 }
 
+/// The stored index on exactly `key`, if any.
+fn index_on<'a>(indexes: &'a IndexSet, key: &AttrSet) -> Option<&'a Arc<HashIndex>> {
+    indexes
+        .iter()
+        .find(|si| si.idx.key() == key)
+        .map(|si| &si.idx)
+}
+
+/// The existing tuples that can conflict with `t` on a dependency with
+/// determinant `lhs`: an index probe when an index on `lhs` exists,
+/// otherwise a scan.  Tuples not defined on all of `lhs` are excluded —
+/// the pairwise premise of Defs. 4.1/4.2 requires `X ⊆ attr(t)` on both
+/// sides, so they can never conflict.
+fn peers<'a>(
+    parts: &'a PartitionedHeap,
+    indexes: &'a IndexSet,
+    lhs: &AttrSet,
+    t: &Tuple,
+) -> Vec<&'a Tuple> {
+    if !t.defined_on(lhs) {
+        return Vec::new();
+    }
+    if let Some(idx) = index_on(indexes, lhs) {
+        idx.lookup(&t.project(lhs))
+            .iter()
+            .filter_map(|rid| parts.get(*rid))
+            .collect()
+    } else {
+        parts
+            .scan()
+            .map(|(_, u)| u)
+            .filter(|u| u.defined_on(lhs))
+            .collect()
+    }
+}
+
+/// The full (unmemoized) check sequence: scheme membership, domains,
+/// dependencies.
+fn check_insert_full(
+    def: &RelationDef,
+    parts: &PartitionedHeap,
+    indexes: &IndexSet,
+    t: &Tuple,
+) -> Result<()> {
+    if !def.scheme.admits(&t.attrs()) {
+        return Err(CoreError::SchemeViolation {
+            tuple_attrs: t.attrs().to_string(),
+            scheme: def.scheme.to_string(),
+        });
+    }
+    check_domains(def, t)?;
+    check_deps_full(def, parts, indexes, t)
+}
+
+/// The dependency half of the unmemoized check.
+fn check_deps_full(
+    def: &RelationDef,
+    parts: &PartitionedHeap,
+    indexes: &IndexSet,
+    t: &Tuple,
+) -> Result<()> {
+    for dep in def.deps.iter() {
+        match dep {
+            Dependency::Ead(ead) => ead.check_tuple(t)?,
+            Dependency::Ad(ad) => {
+                ad.check_insert_among(peers(parts, indexes, ad.lhs(), t), t)?;
+            }
+            Dependency::Fd(fd) => {
+                fd.check_insert_among(peers(parts, indexes, fd.lhs(), t), t)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The memoized check: the shape already passed scheme membership and
+/// every `X ⊆ attr(t)` guard when its partition was opened, so only
+/// value-level checks (domains, variant lookup, peer agreement) run.
+fn check_deps_memoized(
+    def: &RelationDef,
+    parts: &PartitionedHeap,
+    indexes: &IndexSet,
+    memo: &ShapeMemo,
+    t: &Tuple,
+) -> Result<()> {
+    for (dep, guard) in def.deps.iter().zip(memo.dep_guards.iter()) {
+        match (dep, guard) {
+            (
+                Dependency::Ead(ead),
+                DepGuard::Ead {
+                    lhs_defined,
+                    y_overlap_empty,
+                    admissible,
+                },
+            ) => {
+                // A shape not defined on X was admitted with an empty
+                // Y-overlap; nothing value-level remains to check.
+                if *lhs_defined {
+                    match ead.variant_for_restriction(t) {
+                        Some((i, _)) if admissible.contains(&i) => {}
+                        None if *y_overlap_empty => {}
+                        // Fall back to the ground-truth check for the
+                        // canonical error message.
+                        _ => ead.check_tuple(t)?,
+                    }
+                }
+            }
+            (Dependency::Ad(ad), DepGuard::Pairwise { lhs_defined }) => {
+                if *lhs_defined {
+                    ad.check_insert_among(peers(parts, indexes, ad.lhs(), t), t)?;
+                }
+            }
+            (Dependency::Fd(fd), DepGuard::Pairwise { lhs_defined }) => {
+                if *lhs_defined {
+                    fd.check_insert_among(peers(parts, indexes, fd.lhs(), t), t)?;
+                }
+            }
+            // The memo is built from the same dependency list it is
+            // zipped with; a mismatch means the definition changed under
+            // us, so fall back to the full check.
+            _ => return check_deps_full(def, parts, indexes, t),
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full insert check sequence (memoized when the shape's partition
+/// exists) without mutating anything, and returns the [`ShapeMemo`] to open
+/// a new partition with when the shape is new.
+fn precheck_insert(
+    def: &RelationDef,
+    parts: &PartitionedHeap,
+    indexes: &IndexSet,
+    t: &Tuple,
+) -> Result<Option<ShapeMemo>> {
+    match parts.partition(t.shape_id()) {
+        Some(part) => {
+            check_domains(def, t)?;
+            check_deps_memoized(def, parts, indexes, part.memo(), t)?;
+            Ok(None)
+        }
+        None => {
+            check_insert_full(def, parts, indexes, t)?;
+            Ok(Some(shape_memo(def, t.shape())))
+        }
+    }
+}
+
+/// Publishes a (pre-checked) tuple: heap insert plus every maintained
+/// index.  Must run with the partition and index write locks held together
+/// so readers never observe the two out of sync.
+fn apply_insert(
+    parts: &mut PartitionedHeap,
+    indexes: &mut IndexSet,
+    t: Tuple,
+    memo: Option<ShapeMemo>,
+) -> Rid {
+    let sid = t.shape_id();
+    let rid = parts.insert(sid, t.clone(), memo);
+    for si in indexes.iter_mut() {
+        Arc::make_mut(&mut si.idx).insert(rid, &t);
+    }
+    rid
+}
+
+/// Removes a tuple from the heap and every maintained index.
+fn apply_delete(parts: &mut PartitionedHeap, indexes: &mut IndexSet, rid: Rid) -> Option<Tuple> {
+    let old = parts.delete(rid)?;
+    for si in indexes.iter_mut() {
+        Arc::make_mut(&mut si.idx).remove(rid, &old);
+    }
+    Some(old)
+}
+
+/// Checks and inserts under already-held write locks (the transactional and
+/// update paths, where the caller must see its own uncommitted writes).
+fn checked_insert_in(
+    def: &RelationDef,
+    parts: &mut PartitionedHeap,
+    indexes: &mut IndexSet,
+    t: Tuple,
+) -> Result<Rid> {
+    let memo = precheck_insert(def, parts, indexes, &t)?;
+    Ok(apply_insert(parts, indexes, t, memo))
+}
+
+/// Inserts a tuple *without* constraint checks.  Only used to restore
+/// previously validated tuples (rollback, failed updates); rebuilds the
+/// partition memo if the shape's partition was dropped in the meantime.
+fn insert_unchecked_into(
+    def: &RelationDef,
+    parts: &mut PartitionedHeap,
+    indexes: &mut IndexSet,
+    t: Tuple,
+) -> Rid {
+    let memo = if parts.partition(t.shape_id()).is_none() {
+        Some(shape_memo(def, t.shape()))
+    } else {
+        None
+    };
+    apply_insert(parts, indexes, t, memo)
+}
+
+/// Replaces the tuple under `rid` after re-checking all constraints, under
+/// already-held write locks; restores the previous tuple (and every index)
+/// on failure.
+fn update_in(
+    def: &RelationDef,
+    parts: &mut PartitionedHeap,
+    indexes: &mut IndexSet,
+    rid: Rid,
+    new: Tuple,
+    relation: &str,
+) -> Result<(Rid, Tuple)> {
+    let old = apply_delete(parts, indexes, rid)
+        .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))?;
+    match checked_insert_in(def, parts, indexes, new) {
+        Ok(new_rid) => Ok((new_rid, old)),
+        Err(e) => {
+            insert_unchecked_into(def, parts, indexes, old);
+            Err(e)
+        }
+    }
+}
+
+/// Removes the tuple a transaction wrote, for rollback.  The recorded
+/// `rid` is only a fast path: a partition that was emptied (dropped)
+/// and re-created within the transaction hands out fresh slots, so the
+/// rid may now name a *different* live tuple — deleting blindly by rid
+/// would destroy committed data.  The rid is therefore revalidated
+/// against `expected` and, on mismatch, the tuple is located by value
+/// in its shape's partition (equal tuples are interchangeable, so any
+/// match preserves the multiset).  Returns whether a tuple was removed.
+fn undo_remove_in(
+    parts: &mut PartitionedHeap,
+    indexes: &mut IndexSet,
+    rid: Rid,
+    expected: &Tuple,
+) -> bool {
+    let target = if parts.get(rid) == Some(expected) {
+        Some(rid)
+    } else {
+        let sid = expected.shape_id();
+        parts.partition(sid).and_then(|p| {
+            p.tuples()
+                .find(|(_, t)| *t == expected)
+                .map(|(loc, _)| Rid::new(sid, loc))
+        })
+    };
+    if let Some(target) = target {
+        if apply_delete(parts, indexes, target).is_some() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Applies one undo action against already-held write locks.
+fn apply_undo(
+    def: &RelationDef,
+    parts: &mut PartitionedHeap,
+    indexes: &mut IndexSet,
+    action: UndoAction,
+) {
+    match action {
+        UndoAction::UndoInsert { rid, tuple, .. } => {
+            undo_remove_in(parts, indexes, rid, &tuple);
+        }
+        UndoAction::UndoDelete { tuple, .. } => {
+            insert_unchecked_into(def, parts, indexes, tuple);
+        }
+        UndoAction::UndoUpdate {
+            rid,
+            replacement,
+            previous,
+            ..
+        } => {
+            if undo_remove_in(parts, indexes, rid, &replacement) {
+                insert_unchecked_into(def, parts, indexes, previous);
+            }
+        }
+    }
+}
+
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// A consistent snapshot of the catalog of relation definitions (one
+    /// refcount bump; the snapshot stays valid while relations are created
+    /// or dropped concurrently).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&read(&self.inner.catalog))
+    }
+
+    /// An independent deep copy of the database: the new handle shares no
+    /// mutable state with `self`.  Cheap — partitions, segments and indexes
+    /// are copy-on-write, so the fork costs refcount bumps until either
+    /// side writes.
+    ///
+    /// The fork is a consistent cut of the *whole* database: the read
+    /// locks of every relation (partitions and indexes together, in name
+    /// order — the same order [`Database::transact`] locks in) are
+    /// acquired before anything is cloned, so a concurrent multi-relation
+    /// transaction is observed either fully or not at all, and no relation
+    /// can hold a tuple its determinant indexes disagree with.  The
+    /// catalog guard is held across the walk so relations cannot be
+    /// created or dropped mid-fork.
+    pub fn fork(&self) -> Database {
+        let cat = read(&self.inner.catalog);
+        let catalog = Arc::clone(&cat);
+        let storage_map = read(&self.inner.storage);
+        // Acquire every relation's guards first (BTreeMap iteration is
+        // name order), then clone under the complete lock set.
+        let guards: Vec<(
+            &String,
+            RwLockReadGuard<'_, PartitionedHeap>,
+            RwLockReadGuard<'_, IndexSet>,
+        )> = storage_map
+            .iter()
+            .map(|(name, store)| (name, read(&store.parts), read(&store.indexes)))
+            .collect();
+        let storage: BTreeMap<String, Arc<RelStore>> = guards
+            .iter()
+            .map(|(name, parts, indexes)| {
+                (
+                    (*name).clone(),
+                    Arc::new(RelStore {
+                        gate: Mutex::new(()),
+                        parts: RwLock::new((**parts).clone()),
+                        indexes: RwLock::new((**indexes).clone()),
+                    }),
+                )
+            })
+            .collect();
         Database {
-            catalog: Catalog::new(),
-            storage: BTreeMap::new(),
+            inner: Arc::new(DbInner {
+                catalog: RwLock::new(catalog),
+                storage: RwLock::new(storage),
+            }),
         }
     }
 
-    /// The catalog of relation definitions.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    fn store(&self, relation: &str) -> Result<Arc<RelStore>> {
+        read(&self.inner.storage)
+            .get(relation)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("relation {}", relation)))
+    }
+
+    /// Looks up a relation definition in the current catalog snapshot.
+    fn def<'a>(&self, catalog: &'a Catalog, relation: &str) -> Result<&'a RelationDef> {
+        catalog
+            .get(relation)
+            .map_err(|_| CoreError::NotFound(format!("relation {}", relation)))
     }
 
     /// Creates a relation from a definition, building one hash index per
     /// distinct dependency determinant.
-    pub fn create_relation(&mut self, def: RelationDef) -> Result<()> {
+    pub fn create_relation(&self, def: RelationDef) -> Result<()> {
         let mut keys: Vec<AttrSet> = Vec::new();
         for dep in def.deps.iter() {
             let key = dep.lhs().clone();
@@ -219,80 +590,94 @@ impl Database {
                 keys.push(key);
             }
         }
-        let stored = Stored {
-            parts: PartitionedHeap::new(),
-            indexes: keys
-                .into_iter()
-                .map(|k| StoredIndex {
-                    idx: HashIndex::new(k),
-                    auto: true,
-                })
-                .collect(),
-        };
+        let indexes: IndexSet = keys
+            .into_iter()
+            .map(|k| StoredIndex {
+                idx: Arc::new(HashIndex::new(k)),
+                auto: true,
+            })
+            .collect();
         let name = def.name.clone();
-        self.catalog.register(def)?;
-        self.storage.insert(name, stored);
+        // Catalog lock held across the registration *and* the storage-map
+        // insert so concurrent create/drop of the same name serialize.
+        let mut cat = write(&self.inner.catalog);
+        let mut next = (**cat).clone();
+        next.register(def)?;
+        write(&self.inner.storage).insert(name, Arc::new(RelStore::new(indexes)));
+        *cat = Arc::new(next);
         Ok(())
     }
 
     /// Drops a relation and its storage.
-    pub fn drop_relation(&mut self, name: &str) -> Result<()> {
-        self.catalog.drop(name)?;
-        self.storage.remove(name);
+    pub fn drop_relation(&self, name: &str) -> Result<()> {
+        let mut cat = write(&self.inner.catalog);
+        let mut next = (**cat).clone();
+        next.drop(name)?;
+        write(&self.inner.storage).remove(name);
+        *cat = Arc::new(next);
         Ok(())
     }
 
     /// Creates a user-defined secondary hash index on `key`, backfilling it
     /// from the live instance.  Fails if an index on exactly this key (auto
     /// or secondary) already exists or if `key` is empty.
-    pub fn create_index(&mut self, relation: &str, key: impl Into<AttrSet>) -> Result<()> {
+    pub fn create_index(&self, relation: &str, key: impl Into<AttrSet>) -> Result<()> {
         let key = key.into();
         if key.is_empty() {
             return Err(CoreError::Invalid(
                 "cannot index the empty attribute set".into(),
             ));
         }
-        let stored = self.stored_mut(relation)?;
-        if stored.indexes.iter().any(|si| si.idx.key() == &key) {
+        let store = self.store(relation)?;
+        // The gate keeps writers out so the backfill is complete; readers
+        // continue against the partition lock.
+        let _g = lock(&store.gate);
+        let parts = read(&store.parts);
+        let mut indexes = write(&store.indexes);
+        if indexes.iter().any(|si| si.idx.key() == &key) {
             return Err(CoreError::Invalid(format!(
                 "index on {} already exists for {}",
                 key, relation
             )));
         }
         let mut idx = HashIndex::new(key);
-        for (rid, t) in stored.parts.scan() {
+        for (rid, t) in parts.scan() {
             idx.insert(rid, t);
         }
-        stored.indexes.push(StoredIndex { idx, auto: false });
+        indexes.push(StoredIndex {
+            idx: Arc::new(idx),
+            auto: false,
+        });
         Ok(())
     }
 
     /// Drops the user-defined secondary index on exactly `key`.  Auto-created
     /// determinant indexes cannot be dropped — dependency checking probes
     /// them on every insert.
-    pub fn drop_index(&mut self, relation: &str, key: &AttrSet) -> Result<()> {
-        let stored = self.stored_mut(relation)?;
-        let pos = stored
-            .indexes
+    pub fn drop_index(&self, relation: &str, key: &AttrSet) -> Result<()> {
+        let store = self.store(relation)?;
+        let _g = lock(&store.gate);
+        let mut indexes = write(&store.indexes);
+        let pos = indexes
             .iter()
             .position(|si| si.idx.key() == key)
             .ok_or_else(|| CoreError::NotFound(format!("index on {} for {}", key, relation)))?;
-        if stored.indexes[pos].auto {
+        if indexes[pos].auto {
             return Err(CoreError::Invalid(format!(
                 "index on {} for {} is a determinant index and cannot be dropped",
                 key, relation
             )));
         }
-        stored.indexes.remove(pos);
+        indexes.remove(pos);
         Ok(())
     }
 
     /// Per-index metadata for a relation, in index-creation order (the
     /// auto-created determinant indexes first).
     pub fn indexes(&self, relation: &str) -> Result<Vec<IndexInfo>> {
-        Ok(self
-            .stored(relation)?
-            .indexes
+        let store = self.store(relation)?;
+        let indexes = read(&store.indexes);
+        Ok(indexes
             .iter()
             .map(|si| IndexInfo {
                 key: si.idx.key().clone(),
@@ -314,163 +699,56 @@ impl Database {
 
     /// Number of live tuples in a relation.
     pub fn count(&self, relation: &str) -> Result<usize> {
-        Ok(self.stored(relation)?.parts.len())
-    }
-
-    fn stored(&self, relation: &str) -> Result<&Stored> {
-        self.storage
-            .get(relation)
-            .ok_or_else(|| CoreError::NotFound(format!("relation {}", relation)))
-    }
-
-    fn stored_mut(&mut self, relation: &str) -> Result<&mut Stored> {
-        self.storage
-            .get_mut(relation)
-            .ok_or_else(|| CoreError::NotFound(format!("relation {}", relation)))
+        let store = self.store(relation)?;
+        let n = read(&store.parts).len();
+        Ok(n)
     }
 
     /// Validates a tuple against the relation's scheme, domains and
     /// dependencies (using the determinant indexes for the pairwise checks)
     /// without inserting it.  This is the unmemoized path; [`Database::insert`]
     /// reuses the shape memo of the target partition when one exists.
+    /// Purely advisory under concurrency: the verdict reflects the state at
+    /// the moment of the check.
     pub fn check_insert(&self, relation: &str, t: &Tuple) -> Result<()> {
-        let def = self.catalog.get(relation)?;
-        let stored = self.stored(relation)?;
-        self.check_insert_full(def, stored, t)
-    }
-
-    /// The full (unmemoized) check sequence: scheme membership, domains,
-    /// dependencies.  Shared by [`Database::check_insert`] and the
-    /// new-partition path of [`Database::insert`].
-    fn check_insert_full(&self, def: &RelationDef, stored: &Stored, t: &Tuple) -> Result<()> {
-        if !def.scheme.admits(&t.attrs()) {
-            return Err(CoreError::SchemeViolation {
-                tuple_attrs: t.attrs().to_string(),
-                scheme: def.scheme.to_string(),
-            });
-        }
-        check_domains(def, t)?;
-        self.check_deps_full(def, stored, t)
-    }
-
-    /// The dependency half of the unmemoized check.
-    fn check_deps_full(&self, def: &RelationDef, stored: &Stored, t: &Tuple) -> Result<()> {
-        for dep in def.deps.iter() {
-            match dep {
-                Dependency::Ead(ead) => ead.check_tuple(t)?,
-                Dependency::Ad(ad) => {
-                    ad.check_insert_among(stored.peers(ad.lhs(), t), t)?;
-                }
-                Dependency::Fd(fd) => {
-                    fd.check_insert_among(stored.peers(fd.lhs(), t), t)?;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// The memoized check: the shape already passed scheme membership and
-    /// every `X ⊆ attr(t)` guard when its partition was opened, so only
-    /// value-level checks (domains, variant lookup, peer agreement) run.
-    fn check_deps_memoized(
-        &self,
-        def: &RelationDef,
-        stored: &Stored,
-        memo: &ShapeMemo,
-        t: &Tuple,
-    ) -> Result<()> {
-        for (dep, guard) in def.deps.iter().zip(memo.dep_guards.iter()) {
-            match (dep, guard) {
-                (
-                    Dependency::Ead(ead),
-                    DepGuard::Ead {
-                        lhs_defined,
-                        y_overlap_empty,
-                        admissible,
-                    },
-                ) => {
-                    // A shape not defined on X was admitted with an empty
-                    // Y-overlap; nothing value-level remains to check.
-                    if *lhs_defined {
-                        match ead.variant_for_restriction(t) {
-                            Some((i, _)) if admissible.contains(&i) => {}
-                            None if *y_overlap_empty => {}
-                            // Fall back to the ground-truth check for the
-                            // canonical error message.
-                            _ => ead.check_tuple(t)?,
-                        }
-                    }
-                }
-                (Dependency::Ad(ad), DepGuard::Pairwise { lhs_defined }) => {
-                    if *lhs_defined {
-                        ad.check_insert_among(stored.peers(ad.lhs(), t), t)?;
-                    }
-                }
-                (Dependency::Fd(fd), DepGuard::Pairwise { lhs_defined }) => {
-                    if *lhs_defined {
-                        fd.check_insert_among(stored.peers(fd.lhs(), t), t)?;
-                    }
-                }
-                // The memo is built from the same dependency list it is
-                // zipped with; a mismatch means the definition changed under
-                // us, so fall back to the full check.
-                _ => return self.check_deps_full(def, stored, t),
-            }
-        }
-        Ok(())
+        let catalog = self.catalog();
+        let def = self.def(&catalog, relation)?;
+        let store = self.store(relation)?;
+        let parts = read(&store.parts);
+        let indexes = read(&store.indexes);
+        check_insert_full(def, &parts, &indexes, t)
     }
 
     /// Inserts a tuple with full type checking, memoized per shape.
-    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<Rid> {
-        let def = self
-            .catalog
-            .get(relation)
-            .map_err(|_| CoreError::NotFound(format!("relation {}", relation)))?;
-        let stored = self
-            .storage
-            .get(relation)
-            .ok_or_else(|| CoreError::NotFound(format!("relation {}", relation)))?;
-        let sid = t.shape_id();
-        let new_memo = match stored.parts.partition(sid) {
-            Some(part) => {
-                // Fast path: shape-level checks replayed from the memo.
-                check_domains(def, &t)?;
-                self.check_deps_memoized(def, stored, part.memo(), &t)?;
-                None
-            }
-            None => {
-                self.check_insert_full(def, stored, &t)?;
-                Some(shape_memo(def, t.shape()))
-            }
-        };
-        let stored = self.storage.get_mut(relation).expect("checked above");
-        let rid = stored.parts.insert(sid, t.clone(), new_memo);
-        stored.index_all(rid, &t);
-        Ok(rid)
-    }
-
-    /// Inserts a tuple *without* constraint checks.  Only used to restore
-    /// previously validated tuples (rollback, failed updates); rebuilds the
-    /// partition memo if the shape's partition was dropped in the meantime.
-    fn insert_unchecked(&mut self, relation: &str, t: Tuple) -> Result<Rid> {
-        let def = self.catalog.get(relation)?;
-        let sid = t.shape_id();
+    ///
+    /// The constraint checks run under the writer gate with only *read*
+    /// locks held, so concurrent scans proceed; the effects are then
+    /// published atomically under the partition + index write locks.
+    pub fn insert(&self, relation: &str, t: Tuple) -> Result<Rid> {
+        let catalog = self.catalog();
+        let def = self.def(&catalog, relation)?;
+        let store = self.store(relation)?;
+        let _g = lock(&store.gate);
         let memo = {
-            let stored = self.stored(relation)?;
-            if stored.parts.partition(sid).is_none() {
-                Some(shape_memo(def, t.shape()))
-            } else {
-                None
-            }
+            let parts = read(&store.parts);
+            let indexes = read(&store.indexes);
+            precheck_insert(def, &parts, &indexes, &t)?
+            // The gate is still held: no writer can invalidate the verdict
+            // (or the memo decision) between dropping the read locks and
+            // acquiring the write locks below.
         };
-        let stored = self.storage.get_mut(relation).expect("checked above");
-        let rid = stored.parts.insert(sid, t.clone(), memo);
-        stored.index_all(rid, &t);
-        Ok(rid)
+        let mut parts = write(&store.parts);
+        let mut indexes = write(&store.indexes);
+        Ok(apply_insert(&mut parts, &mut indexes, t, memo))
     }
 
     /// Inserts under a transaction, recording the undo action.
-    pub fn insert_txn(&mut self, txn: &mut Transaction, relation: &str, t: Tuple) -> Result<Rid> {
+    ///
+    /// Each statement is atomic to concurrent readers, but the transaction
+    /// as a whole is not isolated — a scan between two `insert_txn` calls
+    /// observes the first insert only.  Use [`Database::transact`] when
+    /// readers must see all-or-nothing.
+    pub fn insert_txn(&self, txn: &mut Transaction, relation: &str, t: Tuple) -> Result<Rid> {
         let rid = self.insert(relation, t.clone())?;
         txn.record(UndoAction::UndoInsert {
             relation: relation.to_string(),
@@ -482,18 +760,18 @@ impl Database {
 
     /// Deletes a tuple by identifier, returning it.  Deleting the last tuple
     /// of a partition drops the partition (and its shape memo).
-    pub fn delete(&mut self, relation: &str, rid: Rid) -> Result<Tuple> {
-        let stored = self.stored_mut(relation)?;
-        let old = stored
-            .parts
-            .delete(rid)
-            .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))?;
-        stored.unindex_all(rid, &old);
-        Ok(old)
+    pub fn delete(&self, relation: &str, rid: Rid) -> Result<Tuple> {
+        let store = self.store(relation)?;
+        let _g = lock(&store.gate);
+        let mut parts = write(&store.parts);
+        let mut indexes = write(&store.indexes);
+        apply_delete(&mut parts, &mut indexes, rid)
+            .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))
     }
 
-    /// Deletes under a transaction.
-    pub fn delete_txn(&mut self, txn: &mut Transaction, relation: &str, rid: Rid) -> Result<Tuple> {
+    /// Deletes under a transaction (see [`Database::insert_txn`] for the
+    /// isolation caveat).
+    pub fn delete_txn(&self, txn: &mut Transaction, relation: &str, rid: Rid) -> Result<Tuple> {
         let old = self.delete(relation, rid)?;
         txn.record(UndoAction::UndoDelete {
             relation: relation.to_string(),
@@ -510,18 +788,17 @@ impl Database {
     /// Returns the replacement's identifier together with the previous
     /// tuple, so callers can still locate the tuple after a shape-changing
     /// update.  On failure the previous tuple is restored (including every
-    /// index) and the error returned.
-    pub fn update(&mut self, relation: &str, rid: Rid, new: Tuple) -> Result<(Rid, Tuple)> {
-        // Remove, check, re-insert; restore on failure.
-        let old = self.delete(relation, rid)?;
-        match self.insert(relation, new) {
-            Ok(new_rid) => Ok((new_rid, old)),
-            Err(e) => {
-                self.insert_unchecked(relation, old)
-                    .expect("restoring the previous tuple cannot fail");
-                Err(e)
-            }
-        }
+    /// index) and the error returned.  The whole remove–check–reinsert
+    /// sequence runs under the write locks, so concurrent readers observe
+    /// either the old or the new tuple, never neither.
+    pub fn update(&self, relation: &str, rid: Rid, new: Tuple) -> Result<(Rid, Tuple)> {
+        let catalog = self.catalog();
+        let def = self.def(&catalog, relation)?;
+        let store = self.store(relation)?;
+        let _g = lock(&store.gate);
+        let mut parts = write(&store.parts);
+        let mut indexes = write(&store.indexes);
+        update_in(def, &mut parts, &mut indexes, rid, new, relation)
     }
 
     /// Updates under a transaction, recording the undo action.  Rolling back
@@ -529,7 +806,7 @@ impl Database {
     /// previous tuple (re-opening its partition if the update moved the last
     /// tuple of a shape).
     pub fn update_txn(
-        &mut self,
+        &self,
         txn: &mut Transaction,
         relation: &str,
         rid: Rid,
@@ -546,81 +823,80 @@ impl Database {
     }
 
     /// Reads the tuple stored under `rid`, if it is live.
-    pub fn get(&self, relation: &str, rid: Rid) -> Result<Option<&Tuple>> {
-        Ok(self.stored(relation)?.parts.get(rid))
+    pub fn get(&self, relation: &str, rid: Rid) -> Result<Option<Tuple>> {
+        let store = self.store(relation)?;
+        let parts = read(&store.parts);
+        Ok(parts.get(rid).cloned())
     }
 
-    /// Scans all tuples of a relation, partition by partition.
+    /// Scans all tuples of a relation, partition by partition, from one
+    /// point-in-time snapshot.
     pub fn scan(&self, relation: &str) -> Result<Vec<(Rid, Tuple)>> {
-        Ok(self
-            .stored(relation)?
-            .parts
-            .scan()
-            .map(|(rid, t)| (rid, t.clone()))
-            .collect())
+        Ok(self.partition_snapshot(relation)?.scan().collect())
     }
 
     /// Streams the tuples of the partitions admitted by the shape predicate
     /// — the pruned scan behind the streaming executor.  `admits` is given
-    /// each live partition's shape once, not once per tuple.
-    pub fn scan_where<'a, F>(
-        &'a self,
-        relation: &str,
-        admits: F,
-    ) -> Result<impl Iterator<Item = (Rid, &'a Tuple)> + 'a>
+    /// each live partition's shape once, not once per tuple.  The returned
+    /// iterator owns a [`PartitionSnapshot`]: it holds no lock and is
+    /// unaffected by concurrent writes.
+    pub fn scan_where<F>(&self, relation: &str, admits: F) -> Result<SnapshotScan>
     where
-        F: FnMut(&AttrSet) -> bool + 'a,
+        F: FnMut(&AttrSet) -> bool,
     {
-        Ok(self.stored(relation)?.parts.scan_where(admits))
+        Ok(self
+            .partition_snapshot(relation)?
+            .retain_shapes(admits)
+            .scan())
+    }
+
+    /// A point-in-time snapshot of the relation's partition catalog — the
+    /// single source scans, metadata reads and pruning decisions of one
+    /// query should share (see [`PartitionSnapshot`]).
+    pub fn partition_snapshot(&self, relation: &str) -> Result<PartitionSnapshot> {
+        let store = self.store(relation)?;
+        let parts = read(&store.parts);
+        Ok(parts.snapshot())
     }
 
     /// Per-partition metadata for a relation, in `ShapeId` order.
-    pub fn partitions(&self, relation: &str) -> Result<Vec<PartitionInfo>> {
-        Ok(self
-            .stored(relation)?
-            .parts
-            .partitions()
-            .map(|(sid, p)| PartitionInfo {
-                shape_id: sid,
-                shape: p.shape().clone(),
-                disjunct: p.memo().disjunct.clone(),
-                tuples: p.len(),
-            })
-            .collect())
+    pub fn partitions(&self, relation: &str) -> Result<Vec<crate::partition::PartitionInfo>> {
+        Ok(self.partition_snapshot(relation)?.infos())
     }
 
     /// The union of the live tuple shapes of a relation — the exact
     /// `⋃ attr(t)` over the instance, from partition metadata.
     pub fn relation_attrs(&self, relation: &str) -> Result<AttrSet> {
-        Ok(self.stored(relation)?.parts.attrs_union())
+        let store = self.store(relation)?;
+        let parts = read(&store.parts);
+        Ok(parts.attrs_union())
     }
 
     /// Equality lookup on an attribute set: uses the matching index (auto or
     /// secondary) when one exists, otherwise falls back to a shape-pruned
     /// scan.  `key_value` must be a tuple over exactly the attributes of
-    /// `key`.  Returns `(Rid, &Tuple)` pairs borrowed from storage — no
-    /// tuple is cloned.
-    pub fn lookup_eq<'a>(
-        &'a self,
+    /// `key`.  The index probe and the tuple fetches happen under one
+    /// consistent lock acquisition.
+    pub fn lookup_eq(
+        &self,
         relation: &str,
         key: &AttrSet,
         key_value: &Tuple,
-    ) -> Result<Vec<(Rid, &'a Tuple)>> {
-        let stored = self.stored(relation)?;
-        if let Some(idx) = stored.index_on(key) {
+    ) -> Result<Vec<(Rid, Tuple)>> {
+        let store = self.store(relation)?;
+        let parts = read(&store.parts);
+        let indexes = read(&store.indexes);
+        if let Some(idx) = index_on(&indexes, key) {
             Ok(idx
                 .lookup(key_value)
                 .iter()
-                .filter_map(|rid| stored.parts.get(*rid).map(|t| (*rid, t)))
+                .filter_map(|rid| parts.get(*rid).map(|t| (*rid, t.clone())))
                 .collect())
         } else {
-            let contains = key.clone();
-            let project = key.clone();
-            let value = key_value.clone();
-            Ok(stored
-                .parts
-                .scan_where(move |shape| contains.is_subset(shape))
-                .filter(move |(_, t)| t.project(&project) == value)
+            Ok(parts
+                .scan_where(|shape| key.is_subset(shape))
+                .filter(|(_, t)| t.project(key) == *key_value)
+                .map(|(rid, t)| (rid, t.clone()))
                 .collect())
         }
     }
@@ -629,54 +905,82 @@ impl Database {
     /// tuples an equality lookup on `key` can never return.  Served from the
     /// index's partial-tuple bookkeeping when an index exists, otherwise by
     /// a scan.  The index-nested-loop join uses this as its fallback side.
-    pub fn lookup_partial<'a>(
-        &'a self,
-        relation: &str,
-        key: &AttrSet,
-    ) -> Result<Vec<(Rid, &'a Tuple)>> {
-        let stored = self.stored(relation)?;
-        if let Some(idx) = stored.index_on(key) {
+    pub fn lookup_partial(&self, relation: &str, key: &AttrSet) -> Result<Vec<(Rid, Tuple)>> {
+        let store = self.store(relation)?;
+        let parts = read(&store.parts);
+        let indexes = read(&store.indexes);
+        if let Some(idx) = index_on(&indexes, key) {
             Ok(idx
                 .partial_tuples()
                 .iter()
-                .filter_map(|rid| stored.parts.get(*rid).map(|t| (*rid, t)))
+                .filter_map(|rid| parts.get(*rid).map(|t| (*rid, t.clone())))
                 .collect())
         } else {
-            Ok(stored
-                .parts
+            Ok(parts
                 .scan()
                 .filter(|(_, t)| !t.defined_on(key))
+                .map(|(rid, t)| (rid, t.clone()))
                 .collect())
         }
     }
 
-    /// The stored hash index on exactly `key`, if one exists.  Lets
-    /// per-tuple probe loops (the index-nested-loop join) resolve the
-    /// relation and index once and then call
-    /// [`HashIndex::lookup`] per probe, instead of paying the catalog
-    /// lookup and index search on every tuple.
-    pub fn index(&self, relation: &str, key: &AttrSet) -> Result<Option<&HashIndex>> {
-        Ok(self.stored(relation)?.index_on(key))
+    /// A snapshot of the stored hash index on exactly `key`, if one exists
+    /// (one refcount bump).  Lets per-tuple probe loops (the
+    /// index-nested-loop join) resolve the index once and then call
+    /// [`HashIndex::lookup`] per probe without re-locking.
+    pub fn index(&self, relation: &str, key: &AttrSet) -> Result<Option<Arc<HashIndex>>> {
+        let store = self.store(relation)?;
+        let indexes = read(&store.indexes);
+        Ok(index_on(&indexes, key).cloned())
+    }
+
+    /// One atomic capture of a relation's partition snapshot *and* its
+    /// index snapshots, taken under a single lock acquisition: every
+    /// identifier an index yields resolves in the paired partition
+    /// snapshot, and vice versa — never half of a statement.  The executor
+    /// routes **all** reads of one query (scans, metadata for pruning and
+    /// join bounds, index probes) through this capture, so a concurrent
+    /// shape-creating insert can neither tear a stream nor desynchronize
+    /// the plan's pruning decisions from the tuples read.
+    ///
+    /// Cost note: while the returned `Arc<HashIndex>` handles are alive,
+    /// concurrent index maintenance copies at whole-index granularity
+    /// (unlike the heap's per-segment copy-on-write).  Prefer
+    /// [`Database::partition_snapshot`] when the reader will not probe
+    /// indexes.
+    pub fn relation_snapshot(
+        &self,
+        relation: &str,
+    ) -> Result<(PartitionSnapshot, Vec<Arc<HashIndex>>)> {
+        let store = self.store(relation)?;
+        let parts = read(&store.parts);
+        let indexes = read(&store.indexes);
+        Ok((
+            parts.snapshot(),
+            indexes.iter().map(|si| Arc::clone(&si.idx)).collect(),
+        ))
     }
 
     /// Whether an index on exactly this key exists for the relation.
     pub fn has_index(&self, relation: &str, key: &AttrSet) -> bool {
-        self.stored(relation)
-            .map(|s| s.index_on(key).is_some())
+        self.index(relation, key)
+            .map(|i| i.is_some())
             .unwrap_or(false)
     }
 
     /// Materializes a relation as a [`FlexRelation`] snapshot for the
     /// algebra and the query executor.
     pub fn snapshot(&self, relation: &str) -> Result<FlexRelation> {
-        let def = self.catalog.get(relation)?;
-        let stored = self.stored(relation)?;
+        let catalog = self.catalog();
+        let def = self.def(&catalog, relation)?;
+        let store = self.store(relation)?;
+        let tuples = read(&store.parts).all_tuples();
         Ok(FlexRelation::from_parts(
             def.name.clone(),
             def.scheme.clone(),
             def.domains.clone(),
             def.deps.clone(),
-            stored.parts.all_tuples(),
+            tuples,
         ))
     }
 
@@ -684,61 +988,194 @@ impl Database {
     /// order.  Partitions (and their shape memos) opened by the transaction
     /// are dropped again when their last tuple is undone, so the partition
     /// structure is restored exactly.
-    pub fn rollback(&mut self, mut txn: Transaction) -> Result<()> {
+    pub fn rollback(&self, mut txn: Transaction) -> Result<()> {
+        let catalog = self.catalog();
         for action in txn.drain_rollback() {
-            match action {
-                UndoAction::UndoInsert {
-                    relation,
-                    rid,
-                    tuple,
-                } => {
-                    self.undo_remove(&relation, rid, &tuple)?;
-                }
-                UndoAction::UndoDelete { relation, tuple } => {
-                    self.insert_unchecked(&relation, tuple)?;
-                }
-                UndoAction::UndoUpdate {
-                    relation,
-                    rid,
-                    replacement,
-                    previous,
-                } => {
-                    if self.undo_remove(&relation, rid, &replacement)? {
-                        self.insert_unchecked(&relation, previous)?;
-                    }
-                }
-            }
+            let relation = match &action {
+                UndoAction::UndoInsert { relation, .. }
+                | UndoAction::UndoDelete { relation, .. }
+                | UndoAction::UndoUpdate { relation, .. } => relation.clone(),
+            };
+            let def = self.def(&catalog, &relation)?;
+            let store = self.store(&relation)?;
+            let _g = lock(&store.gate);
+            let mut parts = write(&store.parts);
+            let mut indexes = write(&store.indexes);
+            apply_undo(def, &mut parts, &mut indexes, action);
         }
         Ok(())
     }
 
-    /// Removes the tuple a transaction wrote, for rollback.  The recorded
-    /// `rid` is only a fast path: a partition that was emptied (dropped)
-    /// and re-created within the transaction hands out fresh slots, so the
-    /// rid may now name a *different* live tuple — deleting blindly by rid
-    /// would destroy committed data.  The rid is therefore revalidated
-    /// against `expected` and, on mismatch, the tuple is located by value
-    /// in its shape's partition (equal tuples are interchangeable, so any
-    /// match preserves the multiset).  Returns whether a tuple was removed.
-    fn undo_remove(&mut self, relation: &str, rid: Rid, expected: &Tuple) -> Result<bool> {
-        let stored = self.stored_mut(relation)?;
-        let target = if stored.parts.get(rid) == Some(expected) {
-            Some(rid)
-        } else {
-            let sid = expected.shape_id();
-            stored.parts.partition(sid).and_then(|p| {
-                p.tuples()
-                    .find(|(_, t)| *t == expected)
-                    .map(|(loc, _)| Rid::new(sid, loc))
-            })
+    /// Runs `f` as one atomic transaction over the declared `relations`.
+    ///
+    /// The write locks (and writer gates) of every declared relation are
+    /// held for the whole call — acquired in name order, so concurrent
+    /// transactions cannot deadlock — which gives full isolation:
+    /// concurrent scanners observe either none or all of the transaction's
+    /// effects.  If `f` returns an error (or panics), every recorded action
+    /// is undone *before* the locks are released, restoring tuples, the
+    /// partition catalog and all index contents exactly; on success the
+    /// effects become visible atomically when the locks drop.
+    ///
+    /// Operations inside the scope see the transaction's own uncommitted
+    /// writes.  Accessing a relation that was not declared returns an
+    /// error.
+    pub fn transact<T, F>(&self, relations: &[&str], f: F) -> Result<T>
+    where
+        F: FnOnce(&mut TxnScope<'_>) -> Result<T>,
+    {
+        let catalog = self.catalog();
+        let mut names: Vec<&str> = relations.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        let stores: Vec<(String, Arc<RelStore>)> = names
+            .iter()
+            .map(|n| Ok((n.to_string(), self.store(n)?)))
+            .collect::<Result<_>>()?;
+        for (name, _) in &stores {
+            // Fail before locking anything if a declared relation has no
+            // definition (dropped concurrently).
+            catalog.get(name)?;
+        }
+        let _gates: Vec<MutexGuard<'_, ()>> = stores.iter().map(|(_, s)| lock(&s.gate)).collect();
+        let mut guards = Vec::with_capacity(stores.len());
+        let mut rels = BTreeMap::new();
+        for (i, (name, s)) in stores.iter().enumerate() {
+            guards.push((write(&s.parts), write(&s.indexes)));
+            rels.insert(name.clone(), i);
+        }
+        let mut scope = TxnScope {
+            catalog,
+            rels,
+            guards,
+            txn: Transaction::begin(),
         };
-        if let Some(target) = target {
-            if let Some(old) = stored.parts.delete(target) {
-                stored.unindex_all(target, &old);
-                return Ok(true);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut scope))) {
+            Ok(Ok(v)) => {
+                scope.txn.commit();
+                Ok(v)
+            }
+            Ok(Err(e)) => {
+                scope.rollback_in_place();
+                Err(e)
+            }
+            Err(payload) => {
+                scope.rollback_in_place();
+                resume_unwind(payload)
             }
         }
-        Ok(false)
+    }
+}
+
+/// The handle a [`Database::transact`] closure operates through: every
+/// mutation is recorded in an undo log and applied against write locks held
+/// for the whole transaction, so the outside world sees all-or-nothing.
+pub struct TxnScope<'a> {
+    catalog: Arc<Catalog>,
+    rels: BTreeMap<String, usize>,
+    #[allow(clippy::type_complexity)]
+    guards: Vec<(
+        RwLockWriteGuard<'a, PartitionedHeap>,
+        RwLockWriteGuard<'a, IndexSet>,
+    )>,
+    txn: Transaction,
+}
+
+impl TxnScope<'_> {
+    fn slot(&self, relation: &str) -> Result<usize> {
+        self.rels.get(relation).copied().ok_or_else(|| {
+            CoreError::Invalid(format!(
+                "relation {} was not declared by this transaction",
+                relation
+            ))
+        })
+    }
+
+    /// Number of undo actions recorded so far.
+    pub fn pending_actions(&self) -> usize {
+        self.txn.len()
+    }
+
+    /// Inserts a tuple with full type checking (the transaction sees its
+    /// own prior writes), recording the undo action.
+    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<Rid> {
+        let i = self.slot(relation)?;
+        let catalog = Arc::clone(&self.catalog);
+        let def = catalog.get(relation)?;
+        let (parts, indexes) = &mut self.guards[i];
+        let rid = checked_insert_in(def, parts, indexes, t.clone())?;
+        self.txn.record(UndoAction::UndoInsert {
+            relation: relation.to_string(),
+            rid,
+            tuple: t,
+        });
+        Ok(rid)
+    }
+
+    /// Deletes a tuple by identifier, recording the undo action.
+    pub fn delete(&mut self, relation: &str, rid: Rid) -> Result<Tuple> {
+        let i = self.slot(relation)?;
+        let (parts, indexes) = &mut self.guards[i];
+        let old = apply_delete(parts, indexes, rid)
+            .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))?;
+        self.txn.record(UndoAction::UndoDelete {
+            relation: relation.to_string(),
+            tuple: old.clone(),
+        });
+        Ok(old)
+    }
+
+    /// Replaces the tuple under `rid` (constraints re-checked, shape
+    /// changes move partitions), recording the undo action.
+    pub fn update(&mut self, relation: &str, rid: Rid, new: Tuple) -> Result<(Rid, Tuple)> {
+        let i = self.slot(relation)?;
+        let catalog = Arc::clone(&self.catalog);
+        let def = catalog.get(relation)?;
+        let (parts, indexes) = &mut self.guards[i];
+        let (new_rid, old) = update_in(def, parts, indexes, rid, new.clone(), relation)?;
+        self.txn.record(UndoAction::UndoUpdate {
+            relation: relation.to_string(),
+            rid: new_rid,
+            replacement: new,
+            previous: old.clone(),
+        });
+        Ok((new_rid, old))
+    }
+
+    /// Number of live tuples of a declared relation, *including* the
+    /// transaction's own uncommitted writes.
+    pub fn count(&self, relation: &str) -> Result<usize> {
+        let i = self.slot(relation)?;
+        Ok(self.guards[i].0.len())
+    }
+
+    /// Scans a declared relation, including the transaction's own
+    /// uncommitted writes.
+    pub fn scan(&self, relation: &str) -> Result<Vec<(Rid, Tuple)>> {
+        let i = self.slot(relation)?;
+        Ok(self.guards[i]
+            .0
+            .scan()
+            .map(|(rid, t)| (rid, t.clone()))
+            .collect())
+    }
+
+    fn rollback_in_place(&mut self) {
+        let catalog = Arc::clone(&self.catalog);
+        for action in self.txn.drain_rollback() {
+            let relation = match &action {
+                UndoAction::UndoInsert { relation, .. }
+                | UndoAction::UndoDelete { relation, .. }
+                | UndoAction::UndoUpdate { relation, .. } => relation.clone(),
+            };
+            let (Ok(i), Ok(def)) = (self.slot(&relation), catalog.get(&relation)) else {
+                // Actions are only recorded through this scope, so the
+                // relation is always declared; be defensive anyway.
+                continue;
+            };
+            let (parts, indexes) = &mut self.guards[i];
+            apply_undo(def, parts, indexes, action);
+        }
     }
 }
 
@@ -764,12 +1201,21 @@ mod tests {
     }
 
     fn db_with_employees(n: usize) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(employee_def()).unwrap();
         for t in generate_employees(&EmployeeConfig::clean(n)) {
             db.insert("employee", t).unwrap();
         }
         db
+    }
+
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<PartitionSnapshot>();
+        assert_send_sync::<SnapshotScan>();
+        assert_send_sync::<Tuple>();
     }
 
     #[test]
@@ -813,7 +1259,7 @@ mod tests {
         let secretaries: Vec<_> = db
             .scan_where("employee", |s| need.is_subset(s))
             .unwrap()
-            .map(|(_, t)| t.clone())
+            .map(|(_, t)| t)
             .collect();
         assert!(!secretaries.is_empty());
         assert!(secretaries
@@ -840,9 +1286,9 @@ mod tests {
         assert!(secretaries
             .iter()
             .all(|(_, t)| t.get_name("jobtype") == Some(&Value::tag("secretary"))));
-        // The returned rids locate the borrowed tuples.
+        // The returned rids locate the tuples.
         for (rid, t) in &secretaries {
-            assert_eq!(db.get("employee", *rid).unwrap(), Some(*t));
+            assert_eq!(db.get("employee", *rid).unwrap().as_ref(), Some(t));
         }
     }
 
@@ -861,7 +1307,7 @@ mod tests {
 
     #[test]
     fn type_checking_is_enforced_on_insert() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(employee_def()).unwrap();
         let bad_variant = Tuple::new()
             .with("empno", 1)
@@ -888,7 +1334,7 @@ mod tests {
         // Every tuple is checked twice: via check_insert (always the full,
         // unmemoized path) and via insert (memoized after the first tuple of
         // each shape).  The verdicts must agree tuple for tuple.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(employee_def()).unwrap();
         let tuples = generate_employees(&EmployeeConfig::with_violations(400, 0.2));
         let mut rejects_full = 0usize;
@@ -906,7 +1352,7 @@ mod tests {
 
     #[test]
     fn delete_and_update() {
-        let mut db = db_with_employees(10);
+        let db = db_with_employees(10);
         let (rid, t) = db.scan("employee").unwrap()[0].clone();
         let removed = db.delete("employee", rid).unwrap();
         assert_eq!(removed, t);
@@ -933,12 +1379,12 @@ mod tests {
             )
             .unwrap();
         assert_eq!(still_there.len(), 1);
-        assert_eq!(still_there[0].1, &original);
+        assert_eq!(still_there[0].1, original);
     }
 
     #[test]
     fn update_can_change_shape_and_partition() {
-        let mut db = db_with_employees(30);
+        let db = db_with_employees(30);
         let before = db.partitions("employee").unwrap();
         let (rid, original) = db
             .scan("employee")
@@ -959,13 +1405,13 @@ mod tests {
         assert_ne!(new_rid, rid, "a shape change moves the tuple");
         assert_eq!(
             db.get("employee", new_rid).unwrap(),
-            Some(&changed),
+            Some(changed.clone()),
             "the returned rid locates the moved tuple"
         );
         assert_eq!(db.get("employee", rid).unwrap(), None);
         let after = db.partitions("employee").unwrap();
         assert_eq!(before.len(), after.len());
-        let count_for = |parts: &[PartitionInfo], shape: &AttrSet| {
+        let count_for = |parts: &[crate::partition::PartitionInfo], shape: &AttrSet| {
             parts
                 .iter()
                 .find(|p| p.shape == *shape)
@@ -993,7 +1439,7 @@ mod tests {
 
     #[test]
     fn transaction_rollback_restores_state() {
-        let mut db = db_with_employees(5);
+        let db = db_with_employees(5);
         let before = db.count("employee").unwrap();
         let mut txn = Transaction::begin();
         let extra = generate_employees(&EmployeeConfig {
@@ -1017,7 +1463,7 @@ mod tests {
     fn rollback_across_partitions_restores_heaps_and_memo_state() {
         use std::collections::BTreeSet;
         // Start from a single-shape instance: two secretaries.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(employee_def()).unwrap();
         let secretary = |empno: i64| {
             Tuple::new()
@@ -1116,8 +1562,9 @@ mod tests {
 
     /// A canonical, order-insensitive snapshot of every index of a relation.
     fn index_snapshot(db: &Database, relation: &str) -> Vec<CanonicalIndex> {
-        db.storage[relation]
-            .indexes
+        let store = db.store(relation).unwrap();
+        let indexes = read(&store.indexes);
+        indexes
             .iter()
             .map(|si| {
                 (
@@ -1135,7 +1582,7 @@ mod tests {
 
     #[test]
     fn secondary_index_lifecycle_and_stats() {
-        let mut db = db_with_employees(60);
+        let db = db_with_employees(60);
         // Auto indexes exist for the two determinants; none on name yet.
         let infos = db.indexes("employee").unwrap();
         assert_eq!(infos.len(), 2);
@@ -1179,7 +1626,7 @@ mod tests {
 
     #[test]
     fn index_info_tracks_partial_tuples() {
-        let mut db = db_with_employees(90);
+        let db = db_with_employees(90);
         // typing-speed exists only on secretary-shaped tuples: the others are
         // reachable solely through the partial list.
         db.create_index("employee", attrs!["typing-speed"]).unwrap();
@@ -1204,7 +1651,7 @@ mod tests {
 
     #[test]
     fn update_txn_rollback_restores_tuples_partitions_and_indexes() {
-        let mut db = db_with_employees(30);
+        let db = db_with_employees(30);
         // A secondary index participates in the restore as well.
         db.create_index("employee", attrs!["name"]).unwrap();
         let parts_before = db.partitions("employee").unwrap();
@@ -1227,7 +1674,7 @@ mod tests {
         let (new_rid, _) = db
             .update_txn(&mut txn, "employee", rid, changed.clone())
             .unwrap();
-        assert_eq!(db.get("employee", new_rid).unwrap(), Some(&changed));
+        assert_eq!(db.get("employee", new_rid).unwrap(), Some(changed));
         assert_eq!(txn.len(), 1, "the update recorded its undo action");
 
         db.rollback(txn).unwrap();
@@ -1250,12 +1697,12 @@ mod tests {
             )
             .unwrap();
         assert_eq!(found.len(), 1);
-        assert_eq!(found[0].1, &original);
+        assert_eq!(found[0].1, original);
     }
 
     #[test]
     fn failed_update_restores_every_index_exactly() {
-        let mut db = db_with_employees(40);
+        let db = db_with_employees(40);
         db.create_index("employee", attrs!["name"]).unwrap();
         db.create_index("employee", attrs!["typing-speed"]).unwrap();
         let parts_before = db.partitions("employee").unwrap();
@@ -1295,7 +1742,7 @@ mod tests {
         assert_eq!(tuples_after, tuples_before);
         // The restored tuple is live under its original identifier again
         // (the freed slot is reused by the restore).
-        assert_eq!(db.get("employee", rid).unwrap(), Some(&original));
+        assert_eq!(db.get("employee", rid).unwrap(), Some(original));
     }
 
     #[test]
@@ -1319,7 +1766,7 @@ mod tests {
         // both live tuples — the partition drops.  On rollback the two
         // UndoDeletes repopulate a fresh heap in reverse order, so the
         // update's recorded rid now points at q2.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(employee_def()).unwrap();
         let r1 = db.insert("employee", secretary(1)).unwrap();
         let r2 = db.insert("employee", secretary(2)).unwrap();
@@ -1348,7 +1795,7 @@ mod tests {
         // UndoInsert drift: insert t3, then delete q1 and t3 (partition
         // drops).  Rollback re-inserts t3 and q1 into fresh slots, so the
         // UndoInsert rid points at q1 — deleting by rid would destroy it.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(employee_def()).unwrap();
         let r1 = db.insert("employee", secretary(1)).unwrap();
         let before: std::collections::BTreeSet<Tuple> = db
@@ -1374,9 +1821,177 @@ mod tests {
 
     #[test]
     fn drop_relation_removes_storage() {
-        let mut db = db_with_employees(3);
+        let db = db_with_employees(3);
         db.drop_relation("employee").unwrap();
         assert!(db.scan("employee").is_err());
         assert!(db.drop_relation("employee").is_err());
+    }
+
+    #[test]
+    fn clone_is_a_shared_handle_and_fork_is_independent() {
+        let db = db_with_employees(5);
+        let handle = db.clone();
+        let fork = db.fork();
+        let mut extra = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+        extra.insert("empno", 999);
+        db.insert("employee", extra).unwrap();
+        assert_eq!(handle.count("employee").unwrap(), 6, "handles share state");
+        assert_eq!(fork.count("employee").unwrap(), 5, "forks do not");
+        // And the fork is writable on its own.
+        let (rid, _) = fork.scan("employee").unwrap()[0].clone();
+        fork.delete("employee", rid).unwrap();
+        assert_eq!(fork.count("employee").unwrap(), 4);
+        assert_eq!(db.count("employee").unwrap(), 6);
+    }
+
+    #[test]
+    fn snapshot_scans_are_isolated_from_concurrent_writes() {
+        let db = db_with_employees(20);
+        // Take the snapshot-backed iterator, then mutate heavily.
+        let mut stream = db.scan_where("employee", |_| true).unwrap();
+        let first = stream.next().expect("non-empty");
+        let rids: Vec<Rid> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        for rid in rids {
+            db.delete("employee", rid).unwrap();
+        }
+        assert_eq!(db.count("employee").unwrap(), 0);
+        // The open snapshot still yields all remaining original tuples.
+        let rest: Vec<_> = stream.collect();
+        assert_eq!(rest.len(), 19, "snapshot unaffected by deletes");
+        let _ = first;
+        // A fresh scan sees the empty state.
+        assert!(db.scan("employee").unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads_all_land() {
+        let db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 50;
+        std::thread::scope(|s| {
+            for w in 0..THREADS {
+                let db = db.clone();
+                s.spawn(move || {
+                    let base = generate_employees(&EmployeeConfig::clean(PER_THREAD));
+                    for (i, mut t) in base.into_iter().enumerate() {
+                        t.insert("empno", (w * PER_THREAD + i) as i64 + 10_000);
+                        t.insert("name", format!("w{}-{}", w, i));
+                        db.insert("employee", t).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(db.count("employee").unwrap(), THREADS * PER_THREAD);
+        // Every rid is unique and resolvable, and the FD index is complete.
+        let rows = db.scan("employee").unwrap();
+        let rids: std::collections::BTreeSet<Rid> = rows.iter().map(|(r, _)| *r).collect();
+        assert_eq!(rids.len(), THREADS * PER_THREAD);
+        let info = db
+            .index_info("employee", &attrs!["empno"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(info.len, THREADS * PER_THREAD);
+        assert_eq!(info.distinct_keys, THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn transact_commits_atomically_and_rolls_back_exactly() {
+        let db = db_with_employees(10);
+        let parts_before = db.partitions("employee").unwrap();
+        let idx_before = index_snapshot(&db, "employee");
+        let count_before = db.count("employee").unwrap();
+
+        // A failing transaction: all inserted tuples vanish, partition
+        // catalog and index contents are byte-identical.
+        let err = db.transact(&["employee"], |tx| {
+            let extra = generate_employees(&EmployeeConfig {
+                n: 6,
+                violation_rate: 0.0,
+                seed: 7,
+            });
+            for (i, mut t) in extra.into_iter().enumerate() {
+                t.insert("empno", 5000 + i as i64);
+                t.insert("name", format!("tx{}", i));
+                tx.insert("employee", t)?;
+            }
+            assert_eq!(tx.count("employee")?, count_before + 6);
+            Err::<(), _>(CoreError::Invalid("abort".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(db.count("employee").unwrap(), count_before);
+        assert_eq!(db.partitions("employee").unwrap(), parts_before);
+        assert_eq!(index_snapshot(&db, "employee"), idx_before);
+
+        // A committing transaction: effects visible afterwards.
+        let inserted = db
+            .transact(&["employee"], |tx| {
+                let mut t = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+                t.insert("empno", 7777);
+                t.insert("name", "committed");
+                tx.insert("employee", t)
+            })
+            .unwrap();
+        assert_eq!(
+            db.get("employee", inserted)
+                .unwrap()
+                .unwrap()
+                .get_name("name"),
+            Some(&Value::from("committed"))
+        );
+
+        // Undeclared relations are rejected inside the scope.
+        let res = db.transact(&["employee"], |tx| {
+            tx.insert("nope", Tuple::new().with("x", 1))
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn transact_update_and_delete_roll_back_with_rid_drift() {
+        let db = Database::new();
+        db.create_relation(employee_def()).unwrap();
+        let secretary = |empno: i64| {
+            Tuple::new()
+                .with("empno", empno)
+                .with("name", format!("sec{}", empno))
+                .with("salary", 4000.0 + empno as f64)
+                .with("jobtype", Value::tag("secretary"))
+                .with("typing-speed", 300)
+                .with("foreign-languages", "french")
+        };
+        let r1 = db.insert("employee", secretary(1)).unwrap();
+        let r2 = db.insert("employee", secretary(2)).unwrap();
+        let before: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let parts_before = db.partitions("employee").unwrap();
+        // Update then empty the partition inside the transaction, then fail.
+        let res = db.transact(&["employee"], |tx| {
+            let mut changed = secretary(1);
+            changed.insert("salary", 1.0);
+            let (new_rid, _) = tx.update("employee", r1, changed)?;
+            tx.delete("employee", new_rid)?;
+            tx.delete("employee", r2)?;
+            assert_eq!(tx.count("employee")?, 0);
+            Err::<(), _>(CoreError::Invalid("abort".into()))
+        });
+        assert!(res.is_err());
+        let after: std::collections::BTreeSet<Tuple> = db
+            .scan("employee")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(after, before);
+        assert_eq!(db.partitions("employee").unwrap(), parts_before);
     }
 }

@@ -8,11 +8,20 @@
 //! shape; see [`crate::partition`] for the shape-partitioned store built on
 //! top and for the [`Rid`](crate::partition::Rid) identifiers that pair a
 //! partition with a `TupleId`.
+//!
+//! Segments are held behind [`Arc`]s so that cloning a heap (which happens
+//! when a concurrent scan snapshot triggers copy-on-write of its partition,
+//! see [`crate::partition::PartitionSnapshot`]) is a per-segment refcount
+//! bump; a write then deep-copies only the one ≤[`SEGMENT_SIZE`]-slot
+//! segment it touches.
+
+use std::sync::Arc;
 
 use flexrel_core::tuple::Tuple;
 
-/// Number of tuple slots per segment.
-const SEGMENT_SIZE: usize = 1024;
+/// Number of tuple slots per segment — also the worst-case number of tuples
+/// a single write deep-copies when copy-on-write hits a shared segment.
+pub const SEGMENT_SIZE: usize = 1024;
 
 /// A stable identifier of a stored tuple.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -22,6 +31,13 @@ pub struct TupleId {
 }
 
 impl TupleId {
+    /// Builds an identifier from its parts.  Only identifiers observed from
+    /// [`Heap::insert`] / [`Heap::scan`] (or snapshot iteration) name live
+    /// tuples; arbitrary pairs simply resolve to `None` on [`Heap::get`].
+    pub fn new(segment: u32, slot: u32) -> Self {
+        TupleId { segment, slot }
+    }
+
     /// The segment this tuple lives in.
     pub fn segment(&self) -> u32 {
         self.segment
@@ -60,7 +76,7 @@ impl Segment {
 /// tombstoned slots.
 #[derive(Clone, Debug, Default)]
 pub struct Heap {
-    segments: Vec<Segment>,
+    segments: Vec<Arc<Segment>>,
     free: Vec<TupleId>,
     live: usize,
 }
@@ -89,17 +105,19 @@ impl Heap {
     pub fn insert(&mut self, t: Tuple) -> TupleId {
         self.live += 1;
         if let Some(tid) = self.free.pop() {
-            self.segments[tid.segment as usize].slots[tid.slot as usize] = Some(t);
+            let seg = Arc::make_mut(&mut self.segments[tid.segment as usize]);
+            seg.slots[tid.slot as usize] = Some(t);
             return tid;
         }
         if self.segments.last().map(|s| s.is_full()).unwrap_or(true) {
-            self.segments.push(Segment::new());
+            self.segments.push(Arc::new(Segment::new()));
         }
         let segment = (self.segments.len() - 1) as u32;
-        let seg = self
-            .segments
-            .last_mut()
-            .expect("just ensured a segment exists");
+        let seg = Arc::make_mut(
+            self.segments
+                .last_mut()
+                .expect("just ensured a segment exists"),
+        );
         seg.slots.push(Some(t));
         TupleId {
             segment,
@@ -117,11 +135,11 @@ impl Heap {
 
     /// Deletes the tuple under `tid`, returning it if it was live.
     pub fn delete(&mut self, tid: TupleId) -> Option<Tuple> {
-        let slot = self
-            .segments
-            .get_mut(tid.segment as usize)
-            .and_then(|s| s.slots.get_mut(tid.slot as usize))?;
-        let old = slot.take();
+        // Probe before copy-on-write: deleting a dead slot must not clone
+        // the segment.
+        self.get(tid)?;
+        let seg = Arc::make_mut(self.segments.get_mut(tid.segment as usize)?);
+        let old = seg.slots.get_mut(tid.slot as usize)?.take();
         if old.is_some() {
             self.live -= 1;
             self.free.push(tid);
@@ -131,14 +149,33 @@ impl Heap {
 
     /// Replaces the tuple under `tid`, returning the previous value.
     pub fn replace(&mut self, tid: TupleId, t: Tuple) -> Option<Tuple> {
-        let slot = self
-            .segments
-            .get_mut(tid.segment as usize)
-            .and_then(|s| s.slots.get_mut(tid.slot as usize))?;
+        self.get(tid)?;
+        let seg = Arc::make_mut(self.segments.get_mut(tid.segment as usize)?);
+        let slot = seg.slots.get_mut(tid.slot as usize)?;
         if slot.is_none() {
             return None;
         }
         slot.replace(t)
+    }
+
+    /// Number of segments (live or not) the heap has grown to.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of slots segment `si` currently holds (≤ [`SEGMENT_SIZE`]).
+    pub fn segment_len(&self, si: usize) -> usize {
+        self.segments.get(si).map(|s| s.slots.len()).unwrap_or(0)
+    }
+
+    /// The tuple in slot `(si, slot)`, if that slot is live.  Used by
+    /// snapshot iterators that walk a heap positionally (see
+    /// [`crate::partition::SnapshotScan`]).
+    pub fn slot_get(&self, si: usize, slot: usize) -> Option<&Tuple> {
+        self.segments
+            .get(si)
+            .and_then(|s| s.slots.get(slot))
+            .and_then(|s| s.as_ref())
     }
 
     /// Iterates over all live tuples with their identifiers.

@@ -20,6 +20,15 @@
 //! the algebra (`flexrel-algebra`) operates on materialized
 //! [`FlexRelation`](flexrel_core::relation::FlexRelation) snapshots obtained
 //! via [`Database::snapshot`].
+//!
+//! The [`Database`] is **concurrent**: it is a cheap cloneable handle onto
+//! `Send + Sync` shared state with per-relation reader/writer lock sharding
+//! (writer gate, partition-catalog lock, index-set lock), point-in-time
+//! [`PartitionSnapshot`] scans that never hold a lock while streaming, and
+//! an atomic multi-statement transaction scope
+//! ([`Database::transact`]/[`TxnScope`]) whose rollback restores tuples,
+//! partition catalog and indexes exactly.  See the [`db`] module docs for
+//! the lock hierarchy.
 
 #![deny(missing_docs)]
 
@@ -31,8 +40,11 @@ pub mod partition;
 pub mod txn;
 
 pub use catalog::{Catalog, RelationDef};
-pub use db::{Database, IndexInfo, PartitionInfo};
+pub use db::{Database, IndexInfo, TxnScope};
 pub use heap::{Heap, TupleId};
 pub use index::HashIndex;
-pub use partition::{DepGuard, Partition, PartitionedHeap, Rid, ShapeMemo};
+pub use partition::{
+    DepGuard, Partition, PartitionInfo, PartitionSnapshot, PartitionedHeap, Rid, ShapeMemo,
+    SnapshotScan,
+};
 pub use txn::{Transaction, UndoAction};

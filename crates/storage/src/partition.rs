@@ -25,6 +25,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use flexrel_core::attr::AttrSet;
 use flexrel_core::tuple::{ShapeId, Tuple};
@@ -154,6 +155,24 @@ impl Partition {
     }
 }
 
+/// Per-partition catalog metadata: the shape, the DNF disjunct it satisfies
+/// and its live tuple count.  Returned by
+/// [`Database::partitions`](crate::db::Database::partitions) and
+/// [`PartitionSnapshot::infos`]; the optimizer's pruning pass and the
+/// executor's cost gates consume these instead of touching tuples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionInfo {
+    /// The interned shape id (the partition key).
+    pub shape_id: ShapeId,
+    /// The shape `attr(t)` shared by every tuple of the partition.
+    pub shape: AttrSet,
+    /// The DNF disjunct of the relation's scheme the shape satisfies (for
+    /// an admitted shape this is the shape itself).
+    pub disjunct: AttrSet,
+    /// Number of live tuples in the partition.
+    pub tuples: usize,
+}
+
 /// A shape-partitioned heap: one segment [`Heap`] per distinct live tuple
 /// shape, keyed by [`ShapeId`].
 ///
@@ -163,9 +182,14 @@ impl Partition {
 /// set, including the memo state, always reflects exactly the live shapes.
 /// Rolling back a transaction therefore restores not only the tuples but
 /// the partition and memo structure as well.
+///
+/// Each partition sits behind an [`Arc`]: taking a [`PartitionSnapshot`] is
+/// a handful of refcount bumps, and a write that lands while a snapshot is
+/// alive copies (via [`Arc::make_mut`] down to the segment level, see
+/// [`crate::heap`]) only what it touches — snapshots are immutable.
 #[derive(Clone, Debug, Default)]
 pub struct PartitionedHeap {
-    parts: BTreeMap<ShapeId, Partition>,
+    parts: BTreeMap<ShapeId, Arc<Partition>>,
     live: usize,
 }
 
@@ -192,12 +216,25 @@ impl PartitionedHeap {
 
     /// The partition for a shape, if any tuple of that shape is live.
     pub fn partition(&self, shape: ShapeId) -> Option<&Partition> {
-        self.parts.get(&shape)
+        self.parts.get(&shape).map(|p| &**p)
     }
 
     /// Iterates over the live partitions in `ShapeId` order.
     pub fn partitions(&self) -> impl Iterator<Item = (ShapeId, &Partition)> + '_ {
-        self.parts.iter().map(|(sid, p)| (*sid, p))
+        self.parts.iter().map(|(sid, p)| (*sid, &**p))
+    }
+
+    /// An immutable point-in-time view of every live partition (cheap: one
+    /// refcount bump per partition).  The snapshot never changes, no matter
+    /// what writers do afterwards — the foundation of torn-read-free scans.
+    pub fn snapshot(&self) -> PartitionSnapshot {
+        PartitionSnapshot {
+            parts: self
+                .parts
+                .iter()
+                .map(|(sid, p)| (*sid, Arc::clone(p)))
+                .collect(),
+        }
     }
 
     /// The union of all live shapes — the exact `⋃ attr(t)` over the stored
@@ -216,11 +253,12 @@ impl PartitionedHeap {
     /// Panics if a new partition is needed but `memo` is `None`.
     pub fn insert(&mut self, shape: ShapeId, t: Tuple, memo: Option<ShapeMemo>) -> Rid {
         let part = self.parts.entry(shape).or_insert_with(|| {
-            Partition::new(
+            Arc::new(Partition::new(
                 t.attrs(),
                 memo.expect("a ShapeMemo is required to open a new partition"),
-            )
+            ))
         });
+        let part = Arc::make_mut(part);
         debug_assert_eq!(part.shape, *t.shape(), "tuple routed to wrong partition");
         let loc = part.heap.insert(t);
         self.live += 1;
@@ -236,6 +274,9 @@ impl PartitionedHeap {
     /// the last tuple of a partition drops the partition (and its memo).
     pub fn delete(&mut self, rid: Rid) -> Option<Tuple> {
         let part = self.parts.get_mut(&rid.shape)?;
+        // Probe before copy-on-write: deleting a dead rid must not clone.
+        part.heap.get(rid.loc)?;
+        let part = Arc::make_mut(part);
         let old = part.heap.delete(rid.loc)?;
         self.live -= 1;
         if part.heap.is_empty() {
@@ -272,6 +313,142 @@ impl PartitionedHeap {
     /// Materializes all live tuples.
     pub fn all_tuples(&self) -> Vec<Tuple> {
         self.scan().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+/// An immutable point-in-time view of a relation's partition catalog: the
+/// live partitions (shared via [`Arc`]) as of the moment the snapshot was
+/// taken under the partition-catalog lock.
+///
+/// Everything a query derives about a relation — the partitions a pruned
+/// scan visits, the attribute bounds ([`PartitionSnapshot::attrs_union`])
+/// that size joins, the [`PartitionInfo`] metadata behind cost decisions —
+/// comes from **one** snapshot, so a concurrent shape-creating insert can
+/// neither tear a streaming scan nor desynchronize the optimizer's pruning
+/// decisions from the tuples actually read.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionSnapshot {
+    parts: Vec<(ShapeId, Arc<Partition>)>,
+}
+
+impl PartitionSnapshot {
+    /// Total number of live tuples across the snapshotted partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// Whether the snapshot holds no tuple.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of partitions in the snapshot.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Iterates over the snapshotted partitions in `ShapeId` order.
+    pub fn partitions(&self) -> impl Iterator<Item = (ShapeId, &Partition)> + '_ {
+        self.parts.iter().map(|(sid, p)| (*sid, &**p))
+    }
+
+    /// Per-partition catalog metadata, in `ShapeId` order.
+    pub fn infos(&self) -> Vec<PartitionInfo> {
+        self.parts
+            .iter()
+            .map(|(sid, p)| PartitionInfo {
+                shape_id: *sid,
+                shape: p.shape().clone(),
+                disjunct: p.memo().disjunct.clone(),
+                tuples: p.len(),
+            })
+            .collect()
+    }
+
+    /// The union of the snapshotted shapes — the exact `⋃ attr(t)` as of
+    /// the snapshot.
+    pub fn attrs_union(&self) -> AttrSet {
+        self.parts
+            .iter()
+            .fold(AttrSet::empty(), |acc, (_, p)| acc.union(p.shape()))
+    }
+
+    /// The tuple stored under `rid` in the snapshot, if it was live when
+    /// the snapshot was taken.
+    pub fn get(&self, rid: Rid) -> Option<&Tuple> {
+        let i = self
+            .parts
+            .binary_search_by_key(&rid.shape, |(sid, _)| *sid)
+            .ok()?;
+        self.parts[i].1.heap.get(rid.loc)
+    }
+
+    /// Keeps only the partitions whose shape the predicate admits — the
+    /// pruning step, evaluated once per partition.
+    pub fn retain_shapes<F>(mut self, mut admits: F) -> Self
+    where
+        F: FnMut(&AttrSet) -> bool,
+    {
+        self.parts.retain(|(_, p)| admits(p.shape()));
+        self
+    }
+
+    /// Consumes the snapshot into its partition list, e.g. to distribute
+    /// the partitions over parallel scan workers.
+    pub fn into_parts(self) -> Vec<(ShapeId, Arc<Partition>)> {
+        self.parts
+    }
+
+    /// Consumes the snapshot into an owned iterator over its live tuples.
+    /// The iterator is self-contained (it keeps the partitions alive), so
+    /// it can outlive every lock and stream across threads.
+    pub fn scan(self) -> SnapshotScan {
+        SnapshotScan {
+            parts: self.parts,
+            part: 0,
+            segment: 0,
+            slot: 0,
+        }
+    }
+}
+
+/// An owned streaming iterator over the live tuples of a
+/// [`PartitionSnapshot`], yielding `(Rid, Tuple)` pairs partition by
+/// partition.  Tuples are cloned out of the snapshot (cheap: values are
+/// refcounted); the underlying partitions are immutable, so the iterator is
+/// unaffected by concurrent writes.
+#[derive(Clone, Debug)]
+pub struct SnapshotScan {
+    parts: Vec<(ShapeId, Arc<Partition>)>,
+    part: usize,
+    segment: usize,
+    slot: usize,
+}
+
+impl Iterator for SnapshotScan {
+    type Item = (Rid, Tuple);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (sid, part) = self.parts.get(self.part)?;
+            if self.segment >= part.heap.segment_count() {
+                self.part += 1;
+                self.segment = 0;
+                self.slot = 0;
+                continue;
+            }
+            if self.slot >= part.heap.segment_len(self.segment) {
+                self.segment += 1;
+                self.slot = 0;
+                continue;
+            }
+            let slot = self.slot;
+            self.slot += 1;
+            if let Some(t) = part.heap.slot_get(self.segment, slot) {
+                let rid = Rid::new(*sid, TupleId::new(self.segment as u32, slot as u32));
+                return Some((rid, t.clone()));
+            }
+        }
     }
 }
 

@@ -2,11 +2,18 @@
 //!
 //! Transactions collect undo actions for every mutation applied through the
 //! [`Database`](crate::db::Database) facade; rolling back replays them in
-//! reverse order.  There is no concurrency control — the substrate is
-//! single-threaded by design (the paper's contribution is orthogonal to
-//! isolation), but aborts must restore consistency exactly because a type
+//! reverse order.  Aborts must restore consistency exactly because a type
 //! error in the middle of a multi-tuple load must not leave half the batch
 //! behind.
+//!
+//! Two usage modes exist.  The *statement-level* mode here
+//! (`insert_txn`/`delete_txn`/`update_txn` + `rollback`) makes each
+//! statement atomic to concurrent readers but lets them observe the
+//! transaction half-done between statements; the *scope* mode
+//! ([`Database::transact`](crate::db::Database::transact)) holds the
+//! declared relations' write locks for the whole transaction and is fully
+//! isolated.  Both restore the partition catalog and every index exactly on
+//! abort.
 
 use flexrel_core::tuple::Tuple;
 

@@ -22,4 +22,4 @@ pub use employee::{
     EmployeeConfig, JobType,
 };
 pub use schemagen::{random_ead, random_scheme, SchemeGenConfig};
-pub use widegen::{generate_wide, wide_relation, WideConfig};
+pub use widegen::{generate_wide, wide_kind_tag, wide_relation, wide_variant_attr, WideConfig};

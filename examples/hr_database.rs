@@ -11,7 +11,7 @@ use flexrel_storage::{Database, RelationDef, Transaction};
 use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))?;
 
     // Bulk load inside a transaction; the load is rolled back if any tuple
@@ -29,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT empno, products FROM employee WHERE jobtype = 'salesman' GUARD products",
     ] {
         let q = parse(frql)?;
-        let plan = plan_query(&q, db.catalog())?;
-        let (optimized, notes) = optimize(plan, db.catalog());
+        let plan = plan_query(&q, &db.catalog())?;
+        let (optimized, notes) = optimize(plan, &db.catalog());
         let rows = execute(&optimized, &db)?;
         println!("\n{}\n  -> {} rows, {} optimizer rewrites", frql, rows.len(), notes.len());
         for n in &notes {

@@ -10,7 +10,7 @@ use flexrel_storage::{Database, RelationDef};
 use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig, JobType};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))?;
     for t in generate_employees(&EmployeeConfig::clean(20_000)) {
         db.insert("employee", t)?;
@@ -21,9 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT empno, typing-speed FROM employee \
          WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
     )?;
-    let naive = plan_query(&q, db.catalog())?;
+    let naive = plan_query(&q, &db.catalog())?;
     println!("naive plan:\n{}", naive);
-    let (optimized, notes) = optimize(naive.clone(), db.catalog());
+    let (optimized, notes) = optimize(naive.clone(), &db.catalog());
     println!("optimized plan:\n{}", optimized);
     for n in &notes {
         println!("rewrite [{}]:\n{}\n", n.rule, n.detail);
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = LogicalPlan::UnionAll { inputs: branches }
         .filter(Predicate::eq("jobtype", Value::tag("salesman")));
     println!("\nfragmented plan:\n{}", plan);
-    let (pruned, notes) = optimize(plan, db.catalog());
+    let (pruned, notes) = optimize(plan, &db.catalog());
     println!("after variant pruning:\n{}", pruned);
     println!(
         "{} branches were pruned",

@@ -21,7 +21,7 @@ use flexrel_workload::{
 };
 
 fn employee_db(n: usize, seed: u64) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))
         .unwrap();
     for t in generate_employees(&EmployeeConfig {
@@ -58,7 +58,7 @@ proptest! {
     /// unindexed key (the fallback itself).
     #[test]
     fn lookup_eq_agrees_with_scan_fallback(seed in 0u64..500, n in 30usize..200, job_idx in 0usize..3) {
-        let mut db = employee_db(n, seed);
+        let db = employee_db(n, seed);
         // Secondary index on a variant attribute: salesman/engineer tuples
         // land in the partial list.
         db.create_index("employee", attrs!["typing-speed"]).unwrap();
@@ -116,7 +116,7 @@ proptest! {
         ];
         for frql in queries {
             let q = parse(&frql).unwrap();
-            let plan = plan_query(&q, db.catalog()).unwrap();
+            let plan = plan_query(&q, &db.catalog()).unwrap();
             let naive: BTreeSet<Tuple> = execute(&plan, &db).unwrap().into_iter().collect();
             let (indexed, _) = optimize_with_db(plan, &db);
             prop_assert!(indexed.index_lookup_count() <= 1);
@@ -152,7 +152,7 @@ proptest! {
     /// partition catalog, tuple set and index statistics.
     #[test]
     fn mixed_transaction_abort_restores_indexed_relation(seed in 0u64..500, n in 20usize..80) {
-        let mut db = employee_db(n, seed);
+        let db = employee_db(n, seed);
         db.create_index("employee", attrs!["name"]).unwrap();
         let parts_before = db.partitions("employee").unwrap();
         let tuples_before: BTreeSet<Tuple> =
@@ -201,14 +201,14 @@ proptest! {
 /// lookup node.
 #[test]
 fn wide_point_lookup_takes_the_index_and_keeps_shape_pruning() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&wide_relation(8)))
         .unwrap();
     for t in generate_wide(&WideConfig::new(800, 8)) {
         db.insert("wide", t).unwrap();
     }
     let q = parse("SELECT * FROM wide WHERE kind = 'k3'").unwrap();
-    let plan = plan_query(&q, db.catalog()).unwrap();
+    let plan = plan_query(&q, &db.catalog()).unwrap();
     let (indexed, notes) = optimize_with_db(plan.clone(), &db);
     assert_eq!(indexed.index_lookup_count(), 1, "{}", indexed);
     assert!(notes.iter().any(|n| n.rule == "access-path"));

@@ -31,7 +31,7 @@ fn example1_dnf_has_14_combinations() {
 /// the storage engine.
 #[test]
 fn example2_type_checking_through_the_storage_engine() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))
         .unwrap();
     for t in generate_employees(&EmployeeConfig::clean(500)) {
@@ -88,7 +88,7 @@ fn example4_guard_elimination_end_to_end() {
     assert!(implies(&sigma, &target, AxiomSystem::R));
 
     // Through the query stack.
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))
         .unwrap();
     for t in generate_employees(&EmployeeConfig::clean(2_000)) {
@@ -99,8 +99,8 @@ fn example4_guard_elimination_end_to_end() {
          WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
     )
     .unwrap();
-    let naive = plan_query(&q, db.catalog()).unwrap();
-    let (optimized, notes) = optimize(naive.clone(), db.catalog());
+    let naive = plan_query(&q, &db.catalog()).unwrap();
+    let (optimized, notes) = optimize(naive.clone(), &db.catalog());
     assert_eq!(naive.guard_count(), 1);
     assert_eq!(optimized.guard_count(), 0);
     assert!(notes.iter().any(|n| n.rule == "guard-elimination"));

@@ -13,7 +13,7 @@ use flexrel_storage::{Database, RelationDef, Transaction};
 use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig, JobType};
 
 fn database(n: usize, seed: u64) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(RelationDef::from_relation(&employee_relation()))
         .unwrap();
     for t in generate_employees(&EmployeeConfig {
@@ -66,9 +66,9 @@ proptest! {
             min_salary
         );
         let q = parse(&frql).unwrap();
-        let plan = plan_query(&q, db.catalog()).unwrap();
+        let plan = plan_query(&q, &db.catalog()).unwrap();
         let naive: BTreeSet<Tuple> = execute(&plan, &db).unwrap().into_iter().collect();
-        let (optimized, _) = optimize(plan, db.catalog());
+        let (optimized, _) = optimize(plan, &db.catalog());
         let fast: BTreeSet<Tuple> = execute(&optimized, &db).unwrap().into_iter().collect();
         let reference = reference_filter(&db, Some(job.tag()), Some(min_salary as f64));
         prop_assert_eq!(&naive, &reference);
@@ -99,8 +99,8 @@ proptest! {
 
         let run = |frql: &str| -> BTreeSet<Tuple> {
             let q = parse(frql).unwrap();
-            let plan = plan_query(&q, db.catalog()).unwrap();
-            let (optimized, _) = optimize(plan, db.catalog());
+            let plan = plan_query(&q, &db.catalog()).unwrap();
+            let (optimized, _) = optimize(plan, &db.catalog());
             execute(&optimized, &db).unwrap().into_iter().collect()
         };
         prop_assert_eq!(run(&base), run(&with_own_guard));
@@ -111,7 +111,7 @@ proptest! {
     /// completely when a violation is injected.
     #[test]
     fn transactional_loads_are_atomic(seed in 0u64..200, n in 10usize..60, inject in any::<bool>()) {
-        let mut db = database(10, seed);
+        let db = database(10, seed);
         let before = db.count("employee").unwrap();
         let mut txn = Transaction::begin();
         let mut batch = generate_employees(&EmployeeConfig { n, violation_rate: 0.0, seed: seed + 1 });
