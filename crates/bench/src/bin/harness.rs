@@ -137,7 +137,10 @@ fn main() {
                     println!("  {}", row);
                 }
                 if !cmp.skipped.is_empty() {
-                    println!("  (no headline, skipped: {})", cmp.skipped.join(", "));
+                    println!(
+                        "  (skipped — no headline or marked unmeasurable: {})",
+                        cmp.skipped.join(", ")
+                    );
                 }
                 for p in &cmp.problems {
                     eprintln!("  problem: {}", p);

@@ -2,7 +2,11 @@
 //! reports against committed baselines and fails on headline regressions.
 //!
 //! Only the *headline* metric of each report participates (see
-//! [`crate::report::Headline`]); reports without one are listed as skipped.
+//! [`crate::report::Headline`]); reports without one — or whose headline is
+//! marked `"skipped": true` on either side (e.g. parallel scaling measured
+//! on a single-CPU host) — are listed as skipped.  Headline values are
+//! compared **raw**; any cosmetic capping happens only in the printed rows
+//! (see [`display_value`]).
 //! Baselines live in `benches/baseline/` and are regenerated with
 //! `cargo run -p flexrel-bench --release --bin harness -- <scale> --json
 //! benches/baseline`; CI runs `harness <scale> --json <out> --compare
@@ -25,6 +29,8 @@ pub struct ReportSummary {
     pub value: Option<f64>,
     /// Whether larger headline values are better.
     pub higher_is_better: bool,
+    /// Whether the headline was marked unmeasurable in its environment.
+    pub skipped: bool,
 }
 
 /// Extracts the first JSON string value following `"<key>":` — sufficient
@@ -35,6 +41,12 @@ fn string_field(s: &str, key: &str) -> Option<String> {
     let start = s.find(&tag)? + tag.len();
     let end = s[start..].find('"')? + start;
     Some(s[start..end].to_string())
+}
+
+/// Whether `"<key>": true` appears (the reports only emit boolean fields
+/// when they are set).
+fn bool_field(s: &str, key: &str) -> bool {
+    s.contains(&format!("\"{}\": true", key))
 }
 
 /// Extracts the first numeric value following `"<key>":`.
@@ -52,16 +64,20 @@ fn number_field(s: &str, key: &str) -> Option<f64> {
 pub fn parse_report(s: &str) -> Option<ReportSummary> {
     let experiment = string_field(s, "experiment")?;
     let scale = number_field(s, "scale")? as usize;
-    let (metric, value, higher) = match s.find("\"headline\"") {
+    let (metric, value, higher, skipped) = match s.find("\"headline\"") {
         Some(at) => {
             let h = &s[at..];
+            // The headline object sits on one line; scoping the skipped
+            // probe to it keeps unrelated fields from matching.
+            let line = &h[..h.find('\n').unwrap_or(h.len())];
             (
                 string_field(h, "metric"),
                 number_field(h, "value"),
                 string_field(h, "direction").map(|d| d == "higher"),
+                bool_field(line, "skipped"),
             )
         }
-        None => (None, None, None),
+        None => (None, None, None, false),
     };
     Some(ReportSummary {
         experiment,
@@ -69,6 +85,7 @@ pub fn parse_report(s: &str) -> Option<ReportSummary> {
         metric,
         value,
         higher_is_better: higher.unwrap_or(true),
+        skipped,
     })
 }
 
@@ -90,15 +107,26 @@ pub struct CompareRow {
     pub regressed: bool,
 }
 
+/// Renders a headline value for the job log, capping extreme magnitudes at
+/// `50.000+` so saturated speedups stay readable.  Display-only: the gate's
+/// regression arithmetic always uses the raw values.
+pub fn display_value(v: f64) -> String {
+    if v > 50.0 {
+        "   50.000+".to_string()
+    } else {
+        format!("{:>10.3}", v)
+    }
+}
+
 impl fmt::Display for CompareRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<5} {:<32} baseline {:>10.3}  current {:>10.3}  ratio {:>6.2}  {}",
+            "{:<5} {:<32} baseline {}  current {}  ratio {:>6.2}  {}",
             self.experiment,
             self.metric,
-            self.baseline,
-            self.current,
+            display_value(self.baseline),
+            display_value(self.current),
             self.ratio,
             if self.regressed { "REGRESSED" } else { "ok" }
         )
@@ -111,7 +139,8 @@ impl fmt::Display for CompareRow {
 pub struct Comparison {
     /// One row per baseline report with a headline.
     pub rows: Vec<CompareRow>,
-    /// Baseline reports skipped because they carry no headline.
+    /// Baseline reports skipped because they carry no headline, or because
+    /// either side marked its headline unmeasurable (`"skipped": true`).
     pub skipped: Vec<String>,
     /// Structural problems; any entry fails the gate.
     pub problems: Vec<String>,
@@ -171,6 +200,11 @@ pub fn compare_dirs(
             out.skipped.push(base.experiment.clone());
             continue;
         };
+        if base.skipped {
+            out.skipped
+                .push(format!("{} (baseline headline skipped)", base.experiment));
+            continue;
+        }
         let cur_path = current_dir.join(&name);
         let cur = match std::fs::read_to_string(&cur_path)
             .ok()
@@ -188,6 +222,11 @@ pub fn compare_dirs(
                 "{}: scale mismatch (baseline {}, current {}) — rerun the harness at the baseline scale",
                 base.experiment, base.scale, cur.scale
             ));
+            continue;
+        }
+        if cur.skipped {
+            out.skipped
+                .push(format!("{} (current headline skipped)", base.experiment));
             continue;
         }
         let Some(cur_value) = cur.value else {
@@ -278,6 +317,75 @@ mod tests {
         assert!(by_id("E13").regressed);
         assert!(!by_id("E14").regressed, "10% down is within 25% tolerance");
         assert!(!cmp.passed());
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn gate_compares_raw_values_beyond_the_old_display_cap() {
+        // Regression test for the saturated-headline blind spot: both
+        // sides of this comparison exceed the old 50x emission cap, which
+        // used to flatten them to 50.0 == 50.0 and hide a 26x regression.
+        // Values are compared raw; the cap survives only in the printed
+        // row.
+        let tmp = std::env::temp_dir().join(format!("flexrel-compare3-{}", std::process::id()));
+        let base = tmp.join("base");
+        let cur = tmp.join("cur");
+        write(&base, "E13", &report("E13", 2000, 1600.0, true));
+        write(&cur, "E13", &report("E13", 2000, 60.0, true));
+        let cmp = compare_dirs(&base, &cur, 0.25).unwrap();
+        assert_eq!(cmp.rows.len(), 1);
+        let row = &cmp.rows[0];
+        assert!(
+            row.regressed,
+            "1600x -> 60x must fail the gate even though both exceed 50x"
+        );
+        assert!((row.baseline - 1600.0).abs() < 1e-9);
+        assert!((row.current - 60.0).abs() < 1e-9);
+        assert!(!cmp.passed());
+        // Display keeps the cap for readability without touching the math.
+        let printed = row.to_string();
+        assert!(printed.contains("50.000+"), "{}", printed);
+        assert!(printed.contains("REGRESSED"), "{}", printed);
+        assert_eq!(display_value(3.5), "     3.500");
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn gate_skips_headlines_marked_unmeasurable() {
+        fn skipped_report(id: &str, scale: usize) -> String {
+            let mut t =
+                Table::new(format!("{}: demo", id), &["a"]).with_skipped_headline("m", true);
+            t.row(["x"]);
+            t.to_json(id, scale, 1.0)
+        }
+        let tmp = std::env::temp_dir().join(format!("flexrel-compare4-{}", std::process::id()));
+        let base = tmp.join("base");
+        let cur = tmp.join("cur");
+        // E14 current side skipped (single-CPU runner), E12 baseline side
+        // skipped, E13 compared normally.
+        write(&base, "E14", &report("E14", 2000, 3.0, true));
+        write(&cur, "E14", &skipped_report("E14", 2000));
+        write(&base, "E12", &skipped_report("E12", 2000));
+        write(&cur, "E12", &report("E12", 2000, 9.0, true));
+        write(&base, "E13", &report("E13", 2000, 2.0, true));
+        write(&cur, "E13", &report("E13", 2000, 2.0, true));
+        let cmp = compare_dirs(&base, &cur, 0.25).unwrap();
+        assert!(cmp.problems.is_empty(), "{:?}", cmp.problems);
+        assert_eq!(cmp.rows.len(), 1, "only E13 is compared: {:?}", cmp.rows);
+        assert_eq!(cmp.rows[0].experiment, "E13");
+        assert_eq!(
+            cmp.skipped,
+            vec![
+                "E12 (baseline headline skipped)".to_string(),
+                "E14 (current headline skipped)".to_string()
+            ]
+        );
+        assert!(cmp.passed(), "a skipped headline is not a regression");
+        // The parser surfaces the flag.
+        let r = parse_report(&skipped_report("E14", 2000)).unwrap();
+        assert!(r.skipped && r.value == Some(0.0));
+        let r = parse_report(&report("E14", 2000, 3.0, true)).unwrap();
+        assert!(!r.skipped);
         std::fs::remove_dir_all(&tmp).unwrap();
     }
 

@@ -40,6 +40,23 @@ fn micros(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e6
 }
 
+/// Runs `f` `reps` times and returns its last result with the **minimum**
+/// per-rep wall-clock in microseconds.  The min is the noise-robust
+/// estimator for the speedup-style headlines: scheduler preemption and
+/// cache pollution only ever add time, so the fastest rep is the closest
+/// observation of the true cost — means flap far more on busy CI hosts,
+/// which matters now that the regression gate compares uncapped values.
+fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = Some(f());
+        best = best.min(micros(start));
+    }
+    (out.expect("reps >= 1"), best)
+}
+
 /// E1 — DNF unfolding of flexible schemes (Example 1 and scheme compactness).
 pub fn e1_dnf_growth() -> Table {
     let mut t = Table::new(
@@ -787,19 +804,9 @@ pub fn e12_partition_pruning(scale: usize) -> Table {
                 .filter(|p| plan_shape_admits(&optimized, &p.shape))
                 .count();
 
-            let mut rows_full = 0usize;
-            let start = Instant::now();
-            for _ in 0..REPS {
-                rows_full = execute(&naive, &db).unwrap().len();
-            }
-            let full_us = micros(start) / REPS as f64;
-
-            let mut rows_pruned = 0usize;
-            let start = Instant::now();
-            for _ in 0..REPS {
-                rows_pruned = execute(&optimized, &db).unwrap().len();
-            }
-            let pruned_us = micros(start) / REPS as f64;
+            let (rows_full, full_us) = best_of(REPS, || execute(&naive, &db).unwrap().len());
+            let (rows_pruned, pruned_us) =
+                best_of(REPS, || execute(&optimized, &db).unwrap().len());
 
             assert_eq!(rows_full, rows_pruned, "pruning must not change results");
             t.row([
@@ -817,9 +824,78 @@ pub fn e12_partition_pruning(scale: usize) -> Table {
     let best = t
         .rows
         .iter()
+        .filter(|r| !r[2].starts_with("columnar-vs-row"))
         .filter_map(|r| parse_speedup(&r[7]))
         .fold(0.0f64, f64::max);
-    t.with_headline("pruning speedup (best)", headline_speedup(best), true)
+
+    // Columnar-vs-row phase: predicate scan throughput through the
+    // vectorized columnar kernels (shape-folded compilation + per-segment
+    // selection bitmaps) vs. a row-store oracle — a segmented row `Heap`
+    // holding the identical tuple multiset, scanned tuple-at-a-time with
+    // `Predicate::eval`.  Both sides count qualifying rows (the shared
+    // materialization cost is excluded so the scan layouts themselves are
+    // compared); the "full µs" column carries the row-oracle time, the
+    // "pruned µs" column the columnar time, and the vectorized executor is
+    // differentially checked against the oracle count before timing.
+    const COL_VARIANTS: usize = 8;
+    let db = wide_db(scale, COL_VARIANTS, 0.0);
+    let mut row_heap = flexrel_storage::Heap::new();
+    for (_, tuple) in db.scan("wide").unwrap() {
+        row_heap.insert(tuple);
+    }
+    let snap = db.partition_snapshot("wide").unwrap();
+    let col_queries = [
+        (
+            "columnar-vs-row: kind = 'k0'",
+            Predicate::eq("kind", Value::tag("k0")),
+        ),
+        (
+            "columnar-vs-row: id >= n/2",
+            Predicate::ge("id", (scale / 2) as i64),
+        ),
+    ];
+    for (label, pred) in col_queries {
+        let preds = [pred.clone()];
+        let columnar_count = || {
+            snap.partitions()
+                .map(|(_, part)| {
+                    let heap = part.columns();
+                    let compiled = flexrel_query::compile_predicates(&preds, heap);
+                    if compiled.is_never() {
+                        return 0;
+                    }
+                    (0..heap.segment_count())
+                        .map(|si| compiled.select(heap.segment(si).unwrap()).count())
+                        .sum()
+                })
+                .sum::<usize>()
+        };
+        let oracle_count = || row_heap.scan().filter(|(_, t)| pred.eval(t)).count();
+
+        // Differential check first: the bitmap count, the oracle count and
+        // the full vectorized executor must all agree.
+        let plan = LogicalPlan::scan("wide").filter(pred.clone());
+        let executed = execute(&plan, &db).unwrap().len();
+        assert_eq!(columnar_count(), executed, "bitmap count vs executor");
+        assert_eq!(oracle_count(), executed, "row oracle vs executor");
+
+        let (col_rows, col_us) = best_of(REPS, &columnar_count);
+        let (oracle_rows, row_us) = best_of(REPS, &oracle_count);
+
+        assert_eq!(col_rows, oracle_rows, "columnar scan must match row oracle");
+        t.row([
+            scale.to_string(),
+            COL_VARIANTS.to_string(),
+            label.to_string(),
+            format!("{0}/{0}", COL_VARIANTS),
+            col_rows.to_string(),
+            format!("{:.1}", row_us),
+            format!("{:.1}", col_us),
+            format!("{:.2}x", row_us / col_us),
+        ]);
+    }
+
+    t.with_headline("pruning speedup (best)", best, true)
 }
 
 /// Builds the shared access-path fixture (E13, the `e13_index_lookup`
@@ -881,12 +957,7 @@ pub fn e13_index_lookup(scale: usize) -> Table {
     const REPS: u32 = 5;
     const VARIANTS: usize = 8;
     let time = |plan: &LogicalPlan, db: &Database| -> (usize, f64) {
-        let mut rows = 0usize;
-        let start = Instant::now();
-        for _ in 0..REPS {
-            rows = execute(plan, db).unwrap().len();
-        }
-        (rows, micros(start) / REPS as f64)
+        best_of(REPS, || execute(plan, db).unwrap().len())
     };
     for skew in [0.0f64, 1.0] {
         let probe_keys = 16usize.min(scale);
@@ -976,19 +1047,12 @@ pub fn e13_index_lookup(scale: usize) -> Table {
         .filter(|r| r[2].contains("point"))
         .filter_map(|r| parse_speedup(&r[7]))
         .fold(0.0f64, f64::max);
-    t.with_headline("point-lookup speedup (best)", headline_speedup(point), true)
+    t.with_headline("point-lookup speedup (best)", point, true)
 }
 
 /// Parses a `"N.NNx"` speedup cell back into a number.
 fn parse_speedup(cell: &str) -> Option<f64> {
     cell.strip_suffix('x').and_then(|s| s.parse().ok())
-}
-
-/// A speedup-style headline value, capped so extreme ratios (a point
-/// lookup hundreds of times faster than a scan) do not make the regression
-/// gate flap on measurement noise.
-fn headline_speedup(v: f64) -> f64 {
-    v.min(50.0)
 }
 
 /// E14 — concurrent shared database + partition-parallel execution.
@@ -1026,12 +1090,10 @@ pub fn e14_concurrency(scale: usize) -> Table {
         rows.sort();
         let check = if rows == serial_ref { "ok" } else { "MISMATCH" };
         let n_rows = rows.len();
-        let start = Instant::now();
-        for _ in 0..REPS {
+        let (_, us) = best_of(REPS, || {
             let got = execute_with(&plan, &db, &opts).unwrap();
             assert_eq!(got.len(), n_rows);
-        }
-        let us = micros(start) / REPS as f64;
+        });
         if threads == 1 {
             base_us = us;
         }
@@ -1140,11 +1202,18 @@ pub fn e14_concurrency(scale: usize) -> Table {
         "-".to_string(),
         check.to_string(),
     ]);
-    t.with_headline(
-        "parallel read-scan scaling (best)",
-        headline_speedup(best_scaling),
-        true,
-    )
+    // On a single-CPU host the scaling curve is necessarily flat (~1x):
+    // that is a property of the runner, not a regression, so the headline
+    // is marked skipped rather than feeding a meaningless ratio to the
+    // gate.  The differential and atomicity checks above still run.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores == 1 {
+        t.with_skipped_headline("parallel read-scan scaling (best)", true)
+    } else {
+        t.with_headline("parallel read-scan scaling (best)", best_scaling, true)
+    }
 }
 
 /// Whether the plan's scan shape predicate admits the given partition shape
@@ -1290,19 +1359,33 @@ mod tests {
     #[test]
     fn e12_prunes_partitions_and_preserves_results() {
         let t = e12_partition_pruning(600);
-        assert_eq!(t.len(), 6, "three shape counts x two queries");
+        assert_eq!(
+            t.len(),
+            8,
+            "three shape counts x two queries, plus the columnar-vs-row pair"
+        );
         for row in &t.rows {
             let (scanned, total) = row[3].split_once('/').unwrap();
             let scanned: usize = scanned.parse().unwrap();
             let total: usize = total.parse().unwrap();
-            assert_eq!(
-                scanned, 1,
-                "both query templates pin a single partition: {:?}",
-                row
-            );
+            if row[2].starts_with("columnar-vs-row") {
+                assert_eq!(scanned, total, "the columnar phase scans everything");
+            } else {
+                assert_eq!(
+                    scanned, 1,
+                    "both query templates pin a single partition: {:?}",
+                    row
+                );
+            }
             assert_eq!(total, row[1].parse::<usize>().unwrap());
             assert!(row[7].ends_with('x'));
         }
+        let columnar: Vec<_> = t
+            .rows
+            .iter()
+            .filter(|r| r[2].starts_with("columnar-vs-row"))
+            .collect();
+        assert_eq!(columnar.len(), 2, "both columnar differential rows present");
     }
 
     #[test]
@@ -1335,17 +1418,30 @@ mod tests {
         }
         let h = t.headline.as_ref().expect("E14 carries a headline");
         assert!(h.metric.contains("scaling"));
-        assert!(h.value >= 1.0, "best multi-thread scaling is floored at 1x");
+        let single_cpu = std::thread::available_parallelism()
+            .map(|n| n.get() == 1)
+            .unwrap_or(true);
+        if single_cpu {
+            assert!(h.skipped, "single-CPU hosts mark the headline skipped");
+        } else {
+            assert!(!h.skipped);
+            assert!(h.value >= 1.0, "best multi-thread scaling is floored at 1x");
+        }
     }
 
     #[test]
-    fn e12_and_e13_carry_speedup_headlines() {
+    fn e12_and_e13_carry_uncapped_speedup_headlines() {
+        // The emitted value is the raw measured ratio — no 50x cap.  The
+        // old cap let two saturated runs (e.g. 1600x baseline vs 60x
+        // current) both read as 50.0 and slip past the regression gate.
         let t = e12_partition_pruning(400);
         let h = t.headline.as_ref().unwrap();
-        assert!(h.higher_is_better && h.value > 0.0 && h.value <= 50.0);
+        assert!(h.higher_is_better && h.value.is_finite() && h.value > 0.0);
+        assert!(!h.skipped);
         let t = e13_index_lookup(2_000);
         let h = t.headline.as_ref().unwrap();
-        assert!(h.higher_is_better && h.value > 0.0 && h.value <= 50.0);
+        assert!(h.higher_is_better && h.value.is_finite() && h.value > 0.0);
+        assert!(!h.skipped);
     }
 
     #[test]

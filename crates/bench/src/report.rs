@@ -12,11 +12,18 @@ use std::path::{Path, PathBuf};
 pub struct Headline {
     /// Short metric name, e.g. `"pruning speedup (best)"`.
     pub metric: String,
-    /// The measured value.
+    /// The measured value, **uncapped** — the regression gate compares raw
+    /// values; any cosmetic capping happens at display time only (see
+    /// [`crate::compare::display_value`]).
     pub value: f64,
     /// Whether larger values are better (`true` for speedups/throughput,
     /// `false` for latencies).
     pub higher_is_better: bool,
+    /// Whether the metric could not be measured meaningfully in this
+    /// environment (e.g. parallel scaling on a single-CPU host).  A skipped
+    /// headline is emitted for provenance but excluded from regression
+    /// comparison on either side.
+    pub skipped: bool,
 }
 
 /// A simple text table: a title, a header row and data rows.
@@ -49,6 +56,20 @@ impl Table {
             metric: metric.into(),
             value,
             higher_is_better: higher,
+            skipped: false,
+        });
+        self
+    }
+
+    /// Attaches a headline that could not be measured meaningfully in this
+    /// environment (builder style).  The regression gate lists the
+    /// experiment as skipped instead of comparing the placeholder value.
+    pub fn with_skipped_headline(mut self, metric: impl Into<String>, higher: bool) -> Self {
+        self.headline = Some(Headline {
+            metric: metric.into(),
+            value: 0.0,
+            higher_is_better: higher,
+            skipped: true,
         });
         self
     }
@@ -85,14 +106,15 @@ impl Table {
         out.push_str(&format!("  \"elapsed_ms\": {:.3},\n", elapsed_ms));
         if let Some(h) = &self.headline {
             out.push_str(&format!(
-                "  \"headline\": {{\"metric\": {}, \"value\": {:.4}, \"direction\": {}}},\n",
+                "  \"headline\": {{\"metric\": {}, \"value\": {:.4}, \"direction\": {}{}}},\n",
                 json_string(&h.metric),
                 h.value,
                 json_string(if h.higher_is_better {
                     "higher"
                 } else {
                     "lower"
-                })
+                }),
+                if h.skipped { ", \"skipped\": true" } else { "" }
             ));
         }
         out.push_str(&format!(
@@ -217,6 +239,17 @@ mod tests {
         assert!(j.contains("\"headline\": {\"metric\": \"scaling @4\", \"value\": 2.5000, \"direction\": \"higher\"}"));
         let plain = Table::new("E0: demo", &["k"]).to_json("E0", 100, 1.0);
         assert!(!plain.contains("headline"));
+    }
+
+    #[test]
+    fn skipped_headline_is_marked_in_json() {
+        let mut t = Table::new("E14: demo", &["k"]).with_skipped_headline("scaling", true);
+        t.row(["x"]);
+        let j = t.to_json("E14", 100, 1.0);
+        assert!(j.contains(
+            "\"headline\": {\"metric\": \"scaling\", \"value\": 0.0000, \"direction\": \"higher\", \"skipped\": true}"
+        ));
+        assert!(t.headline.as_ref().unwrap().skipped);
     }
 
     #[test]

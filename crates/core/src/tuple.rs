@@ -152,6 +152,28 @@ impl Tuple {
         self
     }
 
+    /// Builds a tuple from a known shape and its values in the shape's
+    /// canonical (attribute-name) order — the fast materialization path for
+    /// columnar partition storage, where every stored row shares the
+    /// partition's shape and the column order *is* the canonical order.
+    ///
+    /// `attrs` must be exactly the members of `shape` in canonical order
+    /// (as produced by [`AttrSet::to_vec`]), and `values` must yield one
+    /// value per attribute.  Debug builds assert both.
+    pub fn from_shape_values<I>(shape: AttrSet, attrs: &[Attr], values: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let values: BTreeMap<Attr, Value> = attrs.iter().cloned().zip(values).collect();
+        debug_assert_eq!(values.len(), attrs.len(), "one value per attribute");
+        debug_assert_eq!(
+            shape,
+            values.keys().collect(),
+            "attrs must spell out exactly the shape"
+        );
+        Tuple { values, shape }
+    }
+
     /// Builds a tuple from `(attribute, value)` pairs.
     pub fn from_pairs<I, A, V>(pairs: I) -> Self
     where

@@ -46,6 +46,7 @@ use flexrel_core::error::Result;
 use flexrel_core::tuple::{ShapeId, Tuple};
 use flexrel_storage::{Database, HashIndex, Partition, PartitionSnapshot, Rid};
 
+use crate::colscan;
 use crate::logical::{LogicalPlan, ShapePredicate};
 
 /// A stream of result tuples.
@@ -517,7 +518,6 @@ fn index_nested_loop_stream<'a>(
                 .filter(|rid| shape_memo.admits(**rid))
                 .filter_map(|rid| inner.parts.get(*rid))
                 .filter(|t| qualifies(&inner_qualification, t))
-                .cloned()
                 .collect()
         })
         .unwrap_or_default();
@@ -531,8 +531,8 @@ fn index_nested_loop_stream<'a>(
                     let Some(r) = inner.parts.get(*rid) else {
                         continue;
                     };
-                    if shape_memo.admits(*rid) && qualifies(&inner_qualification, r) {
-                        out.push(l.merged_with(r));
+                    if shape_memo.admits(*rid) && qualifies(&inner_qualification, &r) {
+                        out.push(l.merged_with(&r));
                     }
                 }
                 for r in &partials {
@@ -610,13 +610,15 @@ fn hash_join_stream<'a>(
 }
 
 /// Fans the partitions of a scan snapshot out over `threads` workers, each
-/// evaluating the qualification over its share and sending batches into
-/// the merged stream.  Partitions are assigned greedily, largest first, so
-/// the load balances even under shape skew.  Workers stop early when the
-/// consumer drops the stream (their channel send fails).
+/// compiling the qualification against its partitions' shapes and running
+/// the vectorized selection (see [`crate::colscan`]) over their segments,
+/// sending batches into the merged stream.  Partitions are assigned
+/// greedily, largest first, so the load balances even under shape skew.
+/// Workers stop early when the consumer drops the stream (their channel
+/// send fails).
 fn parallel_scan_stream(
     parts: Vec<(ShapeId, Arc<Partition>)>,
-    qualification: Option<Predicate>,
+    preds: Vec<Predicate>,
     threads: usize,
 ) -> TupleStream<'static> {
     let mut buckets: Vec<Vec<(ShapeId, Arc<Partition>)>> =
@@ -637,15 +639,13 @@ fn parallel_scan_stream(
     let (tx, rx) = mpsc::sync_channel::<Vec<Tuple>>(threads * 2);
     for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
         let tx = tx.clone();
-        let qualification = qualification.clone();
+        let preds = preds.clone();
         std::thread::spawn(move || {
             for (_, part) in bucket {
-                let mut batch = Vec::with_capacity(part.len());
-                for (_, t) in part.tuples() {
-                    if qualification.as_ref().map(|q| q.eval(t)).unwrap_or(true) {
-                        batch.push(t.clone());
-                    }
-                }
+                let heap = part.columns();
+                let compiled = colscan::compile(&preds, heap);
+                let mut batch = Vec::new();
+                colscan::select_into(heap, &compiled, &mut batch);
                 if tx.send(batch).is_err() {
                     return; // consumer dropped the stream
                 }
@@ -657,7 +657,12 @@ fn parallel_scan_stream(
 }
 
 /// Builds the (serial or parallel) stream for one base scan from its
-/// snapshot: shape pruning per partition, then qualification per tuple.
+/// snapshot: shape pruning per partition, then the qualification (and any
+/// filter fused onto the scan) compiled per partition and evaluated
+/// vectorized over the column segments (see [`crate::colscan`]).  The
+/// qualification is *known* to hold on consistent data; applying it is a
+/// no-op there but keeps hand-built fragment plans honest when they scan a
+/// broader base relation.
 fn scan_stream<'a>(
     snap: RelSnap,
     qualification: &'a Option<Predicate>,
@@ -668,30 +673,13 @@ fn scan_stream<'a>(
     let parts = snap
         .parts
         .retain_shapes(|s| shape.as_ref().map(|p| p.admits(s)).unwrap_or(true));
+    let preds: Vec<Predicate> = qualification.iter().chain(extra_filter).cloned().collect();
     let workers = scan_parallelism(parts.partition_count(), parts.len(), opts);
     if workers > 1 {
-        // Fold the scan qualification and any fused filter into one
-        // predicate the workers evaluate in parallel.
-        let combined = match (qualification, extra_filter) {
-            (Some(q), Some(f)) => Some(q.clone().and(f.clone())),
-            (Some(q), None) => Some(q.clone()),
-            (None, Some(f)) => Some(f.clone()),
-            (None, None) => None,
-        };
-        return parallel_scan_stream(parts.into_parts(), combined, workers);
+        return parallel_scan_stream(parts.into_parts(), preds, workers);
     }
-    let rows = parts.scan().map(|(_, t)| t);
-    // The qualification is *known* to hold; applying it is a no-op on
-    // consistent data but keeps hand-built fragment plans honest when they
-    // scan a broader base relation.
-    let qualified: TupleStream<'a> = match qualification {
-        Some(q) => Box::new(rows.filter(move |t| q.eval(t))),
-        None => Box::new(rows),
-    };
-    match extra_filter {
-        Some(f) => Box::new(qualified.filter(move |t| f.eval(t))),
-        None => qualified,
-    }
+    let parts = parts.into_parts().into_iter().map(|(_, p)| p).collect();
+    Box::new(colscan::VectorScan::new(parts, preds))
 }
 
 fn exec_node<'a>(plan: &'a LogicalPlan, ctx: &ExecContext) -> Result<TupleStream<'a>> {
@@ -723,7 +711,7 @@ fn exec_node<'a>(plan: &'a LogicalPlan, ctx: &ExecContext) -> Result<TupleStream
                 Some(idx) => idx
                     .lookup(key_value)
                     .iter()
-                    .filter_map(|rid| snap.parts.get(*rid).map(|t| (*rid, t.clone())))
+                    .filter_map(|rid| snap.parts.get(*rid).map(|t| (*rid, t)))
                     .collect(),
                 // No index on this key: shape-pruned snapshot scan.
                 None => snap

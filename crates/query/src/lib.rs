@@ -60,12 +60,14 @@
 
 #![deny(missing_docs)]
 
+pub mod colscan;
 pub mod exec;
 pub mod logical;
 pub mod optimizer;
 pub mod parser;
 pub mod planner;
 
+pub use colscan::{compile as compile_predicates, Compiled, VectorScan};
 pub use exec::{
     estimate_rows, execute, execute_stream, execute_stream_with, execute_with, join_strategy,
     plan_attrs, scan_parallelism, ExecOptions, JoinStrategy, TupleStream,

@@ -1,0 +1,873 @@
+//! Column-major partition storage.
+//!
+//! A heap partition holds tuples of exactly one shape (see
+//! [`crate::partition`]), so the paper's central observation — the shape
+//! *is* the null bitmap — becomes a layout guarantee: within a partition
+//! every tuple is defined on exactly the same attributes, and the per-tuple
+//! attribute→value maps of the row store carry no information beyond the
+//! values themselves.  A [`ColumnHeap`] therefore stores a partition
+//! column-major: one typed column vector per attribute, in the shape's
+//! canonical (attribute-name) order, with **no** per-row null handling at
+//! all.
+//!
+//! # Layout
+//!
+//! Rows live in fixed-size [`SEGMENT_SIZE`]-slot chunks ([`ColumnSegment`]),
+//! each an arena of one `Vec` per attribute plus a live-slot bitmap.  A
+//! [`TupleId`] still names `(segment, slot)`, tombstoned slots are reused
+//! from a free list, and segments sit behind [`Arc`]s with the same
+//! copy-on-write discipline as the row heap — so
+//! [`PartitionSnapshot`](crate::partition::PartitionSnapshot), transaction
+//! rollback and the parallel executor work unchanged on top.
+//!
+//! Columns are typed per segment: integers and floats are plain vectors;
+//! everything else (strings, tags, booleans, nulls — and any column that
+//! turns out to mix kinds) is dictionary-encoded, storing one `u32` code per
+//! row against a per-segment pool of distinct [`Value`]s.  String pools
+//! share their `Arc<str>` payloads with the values handed out, so
+//! dictionary encoding is also the string-interning layer.
+//!
+//! # Vectorized selection
+//!
+//! Predicates evaluate column-at-a-time into [`SelVec`] selection bitmaps
+//! (one bit per slot): [`ColumnSegment::cmp_bitmap`] runs one comparison
+//! kernel over a column — a tight `i64`/`f64` loop for numeric columns, a
+//! pool-sized pass table followed by a code loop for dictionary columns —
+//! and the caller combines bitmaps with word-parallel `AND`/`OR`/`NOT`.
+//! Only the rows that survive selection are materialized into [`Tuple`]s
+//! (via the canonical-order fast path
+//! [`Tuple::from_shape_values`]); a [`TupleRef`] offers a zero-copy view
+//! for row-at-a-time fallbacks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+
+use crate::heap::{TupleId, SEGMENT_SIZE};
+
+/// Number of `u64` words in a per-segment selection or live bitmap.
+pub const SEGMENT_WORDS: usize = SEGMENT_SIZE / 64;
+
+/// Comparison operators for vectorized column predicates.  Semantics are
+/// exactly those of [`Value`]'s `PartialEq`/`Ord` instances (equality is
+/// kind-strict, ordering compares `Int`/`Float` numerically), so column
+/// kernels agree bit-for-bit with row-at-a-time predicate evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColCmp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl ColCmp {
+    /// Row-at-a-time reference semantics of the operator.
+    pub fn pass(self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            ColCmp::Eq => lhs == rhs,
+            ColCmp::Ne => lhs != rhs,
+            ColCmp::Lt => lhs < rhs,
+            ColCmp::Le => lhs <= rhs,
+            ColCmp::Gt => lhs > rhs,
+            ColCmp::Ge => lhs >= rhs,
+        }
+    }
+
+    fn pass_i64(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            ColCmp::Eq => lhs == rhs,
+            ColCmp::Ne => lhs != rhs,
+            ColCmp::Lt => lhs < rhs,
+            ColCmp::Le => lhs <= rhs,
+            ColCmp::Gt => lhs > rhs,
+            ColCmp::Ge => lhs >= rhs,
+        }
+    }
+
+    fn pass_f64(self, lhs: f64, rhs: f64) -> bool {
+        // Mirror Value::cmp, which orders floats via total_cmp.
+        let o = lhs.total_cmp(&rhs);
+        match self {
+            ColCmp::Eq => o.is_eq(),
+            ColCmp::Ne => o.is_ne(),
+            ColCmp::Lt => o.is_lt(),
+            ColCmp::Le => o.is_le(),
+            ColCmp::Gt => o.is_gt(),
+            ColCmp::Ge => o.is_ge(),
+        }
+    }
+}
+
+/// A per-segment selection vector: one bit per slot, combined word-at-a-time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelVec {
+    words: [u64; SEGMENT_WORDS],
+}
+
+impl SelVec {
+    /// The empty selection.
+    pub fn none() -> Self {
+        SelVec {
+            words: [0; SEGMENT_WORDS],
+        }
+    }
+
+    /// The full selection (every slot, live or not; callers mask with the
+    /// segment's live bitmap before materializing).
+    pub fn all() -> Self {
+        SelVec {
+            words: [!0; SEGMENT_WORDS],
+        }
+    }
+
+    /// Sets the bit for `row`.
+    #[inline]
+    pub fn set(&mut self, row: usize) {
+        self.words[row / 64] |= 1u64 << (row % 64);
+    }
+
+    /// Whether the bit for `row` is set.
+    #[inline]
+    pub fn contains(&self, row: usize) -> bool {
+        self.words[row / 64] & (1u64 << (row % 64)) != 0
+    }
+
+    /// Word-parallel intersection.
+    pub fn and(&mut self, other: &SelVec) {
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w &= o;
+        }
+    }
+
+    /// Word-parallel union.
+    pub fn or(&mut self, other: &SelVec) {
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+
+    /// Word-parallel complement (over all slots; mask with the live bitmap
+    /// before use).
+    pub fn not(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no row is selected.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over the selected row numbers in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut bits = *w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+}
+
+/// A dictionary-encoded column: one `u32` code per row against a pool of
+/// distinct values.  The pool is per segment (≤ [`SEGMENT_SIZE`] distinct
+/// live values plus tombstoned churn), so copy-on-write of a segment clones
+/// a bounded pool, and a predicate probes the pool once per segment rather
+/// than comparing per row.
+#[derive(Clone, Debug, Default)]
+struct DictColumn {
+    codes: Vec<u32>,
+    pool: Vec<Value>,
+    index: HashMap<Value, u32>,
+}
+
+impl DictColumn {
+    fn intern(&mut self, v: Value) -> u32 {
+        if let Some(c) = self.index.get(&v) {
+            return *c;
+        }
+        let c = u32::try_from(self.pool.len()).expect("dictionary pool exhausted u32 codes");
+        self.pool.push(v.clone());
+        self.index.insert(v, c);
+        c
+    }
+
+    fn value(&self, row: usize) -> Value {
+        self.pool[self.codes[row] as usize].clone()
+    }
+}
+
+/// One typed column of a segment.  The representation is chosen per segment
+/// from the first value stored and promoted to dictionary encoding if a
+/// later value does not fit (mixed-kind columns are legal: domains are
+/// per-attribute advice, not per-partition guarantees).
+#[derive(Clone, Debug)]
+enum Column {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Dict(DictColumn),
+}
+
+impl Column {
+    fn new_for(v: &Value) -> Column {
+        match v {
+            Value::Int(_) => Column::Int(Vec::new()),
+            Value::Float(_) => Column::Float(Vec::new()),
+            _ => Column::Dict(DictColumn::default()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Column::Int(xs) => xs.len(),
+            Column::Float(xs) => xs.len(),
+            Column::Dict(d) => d.codes.len(),
+        }
+    }
+
+    /// Re-encodes the column as a dictionary (the mixed-kind fallback).
+    fn promote_to_dict(&mut self) {
+        let mut d = DictColumn::default();
+        match self {
+            Column::Int(xs) => {
+                for x in xs.iter() {
+                    let c = d.intern(Value::Int(*x));
+                    d.codes.push(c);
+                }
+            }
+            Column::Float(xs) => {
+                for x in xs.iter() {
+                    let c = d.intern(Value::Float(*x));
+                    d.codes.push(c);
+                }
+            }
+            Column::Dict(_) => return,
+        }
+        *self = Column::Dict(d);
+    }
+
+    /// Ensures the representation can hold `v` exactly (no coercion: an
+    /// `Int` stays an `Int` through a round trip even in a `Float` column's
+    /// segment — the column promotes instead).
+    fn ensure_fits(&mut self, v: &Value) {
+        let fits = matches!(
+            (&*self, v),
+            (Column::Int(_), Value::Int(_))
+                | (Column::Float(_), Value::Float(_))
+                | (Column::Dict(_), _)
+        );
+        if !fits {
+            if self.len() == 0 {
+                *self = Column::new_for(v);
+            } else {
+                self.promote_to_dict();
+            }
+        }
+    }
+
+    fn push(&mut self, v: Value) {
+        self.ensure_fits(&v);
+        match (self, v) {
+            (Column::Int(xs), Value::Int(i)) => xs.push(i),
+            (Column::Float(xs), Value::Float(f)) => xs.push(f),
+            (Column::Dict(d), v) => {
+                let c = d.intern(v);
+                d.codes.push(c);
+            }
+            _ => unreachable!("ensure_fits guarantees the representation"),
+        }
+    }
+
+    fn set(&mut self, row: usize, v: Value) {
+        self.ensure_fits(&v);
+        match (self, v) {
+            (Column::Int(xs), Value::Int(i)) => xs[row] = i,
+            (Column::Float(xs), Value::Float(f)) => xs[row] = f,
+            (Column::Dict(d), v) => {
+                let c = d.intern(v);
+                d.codes[row] = c;
+            }
+            _ => unreachable!("ensure_fits guarantees the representation"),
+        }
+    }
+
+    fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(xs) => Value::Int(xs[row]),
+            Column::Float(xs) => Value::Float(xs[row]),
+            Column::Dict(d) => d.value(row),
+        }
+    }
+}
+
+/// One [`SEGMENT_SIZE`]-slot column chunk: one column per attribute of the
+/// partition's shape (in canonical order) plus the live-slot bitmap.
+/// Segments are immutable once shared (copy-on-write via
+/// [`Arc::make_mut`]), exactly like the row heap's segments.
+#[derive(Clone, Debug)]
+pub struct ColumnSegment {
+    cols: Vec<Column>,
+    rows: usize,
+    live: [u64; SEGMENT_WORDS],
+    live_count: usize,
+}
+
+impl ColumnSegment {
+    fn new(width: usize) -> Self {
+        ColumnSegment {
+            // Until the first value arrives a column's representation is a
+            // placeholder; `ensure_fits` swaps an empty column for free.
+            cols: (0..width).map(|_| Column::Int(Vec::new())).collect(),
+            rows: 0,
+            live: [0; SEGMENT_WORDS],
+            live_count: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.rows >= SEGMENT_SIZE
+    }
+
+    /// Number of slots appended so far (live or tombstoned), ≤
+    /// [`SEGMENT_SIZE`].
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of live slots.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether slot `row` holds a live tuple.
+    #[inline]
+    pub fn is_live(&self, row: usize) -> bool {
+        row < self.rows && self.live[row / 64] & (1u64 << (row % 64)) != 0
+    }
+
+    /// The live-slot bitmap as a selection vector — the starting point (and
+    /// final mask) of vectorized predicate evaluation.
+    pub fn live_sel(&self) -> SelVec {
+        SelVec { words: self.live }
+    }
+
+    #[inline]
+    fn set_live(&mut self, row: usize, live: bool) {
+        let (w, b) = (row / 64, 1u64 << (row % 64));
+        if live {
+            self.live[w] |= b;
+        } else {
+            self.live[w] &= !b;
+        }
+    }
+
+    /// Evaluates `column <cmp> rhs` over every slot of the segment into a
+    /// selection vector (tombstoned slots may carry garbage bits; callers
+    /// mask with [`ColumnSegment::live_sel`]).  Numeric columns run a tight
+    /// scalar loop; dictionary columns evaluate the operator once per
+    /// *distinct pool value* and then test one `u32` per row.
+    pub fn cmp_bitmap(&self, col: usize, cmp: ColCmp, rhs: &Value) -> SelVec {
+        let mut out = SelVec::none();
+        match (&self.cols[col], rhs) {
+            (Column::Int(xs), Value::Int(c)) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if cmp.pass_i64(*x, *c) {
+                        out.set(i);
+                    }
+                }
+            }
+            (Column::Float(xs), Value::Float(c)) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if cmp.pass_f64(*x, *c) {
+                        out.set(i);
+                    }
+                }
+            }
+            (Column::Dict(d), rhs) => {
+                // One pass over the pool, then a code-compare loop.  For
+                // equality the pass table has at most one `true` entry (the
+                // pool is deduplicated), so this *is* code equality.
+                let pass: Vec<bool> = d.pool.iter().map(|p| cmp.pass(p, rhs)).collect();
+                if pass.iter().any(|p| *p) {
+                    for (i, code) in d.codes.iter().enumerate() {
+                        if pass[*code as usize] {
+                            out.set(i);
+                        }
+                    }
+                }
+            }
+            // Cross-kind comparisons against a numeric column (e.g. an Int
+            // column vs. a Float constant, or vs. a Str): fall back to the
+            // row-at-a-time reference semantics per element.
+            (col_ref, rhs) => {
+                for i in 0..col_ref.len() {
+                    if cmp.pass(&col_ref.value(i), rhs) {
+                        out.set(i);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn value(&self, col: usize, row: usize) -> Value {
+        self.cols[col].value(row)
+    }
+}
+
+/// Column-major tuple storage for one partition (one shape).  API-compatible
+/// with the row [`Heap`](crate::heap::Heap) — stable [`TupleId`]s, free-list
+/// slot reuse, per-segment copy-on-write — but reads materialize owned
+/// [`Tuple`]s (or hand out [`TupleRef`] views) instead of borrowing stored
+/// ones.
+#[derive(Clone, Debug)]
+pub struct ColumnHeap {
+    shape: AttrSet,
+    attrs: Arc<[Attr]>,
+    segments: Vec<Arc<ColumnSegment>>,
+    free: Vec<TupleId>,
+    live: usize,
+}
+
+impl ColumnHeap {
+    /// Creates an empty column heap for tuples of exactly `shape`.
+    pub fn new(shape: AttrSet) -> Self {
+        let attrs: Arc<[Attr]> = shape.to_vec().into();
+        ColumnHeap {
+            shape,
+            attrs,
+            segments: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// The shape every stored tuple is defined on.
+    pub fn shape(&self) -> &AttrSet {
+        &self.shape
+    }
+
+    /// The canonical column order: the shape's attributes in name order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// The column index of `name`, if the shape contains it.  Columns are
+    /// name-ordered, so this is a binary search.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.attrs.binary_search_by(|a| a.name().cmp(name)).ok()
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the heap holds no live tuple.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of segments (live or not) the heap has grown to.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segment at index `si`, if it exists.
+    pub fn segment(&self, si: usize) -> Option<&ColumnSegment> {
+        self.segments.get(si).map(|s| &**s)
+    }
+
+    /// Iterates over the segments in order.
+    pub fn segments(&self) -> impl Iterator<Item = &ColumnSegment> + '_ {
+        self.segments.iter().map(|s| &**s)
+    }
+
+    fn check_shape(&self, t: &Tuple) {
+        debug_assert_eq!(
+            *t.shape(),
+            self.shape,
+            "tuple routed to a partition of another shape"
+        );
+    }
+
+    /// Inserts a tuple and returns its identifier.
+    pub fn insert(&mut self, t: Tuple) -> TupleId {
+        self.check_shape(&t);
+        self.live += 1;
+        // Tuple iteration is BTreeMap order = attribute-name order = the
+        // canonical column order, so values line up with columns 1:1.
+        if let Some(tid) = self.free.pop() {
+            let seg = Arc::make_mut(&mut self.segments[tid.segment() as usize]);
+            let row = tid.slot() as usize;
+            for (col, (_, v)) in t.iter().enumerate() {
+                seg.cols[col].set(row, v.clone());
+            }
+            seg.set_live(row, true);
+            seg.live_count += 1;
+            return tid;
+        }
+        if self.segments.last().map(|s| s.is_full()).unwrap_or(true) {
+            self.segments
+                .push(Arc::new(ColumnSegment::new(self.attrs.len())));
+        }
+        let segment = (self.segments.len() - 1) as u32;
+        let seg = Arc::make_mut(
+            self.segments
+                .last_mut()
+                .expect("just ensured a segment exists"),
+        );
+        let row = seg.rows;
+        for (col, (_, v)) in t.iter().enumerate() {
+            seg.cols[col].push(v.clone());
+        }
+        seg.rows += 1;
+        seg.set_live(row, true);
+        seg.live_count += 1;
+        TupleId::new(segment, row as u32)
+    }
+
+    /// Materializes the tuple stored under `tid`, if it is live.
+    pub fn get(&self, tid: TupleId) -> Option<Tuple> {
+        self.get_ref(tid).map(|r| r.to_tuple())
+    }
+
+    /// A zero-copy view of the tuple under `tid`, if it is live.
+    pub fn get_ref(&self, tid: TupleId) -> Option<TupleRef<'_>> {
+        let seg = self.segments.get(tid.segment() as usize)?;
+        let row = tid.slot() as usize;
+        if !seg.is_live(row) {
+            return None;
+        }
+        Some(TupleRef {
+            heap: self,
+            seg,
+            row,
+        })
+    }
+
+    /// Deletes the tuple under `tid`, returning it if it was live.
+    pub fn delete(&mut self, tid: TupleId) -> Option<Tuple> {
+        // Probe before copy-on-write: deleting a dead slot must not clone
+        // the segment.
+        let old = self.get(tid)?;
+        let seg = Arc::make_mut(self.segments.get_mut(tid.segment() as usize)?);
+        seg.set_live(tid.slot() as usize, false);
+        seg.live_count -= 1;
+        self.live -= 1;
+        self.free.push(tid);
+        Some(old)
+    }
+
+    /// Replaces the tuple under `tid`, returning the previous value.
+    pub fn replace(&mut self, tid: TupleId, t: Tuple) -> Option<Tuple> {
+        self.check_shape(&t);
+        let old = self.get(tid)?;
+        let seg = Arc::make_mut(self.segments.get_mut(tid.segment() as usize)?);
+        let row = tid.slot() as usize;
+        for (col, (_, v)) in t.iter().enumerate() {
+            seg.cols[col].set(row, v.clone());
+        }
+        Some(old)
+    }
+
+    /// Number of slots segment `si` currently holds (≤ [`SEGMENT_SIZE`]).
+    pub fn segment_len(&self, si: usize) -> usize {
+        self.segments.get(si).map(|s| s.rows).unwrap_or(0)
+    }
+
+    /// Materializes the tuple in slot `(si, slot)`, if that slot is live.
+    /// Used by snapshot iterators that walk a heap positionally (see
+    /// [`crate::partition::SnapshotScan`]).
+    pub fn slot_get(&self, si: usize, slot: usize) -> Option<Tuple> {
+        self.get(TupleId::new(si as u32, slot as u32))
+    }
+
+    /// Materializes the row `row` of segment `seg` (which must belong to
+    /// this heap) without a liveness check — the fast path under a selection
+    /// vector already masked by [`ColumnSegment::live_sel`].
+    pub fn materialize(&self, seg: &ColumnSegment, row: usize) -> Tuple {
+        Tuple::from_shape_values(
+            self.shape.clone(),
+            &self.attrs,
+            (0..self.attrs.len()).map(|c| seg.value(c, row)),
+        )
+    }
+
+    /// Materializes every selected row of segment `si` into `out`.  `sel`
+    /// must already be masked with the segment's live bitmap.
+    pub fn materialize_selected(&self, si: usize, sel: &SelVec, out: &mut Vec<Tuple>) {
+        if let Some(seg) = self.segments.get(si) {
+            for row in sel.iter() {
+                out.push(self.materialize(seg, row));
+            }
+        }
+    }
+
+    /// Iterates over all live tuples as zero-copy views with their
+    /// identifiers.
+    pub fn scan(&self) -> impl Iterator<Item = (TupleId, TupleRef<'_>)> + '_ {
+        self.segments.iter().enumerate().flat_map(move |(si, seg)| {
+            (0..seg.rows).filter_map(move |row| {
+                if seg.is_live(row) {
+                    Some((
+                        TupleId::new(si as u32, row as u32),
+                        TupleRef {
+                            heap: self,
+                            seg,
+                            row,
+                        },
+                    ))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Materializes all live tuples.
+    pub fn all_tuples(&self) -> Vec<Tuple> {
+        self.scan().map(|(_, r)| r.to_tuple()).collect()
+    }
+}
+
+/// A zero-copy view of one stored row: shape and attribute order come from
+/// the owning [`ColumnHeap`], values are read straight out of the columns.
+/// Materialize with [`TupleRef::to_tuple`] only when an owned [`Tuple`] is
+/// actually needed (operator boundaries, client results).
+#[derive(Clone, Copy, Debug)]
+pub struct TupleRef<'a> {
+    heap: &'a ColumnHeap,
+    seg: &'a ColumnSegment,
+    row: usize,
+}
+
+impl TupleRef<'_> {
+    /// The shape (`attr(t)`) of the viewed tuple — the partition's shape.
+    pub fn shape(&self) -> &AttrSet {
+        &self.heap.shape
+    }
+
+    /// Whether the viewed tuple is defined on all of `x` (a shape-level
+    /// fact: every tuple of the partition answers alike).
+    pub fn defined_on(&self, x: &AttrSet) -> bool {
+        x.is_subset(&self.heap.shape)
+    }
+
+    /// The value under attribute `name`, if the shape contains it.
+    pub fn get_name(&self, name: &str) -> Option<Value> {
+        let col = self.heap.col_index(name)?;
+        Some(self.seg.value(col, self.row))
+    }
+
+    /// The value under `a`, if the shape contains it.
+    pub fn get(&self, a: &Attr) -> Option<Value> {
+        self.get_name(a.name())
+    }
+
+    /// Whether the viewed row equals `t` (same shape, same values).
+    pub fn eq_tuple(&self, t: &Tuple) -> bool {
+        if *t.shape() != self.heap.shape {
+            return false;
+        }
+        t.iter()
+            .enumerate()
+            .all(|(col, (_, v))| self.seg.value(col, self.row) == *v)
+    }
+
+    /// Materializes the view as an owned [`Tuple`].
+    pub fn to_tuple(&self) -> Tuple {
+        self.heap.materialize(self.seg, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::tuple;
+
+    fn heap_of(shape: &Tuple) -> ColumnHeap {
+        ColumnHeap::new(shape.attrs())
+    }
+
+    #[test]
+    fn insert_get_delete_mirror_the_row_heap() {
+        let proto = tuple! {"x" => 1};
+        let mut h = heap_of(&proto);
+        assert!(h.is_empty());
+        let a = h.insert(tuple! {"x" => 1});
+        let b = h.insert(tuple! {"x" => 2});
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a), Some(tuple! {"x" => 1}));
+        assert_eq!(h.get(b), Some(tuple! {"x" => 2}));
+        assert_eq!(h.delete(a), Some(tuple! {"x" => 1}));
+        assert_eq!(h.get(a), None);
+        assert_eq!(h.delete(a), None, "double delete is a no-op");
+        let c = h.insert(tuple! {"x" => 3});
+        assert_eq!(c, a, "tombstoned slot is reused");
+        assert_eq!(h.get(c), Some(tuple! {"x" => 3}));
+    }
+
+    #[test]
+    fn mixed_kinds_promote_to_dictionary_and_round_trip() {
+        let proto = tuple! {"v" => 1};
+        let mut h = heap_of(&proto);
+        let a = h.insert(tuple! {"v" => 1});
+        let b = h.insert(tuple! {"v" => 2.5});
+        let c = h.insert(tuple! {"v" => Value::str("s")});
+        let d = h.insert(tuple! {"v" => Value::tag("s")});
+        let e = h.insert(tuple! {"v" => true});
+        assert_eq!(h.get(a), Some(tuple! {"v" => 1}), "Int survives promotion");
+        assert_eq!(h.get(b), Some(tuple! {"v" => 2.5}));
+        assert_eq!(h.get(c), Some(tuple! {"v" => Value::str("s")}));
+        assert_eq!(
+            h.get(d),
+            Some(tuple! {"v" => Value::tag("s")}),
+            "Str and Tag stay distinct in the pool"
+        );
+        assert_eq!(h.get(e), Some(tuple! {"v" => true}));
+    }
+
+    #[test]
+    fn replace_keeps_identity_and_reencodes() {
+        let proto = tuple! {"x" => 1, "y" => 2};
+        let mut h = heap_of(&proto);
+        let a = h.insert(tuple! {"x" => 1, "y" => 2});
+        let old = h.replace(a, tuple! {"x" => 10, "y" => 2.5});
+        assert_eq!(old, Some(tuple! {"x" => 1, "y" => 2}));
+        assert_eq!(h.get(a), Some(tuple! {"x" => 10, "y" => 2.5}));
+        h.delete(a);
+        assert_eq!(h.replace(a, tuple! {"x" => 0, "y" => 0}), None);
+    }
+
+    #[test]
+    fn cmp_bitmap_matches_row_semantics() {
+        let proto = tuple! {"n" => 0, "s" => Value::str("")};
+        let mut h = heap_of(&proto);
+        for i in 0..200i64 {
+            h.insert(tuple! {"n" => i, "s" => Value::str(format!("s{}", i % 7))});
+        }
+        let seg = h.segment(0).unwrap();
+        let n = h.col_index("n").unwrap();
+        let s = h.col_index("s").unwrap();
+        for (cmp, expect) in [
+            (ColCmp::Eq, (0..200).filter(|i| *i == 42).count()),
+            (ColCmp::Ne, (0..200).filter(|i| *i != 42).count()),
+            (ColCmp::Lt, (0..200).filter(|i| *i < 42).count()),
+            (ColCmp::Le, (0..200).filter(|i| *i <= 42).count()),
+            (ColCmp::Gt, (0..200).filter(|i| *i > 42).count()),
+            (ColCmp::Ge, (0..200).filter(|i| *i >= 42).count()),
+        ] {
+            let mut sel = seg.cmp_bitmap(n, cmp, &Value::Int(42));
+            sel.and(&seg.live_sel());
+            assert_eq!(sel.count(), expect, "{:?}", cmp);
+        }
+        let mut sel = seg.cmp_bitmap(s, ColCmp::Eq, &Value::str("s3"));
+        sel.and(&seg.live_sel());
+        assert_eq!(sel.count(), (0..200).filter(|i| i % 7 == 3).count());
+        // Equality is kind-strict: an Int column never equals a Float.
+        let sel = seg.cmp_bitmap(n, ColCmp::Eq, &Value::Float(42.0));
+        assert_eq!(sel.count(), 0);
+        // But ordering compares numerically, like Value::cmp.
+        let mut sel = seg.cmp_bitmap(n, ColCmp::Lt, &Value::Float(2.5));
+        sel.and(&seg.live_sel());
+        assert_eq!(sel.count(), 3);
+        // A Tag constant never matches a Str pool entry.
+        let sel = seg.cmp_bitmap(s, ColCmp::Eq, &Value::tag("s3"));
+        assert_eq!(sel.count(), 0);
+    }
+
+    #[test]
+    fn selection_iterates_set_bits_in_order() {
+        let mut sel = SelVec::none();
+        assert!(sel.is_empty());
+        for row in [0, 1, 63, 64, 700, 1023] {
+            sel.set(row);
+        }
+        assert_eq!(
+            sel.iter().collect::<Vec<_>>(),
+            vec![0, 1, 63, 64, 700, 1023]
+        );
+        assert_eq!(sel.count(), 6);
+        assert!(sel.contains(700) && !sel.contains(2));
+        let mut inv = sel;
+        inv.not();
+        assert_eq!(inv.count(), SEGMENT_SIZE - 6);
+        inv.and(&sel);
+        assert!(inv.is_empty());
+        let mut all = SelVec::all();
+        all.and(&sel);
+        assert_eq!(all, sel);
+        let mut o = SelVec::none();
+        o.or(&sel);
+        assert_eq!(o.count(), 6);
+    }
+
+    #[test]
+    fn tuple_ref_views_without_materializing() {
+        let proto = tuple! {"a" => 1, "b" => Value::tag("t")};
+        let mut h = heap_of(&proto);
+        let id = h.insert(tuple! {"a" => 7, "b" => Value::tag("t")});
+        let r = h.get_ref(id).unwrap();
+        assert_eq!(r.get_name("a"), Some(Value::Int(7)));
+        assert_eq!(r.get_name("missing"), None);
+        assert!(r.defined_on(&proto.attrs()));
+        assert!(r.eq_tuple(&tuple! {"a" => 7, "b" => Value::tag("t")}));
+        assert!(!r.eq_tuple(&tuple! {"a" => 8, "b" => Value::tag("t")}));
+        assert!(!r.eq_tuple(&tuple! {"a" => 7}));
+        assert_eq!(r.to_tuple(), tuple! {"a" => 7, "b" => Value::tag("t")});
+    }
+
+    #[test]
+    fn identifiers_are_stable_across_growth() {
+        let proto = tuple! {"x" => 0};
+        let mut h = heap_of(&proto);
+        let ids: Vec<TupleId> = (0..3000)
+            .map(|i| h.insert(tuple! {"x" => i as i64}))
+            .collect();
+        assert_eq!(h.len(), 3000);
+        assert!(h.segment_count() > 1, "spans several segments");
+        for (i, tid) in ids.iter().enumerate() {
+            assert_eq!(
+                h.get(*tid).and_then(|t| t.get_name("x").cloned()),
+                Some(Value::Int(i as i64))
+            );
+        }
+        assert_eq!(h.all_tuples().len(), 3000);
+        assert_eq!(h.scan().count(), 3000);
+    }
+
+    #[test]
+    fn cow_segments_preserve_snapshots() {
+        let proto = tuple! {"x" => 0};
+        let mut h = heap_of(&proto);
+        let a = h.insert(tuple! {"x" => 1});
+        let snapshot = h.clone();
+        h.delete(a);
+        h.insert(tuple! {"x" => 99});
+        assert_eq!(snapshot.get(a), Some(tuple! {"x" => 1}), "snapshot frozen");
+        assert_eq!(h.get(a), Some(tuple! {"x" => 99}), "slot reused in head");
+    }
+}

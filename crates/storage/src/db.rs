@@ -234,12 +234,7 @@ fn index_on<'a>(indexes: &'a IndexSet, key: &AttrSet) -> Option<&'a Arc<HashInde
 /// otherwise a scan.  Tuples not defined on all of `lhs` are excluded —
 /// the pairwise premise of Defs. 4.1/4.2 requires `X ⊆ attr(t)` on both
 /// sides, so they can never conflict.
-fn peers<'a>(
-    parts: &'a PartitionedHeap,
-    indexes: &'a IndexSet,
-    lhs: &AttrSet,
-    t: &Tuple,
-) -> Vec<&'a Tuple> {
+fn peers(parts: &PartitionedHeap, indexes: &IndexSet, lhs: &AttrSet, t: &Tuple) -> Vec<Tuple> {
     if !t.defined_on(lhs) {
         return Vec::new();
     }
@@ -249,10 +244,11 @@ fn peers<'a>(
             .filter_map(|rid| parts.get(*rid))
             .collect()
     } else {
+        // `defined_on` is a shape-level fact, so prune whole partitions
+        // instead of filtering materialized tuples.
         parts
-            .scan()
+            .scan_where(|shape| lhs.is_subset(shape))
             .map(|(_, u)| u)
-            .filter(|u| u.defined_on(lhs))
             .collect()
     }
 }
@@ -286,10 +282,10 @@ fn check_deps_full(
         match dep {
             Dependency::Ead(ead) => ead.check_tuple(t)?,
             Dependency::Ad(ad) => {
-                ad.check_insert_among(peers(parts, indexes, ad.lhs(), t), t)?;
+                ad.check_insert_among(&peers(parts, indexes, ad.lhs(), t), t)?;
             }
             Dependency::Fd(fd) => {
-                fd.check_insert_among(peers(parts, indexes, fd.lhs(), t), t)?;
+                fd.check_insert_among(&peers(parts, indexes, fd.lhs(), t), t)?;
             }
         }
     }
@@ -330,12 +326,12 @@ fn check_deps_memoized(
             }
             (Dependency::Ad(ad), DepGuard::Pairwise { lhs_defined }) => {
                 if *lhs_defined {
-                    ad.check_insert_among(peers(parts, indexes, ad.lhs(), t), t)?;
+                    ad.check_insert_among(&peers(parts, indexes, ad.lhs(), t), t)?;
                 }
             }
             (Dependency::Fd(fd), DepGuard::Pairwise { lhs_defined }) => {
                 if *lhs_defined {
-                    fd.check_insert_among(peers(parts, indexes, fd.lhs(), t), t)?;
+                    fd.check_insert_among(&peers(parts, indexes, fd.lhs(), t), t)?;
                 }
             }
             // The memo is built from the same dependency list it is
@@ -460,13 +456,13 @@ fn undo_remove_in(
     rid: Rid,
     expected: &Tuple,
 ) -> bool {
-    let target = if parts.get(rid) == Some(expected) {
+    let target = if parts.get_ref(rid).is_some_and(|r| r.eq_tuple(expected)) {
         Some(rid)
     } else {
         let sid = expected.shape_id();
         parts.partition(sid).and_then(|p| {
-            p.tuples()
-                .find(|(_, t)| *t == expected)
+            p.tuple_refs()
+                .find(|(_, r)| r.eq_tuple(expected))
                 .map(|(loc, _)| Rid::new(sid, loc))
         })
     };
@@ -642,7 +638,7 @@ impl Database {
         }
         let mut idx = HashIndex::new(key);
         for (rid, t) in parts.scan() {
-            idx.insert(rid, t);
+            idx.insert(rid, &t);
         }
         indexes.push(StoredIndex {
             idx: Arc::new(idx),
@@ -826,7 +822,7 @@ impl Database {
     pub fn get(&self, relation: &str, rid: Rid) -> Result<Option<Tuple>> {
         let store = self.store(relation)?;
         let parts = read(&store.parts);
-        Ok(parts.get(rid).cloned())
+        Ok(parts.get(rid))
     }
 
     /// Scans all tuples of a relation, partition by partition, from one
@@ -890,13 +886,12 @@ impl Database {
             Ok(idx
                 .lookup(key_value)
                 .iter()
-                .filter_map(|rid| parts.get(*rid).map(|t| (*rid, t.clone())))
+                .filter_map(|rid| parts.get(*rid).map(|t| (*rid, t)))
                 .collect())
         } else {
             Ok(parts
                 .scan_where(|shape| key.is_subset(shape))
                 .filter(|(_, t)| t.project(key) == *key_value)
-                .map(|(rid, t)| (rid, t.clone()))
                 .collect())
         }
     }
@@ -913,14 +908,10 @@ impl Database {
             Ok(idx
                 .partial_tuples()
                 .iter()
-                .filter_map(|rid| parts.get(*rid).map(|t| (*rid, t.clone())))
+                .filter_map(|rid| parts.get(*rid).map(|t| (*rid, t)))
                 .collect())
         } else {
-            Ok(parts
-                .scan()
-                .filter(|(_, t)| !t.defined_on(key))
-                .map(|(rid, t)| (rid, t.clone()))
-                .collect())
+            Ok(parts.scan_where(|shape| !key.is_subset(shape)).collect())
         }
     }
 
@@ -1153,11 +1144,7 @@ impl TxnScope<'_> {
     /// uncommitted writes.
     pub fn scan(&self, relation: &str) -> Result<Vec<(Rid, Tuple)>> {
         let i = self.slot(relation)?;
-        Ok(self.guards[i]
-            .0
-            .scan()
-            .map(|(rid, t)| (rid, t.clone()))
-            .collect())
+        Ok(self.guards[i].0.scan().collect())
     }
 
     fn rollback_in_place(&mut self) {

@@ -9,6 +9,12 @@
 //! top and for the [`Rid`](crate::partition::Rid) identifiers that pair a
 //! partition with a `TupleId`.
 //!
+//! Live partitions are now stored column-major ([`crate::column`]); this
+//! row-oriented heap is kept intact as the **differential oracle** for the
+//! columnar path (`tests/tests/columnar_differential.rs`, experiment E12's
+//! columnar-vs-row rows) — both stores share [`TupleId`] and the same
+//! segment/COW discipline, so op-for-op comparisons are exact.
+//!
 //! Segments are held behind [`Arc`]s so that cloning a heap (which happens
 //! when a concurrent scan snapshot triggers copy-on-write of its partition,
 //! see [`crate::partition::PartitionSnapshot`]) is a per-segment refcount

@@ -9,6 +9,16 @@
 //! scheme, domain and dependency constraints on every write — the
 //! operational side of §3.1's "they can now be exploited operationally".
 //!
+//! Within each partition, storage is **column-major** ([`mod@column`]): one
+//! typed column vector per attribute of the shape (dictionary-encoded for
+//! strings/tags), in canonical `AttrSet` order, chunked into copy-on-write
+//! `Arc` segments with per-segment selection-vector scan kernels.  Because
+//! a partition holds exactly one shape, its columns are dense — the
+//! paper's no-nulls argument made physical: shape membership carries all
+//! presence information, so the kernels have no null bitmap.  The
+//! row-store [`Heap`] is retained unchanged as the differential oracle for
+//! the columnar path.
+//!
 //! Partitioning by shape makes the DNF structure of the scheme
 //! (`dnf(FS)`, [`FlexScheme::dnf`](flexrel_core::scheme::FlexScheme::dnf))
 //! physical: each partition is a homogeneous fragment satisfying exactly one
@@ -33,6 +43,7 @@
 #![deny(missing_docs)]
 
 pub mod catalog;
+pub mod column;
 pub mod db;
 pub mod heap;
 pub mod index;
@@ -40,6 +51,7 @@ pub mod partition;
 pub mod txn;
 
 pub use catalog::{Catalog, RelationDef};
+pub use column::{ColCmp, ColumnHeap, ColumnSegment, SelVec, TupleRef};
 pub use db::{Database, IndexInfo, TxnScope};
 pub use heap::{Heap, TupleId};
 pub use index::HashIndex;

@@ -4,8 +4,8 @@
 //! every tuple's attribute set `attr(t)` is one disjunct of the scheme's DNF
 //! (`attr(t) ∈ dnf(FS)`, §2.1), and the attribute dependencies constrain
 //! which disjuncts can carry which determining values.  This module stores
-//! each relation physically in that shape: one segment [`Heap`] per distinct
-//! tuple shape, keyed by the interned
+//! each relation physically in that shape: one column-major segment heap
+//! ([`ColumnHeap`]) per distinct tuple shape, keyed by the interned
 //! [`ShapeId`] that
 //! [`Tuple::shape_id`](flexrel_core::tuple::Tuple::shape_id) yields.
 //!
@@ -22,6 +22,11 @@
 //! * **Cheap shape metadata** — the set of live shapes (and their union) is
 //!   maintained incrementally, so the executor can derive join/projection
 //!   attribute sets from partition metadata instead of folding over tuples.
+//! * **Columnar layout** — every tuple of a partition is defined on exactly
+//!   the partition's shape, so the heap stores one typed column per
+//!   attribute with no per-row null handling and evaluates predicates
+//!   vectorized (see [`crate::column`]).  The row-store
+//!   [`Heap`](crate::heap::Heap) remains as the differential oracle.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -30,7 +35,8 @@ use std::sync::Arc;
 use flexrel_core::attr::AttrSet;
 use flexrel_core::tuple::{ShapeId, Tuple};
 
-use crate::heap::{Heap, TupleId};
+use crate::column::{ColumnHeap, TupleRef};
+use crate::heap::TupleId;
 
 /// A stable identifier of a tuple stored in a shape-partitioned relation:
 /// the partition's [`ShapeId`] plus the tuple's [`TupleId`] inside that
@@ -116,15 +122,15 @@ pub enum DepGuard {
 #[derive(Clone, Debug)]
 pub struct Partition {
     shape: AttrSet,
-    heap: Heap,
+    heap: ColumnHeap,
     memo: ShapeMemo,
 }
 
 impl Partition {
     fn new(shape: AttrSet, memo: ShapeMemo) -> Self {
         Partition {
+            heap: ColumnHeap::new(shape.clone()),
             shape,
-            heap: Heap::new(),
             memo,
         }
     }
@@ -149,9 +155,21 @@ impl Partition {
         self.heap.is_empty()
     }
 
-    /// Iterates over the partition's live tuples.
-    pub fn tuples(&self) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
+    /// The partition's column-major tuple storage — the entry point for
+    /// vectorized scans ([`ColumnHeap::segments`],
+    /// [`ColumnSegment::cmp_bitmap`](crate::column::ColumnSegment::cmp_bitmap)).
+    pub fn columns(&self) -> &ColumnHeap {
+        &self.heap
+    }
+
+    /// Iterates over the partition's live tuples as zero-copy views.
+    pub fn tuple_refs(&self) -> impl Iterator<Item = (TupleId, TupleRef<'_>)> + '_ {
         self.heap.scan()
+    }
+
+    /// Iterates over the partition's live tuples, materialized.
+    pub fn tuples(&self) -> impl Iterator<Item = (TupleId, Tuple)> + '_ {
+        self.heap.scan().map(|(tid, r)| (tid, r.to_tuple()))
     }
 }
 
@@ -173,7 +191,7 @@ pub struct PartitionInfo {
     pub tuples: usize,
 }
 
-/// A shape-partitioned heap: one segment [`Heap`] per distinct live tuple
+/// A shape-partitioned heap: one segment [`ColumnHeap`] per distinct live tuple
 /// shape, keyed by [`ShapeId`].
 ///
 /// Partitions are created lazily on the first insert of a shape (the caller
@@ -265,9 +283,14 @@ impl PartitionedHeap {
         Rid { shape, loc }
     }
 
-    /// Reads the tuple stored under `rid`, if it is live.
-    pub fn get(&self, rid: Rid) -> Option<&Tuple> {
+    /// Materializes the tuple stored under `rid`, if it is live.
+    pub fn get(&self, rid: Rid) -> Option<Tuple> {
         self.parts.get(&rid.shape)?.heap.get(rid.loc)
+    }
+
+    /// A zero-copy view of the tuple stored under `rid`, if it is live.
+    pub fn get_ref(&self, rid: Rid) -> Option<TupleRef<'_>> {
+        self.parts.get(&rid.shape)?.heap.get_ref(rid.loc)
     }
 
     /// Deletes the tuple under `rid`, returning it if it was live.  Dropping
@@ -275,7 +298,7 @@ impl PartitionedHeap {
     pub fn delete(&mut self, rid: Rid) -> Option<Tuple> {
         let part = self.parts.get_mut(&rid.shape)?;
         // Probe before copy-on-write: deleting a dead rid must not clone.
-        part.heap.get(rid.loc)?;
+        part.heap.get_ref(rid.loc)?;
         let part = Arc::make_mut(part);
         let old = part.heap.delete(rid.loc)?;
         self.live -= 1;
@@ -285,18 +308,18 @@ impl PartitionedHeap {
         Some(old)
     }
 
-    /// Iterates over all live tuples, partition by partition.
-    pub fn scan(&self) -> impl Iterator<Item = (Rid, &Tuple)> + '_ {
+    /// Iterates over all live tuples, materialized, partition by partition.
+    pub fn scan(&self) -> impl Iterator<Item = (Rid, Tuple)> + '_ {
         self.parts.iter().flat_map(|(sid, p)| {
             p.heap
                 .scan()
-                .map(move |(loc, t)| (Rid { shape: *sid, loc }, t))
+                .map(move |(loc, r)| (Rid { shape: *sid, loc }, r.to_tuple()))
         })
     }
 
     /// Iterates over the live tuples of the partitions admitted by the shape
     /// predicate — the pruned scan behind the streaming executor.
-    pub fn scan_where<'a, F>(&'a self, mut admits: F) -> impl Iterator<Item = (Rid, &'a Tuple)> + 'a
+    pub fn scan_where<'a, F>(&'a self, mut admits: F) -> impl Iterator<Item = (Rid, Tuple)> + 'a
     where
         F: FnMut(&AttrSet) -> bool + 'a,
     {
@@ -306,13 +329,13 @@ impl PartitionedHeap {
             .flat_map(|(sid, p)| {
                 p.heap
                     .scan()
-                    .map(move |(loc, t)| (Rid { shape: *sid, loc }, t))
+                    .map(move |(loc, r)| (Rid { shape: *sid, loc }, r.to_tuple()))
             })
     }
 
     /// Materializes all live tuples.
     pub fn all_tuples(&self) -> Vec<Tuple> {
-        self.scan().map(|(_, t)| t.clone()).collect()
+        self.scan().map(|(_, t)| t).collect()
     }
 }
 
@@ -373,9 +396,9 @@ impl PartitionSnapshot {
             .fold(AttrSet::empty(), |acc, (_, p)| acc.union(p.shape()))
     }
 
-    /// The tuple stored under `rid` in the snapshot, if it was live when
-    /// the snapshot was taken.
-    pub fn get(&self, rid: Rid) -> Option<&Tuple> {
+    /// The tuple stored under `rid` in the snapshot, materialized, if it
+    /// was live when the snapshot was taken.
+    pub fn get(&self, rid: Rid) -> Option<Tuple> {
         let i = self
             .parts
             .binary_search_by_key(&rid.shape, |(sid, _)| *sid)
@@ -414,9 +437,9 @@ impl PartitionSnapshot {
 
 /// An owned streaming iterator over the live tuples of a
 /// [`PartitionSnapshot`], yielding `(Rid, Tuple)` pairs partition by
-/// partition.  Tuples are cloned out of the snapshot (cheap: values are
-/// refcounted); the underlying partitions are immutable, so the iterator is
-/// unaffected by concurrent writes.
+/// partition.  Tuples are materialized out of the snapshot's columns (cheap:
+/// values are refcounted); the underlying partitions are immutable, so the
+/// iterator is unaffected by concurrent writes.
 #[derive(Clone, Debug)]
 pub struct SnapshotScan {
     parts: Vec<(ShapeId, Arc<Partition>)>,
@@ -446,7 +469,7 @@ impl Iterator for SnapshotScan {
             self.slot += 1;
             if let Some(t) = part.heap.slot_get(self.segment, slot) {
                 let rid = Rid::new(*sid, TupleId::new(self.segment as u32, slot as u32));
-                return Some((rid, t.clone()));
+                return Some((rid, t));
             }
         }
     }
@@ -484,8 +507,8 @@ mod tests {
         assert_eq!(h.partition_count(), 2);
         assert_eq!(a.shape(), b.shape());
         assert_ne!(a.shape(), c.shape());
-        assert_eq!(h.get(a), Some(&tuple! {"x" => 1}));
-        assert_eq!(h.get(c), Some(&tuple! {"x" => 3, "y" => 4}));
+        assert_eq!(h.get(a), Some(tuple! {"x" => 1}));
+        assert_eq!(h.get(c), Some(tuple! {"x" => 3, "y" => 4}));
         assert_eq!(h.attrs_union(), attrs!["x", "y"]);
     }
 

@@ -57,18 +57,24 @@ impl WideConfig {
             .map(|i| 1.0 / ((i + 1) as f64).powf(self.skew))
             .collect();
         let total: f64 = weights.iter().sum();
-        let mut counts: Vec<usize> = weights
-            .iter()
-            .map(|w| (self.n as f64 * w / total).floor() as usize)
-            .collect();
-        // Distribute the rounding remainder to the heaviest variants first.
-        let mut assigned: usize = counts.iter().sum();
-        let mut i = 0usize;
-        while assigned < self.n {
-            counts[i % self.variants] += 1;
-            assigned += 1;
-            i += 1;
+        let quotas: Vec<f64> = weights.iter().map(|w| self.n as f64 * w / total).collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        // Largest-remainder (Hamilton) apportionment of the rounding
+        // remainder: the variants that lost the most to flooring get the
+        // extra tuples, ties broken toward the low (heavier) variants, so
+        // the realized histogram tracks the Zipf weights as closely as
+        // integer counts allow.
+        let assigned: usize = counts.iter().sum();
+        let mut by_fraction: Vec<usize> = (0..self.variants).collect();
+        by_fraction.sort_by(|a, b| {
+            (quotas[*b] - counts[*b] as f64)
+                .total_cmp(&(quotas[*a] - counts[*a] as f64))
+                .then(a.cmp(b))
+        });
+        for i in by_fraction.into_iter().take(self.n - assigned) {
+            counts[i] += 1;
         }
+        debug_assert_eq!(counts.iter().sum::<usize>(), self.n);
         counts
     }
 }
@@ -218,6 +224,38 @@ mod tests {
             generate_wide(&uniform)[5].get_name("kind"),
             Some(&Value::tag("k1"))
         );
+    }
+
+    #[test]
+    fn variant_counts_sum_to_n_with_largest_remainders_first() {
+        // Every configuration allocates exactly n tuples.
+        for n in [0, 1, 7, 199, 200, 1000, 9999] {
+            for k in [1, 2, 4, 7, 16] {
+                for skew in [0.0, 0.5, 1.0, 1.5, 3.0] {
+                    let counts = WideConfig::new(n, k).with_skew(skew).variant_counts();
+                    assert_eq!(
+                        counts.iter().sum::<usize>(),
+                        n,
+                        "n={} k={} skew={}",
+                        n,
+                        k,
+                        skew
+                    );
+                }
+            }
+        }
+        // The rounding remainder goes to the largest fractional parts, not
+        // round-robin from variant 0: with n=10, k=4, skew=1 the quotas are
+        // 4.8, 2.4, 1.6, 1.2 — the floors leave two extra tuples, which go
+        // to v0 (fraction .8) and v2 (fraction .6), not to v0 and v1.
+        let counts = WideConfig::new(10, 4).with_skew(1.0).variant_counts();
+        assert_eq!(counts, vec![5, 2, 2, 1]);
+        // Counts stay monotone in the weights (no inversion from the
+        // remainder pass).
+        let counts = WideConfig::new(101, 5).with_skew(2.0).variant_counts();
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "{:?}", counts);
+        }
     }
 
     #[test]
