@@ -1,0 +1,121 @@
+//! E15: durability — group-commit vs per-commit fsync throughput for
+//! concurrent durable writers, and cold-start recovery replaying a WAL
+//! tail into a fresh process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+use flexrel_storage::{Database, DurabilityOptions, NoFault, RelationDef};
+use flexrel_workload::{wide_kind_tag, wide_relation, wide_variant_attr};
+
+const VARIANTS: usize = 4;
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+struct BenchDir(std::path::PathBuf);
+
+impl BenchDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "flexrel-crit-e15-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        BenchDir(dir)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn durable_db(dir: &std::path::Path, group_commit: bool) -> Database {
+    let db = Database::open_with(
+        dir,
+        DurabilityOptions {
+            group_commit,
+            checkpoint_bytes: 1 << 30,
+            background_checkpoint: false,
+            fault: Arc::new(NoFault),
+        },
+    )
+    .unwrap();
+    db.create_relation(RelationDef::from_relation(&wide_relation(VARIANTS)))
+        .unwrap();
+    db
+}
+
+fn wide_tuple(id: i64) -> Tuple {
+    let v = (id as usize) % VARIANTS;
+    Tuple::new()
+        .with("id", id)
+        .with("kind", Value::tag(wide_kind_tag(v)))
+        .with(wide_variant_attr(v), id * 7 % 1000)
+}
+
+fn commit_burst(db: &Database, writers: usize, per: usize, base: i64) {
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let db = db.clone();
+            s.spawn(move || {
+                for k in 0..per {
+                    db.insert("wide", wide_tuple(base + (w * per + k) as i64))
+                        .unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_durability");
+    g.sample_size(10);
+
+    for (name, group) in [
+        ("group_commit_4_writers_x_64", true),
+        ("per_commit_fsync_4_writers_x_64", false),
+    ] {
+        g.bench_function(name, |b| {
+            let dir = BenchDir::new(name);
+            let db = durable_db(&dir.0, group);
+            let mut base = 0i64;
+            b.iter(|| {
+                commit_burst(&db, 4, 64, base);
+                base += 4 * 64;
+                base
+            });
+        });
+    }
+
+    g.bench_function("recovery_replay_1024_commits", |b| {
+        let dir = BenchDir::new("recovery");
+        {
+            let db = durable_db(&dir.0, true);
+            commit_burst(&db, 4, 256, 0);
+        }
+        b.iter(|| {
+            let db = Database::open_with(
+                &dir.0,
+                DurabilityOptions {
+                    background_checkpoint: false,
+                    ..DurabilityOptions::default()
+                },
+            )
+            .unwrap();
+            db.count("wide").unwrap()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! the expected shape next to a captured run.  The Criterion benches in
 //! `benches/` time the hot kernels of the same experiments.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use flexrel_algebra::ops;
@@ -27,7 +28,7 @@ use flexrel_embed::{
     artificial_ead_for_group, introduce_artificial_determinant, pascal_record, rust_types,
 };
 use flexrel_query::prelude::*;
-use flexrel_storage::{Database, RelationDef};
+use flexrel_storage::{CountingFault, Database, DurabilityOptions, RelationDef};
 use flexrel_workload::{
     employee_domains, employee_relation, generate_employees, generate_wide, random_dependency_set,
     random_ead, random_scheme, wide_relation, DepGenConfig, EmployeeConfig, SchemeGenConfig,
@@ -1216,6 +1217,237 @@ pub fn e14_concurrency(scale: usize) -> Table {
     }
 }
 
+/// A unique scratch directory under the system temp dir, removed on drop.
+struct BenchDir(std::path::PathBuf);
+
+impl BenchDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "flexrel-bench-e15-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        BenchDir(dir)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One durable commit run for E15: `writers` threads each committing
+/// `commits / writers` single-insert durable statements against a fresh
+/// database in `dir`.  Returns `(commits/s, fsyncs, committed)` where
+/// `fsyncs` counts the actual `WalSync` boundaries crossed after setup
+/// (with group commit only the batch leader reaches the boundary, so this
+/// is the number of physical syncs, not the number of committers).
+fn e15_commit_run(
+    dir: &std::path::Path,
+    group_commit: bool,
+    writers: usize,
+    commits: usize,
+) -> (f64, usize, usize) {
+    const VARIANTS: usize = 4;
+    let fault = Arc::new(CountingFault::new());
+    let db = Database::open_with(
+        dir,
+        DurabilityOptions {
+            group_commit,
+            // Keep the whole run in one WAL segment so the two modes differ
+            // only in sync batching, never in checkpoint scheduling.
+            checkpoint_bytes: 1 << 30,
+            background_checkpoint: false,
+            fault: fault.clone(),
+        },
+    )
+    .expect("open durable database");
+    db.create_relation(RelationDef::from_relation(&wide_relation(VARIANTS)))
+        .unwrap();
+    let sync_base = fault.wal_syncs();
+    let per = commits / writers;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let db = db.clone();
+            s.spawn(move || {
+                for k in 0..per {
+                    let id = (w * per + k) as i64;
+                    let v = (id as usize) % VARIANTS;
+                    db.insert(
+                        "wide",
+                        Tuple::new()
+                            .with("id", id)
+                            .with("kind", Value::tag(flexrel_workload::wide_kind_tag(v)))
+                            .with(flexrel_workload::wide_variant_attr(v), id * 7 % 1000),
+                    )
+                    .expect("durable insert");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let committed = db.count("wide").unwrap();
+    (
+        committed as f64 / elapsed,
+        fault.wal_syncs() - sync_base,
+        committed,
+    )
+}
+
+/// E15 — durability: group-commit throughput, fsync amortization, recovery.
+///
+/// Three phases against an on-disk database in a scratch directory:
+///
+/// * **commit throughput** — `writers` concurrent threads each committing
+///   durable single-insert statements, once with per-commit fsync and once
+///   with group commit; the headline is the throughput ratio.  The
+///   [`CountingFault`] hook counts the physical `WalSync` boundaries, so
+///   the `fsyncs/1k` column shows the amortization directly (1000 for the
+///   per-commit mode, far fewer under group commit).
+/// * **recovery (WAL tail)** — the group-commit directory is reopened cold
+///   and every commit is replayed from the log; the row reports replay
+///   rate and checks the recovered count against the acked commits.
+/// * **recovery (checkpoint + tail)** — after a checkpoint and a 10% tail
+///   of further commits, reopening must replay only the tail.
+pub fn e15_durability(scale: usize) -> Table {
+    let mut t = Table::new(
+        "E15: durability — group commit vs per-commit fsync, WAL replay and checkpointed recovery",
+        &["phase", "writers", "commits", "rate", "fsyncs/1k", "check"],
+    );
+    const WRITERS: usize = 4;
+    let commits = scale.max(WRITERS);
+
+    let per_dir = BenchDir::new("percommit");
+    let (per_cps, per_syncs, per_committed) = e15_commit_run(&per_dir.0, false, WRITERS, commits);
+    let expected = (commits / WRITERS) * WRITERS;
+    t.row([
+        "commit per-fsync".to_string(),
+        WRITERS.to_string(),
+        per_committed.to_string(),
+        format!("{:.0} commits/s", per_cps),
+        format!("{:.1}", per_syncs as f64 * 1000.0 / per_committed as f64),
+        if per_committed == expected {
+            "ok"
+        } else {
+            "LOST"
+        }
+        .to_string(),
+    ]);
+    drop(per_dir);
+
+    let group_dir = BenchDir::new("group");
+    let (grp_cps, grp_syncs, grp_committed) = e15_commit_run(&group_dir.0, true, WRITERS, commits);
+    t.row([
+        "commit group".to_string(),
+        WRITERS.to_string(),
+        grp_committed.to_string(),
+        format!("{:.0} commits/s", grp_cps),
+        format!("{:.1}", grp_syncs as f64 * 1000.0 / grp_committed as f64),
+        if grp_committed == expected {
+            "ok"
+        } else {
+            "LOST"
+        }
+        .to_string(),
+    ]);
+
+    // Recovery phase 1: reopen the group-commit directory cold.  The only
+    // checkpoint on disk predates every insert (the create-relation DDL
+    // barrier), so recovery replays the full WAL tail.
+    let start = Instant::now();
+    let db = Database::open_with(
+        &group_dir.0,
+        DurabilityOptions {
+            background_checkpoint: false,
+            ..DurabilityOptions::default()
+        },
+    )
+    .expect("recover from WAL tail");
+    let wal_ms = start.elapsed().as_secs_f64() * 1e3;
+    let info = db
+        .recovery_info()
+        .expect("durable database reports recovery");
+    let recovered = db.count("wide").unwrap();
+    t.row([
+        "recovery wal-tail".to_string(),
+        "-".to_string(),
+        format!("{} replayed", info.replayed_commits),
+        format!("{:.1} ms", wal_ms),
+        "-".to_string(),
+        if recovered == grp_committed && info.replayed_commits == grp_committed {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+        .to_string(),
+    ]);
+
+    // Recovery phase 2: checkpoint, append a 10% tail, reopen — only the
+    // tail may replay.
+    db.checkpoint_now().expect("checkpoint");
+    let tail = (commits / 10).max(1);
+    for k in 0..tail {
+        let id = (commits + k) as i64;
+        db.insert(
+            "wide",
+            Tuple::new()
+                .with("id", id)
+                .with("kind", Value::tag(flexrel_workload::wide_kind_tag(0)))
+                .with(flexrel_workload::wide_variant_attr(0), id * 7 % 1000),
+        )
+        .expect("tail insert");
+    }
+    drop(db);
+    let start = Instant::now();
+    let db = Database::open_with(
+        &group_dir.0,
+        DurabilityOptions {
+            background_checkpoint: false,
+            ..DurabilityOptions::default()
+        },
+    )
+    .expect("recover from checkpoint + tail");
+    let ckpt_ms = start.elapsed().as_secs_f64() * 1e3;
+    let info = db
+        .recovery_info()
+        .expect("durable database reports recovery");
+    let recovered = db.count("wide").unwrap();
+    t.row([
+        "recovery checkpoint+tail".to_string(),
+        "-".to_string(),
+        format!("{} replayed", info.replayed_commits),
+        format!("{:.1} ms", ckpt_ms),
+        "-".to_string(),
+        if recovered == grp_committed + tail && info.replayed_commits == tail {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+        .to_string(),
+    ]);
+    drop(db);
+    drop(group_dir);
+
+    // Group commit amortizes syncs across *concurrent* committers; on a
+    // single-CPU host the writer threads barely overlap, so the ratio
+    // measures the runner, not the subsystem (same policy as E14's
+    // scaling headline).  The fsync-count and recovery checks still run.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores == 1 {
+        t.with_skipped_headline("group-commit throughput gain", true)
+    } else {
+        t.with_headline("group-commit throughput gain", grp_cps / per_cps, true)
+    }
+}
+
 /// Whether the plan's scan shape predicate admits the given partition shape
 /// (plans without a shape predicate admit everything).
 fn plan_shape_admits(
@@ -1258,6 +1490,7 @@ pub fn run_all_timed(scale: usize) -> Vec<(&'static str, Table, f64)> {
         ("E12", Box::new(move || e12_partition_pruning(scale))),
         ("E13", Box::new(move || e13_index_lookup(scale))),
         ("E14", Box::new(move || e14_concurrency(scale))),
+        ("E15", Box::new(move || e15_durability(scale))),
     ];
     experiments
         .into_iter()
@@ -1426,6 +1659,28 @@ mod tests {
         } else {
             assert!(!h.skipped);
             assert!(h.value >= 1.0, "best multi-thread scaling is floored at 1x");
+        }
+    }
+
+    #[test]
+    fn e15_durable_commits_all_land_and_recovery_replays_the_right_tail() {
+        let t = e15_durability(200);
+        assert_eq!(t.len(), 4, "two commit modes plus two recovery rows");
+        for row in &t.rows {
+            assert_eq!(row[5], "ok", "durability check failed: {:?}", row);
+        }
+        // Per-commit mode pays one fsync per commit — exactly 1000/1k.
+        assert_eq!(t.rows[0][4], "1000.0");
+        let h = t.headline.as_ref().expect("E15 carries a headline");
+        assert!(h.metric.contains("group-commit"));
+        let single_cpu = std::thread::available_parallelism()
+            .map(|n| n.get() == 1)
+            .unwrap_or(true);
+        if single_cpu {
+            assert!(h.skipped, "single-CPU hosts mark the headline skipped");
+        } else {
+            assert!(!h.skipped);
+            assert!(h.value.is_finite() && h.value > 0.0);
         }
     }
 

@@ -49,7 +49,11 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::path::{Path, PathBuf};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak,
+};
+use std::time::Duration;
 
 use flexrel_core::attr::AttrSet;
 use flexrel_core::dep::Dependency;
@@ -58,26 +62,30 @@ use flexrel_core::relation::FlexRelation;
 use flexrel_core::tuple::Tuple;
 
 use crate::catalog::{Catalog, RelationDef};
+use crate::checkpoint::{write_checkpoint, CheckpointSource};
+use crate::errors::StorageError;
+use crate::fault::{IoFault, NoFault};
 use crate::index::HashIndex;
 use crate::partition::{
     DepGuard, PartitionSnapshot, PartitionedHeap, Rid, ShapeMemo, SnapshotScan,
 };
 use crate::txn::{Transaction, UndoAction};
+use crate::wal::{WalOp, WalWriter};
 
 // Lock acquisition helpers.  Poisoning is deliberately not propagated
 // (parking-lot-style semantics): the storage layer runs all fallible checks
 // *before* mutating, so a poisoned lock can only result from a caller panic
 // inside `transact` — which rolls back before unwinding — or from a panic
 // in a reader, which does not poison at all.
-fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
     l.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -87,28 +95,33 @@ fn lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
 /// behind an [`Arc`] so readers can snapshot it (one refcount bump) and
 /// probe lock-free while writers copy-on-write.
 #[derive(Clone, Debug)]
-struct StoredIndex {
-    idx: Arc<HashIndex>,
-    auto: bool,
+pub(crate) struct StoredIndex {
+    pub(crate) idx: Arc<HashIndex>,
+    pub(crate) auto: bool,
 }
 
 /// The index set of one relation.
-type IndexSet = Vec<StoredIndex>;
+pub(crate) type IndexSet = Vec<StoredIndex>;
 
 /// Shared per-relation storage: writer gate, partition catalog and index
 /// set, each under its own lock (see the module docs for the hierarchy).
 #[derive(Debug)]
-struct RelStore {
-    gate: Mutex<()>,
-    parts: RwLock<PartitionedHeap>,
-    indexes: RwLock<IndexSet>,
+pub(crate) struct RelStore {
+    pub(crate) gate: Mutex<()>,
+    pub(crate) parts: RwLock<PartitionedHeap>,
+    pub(crate) indexes: RwLock<IndexSet>,
 }
 
 impl RelStore {
     fn new(indexes: IndexSet) -> Self {
+        RelStore::from_parts(PartitionedHeap::new(), indexes)
+    }
+
+    /// Builds a store around recovered state (checkpoint load + replay).
+    pub(crate) fn from_parts(parts: PartitionedHeap, indexes: IndexSet) -> Self {
         RelStore {
             gate: Mutex::new(()),
-            parts: RwLock::new(PartitionedHeap::new()),
+            parts: RwLock::new(parts),
             indexes: RwLock::new(indexes),
         }
     }
@@ -156,6 +169,113 @@ struct DbInner {
     /// and keep a consistent set of definitions for as long as they like.
     catalog: RwLock<Arc<Catalog>>,
     storage: RwLock<BTreeMap<String, Arc<RelStore>>>,
+    /// The durability layer, when the database was opened from a directory
+    /// ([`Database::open`]).  `None` keeps every pre-durability path — an
+    /// in-memory database — entirely unchanged.
+    dur: Option<Arc<Durability>>,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        if let Some(dur) = &self.dur {
+            dur.shutdown();
+        }
+    }
+}
+
+/// What the last [`Database::open`] recovered — the replayed WAL tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Number of committed transactions replayed from the WAL tail.
+    pub replayed_commits: usize,
+    /// Whether a torn or corrupt WAL tail was truncated during replay.
+    pub truncated: bool,
+}
+
+/// The durability side of an opened database: the WAL writer, the data
+/// directory, and the background checkpoint thread's plumbing.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+    fault: Arc<dyn IoFault>,
+    checkpoint_bytes: u64,
+    recovery: RecoveryInfo,
+    /// Serializes checkpoints (the background thread vs. explicit
+    /// [`Database::checkpoint_now`] vs. DDL barriers).
+    ckpt_gate: Mutex<()>,
+    stop: Mutex<bool>,
+    stop_cond: Condvar,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Durability {
+    /// Stops and joins the background checkpoint thread.  Safe to call from
+    /// the thread itself (the checkpointer briefly owns the last handle
+    /// when the user drops theirs mid-checkpoint): joining is skipped then.
+    fn shutdown(&self) {
+        *lock(&self.stop) = true;
+        self.stop_cond.notify_all();
+        if let Some(h) = lock(&self.thread).take() {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Tuning knobs for [`Database::open_with`].
+#[derive(Clone, Debug)]
+pub struct DurabilityOptions {
+    /// Batch concurrent commits into one `fdatasync` (the default).  When
+    /// `false` every commit pays its own fsync — the baseline the benchmark
+    /// suite compares group commit against.
+    pub group_commit: bool,
+    /// Rotate the WAL and write a checkpoint once this many bytes have been
+    /// logged since the last one.
+    pub checkpoint_bytes: u64,
+    /// Run the background checkpoint thread.  Disable in tests that want
+    /// full control over when checkpoints happen.
+    pub background_checkpoint: bool,
+    /// The I/O fault hook threaded through the WAL and checkpoint writers
+    /// (see [`crate::fault`]); [`NoFault`] in production.
+    pub fault: Arc<dyn IoFault>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            group_commit: true,
+            checkpoint_bytes: 4 << 20,
+            background_checkpoint: true,
+            fault: Arc::new(NoFault),
+        }
+    }
+}
+
+/// The background checkpointer: wakes periodically, and once the WAL has
+/// grown past the threshold takes a checkpoint.  Holds only a [`Weak`]
+/// reference so an idle database can be dropped.
+fn background_checkpoint_loop(weak: Weak<DbInner>, dur: Arc<Durability>) {
+    loop {
+        {
+            let stop = lock(&dur.stop);
+            let (stop, _) = dur
+                .stop_cond
+                .wait_timeout(stop, Duration::from_millis(20))
+                .unwrap_or_else(PoisonError::into_inner);
+            if *stop {
+                return;
+            }
+        }
+        let Some(inner) = weak.upgrade() else { return };
+        let db = Database { inner };
+        if !dur.wal.is_poisoned() && dur.wal.bytes_since_checkpoint() >= dur.checkpoint_bytes {
+            // A failed checkpoint poisons the WAL; the next iteration's
+            // check sees that and the loop idles until shutdown.
+            let _ = db.checkpoint_now();
+        }
+    }
 }
 
 /// An in-memory flexible-relation database, shareable across threads.
@@ -170,7 +290,7 @@ pub struct Database {
 
 /// Builds the memoized shape-level type-check facts for a shape that has
 /// just been admitted (see [`ShapeMemo`]).
-fn shape_memo(def: &RelationDef, shape: &AttrSet) -> ShapeMemo {
+pub(crate) fn shape_memo(def: &RelationDef, shape: &AttrSet) -> ShapeMemo {
     let dep_guards = def
         .deps
         .iter()
@@ -367,23 +487,29 @@ fn precheck_insert(
 
 /// Publishes a (pre-checked) tuple: heap insert plus every maintained
 /// index.  Must run with the partition and index write locks held together
-/// so readers never observe the two out of sync.
+/// so readers never observe the two out of sync.  Fails only on a
+/// [`StorageError::Bug`] (a new shape without a memo) — the heap is left
+/// untouched then.
 fn apply_insert(
     parts: &mut PartitionedHeap,
     indexes: &mut IndexSet,
     t: Tuple,
     memo: Option<ShapeMemo>,
-) -> Rid {
+) -> std::result::Result<Rid, StorageError> {
     let sid = t.shape_id();
-    let rid = parts.insert(sid, t.clone(), memo);
+    let rid = parts.insert(sid, t.clone(), memo)?;
     for si in indexes.iter_mut() {
         Arc::make_mut(&mut si.idx).insert(rid, &t);
     }
-    rid
+    Ok(rid)
 }
 
 /// Removes a tuple from the heap and every maintained index.
-fn apply_delete(parts: &mut PartitionedHeap, indexes: &mut IndexSet, rid: Rid) -> Option<Tuple> {
+pub(crate) fn apply_delete(
+    parts: &mut PartitionedHeap,
+    indexes: &mut IndexSet,
+    rid: Rid,
+) -> Option<Tuple> {
     let old = parts.delete(rid)?;
     for si in indexes.iter_mut() {
         Arc::make_mut(&mut si.idx).remove(rid, &old);
@@ -400,13 +526,15 @@ fn checked_insert_in(
     t: Tuple,
 ) -> Result<Rid> {
     let memo = precheck_insert(def, parts, indexes, &t)?;
-    Ok(apply_insert(parts, indexes, t, memo))
+    apply_insert(parts, indexes, t, memo).map_err(StorageError::into_core)
 }
 
 /// Inserts a tuple *without* constraint checks.  Only used to restore
-/// previously validated tuples (rollback, failed updates); rebuilds the
-/// partition memo if the shape's partition was dropped in the meantime.
-fn insert_unchecked_into(
+/// previously validated tuples (rollback, failed updates) and to replay
+/// already-committed WAL records; rebuilds the partition memo if the
+/// shape's partition was dropped in the meantime — which also means the
+/// memo is always present, so this cannot fail.
+pub(crate) fn insert_unchecked_into(
     def: &RelationDef,
     parts: &mut PartitionedHeap,
     indexes: &mut IndexSet,
@@ -417,7 +545,12 @@ fn insert_unchecked_into(
     } else {
         None
     };
-    apply_insert(parts, indexes, t, memo)
+    // A memo is supplied whenever the partition is missing, so the only
+    // error `apply_insert` can raise is impossible here.
+    match apply_insert(parts, indexes, t, memo) {
+        Ok(rid) => rid,
+        Err(bug) => unreachable!("unchecked insert cannot fail: {}", bug),
+    }
 }
 
 /// Replaces the tuple under `rid` after re-checking all constraints, under
@@ -507,6 +640,247 @@ impl Database {
         Database::default()
     }
 
+    /// Opens (or creates) a durable database in `dir` with the default
+    /// [`DurabilityOptions`]: loads the latest checkpoint, replays the WAL
+    /// tail, and resumes logging where the last process stopped.
+    pub fn open(dir: impl AsRef<Path>) -> std::result::Result<Database, StorageError> {
+        Database::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// Opens (or creates) a durable database in `dir` with explicit
+    /// durability options.  Recovery tolerates a torn final WAL record by
+    /// truncating at the corruption point; structural damage beyond that is
+    /// reported as [`StorageError::Corruption`], never panicked on.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        opts: DurabilityOptions,
+    ) -> std::result::Result<Database, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StorageError::Io(format!("create {}: {}", dir.display(), e)))?;
+        let rec = crate::recovery::recover(&dir)?;
+        let wal = WalWriter::resume(
+            &dir,
+            rec.resume_end,
+            opts.group_commit,
+            Arc::clone(&opts.fault),
+        )?;
+        let dur = Arc::new(Durability {
+            dir,
+            wal,
+            fault: opts.fault,
+            checkpoint_bytes: opts.checkpoint_bytes,
+            recovery: RecoveryInfo {
+                replayed_commits: rec.replayed_commits,
+                truncated: rec.truncated,
+            },
+            ckpt_gate: Mutex::new(()),
+            stop: Mutex::new(false),
+            stop_cond: Condvar::new(),
+            thread: Mutex::new(None),
+        });
+        let inner = Arc::new(DbInner {
+            catalog: RwLock::new(Arc::new(rec.catalog)),
+            storage: RwLock::new(rec.storage),
+            dur: Some(Arc::clone(&dur)),
+        });
+        if opts.background_checkpoint {
+            let weak = Arc::downgrade(&inner);
+            let dur2 = Arc::clone(&dur);
+            let handle = std::thread::Builder::new()
+                .name("flexrel-checkpoint".into())
+                .spawn(move || background_checkpoint_loop(weak, dur2))
+                .map_err(|e| StorageError::Io(format!("spawn checkpoint thread: {}", e)))?;
+            *lock(&dur.thread) = Some(handle);
+        }
+        Ok(Database { inner })
+    }
+
+    /// Appends a committed statement (or transaction) to the WAL, when the
+    /// database is durable.  Buffers only — no I/O — so it can run under
+    /// write locks; the matching [`Database::wal_sync`] call makes it
+    /// durable after the locks drop.  Returns `None` when there is nothing
+    /// to log (in-memory database, or an empty op list).
+    fn wal_append_ops(&self, ops: &[WalOp]) -> Result<Option<u64>> {
+        let Some(dur) = &self.inner.dur else {
+            return Ok(None);
+        };
+        if ops.is_empty() {
+            return Ok(None);
+        }
+        dur.wal
+            .append_commit(ops)
+            .map(Some)
+            .map_err(StorageError::into_core)
+    }
+
+    /// What the open that produced this handle recovered from the WAL
+    /// tail; `None` for in-memory databases.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.inner.dur.as_ref().map(|d| d.recovery)
+    }
+
+    /// Waits until the WAL is durable up to `lsn` (group commit batches
+    /// concurrent callers into one `fdatasync`).  No-op for `None`.
+    fn wal_sync(&self, lsn: Option<u64>) -> Result<()> {
+        match (&self.inner.dur, lsn) {
+            (Some(dur), Some(lsn)) => dur.wal.sync_to(lsn).map_err(StorageError::into_core),
+            _ => Ok(()),
+        }
+    }
+
+    /// Takes a checkpoint now: captures a consistent cut of every relation,
+    /// rotates the WAL, writes the image atomically, and deletes the WAL
+    /// segments the new image supersedes.  Returns the cut LSN.
+    ///
+    /// Any failure (including injected faults) poisons the WAL — a failed
+    /// checkpoint leaves the on-disk state ambiguous, so the database goes
+    /// read-only until reopened.
+    pub fn checkpoint_now(&self) -> std::result::Result<u64, StorageError> {
+        let dur =
+            self.inner.dur.as_ref().ok_or_else(|| {
+                StorageError::Bug("checkpoint_now on a non-durable database".into())
+            })?;
+        let _ckpt = lock(&dur.ckpt_gate);
+        let (sources, cut) = {
+            // The same consistent cut `fork` takes: catalog + storage map
+            // read together, then every relation's writer gate in name
+            // order, then the read guards — so a multi-relation transaction
+            // is captured fully or not at all.
+            let cat = read(&self.inner.catalog);
+            let catalog = Arc::clone(&cat);
+            let storage_map = read(&self.inner.storage);
+            let gates: Vec<MutexGuard<'_, ()>> =
+                storage_map.values().map(|s| lock(&s.gate)).collect();
+            let guards: Vec<(
+                &String,
+                RwLockReadGuard<'_, PartitionedHeap>,
+                RwLockReadGuard<'_, IndexSet>,
+            )> = storage_map
+                .iter()
+                .map(|(name, store)| (name, read(&store.parts), read(&store.indexes)))
+                .collect();
+            let sources: Vec<CheckpointSource> = guards
+                .iter()
+                .filter_map(|(name, parts, indexes)| {
+                    let def = catalog.get(name).ok()?;
+                    Some(CheckpointSource {
+                        def: def.clone(),
+                        indexes: indexes
+                            .iter()
+                            .map(|si| (si.idx.key().clone(), si.auto))
+                            .collect(),
+                        snapshot: parts.snapshot(),
+                    })
+                })
+                .collect();
+            // Rotating under the gates guarantees no transaction spans the
+            // segment boundary, and the cut LSN covers exactly the state
+            // just captured.
+            let cut = dur.wal.rotate()?;
+            drop(guards);
+            drop(gates);
+            (sources, cut)
+        };
+        match write_checkpoint(&dur.dir, cut, &sources, &dur.fault) {
+            Ok(()) => {
+                // Best effort: a segment that survives deletion is re-read
+                // on the next open and its records skipped (all below the
+                // checkpoint cut).
+                let _ = dur.wal.delete_segments_below(cut);
+                Ok(cut)
+            }
+            Err(e) => {
+                dur.wal.poison();
+                Err(e)
+            }
+        }
+    }
+
+    /// DDL is not WAL-logged; a synchronous checkpoint right after each DDL
+    /// statement makes it durable instead.  (The window between the DDL
+    /// taking effect in memory and the checkpoint landing is the documented
+    /// DDL durability window: replay skips operations on relations the
+    /// checkpoint does not know.)
+    fn ddl_barrier(&self) -> Result<()> {
+        if self.inner.dur.is_some() {
+            self.checkpoint_now().map_err(StorageError::into_core)?;
+        }
+        Ok(())
+    }
+
+    /// Revalidates every invariant the storage layer maintains: scheme
+    /// admission per partition shape, attribute domains per tuple,
+    /// dependency satisfaction over the whole instance, and index
+    /// consistency (every stored index equals a canonical rebuild).  Used
+    /// by the crash-recovery tests; cheap enough for assertions in small
+    /// databases, O(instance) in general.
+    pub fn verify_invariants(&self) -> std::result::Result<(), StorageError> {
+        let catalog = self.catalog();
+        let storage_map = read(&self.inner.storage);
+        for (name, store) in storage_map.iter() {
+            let def = catalog
+                .get(name)
+                .map_err(|_| StorageError::Bug(format!("relation {} has no definition", name)))?;
+            let parts = read(&store.parts);
+            let indexes = read(&store.indexes);
+            for (_, part) in parts.partitions() {
+                if !def.scheme.admits(part.shape()) {
+                    return Err(StorageError::Bug(format!(
+                        "partition shape {} of {} is not admitted by its scheme",
+                        part.shape(),
+                        name
+                    )));
+                }
+            }
+            let tuples = parts.all_tuples();
+            for t in &tuples {
+                check_domains(def, t).map_err(StorageError::Constraint)?;
+            }
+            if let Some(dep) = def.deps.first_violation(&tuples) {
+                return Err(StorageError::Bug(format!(
+                    "dependency {:?} violated in recovered relation {}",
+                    dep, name
+                )));
+            }
+            for si in indexes.iter() {
+                let mut canonical = HashIndex::new(si.idx.key().clone());
+                for (rid, t) in parts.scan() {
+                    canonical.insert(rid, &t);
+                }
+                let stored: BTreeMap<Tuple, Vec<Rid>> = si
+                    .idx
+                    .entries()
+                    .map(|(k, rids)| {
+                        let mut rids = rids.to_vec();
+                        rids.sort_unstable();
+                        (k.clone(), rids)
+                    })
+                    .collect();
+                let rebuilt: BTreeMap<Tuple, Vec<Rid>> = canonical
+                    .entries()
+                    .map(|(k, rids)| {
+                        let mut rids = rids.to_vec();
+                        rids.sort_unstable();
+                        (k.clone(), rids)
+                    })
+                    .collect();
+                let mut stored_partial = si.idx.partial_tuples().to_vec();
+                let mut rebuilt_partial = canonical.partial_tuples().to_vec();
+                stored_partial.sort_unstable();
+                rebuilt_partial.sort_unstable();
+                if stored != rebuilt || stored_partial != rebuilt_partial {
+                    return Err(StorageError::Bug(format!(
+                        "index on {} for {} disagrees with a canonical rebuild",
+                        si.idx.key(),
+                        name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// A consistent snapshot of the catalog of relation definitions (one
     /// refcount bump; the snapshot stays valid while relations are created
     /// or dropped concurrently).
@@ -558,6 +932,9 @@ impl Database {
             inner: Arc::new(DbInner {
                 catalog: RwLock::new(catalog),
                 storage: RwLock::new(storage),
+                // A fork is an independent in-memory copy; it does not
+                // share (or inherit) the parent's WAL and checkpoints.
+                dur: None,
             }),
         }
     }
@@ -594,24 +971,28 @@ impl Database {
             })
             .collect();
         let name = def.name.clone();
-        // Catalog lock held across the registration *and* the storage-map
-        // insert so concurrent create/drop of the same name serialize.
-        let mut cat = write(&self.inner.catalog);
-        let mut next = (**cat).clone();
-        next.register(def)?;
-        write(&self.inner.storage).insert(name, Arc::new(RelStore::new(indexes)));
-        *cat = Arc::new(next);
-        Ok(())
+        {
+            // Catalog lock held across the registration *and* the storage-map
+            // insert so concurrent create/drop of the same name serialize.
+            let mut cat = write(&self.inner.catalog);
+            let mut next = (**cat).clone();
+            next.register(def)?;
+            write(&self.inner.storage).insert(name, Arc::new(RelStore::new(indexes)));
+            *cat = Arc::new(next);
+        }
+        self.ddl_barrier()
     }
 
     /// Drops a relation and its storage.
     pub fn drop_relation(&self, name: &str) -> Result<()> {
-        let mut cat = write(&self.inner.catalog);
-        let mut next = (**cat).clone();
-        next.drop(name)?;
-        write(&self.inner.storage).remove(name);
-        *cat = Arc::new(next);
-        Ok(())
+        {
+            let mut cat = write(&self.inner.catalog);
+            let mut next = (**cat).clone();
+            next.drop(name)?;
+            write(&self.inner.storage).remove(name);
+            *cat = Arc::new(next);
+        }
+        self.ddl_barrier()
     }
 
     /// Creates a user-defined secondary hash index on `key`, backfilling it
@@ -625,26 +1006,28 @@ impl Database {
             ));
         }
         let store = self.store(relation)?;
-        // The gate keeps writers out so the backfill is complete; readers
-        // continue against the partition lock.
-        let _g = lock(&store.gate);
-        let parts = read(&store.parts);
-        let mut indexes = write(&store.indexes);
-        if indexes.iter().any(|si| si.idx.key() == &key) {
-            return Err(CoreError::Invalid(format!(
-                "index on {} already exists for {}",
-                key, relation
-            )));
+        {
+            // The gate keeps writers out so the backfill is complete; readers
+            // continue against the partition lock.
+            let _g = lock(&store.gate);
+            let parts = read(&store.parts);
+            let mut indexes = write(&store.indexes);
+            if indexes.iter().any(|si| si.idx.key() == &key) {
+                return Err(CoreError::Invalid(format!(
+                    "index on {} already exists for {}",
+                    key, relation
+                )));
+            }
+            let mut idx = HashIndex::new(key);
+            for (rid, t) in parts.scan() {
+                idx.insert(rid, &t);
+            }
+            indexes.push(StoredIndex {
+                idx: Arc::new(idx),
+                auto: false,
+            });
         }
-        let mut idx = HashIndex::new(key);
-        for (rid, t) in parts.scan() {
-            idx.insert(rid, &t);
-        }
-        indexes.push(StoredIndex {
-            idx: Arc::new(idx),
-            auto: false,
-        });
-        Ok(())
+        self.ddl_barrier()
     }
 
     /// Drops the user-defined secondary index on exactly `key`.  Auto-created
@@ -652,20 +1035,22 @@ impl Database {
     /// them on every insert.
     pub fn drop_index(&self, relation: &str, key: &AttrSet) -> Result<()> {
         let store = self.store(relation)?;
-        let _g = lock(&store.gate);
-        let mut indexes = write(&store.indexes);
-        let pos = indexes
-            .iter()
-            .position(|si| si.idx.key() == key)
-            .ok_or_else(|| CoreError::NotFound(format!("index on {} for {}", key, relation)))?;
-        if indexes[pos].auto {
-            return Err(CoreError::Invalid(format!(
-                "index on {} for {} is a determinant index and cannot be dropped",
-                key, relation
-            )));
+        {
+            let _g = lock(&store.gate);
+            let mut indexes = write(&store.indexes);
+            let pos = indexes
+                .iter()
+                .position(|si| si.idx.key() == key)
+                .ok_or_else(|| CoreError::NotFound(format!("index on {} for {}", key, relation)))?;
+            if indexes[pos].auto {
+                return Err(CoreError::Invalid(format!(
+                    "index on {} for {} is a determinant index and cannot be dropped",
+                    key, relation
+                )));
+            }
+            indexes.remove(pos);
         }
-        indexes.remove(pos);
-        Ok(())
+        self.ddl_barrier()
     }
 
     /// Per-index metadata for a relation, in index-creation order (the
@@ -733,9 +1118,26 @@ impl Database {
             // (or the memo decision) between dropping the read locks and
             // acquiring the write locks below.
         };
-        let mut parts = write(&store.parts);
-        let mut indexes = write(&store.indexes);
-        Ok(apply_insert(&mut parts, &mut indexes, t, memo))
+        let (rid, lsn) = {
+            let mut parts = write(&store.parts);
+            let mut indexes = write(&store.indexes);
+            // The WAL append happens under the gate + write locks, so log
+            // order equals apply order for this relation; it buffers only
+            // (no I/O) and fails only when the WAL is already poisoned —
+            // in which case nothing has been applied yet.
+            let lsn = self.wal_append_ops(&[WalOp::Insert {
+                relation: relation.to_string(),
+                tuple: t.clone(),
+            }])?;
+            let rid =
+                apply_insert(&mut parts, &mut indexes, t, memo).map_err(StorageError::into_core)?;
+            (rid, lsn)
+        };
+        drop(_g);
+        // Locks and gate are released before the fsync: group commit
+        // batches syncs across relations and threads.
+        self.wal_sync(lsn)?;
+        Ok(rid)
     }
 
     /// Inserts under a transaction, recording the undo action.
@@ -759,10 +1161,25 @@ impl Database {
     pub fn delete(&self, relation: &str, rid: Rid) -> Result<Tuple> {
         let store = self.store(relation)?;
         let _g = lock(&store.gate);
-        let mut parts = write(&store.parts);
-        let mut indexes = write(&store.indexes);
-        apply_delete(&mut parts, &mut indexes, rid)
-            .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))
+        let (old, lsn) = {
+            let mut parts = write(&store.parts);
+            let mut indexes = write(&store.indexes);
+            let old = parts
+                .get(rid)
+                .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))?;
+            let lsn = self.wal_append_ops(&[WalOp::Delete {
+                relation: relation.to_string(),
+                tuple: old.clone(),
+            }])?;
+            let old = apply_delete(&mut parts, &mut indexes, rid).ok_or_else(|| {
+                StorageError::Bug(format!("tuple {} vanished under the write lock", rid))
+                    .into_core()
+            })?;
+            (old, lsn)
+        };
+        drop(_g);
+        self.wal_sync(lsn)?;
+        Ok(old)
     }
 
     /// Deletes under a transaction (see [`Database::insert_txn`] for the
@@ -792,9 +1209,32 @@ impl Database {
         let def = self.def(&catalog, relation)?;
         let store = self.store(relation)?;
         let _g = lock(&store.gate);
-        let mut parts = write(&store.parts);
-        let mut indexes = write(&store.indexes);
-        update_in(def, &mut parts, &mut indexes, rid, new, relation)
+        let (result, lsn) = {
+            let mut parts = write(&store.parts);
+            let mut indexes = write(&store.indexes);
+            // Apply first so constraint violations return without logging
+            // anything; then log, and revert in memory if the WAL is
+            // already poisoned (append does no I/O, so that is the only
+            // way it can fail).
+            let (new_rid, old) =
+                update_in(def, &mut parts, &mut indexes, rid, new.clone(), relation)?;
+            match self.wal_append_ops(&[WalOp::Update {
+                relation: relation.to_string(),
+                old: old.clone(),
+                new: new.clone(),
+            }]) {
+                Ok(lsn) => ((new_rid, old), lsn),
+                Err(e) => {
+                    if undo_remove_in(&mut parts, &mut indexes, new_rid, &new) {
+                        insert_unchecked_into(def, &mut parts, &mut indexes, old);
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        drop(_g);
+        self.wal_sync(lsn)?;
+        Ok(result)
     }
 
     /// Updates under a transaction, recording the undo action.  Rolling back
@@ -1040,10 +1480,30 @@ impl Database {
             rels,
             guards,
             txn: Transaction::begin(),
+            durable: self.inner.dur.is_some(),
+            redo: Vec::new(),
         };
         match catch_unwind(AssertUnwindSafe(|| f(&mut scope))) {
             Ok(Ok(v)) => {
+                // Log the whole transaction as one atomic WAL bracket while
+                // the write locks are still held (log order = apply order),
+                // then commit the undo log.  An append failure means the
+                // WAL was already poisoned: nothing was logged, so rolling
+                // back in memory keeps log and heap agreeing.
+                let redo = std::mem::take(&mut scope.redo);
+                let lsn = match self.wal_append_ops(&redo) {
+                    Ok(lsn) => lsn,
+                    Err(e) => {
+                        scope.rollback_in_place();
+                        return Err(e);
+                    }
+                };
                 scope.txn.commit();
+                drop(scope);
+                drop(_gates);
+                // The fsync happens after every lock is released, so
+                // concurrent transactions batch into one group commit.
+                self.wal_sync(lsn)?;
                 Ok(v)
             }
             Ok(Err(e)) => {
@@ -1070,6 +1530,12 @@ pub struct TxnScope<'a> {
         RwLockWriteGuard<'a, IndexSet>,
     )>,
     txn: Transaction,
+    /// Whether the database logs to a WAL; when `false` the redo log is
+    /// not recorded (no clones on the in-memory fast path).
+    durable: bool,
+    /// The transaction's redo log, appended to the WAL as one atomic
+    /// bracket on commit.
+    redo: Vec<WalOp>,
 }
 
 impl TxnScope<'_> {
@@ -1095,6 +1561,12 @@ impl TxnScope<'_> {
         let def = catalog.get(relation)?;
         let (parts, indexes) = &mut self.guards[i];
         let rid = checked_insert_in(def, parts, indexes, t.clone())?;
+        if self.durable {
+            self.redo.push(WalOp::Insert {
+                relation: relation.to_string(),
+                tuple: t.clone(),
+            });
+        }
         self.txn.record(UndoAction::UndoInsert {
             relation: relation.to_string(),
             rid,
@@ -1109,6 +1581,12 @@ impl TxnScope<'_> {
         let (parts, indexes) = &mut self.guards[i];
         let old = apply_delete(parts, indexes, rid)
             .ok_or_else(|| CoreError::NotFound(format!("tuple {} in {}", rid, relation)))?;
+        if self.durable {
+            self.redo.push(WalOp::Delete {
+                relation: relation.to_string(),
+                tuple: old.clone(),
+            });
+        }
         self.txn.record(UndoAction::UndoDelete {
             relation: relation.to_string(),
             tuple: old.clone(),
@@ -1124,6 +1602,13 @@ impl TxnScope<'_> {
         let def = catalog.get(relation)?;
         let (parts, indexes) = &mut self.guards[i];
         let (new_rid, old) = update_in(def, parts, indexes, rid, new.clone(), relation)?;
+        if self.durable {
+            self.redo.push(WalOp::Update {
+                relation: relation.to_string(),
+                old: old.clone(),
+                new: new.clone(),
+            });
+        }
         self.txn.record(UndoAction::UndoUpdate {
             relation: relation.to_string(),
             rid: new_rid,
@@ -1980,5 +2465,155 @@ mod tests {
             .collect();
         assert_eq!(after, before);
         assert_eq!(db.partitions("employee").unwrap(), parts_before);
+    }
+
+    /// A unique scratch directory under the system temp dir; removed on
+    /// drop so crash-looping tests do not accumulate state.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "flexrel-db-{}-{}-{:?}",
+                tag,
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn quiet_options() -> DurabilityOptions {
+        DurabilityOptions {
+            background_checkpoint: false,
+            ..DurabilityOptions::default()
+        }
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        let tmp = TempDir::new("reopen");
+        let rows = generate_employees(&EmployeeConfig::clean(40));
+        {
+            let db = Database::open_with(&tmp.0, quiet_options()).unwrap();
+            db.create_relation(employee_def()).unwrap();
+            for t in rows.clone() {
+                db.insert("employee", t).unwrap();
+            }
+            let (rid, _) = db.scan("employee").unwrap()[0].clone();
+            db.delete("employee", rid).unwrap();
+        }
+        let db = Database::open_with(&tmp.0, quiet_options()).unwrap();
+        assert_eq!(db.count("employee").unwrap(), 39);
+        assert!(db.recovery_info().unwrap().replayed_commits >= 40);
+        db.verify_invariants().unwrap();
+        // Determinant indexes are rebuilt and serve lookups.
+        assert!(db.has_index("employee", &attrs!["empno"]));
+        // The reopened database keeps accepting durable writes.
+        let mut extra = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+        extra.insert("empno", 424242);
+        db.insert("employee", extra).unwrap();
+        drop(db);
+        let db = Database::open_with(&tmp.0, quiet_options()).unwrap();
+        assert_eq!(db.count("employee").unwrap(), 40);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_does_not_replay_old_wal() {
+        let tmp = TempDir::new("ckpt");
+        {
+            let db = Database::open_with(&tmp.0, quiet_options()).unwrap();
+            db.create_relation(employee_def()).unwrap();
+            for t in generate_employees(&EmployeeConfig::clean(25)) {
+                db.insert("employee", t).unwrap();
+            }
+            db.checkpoint_now().unwrap();
+            // A couple of post-checkpoint commits form the WAL tail.
+            for (i, mut t) in generate_employees(&EmployeeConfig::clean(2))
+                .into_iter()
+                .enumerate()
+            {
+                t.insert("empno", 77_000 + i as i64);
+                db.insert("employee", t).unwrap();
+            }
+        }
+        let db = Database::open_with(&tmp.0, quiet_options()).unwrap();
+        assert_eq!(db.count("employee").unwrap(), 27);
+        assert_eq!(db.recovery_info().unwrap().replayed_commits, 2);
+        db.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn transactions_recover_all_or_nothing() {
+        let tmp = TempDir::new("txn");
+        {
+            let db = Database::open_with(&tmp.0, quiet_options()).unwrap();
+            db.create_relation(employee_def()).unwrap();
+            let rows = generate_employees(&EmployeeConfig::clean(6));
+            db.transact(&["employee"], |tx| {
+                for t in rows.clone() {
+                    tx.insert("employee", t)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            // An aborted transaction must leave no trace in the WAL.
+            let more = generate_employees(&EmployeeConfig::clean(1));
+            let res = db.transact(&["employee"], |tx| {
+                for mut t in more.clone() {
+                    t.insert("empno", 88_888);
+                    tx.insert("employee", t)?;
+                }
+                Err::<(), _>(CoreError::Invalid("abort".into()))
+            });
+            assert!(res.is_err());
+        }
+        let db = Database::open_with(&tmp.0, quiet_options()).unwrap();
+        assert_eq!(db.count("employee").unwrap(), 6);
+        assert_eq!(db.recovery_info().unwrap().replayed_commits, 1);
+        db.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn a_panicked_transaction_does_not_wedge_the_database() {
+        let db = db_with_employees(5);
+        let before = db.count("employee").unwrap();
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            db.transact(&["employee"], |tx| {
+                let extra = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+                tx.insert("employee", extra)?;
+                panic!("mid-transaction panic");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+        }));
+        assert!(boom.is_err(), "the panic propagates to the caller");
+        assert_eq!(
+            db.count("employee").unwrap(),
+            before,
+            "the panicked transaction rolled back"
+        );
+        // The poisoned gate and write locks recover: both a follow-up
+        // transaction and a plain insert succeed.
+        db.transact(&["employee"], |tx| {
+            let mut t = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+            t.insert("empno", 55_001);
+            tx.insert("employee", t)?;
+            Ok(())
+        })
+        .unwrap();
+        let mut t = generate_employees(&EmployeeConfig::clean(1)).pop().unwrap();
+        t.insert("empno", 55_002);
+        db.insert("employee", t).unwrap();
+        assert_eq!(db.count("employee").unwrap(), before + 2);
+        db.verify_invariants().unwrap();
     }
 }

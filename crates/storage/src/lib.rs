@@ -39,20 +39,36 @@
 //! ([`Database::transact`]/[`TxnScope`]) whose rollback restores tuples,
 //! partition catalog and indexes exactly.  See the [`db`] module docs for
 //! the lock hierarchy.
+//!
+//! The storage is optionally **durable**: [`Database::open`] attaches a
+//! write-ahead log with group commit ([`mod@wal`]), periodic segment
+//! checkpoints mirroring the in-memory columnar layout ([`mod@checkpoint`])
+//! and crash recovery ([`mod@recovery`]) that loads the latest checkpoint
+//! and replays the WAL tail, tolerating a torn final record.  Every I/O
+//! boundary routes through the [`fault::IoFault`] hook, so the test suite
+//! can run a deterministic crash-point sweep over the whole write path.
 
 #![deny(missing_docs)]
 
 pub mod catalog;
+pub mod checkpoint;
+pub mod codec;
 pub mod column;
 pub mod db;
+pub mod errors;
+pub mod fault;
 pub mod heap;
 pub mod index;
 pub mod partition;
+pub mod recovery;
 pub mod txn;
+pub mod wal;
 
 pub use catalog::{Catalog, RelationDef};
 pub use column::{ColCmp, ColumnHeap, ColumnSegment, SelVec, TupleRef};
-pub use db::{Database, IndexInfo, TxnScope};
+pub use db::{Database, DurabilityOptions, IndexInfo, RecoveryInfo, TxnScope};
+pub use errors::StorageError;
+pub use fault::{CountingFault, FaultAction, IoEvent, IoFault, NoFault, NthEventFault};
 pub use heap::{Heap, TupleId};
 pub use index::HashIndex;
 pub use partition::{
@@ -60,3 +76,4 @@ pub use partition::{
     SnapshotScan,
 };
 pub use txn::{Transaction, UndoAction};
+pub use wal::{RecordDecoder, RecordEncoder, WalOp, WalRecord, WalWriter};

@@ -36,6 +36,7 @@ use flexrel_core::attr::AttrSet;
 use flexrel_core::tuple::{ShapeId, Tuple};
 
 use crate::column::{ColumnHeap, TupleRef};
+use crate::errors::StorageError;
 use crate::heap::TupleId;
 
 /// A stable identifier of a tuple stored in a shape-partitioned relation:
@@ -131,6 +132,17 @@ impl Partition {
         Partition {
             heap: ColumnHeap::new(shape.clone()),
             shape,
+            memo,
+        }
+    }
+
+    /// Rebuilds a partition around a heap decoded from a checkpoint image,
+    /// with the shape-level memo recomputed from the (recovered) relation
+    /// definition.
+    pub(crate) fn from_heap(heap: ColumnHeap, memo: ShapeMemo) -> Self {
+        Partition {
+            shape: heap.shape().clone(),
+            heap,
             memo,
         }
     }
@@ -263,24 +275,50 @@ impl PartitionedHeap {
             .fold(AttrSet::empty(), |acc, p| acc.union(&p.shape))
     }
 
+    /// Rebuilds a partitioned heap from recovered partitions (checkpoint
+    /// load).  The live total is recomputed; empty partitions are dropped,
+    /// preserving the live-shapes-only invariant.
+    pub(crate) fn from_parts(parts: impl IntoIterator<Item = Partition>) -> Self {
+        let mut h = PartitionedHeap::new();
+        for p in parts {
+            if p.is_empty() {
+                continue;
+            }
+            let sid = ShapeId::intern(&p.shape);
+            h.live += p.len();
+            h.parts.insert(sid, Arc::new(p));
+        }
+        h
+    }
+
     /// Inserts a tuple into its shape's partition.  `memo` must be provided
     /// (and is consumed) exactly when the shape has no live partition yet —
-    /// i.e. when the caller just ran the full shape-level checks.
-    ///
-    /// # Panics
-    /// Panics if a new partition is needed but `memo` is `None`.
-    pub fn insert(&mut self, shape: ShapeId, t: Tuple, memo: Option<ShapeMemo>) -> Rid {
-        let part = self.parts.entry(shape).or_insert_with(|| {
-            Arc::new(Partition::new(
-                t.attrs(),
-                memo.expect("a ShapeMemo is required to open a new partition"),
-            ))
-        });
+    /// i.e. when the caller just ran the full shape-level checks.  A missing
+    /// memo for a new shape is a logic error in the caller, reported as
+    /// [`StorageError::Bug`] (recovery code must be able to tell it apart
+    /// from disk corruption — this used to be an `expect`).
+    pub fn insert(
+        &mut self,
+        shape: ShapeId,
+        t: Tuple,
+        memo: Option<ShapeMemo>,
+    ) -> Result<Rid, StorageError> {
+        let part = match self.parts.entry(shape) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let Some(memo) = memo else {
+                    return Err(StorageError::Bug(
+                        "a ShapeMemo is required to open a new partition".into(),
+                    ));
+                };
+                e.insert(Arc::new(Partition::new(t.attrs(), memo)))
+            }
+        };
         let part = Arc::make_mut(part);
         debug_assert_eq!(part.shape, *t.shape(), "tuple routed to wrong partition");
         let loc = part.heap.insert(t);
         self.live += 1;
-        Rid { shape, loc }
+        Ok(Rid { shape, loc })
     }
 
     /// Materializes the tuple stored under `rid`, if it is live.
@@ -494,7 +532,19 @@ mod tests {
         } else {
             None
         };
-        h.insert(sid, t, memo)
+        h.insert(sid, t, memo).unwrap()
+    }
+
+    #[test]
+    fn missing_memo_for_a_new_shape_is_a_bug_not_a_panic() {
+        let mut h = PartitionedHeap::new();
+        let t = tuple! {"x" => 1};
+        let sid = t.shape_id();
+        let err = h.insert(sid, t.clone(), None).unwrap_err();
+        assert!(matches!(err, StorageError::Bug(_)));
+        assert!(h.is_empty(), "failed insert leaves the heap untouched");
+        h.insert(sid, t, Some(memo_for(&attrs!["x"]))).unwrap();
+        assert_eq!(h.len(), 1);
     }
 
     #[test]
