@@ -1,0 +1,730 @@
+//! The batched late-materialization pipeline.
+//!
+//! The row pipeline (`exec::exec_node`) materializes every
+//! qualifying row into an owned [`Tuple`] at the scan edge and streams
+//! tuples between operators.  This module replaces that dataflow with
+//! [`Chunk`]s: a columnar chunk is one 1024-slot column segment of a
+//! shape-homogeneous partition plus a [`SelVec`] selection bitmap — a
+//! zero-copy view (`Arc<Partition>` + segment index + bitmap) that flows
+//! through filters, guards and join probes without constructing a single
+//! tuple.  Owned tuples are built only at the points that genuinely need
+//! them:
+//!
+//! * the **result boundary** (`chunks_to_tuples`) — the final
+//!   materialization, restricted to rows that survived every operator;
+//! * **projection**, which materializes *narrow* tuples carrying only the
+//!   projected columns (duplicate elimination needs owned keys anyway);
+//! * the **build side of a hash join**, which is spilled into the compact
+//!   binary row format ([`RowBlock`], reusing the WAL value codec) and
+//!   probed by row index — probe-side rows are materialized only on a
+//!   match;
+//! * operators that change shape or leave the columnar world
+//!   (`Extend`, `UnionAll` dedup, index-nested-loop probes).
+//!
+//! An `Aggregate` node never materializes input at all: its chunks fold
+//! straight into [`GroupedAggs`] through the columnar kernels in
+//! [`crate::colscan`].
+//!
+//! [`ExecStats`] counts every tuple built from column data, which is how
+//! the test suite pins the pipeline down: a `COUNT(*)` must report zero
+//! materializations, and a full scan exactly its result size.
+//!
+//! Operator semantics are identical to the row pipeline — the differential
+//! suite in `tests/` executes every query through both pipelines and
+//! compares tuple-for-tuple.  Serial chunk order is partition order, then
+//! segment order, then slot order: exactly the row pipeline's scan order,
+//! so order-sensitive state (dedup first-occurrence, float summation)
+//! agrees bit-for-bit.  Under partition-parallel scans both pipelines
+//! produce the same multiset with unspecified order; float sums may then
+//! differ in the last ulp between runs, exactly as they do for the row
+//! fold under reordering.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use flexrel_algebra::predicate::Predicate;
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::error::Result;
+use flexrel_core::tuple::{ShapeId, Tuple};
+use flexrel_storage::{Partition, RowBlock, SelVec};
+
+use crate::agg::GroupedAggs;
+use crate::colscan;
+use crate::exec::{
+    exec_node, index_nested_loop_stream, inl_inner_side, join_strategy_for, scan_parallelism,
+    snap_plan_attrs, ExecContext, ExecOptions, JoinStrategy, TupleStream,
+};
+use crate::logical::{AggExpr, LogicalPlan, ShapePredicate};
+
+/// Counters the late pipeline maintains while executing; cheaply cloneable
+/// (shared atomics), readable after the result stream is drained.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    materialized: AtomicU64,
+    chunks: AtomicU64,
+}
+
+impl ExecStats {
+    /// How many owned tuples were built from column segments anywhere in
+    /// the pipeline (scan boundary, narrow projections, join sides).  An
+    /// aggregate-only query reports 0 — its inputs never leave the
+    /// columns; a bare scan reports exactly its result size.
+    pub fn materialized(&self) -> u64 {
+        self.inner.materialized.load(Ordering::Relaxed)
+    }
+
+    /// How many columnar chunks entered the pipeline at scan edges.
+    pub fn chunks(&self) -> u64 {
+        self.inner.chunks.load(Ordering::Relaxed)
+    }
+
+    fn note_materialized(&self, n: u64) {
+        self.inner.materialized.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn note_chunk(&self) {
+        self.inner.chunks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A columnar chunk: the selected rows of one segment of one partition.
+/// Cloning is cheap (an `Arc` bump plus a fixed-size bitmap); the column
+/// data itself is shared with the storage snapshot.
+#[derive(Clone, Debug)]
+pub struct ColChunk {
+    /// The (shape-homogeneous) partition the segment belongs to.
+    pub part: Arc<Partition>,
+    /// Segment index within the partition's column heap.
+    pub seg: usize,
+    /// Selected rows, already masked by the segment's live bitmap.
+    pub sel: SelVec,
+}
+
+impl ColChunk {
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.sel.count()
+    }
+
+    /// Whether no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Materializes the selected rows as owned tuples, in slot order.
+    pub fn materialize_into(&self, out: &mut Vec<Tuple>) {
+        self.part
+            .columns()
+            .materialize_selected(self.seg, &self.sel, out);
+    }
+}
+
+/// One unit of dataflow between late-pipeline operators.
+#[derive(Clone, Debug)]
+pub enum Chunk {
+    /// Rows still in columnar form: a selection over a shared segment.
+    Cols(ColChunk),
+    /// Rows that had to leave the columns (join output, projections,
+    /// shape-changing operators).
+    Rows(Vec<Tuple>),
+}
+
+impl Chunk {
+    /// Number of rows the chunk carries.
+    pub fn len(&self) -> usize {
+        match self {
+            Chunk::Cols(c) => c.len(),
+            Chunk::Rows(v) => v.len(),
+        }
+    }
+
+    /// Whether the chunk carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The chunk's rows as owned tuples, materializing (and counting into
+    /// `stats`) if still columnar.
+    pub fn into_tuples(self, stats: &ExecStats) -> Vec<Tuple> {
+        match self {
+            Chunk::Cols(c) => {
+                let mut out = Vec::with_capacity(c.len());
+                c.materialize_into(&mut out);
+                stats.note_materialized(out.len() as u64);
+                out
+            }
+            Chunk::Rows(v) => v,
+        }
+    }
+}
+
+/// A stream of chunks between operators.
+pub type ChunkStream<'a> = Box<dyn Iterator<Item = Chunk> + 'a>;
+
+/// The result boundary: drains a chunk stream into a tuple stream,
+/// materializing columnar chunks (the only materialization a plan without
+/// tuple-forcing operators ever performs).
+pub(crate) fn chunks_to_tuples<'a>(chunks: ChunkStream<'a>, stats: ExecStats) -> TupleStream<'a> {
+    Box::new(chunks.flat_map(move |c| c.into_tuples(&stats)))
+}
+
+/// Re-chunks a tuple stream (used where a row-pipeline fragment feeds the
+/// chunk world, e.g. index-nested-loop output).
+fn rows_chunks<'a>(mut stream: TupleStream<'a>) -> ChunkStream<'a> {
+    Box::new(std::iter::from_fn(move || {
+        let batch: Vec<Tuple> = stream.by_ref().take(1024).collect();
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Chunk::Rows(batch))
+        }
+    }))
+}
+
+/// A serial chunk scan over snapshotted partitions: the predicate
+/// conjunction compiles once per partition, each segment yields one
+/// [`ColChunk`] of qualifying rows.  Chunk order is partition, segment,
+/// slot order — the row pipeline's scan order.
+struct ChunkScan {
+    parts: Vec<Arc<Partition>>,
+    preds: Vec<Predicate>,
+    part: usize,
+    seg: usize,
+    compiled: Option<colscan::Compiled>,
+    stats: ExecStats,
+}
+
+impl Iterator for ChunkScan {
+    type Item = Chunk;
+
+    fn next(&mut self) -> Option<Chunk> {
+        loop {
+            let part = self.parts.get(self.part)?;
+            let heap = part.columns();
+            let compiled = self
+                .compiled
+                .get_or_insert_with(|| colscan::compile(&self.preds, heap));
+            if compiled.is_never() || self.seg >= heap.segment_count() {
+                self.part += 1;
+                self.seg = 0;
+                self.compiled = None;
+                continue;
+            }
+            let si = self.seg;
+            self.seg += 1;
+            let seg = heap.segment(si).expect("segment index in range");
+            let sel = compiled.select(seg);
+            if sel.is_empty() {
+                continue;
+            }
+            self.stats.note_chunk();
+            return Some(Chunk::Cols(ColChunk {
+                part: Arc::clone(part),
+                seg: si,
+                sel,
+            }));
+        }
+    }
+}
+
+/// Fans the partitions out over workers which push [`ColChunk`]s — not
+/// materialized batches — into the merged stream; the chunk is `Send`
+/// because the partition is behind an `Arc` and the bitmap is plain data.
+fn parallel_scan_chunks(
+    parts: Vec<(ShapeId, Arc<Partition>)>,
+    preds: Vec<Predicate>,
+    threads: usize,
+    stats: ExecStats,
+) -> ChunkStream<'static> {
+    let mut buckets: Vec<Vec<Arc<Partition>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut loads = vec![0usize; threads];
+    let mut parts = parts;
+    parts.sort_by_key(|(_, p)| std::cmp::Reverse(p.len()));
+    for (_, part) in parts {
+        let i = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| **l)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        loads[i] += part.len();
+        buckets[i].push(part);
+    }
+    let (tx, rx) = mpsc::sync_channel::<Chunk>(threads * 4);
+    for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
+        let tx = tx.clone();
+        let preds = preds.clone();
+        let stats = stats.clone();
+        std::thread::spawn(move || {
+            for part in bucket {
+                let heap = part.columns();
+                let compiled = colscan::compile(&preds, heap);
+                if compiled.is_never() {
+                    continue;
+                }
+                for si in 0..heap.segment_count() {
+                    let seg = heap.segment(si).expect("segment index in range");
+                    let sel = compiled.select(seg);
+                    if sel.is_empty() {
+                        continue;
+                    }
+                    stats.note_chunk();
+                    let chunk = Chunk::Cols(ColChunk {
+                        part: Arc::clone(&part),
+                        seg: si,
+                        sel,
+                    });
+                    if tx.send(chunk).is_err() {
+                        return; // consumer dropped the stream
+                    }
+                }
+            }
+        });
+    }
+    drop(tx);
+    Box::new(rx.into_iter())
+}
+
+/// The chunk scan for one base scan (mirrors `exec::scan_stream`): shape
+/// pruning per partition, qualification (plus any fused filter) compiled
+/// per partition, one chunk per surviving segment.
+fn scan_chunks<'a>(
+    snap: crate::exec::RelSnap,
+    qualification: &'a Option<Predicate>,
+    shape: &'a Option<ShapePredicate>,
+    opts: &ExecOptions,
+    extra_filter: Option<&'a Predicate>,
+    stats: ExecStats,
+) -> ChunkStream<'a> {
+    let parts = snap
+        .parts
+        .retain_shapes(|s| shape.as_ref().map(|p| p.admits(s)).unwrap_or(true));
+    let preds: Vec<Predicate> = qualification.iter().chain(extra_filter).cloned().collect();
+    let workers = scan_parallelism(parts.partition_count(), parts.len(), opts);
+    if workers > 1 {
+        return parallel_scan_chunks(parts.into_parts(), preds, workers, stats);
+    }
+    let parts = parts.into_parts().into_iter().map(|(_, p)| p).collect();
+    Box::new(ChunkScan {
+        parts,
+        preds,
+        part: 0,
+        seg: 0,
+        compiled: None,
+        stats,
+    })
+}
+
+/// A non-fused filter: compiled once per partition (chunks of one partition
+/// arrive consecutively in serial order, so a one-entry cache suffices) and
+/// intersected with the chunk's selection; row chunks fall back to
+/// per-tuple evaluation.
+fn filter_chunks<'a>(input: ChunkStream<'a>, predicate: &'a Predicate) -> ChunkStream<'a> {
+    let mut cache: Option<(*const Partition, colscan::Compiled)> = None;
+    Box::new(input.filter_map(move |chunk| match chunk {
+        Chunk::Cols(c) => {
+            let key = Arc::as_ptr(&c.part);
+            if cache.as_ref().map(|(k, _)| *k != key).unwrap_or(true) {
+                let compiled = colscan::compile(std::slice::from_ref(predicate), c.part.columns());
+                cache = Some((key, compiled));
+            }
+            let compiled = &cache.as_ref().expect("cache just filled").1;
+            match compiled {
+                colscan::Compiled::Never => None,
+                colscan::Compiled::All => Some(Chunk::Cols(c)),
+                _ => {
+                    let heap = c.part.columns();
+                    let seg = heap.segment(c.seg).expect("segment index in range");
+                    let mut sel = compiled.select(seg);
+                    sel.and(&c.sel);
+                    if sel.is_empty() {
+                        None
+                    } else {
+                        Some(Chunk::Cols(ColChunk { sel, ..c }))
+                    }
+                }
+            }
+        }
+        Chunk::Rows(mut v) => {
+            v.retain(|t| predicate.eval(t));
+            if v.is_empty() {
+                None
+            } else {
+                Some(Chunk::Rows(v))
+            }
+        }
+    }))
+}
+
+/// A type guard over chunks.  For a columnar chunk the verdict is a
+/// shape-level constant — the whole chunk passes or drops without touching
+/// a row, the paper's "presence is shape membership" made operational.
+fn guard_chunks<'a>(input: ChunkStream<'a>, attrs: &'a AttrSet) -> ChunkStream<'a> {
+    Box::new(input.filter_map(move |chunk| match chunk {
+        Chunk::Cols(c) => attrs.is_subset(c.part.shape()).then_some(Chunk::Cols(c)),
+        Chunk::Rows(mut v) => {
+            v.retain(|t| t.defined_on(attrs));
+            if v.is_empty() {
+                None
+            } else {
+                Some(Chunk::Rows(v))
+            }
+        }
+    }))
+}
+
+/// Duplicate-eliminating projection.  Columnar chunks materialize *narrow*
+/// tuples — only the projected columns are ever touched; the dropped
+/// columns of the partition are never read.  First occurrence wins, as in
+/// the row pipeline.
+fn project_chunks<'a>(
+    input: ChunkStream<'a>,
+    attrs: &'a AttrSet,
+    stats: ExecStats,
+) -> ChunkStream<'a> {
+    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+    Box::new(input.filter_map(move |chunk| {
+        let mut out = Vec::new();
+        match chunk {
+            Chunk::Cols(c) => {
+                let heap = c.part.columns();
+                let proj_shape = heap.shape().intersection(attrs);
+                let proj_attrs: Vec<Attr> = heap
+                    .attrs()
+                    .iter()
+                    .filter(|a| attrs.contains(a))
+                    .cloned()
+                    .collect();
+                let cols: Vec<usize> = proj_attrs
+                    .iter()
+                    .map(|a| heap.col_index(a.name()).expect("attr in shape"))
+                    .collect();
+                let seg = heap.segment(c.seg).expect("segment index in range");
+                for row in c.sel.iter() {
+                    let t = Tuple::from_shape_values(
+                        proj_shape.clone(),
+                        &proj_attrs,
+                        cols.iter().map(|&ci| seg.value_at(ci, row)),
+                    );
+                    stats.note_materialized(1);
+                    if seen.insert(t.clone()) {
+                        out.push(t);
+                    }
+                }
+            }
+            Chunk::Rows(v) => {
+                for t in v {
+                    let p = t.project(attrs);
+                    if seen.insert(p.clone()) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Chunk::Rows(out))
+        }
+    }))
+}
+
+/// Hash join over chunks.  The build side is drained into a [`RowBlock`]
+/// (the compact binary row format shared with the WAL codec) with hash
+/// buckets holding row *indices*; the probe side stays columnar: per
+/// probe row only the join-key columns are read to form the lookup key,
+/// and the full row is materialized only when it actually has partners.
+fn hash_join_chunks<'a>(
+    probe: ChunkStream<'a>,
+    build: ChunkStream<'a>,
+    common: AttrSet,
+    stats: ExecStats,
+) -> ChunkStream<'a> {
+    let mut block = RowBlock::new();
+    let mut hashed: HashMap<Tuple, Vec<u32>> = HashMap::new();
+    let mut scan_side: Vec<u32> = Vec::new();
+    for chunk in build {
+        for t in chunk.into_tuples(&stats) {
+            if t.defined_on(&common) {
+                let key = t.project(&common);
+                let idx = block.push(&t);
+                hashed.entry(key).or_default().push(idx);
+            } else {
+                let idx = block.push(&t);
+                scan_side.push(idx);
+            }
+        }
+    }
+    // Per-partition probe-side key plan: the common attributes' column
+    // indices in canonical order, or None when the shape lacks part of the
+    // key (those rows take the pairwise path).
+    type KeyPlan = Option<(Vec<Attr>, Vec<usize>)>;
+    let mut key_plan: Option<(*const Partition, KeyPlan)> = None;
+    Box::new(probe.filter_map(move |chunk| {
+        let mut out = Vec::new();
+        match chunk {
+            Chunk::Cols(c) => {
+                let heap = c.part.columns();
+                let ptr = Arc::as_ptr(&c.part);
+                if key_plan.as_ref().map(|(k, _)| *k != ptr).unwrap_or(true) {
+                    let plan = common.is_subset(heap.shape()).then(|| {
+                        let key_attrs: Vec<Attr> = heap
+                            .attrs()
+                            .iter()
+                            .filter(|a| common.contains(a))
+                            .cloned()
+                            .collect();
+                        let cols = key_attrs
+                            .iter()
+                            .map(|a| heap.col_index(a.name()).expect("attr in shape"))
+                            .collect();
+                        (key_attrs, cols)
+                    });
+                    key_plan = Some((ptr, plan));
+                }
+                let seg = heap.segment(c.seg).expect("segment index in range");
+                match &key_plan.as_ref().expect("plan just filled").1 {
+                    Some((key_attrs, cols)) => {
+                        for row in c.sel.iter() {
+                            let key = Tuple::from_shape_values(
+                                common.clone(),
+                                key_attrs,
+                                cols.iter().map(|&ci| seg.value_at(ci, row)),
+                            );
+                            let partners = hashed.get(&key);
+                            if partners.is_none() && scan_side.is_empty() {
+                                continue; // never materialized
+                            }
+                            let l = heap.materialize(seg, row);
+                            stats.note_materialized(1);
+                            for &idx in partners.into_iter().flatten() {
+                                out.push(l.merged_with(&block.get(idx)));
+                            }
+                            for &idx in &scan_side {
+                                let r = block.get(idx);
+                                if l.joinable_with(&r) {
+                                    out.push(l.merged_with(&r));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // The probe shape lacks part of the key: pair
+                        // against the whole build side.
+                        let mut probe_rows = Vec::with_capacity(c.len());
+                        c.materialize_into(&mut probe_rows);
+                        stats.note_materialized(probe_rows.len() as u64);
+                        for l in probe_rows {
+                            for r in block.iter() {
+                                if l.joinable_with(&r) {
+                                    out.push(l.merged_with(&r));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Chunk::Rows(v) => {
+                for l in v {
+                    if l.defined_on(&common) {
+                        if let Some(partners) = hashed.get(&l.project(&common)) {
+                            for &idx in partners {
+                                out.push(l.merged_with(&block.get(idx)));
+                            }
+                        }
+                        for &idx in &scan_side {
+                            let r = block.get(idx);
+                            if l.joinable_with(&r) {
+                                out.push(l.merged_with(&r));
+                            }
+                        }
+                    } else {
+                        for r in block.iter() {
+                            if l.joinable_with(&r) {
+                                out.push(l.merged_with(&r));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Chunk::Rows(out))
+        }
+    }))
+}
+
+/// Duplicate-eliminating union over chunk streams (tuple identity needs
+/// owned rows, so inputs materialize here as in the row pipeline).
+fn union_chunks<'a>(inputs: Vec<ChunkStream<'a>>, stats: ExecStats) -> ChunkStream<'a> {
+    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+    Box::new(inputs.into_iter().flatten().filter_map(move |chunk| {
+        let mut out = Vec::new();
+        for t in chunk.into_tuples(&stats) {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Chunk::Rows(out))
+        }
+    }))
+}
+
+/// The aggregation operator: columnar chunks fold through the kernels in
+/// [`crate::colscan`] without materializing a tuple; row chunks (join
+/// outputs etc.) fold through the reference row-wise path.  Blocking, like
+/// every aggregation.
+fn aggregate_chunks<'a>(
+    input: ChunkStream<'a>,
+    group_by: &AttrSet,
+    aggs: &[AggExpr],
+) -> ChunkStream<'a> {
+    let mut state = GroupedAggs::new(group_by.clone(), aggs.to_vec());
+    for chunk in input {
+        match chunk {
+            Chunk::Cols(c) => {
+                colscan::aggregate_selected(c.part.columns(), c.seg, &c.sel, &mut state);
+            }
+            Chunk::Rows(v) => {
+                for t in &v {
+                    state.add_tuple(t);
+                }
+            }
+        }
+    }
+    let rows = state.finish();
+    if rows.is_empty() {
+        Box::new(std::iter::empty())
+    } else {
+        Box::new(std::iter::once(Chunk::Rows(rows)))
+    }
+}
+
+/// Builds the late-materialized chunk pipeline for a plan — the batch
+/// counterpart of [`exec_node`], one arm per logical operator.  Index
+/// lookups (point probes touching a handful of tuples) reuse the row
+/// pipeline's probe logic and enter the chunk world as row chunks.
+pub(crate) fn exec_chunks<'a>(
+    plan: &'a LogicalPlan,
+    ctx: &ExecContext,
+    stats: &ExecStats,
+) -> Result<ChunkStream<'a>> {
+    Ok(match plan {
+        LogicalPlan::Empty => Box::new(std::iter::empty()),
+        LogicalPlan::Scan {
+            relation,
+            qualification,
+            shape,
+        } => scan_chunks(
+            ctx.snap(relation).clone(),
+            qualification,
+            shape,
+            &ctx.opts,
+            None,
+            stats.clone(),
+        ),
+        LogicalPlan::Filter { input, predicate } => {
+            // Fuse the filter onto a base scan: the predicate joins the
+            // qualification in the per-partition compile.
+            if let LogicalPlan::Scan {
+                relation,
+                qualification,
+                shape,
+            } = &**input
+            {
+                scan_chunks(
+                    ctx.snap(relation).clone(),
+                    qualification,
+                    shape,
+                    &ctx.opts,
+                    Some(predicate),
+                    stats.clone(),
+                )
+            } else {
+                filter_chunks(exec_chunks(input, ctx, stats)?, predicate)
+            }
+        }
+        LogicalPlan::Project { input, attrs } => {
+            project_chunks(exec_chunks(input, ctx, stats)?, attrs, stats.clone())
+        }
+        LogicalPlan::Guard { input, attrs } => guard_chunks(exec_chunks(input, ctx, stats)?, attrs),
+        LogicalPlan::IndexLookup { .. } => {
+            // A point probe resolves a handful of rids; the row pipeline's
+            // probe logic is already optimal (and eager).
+            let rows: Vec<Tuple> = exec_node(plan, ctx)?.collect();
+            if rows.is_empty() {
+                Box::new(std::iter::empty())
+            } else {
+                Box::new(std::iter::once(Chunk::Rows(rows)))
+            }
+        }
+        LogicalPlan::Join { left, right } => {
+            let common = snap_plan_attrs(left, ctx).intersection(&snap_plan_attrs(right, ctx));
+            match join_strategy_for(left, right, &common, ctx) {
+                JoinStrategy::IndexNestedLoopRight => {
+                    let side = inl_inner_side(right).expect("the strategy implies a base scan");
+                    let probe: TupleStream<'a> =
+                        chunks_to_tuples(exec_chunks(left, ctx, stats)?, stats.clone());
+                    rows_chunks(index_nested_loop_stream(
+                        probe,
+                        ctx.snap(side.relation).clone(),
+                        side.qualification,
+                        side.shapes.clone(),
+                        common,
+                    ))
+                }
+                JoinStrategy::IndexNestedLoopLeft => {
+                    let side = inl_inner_side(left).expect("the strategy implies a base scan");
+                    let probe: TupleStream<'a> =
+                        chunks_to_tuples(exec_chunks(right, ctx, stats)?, stats.clone());
+                    rows_chunks(index_nested_loop_stream(
+                        probe,
+                        ctx.snap(side.relation).clone(),
+                        side.qualification,
+                        side.shapes.clone(),
+                        common,
+                    ))
+                }
+                JoinStrategy::Hash => {
+                    let probe = exec_chunks(left, ctx, stats)?;
+                    let build = exec_chunks(right, ctx, stats)?;
+                    hash_join_chunks(probe, build, common, stats.clone())
+                }
+            }
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let streams: Vec<ChunkStream<'a>> = inputs
+                .iter()
+                .map(|i| exec_chunks(i, ctx, stats))
+                .collect::<Result<_>>()?;
+            union_chunks(streams, stats.clone())
+        }
+        LogicalPlan::Extend { input, attr, value } => {
+            let inner = exec_chunks(input, ctx, stats)?;
+            let stats = stats.clone();
+            Box::new(inner.map(move |chunk| {
+                let mut rows = chunk.into_tuples(&stats);
+                for t in rows.iter_mut() {
+                    t.insert(attr.as_str(), value.clone());
+                }
+                Chunk::Rows(rows)
+            }))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => aggregate_chunks(exec_chunks(input, ctx, stats)?, group_by, aggs),
+    })
+}

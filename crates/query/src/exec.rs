@@ -46,15 +46,32 @@ use flexrel_core::error::Result;
 use flexrel_core::tuple::{ShapeId, Tuple};
 use flexrel_storage::{Database, HashIndex, Partition, PartitionSnapshot, Rid};
 
+use crate::agg::GroupedAggs;
+use crate::batch;
 use crate::colscan;
 use crate::logical::{LogicalPlan, ShapePredicate};
 
 /// A stream of result tuples.
 pub type TupleStream<'a> = Box<dyn Iterator<Item = Tuple> + 'a>;
 
+/// Which dataflow the executor runs a plan through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// The batched late-materialization pipeline (the default): operators
+    /// exchange [`batch::Chunk`]s — per-segment selection vectors over
+    /// shared column segments — and owned [`Tuple`]s are only built at the
+    /// points that need them (result boundary, join output, dedup).
+    Late,
+    /// The historical tuple-at-a-time streaming pipeline.  Kept as the
+    /// differential oracle for the late pipeline and as the reference
+    /// semantics for aggregation.
+    Row,
+}
+
 /// Execution options: the physical knobs the executor (acting on the
 /// optimizer's partition statistics) uses to pick between serial and
-/// partition-parallel streams.
+/// partition-parallel streams, and between the late-materialized and the
+/// row-at-a-time pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Maximum number of worker threads a single scan may fan out to.
@@ -64,15 +81,18 @@ pub struct ExecOptions {
     /// a scan is worth parallelizing; below it, thread spawn and channel
     /// overhead dominate.
     pub min_parallel_rows: usize,
+    /// Which pipeline executes the plan; [`PipelineMode::Late`] by default.
+    pub pipeline: PipelineMode,
 }
 
 impl ExecOptions {
-    /// Serial execution — the default, byte-for-byte the historical
-    /// streaming executor.
+    /// Serial execution through the late-materialized pipeline — the
+    /// default.
     pub fn serial() -> Self {
         ExecOptions {
             threads: 1,
             min_parallel_rows: 4096,
+            pipeline: PipelineMode::Late,
         }
     }
 
@@ -81,6 +101,7 @@ impl ExecOptions {
         ExecOptions {
             threads: threads.max(1),
             min_parallel_rows: 4096,
+            pipeline: PipelineMode::Late,
         }
     }
 
@@ -90,6 +111,18 @@ impl ExecOptions {
     pub fn with_min_parallel_rows(mut self, rows: usize) -> Self {
         self.min_parallel_rows = rows;
         self
+    }
+
+    /// Selects the executing pipeline (builder style).  The differential
+    /// suite runs every query through both and compares.
+    pub fn with_pipeline(mut self, pipeline: PipelineMode) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Shorthand for the tuple-at-a-time oracle pipeline.
+    pub fn row_pipeline(self) -> Self {
+        self.with_pipeline(PipelineMode::Row)
     }
 }
 
@@ -114,26 +147,27 @@ pub fn scan_parallelism(partitions: usize, rows: usize, opts: &ExecOptions) -> u
 /// One relation's atomically captured read state: partition snapshot plus
 /// index snapshots (see [`Database::relation_snapshot`]).
 #[derive(Clone)]
-struct RelSnap {
-    parts: PartitionSnapshot,
-    indexes: Vec<Arc<HashIndex>>,
+pub(crate) struct RelSnap {
+    pub(crate) parts: PartitionSnapshot,
+    pub(crate) indexes: Vec<Arc<HashIndex>>,
 }
 
 impl RelSnap {
-    fn index_on(&self, key: &AttrSet) -> Option<&Arc<HashIndex>> {
+    pub(crate) fn index_on(&self, key: &AttrSet) -> Option<&Arc<HashIndex>> {
         self.indexes.iter().find(|idx| idx.key() == key)
     }
 }
 
 /// The per-query execution context: one snapshot per scanned relation plus
-/// the execution options.  Built once before any tuple flows.
-struct ExecContext {
+/// the execution options.  Built once before any tuple flows.  Shared with
+/// the late-materialized pipeline ([`crate::batch`]).
+pub(crate) struct ExecContext {
     snaps: HashMap<String, RelSnap>,
     /// Returned for relations outside the captured set (unreachable after
     /// a successful `build`, which snapshots every relation the plan
     /// mentions); avoids cloning in the hot `snap` accessor.
     empty: RelSnap,
-    opts: ExecOptions,
+    pub(crate) opts: ExecOptions,
 }
 
 impl ExecContext {
@@ -181,7 +215,7 @@ impl ExecContext {
     /// (`snap_plan_attrs`, `snap_estimate_rows`, the join gates) call this
     /// per plan node, so no clone happens here — only the few ownership
     /// sites (scan and index-nested-loop streams) clone.
-    fn snap(&self, relation: &str) -> &RelSnap {
+    pub(crate) fn snap(&self, relation: &str) -> &RelSnap {
         self.snaps.get(relation).unwrap_or(&self.empty)
     }
 }
@@ -196,7 +230,8 @@ fn plan_needs_indexes(plan: &LogicalPlan) -> bool {
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Guard { input, .. }
-        | LogicalPlan::Extend { input, .. } => plan_needs_indexes(input),
+        | LogicalPlan::Extend { input, .. }
+        | LogicalPlan::Aggregate { input, .. } => plan_needs_indexes(input),
         LogicalPlan::UnionAll { inputs } => inputs.iter().any(plan_needs_indexes),
     }
 }
@@ -210,7 +245,8 @@ fn collect_relations(plan: &LogicalPlan, out: &mut BTreeSet<String>) {
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Guard { input, .. }
-        | LogicalPlan::Extend { input, .. } => collect_relations(input, out),
+        | LogicalPlan::Extend { input, .. }
+        | LogicalPlan::Aggregate { input, .. } => collect_relations(input, out),
         LogicalPlan::Join { left, right } => {
             collect_relations(left, out);
             collect_relations(right, out);
@@ -243,7 +279,7 @@ pub fn plan_attrs(plan: &LogicalPlan, db: &Database) -> AttrSet {
     }
 }
 
-fn snap_plan_attrs(plan: &LogicalPlan, ctx: &ExecContext) -> AttrSet {
+pub(crate) fn snap_plan_attrs(plan: &LogicalPlan, ctx: &ExecContext) -> AttrSet {
     match plan {
         LogicalPlan::Empty => AttrSet::empty(),
         LogicalPlan::Scan {
@@ -283,6 +319,16 @@ fn snap_plan_attrs(plan: &LogicalPlan, ctx: &ExecContext) -> AttrSet {
         LogicalPlan::UnionAll { inputs } => inputs.iter().fold(AttrSet::empty(), |acc, p| {
             acc.union(&snap_plan_attrs(p, ctx))
         }),
+        // The output attributes are the grouping attributes plus the
+        // aggregate outputs (an upper bound: an aggregate that saw no input
+        // omits its output).
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            let mut out = group_by.clone();
+            for a in aggs {
+                out.insert(a.output.clone());
+            }
+            out
+        }
     }
 }
 
@@ -338,7 +384,8 @@ fn snap_estimate_rows(plan: &LogicalPlan, ctx: &ExecContext) -> Option<usize> {
             .iter()
             .map(|p| snap_estimate_rows(p, ctx))
             .sum::<Option<usize>>(),
-        LogicalPlan::Join { .. } => None,
+        // Group cardinality is not derivable from partition metadata.
+        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } => None,
     }
 }
 
@@ -359,13 +406,13 @@ pub enum JoinStrategy {
 /// residual filters.  The scan's qualification and any filter predicates are
 /// folded into one per-tuple qualification that the probe re-applies; the
 /// shape predicate is re-applied per rid.
-struct InnerSide<'a> {
-    relation: &'a str,
-    qualification: Option<Predicate>,
-    shapes: &'a Option<ShapePredicate>,
+pub(crate) struct InnerSide<'a> {
+    pub(crate) relation: &'a str,
+    pub(crate) qualification: Option<Predicate>,
+    pub(crate) shapes: &'a Option<ShapePredicate>,
 }
 
-fn inl_inner_side(plan: &LogicalPlan) -> Option<InnerSide<'_>> {
+pub(crate) fn inl_inner_side(plan: &LogicalPlan) -> Option<InnerSide<'_>> {
     match plan {
         LogicalPlan::Scan {
             relation,
@@ -438,7 +485,7 @@ pub fn join_strategy(left: &LogicalPlan, right: &LogicalPlan, db: &Database) -> 
 /// [`join_strategy`] with the equi-join attribute set already computed —
 /// the executor derives `common` once per join and shares it between the
 /// strategy choice and the chosen stream.
-fn join_strategy_for(
+pub(crate) fn join_strategy_for(
     left: &LogicalPlan,
     right: &LogicalPlan,
     common: &AttrSet,
@@ -496,7 +543,7 @@ impl ShapeAdmitMemo {
 /// join's scan side; probe tuples not defined on `common` fall back to a
 /// pairwise pass over the admitted inner side, which is materialized once
 /// on first need and reused.
-fn index_nested_loop_stream<'a>(
+pub(crate) fn index_nested_loop_stream<'a>(
     probe: TupleStream<'a>,
     inner: RelSnap,
     inner_qualification: Option<Predicate>,
@@ -682,7 +729,7 @@ fn scan_stream<'a>(
     Box::new(colscan::VectorScan::new(parts, preds))
 }
 
-fn exec_node<'a>(plan: &'a LogicalPlan, ctx: &ExecContext) -> Result<TupleStream<'a>> {
+pub(crate) fn exec_node<'a>(plan: &'a LogicalPlan, ctx: &ExecContext) -> Result<TupleStream<'a>> {
     Ok(match plan {
         LogicalPlan::Empty => Box::new(std::iter::empty()),
         LogicalPlan::Scan {
@@ -817,19 +864,64 @@ fn exec_node<'a>(plan: &'a LogicalPlan, ctx: &ExecContext) -> Result<TupleStream
                 t
             }))
         }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            // The row-wise fold is the reference semantics; the late
+            // pipeline's columnar kernels are differentially checked
+            // against this path.
+            let rows = exec_node(input, ctx)?;
+            let mut state = GroupedAggs::new(group_by.clone(), aggs.clone());
+            for t in rows {
+                state.add_tuple(&t);
+            }
+            Box::new(state.finish().into_iter())
+        }
     })
 }
 
 /// Builds the streaming pipeline for a plan under explicit execution
 /// options.  Catalog errors (unknown relations) surface here, before any
 /// tuple flows; so does the per-relation snapshot capture.
+///
+/// With [`PipelineMode::Late`] (the default) the plan runs through the
+/// batched late-materialization pipeline and this stream is its result
+/// boundary — the point where selection vectors finally become owned
+/// tuples.  With [`PipelineMode::Row`] it is the historical tuple-at-a-time
+/// pipeline.
 pub fn execute_stream_with<'a>(
     plan: &'a LogicalPlan,
     db: &'a Database,
     opts: &ExecOptions,
 ) -> Result<TupleStream<'a>> {
     let ctx = ExecContext::build(plan, db, opts.clone())?;
-    exec_node(plan, &ctx)
+    match opts.pipeline {
+        PipelineMode::Row => exec_node(plan, &ctx),
+        PipelineMode::Late => {
+            let stats = batch::ExecStats::default();
+            let chunks = batch::exec_chunks(plan, &ctx, &stats)?;
+            Ok(batch::chunks_to_tuples(chunks, stats))
+        }
+    }
+}
+
+/// Executes a plan through the late-materialized pipeline, returning the
+/// result tuples together with the pipeline's [`batch::ExecStats`] —
+/// notably how many input-side tuples were materialized.  The stats are
+/// how tests pin down that late materialization is actually happening
+/// (an aggregate query must report **zero** materialized input tuples).
+pub fn execute_collect(
+    plan: &LogicalPlan,
+    db: &Database,
+    opts: &ExecOptions,
+) -> Result<(Vec<Tuple>, batch::ExecStats)> {
+    let ctx = ExecContext::build(plan, db, opts.clone())?;
+    let stats = batch::ExecStats::default();
+    let chunks = batch::exec_chunks(plan, &ctx, &stats)?;
+    let rows: Vec<Tuple> = batch::chunks_to_tuples(chunks, stats.clone()).collect();
+    Ok((rows, stats))
 }
 
 /// Builds the serial streaming pipeline for a plan (the historical

@@ -60,6 +60,8 @@
 
 #![deny(missing_docs)]
 
+pub mod agg;
+pub mod batch;
 pub mod colscan;
 pub mod exec;
 pub mod logical;
@@ -67,12 +69,17 @@ pub mod optimizer;
 pub mod parser;
 pub mod planner;
 
-pub use colscan::{compile as compile_predicates, Compiled, VectorScan};
-pub use exec::{
-    estimate_rows, execute, execute_stream, execute_stream_with, execute_with, join_strategy,
-    plan_attrs, scan_parallelism, ExecOptions, JoinStrategy, TupleStream,
+pub use agg::{Acc, GroupedAggs};
+pub use batch::{Chunk, ColChunk, ExecStats};
+pub use colscan::{
+    aggregate_partition, aggregate_selected, compile as compile_predicates, Compiled, VectorScan,
 };
-pub use logical::{LogicalPlan, ShapePredicate};
+pub use exec::{
+    estimate_rows, execute, execute_collect, execute_stream, execute_stream_with, execute_with,
+    join_strategy, plan_attrs, scan_parallelism, ExecOptions, JoinStrategy, PipelineMode,
+    TupleStream,
+};
+pub use logical::{AggExpr, AggFunc, LogicalPlan, ShapePredicate};
 pub use optimizer::{choose_access_paths, optimize, optimize_with_db, RewriteNote};
 pub use parser::{parse, Query};
 pub use planner::plan_query;
@@ -80,10 +87,10 @@ pub use planner::plan_query;
 /// The most commonly used items.
 pub mod prelude {
     pub use crate::exec::{
-        execute, execute_stream, execute_stream_with, execute_with, join_strategy, ExecOptions,
-        JoinStrategy,
+        execute, execute_collect, execute_stream, execute_stream_with, execute_with, join_strategy,
+        ExecOptions, JoinStrategy, PipelineMode,
     };
-    pub use crate::logical::{LogicalPlan, ShapePredicate};
+    pub use crate::logical::{AggExpr, AggFunc, LogicalPlan, ShapePredicate};
     pub use crate::optimizer::{optimize, optimize_with_db, RewriteNote};
     pub use crate::parser::{parse, Query};
     pub use crate::planner::plan_query;

@@ -3,9 +3,77 @@
 use std::fmt;
 
 use flexrel_algebra::predicate::Predicate;
-use flexrel_core::attr::AttrSet;
+use flexrel_core::attr::{Attr, AttrSet};
 use flexrel_core::tuple::Tuple;
 use flexrel_core::value::Value;
+
+/// An aggregate function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(a)`: number of rows (rows defined on `a`).
+    Count,
+    /// `SUM(a)`: sum of the values of `a` over rows defined on it.  Integer
+    /// sums wrap (two's complement), mirroring a plain `i64` fold.
+    Sum,
+    /// `MIN(a)` under [`Value`]'s total order.
+    Min,
+    /// `MAX(a)` under [`Value`]'s total order.
+    Max,
+}
+
+impl AggFunc {
+    /// The lowercase keyword (`count`, `sum`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate expression of an [`LogicalPlan::Aggregate`] node.
+///
+/// Flexible-relation semantics: an aggregate over attribute `a` folds only
+/// the input rows *defined on* `a` (presence is a shape-level fact, so no
+/// per-row null checks are involved); `COUNT(*)` (`input: None`) counts
+/// every row.  A group none of whose rows is defined on `a` simply omits
+/// the output attribute — the result is a flexible tuple, like any other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated attribute; `None` is `COUNT(*)`.
+    pub input: Option<Attr>,
+    /// The attribute the result is emitted under.
+    pub output: Attr,
+}
+
+impl AggExpr {
+    /// An aggregate with the conventional output name: `count` for
+    /// `COUNT(*)`, otherwise `<func>-<attr>` (e.g. `sum-salary`).
+    pub fn new(func: AggFunc, input: Option<Attr>) -> Self {
+        let output = match &input {
+            None => Attr::new("count"),
+            Some(a) => Attr::new(format!("{}-{}", func.name(), a.name())),
+        };
+        AggExpr {
+            func,
+            input,
+            output,
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.input {
+            None => write!(f, "{}(*)", self.func.name()),
+            Some(a) => write!(f, "{}({})", self.func.name(), a.name()),
+        }
+    }
+}
 
 /// A predicate over tuple *shapes* (`attr(t)`), attached to a
 /// [`LogicalPlan::Scan`] by the optimizer's partition-pruning pass.
@@ -144,6 +212,18 @@ pub enum LogicalPlan {
         /// The constant value of the added attribute.
         value: Value,
     },
+    /// Grouped aggregation: partitions the input by the values of
+    /// `group_by` (rows not defined on all of `group_by` are excluded —
+    /// grouping is a type guard) and folds each `agg` over its group.
+    /// With an empty `group_by` there is exactly one output row.
+    Aggregate {
+        /// The input plan.
+        input: Box<LogicalPlan>,
+        /// The grouping attributes (empty = one global group).
+        group_by: AttrSet,
+        /// The aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
 }
 
 impl LogicalPlan {
@@ -177,7 +257,8 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Guard { input, .. }
-            | LogicalPlan::Extend { input, .. } => input.pruned_scan_count(),
+            | LogicalPlan::Extend { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.pruned_scan_count(),
             LogicalPlan::Join { left, right } => {
                 left.pruned_scan_count() + right.pruned_scan_count()
             }
@@ -217,6 +298,15 @@ impl LogicalPlan {
         }
     }
 
+    /// Wraps the plan in a grouped aggregation.
+    pub fn aggregate(self, group_by: impl Into<AttrSet>, aggs: Vec<AggExpr>) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.into(),
+            aggs,
+        }
+    }
+
     /// Number of index-lookup nodes (used by tests and the experiment
     /// harness to show the optimizer chose an index access path).
     pub fn index_lookup_count(&self) -> usize {
@@ -226,7 +316,8 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Guard { input, .. }
-            | LogicalPlan::Extend { input, .. } => input.index_lookup_count(),
+            | LogicalPlan::Extend { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.index_lookup_count(),
             LogicalPlan::Join { left, right } => {
                 left.index_lookup_count() + right.index_lookup_count()
             }
@@ -241,7 +332,8 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Guard { input, .. }
-            | LogicalPlan::Extend { input, .. } => 1 + input.node_count(),
+            | LogicalPlan::Extend { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => 1 + input.node_count(),
             LogicalPlan::Join { left, right } => 1 + left.node_count() + right.node_count(),
             LogicalPlan::UnionAll { inputs } => {
                 1 + inputs.iter().map(|p| p.node_count()).sum::<usize>()
@@ -257,7 +349,8 @@ impl LogicalPlan {
             LogicalPlan::Guard { input, .. } => 1 + input.guard_count(),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
-            | LogicalPlan::Extend { input, .. } => input.guard_count(),
+            | LogicalPlan::Extend { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.guard_count(),
             LogicalPlan::Join { left, right } => left.guard_count() + right.guard_count(),
             LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| p.guard_count()).sum(),
         }
@@ -271,7 +364,8 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Guard { input, .. }
-            | LogicalPlan::Extend { input, .. } => input.join_count(),
+            | LogicalPlan::Extend { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.join_count(),
             LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| p.join_count()).sum(),
         }
     }
@@ -338,6 +432,21 @@ impl LogicalPlan {
             }
             LogicalPlan::Extend { input, attr, value } => {
                 writeln!(f, "{}Extend {} := {}", pad, attr, value)?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                write!(f, "{}Aggregate", pad)?;
+                if !group_by.is_empty() {
+                    write!(f, " group by {}", group_by)?;
+                }
+                for (i, a) in aggs.iter().enumerate() {
+                    write!(f, "{}{}", if i == 0 { " " } else { ", " }, a)?;
+                }
+                writeln!(f)?;
                 input.fmt_indent(f, indent + 1)
             }
         }

@@ -157,6 +157,15 @@ pub fn choose_access_paths(
             attr,
             value,
         },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(choose_access_paths(*input, db, notes)),
+            group_by,
+            aggs,
+        },
         LogicalPlan::Join { left, right } => LogicalPlan::Join {
             left: Box::new(choose_access_paths(*left, db, notes)),
             right: Box::new(choose_access_paths(*right, db, notes)),
@@ -210,7 +219,9 @@ fn subtree_deps(plan: &LogicalPlan, catalog: &Catalog) -> DependencySet {
             .get(relation)
             .map(|def| def.deps.clone())
             .unwrap_or_default(),
-        LogicalPlan::Empty => DependencySet::new(),
+        // An aggregate's output attributes are new (counts, sums, group
+        // keys); the scanned relations' dependencies say nothing about them.
+        LogicalPlan::Empty | LogicalPlan::Aggregate { .. } => DependencySet::new(),
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Guard { input, .. }
@@ -269,8 +280,13 @@ fn subtree_context(plan: &LogicalPlan) -> SelectionContext {
             ctx
         }
         // A union guarantees only what holds on every branch; be
-        // conservative and claim nothing.
+        // conservative and claim nothing.  An aggregate rewrites tuples
+        // entirely (group keys + aggregate outputs): every output row is
+        // defined on the grouping attributes, but nothing else survives.
         LogicalPlan::UnionAll { .. } => SelectionContext::none(),
+        LogicalPlan::Aggregate { group_by, .. } => {
+            SelectionContext::none().with_referenced(group_by.clone())
+        }
     }
 }
 
@@ -291,7 +307,9 @@ fn qualification_equalities(plan: &LogicalPlan) -> Tuple {
         LogicalPlan::Join { left, right } => {
             qualification_equalities(left).merged_with(&qualification_equalities(right))
         }
-        LogicalPlan::UnionAll { .. } => Tuple::empty(),
+        // Aggregate outputs carry new attributes; the inputs' pinned
+        // constants do not survive into them.
+        LogicalPlan::UnionAll { .. } | LogicalPlan::Aggregate { .. } => Tuple::empty(),
     }
 }
 
@@ -443,6 +461,17 @@ fn rewrite(
             input: Box::new(rewrite(*input, catalog, above, notes)),
             attr,
             value,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            // Constraints from above refer to the aggregate's *output*
+            // attributes; they must not justify rewrites below it.
+            input: Box::new(rewrite(*input, catalog, &SelectionContext::none(), notes)),
+            group_by,
+            aggs,
         },
         leaf
         @ (LogicalPlan::Scan { .. } | LogicalPlan::IndexLookup { .. } | LogicalPlan::Empty) => leaf,
@@ -615,6 +644,27 @@ fn prune_scans(
                 .map(|p| prune_scans(p, catalog, required, equalities, notes))
                 .collect(),
         },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            // Grouping is a type guard: a row not defined on all of
+            // `group_by` belongs to no group, so the grouping attributes
+            // are required below.  Context from above refers to the
+            // aggregate's output attributes and is dropped.
+            LogicalPlan::Aggregate {
+                input: Box::new(prune_scans(
+                    *input,
+                    catalog,
+                    &group_by,
+                    &Tuple::empty(),
+                    notes,
+                )),
+                group_by,
+                aggs,
+            }
+        }
         LogicalPlan::Scan {
             relation,
             qualification,
@@ -802,6 +852,25 @@ fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalP
                 0 => LogicalPlan::Empty,
                 1 => kept.into_iter().next().expect("one element"),
                 _ => LogicalPlan::UnionAll { inputs: kept },
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let input = simplify_empties(*input, notes);
+            // A *grouped* aggregate over nothing has no groups; a global
+            // aggregate over nothing still emits its single row
+            // (`COUNT(*) = 0`), so the node must survive an empty input.
+            if matches!(input, LogicalPlan::Empty) && !group_by.is_empty() {
+                LogicalPlan::Empty
+            } else {
+                LogicalPlan::Aggregate {
+                    input: Box::new(input),
+                    group_by,
+                    aggs,
+                }
             }
         }
         leaf => leaf,
@@ -1091,6 +1160,37 @@ mod tests {
             "the pinned determinant fixes the variant region: {}",
             sp
         );
+    }
+
+    #[test]
+    fn aggregation_pushes_group_attrs_and_survives_empty_inputs() {
+        // Grouping attributes are required below the aggregate, so the scan
+        // gets a shape predicate.
+        let plan = planned("SELECT typing-speed, COUNT(*) FROM employee GROUP BY typing-speed");
+        let (optimized, notes) = optimize(plan, &catalog());
+        assert_eq!(optimized.pruned_scan_count(), 1, "{}", optimized);
+        assert!(notes.iter().any(|n| n.rule == "partition-pruning"));
+
+        // A global aggregate over a proven-empty input keeps its node (it
+        // still emits COUNT(*) = 0); a grouped one collapses.
+        let plan = LogicalPlan::Empty.aggregate(
+            AttrSet::empty(),
+            vec![crate::logical::AggExpr::new(
+                crate::logical::AggFunc::Count,
+                None,
+            )],
+        );
+        let (optimized, _) = optimize(plan, &catalog());
+        assert!(matches!(optimized, LogicalPlan::Aggregate { .. }));
+        let plan = LogicalPlan::Empty.aggregate(
+            flexrel_core::attrs!["jobtype"],
+            vec![crate::logical::AggExpr::new(
+                crate::logical::AggFunc::Count,
+                None,
+            )],
+        );
+        let (optimized, _) = optimize(plan, &catalog());
+        assert_eq!(optimized, LogicalPlan::Empty);
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
-//! query      := SELECT projection FROM ident [WHERE predicate] [GUARD attrlist]
-//! projection := '*' | attrlist
+//! query      := SELECT select_list FROM ident [WHERE predicate] [GUARD attrlist]
+//!               [GROUP BY attrlist]
+//! select_list := '*' | select_item (',' select_item)*
+//! select_item := ident | aggfn '(' ('*' | ident) ')'
+//! aggfn      := COUNT | SUM | MIN | MAX          (COUNT '*' only)
 //! attrlist   := ident (',' ident)*
 //! predicate  := disjunct (OR disjunct)*
 //! disjunct   := conjunct (AND conjunct)*
@@ -16,11 +19,16 @@
 //!
 //! Attribute names may contain letters, digits, `_` and `-` (the paper's
 //! attribute names such as `typing-speed` parse as single identifiers).
+//! The aggregate function names are *not* reserved: `count` is an aggregate
+//! only when followed by `(`, so attributes named `count` or `min` keep
+//! parsing as identifiers.
 
 use flexrel_algebra::predicate::{CmpOp, Predicate};
-use flexrel_core::attr::AttrSet;
+use flexrel_core::attr::{Attr, AttrSet};
 use flexrel_core::error::{CoreError, Result};
 use flexrel_core::value::Value;
+
+use crate::logical::{AggExpr, AggFunc};
 
 /// A parsed FRQL query.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,6 +42,12 @@ pub struct Query {
     /// The `GUARD` attribute list, if any (an explicit retrieval-side type
     /// guard).
     pub guard: Option<AttrSet>,
+    /// Aggregate expressions of the select list, in source order.  Empty
+    /// for a plain (non-aggregating) query.
+    pub aggregates: Vec<AggExpr>,
+    /// The `GROUP BY` attribute list, if any.  Only meaningful together
+    /// with `aggregates`; the planner rejects it otherwise.
+    pub group_by: Option<AttrSet>,
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -52,7 +66,8 @@ fn is_ident_char(c: char) -> bool {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GUARD", "AND", "OR", "NOT", "PRESENT", "TRUE", "FALSE",
+    "SELECT", "FROM", "WHERE", "GUARD", "AND", "OR", "NOT", "PRESENT", "TRUE", "FALSE", "GROUP",
+    "BY",
 ];
 
 fn tokenize(input: &str) -> Result<Vec<Token>> {
@@ -203,6 +218,53 @@ impl Parser {
         Ok(out)
     }
 
+    /// An identifier spelling an aggregate function *followed by `(`* —
+    /// the lookahead that keeps `count`/`min` usable as attribute names.
+    fn peek_agg_func(&self) -> Option<AggFunc> {
+        let Some(Token::Ident(s)) = self.peek() else {
+            return None;
+        };
+        let func = match s.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        };
+        match self.tokens.get(self.pos + 1) {
+            Some(Token::Symbol(sym)) if sym == "(" => Some(func),
+            _ => None,
+        }
+    }
+
+    /// One select-list item: a plain attribute or an aggregate call.
+    fn select_item(&mut self, attrs: &mut AttrSet, aggs: &mut Vec<AggExpr>) -> Result<()> {
+        if let Some(func) = self.peek_agg_func() {
+            self.pos += 2; // the function name and its `(`
+            let input = if self.accept_symbol("*") {
+                if func != AggFunc::Count {
+                    return Err(CoreError::Invalid(format!(
+                        "{}(*) is not a thing; only COUNT(*) takes *",
+                        func.name()
+                    )));
+                }
+                None
+            } else {
+                Some(Attr::new(self.ident()?))
+            };
+            if !self.accept_symbol(")") {
+                return Err(CoreError::Invalid(format!(
+                    "expected ) after {} argument",
+                    func.name()
+                )));
+            }
+            aggs.push(AggExpr::new(func, input));
+        } else {
+            attrs.insert(self.ident()?.as_str());
+        }
+        Ok(())
+    }
+
     fn literal(&mut self) -> Result<Value> {
         match self.next() {
             Some(Token::Int(i)) => Ok(Value::Int(i)),
@@ -296,10 +358,21 @@ pub fn parse(input: &str) -> Result<Query> {
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0 };
     p.expect_keyword("SELECT")?;
+    let mut aggregates = Vec::new();
     let projection = if p.accept_symbol("*") {
         None
     } else {
-        Some(p.attr_list()?)
+        let mut attrs = AttrSet::empty();
+        p.select_item(&mut attrs, &mut aggregates)?;
+        while p.accept_symbol(",") {
+            p.select_item(&mut attrs, &mut aggregates)?;
+        }
+        if attrs.is_empty() && !aggregates.is_empty() {
+            // A pure-aggregate select list: no projection to apply.
+            None
+        } else {
+            Some(attrs)
+        }
     };
     p.expect_keyword("FROM")?;
     let relation = p.ident()?;
@@ -309,6 +382,12 @@ pub fn parse(input: &str) -> Result<Query> {
         None
     };
     let guard = if p.accept_keyword("GUARD") {
+        Some(p.attr_list()?)
+    } else {
+        None
+    };
+    let group_by = if p.accept_keyword("GROUP") {
+        p.expect_keyword("BY")?;
         Some(p.attr_list()?)
     } else {
         None
@@ -324,6 +403,8 @@ pub fn parse(input: &str) -> Result<Query> {
         projection,
         predicate,
         guard,
+        aggregates,
+        group_by,
     })
 }
 
@@ -399,6 +480,44 @@ mod tests {
         assert!(parse("SELECT * FROM employee WHERE x ~ 1").is_err());
         assert!(parse("SELECT * FROM e WHERE s = 'unterminated").is_err());
         assert!(parse("SELECT * FROM e WHERE PRESENT a").is_err());
+    }
+
+    #[test]
+    fn parses_aggregates_and_group_by() {
+        let q =
+            parse("SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary) FROM employee").unwrap();
+        assert_eq!(q.projection, None);
+        assert_eq!(q.group_by, None);
+        assert_eq!(q.aggregates.len(), 4);
+        assert_eq!(q.aggregates[0], AggExpr::new(AggFunc::Count, None));
+        assert_eq!(
+            q.aggregates[1],
+            AggExpr::new(AggFunc::Sum, Some(Attr::new("salary")))
+        );
+        assert_eq!(q.aggregates[1].output.name(), "sum-salary");
+
+        let q = parse("SELECT kind, count(*) FROM wide WHERE id >= 10 GROUP BY kind").unwrap();
+        assert_eq!(q.projection, Some(attrs!["kind"]));
+        assert_eq!(q.group_by, Some(attrs!["kind"]));
+        assert_eq!(q.aggregates, vec![AggExpr::new(AggFunc::Count, None)]);
+        assert!(q.predicate.is_some());
+    }
+
+    #[test]
+    fn aggregate_names_stay_usable_as_attributes() {
+        // `count`/`min`/`sum` without a following `(` are plain identifiers.
+        let q = parse("SELECT count, min FROM r WHERE sum = 1").unwrap();
+        assert_eq!(q.projection, Some(attrs!["count", "min"]));
+        assert!(q.aggregates.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        assert!(parse("SELECT SUM(*) FROM r").is_err(), "only COUNT takes *");
+        assert!(parse("SELECT COUNT( FROM r").is_err());
+        assert!(parse("SELECT COUNT(x FROM r").is_err());
+        assert!(parse("SELECT COUNT(*) FROM r GROUP kind").is_err());
+        assert!(parse("SELECT COUNT(*) FROM r GROUP BY").is_err());
     }
 
     #[test]

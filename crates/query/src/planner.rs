@@ -20,7 +20,8 @@ fn check_attrs(known: &AttrSet, used: &AttrSet, what: &str) -> Result<()> {
 }
 
 /// Builds the initial (unoptimized) logical plan for a query: scan, then
-/// filter, then guard, then projection.
+/// filter, then guard, then projection — or, for an aggregating query,
+/// scan, filter, guard, then a single [`LogicalPlan::Aggregate`] node.
 pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     let def = catalog.get(&query.relation)?;
     let known = def.scheme.attrs();
@@ -34,6 +35,35 @@ pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     if let Some(proj) = &query.projection {
         check_attrs(&known, proj, "SELECT list")?;
     }
+    if let Some(g) = &query.group_by {
+        check_attrs(&known, g, "GROUP BY clause")?;
+    }
+    for agg in &query.aggregates {
+        if let Some(a) = &agg.input {
+            check_attrs(&known, &AttrSet::singleton(a.clone()), "aggregate")?;
+        }
+    }
+
+    // Aggregation-specific validation: GROUP BY needs aggregates, and any
+    // plain select-list attribute must be one of the grouping attributes
+    // (the only per-group-constant columns).
+    if query.aggregates.is_empty() {
+        if query.group_by.is_some() {
+            return Err(CoreError::Invalid(
+                "GROUP BY without an aggregate in the select list".into(),
+            ));
+        }
+    } else {
+        let group = query.group_by.clone().unwrap_or_else(AttrSet::empty);
+        if let Some(proj) = &query.projection {
+            if !proj.is_subset(&group) {
+                return Err(CoreError::Invalid(format!(
+                    "select-list attributes {} are not in GROUP BY",
+                    proj.difference(&group)
+                )));
+            }
+        }
+    }
 
     let mut plan = LogicalPlan::scan(query.relation.clone());
     if let Some(p) = &query.predicate {
@@ -42,8 +72,13 @@ pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     if let Some(g) = &query.guard {
         plan = plan.guard(g.clone());
     }
-    if let Some(proj) = &query.projection {
-        plan = plan.project(proj.clone());
+    if query.aggregates.is_empty() {
+        if let Some(proj) = &query.projection {
+            plan = plan.project(proj.clone());
+        }
+    } else {
+        let group = query.group_by.clone().unwrap_or_else(AttrSet::empty);
+        plan = plan.aggregate(group, query.aggregates.clone());
     }
     Ok(plan)
 }
@@ -80,6 +115,35 @@ mod tests {
         let q = parse("SELECT * FROM employee").unwrap();
         let plan = plan_query(&q, &catalog()).unwrap();
         assert_eq!(plan.node_count(), 1);
+    }
+
+    #[test]
+    fn aggregate_queries_plan_to_an_aggregate_node() {
+        let q = parse("SELECT COUNT(*), SUM(salary) FROM employee WHERE salary > 0").unwrap();
+        let plan = plan_query(&q, &catalog()).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("Aggregate count(*), sum(salary)"), "{}", s);
+        assert!(s.contains("Filter"));
+
+        let q = parse("SELECT jobtype, COUNT(*) FROM employee GROUP BY jobtype").unwrap();
+        let plan = plan_query(&q, &catalog()).unwrap();
+        assert!(plan.to_string().contains("Aggregate group by {jobtype}"));
+    }
+
+    #[test]
+    fn aggregate_validation_rejects_bad_queries() {
+        let c = catalog();
+        // GROUP BY without an aggregate.
+        let q = parse("SELECT empno FROM employee GROUP BY empno").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        // Plain select-list attribute outside GROUP BY.
+        let q = parse("SELECT empno, COUNT(*) FROM employee GROUP BY jobtype").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        // Unknown aggregate input / group attribute.
+        let q = parse("SELECT SUM(bogus) FROM employee").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        let q = parse("SELECT COUNT(*) FROM employee GROUP BY bogus").unwrap();
+        assert!(plan_query(&q, &c).is_err());
     }
 
     #[test]

@@ -177,6 +177,13 @@ impl SelVec {
         self.words.iter().all(|w| *w == 0)
     }
 
+    /// The raw selection words (one bit per slot, little-endian within a
+    /// word).  Aggregation kernels walk these directly so a 64-row stretch
+    /// costs one branch when fully selected or fully masked.
+    pub fn words(&self) -> &[u64; SEGMENT_WORDS] {
+        &self.words
+    }
+
     /// Iterates over the selected row numbers in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
@@ -437,6 +444,65 @@ impl ColumnSegment {
     fn value(&self, col: usize, row: usize) -> Value {
         self.cols[col].value(row)
     }
+
+    /// The physical representation of column `col` in this segment.
+    pub fn col_kind(&self, col: usize) -> ColKind {
+        match &self.cols[col] {
+            Column::Int(_) => ColKind::Int,
+            Column::Float(_) => ColKind::Float,
+            Column::Dict(_) => ColKind::Dict,
+        }
+    }
+
+    /// The raw `i64` vector of column `col`, if it is integer-typed in this
+    /// segment (one entry per appended slot, tombstones included — mask with
+    /// a live-anded [`SelVec`]).
+    pub fn int_slice(&self, col: usize) -> Option<&[i64]> {
+        match &self.cols[col] {
+            Column::Int(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` vector of column `col`, if it is float-typed in this
+    /// segment.
+    pub fn float_slice(&self, col: usize) -> Option<&[f64]> {
+        match &self.cols[col] {
+            Column::Float(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The `(codes, pool)` pair of column `col`, if it is
+    /// dictionary-encoded in this segment: one `u32` code per slot against
+    /// a pool of distinct values.  GROUP BY kernels bucket by code and
+    /// decode each group key once per segment.
+    pub fn dict_parts(&self, col: usize) -> Option<(&[u32], &[Value])> {
+        match &self.cols[col] {
+            Column::Dict(d) => Some((&d.codes, &d.pool)),
+            _ => None,
+        }
+    }
+
+    /// The value stored in `(col, row)`, regardless of representation.  The
+    /// row-at-a-time fallback for kernels that lack a typed fast path;
+    /// callers are responsible for liveness masking.
+    pub fn value_at(&self, col: usize, row: usize) -> Value {
+        self.value(col, row)
+    }
+}
+
+/// The physical representation a segment chose for one of its columns —
+/// what [`ColumnSegment::int_slice`]/[`ColumnSegment::float_slice`]/
+/// [`ColumnSegment::dict_parts`] will return `Some` for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColKind {
+    /// Dense `i64` vector.
+    Int,
+    /// Dense `f64` vector.
+    Float,
+    /// Dictionary codes against a per-segment value pool.
+    Dict,
 }
 
 // Checkpoint persistence: the on-disk segment format mirrors the in-memory

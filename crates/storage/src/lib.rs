@@ -61,11 +61,12 @@ pub mod heap;
 pub mod index;
 pub mod partition;
 pub mod recovery;
+pub mod rowfmt;
 pub mod txn;
 pub mod wal;
 
 pub use catalog::{Catalog, RelationDef};
-pub use column::{ColCmp, ColumnHeap, ColumnSegment, SelVec, TupleRef};
+pub use column::{ColCmp, ColKind, ColumnHeap, ColumnSegment, SelVec, TupleRef};
 pub use db::{Database, DurabilityOptions, IndexInfo, RecoveryInfo, TxnScope};
 pub use errors::StorageError;
 pub use fault::{CountingFault, FaultAction, IoEvent, IoFault, NoFault, NthEventFault};
@@ -75,5 +76,6 @@ pub use partition::{
     DepGuard, Partition, PartitionInfo, PartitionSnapshot, PartitionedHeap, Rid, ShapeMemo,
     SnapshotScan,
 };
+pub use rowfmt::RowBlock;
 pub use txn::{Transaction, UndoAction};
 pub use wal::{RecordDecoder, RecordEncoder, WalOp, WalRecord, WalWriter};

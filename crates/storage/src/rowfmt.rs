@@ -1,0 +1,167 @@
+//! Compact binary row format for spilled / staged query state.
+//!
+//! The late-materializing executor keeps batches columnar for as long as it
+//! can, but some operators must hold tuples across the whole input before
+//! emitting anything (a hash-join build side, dedup state, anything that
+//! would spill under memory pressure).  Holding those rows as owned
+//! [`Tuple`]s costs one `BTreeMap` allocation per row; this module instead
+//! packs them into a [`RowBlock`] — a flat byte arena using the WAL codec
+//! ([`crate::codec`]) with a per-block shape table, mirroring the WAL
+//! segment format's shape-table + values-in-canonical-order framing.
+//!
+//! A row is stored as `[local shape: u32][values…]` where the values appear
+//! in the shape's canonical (attribute-name) order and each value is the
+//! type-tagged WAL encoding ([`put_value`](crate::codec::put_value)).  The shape table maps the
+//! process-local [`ShapeId`] to a dense per-block id, so heterogeneous
+//! (flexible) row sets pack without per-row attribute names.  Encoding is
+//! bit-exact — floats round-trip NaN payloads and `-0.0` — so a decoded row
+//! equals the encoded one under `Tuple`'s own equality.
+//!
+//! Random access is by row index ([`RowBlock::get`]); operators that bucket
+//! rows (hash join) store `u32` row indexes next to the block instead of
+//! cloned tuples.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::tuple::{ShapeId, Tuple};
+
+use crate::codec::{get_value, put_shaped_values, put_u32, Cursor};
+
+/// An append-only arena of binary-encoded rows with a per-block shape
+/// table.  The spill format of the late-materializing executor: compact
+/// (values only, no per-row attribute maps), bit-exact, and randomly
+/// addressable by row index.
+#[derive(Clone, Debug, Default)]
+pub struct RowBlock {
+    bytes: Vec<u8>,
+    /// Byte offset of each row's encoding within `bytes`.
+    offsets: Vec<u32>,
+    /// Dense per-block shape table: `(shape, canonical attribute order)`.
+    shapes: Vec<(AttrSet, Arc<[Attr]>)>,
+    /// Process-local [`ShapeId`] → index into `shapes`.
+    ids: HashMap<ShapeId, u32>,
+}
+
+impl RowBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        RowBlock::default()
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Total encoded size in bytes (rows only, excluding the shape table).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn shape_slot(&mut self, t: &Tuple) -> u32 {
+        let sid = t.shape_id();
+        if let Some(slot) = self.ids.get(&sid) {
+            return *slot;
+        }
+        let slot = u32::try_from(self.shapes.len()).expect("row block exhausted u32 shape slots");
+        let shape = t.attrs();
+        let attrs: Arc<[Attr]> = shape.to_vec().into();
+        self.shapes.push((shape, attrs));
+        self.ids.insert(sid, slot);
+        slot
+    }
+
+    /// Appends a row, returning its index.
+    pub fn push(&mut self, t: &Tuple) -> u32 {
+        let slot = self.shape_slot(t);
+        let idx = u32::try_from(self.offsets.len()).expect("row block exhausted u32 row indexes");
+        self.offsets
+            .push(u32::try_from(self.bytes.len()).expect("row block exceeded u32 byte offsets"));
+        put_u32(&mut self.bytes, slot);
+        put_shaped_values(&mut self.bytes, t);
+        idx
+    }
+
+    /// Decodes the row at `idx` back into an owned [`Tuple`].
+    ///
+    /// # Panics
+    ///
+    /// If `idx` is out of bounds.  Decoding itself cannot fail: the block
+    /// only ever holds bytes it encoded.
+    pub fn get(&self, idx: u32) -> Tuple {
+        let start = self.offsets[idx as usize] as usize;
+        let mut cur = Cursor::new(&self.bytes[start..]);
+        let slot = cur.u32().expect("row block header is self-consistent") as usize;
+        let (shape, attrs) = &self.shapes[slot];
+        let values: Vec<_> = (0..attrs.len())
+            .map(|_| get_value(&mut cur).expect("row block values are self-consistent"))
+            .collect();
+        Tuple::from_shape_values(shape.clone(), attrs, values)
+    }
+
+    /// Iterates over all rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.offsets.len() as u32).map(|i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrel_core::tuple;
+    use flexrel_core::value::Value;
+
+    #[test]
+    fn rows_round_trip_across_mixed_shapes() {
+        let mut block = RowBlock::new();
+        let rows = vec![
+            tuple! {"a" => 1, "b" => Value::str("x")},
+            tuple! {"a" => 2},
+            tuple! {"a" => 3, "b" => Value::str("y")},
+            tuple! {"c" => Value::tag("t"), "a" => 4},
+            Tuple::empty(),
+        ];
+        let idxs: Vec<u32> = rows.iter().map(|t| block.push(t)).collect();
+        assert_eq!(block.len(), rows.len());
+        for (i, t) in idxs.iter().zip(rows.iter()) {
+            assert_eq!(block.get(*i), *t);
+        }
+        assert_eq!(block.iter().collect::<Vec<_>>(), rows);
+        // Two distinct shapes beyond the empty one: the table deduplicates.
+        assert_eq!(block.shapes.len(), 4);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let mut block = RowBlock::new();
+        block.push(&tuple! {"f" => f64::NAN});
+        block.push(&tuple! {"f" => -0.0});
+        let back = block.get(0).get_name("f").cloned().unwrap();
+        match back {
+            Value::Float(f) => assert_eq!(f.to_bits(), f64::NAN.to_bits()),
+            v => panic!("expected float, got {:?}", v),
+        }
+        let back = block.get(1).get_name("f").cloned().unwrap();
+        match back {
+            Value::Float(f) => assert_eq!(f.to_bits(), (-0.0f64).to_bits()),
+            v => panic!("expected float, got {:?}", v),
+        }
+    }
+
+    #[test]
+    fn compact_versus_owned_tuples() {
+        let mut block = RowBlock::new();
+        for i in 0..1000i64 {
+            block.push(&tuple! {"id" => i, "v" => i * 7 % 1000});
+        }
+        // 4-byte shape slot + two type-tagged i64s = 22 bytes per row.
+        assert_eq!(block.byte_len(), 1000 * (4 + 2 * 9));
+    }
+}
