@@ -76,6 +76,7 @@ pub mod axioms;
 pub mod dep;
 pub mod er;
 pub mod error;
+pub mod facts;
 pub mod relation;
 pub mod scheme;
 pub mod subtype;
@@ -89,6 +90,7 @@ pub mod prelude {
     pub use crate::axioms::{AdClosure, AxiomSystem, Derivation};
     pub use crate::dep::{Ad, Dependency, DependencySet, Ead, EadVariant, Fd};
     pub use crate::error::{CoreError, Result};
+    pub use crate::facts::SemanticFacts;
     pub use crate::relation::{CheckLevel, FlexRelation};
     pub use crate::scheme::{Component, FlexScheme, SchemeBuilder};
     pub use crate::subtype::{RecordType, SubtypeFamily};

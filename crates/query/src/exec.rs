@@ -40,11 +40,11 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use flexrel_algebra::predicate::Predicate;
+use flexrel_algebra::predicate::{CmpOp, Predicate};
 use flexrel_core::attr::AttrSet;
 use flexrel_core::error::Result;
 use flexrel_core::tuple::{ShapeId, Tuple};
-use flexrel_storage::{Database, HashIndex, Partition, PartitionSnapshot, Rid};
+use flexrel_storage::{Database, HashIndex, Partition, PartitionSnapshot, Rid, TableStats};
 
 use crate::agg::GroupedAggs;
 use crate::batch;
@@ -167,6 +167,10 @@ pub(crate) struct ExecContext {
     /// a successful `build`, which snapshots every relation the plan
     /// mentions); avoids cloning in the hot `snap` accessor.
     empty: RelSnap,
+    /// Per-relation table statistics (histograms, distinct counts), fetched
+    /// only for plans whose estimates can use them (joins, aggregates).
+    /// Advisory: they steer cost decisions, never correctness.
+    stats: HashMap<String, TableStats>,
     pub(crate) opts: ExecOptions,
 }
 
@@ -174,21 +178,31 @@ impl ExecContext {
     fn build(plan: &LogicalPlan, db: &Database, opts: ExecOptions) -> Result<ExecContext> {
         let mut relations = BTreeSet::new();
         collect_relations(plan, &mut relations);
-        ExecContext::for_relations(relations, plan_needs_indexes(plan), db, opts)
+        ExecContext::for_relations(
+            relations,
+            plan_needs_indexes(plan),
+            plan_needs_stats(plan),
+            db,
+            opts,
+        )
     }
 
     /// Captures the given relations.  Index snapshots are only taken when
     /// the plan can probe them (`needs_indexes`): a scan-only query then
     /// holds no `Arc<HashIndex>`, so concurrent index maintenance stays
     /// copy-free (see the index-granularity note on
-    /// [`Database::relation_snapshot`]).
+    /// [`Database::relation_snapshot`]).  Table statistics are likewise
+    /// only materialized when the plan's estimates consult them
+    /// (`needs_stats`).
     fn for_relations(
         relations: BTreeSet<String>,
         needs_indexes: bool,
+        needs_stats: bool,
         db: &Database,
         opts: ExecOptions,
     ) -> Result<ExecContext> {
         let mut snaps = HashMap::new();
+        let mut stats = HashMap::new();
         for rel in relations {
             let snap = if needs_indexes {
                 let (parts, indexes) = db.relation_snapshot(&rel)?;
@@ -199,7 +213,12 @@ impl ExecContext {
                     indexes: Vec::new(),
                 }
             };
-            snaps.insert(rel, snap);
+            snaps.insert(rel.clone(), snap);
+            if needs_stats {
+                if let Ok(ts) = db.table_stats(&rel) {
+                    stats.insert(rel, ts);
+                }
+            }
         }
         Ok(ExecContext {
             snaps,
@@ -207,8 +226,14 @@ impl ExecContext {
                 parts: PartitionSnapshot::default(),
                 indexes: Vec::new(),
             },
+            stats,
             opts,
         })
+    }
+
+    /// The captured statistics of a relation, when the context loaded them.
+    pub(crate) fn stats(&self, relation: &str) -> Option<&TableStats> {
+        self.stats.get(relation)
     }
 
     /// Borrows the relation's captured snapshot; the metadata derivations
@@ -233,6 +258,21 @@ fn plan_needs_indexes(plan: &LogicalPlan) -> bool {
         | LogicalPlan::Extend { input, .. }
         | LogicalPlan::Aggregate { input, .. } => plan_needs_indexes(input),
         LogicalPlan::UnionAll { inputs } => inputs.iter().any(plan_needs_indexes),
+    }
+}
+
+/// Whether estimating `plan` can consult table statistics: only join
+/// cardinalities and grouped-aggregate bounds use them, so scan-only
+/// queries never pay for building (or fetching cached) histograms.
+fn plan_needs_stats(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Empty | LogicalPlan::Scan { .. } | LogicalPlan::IndexLookup { .. } => false,
+        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } => true,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Extend { input, .. } => plan_needs_stats(input),
+        LogicalPlan::UnionAll { inputs } => inputs.iter().any(plan_needs_stats),
     }
 }
 
@@ -342,19 +382,73 @@ fn idx_avg_matches(idx: &HashIndex) -> usize {
         .max(1)
 }
 
-/// A cardinality *estimate* for a plan, derived from partition metadata and
-/// index statistics; `None` when nothing can be derived (joins and anything
-/// above them).  For scans this is an exact live count (an upper bound for
-/// everything stacked on one); for index lookups it is the *expected* chain
-/// length — under key skew an actual probe can return more.  The
-/// join-strategy gate uses it to size the probe side of an
-/// index-nested-loop join; do not rely on it as a hard bound.
+/// A cardinality *estimate* for a plan, derived from partition metadata,
+/// index statistics and — for joins, filters under them and grouped
+/// aggregates — the stored per-partition table statistics (equi-depth
+/// histograms and distinct counts, [`flexrel_storage::TableStats`]).
+/// `None` when nothing can be derived (a join over relations with no
+/// statistics).  For scans this is an exact live count; everything stacked
+/// on one scales it by estimated selectivity — under skew an actual run
+/// can return more.  The join-strategy gate and the cost-based join
+/// ordering use it; do not rely on it as a hard bound.
 pub fn estimate_rows(plan: &LogicalPlan, db: &Database) -> Option<usize> {
     let ctx = ExecContext::build(plan, db, ExecOptions::serial()).ok()?;
     snap_estimate_rows(plan, &ctx)
 }
 
-fn snap_estimate_rows(plan: &LogicalPlan, ctx: &ExecContext) -> Option<usize> {
+/// The stored relation a plan reads through shape-preserving operators,
+/// for statistics lookup.
+fn stats_leaf_rel(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::Scan { relation, .. } | LogicalPlan::IndexLookup { relation, .. } => {
+            Some(relation)
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Project { input, .. } => stats_leaf_rel(input),
+        _ => None,
+    }
+}
+
+/// The estimated fraction of rows satisfying a predicate, from the
+/// relation's statistics.  Conservative by construction: any atom the
+/// statistics cannot judge (missing column, non-numeric comparison,
+/// `PRESENT`) contributes selectivity 1, so a context without statistics
+/// reproduces the old passthrough estimate exactly.
+fn predicate_selectivity(p: &Predicate, stats: Option<&TableStats>) -> f64 {
+    let numeric = |v: &flexrel_core::value::Value| match v {
+        flexrel_core::value::Value::Int(i) => Some(*i as f64),
+        flexrel_core::value::Value::Float(f) => Some(*f),
+        _ => None,
+    };
+    let sel = match p {
+        Predicate::True | Predicate::IsPresent(_) => 1.0,
+        Predicate::False => 0.0,
+        Predicate::Cmp { attr, op, value } => {
+            let Some(stats) = stats else { return 1.0 };
+            let eq = || stats.fraction_eq(attr.name());
+            let le = || numeric(value).and_then(|x| stats.fraction_le(attr.name(), x));
+            match op {
+                CmpOp::Eq => eq().unwrap_or(1.0),
+                CmpOp::Ne => eq().map(|s| 1.0 - s).unwrap_or(1.0),
+                CmpOp::Lt | CmpOp::Le => le().unwrap_or(1.0),
+                CmpOp::Gt | CmpOp::Ge => le().map(|s| 1.0 - s).unwrap_or(1.0),
+            }
+        }
+        Predicate::And(a, b) => predicate_selectivity(a, stats) * predicate_selectivity(b, stats),
+        Predicate::Or(a, b) => {
+            let (sa, sb) = (
+                predicate_selectivity(a, stats),
+                predicate_selectivity(b, stats),
+            );
+            sa + sb - sa * sb
+        }
+        Predicate::Not(a) => 1.0 - predicate_selectivity(a, stats),
+    };
+    sel.clamp(0.0, 1.0)
+}
+
+pub(crate) fn snap_estimate_rows(plan: &LogicalPlan, ctx: &ExecContext) -> Option<usize> {
     match plan {
         LogicalPlan::Empty => Some(0),
         LogicalPlan::Scan {
@@ -376,16 +470,76 @@ fn snap_estimate_rows(plan: &LogicalPlan, ctx: &ExecContext) -> Option<usize> {
                 None => Some(snap.parts.len()),
             }
         }
-        LogicalPlan::Filter { input, .. }
-        | LogicalPlan::Guard { input, .. }
+        LogicalPlan::Filter { input, predicate } => {
+            let base = snap_estimate_rows(input, ctx)?;
+            let stats = stats_leaf_rel(input).and_then(|rel| ctx.stats(rel));
+            let sel = predicate_selectivity(predicate, stats);
+            Some(((base as f64 * sel).ceil() as usize).min(base))
+        }
+        LogicalPlan::Guard { input, .. }
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Extend { input, .. } => snap_estimate_rows(input, ctx),
         LogicalPlan::UnionAll { inputs } => inputs
             .iter()
             .map(|p| snap_estimate_rows(p, ctx))
             .sum::<Option<usize>>(),
-        // Group cardinality is not derivable from partition metadata.
-        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } => None,
+        LogicalPlan::Join { left, right } => {
+            let l = snap_estimate_rows(left, ctx)?;
+            let r = snap_estimate_rows(right, ctx)?;
+            let common = snap_plan_attrs(left, ctx).intersection(&snap_plan_attrs(right, ctx));
+            if common.is_empty() {
+                // A compatibility merge over disjoint attribute sets is a
+                // cross product.
+                return Some(l.saturating_mul(r));
+            }
+            // The equi-join estimate |L|·|R| / max(distinct(a)): for each
+            // shared attribute take the larger side's distinct count
+            // (containment assumption), then divide by the most selective
+            // one.  Without statistics the cardinality is not derivable.
+            let mut denom: u64 = 0;
+            for a in common.iter() {
+                for side in [left.as_ref(), right.as_ref()] {
+                    let d = stats_leaf_rel(side)
+                        .and_then(|rel| ctx.stats(rel))
+                        .and_then(|s| s.distinct(a.name()));
+                    if let Some(d) = d {
+                        denom = denom.max(d);
+                    }
+                }
+            }
+            if denom == 0 {
+                return None;
+            }
+            let est = (l as u128).saturating_mul(r as u128) / denom as u128;
+            let est = est.min(usize::MAX as u128) as usize;
+            Some(if l == 0 || r == 0 { 0 } else { est.max(1) })
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let base = snap_estimate_rows(input, ctx)?;
+            if group_by.is_empty() {
+                // A global aggregate emits exactly one row.
+                return Some(1);
+            }
+            // Group count is bounded by the input rows and by the product
+            // of the grouping attributes' distinct counts when statistics
+            // carry them.
+            let stats = stats_leaf_rel(input).and_then(|rel| ctx.stats(rel));
+            let mut bound: u128 = 1;
+            let mut any = false;
+            for g in group_by.iter() {
+                if let Some(d) = stats.and_then(|s| s.distinct(g.name())) {
+                    any = true;
+                    bound = bound.saturating_mul(d as u128);
+                }
+            }
+            if any {
+                Some(bound.min(base as u128) as usize)
+            } else {
+                Some(base)
+            }
+        }
     }
 }
 
@@ -439,12 +593,13 @@ pub(crate) fn inl_inner_side(plan: &LogicalPlan) -> Option<InnerSide<'_>> {
 }
 
 /// Whether probing the inner side's index on `common` beats building a
-/// hash table over it, by the index statistics: the outer side issues
-/// ~`outer_est` probes of ~`avg_matches` results each, the hash join pays
-/// for materializing the inner *plan*'s rows (its shape-pruned/filtered
-/// estimate, not the whole relation).  The factor 2 keeps the switch
-/// conservative around the break-even point.  Returns `false` when no
-/// index on exactly `common` exists.
+/// hash table over it, as a cost comparison: the index-nested-loop side
+/// pays ~`outer_est` probes of ~`1 + avg_matches` work each (the probe
+/// plus its expected chain), the hash join pays for materializing the
+/// inner *plan*'s rows (its shape-pruned/filtered estimate, not the whole
+/// relation) **and** streaming the outer side through the table.  The
+/// factor 2 keeps the switch conservative around the break-even point.
+/// Returns `false` when no index on exactly `common` exists.
 fn inl_gate(
     outer: &LogicalPlan,
     inner: &LogicalPlan,
@@ -460,10 +615,11 @@ fn inl_gate(
         return false;
     };
     let inner_est = snap_estimate_rows(inner, ctx).unwrap_or(idx.len());
-    outer_est
-        .saturating_mul(idx_avg_matches(idx))
-        .saturating_mul(2)
-        <= inner_est
+    let inl_cost = outer_est
+        .saturating_mul(1 + idx_avg_matches(idx))
+        .saturating_mul(2);
+    let hash_cost = inner_est.saturating_add(outer_est);
+    inl_cost <= hash_cost
 }
 
 /// The join strategy the executor will pick for `left ⋈ right`:
@@ -475,7 +631,8 @@ pub fn join_strategy(left: &LogicalPlan, right: &LogicalPlan, db: &Database) -> 
     let mut relations = BTreeSet::new();
     collect_relations(left, &mut relations);
     collect_relations(right, &mut relations);
-    let Ok(ctx) = ExecContext::for_relations(relations, true, db, ExecOptions::serial()) else {
+    let Ok(ctx) = ExecContext::for_relations(relations, true, true, db, ExecOptions::serial())
+    else {
         return JoinStrategy::Hash;
     };
     let common = snap_plan_attrs(left, &ctx).intersection(&snap_plan_attrs(right, &ctx));
@@ -1334,14 +1491,34 @@ mod tests {
             shapes: None,
         };
         assert_eq!(estimate_rows(&lookup, &db), Some(1));
-        // Joins are unbounded.
+        // A join on a shared key estimates |L|·|R| / distinct(key): each
+        // of the 2 wanted rows expects one employee partner.
         assert_eq!(
             estimate_rows(
                 &LogicalPlan::scan("wanted").join(LogicalPlan::scan("employee")),
                 &db
             ),
-            None
+            Some(2)
         );
+        // A grouped aggregate is bounded by the group key's distinct count.
+        let grouped = LogicalPlan::scan("employee").aggregate(
+            attrs!["jobtype"],
+            vec![crate::logical::AggExpr::new(
+                crate::logical::AggFunc::Count,
+                None,
+            )],
+        );
+        let est = estimate_rows(&grouped, &db).unwrap();
+        assert!(est <= 3, "three job types, est = {}", est);
+        // A global aggregate emits exactly one row.
+        let global = LogicalPlan::scan("employee").aggregate(
+            AttrSet::empty(),
+            vec![crate::logical::AggExpr::new(
+                crate::logical::AggFunc::Count,
+                None,
+            )],
+        );
+        assert_eq!(estimate_rows(&global, &db), Some(1));
     }
 
     /// The parallel gate: serial for single partitions, tiny scans, or

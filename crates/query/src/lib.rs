@@ -80,7 +80,10 @@ pub use exec::{
     TupleStream,
 };
 pub use logical::{AggExpr, AggFunc, LogicalPlan, ShapePredicate};
-pub use optimizer::{choose_access_paths, optimize, optimize_with_db, RewriteNote};
+pub use optimizer::{
+    choose_access_paths, explain_query, optimize, optimize_with_db, PassContext, Pipeline,
+    PlanExplain, Rewrite, RewriteNote,
+};
 pub use parser::{parse, Query};
 pub use planner::plan_query;
 
@@ -91,7 +94,9 @@ pub mod prelude {
         ExecOptions, JoinStrategy, PipelineMode,
     };
     pub use crate::logical::{AggExpr, AggFunc, LogicalPlan, ShapePredicate};
-    pub use crate::optimizer::{optimize, optimize_with_db, RewriteNote};
+    pub use crate::optimizer::{
+        explain_query, optimize, optimize_with_db, PlanExplain, RewriteNote,
+    };
     pub use crate::parser::{parse, Query};
     pub use crate::planner::plan_query;
 }

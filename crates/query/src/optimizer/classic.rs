@@ -1,14 +1,9 @@
-//! The rule-based optimizer.
-//!
-//! Every rewrite is *justified*: redundant type guards are removed only when
-//! the axiom system ([`flexrel_core::axioms::AxiomSystem::E`], applied via
-//! [`flexrel_core::typecheck::analyse_guard`]) derives the corresponding
-//! attribute dependency from the declared dependencies (Example 4); branches
-//! and joins are pruned only when their qualification provably contradicts
-//! the query's equality constraints on the determining attributes (§3.1.2,
-//! qualified relations); and scans are restricted to the heap partitions
-//! whose shape can satisfy the selection — using the exact variant overlap
-//! an [`flexrel_core::dep::Ead`] prescribes for pinned determining values.
+//! The justified rewrites carried over from the single-pass optimizer:
+//! guard elimination via [`analyse_guard`], variant/join pruning against
+//! qualified fragments, constant folding, empty-plan propagation, the
+//! partition-pruning pass and the access-path pass.  Every rule here
+//! predates the multi-pass pipeline and is kept verbatim; the pipeline
+//! ([`super::Pipeline`]) wraps them as [`super::Rewrite`] passes.
 
 use flexrel_algebra::predicate::{CmpOp, Predicate};
 use flexrel_core::attr::{Attr, AttrSet};
@@ -20,57 +15,7 @@ use flexrel_storage::{Catalog, Database, IndexInfo, RelationDef};
 
 use crate::logical::{LogicalPlan, ShapePredicate};
 
-/// A record of one rewrite the optimizer performed, for EXPLAIN output.
-#[derive(Clone, Debug, PartialEq)]
-pub struct RewriteNote {
-    /// The rule that fired (e.g. `"guard-elimination"`).
-    pub rule: String,
-    /// Human-readable description, including the derivation for
-    /// guard-elimination rewrites.
-    pub detail: String,
-}
-
-impl RewriteNote {
-    fn new(rule: &str, detail: impl Into<String>) -> Self {
-        RewriteNote {
-            rule: rule.to_string(),
-            detail: detail.into(),
-        }
-    }
-}
-
-/// Optimizes a plan, returning the rewritten plan and the rewrite notes.
-///
-/// Runs three phases: the justified rewrites (guard elimination via
-/// [`analyse_guard`], variant/join pruning), empty-plan propagation, and
-/// the partition-pruning pass that attaches
-/// [`ShapePredicate`]s to scans.
-pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> (LogicalPlan, Vec<RewriteNote>) {
-    let mut notes = Vec::new();
-    let plan = rewrite(plan, catalog, &SelectionContext::none(), &mut notes);
-    let plan = simplify_empties(plan, &mut notes);
-    let plan = prune_scans(
-        plan,
-        catalog,
-        &AttrSet::empty(),
-        &Tuple::empty(),
-        &mut notes,
-    );
-    (plan, notes)
-}
-
-/// Optimizes a plan against a live database: runs [`optimize`] and then the
-/// access-path pass ([`choose_access_paths`]), which needs the database's
-/// index metadata ([`Database::indexes`]) on top of the catalog.
-///
-/// Prefer this entry point when executing against a [`Database`]; plain
-/// [`optimize`] remains for callers that only have a catalog (and for
-/// measuring what the justified rewrites alone achieve).
-pub fn optimize_with_db(plan: LogicalPlan, db: &Database) -> (LogicalPlan, Vec<RewriteNote>) {
-    let (plan, mut notes) = optimize(plan, &db.catalog());
-    let plan = choose_access_paths(plan, db, &mut notes);
-    (plan, notes)
-}
+use super::RewriteNote;
 
 /// The access-path pass: rewrites `Filter(… ∧ A = c ∧ …) ∘ Scan` into an
 /// [`LogicalPlan::IndexLookup`] (plus a residual filter for the conjuncts
@@ -78,7 +23,7 @@ pub fn optimize_with_db(plan: LogicalPlan, db: &Database) -> (LogicalPlan, Vec<R
 /// determinant or user-created secondary — whose key is fully pinned by the
 /// filter's top-level equality conjuncts.
 ///
-/// Runs *after* [`optimize`], so the scan already carries the
+/// Runs *after* [`super::optimize`], so the scan already carries the
 /// [`ShapePredicate`] pushed down by partition pruning; the predicate moves
 /// onto the lookup's `shapes` field and the executor re-applies it per
 /// matching rid (via the rid's `ShapeId`), composing index probing with
@@ -320,7 +265,7 @@ fn contradicts(a: &Tuple, b: &Tuple) -> bool {
         .any(|(attr, v)| b.get(attr).map(|w| w != v).unwrap_or(false))
 }
 
-fn rewrite(
+pub(super) fn rewrite(
     plan: LogicalPlan,
     catalog: &Catalog,
     above: &SelectionContext,
@@ -579,7 +524,7 @@ fn simplify_guards_in_predicate(
 /// (`attr(t) ∩ Y = Yi`) of every qualifying tuple, so all partitions with a
 /// different overlap are excluded — the physical counterpart of the
 /// variant pruning the rewrite pass performs on qualified fragments.
-fn prune_scans(
+pub(super) fn prune_scans(
     plan: LogicalPlan,
     catalog: &Catalog,
     required: &AttrSet,
@@ -779,7 +724,7 @@ fn shape_predicate_for(
 }
 
 /// Final cleanup: empty inputs propagate upwards.
-fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalPlan {
+pub(super) fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalPlan {
     match plan {
         LogicalPlan::Filter { input, predicate } => {
             let input = simplify_empties(*input, notes);
@@ -874,346 +819,5 @@ fn simplify_empties(plan: LogicalPlan, notes: &mut Vec<RewriteNote>) -> LogicalP
             }
         }
         leaf => leaf,
-    }
-}
-
-/// The attribute set `AttrSet` re-exported for plan construction ergonomics
-/// in downstream crates (benches build qualified-fragment plans by hand).
-pub type Attrs = AttrSet;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::parser::parse;
-    use crate::planner::plan_query;
-    use flexrel_core::value::Value;
-    use flexrel_storage::{Catalog, RelationDef};
-    use flexrel_workload::employee_relation;
-
-    fn catalog() -> Catalog {
-        let mut c = Catalog::new();
-        c.register(RelationDef::from_relation(&employee_relation()))
-            .unwrap();
-        c
-    }
-
-    fn planned(frql: &str) -> LogicalPlan {
-        plan_query(&parse(frql).unwrap(), &catalog()).unwrap()
-    }
-
-    #[test]
-    fn example4_guard_is_eliminated_with_justification() {
-        let plan = planned(
-            "SELECT * FROM employee WHERE salary > 5000 AND jobtype = 'secretary' GUARD typing-speed",
-        );
-        assert_eq!(plan.guard_count(), 1);
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(optimized.guard_count(), 0, "the guard must be removed");
-        let note = notes
-            .iter()
-            .find(|n| n.rule == "guard-elimination")
-            .unwrap();
-        assert!(
-            note.detail.contains("A4 (left augmentation)") || note.detail.contains("AF2"),
-            "the note must carry the derivation: {}",
-            note.detail
-        );
-    }
-
-    #[test]
-    fn guard_for_excluded_variant_prunes_the_query() {
-        let plan =
-            planned("SELECT * FROM employee WHERE jobtype = 'secretary' GUARD sales-commission");
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(optimized, LogicalPlan::Empty);
-        assert!(notes.iter().any(|n| n.rule == "guard-unsatisfiable"));
-    }
-
-    #[test]
-    fn necessary_guard_is_kept() {
-        let plan = planned("SELECT * FROM employee WHERE salary > 5000 GUARD typing-speed");
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(optimized.guard_count(), 1);
-        assert!(notes.iter().all(|n| n.rule != "guard-elimination"));
-    }
-
-    #[test]
-    fn present_conjuncts_are_simplified_too() {
-        let plan =
-            planned("SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(typing-speed)");
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert!(notes.iter().any(|n| n.rule == "guard-elimination"));
-        // The remaining filter no longer mentions the PRESENT conjunct.
-        let s = optimized.to_string();
-        assert!(!s.contains("present"));
-        assert!(s.contains("jobtype = 'secretary'"));
-
-        let plan =
-            planned("SELECT * FROM employee WHERE jobtype = 'secretary' AND PRESENT(products)");
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(optimized, LogicalPlan::Empty);
-        assert!(notes.iter().any(|n| n.rule == "guard-unsatisfiable"));
-    }
-
-    #[test]
-    fn union_branches_with_contradicting_qualification_are_pruned() {
-        // Horizontal decomposition: three qualified fragments; a selection on
-        // jobtype must keep only the matching fragment.
-        let branches = vec![
-            LogicalPlan::qualified_scan(
-                "employee",
-                Predicate::eq("jobtype", Value::tag("secretary")),
-            ),
-            LogicalPlan::qualified_scan(
-                "employee",
-                Predicate::eq("jobtype", Value::tag("software engineer")),
-            ),
-            LogicalPlan::qualified_scan(
-                "employee",
-                Predicate::eq("jobtype", Value::tag("salesman")),
-            ),
-        ];
-        let plan = LogicalPlan::UnionAll { inputs: branches }.filter(
-            Predicate::eq("jobtype", Value::tag("salesman")).and(Predicate::gt("salary", 1000)),
-        );
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(
-            notes.iter().filter(|n| n.rule == "variant-pruning").count(),
-            2,
-            "two of the three fragments are excluded"
-        );
-        // The union collapses to the single surviving branch.
-        let s = optimized.to_string();
-        assert!(!s.contains("UnionAll"));
-        assert!(s.contains("qualified by jobtype = 'salesman'"));
-    }
-
-    #[test]
-    fn joins_with_excluded_variants_are_pruned() {
-        // Vertical decomposition: master ⋈ detail_i where detail_i is
-        // qualified by the variant's jobtype; selecting secretaries excludes
-        // the salesman detail join.
-        let join_with = |tag: &str| {
-            LogicalPlan::scan("employee").join(LogicalPlan::qualified_scan(
-                "employee",
-                Predicate::eq("jobtype", Value::tag(tag)),
-            ))
-        };
-        let plan = LogicalPlan::UnionAll {
-            inputs: vec![join_with("secretary"), join_with("salesman")],
-        }
-        .filter(Predicate::eq("jobtype", Value::tag("secretary")));
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert!(notes
-            .iter()
-            .any(|n| n.rule == "variant-pruning" || n.rule == "join-pruning"));
-        assert_eq!(
-            optimized.join_count(),
-            1,
-            "only the secretary join survives"
-        );
-    }
-
-    #[test]
-    fn partition_pruning_pushes_required_attrs_and_ead_regions() {
-        // Equality on the EAD determinant → exact-overlap region constraint.
-        let plan = planned("SELECT * FROM employee WHERE jobtype = 'secretary' AND salary > 1000");
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(optimized.pruned_scan_count(), 1);
-        let note = notes
-            .iter()
-            .find(|n| n.rule == "partition-pruning")
-            .unwrap();
-        assert!(
-            note.detail.contains("shape ⊇") && note.detail.contains("shape ∩"),
-            "{}",
-            note.detail
-        );
-        // A kept (necessary) guard contributes its attributes too.
-        let plan = planned("SELECT * FROM employee WHERE salary > 5000 GUARD typing-speed");
-        let (optimized, _) = optimize(plan, &catalog());
-        assert_eq!(optimized.guard_count(), 1);
-        assert_eq!(optimized.pruned_scan_count(), 1);
-        let s = optimized.to_string();
-        assert!(s.contains("typing-speed"), "{}", s);
-    }
-
-    #[test]
-    fn partition_pruning_preserves_hand_built_shape_predicates() {
-        use crate::logical::ShapePredicate;
-        use flexrel_core::attrs;
-        // A hand-built scan restricted to typing-speed partitions is
-        // result-affecting; optimizing a filter on top must conjoin, not
-        // replace, the restriction.
-        let plan = LogicalPlan::Scan {
-            relation: "employee".into(),
-            qualification: None,
-            shape: Some(ShapePredicate {
-                required: attrs!["typing-speed"],
-                regions: Vec::new(),
-            }),
-        }
-        .filter(Predicate::gt("salary", 0));
-        let (optimized, _) = optimize(plan, &catalog());
-        let LogicalPlan::Filter { input, .. } = optimized else {
-            panic!("filter must survive");
-        };
-        let LogicalPlan::Scan {
-            shape: Some(sp), ..
-        } = *input
-        else {
-            panic!("scan must keep a shape predicate");
-        };
-        assert!(
-            sp.required.is_superset(&attrs!["salary", "typing-speed"]),
-            "hand-built restriction merged with the pushed context: {}",
-            sp
-        );
-    }
-
-    #[test]
-    fn partition_pruning_stops_at_extend_and_join() {
-        // A filter on the extended attribute must not constrain the scan:
-        // the attribute exists on every extended tuple regardless of shape.
-        let plan = LogicalPlan::Extend {
-            input: Box::new(LogicalPlan::scan("employee")),
-            attr: "source".into(),
-            value: Value::tag("hr"),
-        }
-        .filter(Predicate::eq("source", Value::tag("hr")));
-        let (optimized, _) = optimize(plan, &catalog());
-        assert_eq!(
-            optimized.pruned_scan_count(),
-            0,
-            "extend cuts the context off: {}",
-            optimized
-        );
-
-        // A filter above a join may be satisfied by either side; nothing is
-        // pushed across, but each side keeps its own subtree context.
-        let plan = LogicalPlan::scan("employee")
-            .join(LogicalPlan::scan("employee"))
-            .filter(Predicate::gt("salary", 1000));
-        let (optimized, _) = optimize(plan, &catalog());
-        assert_eq!(optimized.pruned_scan_count(), 0, "{}", optimized);
-    }
-
-    fn database(n: usize) -> Database {
-        use flexrel_workload::{generate_employees, EmployeeConfig};
-        let db = Database::new();
-        db.create_relation(RelationDef::from_relation(&employee_relation()))
-            .unwrap();
-        for t in generate_employees(&EmployeeConfig::clean(n)) {
-            db.insert("employee", t).unwrap();
-        }
-        db
-    }
-
-    #[test]
-    fn access_path_pass_rewrites_covered_equality_filters() {
-        let db = database(50);
-        let plan = planned("SELECT * FROM employee WHERE empno = 3 AND salary > 0");
-        let (optimized, notes) = optimize_with_db(plan, &db);
-        assert_eq!(optimized.index_lookup_count(), 1, "{}", optimized);
-        assert!(notes.iter().any(|n| n.rule == "access-path"));
-        let s = optimized.to_string();
-        assert!(s.contains("IndexLookup employee"), "{}", s);
-        assert!(s.contains("salary > 0"), "residual filter kept: {}", s);
-        assert!(!s.contains("empno = 3"), "consumed equality removed: {}", s);
-    }
-
-    #[test]
-    fn access_path_pass_needs_a_covering_index() {
-        let db = database(30);
-        // No index on name: the filter stays a filtered scan.
-        let plan = planned("SELECT * FROM employee WHERE name = 'emp3'");
-        let (optimized, _) = optimize_with_db(plan.clone(), &db);
-        assert_eq!(optimized.index_lookup_count(), 0, "{}", optimized);
-        // A user-created secondary index enables the rewrite.
-        db.create_index("employee", flexrel_core::attrs!["name"])
-            .unwrap();
-        let (optimized, notes) = optimize_with_db(plan, &db);
-        assert_eq!(optimized.index_lookup_count(), 1, "{}", optimized);
-        assert!(notes.iter().any(|n| n.rule == "access-path"));
-    }
-
-    #[test]
-    fn index_lookup_composes_with_partition_pruning() {
-        // The equality on the EAD determinant both picks the jobtype index
-        // and pins the variant region; the shape predicate pushed by
-        // prune_scans must survive on the lookup node.
-        let db = database(60);
-        let plan = planned("SELECT * FROM employee WHERE jobtype = 'secretary'");
-        let (optimized, _) = optimize_with_db(plan, &db);
-        let LogicalPlan::IndexLookup {
-            shapes: Some(sp),
-            key,
-            ..
-        } = optimized
-        else {
-            panic!("expected a bare index lookup");
-        };
-        assert_eq!(key, flexrel_core::attrs!["jobtype"]);
-        assert!(!sp.is_trivial());
-        assert!(
-            sp.regions.iter().any(|(_, yi)| !yi.is_empty()),
-            "the pinned determinant fixes the variant region: {}",
-            sp
-        );
-    }
-
-    #[test]
-    fn aggregation_pushes_group_attrs_and_survives_empty_inputs() {
-        // Grouping attributes are required below the aggregate, so the scan
-        // gets a shape predicate.
-        let plan = planned("SELECT typing-speed, COUNT(*) FROM employee GROUP BY typing-speed");
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(optimized.pruned_scan_count(), 1, "{}", optimized);
-        assert!(notes.iter().any(|n| n.rule == "partition-pruning"));
-
-        // A global aggregate over a proven-empty input keeps its node (it
-        // still emits COUNT(*) = 0); a grouped one collapses.
-        let plan = LogicalPlan::Empty.aggregate(
-            AttrSet::empty(),
-            vec![crate::logical::AggExpr::new(
-                crate::logical::AggFunc::Count,
-                None,
-            )],
-        );
-        let (optimized, _) = optimize(plan, &catalog());
-        assert!(matches!(optimized, LogicalPlan::Aggregate { .. }));
-        let plan = LogicalPlan::Empty.aggregate(
-            flexrel_core::attrs!["jobtype"],
-            vec![crate::logical::AggExpr::new(
-                crate::logical::AggFunc::Count,
-                None,
-            )],
-        );
-        let (optimized, _) = optimize(plan, &catalog());
-        assert_eq!(optimized, LogicalPlan::Empty);
-    }
-
-    #[test]
-    fn constant_false_filter_collapses_to_empty() {
-        let plan = LogicalPlan::scan("employee").filter(Predicate::False);
-        let (optimized, _) = optimize(plan, &catalog());
-        assert_eq!(optimized, LogicalPlan::Empty);
-        let plan = LogicalPlan::scan("employee").filter(Predicate::True);
-        let (optimized, _) = optimize(plan, &catalog());
-        assert_eq!(optimized, LogicalPlan::scan("employee"));
-    }
-
-    #[test]
-    fn empty_propagation_through_joins_and_unions() {
-        let plan = LogicalPlan::Empty.join(LogicalPlan::scan("employee"));
-        let (optimized, notes) = optimize(plan, &catalog());
-        assert_eq!(optimized, LogicalPlan::Empty);
-        assert!(notes.iter().any(|n| n.rule == "empty-propagation"));
-
-        let plan = LogicalPlan::UnionAll {
-            inputs: vec![LogicalPlan::Empty, LogicalPlan::scan("employee")],
-        };
-        let (optimized, _) = optimize(plan, &catalog());
-        assert_eq!(optimized, LogicalPlan::scan("employee"));
     }
 }

@@ -1,0 +1,213 @@
+//! The statistics-backed cost pass: join ordering.
+//!
+//! For bushy/left-deep join trees of three or more inputs, the pass
+//! flattens the tree into its leaves, estimates each leaf's cardinality
+//! ([`crate::exec::estimate_rows`], which consults the per-partition
+//! histograms and distinct counts of [`flexrel_storage::TableStats`]), and
+//! rebuilds a left-deep tree greedily: start from the smallest leaf, then
+//! repeatedly attach the **connected** leaf (one sharing an attribute with
+//! the accumulated prefix) minimizing the estimated pair output
+//! `|L| · |R| / max(distinct(a))` over the shared attributes `a` — the
+//! textbook equi-join estimate, here justified because the flexible-tuple
+//! compatibility merge on shared attributes behaves exactly like an
+//! equi-join on them.  Leaves sharing no attribute (cross products) are
+//! attached last.
+//!
+//! The pass is safe for *any* order: the compatibility merge is commutative
+//! and associative, including genuine cross products, so reordering never
+//! changes the result multiset — only how large the intermediates are.
+
+use flexrel_core::attr::AttrSet;
+use flexrel_storage::Database;
+
+use crate::exec;
+use crate::logical::LogicalPlan;
+
+use super::RewriteNote;
+
+/// Reorders join trees of ≥ 3 inputs by estimated intermediate size.
+/// Leaves the plan untouched (and emits no note) when fewer than three
+/// inputs join, when some leaf has no estimate, or when the greedy order
+/// coincides with the existing one.
+pub(super) fn order_joins(
+    plan: LogicalPlan,
+    db: &Database,
+    notes: &mut Vec<RewriteNote>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join { left, right } => {
+            let mut leaves = Vec::new();
+            collect_join_leaves(LogicalPlan::Join { left, right }, &mut leaves);
+            // Order the children's own sub-joins first (a leaf here is any
+            // non-Join node; its subtree may still contain joins below a
+            // projection or aggregate).
+            let leaves: Vec<LogicalPlan> = leaves
+                .into_iter()
+                .map(|l| order_joins_in_children(l, db, notes))
+                .collect();
+            if leaves.len() < 3 {
+                return rebuild_left_deep(leaves);
+            }
+            let ests: Vec<Option<usize>> =
+                leaves.iter().map(|l| exec::estimate_rows(l, db)).collect();
+            if ests.iter().any(|e| e.is_none()) {
+                return rebuild_left_deep(leaves);
+            }
+            let order = greedy_order(&leaves, &ests, db);
+            if order.iter().enumerate().all(|(i, &j)| i == j) {
+                return rebuild_left_deep(leaves);
+            }
+            notes.push(RewriteNote::new(
+                "join-ordering",
+                format!(
+                    "{} join inputs reordered by estimated intermediate size: {:?}",
+                    order.len(),
+                    order
+                ),
+            ));
+            let mut by_index: Vec<Option<LogicalPlan>> = leaves.into_iter().map(Some).collect();
+            rebuild_left_deep(
+                order
+                    .into_iter()
+                    .map(|i| by_index[i].take().expect("each leaf used once"))
+                    .collect(),
+            )
+        }
+        other => order_joins_in_children(other, db, notes),
+    }
+}
+
+/// Applies [`order_joins`] below a non-join node.
+fn order_joins_in_children(
+    plan: LogicalPlan,
+    db: &Database,
+    notes: &mut Vec<RewriteNote>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(order_joins(*input, db, notes)),
+            predicate,
+        },
+        LogicalPlan::Project { input, attrs } => LogicalPlan::Project {
+            input: Box::new(order_joins(*input, db, notes)),
+            attrs,
+        },
+        LogicalPlan::Guard { input, attrs } => LogicalPlan::Guard {
+            input: Box::new(order_joins(*input, db, notes)),
+            attrs,
+        },
+        LogicalPlan::Extend { input, attr, value } => LogicalPlan::Extend {
+            input: Box::new(order_joins(*input, db, notes)),
+            attr,
+            value,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(order_joins(*input, db, notes)),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::UnionAll { inputs } => LogicalPlan::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(|p| order_joins(p, db, notes))
+                .collect(),
+        },
+        join @ LogicalPlan::Join { .. } => order_joins(join, db, notes),
+        leaf => leaf,
+    }
+}
+
+/// Flattens a join tree into its non-join leaves, in left-to-right order.
+fn collect_join_leaves(plan: LogicalPlan, out: &mut Vec<LogicalPlan>) {
+    match plan {
+        LogicalPlan::Join { left, right } => {
+            collect_join_leaves(*left, out);
+            collect_join_leaves(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn rebuild_left_deep(leaves: Vec<LogicalPlan>) -> LogicalPlan {
+    let mut iter = leaves.into_iter();
+    let first = iter.next().expect("a join has at least two leaves");
+    iter.fold(first, |acc, leaf| acc.join(leaf))
+}
+
+/// The distinct count of an attribute in the relation a leaf reads, when
+/// statistics are available.
+fn leaf_distinct(plan: &LogicalPlan, attr: &str, db: &Database) -> Option<u64> {
+    let rel = match plan {
+        LogicalPlan::Scan { relation, .. } | LogicalPlan::IndexLookup { relation, .. } => relation,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Guard { input, .. }
+        | LogicalPlan::Project { input, .. } => return leaf_distinct(input, attr, db),
+        _ => return None,
+    };
+    db.table_stats(rel).ok()?.distinct(attr)
+}
+
+/// Greedy left-deep ordering: smallest leaf first, then always the
+/// cheapest *connected* extension; disconnected leaves (cross products)
+/// only when nothing connected remains.
+fn greedy_order(leaves: &[LogicalPlan], ests: &[Option<usize>], db: &Database) -> Vec<usize> {
+    let attrs: Vec<AttrSet> = leaves.iter().map(|l| exec::plan_attrs(l, db)).collect();
+
+    // The estimated output of extending a prefix (whose leaves are
+    // `members`) by leaf `i`: rows·rows / max(distinct(a)) over the shared
+    // attributes, each attribute's distinct count taken as the max over
+    // every participating leaf that has statistics for it (containment
+    // assumption).
+    let extend_estimate = |members: &[usize], acc_rows: u128, acc_attrs: &AttrSet, i: usize| {
+        let cross = acc_rows.saturating_mul(ests[i].unwrap_or(1) as u128);
+        let common = acc_attrs.intersection(&attrs[i]);
+        if common.is_empty() {
+            return cross;
+        }
+        let mut denom = 1u128;
+        for a in common.iter() {
+            let d = members
+                .iter()
+                .copied()
+                .chain(std::iter::once(i))
+                .filter_map(|j| leaf_distinct(&leaves[j], a.name(), db))
+                .max()
+                .unwrap_or(1);
+            denom = denom.max(d as u128);
+        }
+        (cross / denom).max(1)
+    };
+
+    let mut remaining: Vec<usize> = (0..leaves.len()).collect();
+    let start = *remaining
+        .iter()
+        .min_by_key(|&&i| ests[i].unwrap_or(usize::MAX))
+        .expect("non-empty");
+    remaining.retain(|&i| i != start);
+    let mut order = vec![start];
+    let mut acc_attrs = attrs[start].clone();
+    let mut acc_rows = ests[start].unwrap_or(1) as u128;
+    while !remaining.is_empty() {
+        let next = remaining
+            .iter()
+            .map(|&i| {
+                let cost = extend_estimate(&order, acc_rows, &acc_attrs, i);
+                let connected = !acc_attrs.intersection(&attrs[i]).is_empty();
+                (i, connected, cost)
+            })
+            // Connected extensions strictly before cross products, then by
+            // estimated output.
+            .min_by_key(|&(_, connected, cost)| (!connected, cost))
+            .map(|(i, _, _)| i)
+            .expect("non-empty");
+        remaining.retain(|&i| i != next);
+        acc_rows = extend_estimate(&order, acc_rows, &acc_attrs, next);
+        acc_attrs = acc_attrs.union(&attrs[next]);
+        order.push(next);
+    }
+    order
+}

@@ -33,6 +33,10 @@ use crate::logical::{AggExpr, AggFunc};
 /// A parsed FRQL query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Query {
+    /// Whether the query was prefixed with `EXPLAIN`: the caller should
+    /// render the optimized plan
+    /// ([`crate::optimizer::PlanExplain`]) instead of executing it.
+    pub explain: bool,
     /// The relation named in `FROM`.
     pub relation: String,
     /// The projection attribute list; `None` means `*`.
@@ -67,7 +71,7 @@ fn is_ident_char(c: char) -> bool {
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GUARD", "AND", "OR", "NOT", "PRESENT", "TRUE", "FALSE", "GROUP",
-    "BY",
+    "BY", "EXPLAIN",
 ];
 
 fn tokenize(input: &str) -> Result<Vec<Token>> {
@@ -357,6 +361,7 @@ impl Parser {
 pub fn parse(input: &str) -> Result<Query> {
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0 };
+    let explain = p.accept_keyword("EXPLAIN");
     p.expect_keyword("SELECT")?;
     let mut aggregates = Vec::new();
     let projection = if p.accept_symbol("*") {
@@ -399,6 +404,7 @@ pub fn parse(input: &str) -> Result<Query> {
         )));
     }
     Ok(Query {
+        explain,
         relation,
         projection,
         predicate,
@@ -412,6 +418,15 @@ pub fn parse(input: &str) -> Result<Query> {
 mod tests {
     use super::*;
     use flexrel_core::attrs;
+
+    #[test]
+    fn parses_an_explain_prefix() {
+        let q = parse("EXPLAIN SELECT * FROM employee WHERE salary > 5000").unwrap();
+        assert!(q.explain);
+        assert_eq!(q.relation, "employee");
+        let q = parse("SELECT * FROM employee").unwrap();
+        assert!(!q.explain);
+    }
 
     #[test]
     fn parses_the_example4_query() {

@@ -59,7 +59,7 @@ use flexrel_core::attr::AttrSet;
 use flexrel_core::dep::Dependency;
 use flexrel_core::error::{CoreError, Result};
 use flexrel_core::relation::FlexRelation;
-use flexrel_core::tuple::Tuple;
+use flexrel_core::tuple::{ShapeId, Tuple};
 
 use crate::catalog::{Catalog, RelationDef};
 use crate::checkpoint::{write_checkpoint, CheckpointSource};
@@ -173,6 +173,9 @@ struct DbInner {
     /// ([`Database::open`]).  `None` keeps every pre-durability path — an
     /// in-memory database — entirely unchanged.
     dur: Option<Arc<Durability>>,
+    /// Lazily-built per-partition column statistics, validated against
+    /// partition versions on every read (see [`crate::stats`]).
+    stats: crate::stats::StatsCache,
 }
 
 impl Drop for DbInner {
@@ -274,6 +277,42 @@ fn background_checkpoint_loop(weak: Weak<DbInner>, dur: Arc<Durability>) {
             // A failed checkpoint poisons the WAL; the next iteration's
             // check sees that and the loop idles until shutdown.
             let _ = db.checkpoint_now();
+        }
+    }
+}
+
+/// Pre-warms the statistics cache from the checkpoint sidecar, if one is
+/// readable.  A persisted entry is installed only when the recovered
+/// partition still matches it exactly by shape *and* row count — WAL-tail
+/// replay past the checkpoint changes the row count and the entry is
+/// silently skipped (it would be rebuilt lazily anyway).  Matching entries
+/// are stamped with the live partition's current version so the first
+/// reader accepts them; statistics are advisory, so a coincidental match
+/// against changed contents can only misprice a plan, never corrupt a
+/// result.
+fn prewarm_stats(inner: &DbInner) {
+    let Some(dur) = &inner.dur else { return };
+    let Ok(bytes) = std::fs::read(dur.dir.join(crate::stats::STATS_SIDECAR)) else {
+        return;
+    };
+    let Ok(rels) = crate::stats::decode_sidecar(&bytes) else {
+        return;
+    };
+    let storage = read(&inner.storage);
+    for (name, parts) in rels {
+        let Some(store) = storage.get(&name) else {
+            continue;
+        };
+        let live = read(&store.parts);
+        for mut stats in parts {
+            let sid = ShapeId::intern(&stats.shape);
+            let matched = live
+                .partitions()
+                .find(|(s, p)| *s == sid && p.len() as u64 == stats.rows);
+            if let Some((_, part)) = matched {
+                stats.version = part.version();
+                inner.stats.prewarm(&name, sid, stats);
+            }
         }
     }
 }
@@ -683,7 +722,9 @@ impl Database {
             catalog: RwLock::new(Arc::new(rec.catalog)),
             storage: RwLock::new(rec.storage),
             dur: Some(Arc::clone(&dur)),
+            stats: Default::default(),
         });
+        prewarm_stats(&inner);
         if opts.background_checkpoint {
             let weak = Arc::downgrade(&inner);
             let dur2 = Arc::clone(&dur);
@@ -788,6 +829,22 @@ impl Database {
                 // on the next open and its records skipped (all below the
                 // checkpoint cut).
                 let _ = dur.wal.delete_segments_below(cut);
+                // Best-effort statistics sidecar from the same snapshots —
+                // plain fs I/O, deliberately outside the fault hook: the
+                // sidecar is advisory (costs only), so a lost or torn write
+                // must never fail a checkpoint or affect recovery.
+                let rels: Vec<(String, Vec<crate::stats::PartitionStats>)> = sources
+                    .iter()
+                    .map(|s| {
+                        let stats = self.inner.stats.table_stats(&s.def.name, &s.snapshot);
+                        (
+                            s.def.name.clone(),
+                            stats.parts.iter().map(|p| (**p).clone()).collect(),
+                        )
+                    })
+                    .collect();
+                let bytes = crate::stats::encode_sidecar(&rels);
+                let _ = std::fs::write(dur.dir.join(crate::stats::STATS_SIDECAR), bytes);
                 Ok(cut)
             }
             Err(e) => {
@@ -933,8 +990,10 @@ impl Database {
                 catalog: RwLock::new(catalog),
                 storage: RwLock::new(storage),
                 // A fork is an independent in-memory copy; it does not
-                // share (or inherit) the parent's WAL and checkpoints.
+                // share (or inherit) the parent's WAL and checkpoints —
+                // nor the parent's statistics cache (rebuilt lazily).
                 dur: None,
+                stats: Default::default(),
             }),
         }
     }
@@ -1298,6 +1357,18 @@ impl Database {
     /// Per-partition metadata for a relation, in `ShapeId` order.
     pub fn partitions(&self, relation: &str) -> Result<Vec<crate::partition::PartitionInfo>> {
         Ok(self.partition_snapshot(relation)?.infos())
+    }
+
+    /// Per-partition column statistics for a relation (distinct counts and
+    /// equi-depth histograms, see [`crate::stats`]), built lazily from the
+    /// current partition snapshot and cached by partition version: an
+    /// insert, delete, update or rollback since the last call invalidates
+    /// exactly the touched partitions' entries.  The statistics are
+    /// advisory — they feed the query layer's cost model and can never
+    /// affect result correctness.
+    pub fn table_stats(&self, relation: &str) -> Result<crate::stats::TableStats> {
+        let snap = self.partition_snapshot(relation)?;
+        Ok(self.inner.stats.table_stats(relation, &snap))
     }
 
     /// The union of the live tuple shapes of a relation — the exact

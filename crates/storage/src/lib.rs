@@ -62,6 +62,7 @@ pub mod index;
 pub mod partition;
 pub mod recovery;
 pub mod rowfmt;
+pub mod stats;
 pub mod txn;
 pub mod wal;
 
@@ -77,5 +78,6 @@ pub use partition::{
     SnapshotScan,
 };
 pub use rowfmt::RowBlock;
+pub use stats::{ColumnStats, Histogram, PartitionStats, TableStats};
 pub use txn::{Transaction, UndoAction};
 pub use wal::{RecordDecoder, RecordEncoder, WalOp, WalRecord, WalWriter};

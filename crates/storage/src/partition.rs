@@ -119,12 +119,25 @@ pub enum DepGuard {
     },
 }
 
+/// The global partition-version counter.  [`Arc::make_mut`] mutates a
+/// partition *in place* when the refcount is one, so Arc pointer identity
+/// cannot distinguish "same data" from "mutated since" — an explicit version
+/// stamp can.  Drawing fresh stamps from one process-wide counter makes
+/// every write observable: a partition dropped and re-created (delete-all
+/// then re-insert) gets a version no cached reading has ever seen.
+static PARTITION_VERSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_partition_version() -> u64 {
+    PARTITION_VERSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// One heap partition: all live tuples of a single shape.
 #[derive(Clone, Debug)]
 pub struct Partition {
     shape: AttrSet,
     heap: ColumnHeap,
     memo: ShapeMemo,
+    version: u64,
 }
 
 impl Partition {
@@ -133,6 +146,7 @@ impl Partition {
             heap: ColumnHeap::new(shape.clone()),
             shape,
             memo,
+            version: next_partition_version(),
         }
     }
 
@@ -144,6 +158,7 @@ impl Partition {
             shape: heap.shape().clone(),
             heap,
             memo,
+            version: next_partition_version(),
         }
     }
 
@@ -155,6 +170,17 @@ impl Partition {
     /// The memoized shape-level type-check facts.
     pub fn memo(&self) -> &ShapeMemo {
         &self.memo
+    }
+
+    /// The partition's modification stamp: drawn from a process-wide counter
+    /// at creation and bumped on every insert or delete (updates and
+    /// rollbacks go through those).  Two observations with equal versions
+    /// saw identical contents, so derived data (column statistics) keyed by
+    /// the version is safe to reuse; pointer identity of the enclosing `Arc`
+    /// is *not* a substitute because copy-on-write mutates in place at
+    /// refcount one.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of live tuples in the partition.
@@ -317,6 +343,7 @@ impl PartitionedHeap {
         let part = Arc::make_mut(part);
         debug_assert_eq!(part.shape, *t.shape(), "tuple routed to wrong partition");
         let loc = part.heap.insert(t);
+        part.version = next_partition_version();
         self.live += 1;
         Ok(Rid { shape, loc })
     }
@@ -339,6 +366,7 @@ impl PartitionedHeap {
         part.heap.get_ref(rid.loc)?;
         let part = Arc::make_mut(part);
         let old = part.heap.delete(rid.loc)?;
+        part.version = next_partition_version();
         self.live -= 1;
         if part.heap.is_empty() {
             self.parts.remove(&rid.shape);

@@ -1,0 +1,469 @@
+//! Per-partition column statistics: distinct counts and equi-depth
+//! histograms, built lazily from the columnar segments and cached by
+//! partition [`version`](crate::partition::Partition::version).
+//!
+//! The statistics feed the query layer's cost model (selectivity estimates,
+//! join ordering, the index-nested-loop gate).  They are *advisory*: every
+//! plan the optimizer can emit returns the same rows regardless of what the
+//! statistics say, so a stale histogram can only misprice a plan, never
+//! corrupt a result.  Freshness is tracked by the partition version stamp —
+//! copy-on-write mutates partitions in place at refcount one, so pointer
+//! identity is useless as a cache key, while the version is bumped on every
+//! insert and delete (updates and rollbacks included).
+//!
+//! Statistics are persisted best-effort alongside checkpoints (keyed by
+//! relation name, shape attribute set and row count — *not* by [`ShapeId`],
+//! whose interner ids are process-local) and pre-warmed on recovery when the
+//! recovered partition still matches.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use flexrel_core::attr::AttrSet;
+use flexrel_core::tuple::ShapeId;
+
+use crate::codec::{self, Cursor};
+use crate::column::ColKind;
+use crate::errors::StorageError;
+use crate::partition::{Partition, PartitionSnapshot};
+
+/// Number of buckets an equi-depth histogram aims for.
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// An equi-depth histogram over a numeric column: `fences` holds the sorted
+/// bucket boundaries (first = min, last = max), each bucket covering an
+/// equal share of the rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    fences: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds an equi-depth histogram from the column's live values.
+    /// Returns `None` for an empty column.
+    fn build(mut values: Vec<f64>) -> Option<Histogram> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = values.len();
+        let buckets = HISTOGRAM_BUCKETS.min(n);
+        let mut fences = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            fences.push(values[(i * (n - 1)) / buckets]);
+        }
+        Some(Histogram { fences })
+    }
+
+    /// The estimated fraction of rows with value `≤ x`, interpolating within
+    /// the bucket that straddles `x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        let buckets = (self.fences.len() - 1).max(1);
+        if x < self.fences[0] {
+            return 0.0;
+        }
+        if x >= *self.fences.last().expect("non-empty fences") {
+            return 1.0;
+        }
+        for (i, w) in self.fences.windows(2).enumerate() {
+            let (lo, hi) = (w[0], w[1]);
+            if x < hi {
+                let within = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
+                return (i as f64 + within.clamp(0.0, 1.0)) / buckets as f64;
+            }
+        }
+        1.0
+    }
+
+    /// The bucket boundaries (sorted, min first).
+    pub fn fences(&self) -> &[f64] {
+        &self.fences
+    }
+}
+
+/// Statistics for one column of one partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Exact number of distinct live values.
+    pub distinct: u64,
+    /// Equi-depth histogram over the live values (numeric columns only).
+    pub histogram: Option<Histogram>,
+}
+
+/// Statistics for one partition: live row count plus per-column distinct
+/// counts and histograms, stamped with the partition version they were
+/// built from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// The partition version the statistics were computed at.
+    pub version: u64,
+    /// Live rows at build time.
+    pub rows: u64,
+    /// The partition's shape.
+    pub shape: AttrSet,
+    /// Per-column statistics, keyed by attribute name.
+    pub cols: BTreeMap<String, ColumnStats>,
+}
+
+impl PartitionStats {
+    /// Computes the statistics of a partition from its columnar segments,
+    /// reading only live rows.
+    pub fn build(part: &Partition) -> PartitionStats {
+        let heap = part.columns();
+        let attrs: Vec<String> = heap.attrs().iter().map(|a| a.name().to_string()).collect();
+        let mut cols = BTreeMap::new();
+        for (ci, name) in attrs.iter().enumerate() {
+            let mut numeric: Vec<f64> = Vec::new();
+            let mut is_numeric = true;
+            let mut distinct_other: std::collections::BTreeSet<String> = Default::default();
+            let mut distinct_num: std::collections::BTreeSet<u64> = Default::default();
+            for seg in heap.segments() {
+                match seg.col_kind(ci) {
+                    ColKind::Int => {
+                        let xs = seg.int_slice(ci).expect("kind says int");
+                        for (row, &x) in xs.iter().enumerate() {
+                            if seg.is_live(row) {
+                                numeric.push(x as f64);
+                                distinct_num.insert((x as f64).to_bits());
+                            }
+                        }
+                    }
+                    ColKind::Float => {
+                        let xs = seg.float_slice(ci).expect("kind says float");
+                        for (row, &x) in xs.iter().enumerate() {
+                            if seg.is_live(row) {
+                                numeric.push(x);
+                                distinct_num.insert(x.to_bits());
+                            }
+                        }
+                    }
+                    _ => {
+                        is_numeric = false;
+                        for row in 0..seg.rows() {
+                            if seg.is_live(row) {
+                                distinct_other.insert(seg.value_at(ci, row).to_string());
+                            }
+                        }
+                    }
+                }
+            }
+            let (distinct, histogram) = if is_numeric {
+                (distinct_num.len() as u64, Histogram::build(numeric))
+            } else {
+                (distinct_other.len() as u64, None)
+            };
+            cols.insert(
+                name.clone(),
+                ColumnStats {
+                    distinct,
+                    histogram,
+                },
+            );
+        }
+        PartitionStats {
+            version: part.version(),
+            rows: part.len() as u64,
+            shape: part.shape().clone(),
+            cols,
+        }
+    }
+
+    /// The statistics of one column, if the partition carries it.
+    pub fn column(&self, attr: &str) -> Option<&ColumnStats> {
+        self.cols.get(attr)
+    }
+}
+
+/// Aggregated statistics for one relation: the per-partition statistics of
+/// every live partition at the time of the snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    /// One entry per live partition.
+    pub parts: Vec<Arc<PartitionStats>>,
+}
+
+impl TableStats {
+    /// Total live rows across all partitions.
+    pub fn rows(&self) -> u64 {
+        self.parts.iter().map(|p| p.rows).sum()
+    }
+
+    /// The number of distinct values of `attr` across the partitions that
+    /// carry it, estimated as the sum of per-partition distinct counts
+    /// capped at the carrying partitions' total rows.  `None` when no
+    /// partition carries the attribute (or none has statistics for it).
+    pub fn distinct(&self, attr: &str) -> Option<u64> {
+        let mut sum = 0u64;
+        let mut rows = 0u64;
+        let mut seen = false;
+        for p in &self.parts {
+            if let Some(c) = p.column(attr) {
+                seen = true;
+                sum += c.distinct;
+                rows += p.rows;
+            }
+        }
+        if seen {
+            Some(sum.min(rows).max(1))
+        } else {
+            None
+        }
+    }
+
+    /// The fraction of all rows that carry `attr` and have `attr = c` for a
+    /// fixed constant `c`, estimated as `1 / distinct` within each carrying
+    /// partition (the uniform-frequency assumption).
+    pub fn fraction_eq(&self, attr: &str) -> Option<f64> {
+        let total = self.rows();
+        if total == 0 {
+            return None;
+        }
+        let mut matched = 0f64;
+        let mut seen = false;
+        for p in &self.parts {
+            if let Some(c) = p.column(attr) {
+                seen = true;
+                if c.distinct > 0 {
+                    matched += p.rows as f64 / c.distinct as f64;
+                }
+            }
+        }
+        if seen {
+            Some((matched / total as f64).clamp(0.0, 1.0))
+        } else {
+            None
+        }
+    }
+
+    /// The fraction of all rows that carry `attr` and have `attr ≤ x`,
+    /// from the per-partition equi-depth histograms.  `None` when no
+    /// carrying partition has a histogram.
+    pub fn fraction_le(&self, attr: &str, x: f64) -> Option<f64> {
+        let total = self.rows();
+        if total == 0 {
+            return None;
+        }
+        let mut matched = 0f64;
+        let mut seen = false;
+        for p in &self.parts {
+            if let Some(h) = p.column(attr).and_then(|c| c.histogram.as_ref()) {
+                seen = true;
+                matched += p.rows as f64 * h.fraction_le(x);
+            }
+        }
+        if seen {
+            Some((matched / total as f64).clamp(0.0, 1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// The database-level statistics cache: per (relation, shape) partition
+/// statistics, validated against the live partition version on every read.
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    entries: Mutex<BTreeMap<(String, ShapeId), Arc<PartitionStats>>>,
+}
+
+impl StatsCache {
+    /// The statistics of every partition in `snap`, reusing cached entries
+    /// whose version still matches and (re)building the rest.
+    pub fn table_stats(&self, relation: &str, snap: &PartitionSnapshot) -> TableStats {
+        let mut out = TableStats::default();
+        let mut entries = self.entries.lock().expect("stats cache poisoned");
+        for (sid, part) in snap.partitions() {
+            let key = (relation.to_string(), sid);
+            let cached = entries.get(&key);
+            let stats = match cached {
+                Some(s) if s.version == part.version() => Arc::clone(s),
+                _ => {
+                    let s = Arc::new(PartitionStats::build(part));
+                    entries.insert(key, Arc::clone(&s));
+                    s
+                }
+            };
+            out.parts.push(stats);
+        }
+        out
+    }
+
+    /// Installs pre-built statistics (checkpoint prewarm) for a partition,
+    /// stamped with that partition's current version.
+    pub(crate) fn prewarm(&self, relation: &str, sid: ShapeId, stats: PartitionStats) {
+        let mut entries = self.entries.lock().expect("stats cache poisoned");
+        entries.insert((relation.to_string(), sid), Arc::new(stats));
+    }
+
+    /// Drops every cached entry for `relation` (relation dropped or
+    /// replaced wholesale).
+    #[allow(dead_code)]
+    pub(crate) fn invalidate_relation(&self, relation: &str) {
+        let mut entries = self.entries.lock().expect("stats cache poisoned");
+        entries.retain(|(r, _), _| r != relation);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar persistence
+// ---------------------------------------------------------------------------
+
+const STATS_MAGIC: u32 = 0x464c_5354; // "FLST"
+
+/// Encodes the statistics of all partitions of all relations into the
+/// checkpoint-sidecar format.  Keys are (relation, shape attrs, rows) so the
+/// image survives the process-local `ShapeId` interner.
+pub(crate) fn encode_sidecar(rels: &[(String, Vec<PartitionStats>)]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    codec::put_u32(&mut payload, STATS_MAGIC);
+    codec::put_u32(&mut payload, rels.len() as u32);
+    for (name, parts) in rels {
+        codec::put_str(&mut payload, name);
+        codec::put_u32(&mut payload, parts.len() as u32);
+        for p in parts {
+            codec::put_attrs(&mut payload, &p.shape);
+            codec::put_u64(&mut payload, p.rows);
+            codec::put_u32(&mut payload, p.cols.len() as u32);
+            for (attr, c) in &p.cols {
+                codec::put_str(&mut payload, attr);
+                codec::put_u64(&mut payload, c.distinct);
+                match &c.histogram {
+                    Some(h) => {
+                        codec::put_u32(&mut payload, h.fences.len() as u32);
+                        for f in &h.fences {
+                            codec::put_f64(&mut payload, *f);
+                        }
+                    }
+                    None => codec::put_u32(&mut payload, 0),
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    codec::put_frame(&mut out, &payload);
+    out
+}
+
+/// Decodes a statistics sidecar.  The returned `PartitionStats` carry
+/// `version: 0` — the caller stamps them with the live partition's version
+/// when (and only when) shape and row count still match.
+pub(crate) fn decode_sidecar(
+    buf: &[u8],
+) -> Result<Vec<(String, Vec<PartitionStats>)>, StorageError> {
+    let frame = match codec::read_frame(buf, 0) {
+        codec::FrameRead::Frame { payload, .. } => payload,
+        _ => {
+            return Err(StorageError::Corruption("stats sidecar: bad frame".into()));
+        }
+    };
+    let mut cur = Cursor::new(frame);
+    if cur.u32()? != STATS_MAGIC {
+        return Err(StorageError::Corruption("stats sidecar: bad magic".into()));
+    }
+    let nrels = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(nrels);
+    for _ in 0..nrels {
+        let name = cur.str()?.to_string();
+        let nparts = cur.u32()? as usize;
+        let mut parts = Vec::with_capacity(nparts);
+        for _ in 0..nparts {
+            let shape = codec::get_attrs(&mut cur)?;
+            let rows = cur.u64()?;
+            let ncols = cur.u32()? as usize;
+            let mut cols = BTreeMap::new();
+            for _ in 0..ncols {
+                let attr = cur.str()?.to_string();
+                let distinct = cur.u64()?;
+                let nfences = cur.u32()? as usize;
+                let histogram = if nfences == 0 {
+                    None
+                } else {
+                    let mut fences = Vec::with_capacity(nfences);
+                    for _ in 0..nfences {
+                        fences.push(cur.f64()?);
+                    }
+                    Some(Histogram { fences })
+                };
+                cols.insert(
+                    attr,
+                    ColumnStats {
+                        distinct,
+                        histogram,
+                    },
+                );
+            }
+            parts.push(PartitionStats {
+                version: 0,
+                rows,
+                shape,
+                cols,
+            });
+        }
+        out.push((name, parts));
+    }
+    Ok(out)
+}
+
+/// The sidecar file name inside a durability directory.
+pub(crate) const STATS_SIDECAR: &str = "stats.sidecar";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_depth_histogram_fractions() {
+        let h = Histogram::build((0..100).map(f64::from).collect()).unwrap();
+        assert_eq!(h.fraction_le(-1.0), 0.0);
+        assert_eq!(h.fraction_le(99.0), 1.0);
+        let mid = h.fraction_le(49.0);
+        assert!((mid - 0.5).abs() < 0.1, "median ≈ 0.5, got {mid}");
+        let q1 = h.fraction_le(24.0);
+        assert!((q1 - 0.25).abs() < 0.1, "q1 ≈ 0.25, got {q1}");
+    }
+
+    #[test]
+    fn histogram_of_constant_column() {
+        let h = Histogram::build(vec![7.0; 50]).unwrap();
+        assert_eq!(h.fraction_le(6.9), 0.0);
+        assert_eq!(h.fraction_le(7.0), 1.0);
+    }
+
+    #[test]
+    fn sidecar_roundtrip() {
+        let stats = PartitionStats {
+            version: 42,
+            rows: 10,
+            shape: flexrel_core::attrs!["a", "b"],
+            cols: [
+                (
+                    "a".to_string(),
+                    ColumnStats {
+                        distinct: 10,
+                        histogram: Histogram::build((0..10).map(f64::from).collect()),
+                    },
+                ),
+                (
+                    "b".to_string(),
+                    ColumnStats {
+                        distinct: 3,
+                        histogram: None,
+                    },
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        let encoded = encode_sidecar(&[("r".to_string(), vec![stats.clone()])]);
+        let decoded = decode_sidecar(&encoded).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].0, "r");
+        let got = &decoded[0].1[0];
+        assert_eq!(got.version, 0, "persisted stats are version-less");
+        assert_eq!(got.rows, stats.rows);
+        assert_eq!(got.shape, stats.shape);
+        assert_eq!(got.cols, stats.cols);
+        // A truncated image is rejected, not misread.
+        assert!(decode_sidecar(&encoded[..encoded.len() - 3]).is_err());
+    }
+}

@@ -85,6 +85,14 @@ report="$("$tooldir/llvm-cov" report $objects \
   "$PWD"/crates/query/src)"
 echo "$report"
 
+# The optimizer-v2 module is measured as part of crates/query/src; a
+# filter regression that silently dropped it would let the rewrite rules'
+# coverage rot unnoticed, so require its files in the report.
+if ! echo "$report" | grep -q 'optimizer'; then
+  echo "coverage: optimizer/ files missing from the llvm-cov report" >&2
+  exit 1
+fi
+
 pct="$(echo "$report" | awk '/^TOTAL/ {gsub(/%/, "", $10); print $10}')"
 if [ -z "$pct" ]; then
   echo "coverage: could not parse the TOTAL line from llvm-cov" >&2

@@ -1,0 +1,126 @@
+//! Statistics hygiene: the per-partition histograms and distinct counts
+//! behind the cost optimizer are cache-validated by partition version, so
+//! every insert, delete, and transaction rollback is visible in the next
+//! `table_stats` call — and even *arbitrarily stale* statistics can only
+//! mis-cost a plan, never change its results.
+
+use std::collections::BTreeSet;
+
+use flexrel_algebra::predicate::Predicate;
+use flexrel_core::attrs;
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+use flexrel_query::prelude::*;
+use flexrel_storage::{Database, RelationDef, Transaction};
+use flexrel_workload::{employee_relation, generate_employees, EmployeeConfig};
+
+fn employee_db(n: usize) -> Database {
+    let db = Database::new();
+    db.create_relation(RelationDef::from_relation(&employee_relation()))
+        .unwrap();
+    for t in generate_employees(&EmployeeConfig::clean(n)) {
+        db.insert("employee", t).unwrap();
+    }
+    db
+}
+
+fn secretary(empno: i64) -> Tuple {
+    Tuple::new()
+        .with("empno", empno)
+        .with("name", format!("late{}", empno))
+        .with("salary", 12_345.0)
+        .with("jobtype", Value::tag("secretary"))
+        .with("typing-speed", 240)
+        .with("foreign-languages", "french")
+}
+
+#[test]
+fn stats_track_inserts_deletes_and_rollbacks() {
+    const N: usize = 300;
+    let db = employee_db(N);
+
+    let before = db.table_stats("employee").unwrap();
+    assert_eq!(before.rows(), N as u64);
+    assert_eq!(before.distinct("empno"), Some(N as u64));
+
+    // Insert: the affected partition's version bumps, the cache refreshes.
+    let rid = db.insert("employee", secretary(10_000)).unwrap();
+    let stats = db.table_stats("employee").unwrap();
+    assert_eq!(stats.rows(), N as u64 + 1);
+    assert_eq!(stats.distinct("empno"), Some(N as u64 + 1));
+    // The histogram sees the outlier salary too: nothing sits above it.
+    assert_eq!(stats.fraction_le("salary", 12_345.0), Some(1.0));
+
+    // Delete: back to the original counts.
+    db.delete("employee", rid).unwrap();
+    let stats = db.table_stats("employee").unwrap();
+    assert_eq!(stats.rows(), N as u64);
+    assert_eq!(stats.distinct("empno"), Some(N as u64));
+
+    // A rolled-back transaction leaves no statistical residue.
+    let mut txn = Transaction::begin();
+    for i in 0..20 {
+        db.insert_txn(&mut txn, "employee", secretary(20_000 + i))
+            .unwrap();
+    }
+    assert_eq!(db.table_stats("employee").unwrap().rows(), N as u64 + 20);
+    db.rollback(txn).unwrap();
+    let stats = db.table_stats("employee").unwrap();
+    assert_eq!(stats.rows(), N as u64);
+    assert_eq!(stats.distinct("empno"), Some(N as u64));
+}
+
+/// A plan optimized against yesterday's statistics still returns exactly
+/// the right rows today: cardinality estimates pick strategies and join
+/// orders, never filter results.
+#[test]
+fn stale_stats_never_change_results() {
+    const N: usize = 200;
+    let db = employee_db(N);
+
+    // Optimize while the table is small and uniform...
+    let naive = LogicalPlan::scan("employee")
+        .filter(Predicate::gt("salary", 5000))
+        .join(LogicalPlan::scan("employee").project(attrs!["empno", "jobtype"]));
+    let (optimized, _) = optimize_with_db(naive.clone(), &db);
+
+    // ...then mutate the instance far away from what the optimizer saw:
+    // triple the rows with a skewed tail and delete a third of the
+    // original ones.
+    for i in 0..(2 * N) {
+        db.insert("employee", secretary(50_000 + i as i64)).unwrap();
+    }
+    let victims: Vec<_> = db
+        .scan("employee")
+        .unwrap()
+        .into_iter()
+        .filter(|(_, t)| matches!(t.get_name("empno"), Some(Value::Int(e)) if e % 3 == 0 && *e < N as i64))
+        .map(|(rid, _)| rid)
+        .collect();
+    for rid in victims {
+        db.delete("employee", rid).unwrap();
+    }
+
+    let expect: BTreeSet<Tuple> = execute(&naive, &db).unwrap().into_iter().collect();
+    let got: BTreeSet<Tuple> = execute(&optimized, &db).unwrap().into_iter().collect();
+    assert_eq!(
+        expect, got,
+        "a stale-cost plan diverged from the naive plan"
+    );
+
+    // Re-optimizing now sees the new reality (fresh row counts), and the
+    // fresh plan agrees too.
+    assert_eq!(
+        db.table_stats("employee").unwrap().rows() as usize,
+        3 * N - victims_count(N)
+    );
+    let (fresh, _) = optimize_with_db(naive.clone(), &db);
+    let again: BTreeSet<Tuple> = execute(&fresh, &db).unwrap().into_iter().collect();
+    assert_eq!(expect, again);
+}
+
+/// How many of the original `n` empnos are divisible by three (the rows
+/// `stale_stats_never_change_results` deletes).
+fn victims_count(n: usize) -> usize {
+    (0..n).filter(|e| e % 3 == 0).count()
+}
