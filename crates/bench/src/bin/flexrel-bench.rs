@@ -1,0 +1,125 @@
+//! The `flexrel-bench` binary: closed-loop load driver for a running
+//! flexrel server.
+//!
+//! ```text
+//! flexrel-bench --addr HOST:PORT [--sessions N] [--statements N]
+//!               [--key-space N] [--variants N] [--skew F] [--seed N]
+//! ```
+//!
+//! The target server must have been seeded with the matching wide schema
+//! (`flexrel-server --seed-wide KEY_SPACE,VARIANTS,SKEW`): the driver's
+//! self-verification derives its expectations (key echoes, join
+//! consistency, per-kind count floors) from those three parameters.
+//!
+//! Exits non-zero if any response fails verification, any acked write is
+//! lost, or any wire/protocol error occurs.  `Busy` and `Timeout` responses
+//! are backpressure, not failures.
+
+use std::process::ExitCode;
+
+use flexrel_bench::{run_driver, DriverConfig};
+
+struct Args {
+    addr: String,
+    sessions: usize,
+    statements: usize,
+    key_space: usize,
+    variants: usize,
+    skew: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        sessions: 32,
+        statements: 20,
+        key_space: 2000,
+        variants: 8,
+        skew: 0.5,
+        seed: 0xE18,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{} requires a value", name))
+        };
+        macro_rules! num {
+            ($name:literal) => {
+                value($name)?
+                    .parse()
+                    .map_err(|_| concat!("bad ", $name).to_string())?
+            };
+        }
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--sessions" => args.sessions = num!("--sessions"),
+            "--statements" => args.statements = num!("--statements"),
+            "--key-space" => args.key_space = num!("--key-space"),
+            "--variants" => args.variants = num!("--variants"),
+            "--skew" => args.skew = num!("--skew"),
+            "--seed" => args.seed = num!("--seed"),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: flexrel-bench --addr HOST:PORT [--sessions N] [--statements N] \
+                     [--key-space N] [--variants N] [--skew F] [--seed N]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {:?}", other)),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{}", msg);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match args.addr.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("bad --addr {:?} (need HOST:PORT)", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = DriverConfig::new(args.sessions, args.key_space, args.variants, args.skew)
+        .with_statements(args.statements);
+    cfg.seed = args.seed;
+
+    println!(
+        "driving {} with {} closed-loop sessions x {} statements (key space {}, {} variants, skew {})",
+        addr, cfg.sessions, cfg.statements_per_session, cfg.n, cfg.variants, cfg.skew
+    );
+    let report = run_driver(addr, &cfg);
+    println!(
+        "ok {} | rows {} | busy {} | timeout {} | err {} | proto {} | mismatch {} | lost {}",
+        report.ok,
+        report.rows,
+        report.busy,
+        report.timeouts,
+        report.errors,
+        report.protocol_errors,
+        report.mismatches,
+        report.lost_writes
+    );
+    println!(
+        "throughput {:.0} stmts/s | p50 {:.0} µs | p99 {:.0} µs | {:.2}s elapsed",
+        report.throughput, report.p50_us, report.p99_us, report.elapsed
+    );
+    if report.clean() {
+        println!("RESULT: ok");
+        ExitCode::SUCCESS
+    } else {
+        println!("RESULT: MISMATCH");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,527 @@
+//! The closed-loop network load driver behind experiment E18 and the
+//! `flexrel-bench` binary.
+//!
+//! The driver simulates `sessions` concurrent clients, each a closed loop
+//! (exactly one statement outstanding), issuing a Zipf-skewed mix of OLTP
+//! traffic against a running flexrel server: point lookups on the `id` key,
+//! indexed natural joins against the `kinds` dimension, per-kind
+//! aggregates, and atomic `Transact` write batches.  Sessions are
+//! multiplexed over a bounded pool of driver threads (send for every owned
+//! session, then receive for every owned session), so 10³–10⁴ sessions
+//! don't need 10³–10⁴ driver threads.
+//!
+//! **Every response is verified**, not just timed:
+//!
+//! * point lookups must return exactly the probed key (on a seeded id,
+//!   exactly one row of the right kind);
+//! * join rows must be *internally consistent* — the seeded dimension maps
+//!   kind tag `k{v}` to label `variant {v}`, so any row pairing them
+//!   differently is a join bug;
+//! * per-kind counts can never drop below the seeded baseline (writers
+//!   only ever delete their own inserts);
+//! * a committed insert must be found by its later delete (`deleted == 1`)
+//!   — an acked write that disappears counts as `lost_writes`.
+//!
+//! `Busy` (admission control) and `Timeout` (statement deadline) responses
+//! are counted, not failed: they are the backpressure signals under test.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use flexrel_client::{ClientError, Connection};
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+use flexrel_server::WriteOp;
+use flexrel_workload::{wide_kind_tag, wide_variant_attr, WideConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexrel_core::attrs;
+
+/// Load-driver knobs.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Concurrent closed-loop sessions (= server connections).
+    pub sessions: usize,
+    /// Driver threads multiplexing those sessions.
+    pub threads: usize,
+    /// Statements each session issues.
+    pub statements_per_session: usize,
+    /// Seeded `wide` tuple count (the id key space is `0..n`).
+    pub n: usize,
+    /// Seeded variant count.
+    pub variants: usize,
+    /// Seeded Zipf skew on the kind distribution.
+    pub skew: f64,
+    /// RNG seed; every session derives its own deterministic stream.
+    pub seed: u64,
+}
+
+impl DriverConfig {
+    /// A driver for a server seeded with `seed_wide(db, n, variants, skew)`.
+    pub fn new(sessions: usize, n: usize, variants: usize, skew: f64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|c| c.get() * 2)
+            .unwrap_or(4)
+            .clamp(1, 32)
+            .min(sessions.max(1));
+        DriverConfig {
+            sessions,
+            threads,
+            statements_per_session: 20,
+            n,
+            variants,
+            skew,
+            seed: 0xE18,
+        }
+    }
+
+    /// Sets the per-session statement count (builder style).
+    pub fn with_statements(mut self, per_session: usize) -> Self {
+        self.statements_per_session = per_session;
+        self
+    }
+}
+
+/// Aggregated driver-side counters and latency percentiles for one run.
+#[derive(Clone, Debug, Default)]
+pub struct DriverReport {
+    /// Statements answered successfully.
+    pub ok: u64,
+    /// Result rows received across all statements.
+    pub rows: u64,
+    /// `Busy` rejections (admission control engaged).
+    pub busy: u64,
+    /// `Timeout` cancellations.
+    pub timeouts: u64,
+    /// Unexpected errors (anything not busy/timeout).
+    pub errors: u64,
+    /// Wire/protocol failures (corrupt frames, unexpected responses).
+    pub protocol_errors: u64,
+    /// Self-verification failures — any nonzero value is a correctness bug.
+    pub mismatches: u64,
+    /// Acked inserts a later delete could not find — must be zero.
+    pub lost_writes: u64,
+    /// Net tuples added to `wide` (acked inserts minus acked deletes),
+    /// for the caller's final-count differential check.
+    pub net_inserted: i64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed: f64,
+    /// Median statement latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile statement latency, microseconds.
+    pub p99_us: f64,
+    /// Successful statements per wall-clock second.
+    pub throughput: f64,
+}
+
+impl DriverReport {
+    /// Whether the run was fully clean: no mismatches, no lost writes, no
+    /// protocol or unexpected errors (busy/timeout are fine — they are
+    /// backpressure, not failures).
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0
+            && self.lost_writes == 0
+            && self.protocol_errors == 0
+            && self.errors == 0
+    }
+}
+
+/// The per-kind seeded row counts — the floor the verifier holds per-kind
+/// aggregates to.
+fn baseline_counts(cfg: &DriverConfig) -> Vec<usize> {
+    WideConfig::new(cfg.n, cfg.variants)
+        .with_skew(cfg.skew)
+        .variant_counts()
+}
+
+/// Builds the cumulative kind-weight table for Zipf-skewed kind picks.
+fn cumulative(counts: &[usize]) -> Vec<usize> {
+    let mut acc = 0;
+    counts
+        .iter()
+        .map(|c| {
+            acc += *c.max(&1);
+            acc
+        })
+        .collect()
+}
+
+fn pick_kind(rng: &mut StdRng, cum: &[usize]) -> usize {
+    let total = *cum.last().unwrap_or(&1);
+    let x = rng.gen_range(0usize..total.max(1));
+    cum.partition_point(|&c| c <= x)
+}
+
+struct SessionState {
+    conn: Connection,
+    rng: StdRng,
+    /// Globally unique id base for this session's inserts.
+    next_insert: i64,
+    /// Acked inserts not yet deleted: `(id, kind)`.
+    live_inserts: Vec<(i64, usize)>,
+    issued: usize,
+}
+
+enum Issued {
+    Lookup { id: i64 },
+    Join { id: i64 },
+    Aggregate { kind: usize },
+    Insert { id: i64, kind: usize },
+    Delete { id: i64, kind: usize },
+}
+
+struct Counters {
+    ok: AtomicU64,
+    rows: AtomicU64,
+    busy: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    mismatches: AtomicU64,
+    lost_writes: AtomicU64,
+    net_inserted: AtomicU64, // stored as i64 bits
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            ok: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+            lost_writes: AtomicU64::new(0),
+            net_inserted: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Issues the next statement for a session (send side of the closed loop).
+/// Returns what was sent, so the receive side knows what to verify.
+fn issue(s: &mut SessionState, cfg: &DriverConfig, cum: &[usize]) -> Result<Issued, ClientError> {
+    use flexrel_server::Request;
+    let roll = s.rng.gen_range(0u32..100);
+    s.issued += 1;
+    if roll < 40 {
+        let id = s.rng.gen_range(0i64..cfg.n.max(1) as i64);
+        s.conn.send(&Request::Query {
+            frql: format!("SELECT * FROM wide WHERE id = {}", id),
+        })?;
+        Ok(Issued::Lookup { id })
+    } else if roll < 60 {
+        let id = s.rng.gen_range(0i64..cfg.n.max(1) as i64);
+        s.conn.send(&Request::Query {
+            frql: format!("SELECT kind, label FROM wide JOIN kinds WHERE id = {}", id),
+        })?;
+        Ok(Issued::Join { id })
+    } else if roll < 80 {
+        let kind = pick_kind(&mut s.rng, cum);
+        s.conn.send(&Request::Query {
+            frql: format!(
+                "SELECT COUNT(*), SUM({}) FROM wide WHERE kind = '{}'",
+                wide_variant_attr(kind),
+                wide_kind_tag(kind)
+            ),
+        })?;
+        Ok(Issued::Aggregate { kind })
+    } else if s.live_inserts.is_empty() || s.rng.gen_bool(0.5) {
+        let kind = pick_kind(&mut s.rng, cum);
+        let id = s.next_insert;
+        s.next_insert += 1;
+        s.conn.send(&Request::Transact {
+            relation: "wide".into(),
+            ops: vec![WriteOp::Insert(
+                Tuple::new()
+                    .with("id", id)
+                    .with("kind", Value::tag(wide_kind_tag(kind)))
+                    .with(wide_variant_attr(kind), id % 1000),
+            )],
+        })?;
+        Ok(Issued::Insert { id, kind })
+    } else {
+        let (id, kind) = s.live_inserts.swap_remove(0);
+        s.conn.send(&Request::Transact {
+            relation: "wide".into(),
+            ops: vec![WriteOp::DeleteEq {
+                key: attrs!["id"],
+                key_value: Tuple::new().with("id", id),
+            }],
+        })?;
+        Ok(Issued::Delete { id, kind })
+    }
+}
+
+/// Verifies one response against what was issued.  Returns `rows` counted.
+fn verify(
+    issued: &Issued,
+    rsp: &flexrel_server::Response,
+    s: &mut SessionState,
+    cfg: &DriverConfig,
+    baseline: &[usize],
+    counters: &Counters,
+) {
+    use flexrel_server::Response;
+    match rsp {
+        Response::Error { code, .. } => {
+            match code {
+                flexrel_server::ErrorCode::Busy => counters.busy.fetch_add(1, Ordering::Relaxed),
+                flexrel_server::ErrorCode::Timeout => {
+                    counters.timeouts.fetch_add(1, Ordering::Relaxed)
+                }
+                _ => counters.errors.fetch_add(1, Ordering::Relaxed),
+            };
+            // A rejected/cancelled statement had no effect; put a pending
+            // delete back so its id is retried (an insert that was rejected
+            // simply burned an id).
+            if let Issued::Delete { id, kind } = issued {
+                s.live_inserts.push((*id, *kind));
+            }
+            return;
+        }
+        _ => counters.ok.fetch_add(1, Ordering::Relaxed),
+    };
+    let mismatch = |c: &Counters| {
+        c.mismatches.fetch_add(1, Ordering::Relaxed);
+    };
+    match (issued, rsp) {
+        (Issued::Lookup { id }, Response::Rows(rows)) => {
+            counters
+                .rows
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
+            let seeded = *id < cfg.n as i64;
+            if seeded && rows.len() != 1 {
+                mismatch(counters);
+            }
+            for t in rows {
+                if t.get_name("id") != Some(&Value::Int(*id)) {
+                    mismatch(counters);
+                }
+            }
+        }
+        (Issued::Join { id }, Response::Rows(rows)) => {
+            counters
+                .rows
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
+            if *id < cfg.n as i64 && rows.len() != 1 {
+                mismatch(counters);
+            }
+            for t in rows {
+                // Seeded dimension: kind `k{v}` carries label `variant {v}`.
+                let consistent = match (t.get_name("kind"), t.get_name("label")) {
+                    (Some(Value::Tag(k)), Some(Value::Str(l))) => {
+                        k.strip_prefix('k').map(|v| format!("variant {}", v)) == Some(l.to_string())
+                    }
+                    _ => false,
+                };
+                if !consistent {
+                    mismatch(counters);
+                }
+            }
+        }
+        (Issued::Aggregate { kind }, Response::Rows(rows)) => {
+            counters
+                .rows
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
+            // One group (kind is pinned); count never drops below the seed.
+            let count = rows
+                .first()
+                .and_then(|t| t.get_name("count"))
+                .and_then(|v| match v {
+                    Value::Int(c) => Some(*c),
+                    _ => None,
+                });
+            match count {
+                Some(c) if c >= baseline[*kind] as i64 => {}
+                _ => mismatch(counters),
+            }
+        }
+        (Issued::Insert { id, kind }, Response::TxnOk { inserted, .. }) => {
+            if *inserted == 1 {
+                s.live_inserts.push((*id, *kind));
+                counters.net_inserted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                mismatch(counters);
+            }
+        }
+        (Issued::Delete { .. }, Response::TxnOk { deleted, .. }) => {
+            if *deleted == 1 {
+                counters.net_inserted.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                // The insert was acked but its tuple is gone: a lost write.
+                counters.lost_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        _ => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs the closed-loop driver against a server at `addr` (seeded with
+/// `seed_wide(db, cfg.n, cfg.variants, cfg.skew)`).  Returns the aggregated
+/// report; [`DriverReport::clean`] is the pass/fail verdict, timing is the
+/// payload.
+pub fn run_driver(addr: SocketAddr, cfg: &DriverConfig) -> DriverReport {
+    let baseline = Arc::new(baseline_counts(cfg));
+    let cum = Arc::new(cumulative(&baseline));
+    let counters = Arc::new(Counters::new());
+    let cfg = Arc::new(cfg.clone());
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    let threads = cfg.threads.max(1);
+    for thread_idx in 0..threads {
+        let cfg = Arc::clone(&cfg);
+        let counters = Arc::clone(&counters);
+        let baseline = Arc::clone(&baseline);
+        let cum = Arc::clone(&cum);
+        let handle = std::thread::Builder::new()
+            .name(format!("flexrel-drive-{}", thread_idx))
+            .stack_size(512 * 1024)
+            .spawn(move || {
+                // Sessions are dealt round-robin to threads.
+                let mut sessions: Vec<SessionState> = Vec::new();
+                for s in (thread_idx..cfg.sessions).step_by(threads) {
+                    match Connection::connect(addr) {
+                        Ok(conn) => sessions.push(SessionState {
+                            conn,
+                            rng: StdRng::seed_from_u64(
+                                cfg.seed ^ (s as u64).wrapping_mul(0x9E37_79B9),
+                            ),
+                            next_insert: 1_000_000_000 + (s as i64) * 1_000_000,
+                            live_inserts: Vec::new(),
+                            issued: 0,
+                        }),
+                        Err(e) => {
+                            // A refused connection (session cap) is
+                            // backpressure; anything else is an error.
+                            if e.is_busy() {
+                                counters.busy.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                counters.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                let mut latencies: Vec<u64> = Vec::new();
+                // Closed loop, multiplexed: one statement outstanding per
+                // session; send for every session, then receive for every
+                // session, until all have issued their quota.
+                let mut done = false;
+                while !done {
+                    done = true;
+                    let mut batch: Vec<(usize, Issued, Instant)> = Vec::new();
+                    for (i, s) in sessions.iter_mut().enumerate() {
+                        if s.issued >= cfg.statements_per_session {
+                            continue;
+                        }
+                        done = false;
+                        let sent_at = Instant::now();
+                        match issue(s, &cfg, &cum) {
+                            Ok(issued) => batch.push((i, issued, sent_at)),
+                            Err(_) => {
+                                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                s.issued = cfg.statements_per_session;
+                            }
+                        }
+                    }
+                    for (i, issued, sent_at) in batch {
+                        let s = &mut sessions[i];
+                        match s.conn.recv() {
+                            Ok(rsp) => {
+                                latencies.push(sent_at.elapsed().as_micros() as u64);
+                                verify(&issued, &rsp, s, &cfg, &baseline, &counters);
+                            }
+                            Err(_) => {
+                                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                s.issued = cfg.statements_per_session;
+                            }
+                        }
+                    }
+                }
+                // Cleanup: delete every still-live acked insert.  This is
+                // the strongest form of the lost-write check (every ack is
+                // revisited), returns the relation to its seeded state so
+                // repeated runs (and repeated id bases) never collide, and
+                // drives `net_inserted` back to zero for the caller's final
+                // count differential.
+                for s in sessions.iter_mut() {
+                    for (id, _) in std::mem::take(&mut s.live_inserts) {
+                        let op = || {
+                            vec![WriteOp::DeleteEq {
+                                key: attrs!["id"],
+                                key_value: Tuple::new().with("id", id),
+                            }]
+                        };
+                        let mut attempts = 0;
+                        loop {
+                            match s.conn.transact("wide", op()) {
+                                Ok((_, 1)) => {
+                                    counters.net_inserted.fetch_sub(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Ok(_) => {
+                                    counters.lost_writes.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(e) if e.is_busy() && attempts < 1000 => {
+                                    attempts += 1;
+                                    std::thread::sleep(std::time::Duration::from_millis(1));
+                                }
+                                Err(_) => {
+                                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                for s in sessions {
+                    let _ = s.conn.close();
+                }
+                latencies
+            })
+            .expect("spawn driver thread");
+        handles.push(handle);
+    }
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("driver thread panicked"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx] as f64
+    };
+    let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let ok = ld(&counters.ok);
+    DriverReport {
+        ok,
+        rows: ld(&counters.rows),
+        busy: ld(&counters.busy),
+        timeouts: ld(&counters.timeouts),
+        errors: ld(&counters.errors),
+        protocol_errors: ld(&counters.protocol_errors),
+        mismatches: ld(&counters.mismatches),
+        lost_writes: ld(&counters.lost_writes),
+        net_inserted: ld(&counters.net_inserted) as i64,
+        elapsed,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        throughput: if elapsed > 0.0 {
+            ok as f64 / elapsed
+        } else {
+            0.0
+        },
+    }
+}

@@ -1813,6 +1813,256 @@ pub fn e17_cost_optimizer(scale: usize) -> Table {
     t.with_headline("cost-optimizer speedup (best)", best, true)
 }
 
+/// E18 — network front end: wire-protocol server under closed-loop load.
+///
+/// Four phases against a loopback [`flexrel_server::Server`] sharing its
+/// `Database` handle with the harness:
+///
+/// * **differential** — a catalogue of statements (point lookups, natural
+///   joins, guards, aggregates, EXPLAIN) executed over the wire and
+///   in-process via [`flexrel_query::run_statement`]; the sorted row
+///   multisets must match exactly.  This is the protocol's correctness
+///   anchor: every value crosses the codec round trip.
+/// * **closed loop** — the Zipf-mix OLTP driver
+///   ([`crate::driver::run_driver`]) at increasing session counts, every
+///   response self-verified (key echo, join consistency, aggregate floors,
+///   write acks); reports throughput and p50/p99 latency.
+/// * **backpressure** — a server with `max_inflight = 0` must answer every
+///   statement `Busy` (typed, in-order, never a hang or a dropped
+///   connection), and acked state must be untouched.
+/// * **drain** — pipelined statements buffered before shutdown must all be
+///   answered, then `Bye`; the final tuple count must equal the seed plus
+///   the drivers' net acked inserts, and invariants must verify — zero
+///   lost acked writes.
+///
+/// The throughput headline follows E14's single-CPU policy: with one core
+/// the server and driver time-slice one processor, so the number measures
+/// the scheduler; the headline is marked skipped and the checks remain.
+pub fn e18_network(scale: usize) -> Table {
+    use crate::driver::{run_driver, DriverConfig};
+    use flexrel_server::{seed_wide, Server, ServerConfig};
+
+    let mut t = Table::new(
+        "E18: network front end — wire protocol, session multiplexing, backpressure (loopback)",
+        &[
+            "phase",
+            "sessions",
+            "stmts",
+            "throughput",
+            "p50/p99 µs",
+            "check",
+        ],
+    );
+    const VARIANTS: usize = 8;
+    const SKEW: f64 = 0.8;
+    let n = scale.max(200);
+
+    let db = Database::new();
+    seed_wide(&db, n, VARIANTS, SKEW).expect("seed wide");
+    let server = Server::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 64,
+            statement_timeout: Some(std::time::Duration::from_secs(30)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Phase 1: differential — wire vs in-process, exact sorted-row match.
+    let catalogue = [
+        format!("SELECT * FROM wide WHERE id = {}", n / 2),
+        format!(
+            "SELECT * FROM wide WHERE id >= {} AND id < {}",
+            n / 4,
+            n / 4 + 50
+        ),
+        "SELECT id, kind FROM wide WHERE kind = 'k0'".to_string(),
+        "SELECT * FROM wide GUARD v1".to_string(),
+        "SELECT id, v0 FROM wide WHERE kind = 'k0' GUARD v0".to_string(),
+        format!(
+            "SELECT kind, label FROM wide JOIN kinds WHERE id = {}",
+            n / 3
+        ),
+        "SELECT label FROM wide JOIN kinds WHERE kind = 'k2'".to_string(),
+        "SELECT COUNT(*), SUM(v0) FROM wide WHERE kind = 'k0'".to_string(),
+        "SELECT kind, COUNT(*) FROM wide GROUP BY kind".to_string(),
+        "SELECT COUNT(*) FROM wide".to_string(),
+    ];
+    let mut conn = flexrel_client::Connection::connect(addr).expect("connect differential session");
+    let mut diff_mismatches = 0usize;
+    for frql in &catalogue {
+        let mut wire = conn.query(frql).expect("wire query");
+        let mut local = match run_statement(&db, frql, &ExecOptions::serial()) {
+            Ok(StatementOutcome::Rows(rows)) => rows,
+            other => panic!("catalogue statement {:?} gave {:?}", frql, other),
+        };
+        wire.sort();
+        local.sort();
+        if wire != local {
+            diff_mismatches += 1;
+        }
+    }
+    // EXPLAIN also crosses the wire (as rendered text).
+    let explain_ok = conn
+        .explain("EXPLAIN SELECT * FROM wide WHERE kind = 'k1'")
+        .map(|s| s.contains("wide"))
+        .unwrap_or(false);
+    conn.close().expect("close differential session");
+    t.row([
+        "differential".to_string(),
+        "1".to_string(),
+        format!("{}", catalogue.len() + 1),
+        "-".to_string(),
+        "-".to_string(),
+        if diff_mismatches == 0 && explain_ok {
+            "ok".to_string()
+        } else {
+            format!("MISMATCH x{}", diff_mismatches)
+        },
+    ]);
+
+    // Phase 2: closed-loop Zipf OLTP mix at increasing session counts.
+    let mut levels = vec![32usize, 128];
+    if scale >= 2000 {
+        levels.push(512);
+    }
+    let mut best_throughput = 0.0f64;
+    let mut net_inserted = 0i64;
+    for sessions in levels {
+        let cfg = DriverConfig::new(sessions, n, VARIANTS, SKEW)
+            .with_statements((4000 / sessions).clamp(8, 64));
+        let report = run_driver(addr, &cfg);
+        net_inserted += report.net_inserted;
+        best_throughput = best_throughput.max(report.throughput);
+        t.row([
+            "closed-loop".to_string(),
+            sessions.to_string(),
+            report.ok.to_string(),
+            format!("{:.0} stmts/s", report.throughput),
+            format!("{:.0}/{:.0}", report.p50_us, report.p99_us),
+            if report.clean() {
+                format!("ok ({} busy, {} timeout)", report.busy, report.timeouts)
+            } else {
+                format!(
+                    "MISMATCH ({} mism, {} lost, {} proto, {} err)",
+                    report.mismatches, report.lost_writes, report.protocol_errors, report.errors
+                )
+            },
+        ]);
+    }
+
+    // Phase 3: backpressure — a zero-capacity server must answer every
+    // statement with a typed, in-order Busy; nothing hangs, nothing drops.
+    let bp_db = Database::new();
+    seed_wide(&bp_db, 100, VARIANTS, SKEW).expect("seed backpressure db");
+    let bp_server = Server::start(
+        bp_db.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind backpressure server");
+    let bp_cfg = DriverConfig::new(8, 100, VARIANTS, SKEW).with_statements(8);
+    let bp = run_driver(bp_server.local_addr(), &bp_cfg);
+    let bp_stats = bp_server.shutdown();
+    let bp_ok = bp.ok == 0
+        && bp.busy == 8 * 8
+        && bp.protocol_errors == 0
+        && bp_db.count("wide").unwrap() == 100;
+    t.row([
+        "backpressure".to_string(),
+        "8".to_string(),
+        format!("{} busy", bp.busy),
+        "-".to_string(),
+        "-".to_string(),
+        if bp_ok && bp_stats.busy_rejections == 64 {
+            "ok".to_string()
+        } else {
+            "MISMATCH".to_string()
+        },
+    ]);
+
+    // Phase 4: drain — pipeline statements, shut down, and require every
+    // buffered statement answered before Bye.
+    let mut drain_conns = Vec::new();
+    for _ in 0..4 {
+        let mut c = flexrel_client::Connection::connect(addr).expect("drain connect");
+        for _ in 0..5 {
+            c.send(&flexrel_server::Request::Query {
+                frql: "SELECT COUNT(*) FROM wide".to_string(),
+            })
+            .expect("pipeline during drain");
+        }
+        drain_conns.push(c);
+    }
+    server.request_shutdown();
+    let mut drained_ok = true;
+    for c in &mut drain_conns {
+        for _ in 0..5 {
+            match c.recv() {
+                Ok(flexrel_server::Response::Rows(rows)) if rows.len() == 1 => {}
+                _ => drained_ok = false,
+            }
+        }
+        // After the in-flight pipeline, the drain must close with Bye.
+        match c.recv() {
+            Ok(flexrel_server::Response::Bye) => {}
+            _ => drained_ok = false,
+        }
+    }
+    let final_stats = server.shutdown();
+    // Zero lost acked writes: the committed state equals seed + net acked
+    // inserts, and every storage invariant still holds.
+    let expected = (n as i64 + net_inserted) as usize;
+    let final_count = db.count("wide").unwrap();
+    let invariants_ok = db.verify_invariants().is_ok();
+    t.row([
+        "drain".to_string(),
+        "4".to_string(),
+        "20".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        if drained_ok && final_count == expected && invariants_ok {
+            "ok".to_string()
+        } else {
+            format!(
+                "MISMATCH (drained={} count={} expected={})",
+                drained_ok, final_count, expected
+            )
+        },
+    ]);
+    t.row([
+        "totals".to_string(),
+        "-".to_string(),
+        format!("{} stmts ok", final_stats.statements_ok),
+        format!(
+            "{} busy, {} timeout",
+            final_stats.busy_rejections, final_stats.timeouts
+        ),
+        "-".to_string(),
+        if final_stats.protocol_errors == 0 {
+            "ok".to_string()
+        } else {
+            "PROTOCOL_ERROR".to_string()
+        },
+    ]);
+
+    // Single-CPU hosts time the scheduler, not the server (E14 policy).
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    if cores < 2 {
+        t.with_skipped_headline("closed-loop throughput (stmts/s)", true)
+    } else {
+        t.with_headline("closed-loop throughput (stmts/s)", best_throughput, true)
+    }
+}
+
 /// Whether the plan's scan shape predicate admits the given partition shape
 /// (plans without a shape predicate admit everything).
 fn plan_shape_admits(
@@ -1859,6 +2109,7 @@ pub fn run_all_timed(scale: usize) -> Vec<(&'static str, Table, f64)> {
         ("E15", Box::new(move || e15_durability(scale))),
         ("E16", Box::new(move || e16_late_materialization(scale))),
         ("E17", Box::new(move || e17_cost_optimizer(scale))),
+        ("E18", Box::new(move || e18_network(scale))),
     ];
     experiments
         .into_iter()
@@ -2031,6 +2282,35 @@ mod tests {
         } else {
             assert!(!h.skipped);
             assert!(h.value >= 1.0, "best multi-thread scaling is floored at 1x");
+        }
+    }
+
+    #[test]
+    fn e18_wire_protocol_holds_every_check() {
+        let t = e18_network(300);
+        assert_eq!(
+            t.len(),
+            6,
+            "differential, two closed-loop levels, backpressure, drain, totals"
+        );
+        for row in &t.rows {
+            assert!(
+                row[5].starts_with("ok"),
+                "E18 check failed: {:?} (all rows: {:#?})",
+                row,
+                t.rows
+            );
+        }
+        let h = t.headline.as_ref().expect("E18 carries a headline");
+        assert!(h.metric.contains("throughput"));
+        let single_cpu = std::thread::available_parallelism()
+            .map(|n| n.get() == 1)
+            .unwrap_or(true);
+        if single_cpu {
+            assert!(h.skipped, "single-CPU hosts mark the headline skipped");
+        } else {
+            assert!(!h.skipped);
+            assert!(h.value.is_finite() && h.value > 0.0);
         }
     }
 

@@ -1,4 +1,4 @@
-//! Smoke test: run every experiment (E1–E10, E12–E17) at a tiny scale
+//! Smoke test: run every experiment (E1–E10, E12–E18) at a tiny scale
 //! so the code behind the criterion benches is compiled and exercised by
 //! `cargo test` without paying for a full measurement run.
 
@@ -9,8 +9,8 @@ fn run_all_at_tiny_scale_produces_every_table() {
     let tables = experiments::run_all(50);
     assert_eq!(
         tables.len(),
-        16,
-        "one table per experiment E1–E10 and E12–E17"
+        17,
+        "one table per experiment E1–E10 and E12–E18"
     );
     for t in &tables {
         assert!(!t.is_empty(), "experiment {:?} produced no rows", t.title);

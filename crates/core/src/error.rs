@@ -43,6 +43,10 @@ pub enum CoreError {
     NotFound(String),
     /// A query, plan or expression is invalid.
     Invalid(String),
+    /// A statement exceeded its execution deadline and was cancelled.  The
+    /// payload describes the budget that was exhausted; partial results are
+    /// never returned alongside this error.
+    Timeout(String),
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +88,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownAttribute(a) => write!(f, "unknown attribute {}", a),
             CoreError::NotFound(what) => write!(f, "not found: {}", what),
             CoreError::Invalid(msg) => write!(f, "invalid: {}", msg),
+            CoreError::Timeout(msg) => write!(f, "statement timed out: {}", msg),
         }
     }
 }

@@ -40,7 +40,7 @@
 //! fold under reordering.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 
 use flexrel_algebra::predicate::Predicate;
@@ -68,9 +68,44 @@ pub struct ExecStats {
 struct StatsInner {
     materialized: AtomicU64,
     chunks: AtomicU64,
+    /// Execution deadline copied from [`ExecOptions::deadline`]; checked
+    /// (and [`StatsInner::timed_out`] recorded) at every chunk source.
+    deadline: Option<std::time::Instant>,
+    timed_out: AtomicBool,
 }
 
 impl ExecStats {
+    /// Stats carrying an execution deadline: the chunk sources stop
+    /// producing once it passes and flag the run as timed out.  `None`
+    /// behaves exactly like [`ExecStats::default`].
+    pub fn with_deadline(deadline: Option<std::time::Instant>) -> Self {
+        ExecStats {
+            inner: Arc::new(StatsInner {
+                deadline,
+                ..StatsInner::default()
+            }),
+        }
+    }
+
+    /// Whether the deadline tripped anywhere in the pipeline.  A timed-out
+    /// stream ends early, so its drained rows are *truncated* — callers
+    /// must discard them and surface a timeout error instead.
+    pub fn timed_out(&self) -> bool {
+        self.inner.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Checks the deadline, recording and reporting expiry.  Called once
+    /// per chunk (≤1024 rows of work) at each source, so the `Instant`
+    /// read is off the per-row fast path.
+    fn deadline_expired(&self) -> bool {
+        match self.inner.deadline {
+            Some(d) if std::time::Instant::now() >= d => {
+                self.inner.timed_out.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
     /// How many owned tuples were built from column segments anywhere in
     /// the pipeline (scan boundary, narrow projections, join sides).  An
     /// aggregate-only query reports 0 — its inputs never leave the
@@ -171,7 +206,15 @@ pub type ChunkStream<'a> = Box<dyn Iterator<Item = Chunk> + 'a>;
 /// materializing columnar chunks (the only materialization a plan without
 /// tuple-forcing operators ever performs).
 pub(crate) fn chunks_to_tuples<'a>(chunks: ChunkStream<'a>, stats: ExecStats) -> TupleStream<'a> {
-    Box::new(chunks.flat_map(move |c| c.into_tuples(&stats)))
+    // The boundary doubles as a deadline gate for chunk producers that are
+    // not segment scans (row re-chunking, join outputs): one check per
+    // chunk, never per tuple.
+    let gate = stats.clone();
+    Box::new(
+        chunks
+            .take_while(move |_| !gate.deadline_expired())
+            .flat_map(move |c| c.into_tuples(&stats)),
+    )
 }
 
 /// Re-chunks a tuple stream (used where a row-pipeline fragment feeds the
@@ -205,6 +248,9 @@ impl Iterator for ChunkScan {
 
     fn next(&mut self) -> Option<Chunk> {
         loop {
+            if self.stats.deadline_expired() {
+                return None;
+            }
             let part = self.parts.get(self.part)?;
             let heap = part.columns();
             let compiled = self
@@ -269,6 +315,9 @@ fn parallel_scan_chunks(
                     continue;
                 }
                 for si in 0..heap.segment_count() {
+                    if stats.deadline_expired() {
+                        return;
+                    }
                     let seg = heap.segment(si).expect("segment index in range");
                     let sel = compiled.select(seg);
                     if sel.is_empty() {

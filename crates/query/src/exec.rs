@@ -83,6 +83,17 @@ pub struct ExecOptions {
     pub min_parallel_rows: usize,
     /// Which pipeline executes the plan; [`PipelineMode::Late`] by default.
     pub pipeline: PipelineMode,
+    /// Optional execution deadline.  The late pipeline checks it at every
+    /// chunk source (serial and parallel scans, and the result boundary),
+    /// so a statement is cancelled within one 1024-slot segment of work.
+    /// When it trips, the chunk stream ends early and
+    /// [`batch::ExecStats::timed_out`] reports `true` — callers that
+    /// surface results (the statement entry point, the network server)
+    /// must turn that flag into
+    /// [`CoreError::Timeout`](flexrel_core::error::CoreError::Timeout)
+    /// instead of returning the truncated rows.  `None` (the default)
+    /// never cancels.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl ExecOptions {
@@ -93,6 +104,7 @@ impl ExecOptions {
             threads: 1,
             min_parallel_rows: 4096,
             pipeline: PipelineMode::Late,
+            deadline: None,
         }
     }
 
@@ -102,6 +114,7 @@ impl ExecOptions {
             threads: threads.max(1),
             min_parallel_rows: 4096,
             pipeline: PipelineMode::Late,
+            deadline: None,
         }
     }
 
@@ -123,6 +136,13 @@ impl ExecOptions {
     /// Shorthand for the tuple-at-a-time oracle pipeline.
     pub fn row_pipeline(self) -> Self {
         self.with_pipeline(PipelineMode::Row)
+    }
+
+    /// Sets the execution deadline (builder style).  See
+    /// [`ExecOptions::deadline`] for the cancellation contract.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -1057,7 +1077,7 @@ pub fn execute_stream_with<'a>(
     match opts.pipeline {
         PipelineMode::Row => exec_node(plan, &ctx),
         PipelineMode::Late => {
-            let stats = batch::ExecStats::default();
+            let stats = batch::ExecStats::with_deadline(opts.deadline);
             let chunks = batch::exec_chunks(plan, &ctx, &stats)?;
             Ok(batch::chunks_to_tuples(chunks, stats))
         }
@@ -1075,7 +1095,7 @@ pub fn execute_collect(
     opts: &ExecOptions,
 ) -> Result<(Vec<Tuple>, batch::ExecStats)> {
     let ctx = ExecContext::build(plan, db, opts.clone())?;
-    let stats = batch::ExecStats::default();
+    let stats = batch::ExecStats::with_deadline(opts.deadline);
     let chunks = batch::exec_chunks(plan, &ctx, &stats)?;
     let rows: Vec<Tuple> = batch::chunks_to_tuples(chunks, stats.clone()).collect();
     Ok((rows, stats))

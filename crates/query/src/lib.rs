@@ -68,6 +68,7 @@ pub mod logical;
 pub mod optimizer;
 pub mod parser;
 pub mod planner;
+pub mod statement;
 
 pub use agg::{Acc, GroupedAggs};
 pub use batch::{Chunk, ColChunk, ExecStats};
@@ -86,6 +87,7 @@ pub use optimizer::{
 };
 pub use parser::{parse, Query};
 pub use planner::plan_query;
+pub use statement::{run_statement, StatementOutcome};
 
 /// The most commonly used items.
 pub mod prelude {
@@ -99,4 +101,5 @@ pub mod prelude {
     };
     pub use crate::parser::{parse, Query};
     pub use crate::planner::plan_query;
+    pub use crate::statement::{run_statement, StatementOutcome};
 }

@@ -3,8 +3,8 @@
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
-//! query      := SELECT select_list FROM ident [WHERE predicate] [GUARD attrlist]
-//!               [GROUP BY attrlist]
+//! query      := SELECT select_list FROM ident (JOIN ident)* [WHERE predicate]
+//!               [GUARD attrlist] [GROUP BY attrlist]
 //! select_list := '*' | select_item (',' select_item)*
 //! select_item := ident | aggfn '(' ('*' | ident) ')'
 //! aggfn      := COUNT | SUM | MIN | MAX          (COUNT '*' only)
@@ -39,6 +39,10 @@ pub struct Query {
     pub explain: bool,
     /// The relation named in `FROM`.
     pub relation: String,
+    /// Relations named in `JOIN` clauses, in source order.  Each joins
+    /// naturally (on the common attributes) with the accumulated result to
+    /// its left; empty for a single-relation query.
+    pub joins: Vec<String>,
     /// The projection attribute list; `None` means `*`.
     pub projection: Option<AttrSet>,
     /// The `WHERE` predicate, if any.
@@ -70,8 +74,8 @@ fn is_ident_char(c: char) -> bool {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GUARD", "AND", "OR", "NOT", "PRESENT", "TRUE", "FALSE", "GROUP",
-    "BY", "EXPLAIN",
+    "SELECT", "FROM", "JOIN", "WHERE", "GUARD", "AND", "OR", "NOT", "PRESENT", "TRUE", "FALSE",
+    "GROUP", "BY", "EXPLAIN",
 ];
 
 fn tokenize(input: &str) -> Result<Vec<Token>> {
@@ -381,6 +385,10 @@ pub fn parse(input: &str) -> Result<Query> {
     };
     p.expect_keyword("FROM")?;
     let relation = p.ident()?;
+    let mut joins = Vec::new();
+    while p.accept_keyword("JOIN") {
+        joins.push(p.ident()?);
+    }
     let predicate = if p.accept_keyword("WHERE") {
         Some(p.predicate()?)
     } else {
@@ -406,6 +414,7 @@ pub fn parse(input: &str) -> Result<Query> {
     Ok(Query {
         explain,
         relation,
+        joins,
         projection,
         predicate,
         guard,
@@ -439,6 +448,21 @@ mod tests {
         assert_eq!(q.guard, Some(attrs!["typing-speed"]));
         let p = q.predicate.unwrap();
         assert_eq!(p.to_string(), "(salary > 5000 AND jobtype = 'secretary')");
+    }
+
+    #[test]
+    fn parses_join_clauses_in_order() {
+        let q = parse("SELECT id, label FROM wide JOIN kinds WHERE id = 7").unwrap();
+        assert_eq!(q.relation, "wide");
+        assert_eq!(q.joins, vec!["kinds".to_string()]);
+        let q = parse("SELECT * FROM a JOIN b JOIN c").unwrap();
+        assert_eq!(q.joins, vec!["b".to_string(), "c".to_string()]);
+        // JOIN is a keyword now, so it cannot appear where a relation
+        // identifier is required.
+        assert!(parse("SELECT * FROM JOIN").is_err());
+        assert!(parse("SELECT * FROM a JOIN").is_err());
+        let q = parse("SELECT * FROM wide").unwrap();
+        assert!(q.joins.is_empty());
     }
 
     #[test]

@@ -19,12 +19,25 @@ fn check_attrs(known: &AttrSet, used: &AttrSet, what: &str) -> Result<()> {
     Ok(())
 }
 
-/// Builds the initial (unoptimized) logical plan for a query: scan, then
-/// filter, then guard, then projection — or, for an aggregating query,
-/// scan, filter, guard, then a single [`LogicalPlan::Aggregate`] node.
+/// Builds the initial (unoptimized) logical plan for a query: scan (joined
+/// naturally with each `JOIN` relation in source order), then filter, then
+/// guard, then projection — or, for an aggregating query, a single
+/// [`LogicalPlan::Aggregate`] node on top.  Predicates, guards and
+/// projections are checked against the union of all named relations'
+/// scheme attributes.
 pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     let def = catalog.get(&query.relation)?;
-    let known = def.scheme.attrs();
+    let mut known = def.scheme.attrs();
+    for j in &query.joins {
+        let jdef = catalog.get(j)?;
+        if j == &query.relation || query.joins.iter().filter(|o| *o == j).count() > 1 {
+            return Err(CoreError::Invalid(format!(
+                "relation {} appears more than once in FROM/JOIN",
+                j
+            )));
+        }
+        known = known.union(&jdef.scheme.attrs());
+    }
 
     if let Some(p) = &query.predicate {
         check_attrs(&known, &p.referenced_attrs(), "WHERE clause")?;
@@ -66,6 +79,9 @@ pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     }
 
     let mut plan = LogicalPlan::scan(query.relation.clone());
+    for j in &query.joins {
+        plan = plan.join(LogicalPlan::scan(j.clone()));
+    }
     if let Some(p) = &query.predicate {
         plan = plan.filter(p.clone());
     }
@@ -143,6 +159,36 @@ mod tests {
         let q = parse("SELECT SUM(bogus) FROM employee").unwrap();
         assert!(plan_query(&q, &c).is_err());
         let q = parse("SELECT COUNT(*) FROM employee GROUP BY bogus").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+    }
+
+    #[test]
+    fn join_queries_plan_to_join_nodes_over_the_union_schema() {
+        use flexrel_core::relation::FlexRelation;
+        use flexrel_core::scheme::SchemeBuilder;
+        let mut c = catalog();
+        let mut kinds = FlexRelation::new(
+            "jobs",
+            SchemeBuilder::all_of(["jobtype", "grade"]).build().unwrap(),
+        );
+        kinds.set_domain("grade", flexrel_core::value::Domain::Int);
+        c.register(RelationDef::from_relation(&kinds)).unwrap();
+
+        // `grade` only exists on the joined relation: the predicate and
+        // projection must bind against the union of both schemes.
+        let q = parse("SELECT empno, grade FROM employee JOIN jobs WHERE grade > 2").unwrap();
+        let plan = plan_query(&q, &c).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("Join"), "{}", s);
+        assert!(s.contains("Scan employee"), "{}", s);
+        assert!(s.contains("Scan jobs"), "{}", s);
+
+        // Unknown join relation and duplicate relation names are rejected.
+        let q = parse("SELECT * FROM employee JOIN nowhere").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        let q = parse("SELECT * FROM employee JOIN employee").unwrap();
+        assert!(plan_query(&q, &c).is_err());
+        let q = parse("SELECT * FROM employee JOIN jobs JOIN jobs").unwrap();
         assert!(plan_query(&q, &c).is_err());
     }
 

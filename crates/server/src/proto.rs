@@ -1,0 +1,605 @@
+//! The flexrel wire protocol: length-prefixed, CRC-framed binary messages
+//! over a byte stream.
+//!
+//! Every message travels as one [`flexrel_storage::codec`] frame —
+//! `[len u32][crc32 u32][payload]`, little-endian, the exact discipline the
+//! WAL uses on disk — whose payload starts with a one-byte message tag.
+//! Result sets reuse the columnar row format's shape-table idea
+//! ([`flexrel_storage::RowBlock`]): the distinct attribute sets of the
+//! result are written once, then each row is a shape-slot reference plus
+//! its values in the shape's canonical order.  Strings and tags intern on
+//! decode, floats round-trip bit-exactly (NaN and `-0.0` included), and
+//! any truncated or bit-flipped input surfaces as a typed
+//! [`WireError`] — never a panic.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use flexrel_core::attr::{Attr, AttrSet};
+use flexrel_core::error::CoreError;
+use flexrel_core::tuple::Tuple;
+use flexrel_storage::codec::{
+    self, crc32, put_str, put_u32, put_u64, put_u8, Cursor, MAX_FRAME_LEN,
+};
+use flexrel_storage::StorageError;
+
+/// The protocol version spoken by this build.  A [`Request::Hello`] carrying
+/// a different version is rejected with [`ErrorCode::Protocol`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// Errors raised on the wire: transport failures, corrupted frames, and
+/// protocol violations.  Malformed input is always one of these — the
+/// decoders never panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// An operating-system I/O failure on the socket.
+    Io(std::io::Error),
+    /// Bytes failed validation: truncated frame, CRC mismatch, an
+    /// impossible length, or a payload that does not decode.
+    Corrupt(String),
+    /// A structurally valid message that is illegal at this point of the
+    /// conversation (unknown tag, wrong version, Hello twice, …).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {}", e),
+            WireError::Corrupt(msg) => write!(f, "corrupt wire frame: {}", msg),
+            WireError::Protocol(msg) => write!(f, "protocol violation: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<StorageError> for WireError {
+    fn from(e: StorageError) -> Self {
+        WireError::Corrupt(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error codes.
+// ---------------------------------------------------------------------------
+
+/// The typed error classes a server can attach to an error response.  The
+/// client surfaces these verbatim; the load driver keys its backpressure
+/// and timeout accounting off [`ErrorCode::Busy`] and
+/// [`ErrorCode::Timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The statement failed to parse or bind (unknown relation/attribute,
+    /// malformed FRQL).
+    Plan = 1,
+    /// The statement failed during execution.
+    Exec = 2,
+    /// A write violated a scheme, domain or dependency constraint.
+    Constraint = 3,
+    /// A named object was not found.
+    NotFound = 4,
+    /// Admission control rejected the statement: the server is at its
+    /// in-flight capacity.  Retryable.
+    Busy = 5,
+    /// The statement exceeded the server's per-statement deadline and was
+    /// cancelled; no partial results were sent.
+    Timeout = 6,
+    /// The peer broke the wire protocol.
+    Protocol = 7,
+    /// The server is draining for shutdown and no longer admits work.
+    ShuttingDown = 8,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<ErrorCode, WireError> {
+        Ok(match v {
+            1 => ErrorCode::Plan,
+            2 => ErrorCode::Exec,
+            3 => ErrorCode::Constraint,
+            4 => ErrorCode::NotFound,
+            5 => ErrorCode::Busy,
+            6 => ErrorCode::Timeout,
+            7 => ErrorCode::Protocol,
+            8 => ErrorCode::ShuttingDown,
+            other => return Err(WireError::Corrupt(format!("unknown error code {}", other))),
+        })
+    }
+
+    /// Classifies a [`CoreError`] from the statement pipeline into the wire
+    /// error class the client should see.
+    pub fn classify(e: &CoreError) -> ErrorCode {
+        match e {
+            CoreError::Timeout(_) => ErrorCode::Timeout,
+            CoreError::NotFound(_) => ErrorCode::NotFound,
+            CoreError::Invalid(_) | CoreError::UnknownAttribute(_) => ErrorCode::Plan,
+            CoreError::InvalidScheme(_)
+            | CoreError::InvalidDependency(_)
+            | CoreError::SchemeViolation { .. }
+            | CoreError::AdViolation { .. }
+            | CoreError::FdViolation { .. }
+            | CoreError::DomainViolation { .. } => ErrorCode::Constraint,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Plan => "plan",
+            ErrorCode::Exec => "exec",
+            ErrorCode::Constraint => "constraint",
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::ShuttingDown => "shutting-down",
+        };
+        f.write_str(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages.
+// ---------------------------------------------------------------------------
+
+/// One write operation inside a [`Request::Transact`] batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WriteOp {
+    /// Insert a tuple (full scheme/domain/dependency checking server-side).
+    Insert(Tuple),
+    /// Delete every tuple equal to `key_value` on the attributes of `key`.
+    /// Sees the batch's own earlier writes.
+    DeleteEq {
+        /// The key attribute set.
+        key: AttrSet,
+        /// The key value, a tuple over exactly the attributes of `key`.
+        key_value: Tuple,
+    },
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Opens the conversation; must be the first message on a connection.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u32,
+    },
+    /// Executes one FRQL statement (a leading `EXPLAIN` returns the plan).
+    Query {
+        /// The statement text.
+        frql: String,
+    },
+    /// Applies a batch of writes to one relation as a single atomic
+    /// transaction: all-or-nothing, fully isolated.
+    Transact {
+        /// The target relation.
+        relation: String,
+        /// The write operations, applied in order.
+        ops: Vec<WriteOp>,
+    },
+    /// Liveness probe; the server echoes the token in a [`Response::Pong`].
+    Ping {
+        /// An arbitrary token echoed back.
+        token: u64,
+    },
+    /// Ends the conversation; the server answers [`Response::Bye`] and
+    /// closes.
+    Goodbye,
+}
+
+/// A server-to-client message.  The server answers every request with
+/// exactly one response, in request order — this is what makes client-side
+/// pipelining sound.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// The protocol version the server speaks.
+        version: u32,
+        /// This connection's server-assigned session id.
+        session: u64,
+    },
+    /// A query's result tuples.
+    Rows(Vec<Tuple>),
+    /// The rendered plan of an `EXPLAIN` statement.
+    Explain(String),
+    /// A transaction committed.
+    TxnOk {
+        /// Tuples inserted by the batch.
+        inserted: u64,
+        /// Tuples deleted by the batch.
+        deleted: u64,
+    },
+    /// The request failed; the statement had no effect.
+    Error {
+        /// The typed error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Echo of a [`Request::Ping`].
+    Pong {
+        /// The echoed token.
+        token: u64,
+    },
+    /// The server is closing this connection (answer to
+    /// [`Request::Goodbye`], or sent unprompted when draining for
+    /// shutdown after all in-flight responses).
+    Bye,
+}
+
+// Request tags.
+const REQ_HELLO: u8 = 0x01;
+const REQ_QUERY: u8 = 0x02;
+const REQ_TRANSACT: u8 = 0x03;
+const REQ_PING: u8 = 0x04;
+const REQ_GOODBYE: u8 = 0x05;
+// Response tags (high bit set).
+const RSP_HELLO_OK: u8 = 0x81;
+const RSP_ROWS: u8 = 0x82;
+const RSP_TXN_OK: u8 = 0x83;
+const RSP_ERROR: u8 = 0x84;
+const RSP_PONG: u8 = 0x85;
+const RSP_BYE: u8 = 0x86;
+const RSP_EXPLAIN: u8 = 0x87;
+// WriteOp tags.
+const OP_INSERT: u8 = 0x01;
+const OP_DELETE_EQ: u8 = 0x02;
+
+// ---------------------------------------------------------------------------
+// Result-set encoding: shape table + rows in canonical value order.
+// ---------------------------------------------------------------------------
+
+/// Encodes a result set: `[n_shapes][attrs…] [n_rows]([slot][values…])…`,
+/// with each distinct attribute set written once and every row referencing
+/// its shape by slot — the wire twin of the columnar
+/// [`RowBlock`](flexrel_storage::RowBlock) layout.
+pub fn put_rows(out: &mut Vec<u8>, rows: &[Tuple]) {
+    let mut slots: BTreeMap<AttrSet, u32> = BTreeMap::new();
+    let mut shapes: Vec<&AttrSet> = Vec::new();
+    for t in rows {
+        let shape = t.shape();
+        if !slots.contains_key(shape) {
+            slots.insert(shape.clone(), shapes.len() as u32);
+            shapes.push(shape);
+        }
+    }
+    put_u32(out, shapes.len() as u32);
+    for s in &shapes {
+        codec::put_attrs(out, s);
+    }
+    put_u32(out, rows.len() as u32);
+    for t in rows {
+        put_u32(out, slots[t.shape()]);
+        codec::put_shaped_values(out, t);
+    }
+}
+
+/// Decodes a result set written by [`put_rows`].
+pub fn get_rows(cur: &mut Cursor<'_>) -> Result<Vec<Tuple>, WireError> {
+    let n_shapes = cur.u32()? as usize;
+    let mut shapes: Vec<(AttrSet, Arc<[Attr]>)> = Vec::with_capacity(n_shapes.min(1024));
+    for _ in 0..n_shapes {
+        let shape = codec::get_attrs(cur)?;
+        let attrs: Arc<[Attr]> = shape.to_vec().into();
+        shapes.push((shape, attrs));
+    }
+    let n_rows = cur.u32()? as usize;
+    let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
+    for _ in 0..n_rows {
+        let slot = cur.u32()? as usize;
+        let (shape, attrs) = shapes
+            .get(slot)
+            .ok_or_else(|| WireError::Corrupt(format!("shape slot {} out of range", slot)))?;
+        rows.push(codec::get_shaped_values(cur, shape, attrs)?);
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Message encode / decode.
+// ---------------------------------------------------------------------------
+
+/// Encodes a request payload (tag + body, no framing).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Hello { version } => {
+            put_u8(&mut out, REQ_HELLO);
+            put_u32(&mut out, *version);
+        }
+        Request::Query { frql } => {
+            put_u8(&mut out, REQ_QUERY);
+            put_str(&mut out, frql);
+        }
+        Request::Transact { relation, ops } => {
+            put_u8(&mut out, REQ_TRANSACT);
+            put_str(&mut out, relation);
+            put_u32(&mut out, ops.len() as u32);
+            for op in ops {
+                match op {
+                    WriteOp::Insert(t) => {
+                        put_u8(&mut out, OP_INSERT);
+                        codec::put_named_tuple(&mut out, t);
+                    }
+                    WriteOp::DeleteEq { key, key_value } => {
+                        put_u8(&mut out, OP_DELETE_EQ);
+                        codec::put_attrs(&mut out, key);
+                        codec::put_named_tuple(&mut out, key_value);
+                    }
+                }
+            }
+        }
+        Request::Ping { token } => {
+            put_u8(&mut out, REQ_PING);
+            put_u64(&mut out, *token);
+        }
+        Request::Goodbye => put_u8(&mut out, REQ_GOODBYE),
+    }
+    out
+}
+
+/// Decodes a request payload.  Trailing garbage after a well-formed body is
+/// a [`WireError::Corrupt`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut cur = Cursor::new(payload);
+    let tag = cur.u8()?;
+    let req = match tag {
+        REQ_HELLO => Request::Hello {
+            version: cur.u32()?,
+        },
+        REQ_QUERY => Request::Query {
+            frql: cur.str()?.to_string(),
+        },
+        REQ_TRANSACT => {
+            let relation = cur.str()?.to_string();
+            let n = cur.u32()? as usize;
+            let mut ops = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let op = match cur.u8()? {
+                    OP_INSERT => WriteOp::Insert(codec::get_named_tuple(&mut cur)?),
+                    OP_DELETE_EQ => WriteOp::DeleteEq {
+                        key: codec::get_attrs(&mut cur)?,
+                        key_value: codec::get_named_tuple(&mut cur)?,
+                    },
+                    other => {
+                        return Err(WireError::Corrupt(format!(
+                            "unknown write-op tag {}",
+                            other
+                        )))
+                    }
+                };
+                ops.push(op);
+            }
+            Request::Transact { relation, ops }
+        }
+        REQ_PING => Request::Ping { token: cur.u64()? },
+        REQ_GOODBYE => Request::Goodbye,
+        other => {
+            return Err(WireError::Protocol(format!(
+                "unknown request tag {}",
+                other
+            )))
+        }
+    };
+    if !cur.is_empty() {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes after request",
+            cur.remaining()
+        )));
+    }
+    Ok(req)
+}
+
+/// Encodes a response payload (tag + body, no framing).
+pub fn encode_response(rsp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rsp {
+        Response::HelloOk { version, session } => {
+            put_u8(&mut out, RSP_HELLO_OK);
+            put_u32(&mut out, *version);
+            put_u64(&mut out, *session);
+        }
+        Response::Rows(rows) => {
+            put_u8(&mut out, RSP_ROWS);
+            put_rows(&mut out, rows);
+        }
+        Response::Explain(text) => {
+            put_u8(&mut out, RSP_EXPLAIN);
+            put_str(&mut out, text);
+        }
+        Response::TxnOk { inserted, deleted } => {
+            put_u8(&mut out, RSP_TXN_OK);
+            put_u64(&mut out, *inserted);
+            put_u64(&mut out, *deleted);
+        }
+        Response::Error { code, message } => {
+            put_u8(&mut out, RSP_ERROR);
+            put_u8(&mut out, *code as u8);
+            put_str(&mut out, message);
+        }
+        Response::Pong { token } => {
+            put_u8(&mut out, RSP_PONG);
+            put_u64(&mut out, *token);
+        }
+        Response::Bye => put_u8(&mut out, RSP_BYE),
+    }
+    out
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut cur = Cursor::new(payload);
+    let tag = cur.u8()?;
+    let rsp = match tag {
+        RSP_HELLO_OK => Response::HelloOk {
+            version: cur.u32()?,
+            session: cur.u64()?,
+        },
+        RSP_ROWS => Response::Rows(get_rows(&mut cur)?),
+        RSP_EXPLAIN => Response::Explain(cur.str()?.to_string()),
+        RSP_TXN_OK => Response::TxnOk {
+            inserted: cur.u64()?,
+            deleted: cur.u64()?,
+        },
+        RSP_ERROR => Response::Error {
+            code: ErrorCode::from_u8(cur.u8()?)?,
+            message: cur.str()?.to_string(),
+        },
+        RSP_PONG => Response::Pong { token: cur.u64()? },
+        RSP_BYE => Response::Bye,
+        other => {
+            return Err(WireError::Protocol(format!(
+                "unknown response tag {}",
+                other
+            )))
+        }
+    };
+    if !cur.is_empty() {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes after response",
+            cur.remaining()
+        )));
+    }
+    Ok(rsp)
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing.
+// ---------------------------------------------------------------------------
+
+/// Writes one framed message to a stream (header + CRC + payload in a
+/// single `write_all`, so small messages stay one syscall).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    codec::put_frame(&mut framed, payload);
+    w.write_all(&framed)?;
+    Ok(())
+}
+
+/// Writes a framed request.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), WireError> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Writes a framed response.
+pub fn write_response<W: Write>(w: &mut W, rsp: &Response) -> Result<(), WireError> {
+    write_frame(w, &encode_response(rsp))
+}
+
+/// What one poll of a [`FrameReader`] produced.
+#[derive(Debug)]
+pub enum Recv {
+    /// A complete, CRC-valid message payload.
+    Message(Vec<u8>),
+    /// No complete frame yet and the read would block (the stream has a
+    /// read timeout, or is non-blocking).  Poll again.
+    Idle,
+    /// The peer closed the stream cleanly on a frame boundary.
+    Closed,
+}
+
+/// Incremental frame reader over a byte stream.
+///
+/// Bytes are accumulated across reads, so a read timeout in the middle of a
+/// frame loses nothing — the server leans on this to poll its shutdown flag
+/// between messages.  A close in the middle of a frame is reported as
+/// [`WireError::Corrupt`], a close on a frame boundary as [`Recv::Closed`].
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily.
+    pos: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Tries to extract the next complete frame from the buffered bytes.
+    fn try_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Corrupt(format!(
+                "frame length {} exceeds maximum {}",
+                len, MAX_FRAME_LEN
+            )));
+        }
+        let total = 8 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let crc = u32::from_le_bytes(avail[4..8].try_into().unwrap());
+        let payload = &avail[8..total];
+        if crc32(payload) != crc {
+            return Err(WireError::Corrupt("frame CRC mismatch".into()));
+        }
+        let out = payload.to_vec();
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > (1 << 16) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(out))
+    }
+
+    /// Reads until one complete frame is available, the stream closes, or a
+    /// read would block.
+    pub fn recv<R: Read>(&mut self, r: &mut R) -> Result<Recv, WireError> {
+        loop {
+            if let Some(payload) = self.try_frame()? {
+                return Ok(Recv::Message(payload));
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.pos == self.buf.len() {
+                        Ok(Recv::Closed)
+                    } else {
+                        Err(WireError::Corrupt(
+                            "stream closed mid-frame (truncated message)".into(),
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Recv::Idle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+
+    /// Whether any partially buffered bytes are pending (frames started but
+    /// not complete).
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+}

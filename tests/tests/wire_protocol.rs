@@ -1,0 +1,509 @@
+//! Wire-protocol properties and deterministic server conversations.
+//!
+//! The codec half mirrors the WAL record suite in `durability_recovery.rs`:
+//! arbitrary requests and responses — including result rows over shapes
+//! past the 64-attribute inline `AttrSet` words and dictionary-encoded
+//! strings — round trip bit-identically through the
+//! CRC-checked framing, byte-dribbled reads reassemble, and truncation or
+//! single-byte corruption yields a typed [`WireError`], never a panic and
+//! never silently the original message.
+//!
+//! The server half pins down the conversation rules that make client-side
+//! pipelining sound: in-order responses, deterministic `Busy` under a zero
+//! in-flight cap, deterministic `Timeout` under an expired deadline, the
+//! Hello gate, and the drain sequence (buffered statements answered, then
+//! `Bye`).
+
+use std::io::Read;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use flexrel_client::Connection;
+use flexrel_core::tuple::Tuple;
+use flexrel_core::value::Value;
+use flexrel_server::proto::{
+    decode_request, decode_response, encode_request, encode_response, write_frame, ErrorCode,
+    FrameReader, Recv, Request, Response, WireError, WriteOp, PROTOCOL_VERSION,
+};
+use flexrel_server::{seed_wide, Server, ServerConfig};
+use flexrel_storage::Database;
+
+// ---------------------------------------------------------------------------
+// Generators (deterministic, driven by the proptest seed stream).
+// ---------------------------------------------------------------------------
+
+/// A tuple with up to `max_attrs` attributes from a 90-name pool — shapes
+/// regularly exceed the 64-attribute inline `AttrSet` limit — holding every
+/// wire value kind except exotic floats (those get a dedicated bit-exact
+/// test, since `Value`'s derived `PartialEq` follows IEEE `NaN != NaN`).
+fn arb_row(rng: &mut TestRng, max_attrs: usize) -> Tuple {
+    let n = 1 + (rng.next_u64() as usize) % max_attrs;
+    let mut t = Tuple::new();
+    for _ in 0..n {
+        let a = format!("a{:02}", rng.next_u64() % 90);
+        let v = match rng.next_u64() % 6 {
+            0 => Value::from(rng.next_u64() as i64 % 10_000),
+            1 => Value::from((rng.next_u64() % 1000) as f64 / 8.0),
+            2 => Value::from(format!("s{}", rng.next_u64() % 50)),
+            3 => Value::tag(format!("t{}", rng.next_u64() % 20)),
+            4 => Value::from(rng.next_u64().is_multiple_of(2)),
+            _ => Value::Null,
+        };
+        t.insert(a, v);
+    }
+    t
+}
+
+/// A tuple guaranteed to spill past the 64-attribute inline representation.
+fn big_row() -> Tuple {
+    let mut t = Tuple::new();
+    for i in 0..70 {
+        t.insert(format!("a{:02}", i), i as i64);
+    }
+    assert!(t.attrs().len() > 64);
+    t
+}
+
+fn arb_request(rng: &mut TestRng) -> Request {
+    match rng.next_u64() % 5 {
+        0 => Request::Hello {
+            version: rng.next_u64() as u32,
+        },
+        1 => Request::Query {
+            frql: format!(
+                "SELECT * FROM r{} WHERE id = {}",
+                rng.next_u64() % 3,
+                rng.next_u64() % 1000
+            ),
+        },
+        2 => {
+            let n = 1 + (rng.next_u64() as usize) % 4;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                if rng.next_u64().is_multiple_of(2) {
+                    ops.push(WriteOp::Insert(arb_row(rng, 80)));
+                } else {
+                    let key_value = arb_row(rng, 6);
+                    ops.push(WriteOp::DeleteEq {
+                        key: key_value.attrs(),
+                        key_value,
+                    });
+                }
+            }
+            Request::Transact {
+                relation: format!("r{}", rng.next_u64() % 3),
+                ops,
+            }
+        }
+        3 => Request::Ping {
+            token: rng.next_u64(),
+        },
+        _ => Request::Goodbye,
+    }
+}
+
+fn arb_response(rng: &mut TestRng) -> Response {
+    const CODES: [ErrorCode; 8] = [
+        ErrorCode::Plan,
+        ErrorCode::Exec,
+        ErrorCode::Constraint,
+        ErrorCode::NotFound,
+        ErrorCode::Busy,
+        ErrorCode::Timeout,
+        ErrorCode::Protocol,
+        ErrorCode::ShuttingDown,
+    ];
+    match rng.next_u64() % 7 {
+        0 => Response::HelloOk {
+            version: rng.next_u64() as u32,
+            session: rng.next_u64(),
+        },
+        1 => {
+            let n = (rng.next_u64() as usize) % 8;
+            let mut rows: Vec<Tuple> = (0..n).map(|_| arb_row(rng, 80)).collect();
+            if rng.next_u64().is_multiple_of(2) {
+                rows.push(big_row());
+            }
+            Response::Rows(rows)
+        }
+        2 => Response::Explain(format!("Scan(r{})", rng.next_u64() % 3)),
+        3 => Response::TxnOk {
+            inserted: rng.next_u64() % 100,
+            deleted: rng.next_u64() % 100,
+        },
+        4 => Response::Error {
+            code: CODES[(rng.next_u64() as usize) % CODES.len()],
+            message: format!("e{}", rng.next_u64() % 50),
+        },
+        5 => Response::Pong {
+            token: rng.next_u64(),
+        },
+        _ => Response::Bye,
+    }
+}
+
+/// A `Read` that hands out at most `chunk` bytes per call — simulates the
+/// fragmented TCP reads a [`FrameReader`] must reassemble across.
+struct TrickleReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for TrickleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Drains every frame from `bytes` through a [`FrameReader`] fed `chunk`
+/// bytes per read.  Returns the payloads up to the first error.
+fn drain_frames(bytes: &[u8], chunk: usize) -> (Vec<Vec<u8>>, Option<WireError>) {
+    let mut r = TrickleReader {
+        bytes,
+        pos: 0,
+        chunk: chunk.max(1),
+    };
+    let mut reader = FrameReader::new();
+    let mut payloads = Vec::new();
+    loop {
+        match reader.recv(&mut r) {
+            Ok(Recv::Message(p)) => payloads.push(p),
+            Ok(Recv::Closed) => return (payloads, None),
+            Ok(Recv::Idle) => unreachable!("TrickleReader never blocks"),
+            Err(e) => return (payloads, Some(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec properties.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary requests survive encode → frame → byte-dribbled reassembly
+    /// → decode bit-identically, whatever the read fragmentation.
+    #[test]
+    fn requests_round_trip_through_fragmented_frames(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let n = 1 + (rng.next_u64() as usize) % 12;
+        let requests: Vec<Request> = (0..n).map(|_| arb_request(&mut rng)).collect();
+        let mut bytes = Vec::new();
+        for req in &requests {
+            write_frame(&mut bytes, &encode_request(req)).unwrap();
+        }
+        let chunk = 1 + (rng.next_u64() as usize) % 9;
+        let (payloads, err) = drain_frames(&bytes, chunk);
+        prop_assert!(err.is_none(), "clean stream errored: {:?}", err);
+        prop_assert_eq!(payloads.len(), requests.len());
+        for (payload, req) in payloads.iter().zip(&requests) {
+            let decoded = decode_request(payload).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&decoded, req);
+        }
+    }
+
+    /// Arbitrary responses — including result sets over spilled >64-attr
+    /// shapes and dictionary strings — round trip the same way.
+    #[test]
+    fn responses_round_trip_through_fragmented_frames(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let n = 1 + (rng.next_u64() as usize) % 10;
+        let mut responses: Vec<Response> = (0..n).map(|_| arb_response(&mut rng)).collect();
+        // At least one multi-shape result set with a spilled shape per case.
+        responses.push(Response::Rows(vec![big_row(), arb_row(&mut rng, 5), big_row()]));
+        let mut bytes = Vec::new();
+        for rsp in &responses {
+            write_frame(&mut bytes, &encode_response(rsp)).unwrap();
+        }
+        let chunk = 1 + (rng.next_u64() as usize) % 9;
+        let (payloads, err) = drain_frames(&bytes, chunk);
+        prop_assert!(err.is_none(), "clean stream errored: {:?}", err);
+        prop_assert_eq!(payloads.len(), responses.len());
+        for (payload, rsp) in payloads.iter().zip(&responses) {
+            let decoded = decode_response(payload).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&decoded, rsp);
+        }
+    }
+
+    /// Truncating the byte stream anywhere yields complete prefix messages
+    /// followed by a typed outcome: a clean `Closed` exactly on a frame
+    /// boundary, a `Corrupt` error otherwise.  Never a panic, never a
+    /// partial message.
+    #[test]
+    fn truncation_yields_typed_errors_never_panics(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let requests: Vec<Request> = (0..3).map(|_| arb_request(&mut rng)).collect();
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for req in &requests {
+            write_frame(&mut bytes, &encode_request(req)).unwrap();
+            boundaries.push(bytes.len());
+        }
+        for _ in 0..16 {
+            let cut = (rng.next_u64() as usize) % (bytes.len() + 1);
+            let (payloads, err) = drain_frames(&bytes[..cut], 7);
+            let whole = boundaries.iter().filter(|&&b| b <= cut && b > 0).count();
+            prop_assert_eq!(payloads.len(), whole, "cut at {}", cut);
+            for (payload, req) in payloads.iter().zip(&requests) {
+                let decoded =
+                    decode_request(payload).map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert_eq!(&decoded, req);
+            }
+            if boundaries.contains(&cut) {
+                prop_assert!(err.is_none(), "clean boundary cut at {} errored", cut);
+            } else {
+                prop_assert!(
+                    matches!(err, Some(WireError::Corrupt(_))),
+                    "mid-frame cut at {} gave {:?}",
+                    cut,
+                    err
+                );
+            }
+        }
+    }
+
+    /// Any single-byte corruption of a framed message is caught by the
+    /// frame CRC (or the length sanity check): the reader reports a typed
+    /// `Corrupt` error — it never panics and never silently yields the
+    /// original message.
+    #[test]
+    fn single_byte_corruption_is_detected(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let req = arb_request(&mut rng);
+        let mut clean = Vec::new();
+        write_frame(&mut clean, &encode_request(&req)).unwrap();
+        for _ in 0..16 {
+            let victim = (rng.next_u64() as usize) % clean.len();
+            let flip = 1u8 << (rng.next_u64() % 8);
+            let mut bytes = clean.clone();
+            bytes[victim] ^= flip;
+            let (payloads, err) = drain_frames(&bytes, 16 * 1024);
+            let silently_ok = err.is_none()
+                && payloads.len() == 1
+                && decode_request(&payloads[0]).map(|d| d == req).unwrap_or(false);
+            prop_assert!(
+                !silently_ok,
+                "flip of bit {:#04x} at byte {} went undetected",
+                flip,
+                victim
+            );
+            if let Some(e) = err {
+                prop_assert!(
+                    matches!(e, WireError::Corrupt(_)),
+                    "corruption surfaced as {:?}, not Corrupt",
+                    e
+                );
+            }
+        }
+    }
+
+    /// Decoding any strict prefix of a valid payload (framing already
+    /// stripped) is a typed error, and trailing garbage is rejected too —
+    /// the payload decoders are total.
+    #[test]
+    fn payload_decoders_are_total(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let req = arb_request(&mut rng);
+        let payload = encode_request(&req);
+        for cut in 0..payload.len() {
+            prop_assert!(decode_request(&payload[..cut]).is_err(), "prefix {} decoded", cut);
+        }
+        let mut padded = payload.clone();
+        padded.push(0xFF);
+        prop_assert!(decode_request(&padded).is_err(), "trailing byte accepted");
+
+        let rsp = arb_response(&mut rng);
+        let payload = encode_response(&rsp);
+        for cut in 0..payload.len() {
+            prop_assert!(decode_response(&payload[..cut]).is_err(), "prefix {} decoded", cut);
+        }
+    }
+}
+
+/// IEEE-special floats cross the wire bit-exactly: NaN payloads, signed
+/// zeros and infinities survive because the codec moves `f64::to_bits`,
+/// not a lossy representation.  (Checked via `to_bits` — `Value`'s derived
+/// `PartialEq` would call `NaN != NaN` and `-0.0 == 0.0`.)
+#[test]
+fn special_floats_round_trip_bit_exact() {
+    let specials = [
+        f64::NAN,
+        -f64::NAN,
+        0.0,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        f64::MAX,
+        1.0 + f64::EPSILON,
+    ];
+    let rows: Vec<Tuple> = specials
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let mut t = Tuple::new();
+            t.insert("id", i as i64);
+            t.insert("x", f);
+            t
+        })
+        .collect();
+    let payload = encode_response(&Response::Rows(rows.clone()));
+    let Response::Rows(decoded) = decode_response(&payload).unwrap() else {
+        panic!("Rows decoded as a different message");
+    };
+    assert_eq!(decoded.len(), rows.len());
+    for (orig, dec) in rows.iter().zip(&decoded) {
+        let (Some(Value::Float(a)), Some(Value::Float(b))) =
+            (orig.get_name("x"), dec.get_name("x"))
+        else {
+            panic!("float attribute lost on the wire");
+        };
+        assert_eq!(a.to_bits(), b.to_bits(), "float bits changed on the wire");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic server conversations.
+// ---------------------------------------------------------------------------
+
+/// Boots a server over a freshly seeded wide database on an OS-assigned
+/// loopback port.
+fn boot(cfg: ServerConfig, n: usize) -> Server {
+    let db = Database::new();
+    seed_wide(&db, n, 4, 0.5).unwrap();
+    Server::start(db, "127.0.0.1:0", cfg).unwrap()
+}
+
+/// Pipelined statements are answered strictly in request order — each
+/// response carries its request's key echo, so any reordering is visible.
+#[test]
+fn pipelined_statements_are_answered_in_order() {
+    let server = boot(ServerConfig::default(), 64);
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    for i in 0..10i64 {
+        conn.send(&Request::Query {
+            frql: format!("SELECT * FROM wide WHERE id = {}", i),
+        })
+        .unwrap();
+    }
+    assert_eq!(conn.pending(), 10);
+    for i in 0..10i64 {
+        match conn.recv().unwrap() {
+            Response::Rows(rows) => {
+                assert_eq!(rows.len(), 1, "point lookup of id {} fanned out", i);
+                assert_eq!(rows[0].get_name("id"), Some(&Value::from(i)));
+            }
+            other => panic!("statement {} answered out of order: {:?}", i, other),
+        }
+    }
+    conn.close().unwrap();
+    server.shutdown();
+}
+
+/// With a zero in-flight cap every statement is refused `Busy` — the
+/// deterministic backpressure case — while permit-free requests (ping)
+/// still flow, and the rejection count is exact.
+#[test]
+fn zero_inflight_cap_rejects_every_statement_as_busy() {
+    let cfg = ServerConfig {
+        max_inflight: 0,
+        ..ServerConfig::default()
+    };
+    let server = boot(cfg, 32);
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    for _ in 0..5 {
+        let err = conn.query("SELECT * FROM wide WHERE id = 0").unwrap_err();
+        assert!(err.is_busy(), "expected Busy, got {}", err);
+    }
+    conn.ping(7).unwrap();
+    conn.close().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.busy_rejections, 5);
+    assert_eq!(stats.statements_ok, 0);
+}
+
+/// An already-expired statement deadline surfaces as a typed `Timeout`
+/// error and no partial rows — the cancellation path, made deterministic
+/// with a zero timeout.
+#[test]
+fn expired_statement_deadline_surfaces_as_timeout() {
+    let cfg = ServerConfig {
+        statement_timeout: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    };
+    let server = boot(cfg, 256);
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    let err = conn.query("SELECT * FROM wide").unwrap_err();
+    assert!(err.is_timeout(), "expected Timeout, got {}", err);
+    conn.close().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.statements_err, 0, "timeout double-counted as error");
+}
+
+/// Graceful drain: statements pipelined before shutdown are all answered,
+/// then the server says `Bye` — no acked request is dropped.
+#[test]
+fn drain_answers_pipelined_statements_before_bye() {
+    let server = boot(ServerConfig::default(), 64);
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    for _ in 0..5 {
+        conn.send(&Request::Query {
+            frql: "SELECT COUNT(*) FROM wide".into(),
+        })
+        .unwrap();
+    }
+    server.request_shutdown();
+    for i in 0..5 {
+        match conn.recv().unwrap() {
+            Response::Rows(rows) => {
+                assert_eq!(rows[0].get_name("count"), Some(&Value::from(64i64)));
+            }
+            other => panic!("pipelined statement {} lost in drain: {:?}", i, other),
+        }
+    }
+    assert!(
+        matches!(conn.recv().unwrap(), Response::Bye),
+        "drain did not end with Bye"
+    );
+    server.shutdown();
+}
+
+/// The Hello gate: a duplicate Hello is a protocol error, and a version the
+/// server does not speak is refused at the handshake.
+#[test]
+fn hello_violations_are_protocol_errors() {
+    let server = boot(ServerConfig::default(), 16);
+
+    // Duplicate Hello on an established session.
+    let mut conn = Connection::connect(server.local_addr()).unwrap();
+    conn.send(&Request::Hello {
+        version: PROTOCOL_VERSION,
+    })
+    .unwrap();
+    match conn.recv().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("duplicate Hello accepted: {:?}", other),
+    }
+
+    // Wrong version at the handshake, over a raw socket.
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    flexrel_server::write_request(&mut stream, &Request::Hello { version: 999 }).unwrap();
+    let mut reader = FrameReader::new();
+    let payload = match reader.recv(&mut stream).unwrap() {
+        Recv::Message(p) => p,
+        other => panic!("no handshake answer: {:?}", other),
+    };
+    match decode_response(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("wrong version accepted: {:?}", other),
+    }
+
+    server.shutdown();
+}
